@@ -1,0 +1,131 @@
+(* bench/main.exe — the full benchmark harness.
+
+   Part 1 (B1-B8): Bechamel microbenchmarks of the hot substrate
+   operations and of one complete discovery run per key algorithm.
+
+   Part 2: the experiment suite — regenerates every table (T1-T7) and
+   figure (F1-F4) of EXPERIMENTS.md into results/.
+
+   Set REPRO_BENCH_QUICK=1 to run the experiment suite at reduced sizes
+   (useful for smoke-testing; the published numbers use the full mode).
+   Set REPRO_BENCH_SKIP_EXPERIMENTS=1 to run the microbenchmarks only. *)
+
+open Bechamel
+open Toolkit
+open Repro_util
+open Repro_graph
+open Repro_discovery
+
+(* ---------- microbenchmark subjects ---------- *)
+
+let bitset_pair n seed =
+  let rng = Rng.create ~seed in
+  let mk () =
+    let b = Bitset.create n in
+    for _ = 1 to n / 2 do
+      ignore (Bitset.add b (Rng.int rng n))
+    done;
+    b
+  in
+  (mk (), mk ())
+
+let b1_bitset_union =
+  let dst0, src = bitset_pair 16384 1 in
+  Test.make ~name:"B1 bitset_union_16384"
+    (Staged.stage (fun () ->
+         let dst = Bitset.copy dst0 in
+         ignore (Bitset.union_into ~dst ~src)))
+
+let b2_rng =
+  let rng = Rng.create ~seed:2 in
+  Test.make ~name:"B2 rng_int_1k"
+    (Staged.stage (fun () ->
+         let acc = ref 0 in
+         for _ = 1 to 1000 do
+           acc := !acc + Rng.int rng 4096
+         done;
+         !acc))
+
+let b3_knowledge_merge =
+  let n = 8192 in
+  let labels = Array.init n (fun i -> i) in
+  let _, src = bitset_pair n 3 in
+  Test.make ~name:"B3 knowledge_merge_8192"
+    (Staged.stage (fun () ->
+         let k = Knowledge.create ~n ~owner:0 ~labels in
+         ignore (Knowledge.merge_bits k src)))
+
+let b4_graph_gen =
+  Test.make ~name:"B4 kout_graph_4096"
+    (Staged.stage
+       (let counter = ref 0 in
+        fun () ->
+          incr counter;
+          ignore (Generate.k_out ~rng:(Rng.create ~seed:!counter) ~n:4096 ~k:3)))
+
+let full_run name algo =
+  Test.make ~name
+    (Staged.stage
+       (let counter = ref 0 in
+        fun () ->
+          incr counter;
+          let seed = !counter in
+          let topo =
+            Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n:1024 ~seed
+          in
+          let r = Run.exec ~seed algo topo in
+          assert r.Run.completed))
+
+let b5 = full_run "B5 full_run_hm_1024" Hm_gossip.algorithm
+let b6 = full_run "B6 full_run_name_dropper_1024" Name_dropper.algorithm
+let b7 = full_run "B7 full_run_min_pointer_1024" Min_pointer.algorithm
+let b8 = full_run "B8 full_run_rand_gossip_1024" Rand_gossip.algorithm
+
+let microbenchmarks () =
+  let tests =
+    Test.make_grouped ~name:"repro"
+      [ b1_bitset_union; b2_rng; b3_knowledge_merge; b4_graph_gen; b5; b6; b7; b8 ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 2.0) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Bechamel.Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let results = Bechamel.Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "## Microbenchmarks (monotonic clock, OLS ns/run)\n";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | _ -> Float.nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  let table = Table.create ~columns:[ ("benchmark", Table.Left); ("time/run", Table.Right) ] in
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Table.add_row table [ name; human ])
+    rows;
+  Table.print table;
+  print_newline ()
+
+let () =
+  microbenchmarks ();
+  if Sys.getenv_opt "REPRO_BENCH_SKIP_EXPERIMENTS" = None then begin
+    let quick = Sys.getenv_opt "REPRO_BENCH_QUICK" <> None in
+    match Repro_experiments.Suite.run ~quick ~results_dir:"results" () with
+    | Ok () -> ()
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+  end

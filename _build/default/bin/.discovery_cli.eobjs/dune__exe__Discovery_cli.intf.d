@@ -1,0 +1,1 @@
+bin/discovery_cli.mli:

@@ -1,0 +1,170 @@
+(* discovery_cli — run a single resource-discovery configuration and
+   report its cost measures.
+
+   Examples:
+     discovery_cli run --algo hm --topology kout:3 -n 4096
+     discovery_cli run --algo name_dropper --topology path -n 1024 --seed 7
+     discovery_cli run --algo "rand:push/f2" --topology seeds:16:2 -n 8192 --growth
+     discovery_cli list
+     discovery_cli topo --topology clustered:8:3 -n 1024
+*)
+
+open Repro_util
+open Repro_graph
+open Repro_discovery
+open Cmdliner
+
+let topology_conv =
+  let parse s = Generate.family_of_string s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf f = Format.pp_print_string ppf (Generate.family_name f) in
+  Arg.conv (parse, print)
+
+let algo_conv =
+  let parse s = Registry.find s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf (a : Algorithm.t) = Format.pp_print_string ppf a.Algorithm.name in
+  Arg.conv (parse, print)
+
+let completion_conv =
+  let parse = function
+    | "strong" -> Ok Run.Strong
+    | "survivors" -> Ok Run.Survivors_strong
+    | "leader" -> Ok Run.Leader
+    | "quiescent" -> Ok Run.Quiescent
+    | s -> Error (`Msg (Printf.sprintf "unknown completion %S (strong|survivors|leader|quiescent)" s))
+  in
+  let print ppf c =
+    Format.pp_print_string ppf
+      (match c with
+      | Run.Strong -> "strong"
+      | Run.Survivors_strong -> "survivors"
+      | Run.Leader -> "leader"
+      | Run.Quiescent -> "quiescent")
+  in
+  Arg.conv (parse, print)
+
+let n_arg =
+  Arg.(value & opt int 1024 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of machines.")
+
+let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Master random seed.")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt topology_conv (Generate.K_out 3)
+    & info [ "t"; "topology" ] ~docv:"FAMILY"
+        ~doc:
+          "Initial knowledge graph family: path, dpath, cycle, dcycle, star, instar, complete, \
+           tree, grid, hypercube, lollipop, kout:K, er:P, clustered:C:K, seeds:S:F, ba:M, \
+           ws:K:B, geo:R.")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt algo_conv Hm_gossip.algorithm
+    & info [ "a"; "algo" ] ~docv:"ALGO"
+        ~doc:
+          "Algorithm: flooding, swamping, pointer_jump, name_dropper, min_pointer, rand_gossip, \
+           hm, or an ablation spec like hm:cap:4, hm:full, rand:push/f2/delta.")
+
+let loss_arg =
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"Per-message drop probability.")
+
+let crashes_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "crashes" ] ~docv:"K" ~doc:"Crash K random nodes during the first 5 rounds.")
+
+let max_rounds_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-rounds" ] ~docv:"R" ~doc:"Round budget (default 4n + 64).")
+
+let completion_arg =
+  Arg.(
+    value
+    & opt completion_conv Run.Strong
+    & info [ "completion" ] ~docv:"PRED" ~doc:"Completion predicate: strong, survivors, leader.")
+
+let growth_arg =
+  Arg.(value & flag & info [ "growth" ] ~doc:"Print the per-round mean knowledge-size series.")
+
+let build_fault ~seed ~n ~loss ~crashes =
+  let open Repro_engine in
+  let fault = if loss > 0.0 then Fault.with_loss Fault.none ~p:loss else Fault.none in
+  if crashes <= 0 then fault
+  else begin
+    let rng = Rng.substream ~seed ~index:0xdead in
+    let victims = Rng.sample_distinct rng ~n ~k:(min crashes n) ~avoid:(-1) in
+    Array.fold_left
+      (fun f node -> Fault.with_crash f ~node ~round:(1 + Rng.int rng 5))
+      fault victims
+  end
+
+let run_cmd =
+  let run algo family n seed loss crashes max_rounds completion growth =
+    let rng = Rng.substream ~seed ~index:0x70b0 in
+    let topology = Generate.build family ~rng ~n in
+    let fault = build_fault ~seed ~n ~loss ~crashes in
+    let completion = if crashes > 0 && completion = Run.Strong then Run.Survivors_strong else completion in
+    let result = Run.exec ~seed ~fault ~completion ?max_rounds ~track_growth:growth algo topology in
+    Printf.printf "algorithm        : %s\n" result.Run.algorithm;
+    Printf.printf "topology         : %s (n=%d, m=%d)\n" (Generate.family_name family) n
+      (Topology.edge_count topology);
+    Printf.printf "seed             : %d\n" seed;
+    Printf.printf "completed        : %b\n" result.Run.completed;
+    Printf.printf "rounds           : %d\n" result.Run.rounds;
+    Printf.printf "messages         : %d\n" result.Run.messages;
+    Printf.printf "pointers         : %d\n" result.Run.pointers;
+    Printf.printf "wire bytes       : %d (adaptive codec)\n" result.Run.bytes;
+    Printf.printf "dropped          : %d\n" result.Run.dropped;
+    Printf.printf "peak msgs/round  : %d\n" result.Run.max_round_messages;
+    if growth then begin
+      Printf.printf "mean knowledge size by round:\n";
+      Array.iteri
+        (fun i v -> Printf.printf "  round %3d: %10.1f\n" (i + 1) v)
+        result.Run.mean_knowledge_series
+    end;
+    if result.Run.completed then `Ok () else `Error (false, "did not complete within the round budget")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ algo_arg $ topology_arg $ n_arg $ seed_arg $ loss_arg $ crashes_arg
+       $ max_rounds_arg $ completion_arg $ growth_arg))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one discovery configuration.") term
+
+let list_cmd =
+  let list () =
+    List.iter
+      (fun (a : Algorithm.t) -> Printf.printf "%-14s %s\n" a.Algorithm.name a.Algorithm.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the implemented algorithms.") Term.(const list $ const ())
+
+let topo_cmd =
+  let show family n seed =
+    let rng = Rng.substream ~seed ~index:0x70b0 in
+    let topology = Generate.build family ~rng ~n in
+    let connected = Analyze.is_weakly_connected topology in
+    Printf.printf "family        : %s\n" (Generate.family_name family);
+    Printf.printf "nodes         : %d\n" (Topology.n topology);
+    Printf.printf "edges         : %d\n" (Topology.edge_count topology);
+    Printf.printf "weakly conn.  : %b\n" connected;
+    if connected then begin
+      let d = Analyze.weak_diameter_estimate ~rng topology in
+      Printf.printf "diameter est. : %d\n" d
+    end;
+    let deg = Analyze.degree_stats topology in
+    Printf.printf "out-degree    : mean %.1f, min %.0f, max %.0f\n" deg.Stats.mean deg.Stats.min
+      deg.Stats.max
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Describe a generated topology.")
+    Term.(const show $ topology_arg $ n_arg $ seed_arg)
+
+let () =
+  let doc = "Distributed resource discovery in sub-logarithmic time (PODC'15 reproduction)" in
+  let info = Cmd.info "discovery" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; topo_cmd ]))

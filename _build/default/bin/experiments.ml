@@ -1,0 +1,48 @@
+(* experiments — regenerate every table and figure of the reproduction.
+
+   Examples:
+     experiments                      # full suite into results/
+     experiments --quick              # shrunk sizes, for smoke tests
+     experiments --only T1 --only F1  # a selection
+     experiments --list
+*)
+
+open Cmdliner
+
+let only_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "only" ] ~docv:"ID" ~doc:"Run only this experiment (repeatable).")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Shrink sizes and seeds for a fast smoke run.")
+
+let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.")
+
+let results_arg =
+  Arg.(
+    value & opt string "results"
+    & info [ "results-dir" ] ~docv:"DIR" ~doc:"Where to write report.md and CSV data.")
+
+let main only quick list results_dir =
+  if list then begin
+    List.iter
+      (fun (e : Repro_experiments.Suite.entry) ->
+        Printf.printf "%-4s %s\n" e.Repro_experiments.Suite.id e.Repro_experiments.Suite.title)
+      Repro_experiments.Suite.all;
+    `Ok ()
+  end
+  else begin
+    let only = match only with [] -> None | ids -> Some ids in
+    match Repro_experiments.Suite.run ?only ~quick ~results_dir () with
+    | Ok () -> `Ok ()
+    | Error msg -> `Error (false, msg)
+  end
+
+let () =
+  let term = Term.(ret (const main $ only_arg $ quick_arg $ list_arg $ results_arg)) in
+  let info =
+    Cmd.info "experiments" ~version:"1.0.0"
+      ~doc:"Regenerate the tables and figures of the resource-discovery reproduction"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,1 @@
+examples/datacenter_bootstrap.ml: Fault Generate Hm_gossip List Min_pointer Name_dropper Printf Repro_discovery Repro_engine Repro_graph Repro_util Rng Run

@@ -1,0 +1,1 @@
+examples/datacenter_bootstrap.mli:

@@ -1,0 +1,1 @@
+examples/fleet_census.ml: Array Generate Hm_gossip List Metrics Printf Repro_discovery Repro_engine Repro_graph Repro_util Rng Run Sim

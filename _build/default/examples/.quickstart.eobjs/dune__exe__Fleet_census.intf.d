@@ -1,0 +1,1 @@
+examples/fleet_census.mli:

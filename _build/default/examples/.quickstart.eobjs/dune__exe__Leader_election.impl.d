@@ -1,0 +1,1 @@
+examples/leader_election.ml: Algorithm Array Generate Hm_gossip Knowledge Metrics Params Payload Printf Repro_discovery Repro_engine Repro_graph Repro_util Rng Sim Topology

@@ -1,0 +1,1 @@
+examples/p2p_overlay.ml: Array Fault Generate Hm_gossip List Name_dropper Printf Rand_gossip Repro_discovery Repro_engine Repro_graph Repro_util Rng Run String

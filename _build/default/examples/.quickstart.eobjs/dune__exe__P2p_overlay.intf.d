@@ -1,0 +1,1 @@
+examples/p2p_overlay.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analyze Array Generate Hm_gossip Name_dropper Printf Repro_discovery Repro_graph Repro_util Rng Run Topology

@@ -1,0 +1,1 @@
+lib/discovery/algorithm.ml: Array Knowledge Params Payload Repro_util Rng

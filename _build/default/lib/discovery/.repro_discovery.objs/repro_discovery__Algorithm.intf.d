@@ -1,0 +1,1 @@
+lib/discovery/algorithm.mli: Knowledge Params Payload Repro_util Rng

@@ -1,0 +1,1 @@
+lib/discovery/flooding.ml: Algorithm Array Knowledge Payload

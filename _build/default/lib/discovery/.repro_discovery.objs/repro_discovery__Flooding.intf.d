@@ -1,0 +1,1 @@
+lib/discovery/flooding.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/discovery/hm_gossip.ml: Algorithm Array Bitset Intvec Knowledge Lazy Payload Printf Repro_util

@@ -1,0 +1,1 @@
+lib/discovery/hm_gossip.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/discovery/knowledge.ml: Array Bitset Hashtbl Intvec Repro_util Rng

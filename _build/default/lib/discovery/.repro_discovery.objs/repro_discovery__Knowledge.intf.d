@@ -1,0 +1,1 @@
+lib/discovery/knowledge.mli: Bitset Repro_util Rng

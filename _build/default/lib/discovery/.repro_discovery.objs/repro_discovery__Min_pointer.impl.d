@@ -1,0 +1,1 @@
+lib/discovery/min_pointer.ml: Algorithm Array Intvec Knowledge Payload Repro_util

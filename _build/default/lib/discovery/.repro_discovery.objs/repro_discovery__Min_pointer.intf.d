@@ -1,0 +1,1 @@
+lib/discovery/min_pointer.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/discovery/name_dropper.ml: Algorithm Knowledge Payload

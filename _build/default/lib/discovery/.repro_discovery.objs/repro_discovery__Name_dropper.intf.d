@@ -1,0 +1,1 @@
+lib/discovery/name_dropper.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/discovery/payload.ml: Array Bitset Format Knowledge Repro_util

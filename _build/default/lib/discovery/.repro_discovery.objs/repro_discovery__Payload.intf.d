@@ -1,0 +1,1 @@
+lib/discovery/payload.mli: Bitset Format Knowledge Repro_util

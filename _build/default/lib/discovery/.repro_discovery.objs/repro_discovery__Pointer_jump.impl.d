@@ -1,0 +1,1 @@
+lib/discovery/pointer_jump.ml: Algorithm Intvec Knowledge Payload Repro_util

@@ -1,0 +1,1 @@
+lib/discovery/pointer_jump.mli: Algorithm

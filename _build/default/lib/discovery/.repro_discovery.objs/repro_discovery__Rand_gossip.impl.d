@@ -1,0 +1,1 @@
+lib/discovery/rand_gossip.ml: Algorithm Array Intvec Knowledge Params Payload Printf Repro_util Rng

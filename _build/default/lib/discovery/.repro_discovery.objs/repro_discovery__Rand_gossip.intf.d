@@ -1,0 +1,1 @@
+lib/discovery/rand_gossip.mli: Algorithm Params

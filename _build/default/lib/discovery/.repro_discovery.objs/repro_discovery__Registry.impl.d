@@ -1,0 +1,1 @@
+lib/discovery/registry.ml: Algorithm Flooding Hm_gossip List Min_pointer Name_dropper Params Pointer_jump Printf Rand_gossip Result String Swamping

@@ -1,0 +1,1 @@
+lib/discovery/registry.mli: Algorithm

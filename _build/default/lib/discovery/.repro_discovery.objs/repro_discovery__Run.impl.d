@@ -1,0 +1,1 @@
+lib/discovery/run.ml: Algorithm Array Bitset Fault Knowledge List Metrics Params Payload Repro_engine Repro_graph Repro_util Rng Sim Topology Wire

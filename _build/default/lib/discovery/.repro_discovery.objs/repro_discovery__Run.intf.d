@@ -1,0 +1,1 @@
+lib/discovery/run.mli: Algorithm Fault Metrics Repro_engine Repro_graph Topology Wire

@@ -1,0 +1,1 @@
+lib/discovery/run_async.ml: Algorithm Array Async_sim Bitset Fault Knowledge List Metrics Params Payload Repro_engine Repro_graph Repro_util Rng Run Sim Topology

@@ -1,0 +1,1 @@
+lib/discovery/run_async.mli: Algorithm Fault Repro_engine Repro_graph Run Topology

@@ -1,0 +1,1 @@
+lib/discovery/swamping.ml: Algorithm Array Knowledge Payload

@@ -1,0 +1,1 @@
+lib/discovery/swamping.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/discovery/wire.ml: Array Bitset Buffer Bytes Char List Payload Repro_util

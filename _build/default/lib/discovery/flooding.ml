@@ -1,0 +1,28 @@
+
+type state = { knowledge : Knowledge.t; neighbors : int array; mutable sent_upto : int }
+
+let make (ctx : Algorithm.ctx) =
+  let knowledge = Algorithm.initial_knowledge ctx in
+  let st = { knowledge; neighbors = ctx.neighbors; sent_upto = 0 } in
+  let round ~round:_ ~send =
+    (* Send only fresh knowledge; silence once there is nothing new.
+       [sent_upto] starts at 0 so the first round floods the full initial
+       knowledge (self + neighbors). *)
+    let fresh = Knowledge.since st.knowledge ~mark:st.sent_upto in
+    st.sent_upto <- Knowledge.mark st.knowledge;
+    if Array.length fresh > 0 then
+      Array.iter (fun dst -> send ~dst (Payload.Share (Payload.Ids fresh))) st.neighbors
+  in
+  let receive ~src:_ payload =
+    match (payload : Payload.t) with
+    | Share d | Exchange d | Reply d -> ignore (Payload.merge_data st.knowledge d)
+    | Probe | Halt -> ()
+  in
+  { Algorithm.knowledge; round; receive; is_quiescent = Algorithm.never_quiescent }
+
+let algorithm =
+  {
+    Algorithm.name = "flooding";
+    description = "HLL99 flooding: forward new knowledge along initial edges";
+    make;
+  }

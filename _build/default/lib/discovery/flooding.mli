@@ -1,0 +1,11 @@
+(** Flooding (Harchol-Balter, Leighton, Lewin 1999, §2).
+
+    Every round, each node sends the identifiers it learned since its
+    previous send to all of its *initial* out-neighbors. Knowledge thus
+    flows only along original edges: Θ(D) rounds on symmetric topologies
+    (D = diameter), and on weakly-but-not-strongly connected graphs it
+    converges to reachability knowledge without ever achieving complete
+    discovery — the classic motivation for algorithms that exploit
+    direct addressing. *)
+
+val algorithm : Algorithm.t

@@ -1,0 +1,263 @@
+open Repro_util
+
+type broadcast = All | Cap of int | Off
+
+type upward = Delta | Full
+
+type state = {
+  knowledge : Knowledge.t;
+  pending_replies : Intvec.t;  (* exchange senders owed a reply *)
+  mutable acked_upto : int;  (* knowledge mark acknowledged by the target *)
+  mutable prev_sent : int;  (* mark carried by the report one round ago *)
+  mutable last_sent : int;  (* mark carried by the latest report *)
+  mutable report_target : int;  (* current head candidate, -1 before the first report *)
+  upward_done : Bitset.t;  (* identifiers that need not flow upward again *)
+  suspects : Bitset.t;  (* nodes suspected crashed (silent head candidates) *)
+  mutable silence : int;  (* rounds since the current target last answered *)
+  mutable halted : bool;  (* local termination decision reached *)
+  mutable quiet_rounds : int;  (* consecutive uninformative rounds (heads) *)
+  mutable last_card : int;  (* knowledge size at the previous round *)
+  mutable saw_new_info : bool;  (* a non-empty report arrived this round *)
+}
+
+(* A head candidate that stays silent for this many report rounds is
+   suspected crashed and skipped when choosing where to report. A healthy
+   target answers every report within two rounds, so only loss or crashes
+   trigger this; a suspected node that speaks again is rehabilitated. *)
+let patience = 5
+
+(* A head whose knowledge has been stable and whose reporters have all
+   been sending empty deltas for this many consecutive rounds decides the
+   protocol is finished, broadcasts [Halt], and quiesces. This is a
+   heuristic (an identifier could still be in flight up a long report
+   chain), so experiment T11 measures both the termination lag and the
+   safety of the decision empirically. *)
+let halt_patience = 5
+
+(* Soundness of the delta reports rests on a custody argument: every
+   identifier a node learns is either echoed upward in its next report or
+   is already held by a node of strictly smaller rank (its report target,
+   which taught it the identifier). Two rules keep the custody chain
+   descending all the way to the global minimum:
+
+   - introduction: when a node abandons head m1 for a smaller-ranked m2,
+     it tells m1 about m2. An abandoned head therefore always learns of a
+     smaller rank, stops being a head, and forwards its entire backlog
+     (heads never advance their report mark, so their first report after
+     retiring carries everything they ever aggregated);
+
+   - no-echo filtering: identifiers taught by the current head are marked
+     in [upward_done] and skipped by later reports — they are already in
+     smaller-ranked custody, and echoing them would make the upward
+     traffic quadratic.
+
+   Under message loss the custody argument needs delivery, not just
+   sending, so reports are retransmitted until acknowledged: each report
+   carries everything unacknowledged, and the window only advances when a
+   [Reply] (never a broadcast [Share] — a head broadcasts to every node
+   it has merely heard of, which proves nothing about report receipt)
+   arrives from the current target. A reply received in round r answers
+   the report sent in round r-1, hence the two-deep mark queue. *)
+let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
+  let knowledge = Algorithm.initial_knowledge ctx in
+  let st =
+    {
+      knowledge;
+      pending_replies = Intvec.create ();
+      acked_upto = 0;
+      prev_sent = 0;
+      last_sent = 0;
+      report_target = -1;
+      upward_done = Bitset.create ctx.n;
+      suspects = Bitset.create ctx.n;
+      silence = 0;
+      halted = false;
+      quiet_rounds = 0;
+      last_card = 0;
+      saw_new_info = false;
+    }
+  in
+  let self = ctx.node in
+  let round ~round:_ ~send =
+    if st.halted then begin
+      (* Quiescent: answer any straggling reporter with the full view
+         (it may be a late joiner whose identifier everyone already knew
+         but whose own knowledge is stale) followed by Halt, so it both
+         completes and stops. Flow still decays to zero: each straggler
+         report costs exactly two replies. *)
+      if not (Intvec.is_empty st.pending_replies) then begin
+        let snap = Payload.Bits (Knowledge.snapshot st.knowledge) in
+        Intvec.iter
+          (fun dst ->
+            send ~dst (Payload.Reply snap);
+            send ~dst Payload.Halt)
+          st.pending_replies;
+        Intvec.clear st.pending_replies
+      end
+    end
+    else begin
+    (* Answer last round's reporters with the current full view (one
+       shared snapshot): this is the downward half of the exchange. *)
+    let snap = lazy (Payload.Bits (Knowledge.snapshot st.knowledge)) in
+    if not (Intvec.is_empty st.pending_replies) then begin
+      Intvec.iter (fun dst -> send ~dst (Payload.Reply (Lazy.force snap))) st.pending_replies;
+      Intvec.clear st.pending_replies
+    end;
+    let head =
+      if Bitset.is_empty st.suspects then Knowledge.min_known st.knowledge
+      else Knowledge.min_known_excluding st.knowledge ~suspects:st.suspects
+    in
+    (* local termination detection (heads only): nothing new learned and
+       only empty reports for several consecutive rounds *)
+    if head = self then begin
+      if Knowledge.cardinal st.knowledge = st.last_card && not st.saw_new_info then
+        st.quiet_rounds <- st.quiet_rounds + 1
+      else st.quiet_rounds <- 0
+    end
+    else st.quiet_rounds <- 0;
+    st.last_card <- Knowledge.cardinal st.knowledge;
+    st.saw_new_info <- false;
+    if head = self && st.quiet_rounds >= halt_patience then begin
+      st.halted <- true;
+      Array.iter
+        (fun dst -> if dst <> self then send ~dst Payload.Halt)
+        (Knowledge.elements_in_learn_order st.knowledge)
+    end
+    else if head <> self then begin
+      if st.report_target <> head then begin
+        if st.report_target >= 0 then
+          send ~dst:st.report_target (Payload.Share (Payload.Ids [| head |]));
+        st.report_target <- head;
+        st.silence <- 0;
+        (* marks refer to the old target's reply stream *)
+        st.prev_sent <- st.acked_upto;
+        st.last_sent <- st.acked_upto
+      end
+      else begin
+        st.silence <- st.silence + 1;
+        if st.silence > patience then begin
+          ignore (Bitset.add st.suspects head);
+          st.silence <- 0
+        end
+      end;
+      (* Report to the head candidate. An empty report still goes out —
+         it doubles as the pull request for the head's reply. *)
+      let data =
+        match upward with
+        | Delta ->
+          let recent = Knowledge.since st.knowledge ~mark:st.acked_upto in
+          st.prev_sent <- st.last_sent;
+          st.last_sent <- Knowledge.mark st.knowledge;
+          let keep = ref 0 in
+          Array.iter (fun v -> if not (Bitset.mem st.upward_done v) then incr keep) recent;
+          let fresh = Array.make !keep 0 in
+          let i = ref 0 in
+          Array.iter
+            (fun v ->
+              if not (Bitset.mem st.upward_done v) then begin
+                fresh.(!i) <- v;
+                incr i
+              end)
+            recent;
+          Payload.Ids fresh
+        | Full -> Lazy.force snap
+      in
+      send ~dst:head (Payload.Exchange data)
+    end
+    else begin
+      (* Head: broadcast the full view to the cluster and to every foreign
+         node this head has heard of — the growing-fan-out exchange. *)
+      match broadcast with
+      | Off -> ()
+      | All ->
+        Array.iter
+          (fun dst -> if dst <> self then send ~dst (Payload.Share (Lazy.force snap)))
+          (Knowledge.elements_in_learn_order st.knowledge)
+      | Cap k ->
+        Array.iter
+          (fun dst -> send ~dst (Payload.Share (Lazy.force snap)))
+          (Knowledge.random_known_among st.knowledge ctx.rng ~k)
+    end
+    end
+  in
+  (* A full snapshot's contents stay in the sharer's custody — the
+     sharer either reports them down-rank itself or, if it is a head,
+     hands over its backlog when it retires. Only the sharer's own
+     existence must keep flowing upward, so its done-bit is cleared when
+     the snapshot came from a foreign node. Small explicit lists
+     (introductions) are head identifiers that must propagate and are
+     never marked done. *)
+  let note_custody ~src d =
+    match (d : Payload.data) with
+    | Payload.Bits b ->
+      ignore (Bitset.union_into ~dst:st.upward_done ~src:b);
+      if src <> st.report_target then ignore (Bitset.remove st.upward_done src)
+    | Payload.Ids _ -> ()
+  in
+  (* Quiescence is reversible: a message that teaches anything new, or
+     contact from a node we have never heard of (a late joiner), wakes a
+     halted node so the system re-converges and re-halts — without this,
+     churn arriving after the Halt wave would be stranded. *)
+  let wake () =
+    if st.halted then begin
+      st.halted <- false;
+      st.quiet_rounds <- 0
+    end
+  in
+  let receive ~src payload =
+    if Bitset.mem st.suspects src then ignore (Bitset.remove st.suspects src);
+    if src = st.report_target then st.silence <- 0;
+    match (payload : Payload.t) with
+    | Exchange d ->
+      if Payload.data_size d > 0 then st.saw_new_info <- true;
+      if not (Knowledge.knows st.knowledge src) then wake ();
+      if Payload.merge_data st.knowledge d > 0 then wake ();
+      ignore (Knowledge.add st.knowledge src);
+      Intvec.push st.pending_replies src
+    | Reply d ->
+      if Payload.merge_data st.knowledge d > 0 then wake ();
+      if src = st.report_target then begin
+        st.acked_upto <- max st.acked_upto st.prev_sent;
+        match d with
+        | Payload.Bits b -> ignore (Bitset.union_into ~dst:st.upward_done ~src:b)
+        | Payload.Ids ids -> Array.iter (fun v -> ignore (Bitset.add st.upward_done v)) ids
+      end
+      else note_custody ~src d
+    | Share d ->
+      if Payload.merge_data st.knowledge d > 0 then wake ();
+      note_custody ~src d
+    | Probe ->
+      if not (Knowledge.knows st.knowledge src) then wake ();
+      ignore (Knowledge.add st.knowledge src);
+      Intvec.push st.pending_replies src
+    | Halt -> st.halted <- true
+  in
+  { Algorithm.knowledge; round; receive; is_quiescent = (fun () -> st.halted) }
+
+let variant_name ~broadcast ~upward =
+  let b =
+    match broadcast with All -> "" | Cap k -> Printf.sprintf ":cap:%d" k | Off -> ":nobroadcast"
+  in
+  let u =
+    match upward with Delta -> "" | Full -> ( match broadcast with All -> ":full" | _ -> "/full")
+  in
+  "hm" ^ b ^ u
+
+let with_variant ?(broadcast = All) ?(upward = Delta) () =
+  (match broadcast with
+  | Cap k when k < 1 -> invalid_arg "Hm_gossip.with_variant: cap must be >= 1"
+  | _ -> ());
+  {
+    Algorithm.name = variant_name ~broadcast ~upward;
+    description = "Haeupler-Malkhi sub-logarithmic discovery (ablation variant)";
+    make = make_with ~broadcast ~upward;
+  }
+
+let algorithm =
+  {
+    Algorithm.name = "hm";
+    description =
+      "Haeupler-Malkhi sub-logarithmic discovery: rank-based cluster convergecast with head \
+       broadcast";
+    make = make_with ~broadcast:All ~upward:Delta;
+  }

@@ -1,0 +1,66 @@
+(** The Haeupler–Malkhi sub-logarithmic discovery algorithm (PODC 2015) —
+    reconstruction (see DESIGN.md §2).
+
+    Structure: every node carries a uniformly random {e rank} (the shared
+    label permutation drawn per run); node states implicitly form
+    clusters around {e heads} — the nodes whose rank is minimal in their
+    own knowledge. Each round:
+
+    - a {b non-head} [v] sends the identifiers it learned since its last
+      report to its current head candidate (the minimum-rank node it
+      knows) and expects the head's full knowledge back — a pull that
+      keeps knowledge funnelling both up and down the cluster;
+    - a {b head} broadcasts its full knowledge to {e every} node it
+      knows. Head broadcasts are what makes the algorithm sub-logarithmic:
+      a head's audience grows with its knowledge, so surviving heads
+      exchange ever-larger views while the number of heads collapses —
+      the doubly-exponential dynamics that flat O(1)-fan-out gossip
+      (see {!Rand_gossip}) provably cannot achieve. When a head learns of
+      a smaller-ranked node it stops broadcasting and reports to it,
+      merging its whole cluster's knowledge into the winner.
+
+    The last surviving head is the global minimum rank; it aggregates
+    everyone (every retirement chain ends at it) and its broadcasts carry
+    the complete view back out, so strong discovery follows the last
+    merge within two rounds. Per round every non-head sends O(1) messages
+    and head fan-out totals O(n), keeping the message complexity at the
+    optimal O(n) per round; randomised ranks make head-chains short
+    regardless of how identifiers sit in the topology — the deterministic
+    variant without them is the {!Min_pointer} baseline.
+
+    Fault tolerance. Reports are delta-encoded but retransmitted until
+    the head's {!Payload.Reply} acknowledges them, so message loss only
+    delays the custody chain (experiment T5). A head candidate that stays
+    silent for several report rounds is suspected crashed, skipped when
+    choosing where to report, and rehabilitated if it ever speaks again —
+    under crash-stop faults the surviving nodes re-cluster around the
+    smallest surviving rank (experiment T6).
+
+    Local termination. A head whose knowledge has been stable and whose
+    reporters have all sent empty deltas for several consecutive rounds
+    decides the protocol is finished, broadcasts {!Payload.Halt}, and
+    quiesces ({!Algorithm.instance.is_quiescent}); the whole system's
+    message flow then decays to zero (experiment T11). Quiescence is
+    reversible — any message carrying new information, or contact from an
+    unknown node, wakes a halted node, and a halted node answers a
+    straggling reporter (e.g. a late joiner) with its full view followed
+    by [Halt], so churn arriving after the Halt wave is integrated and
+    the system re-quiesces (experiment T9 + the reversibility tests). *)
+
+val algorithm : Algorithm.t
+
+(** {2 Ablation variants (experiment T7)} *)
+
+type broadcast =
+  | All  (** heads broadcast to everything they know (the algorithm) *)
+  | Cap of int  (** heads broadcast to at most [k] random known nodes *)
+  | Off  (** heads stay silent — demonstrates the island stalemate *)
+
+type upward =
+  | Delta  (** non-heads report only newly-learned identifiers (default) *)
+  | Full  (** non-heads report full snapshots — the pointer-cost ablation *)
+
+val with_variant : ?broadcast:broadcast -> ?upward:upward -> unit -> Algorithm.t
+(** Variants are named ["hm"], ["hm:cap:K"], ["hm:nobroadcast"],
+    ["hm:full"], ["hm:cap:K/full"], …
+    @raise Invalid_argument if [Cap k] has [k < 1]. *)

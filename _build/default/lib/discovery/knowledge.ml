@@ -1,0 +1,108 @@
+open Repro_util
+
+type t = {
+  owner : int;
+  bits : Bitset.t;
+  order : Intvec.t;  (* known ids in learn order; order.(0) = owner *)
+  labels : int array;
+  mutable best : int;  (* argmin of labels over the known set *)
+  mutable best_raw : int;  (* min raw index over the known set *)
+}
+
+let create ~n ~owner ~labels =
+  if owner < 0 || owner >= n then invalid_arg "Knowledge.create: owner out of range";
+  if Array.length labels <> n then invalid_arg "Knowledge.create: labels length mismatch";
+  let bits = Bitset.create n in
+  ignore (Bitset.add bits owner);
+  let order = Intvec.create () in
+  Intvec.push order owner;
+  { owner; bits; order; labels; best = owner; best_raw = owner }
+
+let owner t = t.owner
+let universe t = Bitset.capacity t.bits
+let cardinal t = Bitset.cardinal t.bits
+let knows t v = Bitset.mem t.bits v
+let is_complete t = Bitset.is_full t.bits
+
+let note t v =
+  Intvec.push t.order v;
+  if t.labels.(v) < t.labels.(t.best) then t.best <- v;
+  if v < t.best_raw then t.best_raw <- v
+
+let add t v =
+  let fresh = Bitset.add t.bits v in
+  if fresh then note t v;
+  fresh
+
+let merge_bits t src = Bitset.union_into_with ~dst:t.bits ~src (note t)
+
+let merge_ids t ids =
+  let learned = ref 0 in
+  Array.iter
+    (fun v ->
+      if Bitset.add t.bits v then begin
+        note t v;
+        incr learned
+      end)
+    ids;
+  !learned
+
+let snapshot t = Bitset.copy t.bits
+let contents t = t.bits
+
+let mark t = Intvec.length t.order
+
+let since t ~mark =
+  if mark < 0 || mark > Intvec.length t.order then invalid_arg "Knowledge.since: invalid mark";
+  Intvec.sub t.order ~pos:mark ~len:(Intvec.length t.order - mark)
+
+let random_known t rng =
+  let len = Intvec.length t.order in
+  if len <= 1 then None
+  else begin
+    (* The owner sits somewhere in the order vector; draw until we miss
+       it. With ≥ 2 elements each draw succeeds with probability ≥ 1/2. *)
+    let rec draw () =
+      let v = Intvec.get t.order (Rng.int rng len) in
+      if v = t.owner then draw () else v
+    in
+    Some (draw ())
+  end
+
+let random_known_among t rng ~k =
+  let len = Intvec.length t.order in
+  let avail = len - 1 in
+  let k = min k avail in
+  if k <= 0 then [||]
+  else begin
+    (* Draw distinct ranks in the order vector, skipping the owner. *)
+    let chosen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = Intvec.get t.order (Rng.int rng len) in
+      if v <> t.owner && not (Hashtbl.mem chosen v) then begin
+        Hashtbl.add chosen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end
+
+let min_known t = t.best
+let min_known_raw t = t.best_raw
+
+let min_known_excluding t ~suspects =
+  if Bitset.capacity suspects <> Bitset.capacity t.bits then
+    invalid_arg "Knowledge.min_known_excluding: capacity mismatch";
+  if not (Bitset.mem suspects t.best) then t.best
+  else begin
+    let best = ref t.owner in
+    Intvec.iter
+      (fun v ->
+        if (not (Bitset.mem suspects v)) && t.labels.(v) < t.labels.(!best) then best := v)
+      t.order;
+    !best
+  end
+let elements_in_learn_order t = Intvec.to_array t.order

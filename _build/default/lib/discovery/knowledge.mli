@@ -1,0 +1,82 @@
+(** A machine's knowledge set.
+
+    Combines three views that the algorithms need at different costs:
+
+    - a dense {!Repro_util.Bitset.t} for O(1) membership and O(n/64)
+      whole-set merges;
+    - an insertion-ordered element vector, giving O(1) uniform random
+      choice over the known set and O(1) "what did I learn since round r"
+      deltas;
+    - the running argmin of the (label-permuted) identifiers, for
+      min-pointer style algorithms.
+
+    A knowledge set always contains its owner. *)
+
+open Repro_util
+
+type t
+
+val create : n:int -> owner:int -> labels:int array -> t
+(** [create ~n ~owner ~labels] is the singleton knowledge {owner}.
+    [labels] is the shared label permutation: [labels.(v)] is the
+    comparison identifier of node [v] (see DESIGN.md §7). The array is
+    captured by reference and must not be mutated.
+    @raise Invalid_argument if [owner] is out of range or [labels] has
+    length ≠ [n]. *)
+
+val owner : t -> int
+val universe : t -> int
+(** The [n] the set was created with. *)
+
+val cardinal : t -> int
+val knows : t -> int -> bool
+val is_complete : t -> bool
+(** Knows all [n] nodes. *)
+
+val add : t -> int -> bool
+(** Learn one identifier; [true] iff it was new. *)
+
+val merge_bits : t -> Bitset.t -> int
+(** Merge a bitset of identifiers; returns the number learned. *)
+
+val merge_ids : t -> int array -> int
+(** Merge an explicit identifier list; returns the number learned. *)
+
+val snapshot : t -> Bitset.t
+(** An immutable-by-convention copy of the current bitset, suitable for
+    use as a message payload. *)
+
+val contents : t -> Bitset.t
+(** The live bitset — read-only alias for completion checks; callers must
+    not mutate it. *)
+
+val mark : t -> int
+(** An opaque high-water mark: the current length of the learn order. *)
+
+val since : t -> mark:int -> int array
+(** Identifiers learned after [mark] was taken, oldest first.
+    @raise Invalid_argument for a stale/invalid mark. *)
+
+val random_known : t -> Rng.t -> int option
+(** A uniformly random known identifier excluding the owner; [None] when
+    the owner knows only itself. *)
+
+val random_known_among : t -> Rng.t -> k:int -> int array
+(** Up to [k] distinct uniform known identifiers excluding the owner
+    (fewer when the set is small). *)
+
+val min_known : t -> int
+(** The known node with the smallest label (possibly the owner). *)
+
+val min_known_raw : t -> int
+(** The known node with the smallest raw index, ignoring labels — the
+    comparison key of the deterministic baseline, which cannot assume
+    randomly-placed identifiers. *)
+
+val min_known_excluding : t -> suspects:Bitset.t -> int
+(** The known node with the smallest label whose bit is not set in
+    [suspects], falling back to the owner when everything else is
+    suspected. O(cardinal) — used only on the failure-handling path.
+    @raise Invalid_argument if [suspects] has the wrong capacity. *)
+
+val elements_in_learn_order : t -> int array

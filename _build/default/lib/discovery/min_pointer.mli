@@ -1,0 +1,24 @@
+(** Deterministic min-pointer convergecast, in the style of
+    Kutten–Peleg–Vishkin ("Deterministic resource discovery in distributed
+    networks", SPAA 2001).
+
+    Every node forwards its complete knowledge to the known node with the
+    smallest label (its current leader candidate) and answers each message
+    it received in the previous round with its own knowledge. A node that
+    *is* the minimum of its own knowledge (a root) instead broadcasts its
+    knowledge to every node it knows: this merges weakly-connected "min
+    islands" whose cross edges point the wrong way, and performs the final
+    dissemination once the global minimum has aggregated the full view.
+    Knowledge funnels down chains of strictly decreasing local minima into
+    the global minimum — O(log n)-style rounds on shallow inputs, fully
+    deterministic (no node ever consults its random stream).
+
+    Crucially, and unlike {!Hm_gossip}, the comparison key is the {e raw}
+    machine identifier: a deterministic algorithm cannot assume
+    identifiers land randomly in the topology, so structured inputs where
+    identifiers correlate with position (sorted paths, rings) produce long
+    decreasing chains and logarithmic-or-worse behaviour. The gap between
+    this baseline and the randomly-ranked [hm] isolates the value of rank
+    randomisation. *)
+
+val algorithm : Algorithm.t

@@ -1,0 +1,9 @@
+(** Name-Dropper (Harchol-Balter, Leighton, Lewin 1999, §3).
+
+    Every round, each node pushes its complete knowledge (which includes
+    its own identifier — hence the name) to one uniformly random node it
+    currently knows. The state of the art before the deterministic
+    O(log n) algorithms and the sub-logarithmic Haeupler–Malkhi gossip:
+    completes in O(log² n) rounds w.h.p. with O(n log² n) messages. *)
+
+val algorithm : Algorithm.t

@@ -1,0 +1,14 @@
+type mode = Push | Pull | Push_pull
+
+type partner = Uniform_known | Initial_neighbor
+
+type t = { mode : mode; fanout : int; delta : bool; partner : partner }
+
+let default = { mode = Push_pull; fanout = 1; delta = false; partner = Uniform_known }
+
+let validate t = if t.fanout < 1 then Error "fanout must be >= 1" else Ok t
+
+let describe t =
+  let mode = match t.mode with Push -> "push" | Pull -> "pull" | Push_pull -> "push_pull" in
+  let partner = match t.partner with Uniform_known -> "" | Initial_neighbor -> "/nbr" in
+  Printf.sprintf "%s/f%d%s%s" mode t.fanout (if t.delta then "/delta" else "") partner

@@ -1,0 +1,39 @@
+(** Tunable parameters of the Haeupler–Malkhi gossip algorithm.
+
+    These are the design-space axes the ablation experiment (T7) sweeps;
+    the defaults are the configuration whose behaviour matches the
+    paper's claims. *)
+
+type mode =
+  | Push  (** send knowledge to random known nodes, expect nothing back *)
+  | Pull  (** probe random known nodes, they reply with their knowledge *)
+  | Push_pull  (** exchange: push and receive a reply (the default) *)
+
+type partner =
+  | Uniform_known
+      (** partners drawn uniformly from the current knowledge set — the
+          direct-addressing ingredient that makes knowledge sets square *)
+  | Initial_neighbor
+      (** partners drawn from the initial neighbor set only — degrades the
+          algorithm to topology-bound mixing (for the ablation) *)
+
+type t = {
+  mode : mode;
+  fanout : int;  (** partners contacted per round (≥ 1) *)
+  delta : bool;
+      (** when true, pushes carry only identifiers learned since the
+          node's previous push, rather than full snapshots; replies to
+          probes always carry full knowledge, preserving correctness *)
+  partner : partner;
+}
+
+val default : t
+(** [{ mode = Push_pull; fanout = 1; delta = false;
+       partner = Uniform_known }] *)
+
+val validate : t -> (t, string) result
+(** Check [fanout ≥ 1]. *)
+
+val describe : t -> string
+(** Short tag such as ["push_pull/f1"] or ["push/f2/delta"] used in
+    experiment tables. *)

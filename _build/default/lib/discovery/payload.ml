@@ -1,0 +1,20 @@
+open Repro_util
+
+type data = Bits of Bitset.t | Ids of int array
+
+type t = Share of data | Exchange of data | Reply of data | Probe | Halt
+
+let data_size = function Bits b -> Bitset.cardinal b | Ids a -> Array.length a
+
+let measure = function Share d | Exchange d | Reply d -> data_size d | Probe | Halt -> 1
+
+let merge_data knowledge = function
+  | Bits b -> Knowledge.merge_bits knowledge b
+  | Ids a -> Knowledge.merge_ids knowledge a
+
+let pp ppf = function
+  | Share d -> Format.fprintf ppf "share(%d)" (data_size d)
+  | Exchange d -> Format.fprintf ppf "exchange(%d)" (data_size d)
+  | Reply d -> Format.fprintf ppf "reply(%d)" (data_size d)
+  | Probe -> Format.fprintf ppf "probe"
+  | Halt -> Format.fprintf ppf "halt"

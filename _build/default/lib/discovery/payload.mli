@@ -1,0 +1,43 @@
+(** Message payloads shared by every discovery algorithm.
+
+    A message either carries knowledge (as a bitset snapshot or an
+    explicit identifier list) or is a content-free pull request. The
+    [Exchange] / [Share] distinction encodes whether the receiver owes a
+    reply — the only protocol-level metadata the algorithms need. *)
+
+open Repro_util
+
+type data =
+  | Bits of Bitset.t
+      (** Full-knowledge snapshot. Payload bitsets are immutable by
+          convention and may be shared across fan-out. *)
+  | Ids of int array  (** Explicit identifier list (deltas, small sets). *)
+
+type t =
+  | Share of data  (** One-way knowledge transfer. *)
+  | Exchange of data  (** Knowledge transfer expecting a reply. *)
+  | Reply of data
+      (** The answer to an [Exchange] or [Probe]. Carries knowledge like
+          [Share], but additionally acknowledges receipt of the
+          triggering message — loss-tolerant protocols key their
+          retransmission windows off it. *)
+  | Probe  (** Pull request: "send me what you know". *)
+  | Halt
+      (** Termination announcement: the sender has locally decided that
+          discovery is finished and will stop transmitting; receivers
+          should quiesce too (see {!Hm_gossip} on detection). *)
+
+val data_size : data -> int
+(** Number of identifiers carried. *)
+
+val measure : t -> int
+(** Pointer complexity of a message. Every message implicitly carries its
+    sender's address, so [Probe] costs 1; data messages cost their
+    identifier count (the sender is always an element of its own
+    knowledge). *)
+
+val merge_data : Knowledge.t -> data -> int
+(** Merge carried identifiers into a knowledge set; returns the number of
+    identifiers learned. *)
+
+val pp : Format.formatter -> t -> unit

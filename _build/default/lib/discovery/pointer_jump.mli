@@ -1,0 +1,11 @@
+(** Random Pointer Jump (Harchol-Balter, Leighton, Lewin 1999, §2).
+
+    Every round, each node probes one uniformly random node it knows; the
+    probed node replies (in the next round) with its complete knowledge
+    but does not incorporate the prober — HLL99's update rule
+    Γ(v) ← Γ(v) ∪ Γ(u) is one-directional. Pull-only transfer makes
+    progress painfully slow on sparse directed inputs: on a directed
+    cycle knowledge grows by O(1) identifiers per round, the Θ(n)-round
+    degenerate example from HLL99 (reproduced in experiment T4). *)
+
+val algorithm : Algorithm.t

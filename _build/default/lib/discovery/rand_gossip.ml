@@ -1,0 +1,80 @@
+open Repro_util
+
+type state = {
+  knowledge : Knowledge.t;
+  pending_replies : Intvec.t;  (* exchange/probe senders owed a reply *)
+  mutable pushed_upto : int;  (* high-water mark for delta pushes *)
+}
+
+let partners (ctx : Algorithm.ctx) st =
+  match ctx.params.partner with
+  | Params.Uniform_known -> Knowledge.random_known_among st.knowledge ctx.rng ~k:ctx.params.fanout
+  | Params.Initial_neighbor ->
+    if Array.length ctx.neighbors = 0 then [||]
+    else
+      Array.init (min ctx.params.fanout (Array.length ctx.neighbors)) (fun _ ->
+          Rng.pick ctx.rng ctx.neighbors)
+
+let make_with params (ctx : Algorithm.ctx) =
+  let ctx = { ctx with Algorithm.params = params } in
+  let knowledge = Algorithm.initial_knowledge ctx in
+  let st = { knowledge; pending_replies = Intvec.create (); pushed_upto = 0 } in
+  let push_data () =
+    if params.Params.delta then begin
+      let fresh = Knowledge.since st.knowledge ~mark:st.pushed_upto in
+      st.pushed_upto <- Knowledge.mark st.knowledge;
+      Payload.Ids fresh
+    end
+    else Payload.Bits (Knowledge.snapshot st.knowledge)
+  in
+  let round ~round:_ ~send =
+    (* Replies first: full knowledge, one shared snapshot. Replies do
+       not themselves trigger replies. *)
+    if not (Intvec.is_empty st.pending_replies) then begin
+      let snap = Payload.Bits (Knowledge.snapshot st.knowledge) in
+      Intvec.iter (fun dst -> send ~dst (Payload.Reply snap)) st.pending_replies;
+      Intvec.clear st.pending_replies
+    end;
+    let targets = partners ctx st in
+    if Array.length targets > 0 then begin
+      match params.Params.mode with
+      | Params.Push ->
+        let data = push_data () in
+        Array.iter (fun dst -> send ~dst (Payload.Share data)) targets
+      | Params.Pull -> Array.iter (fun dst -> send ~dst Payload.Probe) targets
+      | Params.Push_pull ->
+        let data = push_data () in
+        Array.iter (fun dst -> send ~dst (Payload.Exchange data)) targets
+    end
+  in
+  let receive ~src payload =
+    match (payload : Payload.t) with
+    | Share d | Reply d -> ignore (Payload.merge_data st.knowledge d)
+    | Exchange d ->
+      ignore (Payload.merge_data st.knowledge d);
+      ignore (Knowledge.add st.knowledge src);
+      Intvec.push st.pending_replies src
+    | Probe ->
+      ignore (Knowledge.add st.knowledge src);
+      Intvec.push st.pending_replies src
+    | Halt -> ()
+  in
+  { Algorithm.knowledge; round; receive; is_quiescent = Algorithm.never_quiescent }
+
+let with_params params =
+  match Params.validate params with
+  | Error msg -> invalid_arg ("Rand_gossip.with_params: " ^ msg)
+  | Ok params ->
+    {
+      Algorithm.name = Printf.sprintf "rand:%s" (Params.describe params);
+      description = "flat direct-addressing gossip (ablation variant)";
+      make = make_with params;
+    }
+
+let algorithm =
+  {
+    Algorithm.name = "rand_gossip";
+    description =
+      "flat push-pull gossip with direct addressing (log-n comparison point)";
+    make = make_with Params.default;
+  }

@@ -1,0 +1,22 @@
+(** Flat random gossip with direct addressing.
+
+    Each round, every node draws [fanout] partners uniformly at random
+    from its *current knowledge set* and pushes/pulls/exchanges knowledge
+    with them. This is the natural "use what you've learned" upgrade of
+    Name-Dropper and an important comparison point for the paper's
+    algorithm — but it is provably {e not} sub-logarithmic: with O(1)
+    partners per round a knowledge set can at most quadruple per round
+    (own set ∪ one pushed set ∪ one pulled set), forcing Ω(log n) rounds.
+    The experiments show exactly that shape. Sub-logarithmic time needs
+    the growing-fan-out cluster-head structure of {!Hm_gossip}.
+
+    The {!Params.t} knobs (mode, fanout, delta-encoding, partner choice)
+    are the T7 ablation axes. *)
+
+val algorithm : Algorithm.t
+(** The {!Params.default} configuration (push–pull, fanout 1, full
+    snapshots, uniform partners). *)
+
+val with_params : Params.t -> Algorithm.t
+(** Ablation variant named ["rand:" ^ Params.describe params].
+    @raise Invalid_argument if the parameters fail {!Params.validate}. *)

@@ -1,0 +1,72 @@
+let all =
+  [
+    Flooding.algorithm;
+    Swamping.algorithm;
+    Pointer_jump.algorithm;
+    Name_dropper.algorithm;
+    Min_pointer.algorithm;
+    Rand_gossip.algorithm;
+    Hm_gossip.algorithm;
+  ]
+
+let baselines = List.filter (fun a -> a.Algorithm.name <> "hm") all
+
+let parse_rand_spec spec =
+  (* spec grammar: MODE "/f" INT ["/delta"] ["/nbr"], as produced by
+     Params.describe. *)
+  let parts = String.split_on_char '/' spec in
+  let init = { Params.default with Params.delta = false; partner = Params.Uniform_known } in
+  let step acc part =
+    match acc with
+    | Error _ -> acc
+    | Ok p -> (
+      match part with
+      | "push" -> Ok { p with Params.mode = Params.Push }
+      | "pull" -> Ok { p with Params.mode = Params.Pull }
+      | "push_pull" -> Ok { p with Params.mode = Params.Push_pull }
+      | "delta" -> Ok { p with Params.delta = true }
+      | "nbr" -> Ok { p with Params.partner = Params.Initial_neighbor }
+      | _ when String.length part > 1 && part.[0] = 'f' -> (
+        match int_of_string_opt (String.sub part 1 (String.length part - 1)) with
+        | Some f when f >= 1 -> Ok { p with Params.fanout = f }
+        | _ -> Error (Printf.sprintf "bad fanout %S" part))
+      | _ -> Error (Printf.sprintf "unknown rand_gossip parameter %S" part))
+  in
+  List.fold_left step (Ok init) parts
+
+let parse_hm_spec spec =
+  (* spec grammar: ("cap:" INT | "nobroadcast") ["/full"] | "full" *)
+  match String.split_on_char '/' spec with
+  | [ "full" ] -> Ok (Hm_gossip.with_variant ~upward:Hm_gossip.Full ())
+  | [ head ] | [ head; "full" ] as parts -> (
+    let upward = if List.length parts = 2 then Hm_gossip.Full else Hm_gossip.Delta in
+    match String.split_on_char ':' head with
+    | [ "nobroadcast" ] -> Ok (Hm_gossip.with_variant ~broadcast:Hm_gossip.Off ~upward ())
+    | [ "cap"; k ] -> (
+      match int_of_string_opt k with
+      | Some k when k >= 1 -> Ok (Hm_gossip.with_variant ~broadcast:(Hm_gossip.Cap k) ~upward ())
+      | _ -> Error (Printf.sprintf "bad hm cap %S" k))
+    | _ -> Error (Printf.sprintf "unknown hm variant %S" spec))
+  | _ -> Error (Printf.sprintf "unknown hm variant %S" spec)
+
+let prefixed ~prefix name =
+  let pl = String.length prefix in
+  if String.length name > pl && String.sub name 0 pl = prefix then
+    Some (String.sub name pl (String.length name - pl))
+  else None
+
+let find name =
+  match List.find_opt (fun a -> a.Algorithm.name = name) all with
+  | Some a -> Ok a
+  | None -> (
+    match prefixed ~prefix:"rand:" name with
+    | Some spec -> Result.map Rand_gossip.with_params (parse_rand_spec spec)
+    | None -> (
+      match prefixed ~prefix:"hm:" name with
+      | Some spec -> parse_hm_spec spec
+      | None ->
+        Error
+          (Printf.sprintf "unknown algorithm %S (known: %s)" name
+             (String.concat ", " (List.map (fun a -> a.Algorithm.name) all)))))
+
+let names () = List.map (fun a -> a.Algorithm.name) all

@@ -1,0 +1,18 @@
+(** Central catalogue of the implemented discovery algorithms. *)
+
+val all : Algorithm.t list
+(** The seven primary algorithms, baseline-to-contribution order:
+    flooding, swamping, pointer_jump, name_dropper, min_pointer,
+    rand_gossip, hm. *)
+
+val baselines : Algorithm.t list
+(** [all] without [hm]. *)
+
+val find : string -> (Algorithm.t, string) result
+(** Look up by [name]. Also resolves ablation specs:
+    - ["rand:push/f2/delta"], ["rand:pull/f1/nbr"] … — flat-gossip
+      variants via {!Rand_gossip.with_params};
+    - ["hm:cap:4"], ["hm:nobroadcast"], ["hm:full"], ["hm:cap:4/full"] —
+      {!Hm_gossip.with_variant} ablations. *)
+
+val names : unit -> string list

@@ -1,0 +1,68 @@
+(** End-to-end execution of a discovery algorithm on a topology.
+
+    Wires an {!Algorithm.t} into the synchronous engine, watches for
+    completion, and collects the cost measures the experiments report. A
+    run is fully determined by [(algorithm, topology, seed, fault
+    model)]. *)
+
+open Repro_graph
+open Repro_engine
+
+(** When is an execution considered finished? *)
+type completion =
+  | Strong
+      (** every alive node knows all [n] nodes — the paper's "complete
+          resource discovery" *)
+  | Survivors_strong
+      (** every alive node knows at least every other alive node; the
+          right predicate under crash faults, where dead nodes'
+          identifiers may legitimately never spread *)
+  | Leader
+      (** weak discovery: some node knows everyone, and every alive node
+          knows that node (the leader-election form of the problem) *)
+  | Quiescent
+      (** every alive node has locally decided it is finished
+          ({!Algorithm.instance.is_quiescent}) — only meaningful for
+          algorithms with termination detection; the run is judged by
+          the nodes themselves rather than by the omniscient observer *)
+
+type result = {
+  algorithm : string;
+  n : int;
+  seed : int;
+  completed : bool;
+  rounds : int;
+  messages : int;  (** total messages sent (connection complexity) *)
+  pointers : int;  (** total identifiers transferred *)
+  bytes : int;
+      (** wire bytes under {!Wire.Adaptive} encoding (the realistic
+          serialisation; per-encoding comparisons are experiment T8) *)
+  delivered : int;
+  dropped : int;
+  max_round_messages : int;  (** peak per-round message budget *)
+  mean_knowledge_series : float array;
+      (** mean knowledge-set size after each round; non-empty only when
+          [track_growth] was set *)
+  metrics : Metrics.t;
+  alive : bool array;
+}
+
+val exec :
+  ?seed:int ->
+  ?fault:Fault.t ->
+  ?completion:completion ->
+  ?max_rounds:int ->
+  ?track_growth:bool ->
+  ?encoding:Wire.encoding ->
+  Algorithm.t ->
+  Topology.t ->
+  result
+(** [exec algo topo] simulates until completion or the round budget runs
+    out. Under a fault model with late joins, completion is additionally
+    gated on every scheduled join having happened (the predicates
+    quantify over currently-active nodes). [max_rounds] defaults to [4·n + 64] (generous for every
+    terminating algorithm in the suite; flooding on a path needs ≈ n).
+    [track_growth] (default false) records the mean knowledge size per
+    round at O(n) cost per round. [encoding] (default {!Wire.Adaptive})
+    selects the wire codec used for byte accounting — it does not change
+    the execution, only the [bytes] measure. *)

@@ -1,0 +1,41 @@
+(** Asynchronous execution of a discovery algorithm.
+
+    The same algorithms that run in lockstep under {!Run} execute here on
+    drifting per-node timers with variable message latency (see
+    {!Repro_engine.Async_sim}). The headline question this answers:
+    do the synchronous round counts survive asynchrony, or do they hide a
+    dependence on lockstep? (Experiment T10: they survive — completion
+    time in time units tracks the synchronous round counts closely even
+    under heavy latency spread.) *)
+
+open Repro_graph
+open Repro_engine
+
+type result = {
+  algorithm : string;
+  n : int;
+  seed : int;
+  completed : bool;
+  time : float;  (** simulated time to completion (node period ≈ 1) *)
+  ticks : int;  (** total node activations *)
+  messages : int;
+  pointers : int;
+  dropped : int;
+  alive : bool array;
+}
+
+val exec :
+  ?seed:int ->
+  ?fault:Fault.t ->
+  ?completion:Run.completion ->
+  ?horizon:float ->
+  ?tick_jitter:float ->
+  ?latency:float * float ->
+  Algorithm.t ->
+  Topology.t ->
+  result
+(** Defaults: horizon [4·n + 64.] time units, jitter 0.1,
+    latency ∈ [0.1, 0.9] (so a message takes about half a local round on
+    average). Determinism and the completion predicates are as in
+    {!Run.exec}; under late joins, completion is gated on the last join
+    time. *)

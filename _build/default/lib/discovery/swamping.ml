@@ -1,0 +1,27 @@
+type state = { knowledge : Knowledge.t }
+
+let make (ctx : Algorithm.ctx) =
+  let knowledge = Algorithm.initial_knowledge ctx in
+  let st = { knowledge } in
+  let self = ctx.node in
+  let round ~round:_ ~send =
+    (* One snapshot per round, shared across the whole fan-out: payload
+       bitsets are immutable by convention. *)
+    let snap = Payload.Bits (Knowledge.snapshot st.knowledge) in
+    Array.iter
+      (fun dst -> if dst <> self then send ~dst (Payload.Share snap))
+      (Knowledge.elements_in_learn_order st.knowledge)
+  in
+  let receive ~src:_ payload =
+    match (payload : Payload.t) with
+    | Share d | Exchange d | Reply d -> ignore (Payload.merge_data st.knowledge d)
+    | Probe | Halt -> ()
+  in
+  { Algorithm.knowledge; round; receive; is_quiescent = Algorithm.never_quiescent }
+
+let algorithm =
+  {
+    Algorithm.name = "swamping";
+    description = "HLL99 swamping: full knowledge to all current neighbors (graph squaring)";
+    make;
+  }

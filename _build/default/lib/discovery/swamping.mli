@@ -1,0 +1,9 @@
+(** Swamping (Harchol-Balter, Leighton, Lewin 1999, §2).
+
+    Every round, each node sends its complete knowledge to *every* node
+    it currently knows. The knowledge graph squares each round, so
+    discovery completes in O(log n) rounds on any weakly-connected input
+    — at the cost of Θ(n²) total messages and Θ(n³) pointers, which is
+    why the experiment harness only runs swamping at modest n. *)
+
+val algorithm : Algorithm.t

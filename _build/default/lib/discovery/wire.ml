@@ -1,0 +1,238 @@
+open Repro_util
+
+type encoding = Raw32 | Varint_delta | Bitmap | Adaptive
+
+let encoding_name = function
+  | Raw32 -> "raw32"
+  | Varint_delta -> "varint"
+  | Bitmap -> "bitmap"
+  | Adaptive -> "adaptive"
+
+let all_encodings = [ Raw32; Varint_delta; Bitmap; Adaptive ]
+
+(* --- primitive writers/readers --- *)
+
+let varint_size v =
+  let rec go v acc = if v < 0x80 then acc else go (v lsr 7) (acc + 1) in
+  go (max v 0) 1
+
+let write_varint buf v =
+  let v = ref v in
+  while !v >= 0x80 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!v land 0x7F)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !v)
+
+let read_varint bytes pos =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !pos >= Bytes.length bytes then invalid_arg "Wire.decode: truncated varint";
+    let b = Char.code (Bytes.get bytes !pos) in
+    incr pos;
+    v := !v lor ((b land 0x7F) lsl !shift);
+    shift := !shift + 7;
+    if b < 0x80 then continue := false
+    else if !shift > 62 then invalid_arg "Wire.decode: varint overflow"
+  done;
+  !v
+
+(* canonical identifier list of a data payload: sorted, deduplicated *)
+let ids_of_data = function
+  | Payload.Bits b -> Bitset.elements b
+  | Payload.Ids a -> List.sort_uniq compare (Array.to_list a)
+
+let ids_of_payload = function
+  | Payload.Share d | Payload.Exchange d | Payload.Reply d -> ids_of_data d
+  | Payload.Probe | Payload.Halt -> []
+
+let check_range ~universe ids =
+  List.iter
+    (fun v ->
+      if v < 0 || v >= universe then invalid_arg "Wire.encode: identifier out of range")
+    ids
+
+(* --- id-set codecs (byte bodies, excluding the message kind byte) --- *)
+
+let raw32_body ids =
+  let buf = Buffer.create (4 * List.length ids) in
+  write_varint buf (List.length ids);
+  List.iter
+    (fun v ->
+      Buffer.add_char buf (Char.chr (v land 0xFF));
+      Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+      Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+      Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF)))
+    ids;
+  buf
+
+let raw32_size ids = varint_size (List.length ids) + (4 * List.length ids)
+
+let varint_body ids =
+  let buf = Buffer.create 64 in
+  write_varint buf (List.length ids);
+  let prev = ref (-1) in
+  List.iter
+    (fun v ->
+      write_varint buf (v - !prev - 1);
+      prev := v)
+    ids;
+  buf
+
+let varint_size_of ids =
+  let total = ref (varint_size (List.length ids)) in
+  let prev = ref (-1) in
+  List.iter
+    (fun v ->
+      total := !total + varint_size (v - !prev - 1);
+      prev := v)
+    ids;
+  !total
+
+let bitmap_body ~universe ids =
+  let width = (universe + 7) / 8 in
+  let body = Bytes.make width '\000' in
+  List.iter
+    (fun v ->
+      let byte = v lsr 3 and bit = v land 7 in
+      Bytes.set body byte (Char.chr (Char.code (Bytes.get body byte) lor (1 lsl bit))))
+    ids;
+  let buf = Buffer.create (width + 1) in
+  Buffer.add_bytes buf body;
+  buf
+
+let bitmap_size ~universe = (universe + 7) / 8
+
+(* --- message framing ---
+
+   byte 0: message kind (0 Share, 1 Exchange, 2 Reply, 3 Probe, 4 Halt)
+   byte 1 (data payloads only): body codec (0 raw32, 1 varint, 2 bitmap)
+   rest: codec body. [Adaptive] picks the smaller of varint/bitmap. *)
+
+let kind_tag = function
+  | Payload.Share _ -> 0
+  | Payload.Exchange _ -> 1
+  | Payload.Reply _ -> 2
+  | Payload.Probe -> 3
+  | Payload.Halt -> 4
+
+let body_choice encoding ~universe ids =
+  match encoding with
+  | Raw32 -> `Raw
+  | Varint_delta -> `Varint
+  | Bitmap -> `Bitmap
+  | Adaptive -> if varint_size_of ids <= bitmap_size ~universe then `Varint else `Bitmap
+
+let encode encoding ~universe payload =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf (Char.chr (kind_tag payload));
+  (match payload with
+  | Payload.Probe | Payload.Halt -> ()
+  | Payload.Share d | Payload.Exchange d | Payload.Reply d ->
+    let ids = ids_of_data d in
+    check_range ~universe ids;
+    (match body_choice encoding ~universe ids with
+    | `Raw ->
+      Buffer.add_char buf '\000';
+      Buffer.add_buffer buf (raw32_body ids)
+    | `Varint ->
+      Buffer.add_char buf '\001';
+      Buffer.add_buffer buf (varint_body ids)
+    | `Bitmap ->
+      Buffer.add_char buf '\002';
+      Buffer.add_buffer buf (bitmap_body ~universe ids)));
+  Buffer.to_bytes buf
+
+(* Size-only fast paths: computing the exact encoded size must not cost
+   more than the encoding decision itself. For [Bits] payloads the
+   identifier list is never materialised — the varint body size is
+   accumulated by iterating the bitset, and when the cardinality already
+   reaches the bitmap width the varint body (>= 1 byte per identifier
+   plus the count prefix) provably exceeds the bitmap, so [Adaptive] can
+   choose the bitmap in O(1). *)
+let varint_size_of_bits b =
+  let total = ref (varint_size (Bitset.cardinal b)) in
+  let prev = ref (-1) in
+  Bitset.iter
+    (fun v ->
+      total := !total + varint_size (v - !prev - 1);
+      prev := v)
+    b;
+  !total
+
+let encoded_size encoding ~universe payload =
+  match payload with
+  | Payload.Probe | Payload.Halt -> 1
+  | Payload.Share d | Payload.Exchange d | Payload.Reply d ->
+    let body =
+      match (encoding, d) with
+      | Raw32, Payload.Bits b -> varint_size (Bitset.cardinal b) + (4 * Bitset.cardinal b)
+      | Varint_delta, Payload.Bits b -> varint_size_of_bits b
+      | Bitmap, _ -> bitmap_size ~universe
+      | Adaptive, Payload.Bits b ->
+        if Bitset.cardinal b >= bitmap_size ~universe then bitmap_size ~universe
+        else min (varint_size_of_bits b) (bitmap_size ~universe)
+      | (Raw32 | Varint_delta | Adaptive), Payload.Ids _ ->
+        let ids = ids_of_data d in
+        (match body_choice encoding ~universe ids with
+        | `Raw -> raw32_size ids
+        | `Varint -> varint_size_of ids
+        | `Bitmap -> bitmap_size ~universe)
+    in
+    2 + body
+
+let decode _encoding ~universe bytes =
+  if Bytes.length bytes < 1 then invalid_arg "Wire.decode: empty message";
+  let kind = Char.code (Bytes.get bytes 0) in
+  if kind = 3 || kind = 4 then begin
+    if Bytes.length bytes <> 1 then invalid_arg "Wire.decode: oversized probe/halt";
+    if kind = 3 then Payload.Probe else Payload.Halt
+  end
+  else begin
+    if Bytes.length bytes < 2 then invalid_arg "Wire.decode: truncated header";
+    let codec = Char.code (Bytes.get bytes 1) in
+    let pos = ref 2 in
+    let data =
+      match codec with
+      | 0 ->
+        let count = read_varint bytes pos in
+        if Bytes.length bytes - !pos <> 4 * count then
+          invalid_arg "Wire.decode: raw32 length mismatch";
+        let out = Array.make count 0 in
+        for i = 0 to count - 1 do
+          let b k = Char.code (Bytes.get bytes (!pos + k)) in
+          out.(i) <- b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24);
+          pos := !pos + 4
+        done;
+        Payload.Ids out
+      | 1 ->
+        let count = read_varint bytes pos in
+        let out = Array.make count 0 in
+        let prev = ref (-1) in
+        for i = 0 to count - 1 do
+          let gap = read_varint bytes pos in
+          out.(i) <- !prev + 1 + gap;
+          prev := out.(i)
+        done;
+        if !pos <> Bytes.length bytes then invalid_arg "Wire.decode: trailing bytes";
+        Payload.Ids out
+      | 2 ->
+        let width = (universe + 7) / 8 in
+        if Bytes.length bytes - 2 <> width then invalid_arg "Wire.decode: bitmap width mismatch";
+        let bits = Bitset.create universe in
+        for v = 0 to universe - 1 do
+          let byte = Char.code (Bytes.get bytes (2 + (v lsr 3))) in
+          if byte land (1 lsl (v land 7)) <> 0 then ignore (Bitset.add bits v)
+        done;
+        Payload.Bits bits
+      | _ -> invalid_arg "Wire.decode: unknown body codec"
+    in
+    (match data with
+    | Payload.Ids out -> Array.iter (fun v -> if v >= universe then invalid_arg "Wire.decode: identifier out of range") out
+    | Payload.Bits _ -> ());
+    match kind with
+    | 0 -> Payload.Share data
+    | 1 -> Payload.Exchange data
+    | 2 -> Payload.Reply data
+    | _ -> invalid_arg "Wire.decode: unknown message kind"
+  end

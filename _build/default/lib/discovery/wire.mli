@@ -1,0 +1,44 @@
+(** Wire encoding of discovery messages.
+
+    Pointer complexity (identifiers transferred) is the literature's
+    abstract measure; what a deployment pays is bytes. This module
+    provides real, invertible codecs for knowledge payloads so the
+    harness can report wire bytes (experiment T8) and so the choice of
+    identifier-set representation can be ablated:
+
+    - {!Raw32}: 4 bytes per identifier — the naive wire format;
+    - {!Varint_delta}: identifiers sorted, gap-encoded, LEB128 varints —
+      compact for both sparse and dense sets (dense sets have small
+      gaps);
+    - {!Bitmap}: ⌈universe/8⌉ bytes regardless of cardinality — cheap
+      for near-full snapshots, wasteful for small deltas;
+    - {!Adaptive}: whichever of varint/bitmap is smaller for the payload
+      at hand, at the cost of a one-byte discriminator.
+
+    Every message additionally carries one kind byte ([Share] /
+    [Exchange] / [Reply] / [Probe]) and, for identifier lists, a varint
+    length prefix. *)
+
+type encoding = Raw32 | Varint_delta | Bitmap | Adaptive
+
+val encoding_name : encoding -> string
+val all_encodings : encoding list
+
+val encode : encoding -> universe:int -> Payload.t -> bytes
+(** Serialise a message. [universe] is the id space size [n] (needed for
+    bitmap width); identifiers must lie in [0, universe).
+    @raise Invalid_argument on out-of-range identifiers. *)
+
+val decode : encoding -> universe:int -> bytes -> Payload.t
+(** Inverse of {!encode} (up to the set-of-identifiers semantics of the
+    payload: identifier lists come back sorted and deduplicated, and a
+    data payload may come back as [Bits] or [Ids] depending on the
+    codec). @raise Invalid_argument on malformed input. *)
+
+val encoded_size : encoding -> universe:int -> Payload.t -> int
+(** [encoded_size e ~universe p] = [Bytes.length (encode e ~universe p)],
+    computed without materialising the buffer. *)
+
+val ids_of_payload : Payload.t -> int list
+(** The sorted identifier set a payload carries (empty for [Probe]) —
+    the equality used by the codec round-trip laws. *)

@@ -1,0 +1,1 @@
+lib/engine/async_sim.mli: Fault Metrics Sim

@@ -1,0 +1,1 @@
+lib/engine/fault.ml: Format Int List Map Option

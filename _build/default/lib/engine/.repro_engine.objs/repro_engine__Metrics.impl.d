@@ -1,0 +1,1 @@
+lib/engine/metrics.ml: Format Intvec List Repro_util

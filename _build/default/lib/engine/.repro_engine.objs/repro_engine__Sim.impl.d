@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Array Fault List Metrics Repro_util Rng

@@ -1,0 +1,179 @@
+open Repro_util
+
+type config = {
+  horizon : float;
+  tick_jitter : float;
+  latency_min : float;
+  latency_max : float;
+  fault : Fault.t;
+  engine_seed : int;
+}
+
+let default_config =
+  {
+    horizon = 10_000.0;
+    tick_jitter = 0.1;
+    latency_min = 0.1;
+    latency_max = 0.9;
+    fault = Fault.none;
+    engine_seed = 0;
+  }
+
+type outcome = {
+  completed : bool;
+  time : float;
+  ticks : int;
+  metrics : Metrics.t;
+  alive : bool array;
+}
+
+(* A small binary min-heap of timestamped events. The sequence number
+   breaks timestamp ties deterministically (insertion order). *)
+module Heap = struct
+  type 'a t = {
+    mutable data : (float * int * 'a) array;
+    mutable len : int;
+    mutable seq : int;
+    dummy : 'a;
+  }
+
+  let create dummy = { data = Array.make 64 (0.0, 0, dummy); len = 0; seq = 0; dummy }
+
+  let lt (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
+
+  let push h time event =
+    if h.len = Array.length h.data then begin
+      let data = Array.make (2 * h.len) (0.0, 0, h.dummy) in
+      Array.blit h.data 0 data 0 h.len;
+      h.data <- data
+    end;
+    let entry = (time, h.seq, event) in
+    h.seq <- h.seq + 1;
+    h.data.(h.len) <- entry;
+    h.len <- h.len + 1;
+    (* sift up *)
+    let i = ref (h.len - 1) in
+    while
+      !i > 0
+      &&
+      let parent = (!i - 1) / 2 in
+      lt h.data.(!i) h.data.(parent)
+    do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.data.(!i) in
+      h.data.(!i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      i := parent
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let (time, _, event) = h.data.(0) in
+      h.len <- h.len - 1;
+      h.data.(0) <- h.data.(h.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && lt h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.len && lt h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some (time, event)
+    end
+end
+
+type 'msg event = Tick of int | Deliver of int * int * 'msg | Monitor
+
+let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
+  if n < 0 then invalid_arg "Async_sim.run: negative node count";
+  if config.horizon <= 0.0 then invalid_arg "Async_sim.run: horizon must be positive";
+  if config.tick_jitter < 0.0 || config.tick_jitter >= 1.0 then
+    invalid_arg "Async_sim.run: jitter must be in [0, 1)";
+  if config.latency_min < 0.0 || config.latency_max < config.latency_min then
+    invalid_arg "Async_sim.run: invalid latency interval";
+  let metrics = Metrics.create () in
+  Metrics.begin_round metrics;
+  let rng = Rng.substream ~seed:config.engine_seed ~index:0xa5f1 in
+  let loss = Fault.drop_probability config.fault in
+  let alive = Array.make n true in
+  let crash_time = Array.make n infinity in
+  List.iter
+    (fun (node, round) -> if node < n then crash_time.(node) <- float_of_int round)
+    (Fault.crashed_nodes config.fault);
+  let join_time = Array.make n 0.0 in
+  List.iter
+    (fun (node, round) -> if node < n then join_time.(node) <- float_of_int round)
+    (Fault.joining_nodes config.fault);
+  (* a node is effectively dead for its whole life if it crashes before
+     joining; alive.(v) tracks "has joined and not crashed" lazily via
+     event processing below *)
+  let period = Array.init n (fun _ -> 1.0 -. config.tick_jitter +. Rng.float rng (2.0 *. config.tick_jitter)) in
+  let tick_count = Array.make n 0 in
+  let is_alive v = v >= 0 && v < n && alive.(v) in
+  let heap = Heap.create (Monitor : 'msg event) in
+  let now = ref 0.0 in
+  let latency () =
+    config.latency_min +. Rng.float rng (config.latency_max -. config.latency_min)
+  in
+  for v = 0 to n - 1 do
+    if join_time.(v) > 0.0 then alive.(v) <- false;
+    (* first tick: a random phase within the first period after joining *)
+    Heap.push heap (join_time.(v) +. Rng.float rng period.(v)) (Tick v)
+  done;
+  Heap.push heap 1.0 Monitor;
+  let ticks = ref 0 in
+  let completed = ref (stop ~time:0.0 ~alive:is_alive) in
+  let send_from src ~dst payload =
+    if dst < 0 || dst >= n then invalid_arg "Async_sim.send: destination out of range";
+    Metrics.record_send metrics ~pointers:(measure payload) ~bytes:(measure_bytes payload);
+    if loss > 0.0 && Rng.bernoulli rng ~p:loss then Metrics.record_drop metrics
+    else Heap.push heap (!now +. latency ()) (Deliver (src, dst, payload))
+  in
+  let continue = ref true in
+  while !continue && not !completed do
+    match Heap.pop heap with
+    | None -> continue := false
+    | Some (time, event) ->
+      if time > config.horizon then continue := false
+      else begin
+        now := time;
+        (match event with
+        | Tick v ->
+          (* lazily apply crash/join status at activation time *)
+          if alive.(v) && !now >= crash_time.(v) then alive.(v) <- false;
+          if (not alive.(v)) && !now >= join_time.(v) && !now < crash_time.(v) then
+            alive.(v) <- true;
+          if alive.(v) then begin
+            incr ticks;
+            tick_count.(v) <- tick_count.(v) + 1;
+            handlers.Sim.round_begin ~node:v ~round:tick_count.(v)
+              ~send:(fun ~dst payload -> send_from v ~dst payload)
+          end;
+          if !now < crash_time.(v) then Heap.push heap (!now +. period.(v)) (Tick v)
+        | Deliver (src, dst, payload) ->
+          if alive.(dst) && !now >= crash_time.(dst) then alive.(dst) <- false;
+          if alive.(dst) then begin
+            Metrics.record_delivery metrics;
+            handlers.Sim.deliver ~node:dst ~src ~round:tick_count.(dst) payload
+          end
+          else Metrics.record_drop metrics
+        | Monitor ->
+          if stop ~time:!now ~alive:is_alive then completed := true
+          else Heap.push heap (!now +. 1.0) Monitor)
+      end
+  done;
+  (* final liveness snapshot *)
+  for v = 0 to n - 1 do
+    if alive.(v) && !now >= crash_time.(v) then alive.(v) <- false
+  done;
+  { completed = !completed; time = !now; ticks = !ticks; metrics; alive }

@@ -1,0 +1,55 @@
+(** Event-driven asynchronous execution.
+
+    The synchronous round model ({!Sim}) is the clean analysis setting;
+    real deployments have drifting clocks and variable message latency.
+    This engine runs the {e same} algorithm instances asynchronously:
+
+    - every node executes its per-round logic on a private periodic
+      timer whose period is drawn once from [1 ± tick_jitter] (so nodes'
+      "rounds" drift apart over time);
+    - every message is delivered after an independent latency drawn
+      uniformly from [[latency_min, latency_max]] (messages may overtake
+      each other);
+    - message loss and crash/join schedules come from the same
+      {!Fault.t}, with round numbers interpreted as simulated-time
+      instants.
+
+    Events at equal timestamps are ordered by creation sequence, so runs
+    are a pure function of the configuration and seed, exactly like the
+    synchronous engine. The completion predicate is polled once per
+    simulated time unit. *)
+
+type config = {
+  horizon : float;  (** give up after this much simulated time *)
+  tick_jitter : float;  (** node period ∈ [1−j, 1+j]; 0 = lockstep periods *)
+  latency_min : float;
+  latency_max : float;  (** message latency ∈ [min, max] *)
+  fault : Fault.t;
+  engine_seed : int;
+}
+
+val default_config : config
+(** horizon 10,000; jitter 0.1; latency ∈ [0.1, 0.9]; no faults; seed 0. *)
+
+type outcome = {
+  completed : bool;
+  time : float;  (** simulated completion (or give-up) time *)
+  ticks : int;  (** total node activations *)
+  metrics : Metrics.t;  (** totals only — per-round series are not meaningful here *)
+  alive : bool array;
+}
+
+val run :
+  n:int ->
+  config:config ->
+  handlers:'msg Sim.handlers ->
+  measure:('msg -> int) ->
+  ?measure_bytes:('msg -> int) ->
+  stop:(time:float -> alive:(int -> bool) -> bool) ->
+  unit ->
+  outcome
+(** [handlers.round_begin] is invoked on each node tick with [round]
+    equal to that node's own tick count (1-based) — algorithms written
+    against {!Sim} run unchanged.
+    @raise Invalid_argument on a negative [n], a non-positive [horizon],
+    a jitter outside [0, 1), or an invalid latency interval. *)

@@ -1,0 +1,39 @@
+module Imap = Map.Make (Int)
+
+type t = { loss : float; crashes : int Imap.t; joins : int Imap.t }
+
+let none = { loss = 0.0; crashes = Imap.empty; joins = Imap.empty }
+
+let drop_probability t = t.loss
+
+let with_loss t ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Fault.with_loss: probability out of range";
+  { t with loss = p }
+
+let with_crash t ~node ~round =
+  if round < 1 then invalid_arg "Fault.with_crash: rounds are 1-based";
+  if node < 0 then invalid_arg "Fault.with_crash: negative node";
+  { t with crashes = Imap.add node round t.crashes }
+
+let with_crashes t pairs =
+  List.fold_left (fun t (node, round) -> with_crash t ~node ~round) t pairs
+
+let crash_round t ~node = Imap.find_opt node t.crashes
+
+let crashed_nodes t = Imap.bindings t.crashes
+
+let with_join t ~node ~round =
+  if round < 1 then invalid_arg "Fault.with_join: rounds are 1-based";
+  if node < 0 then invalid_arg "Fault.with_join: negative node";
+  { t with joins = Imap.add node round t.joins }
+
+let with_joins t pairs =
+  List.fold_left (fun t (node, round) -> with_join t ~node ~round) t pairs
+
+let join_round t ~node = Option.value ~default:1 (Imap.find_opt node t.joins)
+
+let joining_nodes t = Imap.bindings t.joins
+
+let pp ppf t =
+  Format.fprintf ppf "fault(loss=%g, crashes=%d, joins=%d)" t.loss (Imap.cardinal t.crashes)
+    (Imap.cardinal t.joins)

@@ -1,0 +1,54 @@
+(** Fault models for the synchronous simulator.
+
+    Three orthogonal dynamics classes are supported:
+    - {b message loss}: every message is independently dropped with a
+      fixed probability (drawn from the engine's deterministic RNG);
+    - {b crash-stop failures}: a node scheduled to crash at round [r]
+      executes rounds [1 .. r-1] normally and is silent from round [r] on
+      (it neither sends nor receives; in-flight messages to it are lost);
+    - {b late joins} (churn): a node scheduled to join at round [r] is
+      inactive — sends nothing, receives nothing — before [r], and runs
+      normally from round [r] on. Messages addressed to an unjoined node
+      are dropped, exactly like messages to a crashed one. *)
+
+type t
+
+val none : t
+(** The fault-free model. *)
+
+val drop_probability : t -> float
+
+val with_loss : t -> p:float -> t
+(** Independent per-message drop probability.
+    @raise Invalid_argument unless [0 <= p <= 1]. *)
+
+val with_crash : t -> node:int -> round:int -> t
+(** Schedule [node] to crash at the start of [round] (1-based). Later
+    schedules for the same node overwrite earlier ones.
+    @raise Invalid_argument if [round < 1] or [node < 0]. *)
+
+val with_crashes : t -> (int * int) list -> t
+(** Fold of {!with_crash} over [(node, round)] pairs. *)
+
+val crash_round : t -> node:int -> int option
+(** The round at which [node] crashes, if any. *)
+
+val crashed_nodes : t -> (int * int) list
+(** All scheduled crashes as [(node, round)], sorted by node. *)
+
+val with_join : t -> node:int -> round:int -> t
+(** Schedule [node] to join (become active) at the start of [round]
+    (1-based; a join at round 1 is the default behaviour). Later
+    schedules for the same node overwrite earlier ones.
+    @raise Invalid_argument if [round < 1] or [node < 0]. *)
+
+val with_joins : t -> (int * int) list -> t
+(** Fold of {!with_join} over [(node, round)] pairs. *)
+
+val join_round : t -> node:int -> int
+(** The round at which [node] activates (1 when unscheduled). *)
+
+val joining_nodes : t -> (int * int) list
+(** All scheduled late joins as [(node, round)], sorted by node. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+open Repro_util
+
+type t = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable pointers : int;
+  mutable bytes : int;
+  sent_per_round : Intvec.t;
+  pointers_per_round : Intvec.t;
+  bytes_per_round : Intvec.t;
+}
+
+let create () =
+  {
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    pointers = 0;
+    bytes = 0;
+    sent_per_round = Intvec.create ();
+    pointers_per_round = Intvec.create ();
+    bytes_per_round = Intvec.create ();
+  }
+
+let begin_round t =
+  Intvec.push t.sent_per_round 0;
+  Intvec.push t.pointers_per_round 0;
+  Intvec.push t.bytes_per_round 0
+
+let bump vec delta =
+  let i = Intvec.length vec - 1 in
+  Intvec.set vec i (Intvec.get vec i + delta)
+
+let record_send t ~pointers ~bytes =
+  t.sent <- t.sent + 1;
+  t.pointers <- t.pointers + pointers;
+  t.bytes <- t.bytes + bytes;
+  bump t.sent_per_round 1;
+  bump t.pointers_per_round pointers;
+  bump t.bytes_per_round bytes
+
+let record_delivery t = t.delivered <- t.delivered + 1
+let record_drop t = t.dropped <- t.dropped + 1
+
+let rounds t = Intvec.length t.sent_per_round
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
+let pointers_sent t = t.pointers
+let bytes_sent t = t.bytes
+
+let sent_series t = Intvec.to_array t.sent_per_round
+let pointer_series t = Intvec.to_array t.pointers_per_round
+let byte_series t = Intvec.to_array t.bytes_per_round
+
+let max_messages_in_round t = Intvec.fold max 0 t.sent_per_round
+
+let pp ppf t =
+  Format.fprintf ppf "rounds=%d msgs=%d (delivered=%d dropped=%d) pointers=%d bytes=%d"
+    (rounds t) t.sent t.delivered t.dropped t.pointers t.bytes
+
+let to_csv_rows t =
+  List.init (rounds t) (fun i ->
+      [
+        string_of_int (i + 1);
+        string_of_int (Intvec.get t.sent_per_round i);
+        string_of_int (Intvec.get t.pointers_per_round i);
+        string_of_int (Intvec.get t.bytes_per_round i);
+      ])

@@ -1,0 +1,42 @@
+(** Cost accounting for simulation runs.
+
+    Tracks the three complexity measures of the resource-discovery
+    literature — rounds, messages ("connection complexity") and pointers
+    (identifiers transferred) — plus delivery/drop counters and full
+    per-round series for the dynamics figures. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Recording (used by the engine)} *)
+
+val begin_round : t -> unit
+val record_send : t -> pointers:int -> bytes:int -> unit
+val record_delivery : t -> unit
+val record_drop : t -> unit
+
+(** {2 Totals} *)
+
+val rounds : t -> int
+val messages_sent : t -> int
+val messages_delivered : t -> int
+val messages_dropped : t -> int
+val pointers_sent : t -> int
+val bytes_sent : t -> int
+(** Wire bytes under the encoding the engine was configured with (0 when
+    byte accounting is off). *)
+
+(** {2 Per-round series (index 0 = round 1)} *)
+
+val sent_series : t -> int array
+val pointer_series : t -> int array
+val byte_series : t -> int array
+
+val max_messages_in_round : t -> int
+(** 0 when no round has run. *)
+
+val pp : Format.formatter -> t -> unit
+val to_csv_rows : t -> string list list
+(** Rows of [round; sent; pointers; bytes] suitable for {!Csvio.write}
+    with header [\["round"; "messages"; "pointers"; "bytes"\]]. *)

@@ -1,0 +1,76 @@
+open Repro_util
+
+type 'msg handlers = {
+  round_begin : node:int -> round:int -> send:(dst:int -> 'msg -> unit) -> unit;
+  deliver : node:int -> src:int -> round:int -> 'msg -> unit;
+}
+
+type config = { max_rounds : int; fault : Fault.t; engine_seed : int }
+
+let default_config = { max_rounds = 10_000; fault = Fault.none; engine_seed = 0 }
+
+type outcome = { completed : bool; rounds : int; metrics : Metrics.t; alive : bool array }
+
+type 'msg envelope = { src : int; dst : int; payload : 'msg }
+
+let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
+    ?(on_round_end = fun ~round:_ -> ()) () =
+  if n < 0 then invalid_arg "Sim.run: negative node count";
+  if config.max_rounds < 0 then invalid_arg "Sim.run: negative round budget";
+  let alive = Array.make n true in
+  let metrics = Metrics.create () in
+  let loss_rng = Rng.substream ~seed:config.engine_seed ~index:0x10ad in
+  let loss = Fault.drop_probability config.fault in
+  let crash_at = Array.make n max_int in
+  List.iter
+    (fun (node, round) -> if node < n then crash_at.(node) <- round)
+    (Fault.crashed_nodes config.fault);
+  let join_at = Array.make n 1 in
+  List.iter
+    (fun (node, round) ->
+      if node < n then begin
+        join_at.(node) <- round;
+        if round > 1 then alive.(node) <- false
+      end)
+    (Fault.joining_nodes config.fault);
+  let is_alive v = v >= 0 && v < n && alive.(v) in
+  let outbox : 'msg envelope list ref = ref [] in
+  let completed = ref (stop ~round:0 ~alive:is_alive) in
+  let round = ref 0 in
+  while (not !completed) && !round < config.max_rounds do
+    incr round;
+    let r = !round in
+    Metrics.begin_round metrics;
+    (* join and crash-stop transitions happen at the start of the round;
+       a crash scheduled at or before a node's join round wins *)
+    for v = 0 to n - 1 do
+      if join_at.(v) = r && crash_at.(v) > r then alive.(v) <- true;
+      if crash_at.(v) = r then alive.(v) <- false
+    done;
+    (* send phase: all sends are computed from start-of-round state *)
+    outbox := [];
+    for v = 0 to n - 1 do
+      if alive.(v) then begin
+        let send ~dst payload =
+          if dst < 0 || dst >= n then invalid_arg "Sim.send: destination out of range";
+          Metrics.record_send metrics ~pointers:(measure payload)
+            ~bytes:(measure_bytes payload);
+          outbox := { src = v; dst; payload } :: !outbox
+        in
+        handlers.round_begin ~node:v ~round:r ~send
+      end
+    done;
+    (* delivery phase, in send order *)
+    List.iter
+      (fun { src; dst; payload } ->
+        if (not alive.(dst)) || (loss > 0.0 && Rng.bernoulli loss_rng ~p:loss) then
+          Metrics.record_drop metrics
+        else begin
+          Metrics.record_delivery metrics;
+          handlers.deliver ~node:dst ~src ~round:r payload
+        end)
+      (List.rev !outbox);
+    on_round_end ~round:r;
+    if stop ~round:r ~alive:is_alive then completed := true
+  done;
+  { completed = !completed; rounds = !round; metrics; alive }

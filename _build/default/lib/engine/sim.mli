@@ -1,0 +1,57 @@
+(** The synchronous round-based execution engine.
+
+    This is the standard execution model of PODC-style synchronous
+    algorithms: in every round each (alive) node first computes and sends
+    its messages from its start-of-round state, then all messages are
+    delivered simultaneously. The engine is generic in the message type;
+    algorithm state lives entirely in the caller's closures.
+
+    Determinism: given the same handlers, node count, configuration and
+    seed, the engine performs the identical sequence of callbacks. Nodes
+    are polled for sends in index order, and messages are delivered in
+    send order; message loss is drawn from a dedicated engine RNG stream.
+*)
+
+type 'msg handlers = {
+  round_begin : node:int -> round:int -> send:(dst:int -> 'msg -> unit) -> unit;
+      (** Called once per alive node per round. [send] may be called any
+          number of times; sends to crashed or out-of-range destinations
+          are counted as sent and then dropped.
+          @raise Invalid_argument if [send] is given a destination outside
+          [0 .. n-1]. *)
+  deliver : node:int -> src:int -> round:int -> 'msg -> unit;
+      (** Called during the delivery phase of the same round. *)
+}
+
+type config = {
+  max_rounds : int;  (** hard stop; the run is marked incomplete if hit *)
+  fault : Fault.t;
+  engine_seed : int;  (** seeds the loss RNG only *)
+}
+
+val default_config : config
+(** [max_rounds = 10_000], no faults, seed 0. *)
+
+type outcome = {
+  completed : bool;  (** the stop predicate fired before [max_rounds] *)
+  rounds : int;  (** rounds actually executed *)
+  metrics : Metrics.t;
+  alive : bool array;  (** liveness at the end of the run *)
+}
+
+val run :
+  n:int ->
+  config:config ->
+  handlers:'msg handlers ->
+  measure:('msg -> int) ->
+  ?measure_bytes:('msg -> int) ->
+  stop:(round:int -> alive:(int -> bool) -> bool) ->
+  ?on_round_end:(round:int -> unit) ->
+  unit ->
+  outcome
+(** Execute rounds [1, 2, …] until [stop] returns true (checked after each
+    round's deliveries, and once before round 1 for trivially-complete
+    instances) or [max_rounds] is reached. [measure] gives the pointer
+    count of a message for accounting; [measure_bytes] (default: constant
+    0, i.e. byte accounting off) its wire size.
+    @raise Invalid_argument if [n < 0] or [config.max_rounds < 0]. *)

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Algorithm Generate Hm_gossip List Min_pointer Printf Registry Report Repro_discovery Repro_graph Repro_util Sweepcell Table

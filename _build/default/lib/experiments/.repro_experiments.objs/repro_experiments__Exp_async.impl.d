@@ -1,0 +1,1 @@
+lib/experiments/exp_async.ml: Algorithm Generate Hm_gossip List Name_dropper Printf Rand_gossip Report Repro_discovery Repro_graph Repro_util Run_async Stats Sweepcell Table

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Buffer Csvio Filename Printf Repro_util

@@ -1,0 +1,1 @@
+lib/experiments/suite.ml: Exp_ablation Exp_async Exp_churn Exp_dynamics Exp_faults Exp_scaling Exp_termination Exp_topology Exp_wire Filename List Printf Report Repro_util String

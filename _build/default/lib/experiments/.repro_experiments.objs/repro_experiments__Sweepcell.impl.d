@@ -1,0 +1,1 @@
+lib/experiments/sweepcell.ml: Algorithm Array Fault Float Generate List Printf Repro_discovery Repro_engine Repro_graph Repro_util Rng Run Stats Table

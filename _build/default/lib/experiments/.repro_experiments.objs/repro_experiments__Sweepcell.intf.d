@@ -1,0 +1,1 @@
+lib/experiments/sweepcell.mli: Algorithm Fault Generate Repro_discovery Repro_engine Repro_graph Repro_util Run Stats Topology

@@ -1,0 +1,83 @@
+(* Experiment T10: does the synchronous analysis survive asynchrony?
+   The same algorithms run event-driven with drifting node clocks and
+   variable message latency; completion times (in units of the mean node
+   period) are compared against the synchronous round counts. *)
+
+open Repro_util
+open Repro_graph
+open Repro_discovery
+
+let family = Generate.K_out 3
+let seeds ~quick = if quick then [ 1; 2 ] else [ 1; 2; 3 ]
+
+let algorithms = [ Hm_gossip.algorithm; Rand_gossip.algorithm; Name_dropper.algorithm ]
+
+type regime = { label : string; jitter : float; latency : float * float }
+
+let regimes =
+  [
+    { label = "mild (j=0.1, lat 0.1-0.9)"; jitter = 0.1; latency = (0.1, 0.9) };
+    { label = "spread (j=0.2, lat 0.1-2.0)"; jitter = 0.2; latency = (0.1, 2.0) };
+    { label = "harsh (j=0.3, lat 0.5-4.0)"; jitter = 0.3; latency = (0.5, 4.0) };
+  ]
+
+let t10 report ~quick =
+  let n = if quick then 256 else 1024 in
+  Report.section report ~id:"T10"
+    ~title:
+      (Printf.sprintf
+         "Asynchronous execution (k-out, n = %d): completion time in node periods; \"sync\" is \
+          the synchronous round count"
+         n);
+  let table =
+    Table.create
+      ~columns:
+        (("regime", Table.Left)
+        :: List.map (fun (a : Algorithm.t) -> (a.Algorithm.name, Table.Right)) algorithms)
+  in
+  let csv_rows = ref [] in
+  let sync_cells =
+    List.map
+      (fun algo ->
+        let c = Sweepcell.run ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:500 () in
+        csv_rows := [ "sync"; c.Sweepcell.algo; Sweepcell.rounds_cell c ] :: !csv_rows;
+        Sweepcell.rounds_cell c)
+      algorithms
+  in
+  Table.add_row table ("sync (rounds)" :: sync_cells);
+  Table.add_separator table;
+  List.iter
+    (fun regime ->
+      let cells =
+        List.map
+          (fun (algo : Algorithm.t) ->
+            let times =
+              List.map
+                (fun seed ->
+                  let topology = Sweepcell.topology_of ~family ~n ~seed in
+                  let r =
+                    Run_async.exec ~seed ~tick_jitter:regime.jitter ~latency:regime.latency algo
+                      topology
+                  in
+                  if not r.Run_async.completed then
+                    failwith
+                      (Printf.sprintf "%s did not complete asynchronously" algo.Algorithm.name);
+                  r.Run_async.time)
+                (seeds ~quick)
+            in
+            let s = Stats.summarize times in
+            csv_rows :=
+              [ regime.label; algo.Algorithm.name; Printf.sprintf "%.1f" s.Stats.mean ]
+              :: !csv_rows;
+            Table.cell_mean_std s)
+          algorithms
+      in
+      Table.add_row table (regime.label :: cells))
+    regimes;
+  Report.emit report (Table.render table);
+  Report.emit report
+    "Completion times track the synchronous round counts within a small constant even under\n\
+     harsh latency spread — the algorithms rely on acknowledgement and retransmission, never\n\
+     on lockstep rounds, so the synchronous analysis carries over.\n";
+  Report.csv report ~name:"t10_async" ~header:[ "regime"; "algorithm"; "time" ]
+    ~rows:(List.rev !csv_rows)

@@ -1,0 +1,90 @@
+(* Experiment T9: discovery under churn. Half of the fleet is present
+   from the start; the rest joins in waves while discovery is already
+   running. Strong completion (everyone knows all n) is only reachable
+   once the last wave has joined, so the interesting number is the
+   stabilisation time: rounds elapsed after the final join. *)
+
+open Repro_util
+open Repro_graph
+open Repro_engine
+open Repro_discovery
+
+let family = Generate.K_out 3
+let seeds ~quick = if quick then [ 1; 2 ] else [ 1; 2; 3 ]
+
+type schedule = { label : string; last_join : int; joins : n:int -> seed:int -> (int * int) list }
+
+let schedules =
+  [
+    { label = "no churn"; last_join = 1; joins = (fun ~n:_ ~seed:_ -> []) };
+    {
+      label = "half join at round 5";
+      last_join = 5;
+      joins =
+        (fun ~n ~seed ->
+          let rng = Rng.substream ~seed ~index:0x901d in
+          Array.to_list (Rng.sample_distinct rng ~n ~k:(n / 2) ~avoid:(-1))
+          |> List.map (fun v -> (v, 5)));
+    };
+    {
+      label = "waves at rounds 4/8/12/16";
+      last_join = 16;
+      joins =
+        (fun ~n ~seed ->
+          let rng = Rng.substream ~seed ~index:0x901d in
+          let late = Rng.sample_distinct rng ~n ~k:(n / 2) ~avoid:(-1) in
+          List.mapi (fun i v -> (v, 4 + (4 * (i mod 4)))) (Array.to_list late));
+    };
+  ]
+
+let algorithms = [ Hm_gossip.algorithm; Rand_gossip.algorithm; Name_dropper.algorithm ]
+
+let t9 report ~quick =
+  let n = if quick then 256 else 1024 in
+  Report.section report ~id:"T9"
+    ~title:
+      (Printf.sprintf
+         "Discovery under churn (k-out, n = %d): rounds to strong completion, with the \
+          stabilisation time after the last join in parentheses"
+         n);
+  let table =
+    Table.create
+      ~columns:
+        (("join schedule", Table.Left)
+        :: List.map (fun (a : Algorithm.t) -> (a.Algorithm.name, Table.Right)) algorithms)
+  in
+  let csv_rows = ref [] in
+  List.iter
+    (fun schedule ->
+      let cells =
+        List.map
+          (fun (algo : Algorithm.t) ->
+            let rounds =
+              List.map
+                (fun seed ->
+                  let topology = Sweepcell.topology_of ~family ~n ~seed in
+                  let fault = Fault.with_joins Fault.none (schedule.joins ~n ~seed) in
+                  let r = Run.exec ~seed ~fault ~max_rounds:2000 algo topology in
+                  if not r.Run.completed then
+                    failwith (Printf.sprintf "%s did not stabilise under churn" algo.Algorithm.name);
+                  r.Run.rounds)
+                (seeds ~quick)
+            in
+            let s = Stats.summarize_ints rounds in
+            csv_rows :=
+              [ schedule.label; algo.Algorithm.name; Printf.sprintf "%.1f" s.Stats.mean ]
+              :: !csv_rows;
+            Printf.sprintf "%.1f (+%.1f)" s.Stats.mean
+              (Float.max 0.0 (s.Stats.mean -. float_of_int schedule.last_join)))
+          algorithms
+      in
+      Table.add_row table (schedule.label :: cells))
+    schedules;
+  Report.emit report (Table.render table);
+  Report.emit report
+    "hm re-stabilises within a handful of rounds of the last join: joiners pull the full view\n\
+     from the cluster head they discover, and heads learn the joiners through the same report\n\
+     path as any other identifier. Nodes that point at a not-yet-joined minimum suspect it and\n\
+     re-point; the suspicion is lifted the moment the joiner speaks.\n";
+  Report.csv report ~name:"t9_churn" ~header:[ "schedule"; "algorithm"; "rounds" ]
+    ~rows:(List.rev !csv_rows)

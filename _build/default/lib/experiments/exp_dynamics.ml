@@ -1,0 +1,163 @@
+(* Figures F2 (knowledge-growth dynamics) and F4 (per-round message
+   budget): the mechanics behind the headline numbers. *)
+
+open Repro_util
+open Repro_graph
+open Repro_engine
+open Repro_discovery
+
+let family = Generate.K_out 3
+
+let f2 report ~quick =
+  let n = if quick then 1024 else 8192 in
+  Report.section report ~id:"F2"
+    ~title:
+      (Printf.sprintf
+         "Mean knowledge-set size per round (k-out, n = %d): doubly-exponential growth" n);
+  let algos = [ Hm_gossip.algorithm; Rand_gossip.algorithm; Name_dropper.algorithm ] in
+  let runs =
+    List.map
+      (fun algo ->
+        let topology = Sweepcell.topology_of ~family ~n ~seed:1 in
+        (algo.Algorithm.name, Run.exec ~seed:1 ~track_growth:true ~max_rounds:500 algo topology))
+      algos
+  in
+  let series =
+    List.map
+      (fun (name, r) ->
+        {
+          Plot.label = name;
+          points =
+            Array.to_list
+              (Array.mapi (fun i v -> (float_of_int (i + 1), v)) r.Run.mean_knowledge_series);
+        })
+      runs
+  in
+  Report.emit report
+    (Plot.render ~logy:true ~title:"mean knowledge size by round" ~xlabel:"round"
+       ~ylabel:"|K|" series);
+  Report.emit report
+    "On a log scale, hm's slope steepens round over round (set sizes square via the growing\n\
+     head exchanges) while Name-Dropper's stays straight (geometric doubling at best).\n";
+  Report.csv report ~name:"f2_growth"
+    ~header:[ "algorithm"; "round"; "mean_knowledge" ]
+    ~rows:
+      (List.concat_map
+         (fun (name, r) ->
+           Array.to_list
+             (Array.mapi
+                (fun i v -> [ name; string_of_int (i + 1); Printf.sprintf "%.1f" v ])
+                r.Run.mean_knowledge_series))
+         runs)
+
+let f4 report ~quick =
+  let n = if quick then 256 else 1024 in
+  Report.section report ~id:"F4"
+    ~title:
+      (Printf.sprintf
+         "Messages sent per round (k-out, n = %d): hm stays near the optimal n budget" n);
+  let algos =
+    [ Hm_gossip.algorithm; Rand_gossip.algorithm; Name_dropper.algorithm; Swamping.algorithm ]
+  in
+  let runs =
+    List.map
+      (fun algo ->
+        let topology = Sweepcell.topology_of ~family ~n ~seed:1 in
+        (algo.Algorithm.name, Run.exec ~seed:1 ~max_rounds:500 algo topology))
+      algos
+  in
+  let series =
+    List.map
+      (fun (name, r) ->
+        {
+          Plot.label = name;
+          points =
+            Array.to_list
+              (Array.mapi
+                 (fun i v -> (float_of_int (i + 1), float_of_int v))
+                 (Metrics.sent_series r.Run.metrics));
+        })
+      runs
+  in
+  Report.emit report
+    (Plot.render ~logy:true ~title:"messages per round" ~xlabel:"round" ~ylabel:"msgs" series);
+  Report.emit report
+    (Printf.sprintf
+       "Reference: the optimal per-round budget is n = %d messages. Swamping peaks near n^2 =\n\
+        %s; hm's peak stays within a small constant of n.\n"
+       n
+       (Sweepcell.approx_int (float_of_int (n * n))));
+  Report.csv report ~name:"f4_msgs_per_round"
+    ~header:[ "algorithm"; "round"; "messages" ]
+    ~rows:
+      (List.concat_map
+         (fun (name, r) ->
+           Array.to_list
+             (Array.mapi
+                (fun i v -> [ name; string_of_int (i + 1); string_of_int v ])
+                (Metrics.sent_series r.Run.metrics)))
+         runs)
+
+(* Figure F5: the mechanism itself — the head population per round. A
+   node acts as a head while it is the minimum rank of its own
+   knowledge; the paper's sub-logarithmic behaviour is the collapse of
+   this population under the growing exchanges. *)
+let f5 report ~quick =
+  let n = if quick then 1024 else 8192 in
+  Report.section report ~id:"F5"
+    ~title:
+      (Printf.sprintf
+         "Cluster-head population per round (hm, k-out, n = %d): the collapsing-heads mechanism"
+         n);
+  let seed = 1 in
+  let topology = Sweepcell.topology_of ~family ~n ~seed in
+  let labels = Rng.permutation (Rng.substream ~seed ~index:0) n in
+  let instances =
+    Array.init n (fun node ->
+        let ctx =
+          {
+            Algorithm.n;
+            node;
+            neighbors = Topology.out_neighbors topology node;
+            labels;
+            rng = Rng.substream ~seed ~index:(node + 1);
+            params = Params.default;
+          }
+        in
+        Hm_gossip.algorithm.Algorithm.make ctx)
+  in
+  let handlers =
+    {
+      Sim.round_begin = (fun ~node ~round ~send -> instances.(node).Algorithm.round ~round ~send);
+      deliver = (fun ~node ~src ~round:_ p -> instances.(node).Algorithm.receive ~src p);
+    }
+  in
+  let head_counts = ref [] in
+  let stop ~round:_ ~alive:_ =
+    let heads = ref 0 in
+    Array.iter
+      (fun i ->
+        let k = i.Algorithm.knowledge in
+        if Knowledge.min_known k = Knowledge.owner k then incr heads)
+      instances;
+    head_counts := !heads :: !head_counts;
+    Array.for_all (fun i -> Knowledge.is_complete i.Algorithm.knowledge) instances
+  in
+  let _ =
+    Sim.run ~n
+      ~config:{ Sim.max_rounds = 500; fault = Fault.none; engine_seed = seed }
+      ~handlers ~measure:Payload.measure ~stop ()
+  in
+  let series = List.rev !head_counts in
+  let points = List.mapi (fun i h -> (float_of_int (i + 1), float_of_int (max h 1))) series in
+  Report.emit report
+    (Plot.render ~logy:true ~title:"cluster heads by round" ~xlabel:"round" ~ylabel:"heads"
+       [ { Plot.label = "hm heads"; points } ]);
+  Report.emit report
+    (Printf.sprintf
+       "Head counts: %s. Initially ~n/(k+2) local rank minima act as heads; each exchange round\n\
+        collapses the population super-geometrically until only the global minimum remains —\n\
+        the population is the visible form of the doubly-exponential argument.\n"
+       (String.concat " → " (List.map string_of_int series)));
+  Report.csv report ~name:"f5_head_population" ~header:[ "round"; "heads" ]
+    ~rows:(List.mapi (fun i h -> [ string_of_int (i + 1); string_of_int h ]) series)

@@ -1,0 +1,165 @@
+(* Experiments T1/T2/T3 and figure F1: cost scaling with n on the
+   canonical k-out random knowledge graphs. The four outputs share one
+   sweep, memoised per (quick) mode within a process. *)
+
+open Repro_util
+open Repro_graph
+open Repro_discovery
+
+let family = Generate.K_out 3
+
+let sizes ~quick =
+  if quick then [ 128; 256; 512; 1024 ] else [ 128; 256; 512; 1024; 2048; 4096; 8192; 16384 ]
+
+let seeds ~quick = if quick then [ 1; 2 ] else [ 1; 2; 3 ]
+
+(* Swamping's Θ(n²) messages make large sizes pointless to simulate; the
+   quadratic shape is unambiguous long before that. *)
+let swamping_limit = 1024
+
+let algorithms () =
+  [
+    Flooding.algorithm;
+    Swamping.algorithm;
+    Pointer_jump.algorithm;
+    Name_dropper.algorithm;
+    Min_pointer.algorithm;
+    Rand_gossip.algorithm;
+    Hm_gossip.algorithm;
+  ]
+
+let sweep_cache : (bool, Sweepcell.t list) Hashtbl.t = Hashtbl.create 2
+
+let sweep ~quick =
+  match Hashtbl.find_opt sweep_cache quick with
+  | Some cells -> cells
+  | None ->
+    let cells =
+      List.concat_map
+        (fun algo ->
+          List.filter_map
+            (fun n ->
+              if algo.Algorithm.name = "swamping" && n > swamping_limit then None
+              else
+                Some (Sweepcell.run ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:500 ()))
+            (sizes ~quick))
+        (algorithms ())
+    in
+    Hashtbl.replace sweep_cache quick cells;
+    cells
+
+let cell cells ~algo ~n =
+  List.find_opt (fun (c : Sweepcell.t) -> c.Sweepcell.algo = algo && c.Sweepcell.n = n) cells
+
+let algo_names () = List.map (fun a -> a.Algorithm.name) (algorithms ())
+
+let metric_table report ~quick ~title ~id ~cell_of ~csv_name ~csv_value =
+  let cells = sweep ~quick in
+  Report.section report ~id ~title;
+  let names = algo_names () in
+  let table =
+    Table.create ~columns:(("n", Table.Right) :: List.map (fun a -> (a, Table.Right)) names)
+  in
+  List.iter
+    (fun n ->
+      Table.add_row table
+        (string_of_int n
+        :: List.map
+             (fun a ->
+               match cell cells ~algo:a ~n with None -> "—" | Some c -> cell_of c)
+             names))
+    (sizes ~quick);
+  Report.emit report (Table.render table);
+  let rows =
+    List.concat_map
+      (fun (c : Sweepcell.t) ->
+        match csv_value c with
+        | None -> []
+        | Some v ->
+          [ [ c.Sweepcell.algo; string_of_int c.Sweepcell.n; Printf.sprintf "%.3f" v ] ])
+      cells
+  in
+  Report.csv report ~name:csv_name ~header:[ "algorithm"; "n"; "value" ] ~rows
+
+(* Least-squares shape check: which reference curve best explains the
+   measured rounds of each algorithm? *)
+let fit_summary report ~quick =
+  let cells = sweep ~quick in
+  let curves =
+    [
+      ("log log n", fun n -> Stats.loglog2 n);
+      ("log n", fun n -> Stats.log2 n);
+      ("log^2 n", fun n -> Stats.log2 n ** 2.0);
+    ]
+  in
+  Report.emit report "\nShape fit (normalised RMS residual of best c*f(n) fit; lower = better):\n";
+  let table =
+    Table.create
+      ~columns:
+        (("algorithm", Table.Left)
+        :: (List.map (fun (name, _) -> (name, Table.Right)) curves @ [ ("best", Table.Left) ]))
+  in
+  List.iter
+    (fun a ->
+      let points =
+        List.filter_map
+          (fun (c : Sweepcell.t) ->
+            if c.Sweepcell.algo = a && c.Sweepcell.completions = c.Sweepcell.attempts then
+              Option.map (fun (s : Stats.summary) -> (float_of_int c.Sweepcell.n, s.Stats.mean)) c.Sweepcell.rounds
+            else None)
+          cells
+      in
+      if List.length points >= 4 then begin
+        let xs = List.map fst points and ys = List.map snd points in
+        let residuals =
+          List.map (fun (name, f) -> (name, Stats.fit_residual ~xs ~ys ~f)) curves
+        in
+        let best =
+          List.fold_left (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv))
+            ("?", infinity) residuals
+        in
+        Table.add_row table
+          (a :: (List.map (fun (_, v) -> Printf.sprintf "%.3f" v) residuals @ [ fst best ]))
+      end)
+    (algo_names ());
+  Report.emit report (Table.render table)
+
+let t1 report ~quick =
+  metric_table report ~quick ~id:"T1"
+    ~title:"Rounds to complete discovery vs n (k-out graphs, k=3)"
+    ~cell_of:Sweepcell.rounds_cell ~csv_name:"t1_rounds_vs_n"
+    ~csv_value:(fun c -> Option.map (fun (s : Stats.summary) -> s.Stats.mean) c.Sweepcell.rounds);
+  fit_summary report ~quick
+
+let t2 report ~quick =
+  metric_table report ~quick ~id:"T2" ~title:"Message complexity vs n"
+    ~cell_of:Sweepcell.messages_cell ~csv_name:"t2_messages_vs_n"
+    ~csv_value:(fun c -> Option.map (fun (s : Stats.summary) -> s.Stats.mean) c.Sweepcell.messages)
+
+let t3 report ~quick =
+  metric_table report ~quick ~id:"T3" ~title:"Pointer complexity vs n"
+    ~cell_of:Sweepcell.pointers_cell ~csv_name:"t3_pointers_vs_n"
+    ~csv_value:(fun c -> Option.map (fun (s : Stats.summary) -> s.Stats.mean) c.Sweepcell.pointers)
+
+let f1 report ~quick =
+  let cells = sweep ~quick in
+  Report.section report ~id:"F1" ~title:"Rounds vs n (the sub-logarithmic headline)";
+  let series =
+    List.filter_map
+      (fun a ->
+        let points =
+          List.filter_map
+            (fun (c : Sweepcell.t) ->
+              if c.Sweepcell.algo = a then
+                Option.map
+                  (fun (s : Stats.summary) -> (float_of_int c.Sweepcell.n, s.Stats.mean))
+                  c.Sweepcell.rounds
+              else None)
+            cells
+        in
+        if points = [] then None else Some { Plot.label = a; points })
+      [ "name_dropper"; "rand_gossip"; "min_pointer"; "hm" ]
+  in
+  Report.emit report
+    (Plot.render ~logx:true ~title:"rounds to complete discovery" ~xlabel:"n" ~ylabel:"rounds"
+       series)

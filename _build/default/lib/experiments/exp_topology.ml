@@ -1,0 +1,121 @@
+(* Experiment T4 (topology sensitivity) and figure F3 (the log D term on
+   path graphs). *)
+
+open Repro_util
+open Repro_graph
+open Repro_discovery
+
+let t4_n ~quick = if quick then 256 else 1024
+let seeds ~quick = if quick then [ 1; 2 ] else [ 1; 2; 3 ]
+
+let algorithms =
+  [
+    Flooding.algorithm;
+    Swamping.algorithm;
+    Pointer_jump.algorithm;
+    Name_dropper.algorithm;
+    Min_pointer.algorithm;
+    Rand_gossip.algorithm;
+    Hm_gossip.algorithm;
+  ]
+
+let t4 report ~quick =
+  let n = t4_n ~quick in
+  Report.section report ~id:"T4"
+    ~title:(Printf.sprintf "Rounds by initial topology (n = %d; DNF = over %d rounds)" n ((3 * n) + 64));
+  let names = List.map (fun a -> a.Algorithm.name) algorithms in
+  let table =
+    Table.create
+      ~columns:
+        (("topology", Table.Left) :: ("diam", Table.Right)
+        :: List.map (fun a -> (a, Table.Right)) names)
+  in
+  let csv_rows = ref [] in
+  List.iter
+    (fun family ->
+      let topo = Sweepcell.topology_of ~family ~n ~seed:1 in
+      let diam =
+        Analyze.weak_diameter_estimate ~rng:(Rng.substream ~seed:1 ~index:99) topo
+      in
+      let cells =
+        List.map
+          (fun algo ->
+            Sweepcell.run ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:((3 * n) + 64) ())
+          algorithms
+      in
+      List.iter
+        (fun (c : Sweepcell.t) ->
+          csv_rows :=
+            [
+              Generate.family_name family;
+              c.Sweepcell.algo;
+              string_of_int n;
+              (match c.Sweepcell.rounds with
+              | None -> "DNF"
+              | Some s -> Printf.sprintf "%.1f" s.Stats.mean);
+            ]
+            :: !csv_rows)
+        cells;
+      Table.add_row table
+        (Generate.family_name family :: string_of_int diam
+        :: List.map Sweepcell.rounds_cell cells))
+    Generate.all_families;
+  Report.emit report (Table.render table);
+  Report.emit report
+    "Notes: flooding cannot finish on weakly-but-not-strongly connected inputs (dpath, instar);\n\
+     pull-only pointer_jump cannot spread identifiers of nodes nobody knows (dpath, instar) —\n\
+     both DNFs reproduce the qualitative claims of HLL99.\n";
+  Report.csv report ~name:"t4_topology"
+    ~header:[ "topology"; "algorithm"; "n"; "rounds" ]
+    ~rows:(List.rev !csv_rows)
+
+let f3_sizes ~quick = if quick then [ 128; 256; 512 ] else [ 128; 256; 512; 1024; 2048; 4096; 8192 ]
+
+let f3 report ~quick =
+  Report.section report ~id:"F3"
+    ~title:"Rounds vs n on path graphs (diameter n-1): the O(log D) mixing term";
+  let algos =
+    [ Name_dropper.algorithm; Min_pointer.algorithm; Rand_gossip.algorithm; Hm_gossip.algorithm ]
+  in
+  let cells =
+    List.concat_map
+      (fun algo ->
+        List.map
+          (fun n ->
+            Sweepcell.run ~algo ~family:Generate.Path ~n ~seeds:(seeds ~quick) ~max_rounds:1000 ())
+          (f3_sizes ~quick))
+      algos
+  in
+  let series =
+    List.map
+      (fun (a : Algorithm.t) ->
+        {
+          Plot.label = a.Algorithm.name;
+          points =
+            List.filter_map
+              (fun (c : Sweepcell.t) ->
+                if c.Sweepcell.algo = a.Algorithm.name then
+                  Option.map
+                    (fun (s : Stats.summary) -> (float_of_int c.Sweepcell.n, s.Stats.mean))
+                    c.Sweepcell.rounds
+                else None)
+              cells;
+        })
+      algos
+  in
+  Report.emit report
+    (Plot.render ~logx:true ~title:"rounds on a path (worst-case diameter)" ~xlabel:"n"
+       ~ylabel:"rounds" series);
+  Report.emit report
+    "Every algorithm pays the Ω(log D) knowledge-composition lower bound on a path; hm tracks\n\
+     c·log2 n with a small constant, while flat gossip and Name-Dropper pay extra factors.\n";
+  Report.csv report ~name:"f3_path_rounds"
+    ~header:[ "algorithm"; "n"; "rounds" ]
+    ~rows:
+      (List.filter_map
+         (fun (c : Sweepcell.t) ->
+           Option.map
+             (fun (s : Stats.summary) ->
+               [ c.Sweepcell.algo; string_of_int c.Sweepcell.n; Printf.sprintf "%.1f" s.Stats.mean ])
+             c.Sweepcell.rounds)
+         cells)

@@ -1,0 +1,23 @@
+open Repro_util
+
+type t = { results_dir : string; buf : Buffer.t }
+
+let create ~results_dir = { results_dir; buf = Buffer.create 4096 }
+
+let results_dir t = t.results_dir
+
+let emit t s =
+  print_string s;
+  flush stdout;
+  Buffer.add_string t.buf s
+
+let section t ~id ~title =
+  let line = Printf.sprintf "\n## %s — %s\n\n" id title in
+  emit t line
+
+let csv t ~name ~header ~rows =
+  let path = Filename.concat t.results_dir (name ^ ".csv") in
+  Csvio.write ~path ~header ~rows;
+  emit t (Printf.sprintf "(data: %s)\n" path)
+
+let captured t = Buffer.contents t.buf

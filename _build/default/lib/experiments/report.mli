@@ -1,0 +1,24 @@
+(** Output context shared by every experiment.
+
+    Experiment text (tables, figures, fit summaries) is written to stdout
+    and simultaneously captured so the suite can persist the full report;
+    raw data goes to CSV files under the results directory. *)
+
+type t
+
+val create : results_dir:string -> t
+
+val results_dir : t -> string
+
+val emit : t -> string -> unit
+(** Write a chunk of report text (caller includes its own newlines). *)
+
+val section : t -> id:string -> title:string -> unit
+(** Emit a standard section header. *)
+
+val csv : t -> name:string -> header:string list -> rows:string list list -> unit
+(** Persist a data file as [results_dir/name.csv] and note it in the
+    report. *)
+
+val captured : t -> string
+(** Everything emitted so far. *)

@@ -1,0 +1,26 @@
+(** The experiment suite: every table and figure of EXPERIMENTS.md.
+
+    Each entry regenerates one deliverable; [run] executes a selection
+    and persists the combined report plus per-experiment CSVs under the
+    results directory. *)
+
+type entry = {
+  id : string;  (** stable identifier: "T1" … "T7", "F1" … "F4" *)
+  title : string;
+  run : Report.t -> quick:bool -> unit;
+}
+
+val all : entry list
+
+val ids : unit -> string list
+
+val run :
+  ?only:string list ->
+  ?quick:bool ->
+  results_dir:string ->
+  unit ->
+  (unit, string) result
+(** Run the selected experiments (default: all) in suite order. [quick]
+    shrinks sizes and seed counts for smoke-testing. Returns [Error] for
+    an unknown id. The combined report is written to
+    [results_dir/report.md]. *)

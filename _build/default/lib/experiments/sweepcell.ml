@@ -1,0 +1,83 @@
+open Repro_util
+open Repro_graph
+open Repro_engine
+open Repro_discovery
+
+type t = {
+  algo : string;
+  family : Generate.family;
+  n : int;
+  attempts : int;
+  completions : int;
+  rounds : Stats.summary option;
+  messages : Stats.summary option;
+  pointers : Stats.summary option;
+  bytes : Stats.summary option;
+  peak_round_messages : Stats.summary option;
+}
+
+(* Must stay in sync with discovery_cli so `discovery run --seed s`
+   reproduces an experiment cell bit-for-bit. *)
+let topology_of ~family ~n ~seed =
+  let rng = Rng.substream ~seed ~index:0x70b0 in
+  Generate.build family ~rng ~n
+
+let crash_fault ~seed ~n ~count =
+  if count <= 0 then Fault.none
+  else begin
+    let rng = Rng.substream ~seed ~index:0xdead in
+    let victims = Rng.sample_distinct rng ~n ~k:(min count n) ~avoid:(-1) in
+    Array.fold_left
+      (fun f node -> Fault.with_crash f ~node ~round:(1 + Rng.int rng 5))
+      Fault.none victims
+  end
+
+let run ~algo ~family ~n ~seeds ?max_rounds ?(fault = fun _ -> Fault.none)
+    ?(completion = Run.Strong) () =
+  let results =
+    List.map
+      (fun seed ->
+        let topology = topology_of ~family ~n ~seed in
+        Run.exec ~seed ~fault:(fault seed) ~completion ?max_rounds algo topology)
+      seeds
+  in
+  let completed = List.filter (fun r -> r.Run.completed) results in
+  let summarize f = match completed with [] -> None | _ -> Some (Stats.summarize_ints (List.map f completed)) in
+  {
+    algo = algo.Algorithm.name;
+    family;
+    n;
+    attempts = List.length results;
+    completions = List.length completed;
+    rounds = summarize (fun r -> r.Run.rounds);
+    messages = summarize (fun r -> r.Run.messages);
+    pointers = summarize (fun r -> r.Run.pointers);
+    bytes = summarize (fun r -> r.Run.bytes);
+    peak_round_messages = summarize (fun r -> r.Run.max_round_messages);
+  }
+
+let approx_int x =
+  let abs = Float.abs x in
+  if abs >= 1e9 then Printf.sprintf "%.2fG" (x /. 1e9)
+  else if abs >= 1e6 then Printf.sprintf "%.1fM" (x /. 1e6)
+  else if abs >= 1e4 then Printf.sprintf "%.0fk" (x /. 1e3)
+  else if abs >= 1e3 then Printf.sprintf "%.1fk" (x /. 1e3)
+  else Printf.sprintf "%.0f" x
+
+let with_dnf t s =
+  if t.completions = t.attempts then s
+  else Printf.sprintf "%s (%d/%d DNF)" s (t.attempts - t.completions) t.attempts
+
+let rounds_cell t =
+  match t.rounds with
+  | None -> "DNF"
+  | Some s ->
+    with_dnf t
+      (if s.Stats.stddev < 0.05 then Printf.sprintf "%.1f" s.Stats.mean else Table.cell_mean_std s)
+
+let count_cell field t =
+  match field t with None -> "DNF" | Some s -> with_dnf t (approx_int s.Stats.mean)
+
+let messages_cell = count_cell (fun t -> t.messages)
+let pointers_cell = count_cell (fun t -> t.pointers)
+let bytes_cell = count_cell (fun t -> t.bytes)

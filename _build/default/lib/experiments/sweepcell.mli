@@ -1,0 +1,53 @@
+(** One aggregated measurement: an (algorithm, topology, size, fault)
+    configuration replicated across seeds. *)
+
+open Repro_util
+open Repro_graph
+open Repro_engine
+open Repro_discovery
+
+type t = {
+  algo : string;
+  family : Generate.family;
+  n : int;
+  attempts : int;
+  completions : int;
+  rounds : Stats.summary option;  (** over completed runs; [None] if all DNF *)
+  messages : Stats.summary option;
+  pointers : Stats.summary option;
+  bytes : Stats.summary option;  (** wire bytes, {!Repro_discovery.Wire.Adaptive} codec *)
+  peak_round_messages : Stats.summary option;
+}
+
+val topology_of : family:Generate.family -> n:int -> seed:int -> Topology.t
+(** The topology a given seed produces — shared with the CLI so that
+    [discovery_cli run] reproduces any experiment cell exactly. *)
+
+val crash_fault : seed:int -> n:int -> count:int -> Fault.t
+(** [count] uniform victims crashing at uniform rounds in [1..5]. *)
+
+val run :
+  algo:Algorithm.t ->
+  family:Generate.family ->
+  n:int ->
+  seeds:int list ->
+  ?max_rounds:int ->
+  ?fault:(int -> Fault.t) ->
+  ?completion:Run.completion ->
+  unit ->
+  t
+(** Execute one run per seed and aggregate. [fault] maps a seed to its
+    fault model (so crash victims vary across seeds). *)
+
+(** {2 Table-cell formatting} *)
+
+val rounds_cell : t -> string
+(** ["12.4 ± 0.8"], or ["DNF"] when nothing completed, or
+    ["9.0 ± 1.0 (1/5 DNF)"] on partial completion. *)
+
+val messages_cell : t -> string
+val pointers_cell : t -> string
+val bytes_cell : t -> string
+
+val approx_int : float -> string
+(** Human-scaled count: ["2.1k"], ["37M"], … *)

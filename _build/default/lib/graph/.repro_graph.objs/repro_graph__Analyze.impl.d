@@ -1,0 +1,1 @@
+lib/graph/analyze.ml: Array List Queue Repro_util Rng Stats Topology Unionfind

@@ -1,0 +1,1 @@
+lib/graph/analyze.mli: Repro_util Rng Stats Topology

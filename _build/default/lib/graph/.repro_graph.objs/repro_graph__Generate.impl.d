@@ -1,0 +1,1 @@
+lib/graph/generate.ml: Array Float Hashtbl List Printf Repro_util Rng Stats String Topology Unionfind

@@ -1,0 +1,1 @@
+lib/graph/generate.mli: Repro_util Rng Topology

@@ -1,0 +1,1 @@
+lib/graph/topology.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/graph/topology.mli: Format

@@ -1,0 +1,82 @@
+(* Adjacency stored in compressed-sparse-row form: [adj] holds the sorted
+   out-neighbour lists back to back, [offsets.(u) .. offsets.(u+1)-1]
+   delimiting node [u]'s slice. Immutable after construction. *)
+
+type t = { n : int; offsets : int array; adj : int array }
+
+let create ~n ~edges =
+  if n < 0 then invalid_arg "Topology.create: negative size";
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Topology.create: edge endpoint out of range")
+    edges;
+  let edges =
+    List.filter (fun (u, v) -> u <> v) edges
+    |> List.sort_uniq compare
+  in
+  let deg = Array.make n 0 in
+  List.iter (fun (u, _) -> deg.(u) <- deg.(u) + 1) edges;
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + deg.(u)
+  done;
+  let adj = Array.make offsets.(n) 0 in
+  let cursor = Array.copy offsets in
+  List.iter
+    (fun (u, v) ->
+      adj.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1)
+    edges;
+  { n; offsets; adj }
+
+let n t = t.n
+let out_degree t u =
+  if u < 0 || u >= t.n then invalid_arg "Topology.out_degree: out of range";
+  t.offsets.(u + 1) - t.offsets.(u)
+
+let out_neighbors t u =
+  if u < 0 || u >= t.n then invalid_arg "Topology.out_neighbors: out of range";
+  Array.sub t.adj t.offsets.(u) (t.offsets.(u + 1) - t.offsets.(u))
+
+let edges t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    for i = t.offsets.(u + 1) - 1 downto t.offsets.(u) do
+      acc := (u, t.adj.(i)) :: !acc
+    done
+  done;
+  !acc
+
+let edge_count t = Array.length t.adj
+
+let mem_edge t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then false
+  else begin
+    (* binary search within u's sorted slice *)
+    let lo = ref t.offsets.(u) and hi = ref (t.offsets.(u + 1) - 1) in
+    let found = ref false in
+    while (not !found) && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let w = t.adj.(mid) in
+      if w = v then found := true else if w < v then lo := mid + 1 else hi := mid - 1
+    done;
+    !found
+  end
+
+let symmetrize t =
+  let fwd = edges t in
+  let bwd = List.map (fun (u, v) -> (v, u)) fwd in
+  create ~n:t.n ~edges:(fwd @ bwd)
+
+let map_nodes t perm =
+  if Array.length perm <> t.n then invalid_arg "Topology.map_nodes: wrong permutation length";
+  let seen = Array.make t.n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= t.n || seen.(p) then invalid_arg "Topology.map_nodes: not a permutation";
+      seen.(p) <- true)
+    perm;
+  create ~n:t.n ~edges:(List.map (fun (u, v) -> (perm.(u), perm.(v))) (edges t))
+
+let pp ppf t = Format.fprintf ppf "topology(n=%d, m=%d)" t.n (edge_count t)

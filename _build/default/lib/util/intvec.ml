@@ -1,0 +1,60 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 8) () = { data = Array.make (max capacity 1) 0; len = 0 }
+let length t = t.len
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Intvec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i v =
+  check t i;
+  t.data.(i) <- v
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) 0 in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t v =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Intvec.pop: empty";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
+let clear t = t.len <- 0
+let is_empty t = t.len = 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+let to_array t = Array.sub t.data 0 t.len
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Intvec.sub: invalid slice";
+  Array.sub t.data pos len
+
+let of_array a = { data = (if Array.length a = 0 then Array.make 1 0 else Array.copy a); len = Array.length a }
+
+let last t =
+  if t.len = 0 then invalid_arg "Intvec.last: empty";
+  t.data.(t.len - 1)

@@ -1,0 +1,33 @@
+(** Growable arrays of integers.
+
+    Used for the insertion-ordered element lists that accompany knowledge
+    bitsets (uniform random choice over a knowledge set needs O(1) access
+    by rank) and for per-round metric series. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val get : t -> int -> int
+(** @raise Invalid_argument if the index is out of bounds. *)
+
+val set : t -> int -> int -> unit
+(** @raise Invalid_argument if the index is out of bounds. *)
+
+val push : t -> int -> unit
+val pop : t -> int
+(** Removes and returns the last element. @raise Invalid_argument if empty. *)
+
+val clear : t -> unit
+val is_empty : t -> bool
+val iter : (int -> unit) -> t -> unit
+val iteri : (int -> int -> unit) -> t -> unit
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val to_array : t -> int array
+val sub : t -> pos:int -> len:int -> int array
+(** [sub t ~pos ~len] copies the slice [pos .. pos+len-1].
+    @raise Invalid_argument on an invalid slice. *)
+
+val of_array : int array -> t
+val last : t -> int
+(** @raise Invalid_argument if empty. *)

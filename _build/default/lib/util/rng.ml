@@ -1,0 +1,117 @@
+(* xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64. Chosen over
+   Stdlib.Random for cross-version reproducibility: experiment outputs are
+   a pure function of the integer seed. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64 step: used for seeding and stream derivation. *)
+let splitmix_next state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_splitmix state =
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  (* xoshiro state must not be all-zero; splitmix output makes this
+     astronomically unlikely, but guard anyway. *)
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let create ~seed = of_splitmix (ref (Int64.of_int seed))
+
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  of_splitmix state
+
+let substream ~seed ~index =
+  let state = ref (Int64.logxor (Int64.of_int seed) (Int64.mul (Int64.of_int index) 0xD1342543DE82EF95L)) in
+  of_splitmix state
+
+(* Unbiased bounded sampling by rejection on the top 62 bits (staying in
+   OCaml's nativeint-friendly positive range). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (bits64 t) 2 |> Int64.to_int in
+  if bound land (bound - 1) = 0 then mask land (bound - 1)
+  else begin
+    let limit = 0x3FFF_FFFF_FFFF_FFFF / bound * bound in
+    let rec draw v = if v < limit then v mod bound else draw (Int64.shift_right_logical (bits64 t) 2 |> Int64.to_int) in
+    draw mask
+  end
+
+let float t bound =
+  (* 53 random mantissa bits. *)
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. (1.0 /. 9007199254740992.0) *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t ~p = if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place t a;
+  a
+
+let sample_distinct t ~n ~k ~avoid =
+  let eligible = if avoid >= 0 && avoid < n then n - 1 else n in
+  if k < 0 || k > eligible then invalid_arg "Rng.sample_distinct: unsatisfiable request";
+  (* Floyd's algorithm keeps this O(k) in expectation for k << n; fall back
+     to a shuffle when k is a large fraction of n. *)
+  if k * 3 >= eligible then begin
+    let pool = Array.make eligible 0 in
+    let j = ref 0 in
+    for v = 0 to n - 1 do
+      if v <> avoid then begin
+        pool.(!j) <- v;
+        incr j
+      end
+    done;
+    shuffle_in_place t pool;
+    Array.sub pool 0 k
+  end
+  else begin
+    let chosen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = int t n in
+      if v <> avoid && not (Hashtbl.mem chosen v) then begin
+        Hashtbl.add chosen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end

@@ -1,0 +1,79 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile xs p =
+  if xs = [] then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+  end
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+    let n = List.length xs in
+    let m = mean xs in
+    let var =
+      if n <= 1 then 0.0
+      else List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. float_of_int (n - 1)
+    in
+    {
+      count = n;
+      mean = m;
+      stddev = sqrt var;
+      min = List.fold_left Float.min infinity xs;
+      max = List.fold_left Float.max neg_infinity xs;
+      median = percentile xs 50.0;
+    }
+
+let summarize_ints xs = summarize (List.map float_of_int xs)
+
+let geometric_mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.geometric_mean: empty"
+  | _ ->
+    let logs =
+      List.map
+        (fun x -> if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive value" else log x)
+        xs
+    in
+    exp (mean logs)
+
+let log2 x = log x /. log 2.0
+let loglog2 x = log2 (log2 x)
+
+let fit_ratio ~xs ~ys ~f =
+  if List.length xs <> List.length ys || xs = [] then invalid_arg "Stats.fit_ratio: bad input";
+  let fx = List.map f xs in
+  let num = List.fold_left2 (fun acc fx y -> acc +. (fx *. y)) 0.0 fx ys in
+  let den = List.fold_left (fun acc fx -> acc +. (fx *. fx)) 0.0 fx in
+  if den = 0.0 then 0.0 else num /. den
+
+let fit_residual ~xs ~ys ~f =
+  let c = fit_ratio ~xs ~ys ~f in
+  let fx = List.map f xs in
+  let sq =
+    List.fold_left2 (fun acc fx y -> acc +. (((c *. fx) -. y) ** 2.0)) 0.0 fx ys
+  in
+  let norm = List.fold_left (fun acc y -> acc +. (y *. y)) 0.0 ys in
+  if norm = 0.0 then 0.0 else sqrt (sq /. norm)

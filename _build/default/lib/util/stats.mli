@@ -1,0 +1,41 @@
+(** Small descriptive-statistics helpers for experiment reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator); 0 for n ≤ 1 *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on the empty list. *)
+
+val summarize_ints : int list -> summary
+
+val mean : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics. @raise Invalid_argument on the empty list or a [p]
+    outside the range. *)
+
+val geometric_mean : float list -> float
+(** @raise Invalid_argument on the empty list or non-positive values. *)
+
+(** Reference curves for shape-checking measured complexities. *)
+
+val log2 : float -> float
+val loglog2 : float -> float
+(** [loglog2 x] = log₂ log₂ x, for x > 2. *)
+
+val fit_ratio : xs:float list -> ys:float list -> f:(float -> float) -> float
+(** Least-squares scale [c] minimising Σ (yᵢ − c·f(xᵢ))²; used to check
+    that a measured series grows like a reference curve.
+    @raise Invalid_argument on length mismatch or empty input. *)
+
+val fit_residual : xs:float list -> ys:float list -> f:(float -> float) -> float
+(** Normalised root-mean-square residual of the best fit of [c·f] to the
+    data: 0 means a perfect fit of the shape. *)

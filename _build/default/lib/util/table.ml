@@ -1,0 +1,71 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = { headers : string list; aligns : align list; mutable rows : row list }
+
+let create ~columns =
+  { headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: row width differs from header";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Separator -> acc
+            | Cells cells -> max acc (String.length (List.nth cells i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad (List.nth t.aligns i) (List.nth widths i) c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let emit_rule () =
+    Buffer.add_string buf "|";
+    List.iteri
+      (fun i w ->
+        ignore i;
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_string buf "|")
+      widths;
+    Buffer.add_string buf "\n"
+  in
+  emit_row t.headers;
+  emit_rule ();
+  List.iter (function Cells cells -> emit_row cells | Separator -> emit_rule ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 1) x =
+  if Float.is_integer x && Float.abs x < 1e15 && decimals = 0 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.*f" decimals x
+
+let cell_mean_std (s : Stats.summary) = Printf.sprintf "%.1f ± %.1f" s.Stats.mean s.Stats.stddev

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Array Bitset List QCheck2 QCheck_alcotest Repro_util

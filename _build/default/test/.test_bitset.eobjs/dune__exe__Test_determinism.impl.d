@@ -1,0 +1,1 @@
+test/test_determinism.ml: Alcotest Algorithm Fault Generate Hm_gossip List Min_pointer Name_dropper Rand_gossip Registry Repro_discovery Repro_engine Repro_experiments Repro_graph Run

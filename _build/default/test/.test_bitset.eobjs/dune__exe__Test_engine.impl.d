@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Fault Float Format List Metrics Repro_engine Sim

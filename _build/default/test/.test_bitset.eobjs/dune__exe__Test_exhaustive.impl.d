@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Algorithm Analyze Array Flooding Fun Hm_gossip List Min_pointer Name_dropper Printf Rand_gossip Repro_discovery Repro_graph Run String Swamping Topology

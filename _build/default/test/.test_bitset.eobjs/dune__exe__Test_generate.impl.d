@@ -1,0 +1,1 @@
+test/test_generate.ml: Alcotest Analyze Array Generate List QCheck2 QCheck_alcotest Repro_graph Repro_util Rng Stats Topology

@@ -1,0 +1,1 @@
+test/test_intvec.ml: Alcotest Array Intvec List QCheck2 QCheck_alcotest Repro_util

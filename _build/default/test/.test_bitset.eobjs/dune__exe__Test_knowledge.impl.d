@@ -1,0 +1,1 @@
+test/test_knowledge.ml: Alcotest Array Bitset Knowledge List QCheck2 QCheck_alcotest Repro_discovery Repro_util Rng

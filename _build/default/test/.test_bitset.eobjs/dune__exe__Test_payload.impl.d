@@ -1,0 +1,1 @@
+test/test_payload.ml: Alcotest Array Bitset Format Knowledge Payload Repro_discovery Repro_util

@@ -1,0 +1,1 @@
+test/test_registry.ml: Alcotest Algorithm List Registry Repro_discovery Repro_experiments Repro_graph Run

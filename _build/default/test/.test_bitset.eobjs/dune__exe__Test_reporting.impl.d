@@ -1,0 +1,1 @@
+test/test_reporting.ml: Alcotest Csvio Filename List Plot Repro_util Stats String Table

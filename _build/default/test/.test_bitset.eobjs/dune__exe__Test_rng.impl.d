@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float List QCheck2 QCheck_alcotest Repro_util Rng

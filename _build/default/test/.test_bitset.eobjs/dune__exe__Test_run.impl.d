@@ -1,0 +1,1 @@
+test/test_run.ml: Alcotest Algorithm Array Generate Hm_gossip List Min_pointer Name_dropper Repro_discovery Repro_engine Repro_experiments Repro_graph Repro_util Run

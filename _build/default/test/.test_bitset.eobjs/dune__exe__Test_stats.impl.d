@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float Fun List QCheck2 QCheck_alcotest Repro_util Stats

@@ -1,0 +1,1 @@
+test/test_unionfind.ml: Alcotest Array List QCheck2 QCheck_alcotest Repro_graph Unionfind

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Bitset Bytes Format Fun List Payload Printf QCheck2 QCheck_alcotest Repro_discovery Repro_util Wire

@@ -1,0 +1,6 @@
+  $ ../../bin/discovery_cli.exe list
+  $ ../../bin/discovery_cli.exe run --algo hm --topology kout:3 -n 256 --seed 1
+  $ ../../bin/discovery_cli.exe topo --topology star -n 16
+  $ ../../bin/discovery_cli.exe run --algo warp -n 16 2>&1 | head -2
+  $ ../../bin/experiments.exe --list
+  $ ../../bin/experiments.exe --only T99 2>&1

@@ -1,0 +1,64 @@
+The algorithm catalogue is stable:
+
+  $ ../../bin/discovery_cli.exe list
+  flooding       HLL99 flooding: forward new knowledge along initial edges
+  swamping       HLL99 swamping: full knowledge to all current neighbors (graph squaring)
+  pointer_jump   HLL99 random pointer jump: pull full knowledge from one random known node
+  name_dropper   HLL99 Name-Dropper: push full knowledge to one random known node
+  min_pointer    deterministic KPV-style convergecast: knowledge flows to the minimum known label, roots broadcast
+  rand_gossip    flat push-pull gossip with direct addressing (log-n comparison point)
+  hm             Haeupler-Malkhi sub-logarithmic discovery: rank-based cluster convergecast with head broadcast
+
+Runs are a pure function of (algorithm, topology, seed):
+
+  $ ../../bin/discovery_cli.exe run --algo hm --topology kout:3 -n 256 --seed 1
+  algorithm        : hm
+  topology         : kout:3 (n=256, m=1522)
+  seed             : 1
+  completed        : true
+  rounds           : 5
+  messages         : 4550
+  pointers         : 277451
+  wire bytes       : 98915 (adaptive codec)
+  dropped          : 0
+  peak msgs/round  : 1373
+
+Topology description:
+
+  $ ../../bin/discovery_cli.exe topo --topology star -n 16
+  family        : star
+  nodes         : 16
+  edges         : 30
+  weakly conn.  : true
+  diameter est. : 2
+  out-degree    : mean 1.9, min 1, max 15
+
+Unknown algorithms are rejected with the catalogue:
+
+  $ ../../bin/discovery_cli.exe run --algo warp -n 16 2>&1 | head -2
+  discovery: option '--algo': unknown algorithm "warp" (known: flooding,
+             swamping, pointer_jump, name_dropper, min_pointer, rand_gossip,
+
+The experiments runner lists its deliverables:
+
+  $ ../../bin/experiments.exe --list
+  T1   rounds vs n, all algorithms
+  T2   message complexity vs n
+  T3   pointer complexity vs n
+  F1   rounds-vs-n curves
+  T4   topology sensitivity
+  F3   rounds vs diameter (paths)
+  T5   message-loss robustness
+  T6   crash-stop failures
+  T7   design ablations
+  T8   wire-byte complexity
+  T9   discovery under churn
+  T10  asynchronous execution
+  T11  local termination detection
+  F2   knowledge-growth dynamics
+  F4   per-round message budget
+  F5   cluster-head population dynamics
+
+  $ ../../bin/experiments.exe --only T99 2>&1
+  experiments: unknown experiment id(s): T99 (known: T1, T2, T3, F1, T4, F3, T5, T6, T7, T8, T9, T10, T11, F2, F4, F5)
+  [124]

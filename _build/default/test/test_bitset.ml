@@ -1,0 +1,182 @@
+(* Unit and property tests for Repro_util.Bitset, checked against a
+   reference model (sorted int lists). *)
+
+open Repro_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_empty () =
+  let t = Bitset.create 100 in
+  check_int "cardinal" 0 (Bitset.cardinal t);
+  check_bool "is_empty" true (Bitset.is_empty t);
+  check_bool "is_full" false (Bitset.is_full t);
+  check_bool "mem" false (Bitset.mem t 0);
+  check_int "capacity" 100 (Bitset.capacity t)
+
+let test_zero_capacity () =
+  let t = Bitset.create 0 in
+  check_int "cardinal" 0 (Bitset.cardinal t);
+  check_bool "is_full on empty universe" true (Bitset.is_full t);
+  Alcotest.check_raises "mem out of range" (Invalid_argument "Bitset: element out of range")
+    (fun () -> ignore (Bitset.mem t 0))
+
+let test_add_remove () =
+  let t = Bitset.create 70 in
+  check_bool "first add" true (Bitset.add t 5);
+  check_bool "duplicate add" false (Bitset.add t 5);
+  check_bool "mem" true (Bitset.mem t 5);
+  check_int "cardinal" 1 (Bitset.cardinal t);
+  (* word-boundary elements *)
+  List.iter (fun v -> ignore (Bitset.add t v)) [ 0; 31; 32; 33; 63; 64; 69 ];
+  check_int "cardinal after boundary adds" 8 (Bitset.cardinal t);
+  check_bool "remove present" true (Bitset.remove t 32);
+  check_bool "remove absent" false (Bitset.remove t 32);
+  check_bool "mem removed" false (Bitset.mem t 32);
+  check_int "cardinal after remove" 7 (Bitset.cardinal t)
+
+let test_bounds () =
+  let t = Bitset.create 10 in
+  List.iter
+    (fun v ->
+      Alcotest.check_raises "out of range" (Invalid_argument "Bitset: element out of range")
+        (fun () -> ignore (Bitset.add t v)))
+    [ -1; 10; 11 ]
+
+let test_union () =
+  let a = Bitset.of_array 100 [| 1; 2; 3; 40; 64 |] in
+  let b = Bitset.of_array 100 [| 3; 40; 77; 99 |] in
+  let added = Bitset.union_into ~dst:a ~src:b in
+  check_int "added" 2 added;
+  check_int "cardinal" 7 (Bitset.cardinal a);
+  check_bool "mem 77" true (Bitset.mem a 77);
+  check_bool "subset" true (Bitset.subset b a);
+  check_bool "not subset" false (Bitset.subset a b);
+  Alcotest.check_raises "capacity mismatch" (Invalid_argument "Bitset: capacity mismatch")
+    (fun () -> ignore (Bitset.union_into ~dst:a ~src:(Bitset.create 10)))
+
+let test_union_with_callback () =
+  let a = Bitset.of_array 200 [| 5; 150 |] in
+  let b = Bitset.of_array 200 [| 5; 6; 7; 151 |] in
+  let seen = ref [] in
+  let added = Bitset.union_into_with ~dst:a ~src:b (fun v -> seen := v :: !seen) in
+  check_int "added" 3 added;
+  Alcotest.(check (list int)) "fresh elements in increasing order" [ 6; 7; 151 ] (List.rev !seen)
+
+let test_iter_order () =
+  let vs = [| 99; 0; 31; 32; 64; 17 |] in
+  let t = Bitset.of_array 100 vs in
+  Alcotest.(check (list int)) "elements sorted" [ 0; 17; 31; 32; 64; 99 ] (Bitset.elements t);
+  Alcotest.(check (array int)) "to_array" [| 0; 17; 31; 32; 64; 99 |] (Bitset.to_array t)
+
+let test_choose_nth () =
+  let t = Bitset.of_array 100 [| 10; 20; 30; 95 |] in
+  check_int "0th" 10 (Bitset.choose_nth t 0);
+  check_int "2nd" 30 (Bitset.choose_nth t 2);
+  check_int "3rd" 95 (Bitset.choose_nth t 3);
+  Alcotest.check_raises "rank out of range"
+    (Invalid_argument "Bitset.choose_nth: rank out of range") (fun () ->
+      ignore (Bitset.choose_nth t 4))
+
+let test_inter_cardinal () =
+  let a = Bitset.of_array 128 [| 0; 1; 2; 64; 100 |] in
+  let b = Bitset.of_array 128 [| 1; 64; 127 |] in
+  check_int "intersection" 2 (Bitset.inter_cardinal a b)
+
+let test_equal_copy () =
+  let a = Bitset.of_array 64 [| 1; 33; 63 |] in
+  let b = Bitset.copy a in
+  check_bool "copy equal" true (Bitset.equal a b);
+  ignore (Bitset.add b 2);
+  check_bool "copy independent" false (Bitset.equal a b);
+  check_int "original untouched" 3 (Bitset.cardinal a)
+
+let test_is_full () =
+  let t = Bitset.create 33 in
+  for v = 0 to 32 do
+    ignore (Bitset.add t v)
+  done;
+  check_bool "full" true (Bitset.is_full t);
+  ignore (Bitset.remove t 32);
+  check_bool "not full" false (Bitset.is_full t)
+
+(* ---- properties against a reference model ---- *)
+
+let model_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 300 in
+    let* vs = list_size (int_range 0 200) (int_range 0 (n - 1)) in
+    return (n, vs))
+
+let prop_matches_model =
+  QCheck2.Test.make ~name:"bitset matches sorted-list model" ~count:300 model_gen
+    (fun (n, vs) ->
+      let t = Bitset.create n in
+      List.iter (fun v -> ignore (Bitset.add t v)) vs;
+      let model = List.sort_uniq compare vs in
+      Bitset.elements t = model
+      && Bitset.cardinal t = List.length model
+      && List.for_all (fun v -> Bitset.mem t v) model)
+
+let prop_union_is_set_union =
+  QCheck2.Test.make ~name:"union_into computes set union" ~count:300
+    QCheck2.Gen.(
+      let* n = int_range 1 200 in
+      let* xs = list_size (int_range 0 100) (int_range 0 (n - 1)) in
+      let* ys = list_size (int_range 0 100) (int_range 0 (n - 1)) in
+      return (n, xs, ys))
+    (fun (n, xs, ys) ->
+      let a = Bitset.of_array n (Array.of_list xs) in
+      let b = Bitset.of_array n (Array.of_list ys) in
+      let before = Bitset.cardinal a in
+      let added = Bitset.union_into ~dst:a ~src:b in
+      let expected = List.sort_uniq compare (xs @ ys) in
+      Bitset.elements a = expected && added = Bitset.cardinal a - before)
+
+let prop_choose_nth_consistent =
+  QCheck2.Test.make ~name:"choose_nth agrees with elements" ~count:200 model_gen
+    (fun (n, vs) ->
+      let t = Bitset.create n in
+      List.iter (fun v -> ignore (Bitset.add t v)) vs;
+      let elems = Array.of_list (Bitset.elements t) in
+      Array.for_all (fun x -> x) (Array.mapi (fun i v -> Bitset.choose_nth t i = v) elems))
+
+let prop_subset_reflexive_after_union =
+  QCheck2.Test.make ~name:"src is subset of dst after union" ~count:200
+    QCheck2.Gen.(
+      let* n = int_range 1 200 in
+      let* xs = list_size (int_range 0 100) (int_range 0 (n - 1)) in
+      let* ys = list_size (int_range 0 100) (int_range 0 (n - 1)) in
+      return (n, xs, ys))
+    (fun (n, xs, ys) ->
+      let a = Bitset.of_array n (Array.of_list xs) in
+      let b = Bitset.of_array n (Array.of_list ys) in
+      ignore (Bitset.union_into ~dst:a ~src:b);
+      Bitset.subset b a)
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "zero capacity" `Quick test_zero_capacity;
+          Alcotest.test_case "add/remove" `Quick test_add_remove;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "union callback" `Quick test_union_with_callback;
+          Alcotest.test_case "iteration order" `Quick test_iter_order;
+          Alcotest.test_case "choose_nth" `Quick test_choose_nth;
+          Alcotest.test_case "inter_cardinal" `Quick test_inter_cardinal;
+          Alcotest.test_case "equal/copy" `Quick test_equal_copy;
+          Alcotest.test_case "is_full" `Quick test_is_full;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_matches_model;
+            prop_union_is_set_union;
+            prop_choose_nth_consistent;
+            prop_subset_reflexive_after_union;
+          ] );
+    ]

@@ -1,0 +1,70 @@
+(* A run is specified to be a pure function of (algorithm, topology,
+   seed, fault model); these tests pin that down for every algorithm. *)
+
+open Repro_engine
+open Repro_graph
+open Repro_discovery
+
+let summary (r : Run.result) =
+  (r.Run.completed, r.Run.rounds, r.Run.messages, r.Run.pointers, r.Run.dropped)
+
+let run algo ~seed ?(fault = Fault.none) () =
+  let topology = Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n:128 ~seed in
+  Run.exec ~seed ~fault ~max_rounds:2000 algo topology
+
+let test_same_seed (algo : Algorithm.t) () =
+  let a = run algo ~seed:11 () and b = run algo ~seed:11 () in
+  if summary a <> summary b then
+    Alcotest.failf "%s not deterministic for fixed seed" algo.Algorithm.name
+
+let test_seed_matters () =
+  (* randomized algorithms should (almost surely) differ across seeds in
+     at least one of the cost measures over a few seeds *)
+  List.iter
+    (fun (algo : Algorithm.t) ->
+      let outcomes = List.map (fun seed -> summary (run algo ~seed ())) [ 1; 2; 3; 4 ] in
+      let distinct = List.sort_uniq compare outcomes in
+      if List.length distinct < 2 then
+        Alcotest.failf "%s produced identical outcomes across seeds" algo.Algorithm.name)
+    [ Name_dropper.algorithm; Rand_gossip.algorithm ]
+
+let test_fault_determinism () =
+  let fault = Fault.with_loss Fault.none ~p:0.2 in
+  List.iter
+    (fun (algo : Algorithm.t) ->
+      let a = run algo ~seed:5 ~fault () and b = run algo ~seed:5 ~fault () in
+      if summary a <> summary b then
+        Alcotest.failf "%s not deterministic under loss" algo.Algorithm.name)
+    [ Hm_gossip.algorithm; Name_dropper.algorithm ]
+
+let test_min_pointer_uses_no_randomness () =
+  (* the deterministic baseline must produce identical round counts on
+     the same topology even when the run seed (hence label permutation
+     and rng streams) changes — its decisions use raw ids only. To test
+     this, fix the topology while varying the seed. *)
+  let topology = Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n:128 ~seed:7 in
+  let rounds =
+    List.map
+      (fun seed -> (Run.exec ~seed ~max_rounds:2000 Min_pointer.algorithm topology).Run.rounds)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "identical rounds across seeds"
+    [ List.hd rounds; List.hd rounds; List.hd rounds ]
+    rounds
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "fixed seed",
+        List.map
+          (fun (a : Algorithm.t) ->
+            Alcotest.test_case a.Algorithm.name `Quick (test_same_seed a))
+          Registry.all );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "randomized algorithms vary with seed" `Quick test_seed_matters;
+          Alcotest.test_case "deterministic under loss" `Quick test_fault_determinism;
+          Alcotest.test_case "min_pointer is seed-independent" `Quick
+            test_min_pointer_uses_no_randomness;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* Smoke and unit tests for the experiment harness. *)
+
+open Repro_util
+open Repro_graph
+open Repro_discovery
+open Repro_experiments
+
+let tmpdir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "repro_exp_%d" (Unix.getpid ()))
+  in
+  Csvio.ensure_dir dir;
+  dir
+
+let test_sweepcell_aggregates () =
+  let c =
+    Sweepcell.run ~algo:Hm_gossip.algorithm ~family:(Generate.K_out 3) ~n:64
+      ~seeds:[ 1; 2; 3 ] ()
+  in
+  Alcotest.(check int) "attempts" 3 c.Sweepcell.attempts;
+  Alcotest.(check int) "completions" 3 c.Sweepcell.completions;
+  (match c.Sweepcell.rounds with
+  | None -> Alcotest.fail "expected rounds summary"
+  | Some s -> Alcotest.(check int) "three samples" 3 s.Stats.count);
+  Alcotest.(check string) "algo" "hm" c.Sweepcell.algo
+
+let test_sweepcell_dnf () =
+  let c =
+    Sweepcell.run
+      ~algo:(Hm_gossip.with_variant ~broadcast:Hm_gossip.Off ())
+      ~family:(Generate.K_out 3) ~n:64 ~seeds:[ 1 ] ~max_rounds:50 ()
+  in
+  Alcotest.(check int) "no completions" 0 c.Sweepcell.completions;
+  Alcotest.(check string) "cell renders DNF" "DNF" (Sweepcell.rounds_cell c);
+  Alcotest.(check string) "messages DNF" "DNF" (Sweepcell.messages_cell c)
+
+let test_topology_of_matches_cli_convention () =
+  let a = Sweepcell.topology_of ~family:(Generate.K_out 3) ~n:50 ~seed:5 in
+  let rng = Rng.substream ~seed:5 ~index:0x70b0 in
+  let b = Generate.build (Generate.K_out 3) ~rng ~n:50 in
+  Alcotest.(check bool) "same topology" true (Topology.edges a = Topology.edges b)
+
+let test_crash_fault_shape () =
+  let f = Sweepcell.crash_fault ~seed:1 ~n:100 ~count:10 in
+  let crashes = Repro_engine.Fault.crashed_nodes f in
+  Alcotest.(check int) "ten victims" 10 (List.length crashes);
+  List.iter
+    (fun (node, round) ->
+      if node < 0 || node >= 100 then Alcotest.failf "victim out of range: %d" node;
+      if round < 1 || round > 5 then Alcotest.failf "crash round out of window: %d" round)
+    crashes;
+  Alcotest.(check int) "count 0 means no faults" 0
+    (List.length (Repro_engine.Fault.crashed_nodes (Sweepcell.crash_fault ~seed:1 ~n:100 ~count:0)))
+
+let test_approx_int () =
+  Alcotest.(check string) "small" "950" (Sweepcell.approx_int 950.0);
+  Alcotest.(check string) "k" "2.1k" (Sweepcell.approx_int 2100.0);
+  Alcotest.(check string) "10k+" "37k" (Sweepcell.approx_int 37000.0);
+  Alcotest.(check string) "M" "3.5M" (Sweepcell.approx_int 3_500_000.0);
+  Alcotest.(check string) "G" "2.10G" (Sweepcell.approx_int 2.1e9)
+
+let test_report_capture_and_csv () =
+  let dir = tmpdir () in
+  let r = Report.create ~results_dir:dir in
+  Report.section r ~id:"TX" ~title:"smoke";
+  Report.emit r "hello\n";
+  Report.csv r ~name:"smoke" ~header:[ "a" ] ~rows:[ [ "1" ]; [ "2" ] ];
+  let captured = Report.captured r in
+  Alcotest.(check bool) "section captured" true
+    (String.length captured > 0 && Report.results_dir r = dir);
+  Alcotest.(check bool) "csv exists" true (Sys.file_exists (Filename.concat dir "smoke.csv"))
+
+let test_suite_ids () =
+  Alcotest.(check (list string)) "experiment ids"
+    [ "T1"; "T2"; "T3"; "F1"; "T4"; "F3"; "T5"; "T6"; "T7"; "T8"; "T9"; "T10"; "T11"; "F2"; "F4"; "F5" ]
+    (Suite.ids ())
+
+let test_suite_unknown_id () =
+  match Suite.run ~only:[ "T99" ] ~results_dir:(tmpdir ()) () with
+  | Ok () -> Alcotest.fail "expected error for unknown id"
+  | Error msg -> Alcotest.(check bool) "mentions the id" true (String.length msg > 0)
+
+let test_suite_quick_selection () =
+  (* run the two cheapest entries end-to-end in quick mode *)
+  let dir = tmpdir () in
+  match Suite.run ~only:[ "F4"; "T7" ] ~quick:true ~results_dir:dir () with
+  | Error msg -> Alcotest.fail msg
+  | Ok () ->
+    Alcotest.(check bool) "report written" true
+      (Sys.file_exists (Filename.concat dir "report.md"));
+    Alcotest.(check bool) "t7 csv" true (Sys.file_exists (Filename.concat dir "t7_ablations.csv"));
+    Alcotest.(check bool) "f4 csv" true
+      (Sys.file_exists (Filename.concat dir "f4_msgs_per_round.csv"))
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "sweepcell",
+        [
+          Alcotest.test_case "aggregates" `Quick test_sweepcell_aggregates;
+          Alcotest.test_case "DNF rendering" `Quick test_sweepcell_dnf;
+          Alcotest.test_case "topology convention" `Quick test_topology_of_matches_cli_convention;
+          Alcotest.test_case "crash fault shape" `Quick test_crash_fault_shape;
+          Alcotest.test_case "approx_int" `Quick test_approx_int;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "capture and csv" `Quick test_report_capture_and_csv ] );
+      ( "suite",
+        [
+          Alcotest.test_case "ids" `Quick test_suite_ids;
+          Alcotest.test_case "unknown id" `Quick test_suite_unknown_id;
+          Alcotest.test_case "quick selection runs" `Slow test_suite_quick_selection;
+        ] );
+    ]

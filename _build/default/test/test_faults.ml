@@ -1,0 +1,156 @@
+(* Fault-injection tests: message loss and crash-stop failures against
+   the loss-tolerant algorithms and the completion predicates. *)
+
+open Repro_engine
+open Repro_graph
+open Repro_discovery
+
+let topology ~n ~seed =
+  Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n ~seed
+
+let test_loss_tolerance () =
+  (* every retransmitting algorithm must finish under 30% loss *)
+  List.iter
+    (fun (algo : Algorithm.t) ->
+      List.iter
+        (fun seed ->
+          let fault = Fault.with_loss Fault.none ~p:0.3 in
+          let r = Run.exec ~seed ~fault ~max_rounds:2000 algo (topology ~n:128 ~seed) in
+          if not r.Run.completed then
+            Alcotest.failf "%s seed=%d did not survive 30%% loss" algo.Algorithm.name seed)
+        [ 1; 2; 3 ])
+    [
+      Hm_gossip.algorithm;
+      Hm_gossip.with_variant ~upward:Hm_gossip.Full ();
+      Rand_gossip.algorithm;
+      Name_dropper.algorithm;
+      Min_pointer.algorithm;
+      Swamping.algorithm;
+    ]
+
+let test_loss_slows_but_never_breaks_hm () =
+  let rounds p =
+    let fault = if p > 0.0 then Fault.with_loss Fault.none ~p else Fault.none in
+    let r = Run.exec ~seed:3 ~fault ~max_rounds:2000 Hm_gossip.algorithm (topology ~n:256 ~seed:3) in
+    Alcotest.(check bool) (Printf.sprintf "completed at loss %.1f" p) true r.Run.completed;
+    r.Run.rounds
+  in
+  let clean = rounds 0.0 in
+  let lossy = rounds 0.4 in
+  Alcotest.(check bool) "loss costs rounds" true (lossy >= clean)
+
+let test_crash_survivors_complete () =
+  List.iter
+    (fun (algo : Algorithm.t) ->
+      List.iter
+        (fun seed ->
+          let n = 128 in
+          let fault = Repro_experiments.Sweepcell.crash_fault ~seed ~n ~count:12 in
+          let r =
+            Run.exec ~seed ~fault ~completion:Run.Survivors_strong ~max_rounds:2000 algo
+              (topology ~n ~seed)
+          in
+          if not r.Run.completed then
+            Alcotest.failf "%s seed=%d: survivors did not complete" algo.Algorithm.name seed;
+          let crashed = Array.length (Array.of_seq (Seq.filter (fun b -> not b) (Array.to_seq r.Run.alive))) in
+          Alcotest.(check int) "all scheduled crashes happened" 12 crashed)
+        [ 1; 2 ])
+    [ Hm_gossip.algorithm; Rand_gossip.algorithm; Name_dropper.algorithm ]
+
+let test_hm_survives_sink_crash () =
+  (* crash the rank minimum in the endgame: hm must suspect and recover *)
+  let n = 256 and seed = 1 in
+  let labels = Repro_util.Rng.permutation (Repro_util.Rng.substream ~seed ~index:0) n in
+  let rank_min = ref 0 in
+  Array.iteri (fun v l -> if l < labels.(!rank_min) then rank_min := v) labels;
+  let fault = Fault.with_crash Fault.none ~node:!rank_min ~round:4 in
+  let r =
+    Run.exec ~seed ~fault ~completion:Run.Survivors_strong ~max_rounds:2000 Hm_gossip.algorithm
+      (topology ~n ~seed)
+  in
+  Alcotest.(check bool) "recovered from sink crash" true r.Run.completed
+
+let test_min_pointer_stalls_on_late_sink_crash () =
+  (* the deterministic baseline has no failure detection: killing node 0
+     once everyone points at it wedges the run *)
+  let n = 1024 and seed = 1 in
+  let fault = Fault.with_crash Fault.none ~node:0 ~round:5 in
+  let r =
+    Run.exec ~seed ~fault ~completion:Run.Survivors_strong ~max_rounds:400 Min_pointer.algorithm
+      (topology ~n ~seed)
+  in
+  Alcotest.(check bool) "stalled" false r.Run.completed
+
+let test_crash_all_but_one () =
+  let n = 16 and seed = 2 in
+  let fault = Fault.with_crashes Fault.none (List.init 15 (fun i -> (i + 1, 1))) in
+  let r =
+    Run.exec ~seed ~fault ~completion:Run.Survivors_strong ~max_rounds:50 Hm_gossip.algorithm
+      (topology ~n ~seed)
+  in
+  (* a single survivor trivially knows all survivors *)
+  Alcotest.(check bool) "lone survivor completes" true r.Run.completed
+
+let test_churn_stabilizes () =
+  (* half the fleet joins late, in two waves; every gossip algorithm must
+     still reach strong completion, which is gated on the last join *)
+  List.iter
+    (fun (algo : Algorithm.t) ->
+      List.iter
+        (fun seed ->
+          let n = 128 in
+          let rng = Repro_util.Rng.substream ~seed ~index:0x901d in
+          let late = Repro_util.Rng.sample_distinct rng ~n ~k:(n / 2) ~avoid:(-1) in
+          let joins = List.mapi (fun i v -> (v, if i mod 2 = 0 then 4 else 9)) (Array.to_list late) in
+          let fault = Fault.with_joins Fault.none joins in
+          let r = Run.exec ~seed ~fault ~max_rounds:2000 algo (topology ~n ~seed) in
+          if not r.Run.completed then
+            Alcotest.failf "%s seed=%d did not stabilise under churn" algo.Algorithm.name seed;
+          if r.Run.rounds < 9 then
+            Alcotest.failf "%s seed=%d completed before the last join" algo.Algorithm.name seed)
+        [ 1; 2 ])
+    [ Hm_gossip.algorithm; Rand_gossip.algorithm; Name_dropper.algorithm ]
+
+let test_churn_with_loss () =
+  (* churn and loss together: the stress test of the retransmission and
+     suspicion machinery *)
+  let n = 128 and seed = 5 in
+  let rng = Repro_util.Rng.substream ~seed ~index:0x901d in
+  let late = Repro_util.Rng.sample_distinct rng ~n ~k:32 ~avoid:(-1) in
+  let fault =
+    Fault.with_loss
+      (Fault.with_joins Fault.none (List.map (fun v -> (v, 6)) (Array.to_list late)))
+      ~p:0.2
+  in
+  let r = Run.exec ~seed ~fault ~max_rounds:2000 Hm_gossip.algorithm (topology ~n ~seed) in
+  Alcotest.(check bool) "completed" true r.Run.completed
+
+let test_drops_accounted () =
+  let fault = Fault.with_loss Fault.none ~p:0.5 in
+  let r = Run.exec ~seed:1 ~fault ~max_rounds:2000 Name_dropper.algorithm (topology ~n:64 ~seed:1) in
+  Alcotest.(check int) "sent = delivered + dropped" r.Run.messages (r.Run.delivered + r.Run.dropped);
+  Alcotest.(check bool) "some drops happened" true (r.Run.dropped > 0)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "loss",
+        [
+          Alcotest.test_case "30% loss tolerated" `Slow test_loss_tolerance;
+          Alcotest.test_case "loss slows hm" `Quick test_loss_slows_but_never_breaks_hm;
+          Alcotest.test_case "drop accounting" `Quick test_drops_accounted;
+        ] );
+      ( "crashes",
+        [
+          Alcotest.test_case "survivors complete" `Quick test_crash_survivors_complete;
+          Alcotest.test_case "hm survives sink crash" `Quick test_hm_survives_sink_crash;
+          Alcotest.test_case "min_pointer stalls on late sink crash" `Quick
+            test_min_pointer_stalls_on_late_sink_crash;
+          Alcotest.test_case "all but one crash" `Quick test_crash_all_but_one;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "late joins stabilise" `Quick test_churn_stabilizes;
+          Alcotest.test_case "churn with loss" `Quick test_churn_with_loss;
+        ] );
+    ]

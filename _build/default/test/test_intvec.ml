@@ -1,0 +1,79 @@
+open Repro_util
+
+let test_basic () =
+  let v = Intvec.create () in
+  Alcotest.(check bool) "empty" true (Intvec.is_empty v);
+  Intvec.push v 10;
+  Intvec.push v 20;
+  Intvec.push v 30;
+  Alcotest.(check int) "length" 3 (Intvec.length v);
+  Alcotest.(check int) "get 1" 20 (Intvec.get v 1);
+  Alcotest.(check int) "last" 30 (Intvec.last v);
+  Intvec.set v 1 99;
+  Alcotest.(check int) "set" 99 (Intvec.get v 1);
+  Alcotest.(check int) "pop" 30 (Intvec.pop v);
+  Alcotest.(check int) "length after pop" 2 (Intvec.length v);
+  Intvec.clear v;
+  Alcotest.(check bool) "cleared" true (Intvec.is_empty v)
+
+let test_growth () =
+  let v = Intvec.create ~capacity:1 () in
+  for i = 0 to 999 do
+    Intvec.push v i
+  done;
+  Alcotest.(check int) "length" 1000 (Intvec.length v);
+  Alcotest.(check (array int)) "contents" (Array.init 1000 (fun i -> i)) (Intvec.to_array v)
+
+let test_bounds () =
+  let v = Intvec.of_array [| 1; 2 |] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Intvec: index out of bounds") (fun () ->
+      ignore (Intvec.get v 2));
+  Alcotest.check_raises "set oob" (Invalid_argument "Intvec: index out of bounds") (fun () ->
+      Intvec.set v (-1) 0);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Intvec.pop: empty") (fun () ->
+      let e = Intvec.create () in
+      ignore (Intvec.pop e));
+  Alcotest.check_raises "sub oob" (Invalid_argument "Intvec.sub: invalid slice") (fun () ->
+      ignore (Intvec.sub v ~pos:1 ~len:2))
+
+let test_sub () =
+  let v = Intvec.of_array [| 5; 6; 7; 8; 9 |] in
+  Alcotest.(check (array int)) "middle slice" [| 6; 7; 8 |] (Intvec.sub v ~pos:1 ~len:3);
+  Alcotest.(check (array int)) "empty slice" [||] (Intvec.sub v ~pos:5 ~len:0)
+
+let test_iter_fold () =
+  let v = Intvec.of_array [| 1; 2; 3 |] in
+  Alcotest.(check int) "fold sum" 6 (Intvec.fold ( + ) 0 v);
+  let idx_sum = ref 0 in
+  Intvec.iteri (fun i x -> idx_sum := !idx_sum + (i * x)) v;
+  Alcotest.(check int) "iteri" 8 !idx_sum
+
+let test_of_array_copies () =
+  let a = [| 1; 2; 3 |] in
+  let v = Intvec.of_array a in
+  a.(0) <- 99;
+  Alcotest.(check int) "of_array copies" 1 (Intvec.get v 0)
+
+let prop_push_pop_roundtrip =
+  QCheck2.Test.make ~name:"pushes then pops return reversed input" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 100) int)
+    (fun xs ->
+      let v = Intvec.create () in
+      List.iter (Intvec.push v) xs;
+      let popped = List.init (List.length xs) (fun _ -> Intvec.pop v) in
+      popped = List.rev xs && Intvec.is_empty v)
+
+let () =
+  Alcotest.run "intvec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "sub" `Quick test_sub;
+          Alcotest.test_case "iter/fold" `Quick test_iter_fold;
+          Alcotest.test_case "of_array copies" `Quick test_of_array_copies;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_push_pop_roundtrip ]);
+    ]

@@ -1,0 +1,165 @@
+open Repro_util
+open Repro_discovery
+
+let mk ?(n = 10) ?(owner = 0) ?labels () =
+  let labels = match labels with Some l -> l | None -> Array.init n (fun i -> i) in
+  Knowledge.create ~n ~owner ~labels
+
+let test_initial () =
+  let k = mk ~owner:3 () in
+  Alcotest.(check int) "owner" 3 (Knowledge.owner k);
+  Alcotest.(check int) "universe" 10 (Knowledge.universe k);
+  Alcotest.(check int) "cardinal" 1 (Knowledge.cardinal k);
+  Alcotest.(check bool) "knows self" true (Knowledge.knows k 3);
+  Alcotest.(check bool) "complete?" false (Knowledge.is_complete k);
+  Alcotest.(check int) "min is self" 3 (Knowledge.min_known k);
+  Alcotest.(check int) "raw min is self" 3 (Knowledge.min_known_raw k)
+
+let test_validation () =
+  Alcotest.check_raises "owner range" (Invalid_argument "Knowledge.create: owner out of range")
+    (fun () -> ignore (Knowledge.create ~n:3 ~owner:3 ~labels:[| 0; 1; 2 |]));
+  Alcotest.check_raises "labels length"
+    (Invalid_argument "Knowledge.create: labels length mismatch") (fun () ->
+      ignore (Knowledge.create ~n:3 ~owner:0 ~labels:[| 0; 1 |]))
+
+let test_add_and_merge () =
+  let k = mk () in
+  Alcotest.(check bool) "new" true (Knowledge.add k 5);
+  Alcotest.(check bool) "dup" false (Knowledge.add k 5);
+  Alcotest.(check int) "merge_ids" 2 (Knowledge.merge_ids k [| 5; 6; 7 |]);
+  let bits = Bitset.of_array 10 [| 6; 8; 9 |] in
+  Alcotest.(check int) "merge_bits" 2 (Knowledge.merge_bits k bits);
+  Alcotest.(check int) "cardinal" 6 (Knowledge.cardinal k);
+  Alcotest.(check (array int)) "learn order" [| 0; 5; 6; 7; 8; 9 |]
+    (Knowledge.elements_in_learn_order k)
+
+let test_completion () =
+  let k = mk ~n:3 () in
+  ignore (Knowledge.merge_ids k [| 1; 2 |]);
+  Alcotest.(check bool) "complete" true (Knowledge.is_complete k)
+
+let test_min_tracking () =
+  (* labels reverse the raw order: node 9 has label 0 *)
+  let labels = Array.init 10 (fun i -> 9 - i) in
+  let k = mk ~owner:5 ~labels () in
+  Alcotest.(check int) "min initially self" 5 (Knowledge.min_known k);
+  ignore (Knowledge.add k 3);
+  (* label of 3 is 6 > label of 5 which is 4: min unchanged *)
+  Alcotest.(check int) "min unchanged" 5 (Knowledge.min_known k);
+  ignore (Knowledge.add k 8);
+  (* label of 8 is 1 < 4 *)
+  Alcotest.(check int) "min by label" 8 (Knowledge.min_known k);
+  Alcotest.(check int) "min by raw id" 3 (Knowledge.min_known_raw k)
+
+let test_min_excluding () =
+  let labels = Array.init 10 (fun i -> 9 - i) in
+  let k = mk ~owner:5 ~labels () in
+  ignore (Knowledge.merge_ids k [| 8; 9; 3 |]);
+  Alcotest.(check int) "unsuspected min" 9 (Knowledge.min_known k);
+  let suspects = Bitset.of_array 10 [| 9 |] in
+  Alcotest.(check int) "skip suspect" 8 (Knowledge.min_known_excluding k ~suspects);
+  let all = Bitset.of_array 10 [| 9; 8; 3 |] in
+  Alcotest.(check int) "fall back to owner" 5 (Knowledge.min_known_excluding k ~suspects:all);
+  Alcotest.check_raises "capacity" (Invalid_argument "Knowledge.min_known_excluding: capacity mismatch")
+    (fun () -> ignore (Knowledge.min_known_excluding k ~suspects:(Bitset.create 3)))
+
+let test_marks_and_since () =
+  let k = mk () in
+  let m0 = Knowledge.mark k in
+  ignore (Knowledge.merge_ids k [| 4; 2 |]);
+  Alcotest.(check (array int)) "delta" [| 4; 2 |] (Knowledge.since k ~mark:m0);
+  let m1 = Knowledge.mark k in
+  Alcotest.(check (array int)) "empty delta" [||] (Knowledge.since k ~mark:m1);
+  ignore (Knowledge.add k 7);
+  Alcotest.(check (array int)) "next delta" [| 7 |] (Knowledge.since k ~mark:m1);
+  Alcotest.(check (array int)) "from zero includes owner" [| 0; 4; 2; 7 |]
+    (Knowledge.since k ~mark:0);
+  Alcotest.check_raises "stale mark" (Invalid_argument "Knowledge.since: invalid mark")
+    (fun () -> ignore (Knowledge.since k ~mark:99))
+
+let test_snapshot_independent () =
+  let k = mk () in
+  let snap = Knowledge.snapshot k in
+  ignore (Knowledge.add k 4);
+  Alcotest.(check int) "snapshot frozen" 1 (Bitset.cardinal snap);
+  Alcotest.(check int) "live contents" 2 (Bitset.cardinal (Knowledge.contents k))
+
+let test_random_known () =
+  let rng = Rng.create ~seed:1 in
+  let k = mk () in
+  Alcotest.(check (option int)) "nobody else" None (Knowledge.random_known k rng);
+  ignore (Knowledge.merge_ids k [| 4; 7 |]);
+  for _ = 1 to 50 do
+    match Knowledge.random_known k rng with
+    | Some v when v = 4 || v = 7 -> ()
+    | Some v -> Alcotest.failf "random_known returned %d" v
+    | None -> Alcotest.fail "random_known returned None"
+  done
+
+let test_random_known_among () =
+  let rng = Rng.create ~seed:2 in
+  let k = mk () in
+  ignore (Knowledge.merge_ids k [| 1; 2; 3 |]);
+  Alcotest.(check int) "clipped to available" 3
+    (Array.length (Knowledge.random_known_among k rng ~k:10));
+  let pick = Knowledge.random_known_among k rng ~k:2 in
+  Alcotest.(check int) "requested count" 2 (Array.length pick);
+  Alcotest.(check bool) "distinct" true (pick.(0) <> pick.(1));
+  Array.iter
+    (fun v -> if v = 0 then Alcotest.fail "owner returned by random_known_among")
+    pick;
+  Alcotest.(check int) "k=0" 0 (Array.length (Knowledge.random_known_among k rng ~k:0))
+
+let prop_learn_order_matches_set =
+  QCheck2.Test.make ~name:"learn order is a duplicate-free enumeration of the set" ~count:200
+    QCheck2.Gen.(
+      let* n = int_range 1 50 in
+      let* owner = int_range 0 (n - 1) in
+      let* adds = list_size (int_range 0 100) (int_range 0 (n - 1)) in
+      return (n, owner, adds))
+    (fun (n, owner, adds) ->
+      let k = Knowledge.create ~n ~owner ~labels:(Array.init n (fun i -> i)) in
+      List.iter (fun v -> ignore (Knowledge.add k v)) adds;
+      let order = Array.to_list (Knowledge.elements_in_learn_order k) in
+      let expected = List.sort_uniq compare (owner :: adds) in
+      List.sort compare order = expected
+      && List.length order = Knowledge.cardinal k
+      && List.for_all (Knowledge.knows k) order)
+
+let prop_min_tracking_correct =
+  QCheck2.Test.make ~name:"tracked minima match recomputation" ~count:200
+    QCheck2.Gen.(
+      let* n = int_range 1 40 in
+      let* owner = int_range 0 (n - 1) in
+      let* seed = int_range 0 1000 in
+      let* adds = list_size (int_range 0 60) (int_range 0 (n - 1)) in
+      return (n, owner, seed, adds))
+    (fun (n, owner, seed, adds) ->
+      let labels = Rng.permutation (Rng.create ~seed) n in
+      let k = Knowledge.create ~n ~owner ~labels in
+      List.iter (fun v -> ignore (Knowledge.add k v)) adds;
+      let known = Array.to_list (Knowledge.elements_in_learn_order k) in
+      let by_label = List.fold_left (fun acc v -> if labels.(v) < labels.(acc) then v else acc) owner known in
+      let by_raw = List.fold_left min owner known in
+      Knowledge.min_known k = by_label && Knowledge.min_known_raw k = by_raw)
+
+let () =
+  Alcotest.run "knowledge"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "initial" `Quick test_initial;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "add/merge" `Quick test_add_and_merge;
+          Alcotest.test_case "completion" `Quick test_completion;
+          Alcotest.test_case "min tracking" `Quick test_min_tracking;
+          Alcotest.test_case "min excluding suspects" `Quick test_min_excluding;
+          Alcotest.test_case "marks and deltas" `Quick test_marks_and_since;
+          Alcotest.test_case "snapshot independence" `Quick test_snapshot_independent;
+          Alcotest.test_case "random known" `Quick test_random_known;
+          Alcotest.test_case "random known among" `Quick test_random_known_among;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_learn_order_matches_set; prop_min_tracking_correct ] );
+    ]

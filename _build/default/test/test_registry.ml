@@ -1,0 +1,79 @@
+open Repro_discovery
+
+let names (l : Algorithm.t list) = List.map (fun a -> a.Algorithm.name) l
+
+let test_all () =
+  Alcotest.(check (list string)) "catalogue order"
+    [ "flooding"; "swamping"; "pointer_jump"; "name_dropper"; "min_pointer"; "rand_gossip"; "hm" ]
+    (names Registry.all);
+  Alcotest.(check (list string)) "baselines exclude hm"
+    [ "flooding"; "swamping"; "pointer_jump"; "name_dropper"; "min_pointer"; "rand_gossip" ]
+    (names Registry.baselines);
+  Alcotest.(check (list string)) "names()" (names Registry.all) (Registry.names ())
+
+let find_ok name =
+  match Registry.find name with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "find %S failed: %s" name e
+
+let test_find_primary () =
+  List.iter
+    (fun n -> Alcotest.(check string) "resolves" n (find_ok n).Algorithm.name)
+    (Registry.names ())
+
+let test_find_rand_specs () =
+  List.iter
+    (fun (spec, expected) ->
+      Alcotest.(check string) spec expected (find_ok spec).Algorithm.name)
+    [
+      ("rand:push/f1", "rand:push/f1");
+      ("rand:push_pull/f4", "rand:push_pull/f4");
+      ("rand:pull/f2/nbr", "rand:pull/f2/nbr");
+      ("rand:push/f1/delta", "rand:push/f1/delta");
+    ]
+
+let test_find_hm_specs () =
+  List.iter
+    (fun (spec, expected) ->
+      Alcotest.(check string) spec expected (find_ok spec).Algorithm.name)
+    [
+      ("hm:full", "hm:full");
+      ("hm:cap:4", "hm:cap:4");
+      ("hm:nobroadcast", "hm:nobroadcast");
+      ("hm:cap:2/full", "hm:cap:2/full");
+    ]
+
+let test_find_errors () =
+  List.iter
+    (fun spec ->
+      match Registry.find spec with
+      | Ok a -> Alcotest.failf "expected failure for %S, got %s" spec a.Algorithm.name
+      | Error _ -> ())
+    [ "bogus"; "rand:warp/f1"; "rand:push/f0"; "hm:cap:0"; "hm:bogus"; "hm:" ]
+
+let test_spec_algorithms_run () =
+  (* every parseable spec must produce a runnable algorithm *)
+  let topo = Repro_experiments.Sweepcell.topology_of ~family:(Repro_graph.Generate.K_out 3) ~n:48 ~seed:1 in
+  List.iter
+    (fun spec ->
+      let algo = find_ok spec in
+      let r = Run.exec ~seed:1 ~max_rounds:500 algo topo in
+      Alcotest.(check bool) (spec ^ " runs") true (r.Run.rounds > 0))
+    [ "rand:push/f2"; "hm:cap:8"; "hm:full" ]
+
+let () =
+  Alcotest.run "registry"
+    [
+      ( "catalogue",
+        [
+          Alcotest.test_case "all/baselines" `Quick test_all;
+          Alcotest.test_case "find primary" `Quick test_find_primary;
+        ] );
+      ( "specs",
+        [
+          Alcotest.test_case "rand specs" `Quick test_find_rand_specs;
+          Alcotest.test_case "hm specs" `Quick test_find_hm_specs;
+          Alcotest.test_case "errors" `Quick test_find_errors;
+          Alcotest.test_case "spec algorithms run" `Quick test_spec_algorithms_run;
+        ] );
+    ]

@@ -1,0 +1,100 @@
+open Repro_util
+
+let feq ?(eps = 1e-9) name a b =
+  if Float.abs (a -. b) > eps then Alcotest.failf "%s: expected %f, got %f" name a b
+
+let test_summary () =
+  let s = Stats.summarize [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check int) "count" 8 s.Stats.count;
+  feq "mean" 5.0 s.Stats.mean;
+  feq "min" 2.0 s.Stats.min;
+  feq "max" 9.0 s.Stats.max;
+  feq ~eps:1e-6 "stddev (sample)" 2.13809 s.Stats.stddev;
+  feq "median" 4.5 s.Stats.median
+
+let test_summary_singleton () =
+  let s = Stats.summarize [ 3.0 ] in
+  feq "mean" 3.0 s.Stats.mean;
+  feq "stddev" 0.0 s.Stats.stddev;
+  feq "median" 3.0 s.Stats.median
+
+let test_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty") (fun () ->
+      ignore (Stats.summarize []));
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (Stats.mean []))
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  feq "p0" 1.0 (Stats.percentile xs 0.0);
+  feq "p100" 4.0 (Stats.percentile xs 100.0);
+  feq "p50" 2.5 (Stats.percentile xs 50.0);
+  feq "p25" 1.75 (Stats.percentile xs 25.0);
+  Alcotest.check_raises "p out of range" (Invalid_argument "Stats.percentile: p out of range")
+    (fun () -> ignore (Stats.percentile xs 101.0))
+
+let test_geometric_mean () =
+  feq "gm" 4.0 (Stats.geometric_mean [ 2.0; 8.0 ]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geometric_mean: non-positive value") (fun () ->
+      ignore (Stats.geometric_mean [ 1.0; 0.0 ]))
+
+let test_log_helpers () =
+  feq "log2 8" 3.0 (Stats.log2 8.0);
+  feq "loglog2 256" 3.0 (Stats.loglog2 256.0)
+
+let test_fit_exact () =
+  (* ys = 3 * log2 xs exactly: residual 0, ratio 3 *)
+  let xs = [ 2.0; 4.0; 8.0; 16.0; 1024.0 ] in
+  let ys = List.map (fun x -> 3.0 *. Stats.log2 x) xs in
+  feq "ratio" 3.0 (Stats.fit_ratio ~xs ~ys ~f:Stats.log2);
+  feq "residual" 0.0 (Stats.fit_residual ~xs ~ys ~f:Stats.log2)
+
+let test_fit_discriminates () =
+  let xs = [ 128.0; 256.0; 512.0; 1024.0; 4096.0; 16384.0 ] in
+  let ys = List.map (fun x -> 2.0 *. Stats.log2 x) xs in
+  let r_log = Stats.fit_residual ~xs ~ys ~f:Stats.log2 in
+  let r_sq = Stats.fit_residual ~xs ~ys ~f:(fun x -> Stats.log2 x ** 2.0) in
+  Alcotest.(check bool) "log fits log data better than log^2" true (r_log < r_sq)
+
+let test_fit_validation () =
+  Alcotest.check_raises "mismatched" (Invalid_argument "Stats.fit_ratio: bad input") (fun () ->
+      ignore (Stats.fit_ratio ~xs:[ 1.0 ] ~ys:[] ~f:Fun.id))
+
+let prop_summary_bounds =
+  QCheck2.Test.make ~name:"min <= median <= max and mean within [min,max]" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.Stats.min <= s.Stats.median +. 1e-9
+      && s.Stats.median <= s.Stats.max +. 1e-9
+      && s.Stats.min <= s.Stats.mean +. 1e-9
+      && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck2.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck2.Gen.(
+      let* xs = list_size (int_range 1 30) (float_bound_inclusive 100.0) in
+      let* p1 = float_bound_inclusive 100.0 in
+      let* p2 = float_bound_inclusive 100.0 in
+      return (xs, Float.min p1 p2, Float.max p1 p2))
+    (fun (xs, lo, hi) -> Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "singleton" `Quick test_summary_singleton;
+          Alcotest.test_case "empty raises" `Quick test_empty_raises;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "log helpers" `Quick test_log_helpers;
+          Alcotest.test_case "exact fit" `Quick test_fit_exact;
+          Alcotest.test_case "fit discriminates shapes" `Quick test_fit_discriminates;
+          Alcotest.test_case "fit validation" `Quick test_fit_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_summary_bounds; prop_percentile_monotone ] );
+    ]

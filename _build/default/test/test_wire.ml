@@ -1,0 +1,195 @@
+(* Tests for the wire codecs: round-trips, size accounting, framing
+   validation, and the adaptive choice. *)
+
+open Repro_util
+open Repro_discovery
+
+let universe = 300
+
+let payload_testable =
+  Alcotest.testable
+    (fun ppf p -> Format.fprintf ppf "%a" Payload.pp p)
+    (fun a b -> Wire.ids_of_payload a = Wire.ids_of_payload b && Payload.(measure Probe) >= 0)
+
+let roundtrip encoding p =
+  Wire.decode encoding ~universe (Wire.encode encoding ~universe p)
+
+let test_probe_roundtrip () =
+  List.iter
+    (fun e ->
+      match roundtrip e Payload.Probe with
+      | Payload.Probe -> ()
+      | other ->
+        Alcotest.failf "%s probe decoded as %s" (Wire.encoding_name e)
+          (Format.asprintf "%a" Payload.pp other))
+    Wire.all_encodings
+
+let test_halt_roundtrip () =
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "halt is one byte" 1 (Wire.encoded_size e ~universe Payload.Halt);
+      match roundtrip e Payload.Halt with
+      | Payload.Halt -> ()
+      | other ->
+        Alcotest.failf "%s halt decoded as %s" (Wire.encoding_name e)
+          (Format.asprintf "%a" Payload.pp other))
+    Wire.all_encodings
+
+let test_kind_preserved () =
+  let data = Payload.Ids [| 3; 7; 200 |] in
+  List.iter
+    (fun (p, expect) ->
+      match (roundtrip Wire.Adaptive p, expect) with
+      | Payload.Share _, `Share | Payload.Exchange _, `Exchange | Payload.Reply _, `Reply -> ()
+      | got, _ ->
+        Alcotest.failf "kind lost: got %s" (Format.asprintf "%a" Payload.pp got))
+    [ (Payload.Share data, `Share); (Payload.Exchange data, `Exchange); (Payload.Reply data, `Reply) ]
+
+let test_ids_roundtrip_all () =
+  let sets = [ [||]; [| 0 |]; [| universe - 1 |]; [| 5; 5; 5 |]; [| 9; 1; 250; 42 |] ] in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun ids ->
+          let p = Payload.Share (Payload.Ids ids) in
+          let back = roundtrip e p in
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s roundtrip" (Wire.encoding_name e))
+            (List.sort_uniq compare (Array.to_list ids))
+            (Wire.ids_of_payload back))
+        sets)
+    Wire.all_encodings
+
+let test_bits_roundtrip () =
+  let bits = Bitset.of_array universe [| 0; 1; 63; 64; 299 |] in
+  List.iter
+    (fun e ->
+      let back = roundtrip e (Payload.Reply (Payload.Bits bits)) in
+      Alcotest.(check (list int))
+        (Wire.encoding_name e)
+        [ 0; 1; 63; 64; 299 ]
+        (Wire.ids_of_payload back))
+    Wire.all_encodings
+
+let test_size_matches_encode () =
+  let payloads =
+    [
+      Payload.Probe;
+      Payload.Share (Payload.Ids [||]);
+      Payload.Share (Payload.Ids (Array.init 50 (fun i -> i * 3)));
+      Payload.Exchange (Payload.Bits (Bitset.of_array universe [| 1; 2; 100 |]));
+      Payload.Reply (Payload.Bits (Bitset.of_array universe (Array.init universe (fun i -> i))));
+    ]
+  in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun p ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s size" (Wire.encoding_name e))
+            (Bytes.length (Wire.encode e ~universe p))
+            (Wire.encoded_size e ~universe p))
+        payloads)
+    Wire.all_encodings
+
+let test_relative_sizes () =
+  (* a small delta: varint beats bitmap; a full set: bitmap wins *)
+  let small = Payload.Share (Payload.Ids [| 1; 2; 3 |]) in
+  let full = Payload.Share (Payload.Bits (Bitset.of_array universe (Array.init universe Fun.id))) in
+  let size e p = Wire.encoded_size e ~universe p in
+  Alcotest.(check bool) "varint < bitmap on small" true
+    (size Wire.Varint_delta small < size Wire.Bitmap small);
+  Alcotest.(check bool) "bitmap < varint on full" true
+    (size Wire.Bitmap full < size Wire.Varint_delta full);
+  Alcotest.(check bool) "adaptive <= varint (small)" true
+    (size Wire.Adaptive small <= size Wire.Varint_delta small + 0);
+  Alcotest.(check bool) "adaptive <= bitmap (full)" true
+    (size Wire.Adaptive full <= size Wire.Bitmap full + 0);
+  Alcotest.(check bool) "raw32 is the baseline" true
+    (size Wire.Raw32 small >= size Wire.Varint_delta small)
+
+let test_probe_size () =
+  Alcotest.(check int) "probe is one byte" 1 (Wire.encoded_size Wire.Adaptive ~universe Payload.Probe)
+
+let test_range_validation () =
+  Alcotest.check_raises "too big" (Invalid_argument "Wire.encode: identifier out of range")
+    (fun () -> ignore (Wire.encode Wire.Raw32 ~universe (Payload.Share (Payload.Ids [| universe |]))))
+
+let test_decode_validation () =
+  let bad cases =
+    List.iter
+      (fun (name, bytes) ->
+        match Wire.decode Wire.Adaptive ~universe bytes with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.failf "%s: decode accepted malformed input" name)
+      cases
+  in
+  bad
+    [
+      ("empty", Bytes.create 0);
+      ("unknown kind", Bytes.of_string "\007\001\000");
+      ("unknown codec", Bytes.of_string "\000\009\000");
+      ("oversized probe", Bytes.of_string "\003\000");
+      ("truncated varint", Bytes.of_string "\000\001\255");
+      ("raw32 length mismatch", Bytes.of_string "\000\000\002\001\000\000\000");
+      ("bitmap width mismatch", Bytes.of_string "\000\002\000");
+    ]
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"wire roundtrip over random id sets and codecs" ~count:400
+    QCheck2.Gen.(
+      let* universe = int_range 1 600 in
+      let* ids = list_size (int_range 0 80) (int_range 0 (universe - 1)) in
+      let* enc = oneofl Wire.all_encodings in
+      let* kind = int_range 0 2 in
+      return (universe, ids, enc, kind))
+    (fun (universe, ids, enc, kind) ->
+      let data = Payload.Ids (Array.of_list ids) in
+      let p =
+        match kind with
+        | 0 -> Payload.Share data
+        | 1 -> Payload.Exchange data
+        | _ -> Payload.Reply data
+      in
+      let encoded = Wire.encode enc ~universe p in
+      let back = Wire.decode enc ~universe encoded in
+      Wire.ids_of_payload back = List.sort_uniq compare ids
+      && Bytes.length encoded = Wire.encoded_size enc ~universe p)
+
+let prop_adaptive_never_worse =
+  QCheck2.Test.make ~name:"adaptive is min(varint, bitmap)" ~count:300
+    QCheck2.Gen.(
+      let* universe = int_range 1 600 in
+      let* ids = list_size (int_range 0 200) (int_range 0 (universe - 1)) in
+      return (universe, ids))
+    (fun (universe, ids) ->
+      let p = Payload.Share (Payload.Ids (Array.of_list ids)) in
+      let size e = Wire.encoded_size e ~universe p in
+      size Wire.Adaptive = min (size Wire.Varint_delta) (size Wire.Bitmap))
+
+let () =
+  ignore payload_testable;
+  Alcotest.run "wire"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "probe" `Quick test_probe_roundtrip;
+          Alcotest.test_case "halt" `Quick test_halt_roundtrip;
+          Alcotest.test_case "kinds preserved" `Quick test_kind_preserved;
+          Alcotest.test_case "id sets" `Quick test_ids_roundtrip_all;
+          Alcotest.test_case "bitsets" `Quick test_bits_roundtrip;
+        ] );
+      ( "sizes",
+        [
+          Alcotest.test_case "size matches encode" `Quick test_size_matches_encode;
+          Alcotest.test_case "relative sizes" `Quick test_relative_sizes;
+          Alcotest.test_case "probe size" `Quick test_probe_size;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "encode range" `Quick test_range_validation;
+          Alcotest.test_case "decode malformed" `Quick test_decode_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_adaptive_never_worse ] );
+    ]
