@@ -1,0 +1,31 @@
+# Convenience entry points; everything below is plain dune.
+
+.PHONY: all build test check quick experiments bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The PR gate: build, full test suite, then the quick experiment suite
+# end-to-end on a 2-worker pool (exercises the parallel executor and the
+# determinism guarantee on a real run).
+check:
+	dune build
+	dune runtest
+	REPRO_JOBS=2 dune exec bin/experiments.exe -- --quick --results-dir _build/check-results
+
+quick:
+	dune exec bin/experiments.exe -- --quick
+
+experiments:
+	dune exec bin/experiments.exe
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -73,7 +73,7 @@ let full_run name algo =
           let topo =
             Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n:1024 ~seed
           in
-          let r = Run.exec ~seed algo topo in
+          let r = Run.exec_spec { Run.default_spec with Run.seed } algo topo in
           assert r.Run.completed))
 
 let b5 = full_run "B5 full_run_hm_1024" Hm_gossip.algorithm
@@ -123,7 +123,9 @@ let () =
   microbenchmarks ();
   if Sys.getenv_opt "REPRO_BENCH_SKIP_EXPERIMENTS" = None then begin
     let quick = Sys.getenv_opt "REPRO_BENCH_QUICK" <> None in
-    match Repro_experiments.Suite.run ~quick ~results_dir:"results" () with
+    match
+      Repro_experiments.Suite.run ~quick ~jobs:(Pool.default_jobs ()) ~results_dir:"results" ()
+    with
     | Ok () -> ()
     | Error msg ->
       prerr_endline msg;

@@ -5,6 +5,7 @@
      discovery_cli run --algo hm --topology kout:3 -n 4096
      discovery_cli run --algo name_dropper --topology path -n 1024 --seed 7
      discovery_cli run --algo "rand:push/f2" --topology seeds:16:2 -n 8192 --growth
+     discovery_cli run --algo hm -n 4096 --seeds 10 --jobs 4
      discovery_cli list
      discovery_cli topo --topology clustered:8:3 -n 1024
 *)
@@ -61,10 +62,7 @@ let algo_arg =
   Arg.(
     value
     & opt algo_conv Hm_gossip.algorithm
-    & info [ "a"; "algo" ] ~docv:"ALGO"
-        ~doc:
-          "Algorithm: flooding, swamping, pointer_jump, name_dropper, min_pointer, rand_gossip, \
-           hm, or an ablation spec like hm:cap:4, hm:full, rand:push/f2/delta.")
+    & info [ "a"; "algo" ] ~docv:"ALGO" ~doc:("Algorithm: " ^ Registry.parse_doc ()))
 
 let loss_arg =
   Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc:"Per-message drop probability.")
@@ -89,6 +87,23 @@ let completion_arg =
 let growth_arg =
   Arg.(value & flag & info [ "growth" ] ~doc:"Print the per-round mean knowledge-size series.")
 
+let seeds_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seeds" ] ~docv:"K"
+        ~doc:
+          "Replicate the run over K consecutive seeds (seed .. seed+K-1), sharded across \
+           worker domains, and report per-seed results plus aggregate statistics.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for $(b,--seeds) replication (default: cores - 1, or \
+           \\$(b,REPRO_JOBS)).")
+
 let build_fault ~seed ~n ~loss ~crashes =
   let open Repro_engine in
   let fault = if loss > 0.0 then Fault.with_loss Fault.none ~p:loss else Fault.none in
@@ -102,36 +117,91 @@ let build_fault ~seed ~n ~loss ~crashes =
   end
 
 let run_cmd =
-  let run algo family n seed loss crashes max_rounds completion growth =
-    let rng = Rng.substream ~seed ~index:0x70b0 in
-    let topology = Generate.build family ~rng ~n in
-    let fault = build_fault ~seed ~n ~loss ~crashes in
-    let completion = if crashes > 0 && completion = Run.Strong then Run.Survivors_strong else completion in
-    let result = Run.exec ~seed ~fault ~completion ?max_rounds ~track_growth:growth algo topology in
-    Printf.printf "algorithm        : %s\n" result.Run.algorithm;
-    Printf.printf "topology         : %s (n=%d, m=%d)\n" (Generate.family_name family) n
-      (Topology.edge_count topology);
-    Printf.printf "seed             : %d\n" seed;
-    Printf.printf "completed        : %b\n" result.Run.completed;
-    Printf.printf "rounds           : %d\n" result.Run.rounds;
-    Printf.printf "messages         : %d\n" result.Run.messages;
-    Printf.printf "pointers         : %d\n" result.Run.pointers;
-    Printf.printf "wire bytes       : %d (adaptive codec)\n" result.Run.bytes;
-    Printf.printf "dropped          : %d\n" result.Run.dropped;
-    Printf.printf "peak msgs/round  : %d\n" result.Run.max_round_messages;
-    if growth then begin
-      Printf.printf "mean knowledge size by round:\n";
-      Array.iteri
-        (fun i v -> Printf.printf "  round %3d: %10.1f\n" (i + 1) v)
-        result.Run.mean_knowledge_series
-    end;
-    if result.Run.completed then `Ok () else `Error (false, "did not complete within the round budget")
+  let run algo family n seed seeds loss crashes max_rounds completion growth jobs =
+    if seeds < 1 then `Error (false, "--seeds must be at least 1")
+    else begin
+      let completion =
+        if crashes > 0 && completion = Run.Strong then Run.Survivors_strong else completion
+      in
+      let spec_of seed =
+        {
+          Run.default_spec with
+          Run.seed;
+          fault = build_fault ~seed ~n ~loss ~crashes;
+          completion;
+          max_rounds;
+          track_growth = growth && seeds = 1;
+        }
+      in
+      let exec seed =
+        let rng = Rng.substream ~seed ~index:0x70b0 in
+        let topology = Generate.build family ~rng ~n in
+        (topology, Run.exec_spec (spec_of seed) algo topology)
+      in
+      if seeds = 1 then begin
+        let topology, result = exec seed in
+        Printf.printf "algorithm        : %s\n" result.Run.algorithm;
+        Printf.printf "topology         : %s (n=%d, m=%d)\n" (Generate.family_name family) n
+          (Topology.edge_count topology);
+        Printf.printf "seed             : %d\n" seed;
+        Printf.printf "completed        : %b\n" result.Run.completed;
+        Printf.printf "rounds           : %d\n" result.Run.rounds;
+        Printf.printf "messages         : %d\n" result.Run.messages;
+        Printf.printf "pointers         : %d\n" result.Run.pointers;
+        Printf.printf "wire bytes       : %d (adaptive codec)\n" result.Run.bytes;
+        Printf.printf "dropped          : %d\n" result.Run.dropped;
+        Printf.printf "peak msgs/round  : %d\n" result.Run.max_round_messages;
+        if growth then begin
+          Printf.printf "mean knowledge size by round:\n";
+          Array.iteri
+            (fun i v -> Printf.printf "  round %3d: %10.1f\n" (i + 1) v)
+            result.Run.mean_knowledge_series
+        end;
+        if result.Run.completed then `Ok ()
+        else `Error (false, "did not complete within the round budget")
+      end
+      else begin
+        match
+          match jobs with
+          | Some j -> Ok j
+          | None -> ( try Ok (Pool.default_jobs ()) with Invalid_argument m -> Error m)
+        with
+        | Error msg -> `Error (false, msg)
+        | Ok jobs ->
+        let seed_list = List.init seeds (fun i -> seed + i) in
+        let results = Pool.map ~jobs (fun seed -> (seed, exec seed)) seed_list in
+        Printf.printf "algorithm        : %s\n" algo.Algorithm.name;
+        Printf.printf "topology         : %s (n=%d)\n" (Generate.family_name family) n;
+        Printf.printf "seeds            : %d..%d (%d replicates, jobs=%d)\n" seed
+          (seed + seeds - 1) seeds jobs;
+        List.iter
+          (fun (seed, (_, r)) ->
+            Printf.printf "  seed %-4d: rounds %-4d messages %-9d pointers %-11d bytes %d%s\n"
+              seed r.Run.rounds r.Run.messages r.Run.pointers r.Run.bytes
+              (if r.Run.completed then "" else "  [DNF]"))
+          results;
+        let runs = List.map (fun (_, (_, r)) -> r) results in
+        let agg f = Stats.summarize_ints (List.map f runs) in
+        let cell (s : Stats.summary) = Printf.sprintf "%.1f ± %.1f" s.Stats.mean s.Stats.stddev in
+        Printf.printf "rounds           : %s\n" (cell (agg (fun r -> r.Run.rounds)));
+        Printf.printf "messages         : %s\n" (cell (agg (fun r -> r.Run.messages)));
+        Printf.printf "pointers         : %s\n" (cell (agg (fun r -> r.Run.pointers)));
+        Printf.printf "wire bytes       : %s (adaptive codec)\n" (cell (agg (fun r -> r.Run.bytes)));
+        let dnf = List.length (List.filter (fun r -> not r.Run.completed) runs) in
+        if dnf = 0 then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf "%d of %d replicates did not complete within the round budget" dnf
+                seeds )
+      end
+    end
   in
   let term =
     Term.(
       ret
-        (const run $ algo_arg $ topology_arg $ n_arg $ seed_arg $ loss_arg $ crashes_arg
-       $ max_rounds_arg $ completion_arg $ growth_arg))
+        (const run $ algo_arg $ topology_arg $ n_arg $ seed_arg $ seeds_arg $ loss_arg
+       $ crashes_arg $ max_rounds_arg $ completion_arg $ growth_arg $ jobs_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one discovery configuration.") term
 

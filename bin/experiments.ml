@@ -4,6 +4,7 @@
      experiments                      # full suite into results/
      experiments --quick              # shrunk sizes, for smoke tests
      experiments --only T1 --only F1  # a selection
+     experiments --jobs 8             # shard runs over 8 worker domains
      experiments --list
 *)
 
@@ -24,7 +25,16 @@ let results_arg =
     value & opt string "results"
     & info [ "results-dir" ] ~docv:"DIR" ~doc:"Where to write report.md and CSV data.")
 
-let main only quick list results_dir =
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for sharding independent runs (default: cores - 1, or \
+           \\$(b,REPRO_JOBS)). Output is byte-identical for every value.")
+
+let main only quick list results_dir jobs =
   if list then begin
     List.iter
       (fun (e : Repro_experiments.Suite.entry) ->
@@ -34,13 +44,24 @@ let main only quick list results_dir =
   end
   else begin
     let only = match only with [] -> None | ids -> Some ids in
-    match Repro_experiments.Suite.run ?only ~quick ~results_dir () with
-    | Ok () -> `Ok ()
+    (* resolve jobs here so a malformed REPRO_JOBS is a usage error,
+       not an uncaught exception *)
+    match
+      match jobs with
+      | Some j -> Ok j
+      | None -> ( try Ok (Repro_util.Pool.default_jobs ()) with Invalid_argument m -> Error m)
+    with
     | Error msg -> `Error (false, msg)
+    | Ok jobs -> (
+      match Repro_experiments.Suite.run ?only ~quick ~jobs ~results_dir () with
+      | Ok () -> `Ok ()
+      | Error msg -> `Error (false, msg))
   end
 
 let () =
-  let term = Term.(ret (const main $ only_arg $ quick_arg $ list_arg $ results_arg)) in
+  let term =
+    Term.(ret (const main $ only_arg $ quick_arg $ list_arg $ results_arg $ jobs_arg))
+  in
   let info =
     Cmd.info "experiments" ~version:"1.0.0"
       ~doc:"Regenerate the tables and figures of the resource-discovery reproduction"

@@ -29,7 +29,10 @@ let () =
     seeds fanout;
 
   let show ?(fault = Fault.none) ?(completion = Run.Strong) label algo =
-    let r = Run.exec ~seed:11 ~fault ~completion ~max_rounds:2000 algo topology in
+    let spec =
+      { Run.default_spec with Run.seed = 11; fault; completion; max_rounds = Some 2000 }
+    in
+    let r = Run.exec_spec spec algo topology in
     Printf.printf "  %-36s rounds=%-4d messages/node=%-6.1f completed=%b\n" label r.Run.rounds
       (float_of_int r.Run.messages /. float_of_int n)
       r.Run.completed
@@ -57,6 +60,10 @@ let () =
   (* The weak/leader form of the problem is what a scheduler bootstrap
      actually needs: one machine that knows the whole fleet, known by
      all. It is reached earlier than full discovery. *)
-  let r = Run.exec ~seed:11 ~completion:Run.Leader ~max_rounds:2000 Hm_gossip.algorithm topology in
+  let r =
+    Run.exec_spec
+      { Run.default_spec with Run.seed = 11; completion = Run.Leader; max_rounds = Some 2000 }
+      Hm_gossip.algorithm topology
+  in
   Printf.printf "\nleader form (one machine knows all, all know it): hm finishes in %d rounds\n"
     r.Run.rounds

@@ -29,7 +29,11 @@ let () =
   let topology = Generate.k_out ~rng ~n ~k:3 in
 
   (* phase 1: discovery to the leader point *)
-  let r = Run.exec ~seed ~completion:Run.Leader Hm_gossip.algorithm topology in
+  let r =
+    Run.exec_spec
+      { Run.default_spec with Run.seed; completion = Run.Leader }
+      Hm_gossip.algorithm topology
+  in
   assert r.Run.completed;
   Printf.printf "phase 1 — discovery (leader form): %d rounds, %d messages\n" r.Run.rounds
     r.Run.messages;

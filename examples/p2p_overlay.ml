@@ -34,17 +34,18 @@ let () =
       Name_dropper.algorithm;
     ]
   in
+  let spec = { Run.default_spec with Run.seed = 5; fault; max_rounds = Some 2000 } in
   Printf.printf "%-14s %8s %10s %12s %10s\n" "algorithm" "rounds" "messages" "pointers" "dropped";
   List.iter
     (fun algo ->
-      let r = Run.exec ~seed:5 ~fault ~max_rounds:2000 algo topology in
+      let r = Run.exec_spec spec algo topology in
       Printf.printf "%-14s %8d %10d %12d %10d%s\n" r.Run.algorithm r.Run.rounds r.Run.messages
         r.Run.pointers r.Run.dropped
         (if r.Run.completed then "" else "  (DID NOT FINISH)"))
     algos;
 
   (* progress trace: membership completeness per round under loss *)
-  let r = Run.exec ~seed:5 ~fault ~track_growth:true ~max_rounds:2000 Hm_gossip.algorithm topology in
+  let r = Run.exec_spec { spec with Run.track_growth = true } Hm_gossip.algorithm topology in
   print_endline "\nhm membership completeness by round (under 20% loss):";
   Array.iteri
     (fun i v ->

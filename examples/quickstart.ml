@@ -25,9 +25,12 @@ let () =
   let hm = Hm_gossip.algorithm in
   let name_dropper = Name_dropper.algorithm in
 
-  (* 3. Run until every machine knows every other machine. *)
+  (* 3. Run until every machine knows every other machine. A run is
+     described by a [Run.spec] record; start from [Run.default_spec]
+     and override what differs. *)
+  let spec = { Run.default_spec with Run.seed = 7 } in
   let show algo =
-    let r = Run.exec ~seed:7 algo topology in
+    let r = Run.exec_spec spec algo topology in
     Printf.printf "%-14s rounds=%-3d messages=%-7d pointers=%-9d completed=%b\n"
       r.Run.algorithm r.Run.rounds r.Run.messages r.Run.pointers r.Run.completed
   in
@@ -38,7 +41,7 @@ let () =
   (* 4. Watch the mechanism: mean knowledge-set size after each round.
      hm's growth is doubly exponential — the squaring is visible as the
      gap between consecutive rounds widening. *)
-  let r = Run.exec ~seed:7 ~track_growth:true hm topology in
+  let r = Run.exec_spec { spec with Run.track_growth = true } hm topology in
   print_endline "\nhm knowledge growth (mean set size after each round):";
   Array.iteri
     (fun i v -> Printf.printf "  round %d: %7.1f / %d\n" (i + 1) v n)

@@ -55,6 +55,63 @@ let prefixed ~prefix name =
     Some (String.sub name pl (String.length name - pl))
   else None
 
+let names () = List.map (fun a -> a.Algorithm.name) all
+
+let parse_doc () =
+  Printf.sprintf
+    "%s — or an ablation spec: rand:MODE[/fK][/delta][/nbr] with MODE push|pull|push_pull \
+     (e.g. rand:push/f2/delta), hm:cap:K, hm:nobroadcast, hm:full, hm:cap:K/full (e.g. \
+     hm:cap:4)."
+    (String.concat ", " (names ()))
+
+(* Classic two-row Levenshtein; the catalogue is tiny, so O(|a|·|b|) per
+   candidate is nothing. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) (fun j -> j) in
+  let curr = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    curr.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit curr 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let is_substring ~sub s =
+  let ls = String.length s and lsub = String.length sub in
+  let rec at i = i + lsub <= ls && (String.sub s i lsub = sub || at (i + 1)) in
+  lsub > 0 && at 0
+
+(* Near-miss candidates for an unknown name: a known name within edit
+   distance 2 (catches typos like "floding"), or one that contains /is
+   contained in the query (catches aliases like "hm_gossip" -> "hm" and
+   truncations like "rand" -> "rand_gossip"). Spec-shaped names keep
+   their prefix head as a hint. *)
+let suggestions name =
+  let scored =
+    List.filter_map
+      (fun cand ->
+        let d = edit_distance name cand in
+        if d = 0 then None
+        else if d <= 2 then Some (cand, d)
+        else if is_substring ~sub:cand name || is_substring ~sub:name cand then
+          Some (cand, 3 + abs (String.length cand - String.length name))
+        else None)
+      (names ())
+  in
+  let sorted = List.sort (fun (a, da) (b, db) -> compare (da, a) (db, b)) scored in
+  List.filteri (fun i _ -> i < 2) (List.map fst sorted)
+
+let did_you_mean name =
+  match suggestions name with
+  | [] -> ""
+  | cands ->
+    Printf.sprintf " — did you mean %s?"
+      (String.concat " or " (List.map (Printf.sprintf "%S") cands))
+
 let find name =
   match List.find_opt (fun a -> a.Algorithm.name = name) all with
   | Some a -> Ok a
@@ -66,7 +123,5 @@ let find name =
       | Some spec -> parse_hm_spec spec
       | None ->
         Error
-          (Printf.sprintf "unknown algorithm %S (known: %s)" name
-             (String.concat ", " (List.map (fun a -> a.Algorithm.name) all)))))
-
-let names () = List.map (fun a -> a.Algorithm.name) all
+          (Printf.sprintf "unknown algorithm %S%s (known: %s)" name (did_you_mean name)
+             (parse_doc ()))))

@@ -13,6 +13,16 @@ val find : string -> (Algorithm.t, string) result
     - ["rand:push/f2/delta"], ["rand:pull/f1/nbr"] … — flat-gossip
       variants via {!Rand_gossip.with_params};
     - ["hm:cap:4"], ["hm:nobroadcast"], ["hm:full"], ["hm:cap:4/full"] —
-      {!Hm_gossip.with_variant} ablations. *)
+      {!Hm_gossip.with_variant} ablations.
+
+    Unknown names get near-miss suggestions in the error message
+    (["hm_gossip"] → did you mean ["hm"]?) plus the full {!parse_doc}
+    grammar. *)
 
 val names : unit -> string list
+
+val parse_doc : unit -> string
+(** One-line human description of everything {!find} accepts — the
+    algorithm names and the ablation-spec grammar. The CLIs embed this
+    in their [--algo] help and error text instead of hand-maintaining
+    copies. *)

@@ -64,8 +64,27 @@ let leader_done instances ~alive n ~labels =
     !ok
   end
 
-let exec ?(seed = 0) ?(fault = Fault.none) ?(completion = Strong) ?max_rounds
-    ?(track_growth = false) ?(encoding = Wire.Adaptive) (algo : Algorithm.t) topology =
+type spec = {
+  seed : int;
+  fault : Fault.t;
+  completion : completion;
+  max_rounds : int option;
+  track_growth : bool;
+  encoding : Wire.encoding;
+}
+
+let default_spec =
+  {
+    seed = 0;
+    fault = Fault.none;
+    completion = Strong;
+    max_rounds = None;
+    track_growth = false;
+    encoding = Wire.Adaptive;
+  }
+
+let exec_spec spec (algo : Algorithm.t) topology =
+  let { seed; fault; completion; max_rounds; track_growth; encoding } = spec in
   let n = Topology.n topology in
   let max_rounds = match max_rounds with Some m -> m | None -> (4 * n) + 64 in
   let labels = Rng.permutation (Rng.substream ~seed ~index:0) n in
@@ -139,3 +158,8 @@ let exec ?(seed = 0) ?(fault = Fault.none) ?(completion = Strong) ?max_rounds
     metrics = outcome.Sim.metrics;
     alive = outcome.Sim.alive;
   }
+
+let exec ?(seed = 0) ?(fault = Fault.none) ?(completion = Strong) ?max_rounds
+    ?(track_growth = false) ?(encoding = Wire.Adaptive) algo topology =
+  exec_spec { seed; fault; completion; max_rounds; track_growth; encoding } algo topology
+[@@deprecated "use Run.exec_spec with a Run.spec record"]

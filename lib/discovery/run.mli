@@ -47,6 +47,38 @@ type result = {
   alive : bool array;
 }
 
+type spec = {
+  seed : int;  (** master seed; labels, per-node RNGs and the engine derive from it *)
+  fault : Fault.t;
+  completion : completion;
+  max_rounds : int option;
+      (** round budget; [None] means [4·n + 64] (generous for every
+          terminating algorithm in the suite; flooding on a path needs
+          ≈ n) *)
+  track_growth : bool;
+      (** record the mean knowledge size per round, at O(n) cost per
+          round *)
+  encoding : Wire.encoding;
+      (** wire codec used for byte accounting — does not change the
+          execution, only the [bytes] measure *)
+}
+(** Everything that parameterises a run besides the algorithm and the
+    topology. One immutable value per run: this is what the parallel
+    sweep executor passes to each {!Repro_util.Pool} work item. *)
+
+val default_spec : spec
+(** [{ seed = 0; fault = Fault.none; completion = Strong; max_rounds =
+    None; track_growth = false; encoding = Wire.Adaptive }] — override
+    fields with [{ default_spec with seed; … }]. *)
+
+val exec_spec : spec -> Algorithm.t -> Topology.t -> result
+(** [exec_spec spec algo topo] simulates until completion or the round
+    budget runs out. Under a fault model with late joins, completion is
+    additionally gated on every scheduled join having happened (the
+    predicates quantify over currently-active nodes). A run is a pure
+    function of [(spec, algo, topo)] and touches no global state, so
+    independent runs may execute on concurrent domains. *)
+
 val exec :
   ?seed:int ->
   ?fault:Fault.t ->
@@ -57,12 +89,6 @@ val exec :
   Algorithm.t ->
   Topology.t ->
   result
-(** [exec algo topo] simulates until completion or the round budget runs
-    out. Under a fault model with late joins, completion is additionally
-    gated on every scheduled join having happened (the predicates
-    quantify over currently-active nodes). [max_rounds] defaults to [4·n + 64] (generous for every
-    terminating algorithm in the suite; flooding on a path needs ≈ n).
-    [track_growth] (default false) records the mean knowledge size per
-    round at O(n) cost per round. [encoding] (default {!Wire.Adaptive})
-    selects the wire codec used for byte accounting — it does not change
-    the execution, only the [bytes] measure. *)
+[@@deprecated "use Run.exec_spec with a Run.spec record"]
+(** Optional-argument wrapper around {!exec_spec}, kept for source
+    compatibility. New code should build a {!spec}. *)

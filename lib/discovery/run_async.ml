@@ -15,8 +15,27 @@ type result = {
   alive : bool array;
 }
 
-let exec ?(seed = 0) ?(fault = Fault.none) ?(completion = Run.Strong) ?horizon
-    ?(tick_jitter = 0.1) ?(latency = (0.1, 0.9)) (algo : Algorithm.t) topology =
+type spec = {
+  seed : int;
+  fault : Fault.t;
+  completion : Run.completion;
+  horizon : float option;
+  tick_jitter : float;
+  latency : float * float;
+}
+
+let default_spec =
+  {
+    seed = 0;
+    fault = Fault.none;
+    completion = Run.Strong;
+    horizon = None;
+    tick_jitter = 0.1;
+    latency = (0.1, 0.9);
+  }
+
+let exec_spec spec (algo : Algorithm.t) topology =
+  let { seed; fault; completion; horizon; tick_jitter; latency } = spec in
   let n = Topology.n topology in
   let horizon = match horizon with Some h -> h | None -> (4.0 *. float_of_int n) +. 64.0 in
   let labels = Rng.permutation (Rng.substream ~seed ~index:0) n in
@@ -112,3 +131,8 @@ let exec ?(seed = 0) ?(fault = Fault.none) ?(completion = Run.Strong) ?horizon
     dropped = Metrics.messages_dropped outcome.Async_sim.metrics;
     alive = outcome.Async_sim.alive;
   }
+
+let exec ?(seed = 0) ?(fault = Fault.none) ?(completion = Run.Strong) ?horizon
+    ?(tick_jitter = 0.1) ?(latency = (0.1, 0.9)) algo topology =
+  exec_spec { seed; fault; completion; horizon; tick_jitter; latency } algo topology
+[@@deprecated "use Run_async.exec_spec with a Run_async.spec record"]

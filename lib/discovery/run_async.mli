@@ -24,6 +24,28 @@ type result = {
   alive : bool array;
 }
 
+type spec = {
+  seed : int;
+  fault : Fault.t;
+  completion : Run.completion;
+  horizon : float option;  (** time budget; [None] means [4·n + 64.] time units *)
+  tick_jitter : float;  (** per-node clock drift, as a fraction of the period *)
+  latency : float * float;  (** (min, max) uniform message latency *)
+}
+(** {!Run.spec}'s asynchronous counterpart: the round budget becomes a
+    time horizon, and the timing model (clock jitter, latency band) is
+    part of the spec. *)
+
+val default_spec : spec
+(** Seed 0, no faults, strong completion, default horizon, jitter 0.1,
+    latency ∈ [0.1, 0.9] (so a message takes about half a local round on
+    average). *)
+
+val exec_spec : spec -> Algorithm.t -> Topology.t -> result
+(** Determinism and the completion predicates are as in
+    {!Run.exec_spec}; under late joins, completion is gated on the last
+    join time. *)
+
 val exec :
   ?seed:int ->
   ?fault:Fault.t ->
@@ -34,8 +56,6 @@ val exec :
   Algorithm.t ->
   Topology.t ->
   result
-(** Defaults: horizon [4·n + 64.] time units, jitter 0.1,
-    latency ∈ [0.1, 0.9] (so a message takes about half a local round on
-    average). Determinism and the completion predicates are as in
-    {!Run.exec}; under late joins, completion is gated on the last join
-    time. *)
+[@@deprecated "use Run_async.exec_spec with a Run_async.spec record"]
+(** Optional-argument wrapper around {!exec_spec}, kept for source
+    compatibility. New code should build a {!spec}. *)

@@ -32,7 +32,7 @@ let variants () =
     rand "push_pull/f1/nbr" "partners restricted to initial neighbors (no direct addressing)";
   ]
 
-let t7 report ~quick =
+let t7 report ~quick ~jobs =
   let n = n ~quick in
   Report.section report ~id:"T7"
     ~title:(Printf.sprintf "Design ablations (k-out, n = %d; DNF = over 300 rounds)" n);
@@ -48,9 +48,16 @@ let t7 report ~quick =
         ]
   in
   let csv_rows = ref [] in
-  List.iter
-    (fun ((algo : Algorithm.t), note) ->
-      let c = Sweepcell.run ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:300 () in
+  let variants = variants () in
+  let cells =
+    Sweepcell.run_batch ~jobs
+      (List.map
+         (fun ((algo : Algorithm.t), _) ->
+           Sweepcell.request ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:300 ())
+         variants)
+  in
+  List.iter2
+    (fun ((algo : Algorithm.t), note) c ->
       Table.add_row table
         [
           algo.Algorithm.name;
@@ -67,7 +74,7 @@ let t7 report ~quick =
           Sweepcell.pointers_cell c;
         ]
         :: !csv_rows)
-    (variants ());
+    variants cells;
   Report.emit report (Table.render table);
   Report.csv report ~name:"t7_ablations"
     ~header:[ "variant"; "rounds"; "messages"; "pointers" ]

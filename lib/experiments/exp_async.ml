@@ -21,7 +21,7 @@ let regimes =
     { label = "harsh (j=0.3, lat 0.5-4.0)"; jitter = 0.3; latency = (0.5, 4.0) };
   ]
 
-let t10 report ~quick =
+let t10 report ~quick ~jobs =
   let n = if quick then 256 else 1024 in
   Report.section report ~id:"T10"
     ~title:
@@ -38,34 +38,55 @@ let t10 report ~quick =
   let csv_rows = ref [] in
   let sync_cells =
     List.map
-      (fun algo ->
-        let c = Sweepcell.run ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:500 () in
+      (fun c ->
         csv_rows := [ "sync"; c.Sweepcell.algo; Sweepcell.rounds_cell c ] :: !csv_rows;
         Sweepcell.rounds_cell c)
-      algorithms
+      (Sweepcell.run_batch ~jobs
+         (List.map
+            (fun algo ->
+              Sweepcell.request ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:500 ())
+            algorithms))
   in
   Table.add_row table ("sync (rounds)" :: sync_cells);
   Table.add_separator table;
+  (* the asynchronous grid, sharded per (regime, algorithm, seed) *)
+  let groups =
+    List.concat_map (fun r -> List.map (fun a -> (r, a)) algorithms) regimes
+  in
+  let k = List.length (seeds ~quick) in
+  let all_times =
+    Pool.map ~jobs
+      (fun (regime, (algo : Algorithm.t), seed) ->
+        let topology = Sweepcell.topology_of ~family ~n ~seed in
+        let spec =
+          {
+            Run_async.default_spec with
+            Run_async.seed;
+            tick_jitter = regime.jitter;
+            latency = regime.latency;
+          }
+        in
+        let r = Run_async.exec_spec spec algo topology in
+        if not r.Run_async.completed then
+          failwith (Printf.sprintf "%s did not complete asynchronously" algo.Algorithm.name);
+        r.Run_async.time)
+      (List.concat_map
+         (fun (r, a) -> List.map (fun seed -> (r, a, seed)) (seeds ~quick))
+         groups)
+  in
+  let summaries =
+    List.map2
+      (fun (regime, (algo : Algorithm.t)) times ->
+        ((regime.label, algo.Algorithm.name), Stats.summarize times))
+      groups
+      (Sweepcell.chunks k all_times)
+  in
   List.iter
     (fun regime ->
       let cells =
         List.map
           (fun (algo : Algorithm.t) ->
-            let times =
-              List.map
-                (fun seed ->
-                  let topology = Sweepcell.topology_of ~family ~n ~seed in
-                  let r =
-                    Run_async.exec ~seed ~tick_jitter:regime.jitter ~latency:regime.latency algo
-                      topology
-                  in
-                  if not r.Run_async.completed then
-                    failwith
-                      (Printf.sprintf "%s did not complete asynchronously" algo.Algorithm.name);
-                  r.Run_async.time)
-                (seeds ~quick)
-            in
-            let s = Stats.summarize times in
+            let s = List.assoc (regime.label, algo.Algorithm.name) summaries in
             csv_rows :=
               [ regime.label; algo.Algorithm.name; Printf.sprintf "%.1f" s.Stats.mean ]
               :: !csv_rows;

@@ -39,7 +39,7 @@ let schedules =
 
 let algorithms = [ Hm_gossip.algorithm; Rand_gossip.algorithm; Name_dropper.algorithm ]
 
-let t9 report ~quick =
+let t9 report ~quick ~jobs =
   let n = if quick then 256 else 1024 in
   Report.section report ~id:"T9"
     ~title:
@@ -54,23 +54,39 @@ let t9 report ~quick =
         :: List.map (fun (a : Algorithm.t) -> (a.Algorithm.name, Table.Right)) algorithms)
   in
   let csv_rows = ref [] in
+  (* one flat work item per (schedule, algorithm, seed); the join
+     schedule becomes part of the run spec's fault model *)
+  let groups =
+    List.concat_map (fun s -> List.map (fun a -> (s, a)) algorithms) schedules
+  in
+  let k = List.length (seeds ~quick) in
+  let all_rounds =
+    Pool.map ~jobs
+      (fun (schedule, (algo : Algorithm.t), seed) ->
+        let topology = Sweepcell.topology_of ~family ~n ~seed in
+        let fault = Fault.with_joins Fault.none (schedule.joins ~n ~seed) in
+        let spec = { Run.default_spec with Run.seed; fault; max_rounds = Some 2000 } in
+        let r = Run.exec_spec spec algo topology in
+        if not r.Run.completed then
+          failwith (Printf.sprintf "%s did not stabilise under churn" algo.Algorithm.name);
+        r.Run.rounds)
+      (List.concat_map
+         (fun (s, a) -> List.map (fun seed -> (s, a, seed)) (seeds ~quick))
+         groups)
+  in
+  let summaries =
+    List.map2
+      (fun (schedule, (algo : Algorithm.t)) rounds ->
+        ((schedule.label, algo.Algorithm.name), Stats.summarize_ints rounds))
+      groups
+      (Sweepcell.chunks k all_rounds)
+  in
   List.iter
     (fun schedule ->
       let cells =
         List.map
           (fun (algo : Algorithm.t) ->
-            let rounds =
-              List.map
-                (fun seed ->
-                  let topology = Sweepcell.topology_of ~family ~n ~seed in
-                  let fault = Fault.with_joins Fault.none (schedule.joins ~n ~seed) in
-                  let r = Run.exec ~seed ~fault ~max_rounds:2000 algo topology in
-                  if not r.Run.completed then
-                    failwith (Printf.sprintf "%s did not stabilise under churn" algo.Algorithm.name);
-                  r.Run.rounds)
-                (seeds ~quick)
-            in
-            let s = Stats.summarize_ints rounds in
+            let s = List.assoc (schedule.label, algo.Algorithm.name) summaries in
             csv_rows :=
               [ schedule.label; algo.Algorithm.name; Printf.sprintf "%.1f" s.Stats.mean ]
               :: !csv_rows;

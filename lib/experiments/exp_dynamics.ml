@@ -8,18 +8,19 @@ open Repro_discovery
 
 let family = Generate.K_out 3
 
-let f2 report ~quick =
+let f2 report ~quick ~jobs =
   let n = if quick then 1024 else 8192 in
   Report.section report ~id:"F2"
     ~title:
       (Printf.sprintf
          "Mean knowledge-set size per round (k-out, n = %d): doubly-exponential growth" n);
   let algos = [ Hm_gossip.algorithm; Rand_gossip.algorithm; Name_dropper.algorithm ] in
+  let spec = { Run.default_spec with Run.seed = 1; track_growth = true; max_rounds = Some 500 } in
   let runs =
-    List.map
-      (fun algo ->
+    Pool.map ~jobs
+      (fun (algo : Algorithm.t) ->
         let topology = Sweepcell.topology_of ~family ~n ~seed:1 in
-        (algo.Algorithm.name, Run.exec ~seed:1 ~track_growth:true ~max_rounds:500 algo topology))
+        (algo.Algorithm.name, Run.exec_spec spec algo topology))
       algos
   in
   let series =
@@ -50,7 +51,7 @@ let f2 report ~quick =
                 r.Run.mean_knowledge_series))
          runs)
 
-let f4 report ~quick =
+let f4 report ~quick ~jobs =
   let n = if quick then 256 else 1024 in
   Report.section report ~id:"F4"
     ~title:
@@ -59,11 +60,12 @@ let f4 report ~quick =
   let algos =
     [ Hm_gossip.algorithm; Rand_gossip.algorithm; Name_dropper.algorithm; Swamping.algorithm ]
   in
+  let spec = { Run.default_spec with Run.seed = 1; max_rounds = Some 500 } in
   let runs =
-    List.map
-      (fun algo ->
+    Pool.map ~jobs
+      (fun (algo : Algorithm.t) ->
         let topology = Sweepcell.topology_of ~family ~n ~seed:1 in
-        (algo.Algorithm.name, Run.exec ~seed:1 ~max_rounds:500 algo topology))
+        (algo.Algorithm.name, Run.exec_spec spec algo topology))
       algos
   in
   let series =
@@ -102,7 +104,9 @@ let f4 report ~quick =
    node acts as a head while it is the minimum rank of its own
    knowledge; the paper's sub-logarithmic behaviour is the collapse of
    this population under the growing exchanges. *)
-let f5 report ~quick =
+(* F5 instruments a single run's internal state (head counts per round),
+   so there is nothing to shard — [jobs] is unused by design. *)
+let f5 report ~quick ~jobs:_ =
   let n = if quick then 1024 else 8192 in
   Report.section report ~id:"F5"
     ~title:

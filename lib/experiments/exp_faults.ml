@@ -20,7 +20,7 @@ let t5_algorithms () =
     Min_pointer.algorithm;
   ]
 
-let t5 report ~quick =
+let t5 report ~quick ~jobs =
   let n = n ~quick in
   Report.section report ~id:"T5"
     ~title:(Printf.sprintf "Rounds under message loss (k-out, n = %d)" n);
@@ -32,23 +32,28 @@ let t5 report ~quick =
         :: List.map (fun (a : Algorithm.t) -> (a.Algorithm.name, Table.Right)) algos)
   in
   let csv_rows = ref [] in
-  List.iter
-    (fun p ->
-      let cells =
-        List.map
-          (fun algo ->
-            Sweepcell.run ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:2000
-              ~fault:(fun _ -> Fault.with_loss Fault.none ~p)
-              ())
-          algos
-      in
+  let all_cells =
+    Sweepcell.run_batch ~jobs
+      (List.concat_map
+         (fun p ->
+           List.map
+             (fun algo ->
+               Sweepcell.request ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:2000
+                 ~fault:(fun _ -> Fault.with_loss Fault.none ~p)
+                 ())
+             algos)
+         loss_levels)
+  in
+  List.iter2
+    (fun p cells ->
       List.iter
         (fun (c : Sweepcell.t) ->
           csv_rows :=
             [ Printf.sprintf "%.2f" p; c.Sweepcell.algo; Sweepcell.rounds_cell c ] :: !csv_rows)
         cells;
       Table.add_row table (Printf.sprintf "%.0f%%" (100.0 *. p) :: List.map Sweepcell.rounds_cell cells))
-    loss_levels;
+    loss_levels
+    (Sweepcell.chunks (List.length algos) all_cells);
   Report.emit report (Table.render table);
   Report.emit report
     "hm's delta reports are retransmitted until the head's Reply acknowledges them, so loss\n\
@@ -62,7 +67,7 @@ let crash_fractions = [ 0.0; 0.01; 0.05; 0.10 ]
 let t6_algorithms () =
   [ Hm_gossip.algorithm; Rand_gossip.algorithm; Name_dropper.algorithm; Min_pointer.algorithm ]
 
-let t6 report ~quick =
+let t6 report ~quick ~jobs =
   let n = n ~quick in
   Report.section report ~id:"T6"
     ~title:
@@ -78,17 +83,23 @@ let t6 report ~quick =
         :: List.map (fun (a : Algorithm.t) -> (a.Algorithm.name, Table.Right)) algos)
   in
   let csv_rows = ref [] in
-  List.iter
-    (fun frac ->
-      let count = int_of_float (Float.round (frac *. float_of_int n)) in
-      let cells =
-        List.map
-          (fun algo ->
-            Sweepcell.run ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:2000
-              ~fault:(fun seed -> Sweepcell.crash_fault ~seed ~n ~count)
-              ~completion:Run.Survivors_strong ())
-          algos
-      in
+  let count_of frac = int_of_float (Float.round (frac *. float_of_int n)) in
+  let all_cells =
+    Sweepcell.run_batch ~jobs
+      (List.concat_map
+         (fun frac ->
+           let count = count_of frac in
+           List.map
+             (fun algo ->
+               Sweepcell.request ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:2000
+                 ~fault:(fun seed -> Sweepcell.crash_fault ~seed ~n ~count)
+                 ~completion:Run.Survivors_strong ())
+             algos)
+         crash_fractions)
+  in
+  List.iter2
+    (fun frac cells ->
+      let count = count_of frac in
       List.iter
         (fun (c : Sweepcell.t) ->
           csv_rows :=
@@ -97,7 +108,8 @@ let t6 report ~quick =
       Table.add_row table
         (Printf.sprintf "%d (%.0f%%)" count (100.0 *. frac)
         :: List.map Sweepcell.rounds_cell cells))
-    crash_fractions;
+    crash_fractions
+    (Sweepcell.chunks (List.length algos) all_cells);
   Report.emit report (Table.render table);
   (* Uniform victims rarely include the aggregation sink, so also crash
      it deliberately — and at the worst possible moment. The node with
@@ -113,11 +125,12 @@ let t6 report ~quick =
     Fault.with_crashes Fault.none [ (0, 5); (!rank_min, 5) ]
   in
   let adv =
-    List.map
-      (fun algo ->
-        Sweepcell.run ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:2000
-          ~fault:adversarial_fault ~completion:Run.Survivors_strong ())
-      algos
+    Sweepcell.run_batch ~jobs
+      (List.map
+         (fun algo ->
+           Sweepcell.request ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:2000
+             ~fault:adversarial_fault ~completion:Run.Survivors_strong ())
+         algos)
   in
   let adv_table =
     Table.create

@@ -30,21 +30,24 @@ let algorithms () =
 
 let sweep_cache : (bool, Sweepcell.t list) Hashtbl.t = Hashtbl.create 2
 
-let sweep ~quick =
+(* The cache key ignores [jobs]: cell results are deterministic in the
+   seeds, so the worker count cannot change what is memoised. *)
+let sweep ~quick ~jobs =
   match Hashtbl.find_opt sweep_cache quick with
   | Some cells -> cells
   | None ->
-    let cells =
+    let requests =
       List.concat_map
         (fun algo ->
           List.filter_map
             (fun n ->
               if algo.Algorithm.name = "swamping" && n > swamping_limit then None
               else
-                Some (Sweepcell.run ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:500 ()))
+                Some (Sweepcell.request ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:500 ()))
             (sizes ~quick))
         (algorithms ())
     in
+    let cells = Sweepcell.run_batch ~jobs requests in
     Hashtbl.replace sweep_cache quick cells;
     cells
 
@@ -53,8 +56,8 @@ let cell cells ~algo ~n =
 
 let algo_names () = List.map (fun a -> a.Algorithm.name) (algorithms ())
 
-let metric_table report ~quick ~title ~id ~cell_of ~csv_name ~csv_value =
-  let cells = sweep ~quick in
+let metric_table report ~quick ~jobs ~title ~id ~cell_of ~csv_name ~csv_value =
+  let cells = sweep ~quick ~jobs in
   Report.section report ~id ~title;
   let names = algo_names () in
   let table =
@@ -83,8 +86,8 @@ let metric_table report ~quick ~title ~id ~cell_of ~csv_name ~csv_value =
 
 (* Least-squares shape check: which reference curve best explains the
    measured rounds of each algorithm? *)
-let fit_summary report ~quick =
-  let cells = sweep ~quick in
+let fit_summary report ~quick ~jobs =
+  let cells = sweep ~quick ~jobs in
   let curves =
     [
       ("log log n", fun n -> Stats.loglog2 n);
@@ -124,25 +127,25 @@ let fit_summary report ~quick =
     (algo_names ());
   Report.emit report (Table.render table)
 
-let t1 report ~quick =
-  metric_table report ~quick ~id:"T1"
+let t1 report ~quick ~jobs =
+  metric_table report ~quick ~jobs ~id:"T1"
     ~title:"Rounds to complete discovery vs n (k-out graphs, k=3)"
     ~cell_of:Sweepcell.rounds_cell ~csv_name:"t1_rounds_vs_n"
     ~csv_value:(fun c -> Option.map (fun (s : Stats.summary) -> s.Stats.mean) c.Sweepcell.rounds);
-  fit_summary report ~quick
+  fit_summary report ~quick ~jobs
 
-let t2 report ~quick =
-  metric_table report ~quick ~id:"T2" ~title:"Message complexity vs n"
+let t2 report ~quick ~jobs =
+  metric_table report ~quick ~jobs ~id:"T2" ~title:"Message complexity vs n"
     ~cell_of:Sweepcell.messages_cell ~csv_name:"t2_messages_vs_n"
     ~csv_value:(fun c -> Option.map (fun (s : Stats.summary) -> s.Stats.mean) c.Sweepcell.messages)
 
-let t3 report ~quick =
-  metric_table report ~quick ~id:"T3" ~title:"Pointer complexity vs n"
+let t3 report ~quick ~jobs =
+  metric_table report ~quick ~jobs ~id:"T3" ~title:"Pointer complexity vs n"
     ~cell_of:Sweepcell.pointers_cell ~csv_name:"t3_pointers_vs_n"
     ~csv_value:(fun c -> Option.map (fun (s : Stats.summary) -> s.Stats.mean) c.Sweepcell.pointers)
 
-let f1 report ~quick =
-  let cells = sweep ~quick in
+let f1 report ~quick ~jobs =
+  let cells = sweep ~quick ~jobs in
   Report.section report ~id:"F1" ~title:"Rounds vs n (the sub-logarithmic headline)";
   let series =
     List.filter_map

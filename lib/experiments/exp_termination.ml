@@ -66,7 +66,7 @@ let observe ~family ~n ~seed =
   let safe = Array.for_all (fun i -> Knowledge.is_complete i.Algorithm.knowledge) instances in
   { complete_round = !complete_round; quiescent_round = !quiescent_round; safe }
 
-let t11 report ~quick =
+let t11 report ~quick ~jobs =
   let n = if quick then 256 else 1024 in
   Report.section report ~id:"T11"
     ~title:
@@ -86,9 +86,15 @@ let t11 report ~quick =
         ]
   in
   let csv_rows = ref [] in
-  List.iter
-    (fun family ->
-      let obs = List.map (fun seed -> observe ~family ~n ~seed) (seeds ~quick) in
+  let all_obs =
+    Pool.map ~jobs
+      (fun (family, seed) -> observe ~family ~n ~seed)
+      (List.concat_map
+         (fun family -> List.map (fun seed -> (family, seed)) (seeds ~quick))
+         (families ~quick))
+  in
+  List.iter2
+    (fun family obs ->
       let mean f = Stats.mean (List.map (fun o -> float_of_int (f o)) obs) in
       let all_safe = List.for_all (fun o -> o.safe && o.complete_round > 0) obs in
       let complete = mean (fun o -> o.complete_round) in
@@ -109,7 +115,8 @@ let t11 report ~quick =
           string_of_bool all_safe;
         ]
         :: !csv_rows)
-    (families ~quick);
+    (families ~quick)
+    (Sweepcell.chunks (List.length (seeds ~quick)) all_obs);
   Report.emit report (Table.render table);
   Report.emit report
     "The lag is the halt patience (5 quiet rounds) plus the Halt broadcast — the price of not\n\

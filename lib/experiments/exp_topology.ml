@@ -19,7 +19,7 @@ let algorithms =
     Hm_gossip.algorithm;
   ]
 
-let t4 report ~quick =
+let t4 report ~quick ~jobs =
   let n = t4_n ~quick in
   Report.section report ~id:"T4"
     ~title:(Printf.sprintf "Rounds by initial topology (n = %d; DNF = over %d rounds)" n ((3 * n) + 64));
@@ -31,17 +31,22 @@ let t4 report ~quick =
         :: List.map (fun a -> (a, Table.Right)) names)
   in
   let csv_rows = ref [] in
-  List.iter
-    (fun family ->
+  let all_cells =
+    Sweepcell.run_batch ~jobs
+      (List.concat_map
+         (fun family ->
+           List.map
+             (fun algo ->
+               Sweepcell.request ~algo ~family ~n ~seeds:(seeds ~quick)
+                 ~max_rounds:((3 * n) + 64) ())
+             algorithms)
+         Generate.all_families)
+  in
+  List.iter2
+    (fun family cells ->
       let topo = Sweepcell.topology_of ~family ~n ~seed:1 in
       let diam =
         Analyze.weak_diameter_estimate ~rng:(Rng.substream ~seed:1 ~index:99) topo
-      in
-      let cells =
-        List.map
-          (fun algo ->
-            Sweepcell.run ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:((3 * n) + 64) ())
-          algorithms
       in
       List.iter
         (fun (c : Sweepcell.t) ->
@@ -59,7 +64,8 @@ let t4 report ~quick =
       Table.add_row table
         (Generate.family_name family :: string_of_int diam
         :: List.map Sweepcell.rounds_cell cells))
-    Generate.all_families;
+    Generate.all_families
+    (Sweepcell.chunks (List.length algorithms) all_cells);
   Report.emit report (Table.render table);
   Report.emit report
     "Notes: flooding cannot finish on weakly-but-not-strongly connected inputs (dpath, instar);\n\
@@ -71,20 +77,22 @@ let t4 report ~quick =
 
 let f3_sizes ~quick = if quick then [ 128; 256; 512 ] else [ 128; 256; 512; 1024; 2048; 4096; 8192 ]
 
-let f3 report ~quick =
+let f3 report ~quick ~jobs =
   Report.section report ~id:"F3"
     ~title:"Rounds vs n on path graphs (diameter n-1): the O(log D) mixing term";
   let algos =
     [ Name_dropper.algorithm; Min_pointer.algorithm; Rand_gossip.algorithm; Hm_gossip.algorithm ]
   in
   let cells =
-    List.concat_map
-      (fun algo ->
-        List.map
-          (fun n ->
-            Sweepcell.run ~algo ~family:Generate.Path ~n ~seeds:(seeds ~quick) ~max_rounds:1000 ())
-          (f3_sizes ~quick))
-      algos
+    Sweepcell.run_batch ~jobs
+      (List.concat_map
+         (fun algo ->
+           List.map
+             (fun n ->
+               Sweepcell.request ~algo ~family:Generate.Path ~n ~seeds:(seeds ~quick)
+                 ~max_rounds:1000 ())
+             (f3_sizes ~quick))
+         algos)
   in
   let series =
     List.map

@@ -23,7 +23,7 @@ let t8_algorithms =
     Hm_gossip.algorithm;
   ]
 
-let t8 report ~quick =
+let t8 report ~quick ~jobs =
   let sizes = if quick then [ 256; 1024 ] else [ 1024; 4096 ] in
   Report.section report ~id:"T8"
     ~title:"Wire bytes (adaptive varint/bitmap codec) — the deployable cost";
@@ -32,13 +32,18 @@ let t8 report ~quick =
     Table.create ~columns:(("n", Table.Right) :: List.map (fun a -> (a, Table.Right)) names)
   in
   let csv_rows = ref [] in
-  List.iter
-    (fun n ->
-      let cells =
-        List.map
-          (fun algo -> Sweepcell.run ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:500 ())
-          t8_algorithms
-      in
+  let all_cells =
+    Sweepcell.run_batch ~jobs
+      (List.concat_map
+         (fun n ->
+           List.map
+             (fun algo ->
+               Sweepcell.request ~algo ~family ~n ~seeds:(seeds ~quick) ~max_rounds:500 ())
+             t8_algorithms)
+         sizes)
+  in
+  List.iter2
+    (fun n cells ->
       List.iter
         (fun (c : Sweepcell.t) ->
           csv_rows :=
@@ -52,7 +57,8 @@ let t8 report ~quick =
             :: !csv_rows)
         cells;
       Table.add_row table (string_of_int n :: List.map Sweepcell.bytes_cell cells))
-    sizes;
+    sizes
+    (Sweepcell.chunks (List.length t8_algorithms) all_cells);
   Report.emit report (Table.render table);
   (* codec ablation at the larger size: the same deterministic run,
      re-measured under each codec *)
@@ -64,19 +70,27 @@ let t8 report ~quick =
         (("algorithm", Table.Left)
         :: List.map (fun e -> (Wire.encoding_name e, Table.Right)) Wire.all_encodings)
   in
-  List.iter
-    (fun (algo : Algorithm.t) ->
-      let topology = Sweepcell.topology_of ~family ~n ~seed:1 in
-      let bytes_for encoding = (Run.exec ~seed:1 ~encoding ~max_rounds:500 algo topology).Run.bytes in
-      let cells = List.map (fun e -> Sweepcell.approx_int (float_of_int (bytes_for e))) Wire.all_encodings in
+  let codec_algos = [ Hm_gossip.algorithm; Name_dropper.algorithm ] in
+  let codec_bytes =
+    Pool.map ~jobs
+      (fun ((algo : Algorithm.t), encoding) ->
+        let spec = { Run.default_spec with Run.seed = 1; encoding; max_rounds = Some 500 } in
+        (Run.exec_spec spec algo (Sweepcell.topology_of ~family ~n ~seed:1)).Run.bytes)
+      (List.concat_map
+         (fun algo -> List.map (fun e -> (algo, e)) Wire.all_encodings)
+         codec_algos)
+  in
+  List.iter2
+    (fun (algo : Algorithm.t) bytes ->
+      let cells = List.map (fun b -> Sweepcell.approx_int (float_of_int b)) bytes in
       Table.add_row codec_table (algo.Algorithm.name :: cells);
       csv_rows :=
         List.map2
           (fun e cell -> [ "codec:" ^ Wire.encoding_name e; algo.Algorithm.name; cell ])
           Wire.all_encodings cells
         @ !csv_rows)
-    [ Hm_gossip.algorithm; Name_dropper.algorithm ];
-  Report.emit report (Table.render codec_table);
+    codec_algos
+    (Sweepcell.chunks (List.length Wire.all_encodings) codec_bytes);
   Report.emit report
     "Snapshot-heavy traffic compresses to near the bitmap bound (n/8 bytes per full\n\
      snapshot); hm's delta reports make it the cheapest in bytes as well as pointers. Raw\n\

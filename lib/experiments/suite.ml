@@ -1,32 +1,68 @@
-type entry = { id : string; title : string; run : Report.t -> quick:bool -> unit }
+type entry = { id : string; title : string; run : Report.t -> quick:bool -> jobs:int -> unit }
 
 let all =
   [
     {
       id = "T1";
       title = "rounds vs n, all algorithms";
-      run = (fun r ~quick -> Exp_scaling.t1 r ~quick);
+      run = (fun r ~quick ~jobs -> Exp_scaling.t1 r ~quick ~jobs);
     };
-    { id = "T2"; title = "message complexity vs n"; run = (fun r ~quick -> Exp_scaling.t2 r ~quick) };
-    { id = "T3"; title = "pointer complexity vs n"; run = (fun r ~quick -> Exp_scaling.t3 r ~quick) };
-    { id = "F1"; title = "rounds-vs-n curves"; run = (fun r ~quick -> Exp_scaling.f1 r ~quick) };
-    { id = "T4"; title = "topology sensitivity"; run = (fun r ~quick -> Exp_topology.t4 r ~quick) };
-    { id = "F3"; title = "rounds vs diameter (paths)"; run = (fun r ~quick -> Exp_topology.f3 r ~quick) };
-    { id = "T5"; title = "message-loss robustness"; run = (fun r ~quick -> Exp_faults.t5 r ~quick) };
-    { id = "T6"; title = "crash-stop failures"; run = (fun r ~quick -> Exp_faults.t6 r ~quick) };
-    { id = "T7"; title = "design ablations"; run = (fun r ~quick -> Exp_ablation.t7 r ~quick) };
-    { id = "T8"; title = "wire-byte complexity"; run = (fun r ~quick -> Exp_wire.t8 r ~quick) };
-    { id = "T9"; title = "discovery under churn"; run = (fun r ~quick -> Exp_churn.t9 r ~quick) };
-    { id = "T10"; title = "asynchronous execution"; run = (fun r ~quick -> Exp_async.t10 r ~quick) };
-    { id = "T11"; title = "local termination detection"; run = (fun r ~quick -> Exp_termination.t11 r ~quick) };
-    { id = "F2"; title = "knowledge-growth dynamics"; run = (fun r ~quick -> Exp_dynamics.f2 r ~quick) };
-    { id = "F4"; title = "per-round message budget"; run = (fun r ~quick -> Exp_dynamics.f4 r ~quick) };
-    { id = "F5"; title = "cluster-head population dynamics"; run = (fun r ~quick -> Exp_dynamics.f5 r ~quick) };
+    {
+      id = "T2";
+      title = "message complexity vs n";
+      run = (fun r ~quick ~jobs -> Exp_scaling.t2 r ~quick ~jobs);
+    };
+    {
+      id = "T3";
+      title = "pointer complexity vs n";
+      run = (fun r ~quick ~jobs -> Exp_scaling.t3 r ~quick ~jobs);
+    };
+    { id = "F1"; title = "rounds-vs-n curves"; run = (fun r ~quick ~jobs -> Exp_scaling.f1 r ~quick ~jobs) };
+    { id = "T4"; title = "topology sensitivity"; run = (fun r ~quick ~jobs -> Exp_topology.t4 r ~quick ~jobs) };
+    {
+      id = "F3";
+      title = "rounds vs diameter (paths)";
+      run = (fun r ~quick ~jobs -> Exp_topology.f3 r ~quick ~jobs);
+    };
+    { id = "T5"; title = "message-loss robustness"; run = (fun r ~quick ~jobs -> Exp_faults.t5 r ~quick ~jobs) };
+    { id = "T6"; title = "crash-stop failures"; run = (fun r ~quick ~jobs -> Exp_faults.t6 r ~quick ~jobs) };
+    { id = "T7"; title = "design ablations"; run = (fun r ~quick ~jobs -> Exp_ablation.t7 r ~quick ~jobs) };
+    { id = "T8"; title = "wire-byte complexity"; run = (fun r ~quick ~jobs -> Exp_wire.t8 r ~quick ~jobs) };
+    { id = "T9"; title = "discovery under churn"; run = (fun r ~quick ~jobs -> Exp_churn.t9 r ~quick ~jobs) };
+    {
+      id = "T10";
+      title = "asynchronous execution";
+      run = (fun r ~quick ~jobs -> Exp_async.t10 r ~quick ~jobs);
+    };
+    {
+      id = "T11";
+      title = "local termination detection";
+      run = (fun r ~quick ~jobs -> Exp_termination.t11 r ~quick ~jobs);
+    };
+    {
+      id = "F2";
+      title = "knowledge-growth dynamics";
+      run = (fun r ~quick ~jobs -> Exp_dynamics.f2 r ~quick ~jobs);
+    };
+    {
+      id = "F4";
+      title = "per-round message budget";
+      run = (fun r ~quick ~jobs -> Exp_dynamics.f4 r ~quick ~jobs);
+    };
+    {
+      id = "F5";
+      title = "cluster-head population dynamics";
+      run = (fun r ~quick ~jobs -> Exp_dynamics.f5 r ~quick ~jobs);
+    };
   ]
 
 let ids () = List.map (fun e -> e.id) all
 
-let run ?only ?(quick = false) ~results_dir () =
+(* [jobs] shards the seed replicates and sweep cells of every entry
+   across domains (see Sweepcell.run_batch / Repro_util.Pool). Results
+   are merged in deterministic (cell, seed) order, so report.md and the
+   CSVs are byte-identical at any [jobs]. *)
+let run ?only ?(quick = false) ?(jobs = Repro_util.Pool.default_jobs ()) ~results_dir () =
   let selected =
     match only with
     | None -> Ok all
@@ -48,7 +84,7 @@ let run ?only ?(quick = false) ~results_dir () =
           (mode: %s; every cell is reproducible with `discovery run --algo A --topology T -n N \
           --seed S`)\n"
          (if quick then "quick" else "full"));
-    List.iter (fun e -> e.run report ~quick) entries;
+    List.iter (fun e -> e.run report ~quick ~jobs) entries;
     let path = Filename.concat results_dir "report.md" in
     Repro_util.Csvio.ensure_dir results_dir;
     let oc = open_out path in

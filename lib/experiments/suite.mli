@@ -5,9 +5,9 @@
     results directory. *)
 
 type entry = {
-  id : string;  (** stable identifier: "T1" … "T7", "F1" … "F4" *)
+  id : string;  (** stable identifier: "T1" … "T11", "F1" … "F5" *)
   title : string;
-  run : Report.t -> quick:bool -> unit;
+  run : Report.t -> quick:bool -> jobs:int -> unit;
 }
 
 val all : entry list
@@ -17,10 +17,14 @@ val ids : unit -> string list
 val run :
   ?only:string list ->
   ?quick:bool ->
+  ?jobs:int ->
   results_dir:string ->
   unit ->
   (unit, string) result
 (** Run the selected experiments (default: all) in suite order. [quick]
-    shrinks sizes and seed counts for smoke-testing. Returns [Error] for
-    an unknown id. The combined report is written to
+    shrinks sizes and seed counts for smoke-testing. [jobs] (default
+    {!Repro_util.Pool.default_jobs}) shards each experiment's
+    independent runs across that many worker domains; the report and
+    CSV bytes are identical for every value of [jobs]. Returns [Error]
+    for an unknown id. The combined report is written to
     [results_dir/report.md]. *)

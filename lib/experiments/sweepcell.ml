@@ -32,21 +32,54 @@ let crash_fault ~seed ~n ~count =
       Fault.none victims
   end
 
-let run ~algo ~family ~n ~seeds ?max_rounds ?(fault = fun _ -> Fault.none)
+(* One cell of a sweep before execution: the algorithm, the topology
+   family, and the per-seed run spec. [fault] maps each seed to its
+   fault model so seed replicates stay independent work items. *)
+type request = {
+  req_algo : Algorithm.t;
+  req_family : Generate.family;
+  req_n : int;
+  req_seeds : int list;
+  req_max_rounds : int option;
+  req_fault : int -> Fault.t;
+  req_completion : Run.completion;
+}
+
+let request ~algo ~family ~n ~seeds ?max_rounds ?(fault = fun _ -> Fault.none)
     ?(completion = Run.Strong) () =
-  let results =
-    List.map
-      (fun seed ->
-        let topology = topology_of ~family ~n ~seed in
-        Run.exec ~seed ~fault:(fault seed) ~completion ?max_rounds algo topology)
-      seeds
+  {
+    req_algo = algo;
+    req_family = family;
+    req_n = n;
+    req_seeds = seeds;
+    req_max_rounds = max_rounds;
+    req_fault = fault;
+    req_completion = completion;
+  }
+
+(* The immutable work item the pool hands to a domain: topology
+   generation and the run itself both happen on the worker, driven only
+   by the spec. *)
+let exec_cell req seed =
+  let spec =
+    {
+      Run.default_spec with
+      Run.seed;
+      fault = req.req_fault seed;
+      completion = req.req_completion;
+      max_rounds = req.req_max_rounds;
+    }
   in
+  let topology = topology_of ~family:req.req_family ~n:req.req_n ~seed in
+  Run.exec_spec spec req.req_algo topology
+
+let summarize req results =
   let completed = List.filter (fun r -> r.Run.completed) results in
   let summarize f = match completed with [] -> None | _ -> Some (Stats.summarize_ints (List.map f completed)) in
   {
-    algo = algo.Algorithm.name;
-    family;
-    n;
+    algo = req.req_algo.Algorithm.name;
+    family = req.req_family;
+    n = req.req_n;
     attempts = List.length results;
     completions = List.length completed;
     rounds = summarize (fun r -> r.Run.rounds);
@@ -55,6 +88,53 @@ let run ~algo ~family ~n ~seeds ?max_rounds ?(fault = fun _ -> Fault.none)
     bytes = summarize (fun r -> r.Run.bytes);
     peak_round_messages = summarize (fun r -> r.Run.max_round_messages);
   }
+
+(* Shard every (cell, seed) replicate of [requests] across [jobs]
+   domains in one flat pool invocation (never nested), then fold the
+   results back per cell in request order — aggregation only ever sees
+   the deterministic (cell, seed) order, so reports are byte-identical
+   at any [jobs]. *)
+let run_batch ?(jobs = Pool.default_jobs ()) requests =
+  let items =
+    List.concat_map (fun req -> List.map (fun seed -> (req, seed)) req.req_seeds) requests
+  in
+  let tasks = Array.of_list (List.map (fun (req, seed) () -> exec_cell req seed) items) in
+  let results = Pool.run ~jobs tasks in
+  let cells, last =
+    List.fold_left
+      (fun (acc, offset) req ->
+        let k = List.length req.req_seeds in
+        let rs = Array.to_list (Array.sub results offset k) in
+        (summarize req rs :: acc, offset + k))
+      ([], 0) requests
+  in
+  assert (last = Array.length results);
+  List.rev cells
+
+(* Split a flat run_batch result back into consecutive chunks of [k],
+   matching a nested (outer loop × k requests) build order. *)
+let chunks k cells =
+  let rec take i l =
+    if i = 0 then ([], l)
+    else
+      match l with
+      | [] -> invalid_arg "Sweepcell.chunks: ragged input"
+      | x :: tl ->
+        let a, b = take (i - 1) tl in
+        (x :: a, b)
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | rest ->
+      let chunk, rest = take k rest in
+      go (chunk :: acc) rest
+  in
+  go [] cells
+
+let run ?jobs ~algo ~family ~n ~seeds ?max_rounds ?fault ?completion () =
+  match run_batch ?jobs [ request ~algo ~family ~n ~seeds ?max_rounds ?fault ?completion () ] with
+  | [ cell ] -> cell
+  | _ -> assert false
 
 let approx_int x =
   let abs = Float.abs x in

@@ -26,7 +26,34 @@ val topology_of : family:Generate.family -> n:int -> seed:int -> Topology.t
 val crash_fault : seed:int -> n:int -> count:int -> Fault.t
 (** [count] uniform victims crashing at uniform rounds in [1..5]. *)
 
+type request
+(** One cell to measure: an (algorithm, family, n, fault) configuration
+    with its seed list. Built with {!request}, executed with
+    {!run_batch}. *)
+
+val request :
+  algo:Algorithm.t ->
+  family:Generate.family ->
+  n:int ->
+  seeds:int list ->
+  ?max_rounds:int ->
+  ?fault:(int -> Fault.t) ->
+  ?completion:Run.completion ->
+  unit ->
+  request
+(** [fault] maps a seed to its fault model (so crash victims vary
+    across seeds). *)
+
+val run_batch : ?jobs:int -> request list -> t list
+(** Execute every (request, seed) pair — the full cross product — as
+    one flat work batch on a {!Repro_util.Pool} of [jobs] workers
+    (default {!Repro_util.Pool.default_jobs}), then aggregate per
+    request. Results are merged in (request, seed) order, so the
+    output is byte-identical to a sequential sweep regardless of
+    [jobs]. *)
+
 val run :
+  ?jobs:int ->
   algo:Algorithm.t ->
   family:Generate.family ->
   n:int ->
@@ -36,8 +63,13 @@ val run :
   ?completion:Run.completion ->
   unit ->
   t
-(** Execute one run per seed and aggregate. [fault] maps a seed to its
-    fault model (so crash victims vary across seeds). *)
+(** [run_batch] for a single request: one run per seed (replicates
+    sharded across [jobs] workers), aggregated. *)
+
+val chunks : int -> 'a list -> 'a list list
+(** [chunks k xs] splits [xs] into consecutive groups of [k] — the
+    inverse of flattening a per-request grid into a batch.
+    @raise Invalid_argument if [List.length xs] is not a multiple of [k]. *)
 
 (** {2 Table-cell formatting} *)
 

@@ -1,0 +1,107 @@
+(* A small fork/join pool over OCaml 5 domains for embarrassingly
+   parallel work.
+
+   Tasks are pulled from a shared queue guarded by a mutex: the first
+   idle worker takes the lowest unstarted index, which load-balances
+   uneven task costs (a 16k-node cell next to a 128-node cell) without
+   static partitioning. Results land in a slot array indexed by task, so
+   the merged output is in task order and independent of scheduling — the
+   property the experiment harness relies on for byte-identical reports
+   at any [jobs]. A condition variable signals the caller when the last
+   in-flight task has finished. *)
+
+type 'a slot = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+(* Per-domain marker for nested-use detection. Worker domains (and the
+   calling domain while it participates) set it; a parallel [run] from
+   inside a task would deadlock-prone oversubscribe, so it is refused. *)
+let inside_key = Domain.DLS.new_key (fun () -> false)
+
+let env_var = "REPRO_JOBS"
+
+(* Domains are real OS threads with 8-ish MB stacks; cap runaway
+   REPRO_JOBS values rather than letting spawn fail. *)
+let hard_cap = 64
+
+let default_jobs () =
+  match Sys.getenv_opt env_var with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> min j hard_cap
+    | _ ->
+      invalid_arg (Printf.sprintf "Pool.default_jobs: %s=%S is not a positive integer" env_var s))
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let sequential tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let first = tasks.(0) () in
+    let out = Array.make n first in
+    for i = 1 to n - 1 do
+      out.(i) <- tasks.(i) ()
+    done;
+    out
+  end
+
+let run ~jobs (tasks : (unit -> 'a) array) : 'a array =
+  let n = Array.length tasks in
+  let jobs = min (min jobs n) hard_cap in
+  if jobs > 1 && Domain.DLS.get inside_key then
+    invalid_arg "Pool.run: nested parallel region (flatten the work into one task array)";
+  if jobs <= 1 || n <= 1 then sequential tasks
+  else begin
+    let slots = Array.make n Pending in
+    let lock = Mutex.create () in
+    let finished = Condition.create () in
+    let next = ref 0 in
+    let completed = ref 0 in
+    let take () =
+      Mutex.lock lock;
+      let i = !next in
+      if i < n then incr next;
+      Mutex.unlock lock;
+      if i < n then Some i else None
+    in
+    let mark_done () =
+      Mutex.lock lock;
+      incr completed;
+      if !completed = n then Condition.broadcast finished;
+      Mutex.unlock lock
+    in
+    let rec work () =
+      match take () with
+      | None -> ()
+      | Some i ->
+        (* Every task runs even if an earlier one failed, so the slot
+           array is always fully populated and the re-raised exception
+           (lowest failing index, below) is deterministic. *)
+        slots.(i) <- (try Done (tasks.(i) ()) with e -> Failed (e, Printexc.get_raw_backtrace ()));
+        mark_done ();
+        work ()
+    in
+    let worker () =
+      Domain.DLS.set inside_key true;
+      work ()
+    in
+    let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain is a worker too: [jobs] counts busy domains,
+       not helpers on top of an idle coordinator. *)
+    Domain.DLS.set inside_key true;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set inside_key false) work;
+    Mutex.lock lock;
+    while !completed < n do
+      Condition.wait finished lock
+    done;
+    Mutex.unlock lock;
+    Array.iter Domain.join spawned;
+    for i = 0 to n - 1 do
+      match slots.(i) with
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Done _ | Pending -> ()
+    done;
+    Array.map (function Done v -> v | Pending | Failed _ -> assert false) slots
+  end
+
+let map ~jobs f items =
+  Array.to_list (run ~jobs (Array.of_list (List.map (fun x -> fun () -> f x) items)))

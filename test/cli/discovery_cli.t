@@ -33,11 +33,32 @@ Topology description:
   diameter est. : 2
   out-degree    : mean 1.9, min 1, max 15
 
+Seed replication shards the run over worker domains and aggregates;
+the per-seed numbers are identical at any --jobs:
+
+  $ ../../bin/discovery_cli.exe run --algo hm --topology kout:3 -n 128 --seed 1 --seeds 3 --jobs 2
+  algorithm        : hm
+  topology         : kout:3 (n=128)
+  seeds            : 1..3 (3 replicates, jobs=2)
+    seed 1   : rounds 5    messages 2167      pointers 91180       bytes 28898
+    seed 2   : rounds 5    messages 2164      pointers 81623       bytes 28811
+    seed 3   : rounds 5    messages 2231      pointers 92778       bytes 30171
+  rounds           : 5.0 ± 0.0
+  messages         : 2187.3 ± 37.8
+  pointers         : 88527.0 ± 6032.2
+  wire bytes       : 29293.3 ± 761.3 (adaptive codec)
+
 Unknown algorithms are rejected with the catalogue:
 
   $ ../../bin/discovery_cli.exe run --algo warp -n 16 2>&1 | head -2
   discovery: option '--algo': unknown algorithm "warp" (known: flooding,
-             swamping, pointer_jump, name_dropper, min_pointer, rand_gossip,
+             swamping, pointer_jump, name_dropper, min_pointer, rand_gossip, hm
+
+Near misses get a suggestion:
+
+  $ ../../bin/discovery_cli.exe run --algo hm_gossip -n 16 2>&1 | head -2
+  discovery: option '--algo': unknown algorithm "hm_gossip" — did you mean
+             "hm"? (known: flooding, swamping, pointer_jump, name_dropper,
 
 The experiments runner lists its deliverables:
 

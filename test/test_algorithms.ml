@@ -11,7 +11,7 @@ let build family ~n ~seed =
   Generate.build family ~rng ~n
 
 let exec ?(n = 96) ?(seed = 1) ?max_rounds algo family =
-  Run.exec ~seed ?max_rounds algo (build family ~n ~seed)
+  Run.exec_spec { Run.default_spec with Run.seed; max_rounds } algo (build family ~n ~seed)
 
 let check_completes ?(n = 96) ?max_rounds algo family () =
   let r = exec ~n ?max_rounds algo family in

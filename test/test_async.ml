@@ -85,7 +85,11 @@ let test_messages_arrive_within_latency_bounds () =
 
 let test_determinism () =
   let run () =
-    let r = Run_async.exec ~seed:7 Hm_gossip.algorithm (kout ~n:96 ~seed:7) in
+    let r =
+      Run_async.exec_spec
+        { Run_async.default_spec with Run_async.seed = 7 }
+        Hm_gossip.algorithm (kout ~n:96 ~seed:7)
+    in
     (r.Run_async.completed, r.Run_async.time, r.Run_async.ticks, r.Run_async.messages)
   in
   Alcotest.(check bool) "identical outcomes" true (run () = run ())
@@ -93,8 +97,14 @@ let test_determinism () =
 let test_crash_in_async () =
   let fault = Fault.with_crash Fault.none ~node:0 ~round:3 in
   let r =
-    Run_async.exec ~seed:2 ~fault ~completion:Run.Survivors_strong Hm_gossip.algorithm
-      (kout ~n:64 ~seed:2)
+    Run_async.exec_spec
+      {
+        Run_async.default_spec with
+        Run_async.seed = 2;
+        fault;
+        completion = Run.Survivors_strong;
+      }
+      Hm_gossip.algorithm (kout ~n:64 ~seed:2)
   in
   Alcotest.(check bool) "survivors complete" true r.Run_async.completed;
   Alcotest.(check bool) "victim dead" false r.Run_async.alive.(0)
@@ -106,7 +116,11 @@ let test_algorithms_complete_async () =
     (fun (algo : Algorithm.t) ->
       List.iter
         (fun seed ->
-          let r = Run_async.exec ~seed algo (kout ~n:96 ~seed) in
+          let r =
+            Run_async.exec_spec
+              { Run_async.default_spec with Run_async.seed }
+              algo (kout ~n:96 ~seed)
+          in
           if not r.Run_async.completed then
             Alcotest.failf "%s seed=%d did not complete asynchronously (t=%.1f)"
               algo.Algorithm.name seed r.Run_async.time)
@@ -124,8 +138,10 @@ let test_async_tracks_sync_rounds () =
      synchronous round count — asynchrony must not change the asymptotics *)
   let n = 256 and seed = 4 in
   let topo = kout ~n ~seed in
-  let sync = Run.exec ~seed Hm_gossip.algorithm topo in
-  let asyn = Run_async.exec ~seed Hm_gossip.algorithm topo in
+  let sync = Run.exec_spec { Run.default_spec with Run.seed } Hm_gossip.algorithm topo in
+  let asyn =
+    Run_async.exec_spec { Run_async.default_spec with Run_async.seed } Hm_gossip.algorithm topo
+  in
   Alcotest.(check bool) "both complete" true (sync.Run.completed && asyn.Run_async.completed);
   let ratio = asyn.Run_async.time /. float_of_int sync.Run.rounds in
   if ratio > 4.0 then
@@ -134,8 +150,15 @@ let test_async_tracks_sync_rounds () =
 let test_async_with_loss_and_jitter () =
   let fault = Fault.with_loss Fault.none ~p:0.2 in
   let r =
-    Run_async.exec ~seed:5 ~fault ~tick_jitter:0.3 ~latency:(0.1, 2.5) Hm_gossip.algorithm
-      (kout ~n:96 ~seed:5)
+    Run_async.exec_spec
+      {
+        Run_async.default_spec with
+        Run_async.seed = 5;
+        fault;
+        tick_jitter = 0.3;
+        latency = (0.1, 2.5);
+      }
+      Hm_gossip.algorithm (kout ~n:96 ~seed:5)
   in
   Alcotest.(check bool) "heavy asynchrony tolerated" true r.Run_async.completed
 

@@ -10,7 +10,7 @@ let summary (r : Run.result) =
 
 let run algo ~seed ?(fault = Fault.none) () =
   let topology = Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n:128 ~seed in
-  Run.exec ~seed ~fault ~max_rounds:2000 algo topology
+  Run.exec_spec { Run.default_spec with Run.seed; fault; max_rounds = Some 2000 } algo topology
 
 let test_same_seed (algo : Algorithm.t) () =
   let a = run algo ~seed:11 () and b = run algo ~seed:11 () in
@@ -45,7 +45,11 @@ let test_min_pointer_uses_no_randomness () =
   let topology = Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n:128 ~seed:7 in
   let rounds =
     List.map
-      (fun seed -> (Run.exec ~seed ~max_rounds:2000 Min_pointer.algorithm topology).Run.rounds)
+      (fun seed ->
+        (Run.exec_spec
+           { Run.default_spec with Run.seed; max_rounds = Some 2000 }
+           Min_pointer.algorithm topology)
+          .Run.rounds)
       [ 1; 2; 3 ]
   in
   Alcotest.(check (list int)) "identical rounds across seeds"

@@ -47,7 +47,11 @@ let exhaustive n () =
         (fun i topology ->
           List.iter
             (fun seed ->
-              let r = Run.exec ~seed ~max_rounds:300 algo topology in
+              let r =
+                Run.exec_spec
+                  { Run.default_spec with Run.seed; max_rounds = Some 300 }
+                  algo topology
+              in
               if not r.Run.completed then
                 Alcotest.failf "%s failed on %d-node digraph #%d seed=%d (edges: %s)"
                   algo.Algorithm.name n i seed
@@ -89,7 +93,11 @@ let flooding_characterisation () =
   in
   List.iteri
     (fun i topology ->
-      let r = Run.exec ~seed:1 ~max_rounds:100 Flooding.algorithm topology in
+      let r =
+        Run.exec_spec
+          { Run.default_spec with Run.seed = 1; max_rounds = Some 100 }
+          Flooding.algorithm topology
+      in
       let expected = flooding_can_complete topology in
       if r.Run.completed <> expected then
         Alcotest.failf "flooding on 3-node digraph #%d: completed=%b but reachability says %b" i

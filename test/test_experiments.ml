@@ -81,6 +81,59 @@ let test_suite_unknown_id () =
   | Ok () -> Alcotest.fail "expected error for unknown id"
   | Error msg -> Alcotest.(check bool) "mentions the id" true (String.length msg > 0)
 
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let test_jobs_determinism () =
+  (* the tentpole guarantee: a parallel suite run produces byte-identical
+     output. Run the same selection twice into the same directory (the
+     report embeds the results path) with jobs=1 and jobs=4 and compare
+     bytes. T5 and F3 are used because they are cheap and, unlike
+     T1-T3/F1, not served from the memoised scaling sweep on the second
+     run. *)
+  let dir = tmpdir () in
+  let files = [ "report.md"; "t5_loss.csv"; "f3_path_rounds.csv" ] in
+  let snapshot jobs =
+    match Suite.run ~only:[ "T5"; "F3" ] ~quick:true ~jobs ~results_dir:dir () with
+    | Error msg -> Alcotest.fail msg
+    | Ok () -> List.map (fun f -> read_file (Filename.concat dir f)) files
+  in
+  let seq = snapshot 1 in
+  let par = snapshot 4 in
+  List.iter2
+    (fun f (a, b) ->
+      if a <> b then Alcotest.failf "%s differs between jobs=1 and jobs=4" f)
+    files (List.combine seq par)
+
+let test_run_batch_groups () =
+  (* run_batch aggregates exactly like per-request run, in request order *)
+  let req algo =
+    Sweepcell.request ~algo ~family:(Generate.K_out 3) ~n:64 ~seeds:[ 1; 2 ] ()
+  in
+  let batch = Sweepcell.run_batch ~jobs:3 [ req Hm_gossip.algorithm; req Name_dropper.algorithm ] in
+  let solo =
+    List.map
+      (fun algo -> Sweepcell.run ~jobs:1 ~algo ~family:(Generate.K_out 3) ~n:64 ~seeds:[ 1; 2 ] ())
+      [ Hm_gossip.algorithm; Name_dropper.algorithm ]
+  in
+  Alcotest.(check (list string)) "same cells in request order"
+    (List.map Sweepcell.rounds_cell solo)
+    (List.map Sweepcell.rounds_cell batch);
+  Alcotest.(check (list string)) "algo order preserved" [ "hm"; "name_dropper" ]
+    (List.map (fun c -> c.Sweepcell.algo) batch)
+
+let test_chunks () =
+  Alcotest.(check (list (list int))) "even split" [ [ 1; 2 ]; [ 3; 4 ] ]
+    (Sweepcell.chunks 2 [ 1; 2; 3; 4 ]);
+  Alcotest.(check (list (list int))) "empty" [] (Sweepcell.chunks 3 []);
+  match Sweepcell.chunks 2 [ 1; 2; 3 ] with
+  | _ -> Alcotest.fail "ragged chunks accepted"
+  | exception Invalid_argument _ -> ()
+
 let test_suite_quick_selection () =
   (* run the two cheapest entries end-to-end in quick mode *)
   let dir = tmpdir () in
@@ -103,6 +156,8 @@ let () =
           Alcotest.test_case "topology convention" `Quick test_topology_of_matches_cli_convention;
           Alcotest.test_case "crash fault shape" `Quick test_crash_fault_shape;
           Alcotest.test_case "approx_int" `Quick test_approx_int;
+          Alcotest.test_case "run_batch groups" `Quick test_run_batch_groups;
+          Alcotest.test_case "chunks" `Quick test_chunks;
         ] );
       ( "report",
         [ Alcotest.test_case "capture and csv" `Quick test_report_capture_and_csv ] );
@@ -111,5 +166,6 @@ let () =
           Alcotest.test_case "ids" `Quick test_suite_ids;
           Alcotest.test_case "unknown id" `Quick test_suite_unknown_id;
           Alcotest.test_case "quick selection runs" `Slow test_suite_quick_selection;
+          Alcotest.test_case "jobs determinism" `Slow test_jobs_determinism;
         ] );
     ]

@@ -8,6 +8,10 @@ open Repro_discovery
 let topology ~n ~seed =
   Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n ~seed
 
+(* every run here injects a fault and needs headroom over the default
+   round budget *)
+let spec ~seed ~fault = { Run.default_spec with Run.seed; fault; max_rounds = Some 2000 }
+
 let test_loss_tolerance () =
   (* every retransmitting algorithm must finish under 30% loss *)
   List.iter
@@ -15,7 +19,7 @@ let test_loss_tolerance () =
       List.iter
         (fun seed ->
           let fault = Fault.with_loss Fault.none ~p:0.3 in
-          let r = Run.exec ~seed ~fault ~max_rounds:2000 algo (topology ~n:128 ~seed) in
+          let r = Run.exec_spec (spec ~seed ~fault) algo (topology ~n:128 ~seed) in
           if not r.Run.completed then
             Alcotest.failf "%s seed=%d did not survive 30%% loss" algo.Algorithm.name seed)
         [ 1; 2; 3 ])
@@ -31,7 +35,7 @@ let test_loss_tolerance () =
 let test_loss_slows_but_never_breaks_hm () =
   let rounds p =
     let fault = if p > 0.0 then Fault.with_loss Fault.none ~p else Fault.none in
-    let r = Run.exec ~seed:3 ~fault ~max_rounds:2000 Hm_gossip.algorithm (topology ~n:256 ~seed:3) in
+    let r = Run.exec_spec (spec ~seed:3 ~fault) Hm_gossip.algorithm (topology ~n:256 ~seed:3) in
     Alcotest.(check bool) (Printf.sprintf "completed at loss %.1f" p) true r.Run.completed;
     r.Run.rounds
   in
@@ -47,8 +51,9 @@ let test_crash_survivors_complete () =
           let n = 128 in
           let fault = Repro_experiments.Sweepcell.crash_fault ~seed ~n ~count:12 in
           let r =
-            Run.exec ~seed ~fault ~completion:Run.Survivors_strong ~max_rounds:2000 algo
-              (topology ~n ~seed)
+            Run.exec_spec
+              { (spec ~seed ~fault) with Run.completion = Run.Survivors_strong }
+              algo (topology ~n ~seed)
           in
           if not r.Run.completed then
             Alcotest.failf "%s seed=%d: survivors did not complete" algo.Algorithm.name seed;
@@ -65,8 +70,9 @@ let test_hm_survives_sink_crash () =
   Array.iteri (fun v l -> if l < labels.(!rank_min) then rank_min := v) labels;
   let fault = Fault.with_crash Fault.none ~node:!rank_min ~round:4 in
   let r =
-    Run.exec ~seed ~fault ~completion:Run.Survivors_strong ~max_rounds:2000 Hm_gossip.algorithm
-      (topology ~n ~seed)
+    Run.exec_spec
+      { (spec ~seed ~fault) with Run.completion = Run.Survivors_strong }
+      Hm_gossip.algorithm (topology ~n ~seed)
   in
   Alcotest.(check bool) "recovered from sink crash" true r.Run.completed
 
@@ -76,8 +82,13 @@ let test_min_pointer_stalls_on_late_sink_crash () =
   let n = 1024 and seed = 1 in
   let fault = Fault.with_crash Fault.none ~node:0 ~round:5 in
   let r =
-    Run.exec ~seed ~fault ~completion:Run.Survivors_strong ~max_rounds:400 Min_pointer.algorithm
-      (topology ~n ~seed)
+    Run.exec_spec
+      {
+        (spec ~seed ~fault) with
+        Run.completion = Run.Survivors_strong;
+        max_rounds = Some 400;
+      }
+      Min_pointer.algorithm (topology ~n ~seed)
   in
   Alcotest.(check bool) "stalled" false r.Run.completed
 
@@ -85,8 +96,13 @@ let test_crash_all_but_one () =
   let n = 16 and seed = 2 in
   let fault = Fault.with_crashes Fault.none (List.init 15 (fun i -> (i + 1, 1))) in
   let r =
-    Run.exec ~seed ~fault ~completion:Run.Survivors_strong ~max_rounds:50 Hm_gossip.algorithm
-      (topology ~n ~seed)
+    Run.exec_spec
+      {
+        (spec ~seed ~fault) with
+        Run.completion = Run.Survivors_strong;
+        max_rounds = Some 50;
+      }
+      Hm_gossip.algorithm (topology ~n ~seed)
   in
   (* a single survivor trivially knows all survivors *)
   Alcotest.(check bool) "lone survivor completes" true r.Run.completed
@@ -103,7 +119,7 @@ let test_churn_stabilizes () =
           let late = Repro_util.Rng.sample_distinct rng ~n ~k:(n / 2) ~avoid:(-1) in
           let joins = List.mapi (fun i v -> (v, if i mod 2 = 0 then 4 else 9)) (Array.to_list late) in
           let fault = Fault.with_joins Fault.none joins in
-          let r = Run.exec ~seed ~fault ~max_rounds:2000 algo (topology ~n ~seed) in
+          let r = Run.exec_spec (spec ~seed ~fault) algo (topology ~n ~seed) in
           if not r.Run.completed then
             Alcotest.failf "%s seed=%d did not stabilise under churn" algo.Algorithm.name seed;
           if r.Run.rounds < 9 then
@@ -122,12 +138,12 @@ let test_churn_with_loss () =
       (Fault.with_joins Fault.none (List.map (fun v -> (v, 6)) (Array.to_list late)))
       ~p:0.2
   in
-  let r = Run.exec ~seed ~fault ~max_rounds:2000 Hm_gossip.algorithm (topology ~n ~seed) in
+  let r = Run.exec_spec (spec ~seed ~fault) Hm_gossip.algorithm (topology ~n ~seed) in
   Alcotest.(check bool) "completed" true r.Run.completed
 
 let test_drops_accounted () =
   let fault = Fault.with_loss Fault.none ~p:0.5 in
-  let r = Run.exec ~seed:1 ~fault ~max_rounds:2000 Name_dropper.algorithm (topology ~n:64 ~seed:1) in
+  let r = Run.exec_spec (spec ~seed:1 ~fault) Name_dropper.algorithm (topology ~n:64 ~seed:1) in
   Alcotest.(check int) "sent = delivered + dropped" r.Run.messages (r.Run.delivered + r.Run.dropped);
   Alcotest.(check bool) "some drops happened" true (r.Run.dropped > 0)
 

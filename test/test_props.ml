@@ -45,7 +45,9 @@ let completes_on_random_weak (algo : Algorithm.t) =
     (fun (n, edges, seed) ->
       let topology = Topology.create ~n ~edges in
       assert (Analyze.is_weakly_connected topology);
-      let r = Run.exec ~seed ~max_rounds:3000 algo topology in
+      let r =
+        Run.exec_spec { Run.default_spec with Run.seed; max_rounds = Some 3000 } algo topology
+      in
       r.Run.completed)
 
 let accounting_balances =
@@ -57,7 +59,11 @@ let accounting_balances =
     (fun (seed, p) ->
       let topology = Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n:64 ~seed in
       let fault = Repro_engine.Fault.with_loss Repro_engine.Fault.none ~p in
-      let r = Run.exec ~seed ~fault ~max_rounds:3000 Hm_gossip.algorithm topology in
+      let r =
+        Run.exec_spec
+          { Run.default_spec with Run.seed; fault; max_rounds = Some 3000 }
+          Hm_gossip.algorithm topology
+      in
       r.Run.completed && r.Run.messages = r.Run.delivered + r.Run.dropped)
 
 let final_knowledge_exact =
@@ -113,7 +119,11 @@ let final_knowledge_exact =
    end never learned the global minimum, and vice versa). This exact
    instance stalled forever before the custody rules were added. *)
 let test_path_pocket_regression () =
-  let r = Run.exec ~seed:3 ~max_rounds:200 Hm_gossip.algorithm (Generate.path 1024) in
+  let r =
+    Run.exec_spec
+      { Run.default_spec with Run.seed = 3; max_rounds = Some 200 }
+      Hm_gossip.algorithm (Generate.path 1024)
+  in
   Alcotest.(check bool) "completed" true r.Run.completed;
   Alcotest.(check bool) "well under the old stall" true (r.Run.rounds < 60)
 
@@ -122,7 +132,9 @@ let test_path_pocket_regression () =
    be discovered. *)
 let test_pull_only_hopeless_regression () =
   let r =
-    Run.exec ~seed:1 ~max_rounds:300 Pointer_jump.algorithm (Generate.inward_star 64)
+    Run.exec_spec
+      { Run.default_spec with Run.seed = 1; max_rounds = Some 300 }
+      Pointer_jump.algorithm (Generate.inward_star 64)
   in
   Alcotest.(check bool) "pull-only cannot finish" false r.Run.completed
 
@@ -137,7 +149,9 @@ let test_unacked_delta_unsound () =
       (List.filter
          (fun seed ->
            let topo = Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n:256 ~seed in
-           not (Run.exec ~seed ~max_rounds:400 algo topo).Run.completed)
+           not
+             (Run.exec_spec { Run.default_spec with Run.seed; max_rounds = Some 400 } algo topo)
+               .Run.completed)
          [ 1; 2; 3; 4; 5 ])
   in
   Alcotest.(check bool) "stalls on some seeds" true (failures > 0)

@@ -7,7 +7,7 @@ open Repro_discovery
 let kout ~n ~seed = Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n ~seed
 
 let test_result_fields () =
-  let r = Run.exec ~seed:4 Hm_gossip.algorithm (kout ~n:64 ~seed:4) in
+  let r = Run.exec_spec { Run.default_spec with Run.seed = 4 } Hm_gossip.algorithm (kout ~n:64 ~seed:4) in
   Alcotest.(check string) "algorithm name" "hm" r.Run.algorithm;
   Alcotest.(check int) "n" 64 r.Run.n;
   Alcotest.(check int) "seed" 4 r.Run.seed;
@@ -20,7 +20,11 @@ let test_result_fields () =
   Alcotest.(check int) "no growth tracking by default" 0 (Array.length r.Run.mean_knowledge_series)
 
 let test_growth_tracking () =
-  let r = Run.exec ~seed:4 ~track_growth:true Hm_gossip.algorithm (kout ~n:64 ~seed:4) in
+  let r =
+    Run.exec_spec
+      { Run.default_spec with Run.seed = 4; track_growth = true }
+      Hm_gossip.algorithm (kout ~n:64 ~seed:4)
+  in
   Alcotest.(check int) "one sample per round" r.Run.rounds (Array.length r.Run.mean_knowledge_series);
   let series = r.Run.mean_knowledge_series in
   Array.iteri
@@ -32,11 +36,11 @@ let test_growth_tracking () =
 let test_trivial_instances () =
   (* n = 1: already complete, zero rounds *)
   let t1 = Repro_graph.Topology.create ~n:1 ~edges:[] in
-  let r = Run.exec Hm_gossip.algorithm t1 in
+  let r = Run.exec_spec Run.default_spec Hm_gossip.algorithm t1 in
   Alcotest.(check bool) "completed" true r.Run.completed;
   Alcotest.(check int) "zero rounds" 0 r.Run.rounds;
   (* complete graph: one round of any push algorithm suffices *)
-  let r2 = Run.exec Name_dropper.algorithm (Generate.complete 8) in
+  let r2 = Run.exec_spec Run.default_spec Name_dropper.algorithm (Generate.complete 8) in
   Alcotest.(check bool) "complete graph" true r2.Run.completed
 
 let test_leader_completion_weaker () =
@@ -44,8 +48,9 @@ let test_leader_completion_weaker () =
   List.iter
     (fun (algo : Algorithm.t) ->
       let topo = kout ~n:128 ~seed:9 in
-      let strong = Run.exec ~seed:9 ~completion:Run.Strong algo topo in
-      let leader = Run.exec ~seed:9 ~completion:Run.Leader algo topo in
+      let spec = { Run.default_spec with Run.seed = 9 } in
+      let strong = Run.exec_spec { spec with Run.completion = Run.Strong } algo topo in
+      let leader = Run.exec_spec { spec with Run.completion = Run.Leader } algo topo in
       Alcotest.(check bool) "both complete" true (strong.Run.completed && leader.Run.completed);
       if leader.Run.rounds > strong.Run.rounds then
         Alcotest.failf "%s: leader completion (%d) later than strong (%d)" algo.Algorithm.name
@@ -62,17 +67,43 @@ let test_survivors_predicate_ignores_dead_knowledge () =
   (* victim: a client node, whose id only the client itself knows *)
   let fault = Repro_engine.Fault.with_crash Repro_engine.Fault.none ~node:(n - 1) ~round:1 in
   let r =
-    Run.exec ~seed ~fault ~completion:Run.Survivors_strong ~max_rounds:2000 Hm_gossip.algorithm
-      topo
+    Run.exec_spec
+      {
+        Run.default_spec with
+        Run.seed;
+        fault;
+        completion = Run.Survivors_strong;
+        max_rounds = Some 2000;
+      }
+      Hm_gossip.algorithm topo
   in
   Alcotest.(check bool) "survivors complete without the ghost" true r.Run.completed
 
 let test_max_rounds_respected () =
   let r =
-    Run.exec ~seed:1 ~max_rounds:2 Name_dropper.algorithm (kout ~n:256 ~seed:1)
+    Run.exec_spec
+      { Run.default_spec with Run.seed = 1; max_rounds = Some 2 }
+      Name_dropper.algorithm (kout ~n:256 ~seed:1)
   in
   Alcotest.(check bool) "did not finish in 2 rounds" false r.Run.completed;
   Alcotest.(check int) "stopped at budget" 2 r.Run.rounds
+
+(* the deprecated optional-argument wrapper must stay a faithful
+   delegate of exec_spec until it is removed *)
+let[@alert "-deprecated"] test_deprecated_wrapper_agrees () =
+  let topo = kout ~n:64 ~seed:6 in
+  let via_spec =
+    Run.exec_spec
+      { Run.default_spec with Run.seed = 6; track_growth = true }
+      Hm_gossip.algorithm topo
+  in
+  let via_wrapper = Run.exec ~seed:6 ~track_growth:true Hm_gossip.algorithm topo in
+  Alcotest.(check bool) "same outcome" true
+    ((via_spec.Run.completed, via_spec.Run.rounds, via_spec.Run.messages, via_spec.Run.bytes)
+    = ( via_wrapper.Run.completed,
+        via_wrapper.Run.rounds,
+        via_wrapper.Run.messages,
+        via_wrapper.Run.bytes ))
 
 let () =
   Alcotest.run "run"
@@ -83,6 +114,7 @@ let () =
           Alcotest.test_case "growth tracking" `Quick test_growth_tracking;
           Alcotest.test_case "trivial instances" `Quick test_trivial_instances;
           Alcotest.test_case "max rounds respected" `Quick test_max_rounds_respected;
+          Alcotest.test_case "deprecated wrapper agrees" `Quick test_deprecated_wrapper_agrees;
         ] );
       ( "completion predicates",
         [

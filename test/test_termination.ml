@@ -86,9 +86,14 @@ let test_system_goes_silent () =
   Alcotest.(check int) "total rounds ran" 60 outcome.Sim.rounds
 
 let test_quiescent_after_complete () =
-  let r_strong = Run.exec ~seed:3 Hm_gossip.algorithm (build (Generate.K_out 3) ~n:256 ~seed:3) in
+  let spec = { Run.default_spec with Run.seed = 3 } in
+  let r_strong =
+    Run.exec_spec spec Hm_gossip.algorithm (build (Generate.K_out 3) ~n:256 ~seed:3)
+  in
   let r_quiet =
-    Run.exec ~seed:3 ~completion:Run.Quiescent Hm_gossip.algorithm
+    Run.exec_spec
+      { spec with Run.completion = Run.Quiescent }
+      Hm_gossip.algorithm
       (build (Generate.K_out 3) ~n:256 ~seed:3)
   in
   Alcotest.(check bool) "both complete" true (r_strong.Run.completed && r_quiet.Run.completed);
@@ -99,7 +104,14 @@ let test_baselines_never_quiescent () =
   List.iter
     (fun (algo : Algorithm.t) ->
       let r =
-        Run.exec ~seed:1 ~completion:Run.Quiescent ~max_rounds:100 algo
+        Run.exec_spec
+          {
+            Run.default_spec with
+            Run.seed = 1;
+            completion = Run.Quiescent;
+            max_rounds = Some 100;
+          }
+          algo
           (build (Generate.K_out 3) ~n:64 ~seed:1)
       in
       if r.Run.completed then
@@ -128,7 +140,9 @@ let test_wakeup_on_late_join () =
 
 let test_quiescent_cli_mode () =
   let r =
-    Run.exec ~seed:5 ~completion:Run.Quiescent Hm_gossip.algorithm
+    Run.exec_spec
+      { Run.default_spec with Run.seed = 5; completion = Run.Quiescent }
+      Hm_gossip.algorithm
       (build (Generate.Clustered (4, 2)) ~n:96 ~seed:5)
   in
   Alcotest.(check bool) "quiescent completion works through Run" true r.Run.completed
