@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all build test check quick experiments bench clean
+.PHONY: all build test check quick experiments bench trace-golden clean
 
 all: build
 
@@ -11,12 +11,23 @@ test:
 	dune runtest
 
 # The PR gate: build, full test suite, then the quick experiment suite
-# end-to-end on a 2-worker pool (exercises the parallel executor and the
-# determinism guarantee on a real run).
+# end-to-end on a 2-worker pool with the online trace invariant checker
+# attached to every run (exercises the parallel executor, the
+# determinism guarantee, and the event-stream invariants on a real run).
 check:
 	dune build
 	dune runtest
-	REPRO_JOBS=2 dune exec bin/experiments.exe -- --quick --results-dir _build/check-results
+	REPRO_JOBS=2 REPRO_TRACE_INVARIANTS=1 dune exec bin/experiments.exe -- --quick --results-dir _build/check-results
+
+# Regenerate the golden traces test/test_trace.ml compares against.
+# Only needed when the engines' event streams intentionally change;
+# review the diff before committing.
+trace-golden:
+	dune build bin/discovery_cli.exe
+	for a in flooding swamping pointer_jump name_dropper min_pointer rand_gossip hm; do \
+	  dune exec bin/discovery_cli.exe -- trace --algo $$a --topology kout:3 -n 8 --seed 1 --check \
+	    -o test/golden/$$a.jsonl || exit 1; \
+	done
 
 quick:
 	dune exec bin/experiments.exe -- --quick

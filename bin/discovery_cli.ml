@@ -213,6 +213,141 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List the implemented algorithms.") Term.(const list $ const ())
 
+(* --- trace: emit the structured event stream of one run as JSONL --- *)
+
+let trace_cmd =
+  let trace algo family n seed loss crashes max_rounds completion asynchronous check output =
+    let open Repro_engine in
+    let completion =
+      if crashes > 0 && completion = Run.Strong then Run.Survivors_strong else completion
+    in
+    let fault = build_fault ~seed ~n ~loss ~crashes in
+    let topology = Generate.build family ~rng:(Rng.substream ~seed ~index:0x70b0) ~n in
+    let oc, close =
+      match output with
+      | None -> (stdout, fun () -> flush stdout)
+      | Some file ->
+        let oc = open_out file in
+        (oc, fun () -> close_out oc)
+    in
+    let invariants = if check then Some (Trace.Invariants.create ()) else None in
+    let sink =
+      match invariants with
+      | None -> Trace.jsonl oc
+      | Some inv -> Trace.tee (Trace.jsonl oc) (Trace.Invariants.sink inv)
+    in
+    let metrics =
+      if asynchronous then
+        (Run_async.exec_spec
+           { Run_async.default_spec with Run_async.seed; fault; completion; trace = sink }
+           algo topology)
+          .Run_async.metrics
+      else
+        (Run.exec_spec
+           { Run.default_spec with Run.seed; fault; completion; max_rounds; trace = sink }
+           algo topology)
+          .Run.metrics
+    in
+    close ();
+    match invariants with
+    | None -> `Ok ()
+    | Some inv -> (
+      match Trace.Invariants.final_check inv metrics with
+      | () ->
+        Printf.eprintf "trace invariants ok (%d events)\n" (Trace.Invariants.events_seen inv);
+        `Ok ()
+      | exception Trace.Invariants.Violation msg ->
+        `Error (false, Printf.sprintf "invariant violation: %s" msg))
+  in
+  let async_arg =
+    Arg.(
+      value & flag
+      & info [ "async" ]
+          ~doc:
+            "Trace an asynchronous (event-driven) execution instead of the synchronous \
+             round-based one.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Also run the online invariant checker over the emitted events (message \
+             conservation, liveness discipline, monotonicity, metrics agreement).")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the JSONL trace to $(docv) (default: stdout).")
+  in
+  let term =
+    Term.(
+      ret
+        (const trace $ algo_arg $ topology_arg $ n_arg $ seed_arg $ loss_arg $ crashes_arg
+       $ max_rounds_arg $ completion_arg $ async_arg $ check_arg $ output_arg))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Emit the structured event trace (JSONL) of one run. A run is a pure function of \
+          (algorithm, topology, config, seed), so two invocations with the same arguments \
+          produce byte-identical traces — compare with $(b,trace-diff).")
+    term
+
+(* --- trace-diff: first divergence between two JSONL traces --- *)
+
+let trace_diff_cmd =
+  let read_lines file =
+    let ic = open_in file in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  in
+  let diff file_a file_b =
+    match (read_lines file_a, read_lines file_b) with
+    | exception Sys_error msg -> `Error (false, msg)
+    | lines_a, lines_b ->
+      let width = max (String.length file_a) (String.length file_b) in
+      let pad f = f ^ String.make (width - String.length f) ' ' in
+      let rec go i a b =
+        match (a, b) with
+        | [], [] ->
+          Printf.printf "traces identical (%d events)\n" i;
+          `Ok ()
+        | la :: _, lb :: _ when la <> lb ->
+          Printf.printf "traces diverge at event %d:\n  %s: %s\n  %s: %s\n" (i + 1) (pad file_a)
+            la (pad file_b) lb;
+          flush stdout;
+          `Error (false, "traces differ")
+        | _ :: a, _ :: b -> go (i + 1) a b
+        | [], lb :: _ ->
+          Printf.printf "%s ends at event %d; %s continues:\n  %s\n" file_a i file_b lb;
+          flush stdout;
+          `Error (false, "traces differ")
+        | la :: _, [] ->
+          Printf.printf "%s ends at event %d; %s continues:\n  %s\n" file_b i file_a la;
+          flush stdout;
+          `Error (false, "traces differ")
+      in
+      go 0 lines_a lines_b
+  in
+  let file p docv =
+    Arg.(required & pos p (some non_dir_file) None & info [] ~docv ~doc:"JSONL trace file.")
+  in
+  let term = Term.(ret (const diff $ file 0 "TRACE_A" $ file 1 "TRACE_B")) in
+  Cmd.v
+    (Cmd.info "trace-diff"
+       ~doc:
+         "Compare two JSONL event traces and report the first divergent event — certifies \
+          that two runs (different machines, job counts, builds) executed identically.")
+    term
+
 let topo_cmd =
   let show family n seed =
     let rng = Rng.substream ~seed ~index:0x70b0 in
@@ -237,4 +372,4 @@ let topo_cmd =
 let () =
   let doc = "Distributed resource discovery in sub-logarithmic time (PODC'15 reproduction)" in
   let info = Cmd.info "discovery" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; topo_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; topo_cmd; trace_cmd; trace_diff_cmd ]))

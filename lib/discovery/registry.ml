@@ -112,7 +112,13 @@ let did_you_mean name =
     Printf.sprintf " — did you mean %s?"
       (String.concat " or " (List.map (Printf.sprintf "%S") cands))
 
+(* Module-style aliases accepted anywhere an algorithm name is: the
+   library modules are named after the papers, the registry after the
+   catalogue's short names. *)
+let aliases = [ ("hm_gossip", "hm"); ("haeupler_malkhi", "hm") ]
+
 let find name =
+  let name = Option.value (List.assoc_opt name aliases) ~default:name in
   match List.find_opt (fun a -> a.Algorithm.name = name) all with
   | Some a -> Ok a
   | None -> (

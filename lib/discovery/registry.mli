@@ -9,15 +9,17 @@ val baselines : Algorithm.t list
 (** [all] without [hm]. *)
 
 val find : string -> (Algorithm.t, string) result
-(** Look up by [name]. Also resolves ablation specs:
+(** Look up by [name]. Module-style aliases resolve to their catalogue
+    names (["hm_gossip"] and ["haeupler_malkhi"] → ["hm"]). Also
+    resolves ablation specs:
     - ["rand:push/f2/delta"], ["rand:pull/f1/nbr"] … — flat-gossip
       variants via {!Rand_gossip.with_params};
     - ["hm:cap:4"], ["hm:nobroadcast"], ["hm:full"], ["hm:cap:4/full"] —
       {!Hm_gossip.with_variant} ablations.
 
     Unknown names get near-miss suggestions in the error message
-    (["hm_gossip"] → did you mean ["hm"]?) plus the full {!parse_doc}
-    grammar. *)
+    (["floding"] → did you mean ["flooding"]?) plus the full
+    {!parse_doc} grammar. *)
 
 val names : unit -> string list
 

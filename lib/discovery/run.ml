@@ -71,6 +71,7 @@ type spec = {
   max_rounds : int option;
   track_growth : bool;
   encoding : Wire.encoding;
+  trace : Trace.sink;
 }
 
 let default_spec =
@@ -81,10 +82,11 @@ let default_spec =
     max_rounds = None;
     track_growth = false;
     encoding = Wire.Adaptive;
+    trace = Trace.null;
   }
 
 let exec_spec spec (algo : Algorithm.t) topology =
-  let { seed; fault; completion; max_rounds; track_growth; encoding } = spec in
+  let { seed; fault; completion; max_rounds; track_growth; encoding; trace } = spec in
   let n = Topology.n topology in
   let max_rounds = match max_rounds with Some m -> m | None -> (4 * n) + 64 in
   let labels = Rng.permutation (Rng.substream ~seed ~index:0) n in
@@ -139,7 +141,7 @@ let exec_spec spec (algo : Algorithm.t) topology =
       growth := (float_of_int !total /. float_of_int (max 1 n)) :: !growth
     end
   in
-  let config = { Sim.max_rounds; fault; engine_seed = seed } in
+  let config = { Sim.max_rounds; fault; engine_seed = seed; trace } in
   let measure_bytes = Wire.encoded_size encoding ~universe:n in
   let outcome = Sim.run ~n ~config ~handlers ~measure:Payload.measure ~measure_bytes ~stop ~on_round_end () in
   {
@@ -161,5 +163,7 @@ let exec_spec spec (algo : Algorithm.t) topology =
 
 let exec ?(seed = 0) ?(fault = Fault.none) ?(completion = Strong) ?max_rounds
     ?(track_growth = false) ?(encoding = Wire.Adaptive) algo topology =
-  exec_spec { seed; fault; completion; max_rounds; track_growth; encoding } algo topology
+  exec_spec
+    { seed; fault; completion; max_rounds; track_growth; encoding; trace = Trace.null }
+    algo topology
 [@@deprecated "use Run.exec_spec with a Run.spec record"]

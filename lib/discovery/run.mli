@@ -61,6 +61,11 @@ type spec = {
   encoding : Wire.encoding;
       (** wire codec used for byte accounting — does not change the
           execution, only the [bytes] measure *)
+  trace : Trace.sink;
+      (** structured event trace of the run (see {!Repro_engine.Trace}).
+          Observational only: the default {!Repro_engine.Trace.null}
+          sink costs nothing and every sink leaves the execution — RNG
+          draws, delivery order, metrics — unchanged. *)
 }
 (** Everything that parameterises a run besides the algorithm and the
     topology. One immutable value per run: this is what the parallel
@@ -68,8 +73,9 @@ type spec = {
 
 val default_spec : spec
 (** [{ seed = 0; fault = Fault.none; completion = Strong; max_rounds =
-    None; track_growth = false; encoding = Wire.Adaptive }] — override
-    fields with [{ default_spec with seed; … }]. *)
+    None; track_growth = false; encoding = Wire.Adaptive; trace =
+    Trace.null }] — override fields with
+    [{ default_spec with seed; … }]. *)
 
 val exec_spec : spec -> Algorithm.t -> Topology.t -> result
 (** [exec_spec spec algo topo] simulates until completion or the round

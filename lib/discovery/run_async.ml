@@ -12,6 +12,7 @@ type result = {
   messages : int;
   pointers : int;
   dropped : int;
+  metrics : Metrics.t;
   alive : bool array;
 }
 
@@ -22,6 +23,7 @@ type spec = {
   horizon : float option;
   tick_jitter : float;
   latency : float * float;
+  trace : Trace.sink;
 }
 
 let default_spec =
@@ -32,10 +34,11 @@ let default_spec =
     horizon = None;
     tick_jitter = 0.1;
     latency = (0.1, 0.9);
+    trace = Trace.null;
   }
 
 let exec_spec spec (algo : Algorithm.t) topology =
-  let { seed; fault; completion; horizon; tick_jitter; latency } = spec in
+  let { seed; fault; completion; horizon; tick_jitter; latency; trace } = spec in
   let n = Topology.n topology in
   let horizon = match horizon with Some h -> h | None -> (4.0 *. float_of_int n) +. 64.0 in
   let labels = Rng.permutation (Rng.substream ~seed ~index:0) n in
@@ -116,6 +119,7 @@ let exec_spec spec (algo : Algorithm.t) topology =
       latency_max = lmax;
       fault;
       engine_seed = seed;
+      trace;
     }
   in
   let outcome = Async_sim.run ~n ~config ~handlers ~measure:Payload.measure ~stop () in
@@ -129,10 +133,13 @@ let exec_spec spec (algo : Algorithm.t) topology =
     messages = Metrics.messages_sent outcome.Async_sim.metrics;
     pointers = Metrics.pointers_sent outcome.Async_sim.metrics;
     dropped = Metrics.messages_dropped outcome.Async_sim.metrics;
+    metrics = outcome.Async_sim.metrics;
     alive = outcome.Async_sim.alive;
   }
 
 let exec ?(seed = 0) ?(fault = Fault.none) ?(completion = Run.Strong) ?horizon
     ?(tick_jitter = 0.1) ?(latency = (0.1, 0.9)) algo topology =
-  exec_spec { seed; fault; completion; horizon; tick_jitter; latency } algo topology
+  exec_spec
+    { seed; fault; completion; horizon; tick_jitter; latency; trace = Trace.null }
+    algo topology
 [@@deprecated "use Run_async.exec_spec with a Run_async.spec record"]

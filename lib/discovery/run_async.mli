@@ -21,6 +21,7 @@ type result = {
   messages : int;
   pointers : int;
   dropped : int;
+  metrics : Metrics.t;  (** totals only — per-round series are not meaningful here *)
   alive : bool array;
 }
 
@@ -31,6 +32,9 @@ type spec = {
   horizon : float option;  (** time budget; [None] means [4·n + 64.] time units *)
   tick_jitter : float;  (** per-node clock drift, as a fraction of the period *)
   latency : float * float;  (** (min, max) uniform message latency *)
+  trace : Trace.sink;
+      (** structured event trace (see {!Repro_engine.Trace}); {!Run.spec}
+          semantics — observational only, free when {!Repro_engine.Trace.null} *)
 }
 (** {!Run.spec}'s asynchronous counterpart: the round budget becomes a
     time horizon, and the timing model (clock jitter, latency band) is
@@ -39,7 +43,7 @@ type spec = {
 val default_spec : spec
 (** Seed 0, no faults, strong completion, default horizon, jitter 0.1,
     latency ∈ [0.1, 0.9] (so a message takes about half a local round on
-    average). *)
+    average), no tracing. *)
 
 val exec_spec : spec -> Algorithm.t -> Topology.t -> result
 (** Determinism and the completion predicates are as in

@@ -7,6 +7,7 @@ type config = {
   latency_max : float;
   fault : Fault.t;
   engine_seed : int;
+  trace : Trace.sink;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     latency_max = 0.9;
     fault = Fault.none;
     engine_seed = 0;
+    trace = Trace.null;
   }
 
 type outcome = {
@@ -125,8 +127,21 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
   let latency () =
     config.latency_min +. Rng.float rng (config.latency_max -. config.latency_min)
   in
+  (* tracing is observational only, exactly as in Sim: same RNG draws,
+     same schedule, no allocation with the null sink *)
+  let trace = config.trace in
+  let tracing = not (Trace.is_null trace) in
+  (* crashes are applied lazily, so a node that crashes before ever
+     activating never produces a Crash event; remember which crashes
+     were announced so drop reasons match the emitted lifecycle *)
+  let crash_emitted = if tracing then Array.make n false else [||] in
+  let emit_crash v =
+    crash_emitted.(v) <- true;
+    Trace.emit trace (Trace.Crash { node = v })
+  in
   for v = 0 to n - 1 do
-    if join_time.(v) > 0.0 then alive.(v) <- false;
+    if join_time.(v) > 0.0 then alive.(v) <- false
+    else if tracing then Trace.emit trace (Trace.Join { node = v });
     (* first tick: a random phase within the first period after joining *)
     Heap.push heap (join_time.(v) +. Rng.float rng period.(v)) (Tick v)
   done;
@@ -135,8 +150,13 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
   let completed = ref (stop ~time:0.0 ~alive:is_alive) in
   let send_from src ~dst payload =
     if dst < 0 || dst >= n then invalid_arg "Async_sim.send: destination out of range";
-    Metrics.record_send metrics ~pointers:(measure payload) ~bytes:(measure_bytes payload);
-    if loss > 0.0 && Rng.bernoulli rng ~p:loss then Metrics.record_drop metrics
+    let pointers = measure payload and bytes = measure_bytes payload in
+    Metrics.record_send metrics ~pointers ~bytes;
+    if tracing then Trace.emit trace (Trace.Send { src; dst; pointers; bytes });
+    if loss > 0.0 && Rng.bernoulli rng ~p:loss then begin
+      Metrics.record_drop metrics;
+      if tracing then Trace.emit trace (Trace.Drop { src; dst; reason = Trace.Loss })
+    end
     else Heap.push heap (!now +. latency ()) (Deliver (src, dst, payload))
   in
   let continue = ref true in
@@ -150,28 +170,53 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
         (match event with
         | Tick v ->
           (* lazily apply crash/join status at activation time *)
-          if alive.(v) && !now >= crash_time.(v) then alive.(v) <- false;
-          if (not alive.(v)) && !now >= join_time.(v) && !now < crash_time.(v) then
+          if alive.(v) && !now >= crash_time.(v) then begin
+            alive.(v) <- false;
+            if tracing then emit_crash v
+          end;
+          if (not alive.(v)) && !now >= join_time.(v) && !now < crash_time.(v) then begin
             alive.(v) <- true;
+            if tracing then Trace.emit trace (Trace.Join { node = v })
+          end;
           if alive.(v) then begin
             incr ticks;
             tick_count.(v) <- tick_count.(v) + 1;
+            if tracing then
+              Trace.emit trace (Trace.Tick { node = v; time = !now; count = tick_count.(v) });
             handlers.Sim.round_begin ~node:v ~round:tick_count.(v)
               ~send:(fun ~dst payload -> send_from v ~dst payload)
           end;
           if !now < crash_time.(v) then Heap.push heap (!now +. period.(v)) (Tick v)
         | Deliver (src, dst, payload) ->
-          if alive.(dst) && !now >= crash_time.(dst) then alive.(dst) <- false;
+          if alive.(dst) && !now >= crash_time.(dst) then begin
+            alive.(dst) <- false;
+            if tracing then emit_crash dst
+          end;
           if alive.(dst) then begin
             Metrics.record_delivery metrics;
+            if tracing then Trace.emit trace (Trace.Deliver { src; dst });
             handlers.Sim.deliver ~node:dst ~src ~round:tick_count.(dst) payload
           end
-          else Metrics.record_drop metrics
+          else begin
+            Metrics.record_drop metrics;
+            if tracing then
+              Trace.emit trace
+                (Trace.Drop
+                   {
+                     src;
+                     dst;
+                     reason = (if crash_emitted.(dst) then Trace.Dead_dst else Trace.Unjoined_dst);
+                   })
+          end
         | Monitor ->
           if stop ~time:!now ~alive:is_alive then completed := true
           else Heap.push heap (!now +. 1.0) Monitor)
       end
   done;
+  if tracing then begin
+    Trace.emit trace (if !completed then Trace.Complete else Trace.Give_up);
+    Trace.flush trace
+  end;
   (* final liveness snapshot *)
   for v = 0 to n - 1 do
     if alive.(v) && !now >= crash_time.(v) then alive.(v) <- false

@@ -26,10 +26,15 @@ type config = {
   latency_max : float;  (** message latency ∈ [min, max] *)
   fault : Fault.t;
   engine_seed : int;
+  trace : Trace.sink;
+      (** structured event trace (see {!Trace}): [Tick] per activation,
+          [Join]/[Crash] when the engine applies a status change,
+          [Send]/[Deliver]/[Drop] per message. Observational only. *)
 }
 
 val default_config : config
-(** horizon 10,000; jitter 0.1; latency ∈ [0.1, 0.9]; no faults; seed 0. *)
+(** horizon 10,000; jitter 0.1; latency ∈ [0.1, 0.9]; no faults; seed 0;
+    no tracing. *)
 
 type outcome = {
   completed : bool;

@@ -5,9 +5,10 @@ type 'msg handlers = {
   deliver : node:int -> src:int -> round:int -> 'msg -> unit;
 }
 
-type config = { max_rounds : int; fault : Fault.t; engine_seed : int }
+type config = { max_rounds : int; fault : Fault.t; engine_seed : int; trace : Trace.sink }
 
-let default_config = { max_rounds = 10_000; fault = Fault.none; engine_seed = 0 }
+let default_config =
+  { max_rounds = 10_000; fault = Fault.none; engine_seed = 0; trace = Trace.null }
 
 type outcome = { completed : bool; rounds : int; metrics : Metrics.t; alive : bool array }
 
@@ -37,15 +38,26 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
   let outbox : 'msg envelope list ref = ref [] in
   let completed = ref (stop ~round:0 ~alive:is_alive) in
   let round = ref 0 in
+  (* tracing is observational only: no RNG draw, metric or delivery
+     depends on it, and with the null sink no event is even constructed *)
+  let trace = config.trace in
+  let tracing = not (Trace.is_null trace) in
   while (not !completed) && !round < config.max_rounds do
     incr round;
     let r = !round in
+    if tracing then Trace.emit trace (Trace.Round_begin { round = r });
     Metrics.begin_round metrics;
     (* join and crash-stop transitions happen at the start of the round;
        a crash scheduled at or before a node's join round wins *)
     for v = 0 to n - 1 do
-      if join_at.(v) = r && crash_at.(v) > r then alive.(v) <- true;
-      if crash_at.(v) = r then alive.(v) <- false
+      if join_at.(v) = r && crash_at.(v) > r then begin
+        alive.(v) <- true;
+        if tracing then Trace.emit trace (Trace.Join { node = v })
+      end;
+      if crash_at.(v) = r then begin
+        alive.(v) <- false;
+        if tracing then Trace.emit trace (Trace.Crash { node = v })
+      end
     done;
     (* send phase: all sends are computed from start-of-round state *)
     outbox := [];
@@ -53,8 +65,9 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
       if alive.(v) then begin
         let send ~dst payload =
           if dst < 0 || dst >= n then invalid_arg "Sim.send: destination out of range";
-          Metrics.record_send metrics ~pointers:(measure payload)
-            ~bytes:(measure_bytes payload);
+          let pointers = measure payload and bytes = measure_bytes payload in
+          Metrics.record_send metrics ~pointers ~bytes;
+          if tracing then Trace.emit trace (Trace.Send { src = v; dst; pointers; bytes });
           outbox := { src = v; dst; payload } :: !outbox
         in
         handlers.round_begin ~node:v ~round:r ~send
@@ -63,14 +76,32 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
     (* delivery phase, in send order *)
     List.iter
       (fun { src; dst; payload } ->
-        if (not alive.(dst)) || (loss > 0.0 && Rng.bernoulli loss_rng ~p:loss) then
-          Metrics.record_drop metrics
+        if not alive.(dst) then begin
+          Metrics.record_drop metrics;
+          if tracing then
+            Trace.emit trace
+              (Trace.Drop
+                 {
+                   src;
+                   dst;
+                   reason = (if crash_at.(dst) <= r then Trace.Dead_dst else Trace.Unjoined_dst);
+                 })
+        end
+        else if loss > 0.0 && Rng.bernoulli loss_rng ~p:loss then begin
+          Metrics.record_drop metrics;
+          if tracing then Trace.emit trace (Trace.Drop { src; dst; reason = Trace.Loss })
+        end
         else begin
           Metrics.record_delivery metrics;
+          if tracing then Trace.emit trace (Trace.Deliver { src; dst });
           handlers.deliver ~node:dst ~src ~round:r payload
         end)
       (List.rev !outbox);
     on_round_end ~round:r;
     if stop ~round:r ~alive:is_alive then completed := true
   done;
+  if tracing then begin
+    Trace.emit trace (if !completed then Trace.Complete else Trace.Give_up);
+    Trace.flush trace
+  end;
   { completed = !completed; rounds = !round; metrics; alive }

@@ -27,10 +27,15 @@ type config = {
   max_rounds : int;  (** hard stop; the run is marked incomplete if hit *)
   fault : Fault.t;
   engine_seed : int;  (** seeds the loss RNG only *)
+  trace : Trace.sink;
+      (** structured event trace of the run (see {!Trace} for the
+          vocabulary and ordering guarantees). Strictly observational:
+          the execution is identical whatever the sink, and the default
+          {!Trace.null} adds no per-event work or allocation. *)
 }
 
 val default_config : config
-(** [max_rounds = 10_000], no faults, seed 0. *)
+(** [max_rounds = 10_000], no faults, seed 0, no tracing. *)
 
 type outcome = {
   completed : bool;  (** the stop predicate fired before [max_rounds] *)

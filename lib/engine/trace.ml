@@ -1,0 +1,229 @@
+type drop_reason = Loss | Dead_dst | Unjoined_dst
+
+type event =
+  | Round_begin of { round : int }
+  | Tick of { node : int; time : float; count : int }
+  | Send of { src : int; dst : int; pointers : int; bytes : int }
+  | Deliver of { src : int; dst : int }
+  | Drop of { src : int; dst : int; reason : drop_reason }
+  | Crash of { node : int }
+  | Join of { node : int }
+  | Complete
+  | Give_up
+
+let drop_reason_name = function
+  | Loss -> "loss"
+  | Dead_dst -> "dead_dst"
+  | Unjoined_dst -> "unjoined_dst"
+
+(* "%.12g" prints a given double identically on every run and platform,
+   which is all byte-stable traces need; times beyond 12 significant
+   digits are not distinguished by the textual diff. *)
+let float_str t = Printf.sprintf "%.12g" t
+
+let event_to_json = function
+  | Round_begin { round } -> Printf.sprintf {|{"ev":"round_begin","round":%d}|} round
+  | Tick { node; time; count } ->
+    Printf.sprintf {|{"ev":"tick","node":%d,"time":%s,"count":%d}|} node (float_str time) count
+  | Send { src; dst; pointers; bytes } ->
+    Printf.sprintf {|{"ev":"send","src":%d,"dst":%d,"pointers":%d,"bytes":%d}|} src dst pointers
+      bytes
+  | Deliver { src; dst } -> Printf.sprintf {|{"ev":"deliver","src":%d,"dst":%d}|} src dst
+  | Drop { src; dst; reason } ->
+    Printf.sprintf {|{"ev":"drop","src":%d,"dst":%d,"reason":"%s"}|} src dst
+      (drop_reason_name reason)
+  | Crash { node } -> Printf.sprintf {|{"ev":"crash","node":%d}|} node
+  | Join { node } -> Printf.sprintf {|{"ev":"join","node":%d}|} node
+  | Complete -> {|{"ev":"complete"}|}
+  | Give_up -> {|{"ev":"give_up"}|}
+
+let pp_event ppf ev = Format.pp_print_string ppf (event_to_json ev)
+
+type sink = Null | Fn of { emit : event -> unit; flush : unit -> unit }
+
+let null = Null
+let is_null = function Null -> true | Fn _ -> false
+let emit sink ev = match sink with Null -> () | Fn f -> f.emit ev
+let flush = function Null -> () | Fn f -> f.flush ()
+
+let callback ?(flush = fun () -> ()) emit = Fn { emit; flush }
+
+let jsonl oc =
+  Fn
+    {
+      emit =
+        (fun ev ->
+          output_string oc (event_to_json ev);
+          output_char oc '\n');
+      flush = (fun () -> Stdlib.flush oc);
+    }
+
+let buffer buf =
+  Fn
+    {
+      emit =
+        (fun ev ->
+          Buffer.add_string buf (event_to_json ev);
+          Buffer.add_char buf '\n');
+      flush = (fun () -> ());
+    }
+
+let tee a b =
+  match (a, b) with
+  | Null, s | s, Null -> s
+  | Fn fa, Fn fb ->
+    Fn
+      {
+        emit =
+          (fun ev ->
+            fa.emit ev;
+            fb.emit ev);
+        flush =
+          (fun () ->
+            fa.flush ();
+            fb.flush ());
+      }
+
+module Ring = struct
+  type t = {
+    data : event array;
+    capacity : int;
+    mutable len : int;  (* events currently stored, <= capacity *)
+    mutable next : int;  (* write position *)
+    mutable dropped : int;
+  }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Trace.Ring.create: capacity must be positive";
+    { data = Array.make capacity Complete; capacity; len = 0; next = 0; dropped = 0 }
+
+  let push t ev =
+    t.data.(t.next) <- ev;
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.len < t.capacity then t.len <- t.len + 1 else t.dropped <- t.dropped + 1
+
+  let sink t = Fn { emit = push t; flush = (fun () -> ()) }
+  let length t = t.len
+  let dropped t = t.dropped
+
+  let contents t =
+    let start = (t.next - t.len + t.capacity) mod t.capacity in
+    Array.init t.len (fun i -> t.data.((start + i) mod t.capacity))
+end
+
+module Invariants = struct
+  exception Violation of string
+
+  (* Node status: absent from [status] = never joined; [Active] = joined
+     and running; [Crashed] = crash applied (whether or not it ever
+     joined). All checks are O(1) per event. *)
+  type node_status = Active | Crashed
+
+  type t = {
+    mutable sent : int;
+    mutable delivered : int;
+    mutable dropped : int;
+    mutable pointers : int;
+    mutable bytes : int;
+    mutable round : int;  (* last Round_begin *)
+    mutable synchronous : bool;  (* saw a Round_begin *)
+    mutable last_time : float;
+    mutable finished : bool;  (* saw Complete / Give_up *)
+    status : (int, node_status) Hashtbl.t;
+    tick_counts : (int, int) Hashtbl.t;
+    mutable events : int;
+  }
+
+  let create () =
+    {
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      pointers = 0;
+      bytes = 0;
+      round = 0;
+      synchronous = false;
+      last_time = neg_infinity;
+      finished = false;
+      status = Hashtbl.create 64;
+      tick_counts = Hashtbl.create 64;
+      events = 0;
+    }
+
+  let fail fmt = Printf.ksprintf (fun m -> raise (Violation m)) fmt
+
+  let require_active t who node =
+    match Hashtbl.find_opt t.status node with
+    | Some Active -> ()
+    | Some Crashed -> fail "%s involves crashed node %d" who node
+    | None -> fail "%s involves unjoined node %d" who node
+
+  let check t ev =
+    t.events <- t.events + 1;
+    if t.finished then fail "event after run completion: %s" (event_to_json ev);
+    match ev with
+    | Round_begin { round } ->
+      t.synchronous <- true;
+      if round <> t.round + 1 then
+        fail "round %d begins after round %d (rounds must increase by 1)" round t.round;
+      (* synchronous rounds resolve every message they send before the
+         next round starts *)
+      if t.delivered + t.dropped <> t.sent then
+        fail "round %d begins with %d unresolved message(s)" round
+          (t.sent - t.delivered - t.dropped);
+      t.round <- round
+    | Tick { node; time; count } ->
+      if time < t.last_time then fail "time went backwards: %g after %g" time t.last_time;
+      t.last_time <- time;
+      require_active t "tick" node;
+      let prev = Option.value (Hashtbl.find_opt t.tick_counts node) ~default:0 in
+      if count <> prev + 1 then fail "node %d ticked %d after %d" node count prev;
+      Hashtbl.replace t.tick_counts node count
+    | Send { src; dst = _; pointers; bytes } ->
+      require_active t "send" src;
+      t.sent <- t.sent + 1;
+      t.pointers <- t.pointers + pointers;
+      t.bytes <- t.bytes + bytes
+    | Deliver { src = _; dst } ->
+      t.delivered <- t.delivered + 1;
+      if t.delivered + t.dropped > t.sent then fail "more deliveries+drops than sends";
+      require_active t "delivery" dst
+    | Drop { src = _; dst; reason } -> (
+      t.dropped <- t.dropped + 1;
+      if t.delivered + t.dropped > t.sent then fail "more deliveries+drops than sends";
+      match (reason, Hashtbl.find_opt t.status dst) with
+      | Loss, _ -> ()
+      | Dead_dst, Some Crashed -> ()
+      | Dead_dst, _ -> fail "drop blamed on dead destination %d, which never crashed" dst
+      | Unjoined_dst, None -> ()
+      | Unjoined_dst, Some _ -> fail "drop blamed on unjoined destination %d, which joined" dst)
+    | Crash { node } -> (
+      match Hashtbl.find_opt t.status node with
+      | Some Crashed -> fail "node %d crashed twice" node
+      | _ -> Hashtbl.replace t.status node Crashed)
+    | Join { node } -> (
+      match Hashtbl.find_opt t.status node with
+      | None -> Hashtbl.replace t.status node Active
+      | Some Active -> fail "node %d joined twice" node
+      | Some Crashed -> fail "crashed node %d joined" node)
+    | Complete | Give_up ->
+      t.finished <- true;
+      if t.synchronous && t.delivered + t.dropped <> t.sent then
+        fail "synchronous run ended with %d unresolved message(s)"
+          (t.sent - t.delivered - t.dropped)
+
+  let sink t = callback (check t)
+  let events_seen t = t.events
+
+  let final_check t metrics =
+    if not t.finished then fail "run produced no Complete/Give_up event";
+    let agree what counted total =
+      if counted <> total then
+        fail "%s disagree: trace counted %d, Metrics recorded %d" what counted total
+    in
+    agree "sends" t.sent (Metrics.messages_sent metrics);
+    agree "deliveries" t.delivered (Metrics.messages_delivered metrics);
+    agree "drops" t.dropped (Metrics.messages_dropped metrics);
+    agree "pointers" t.pointers (Metrics.pointers_sent metrics);
+    agree "bytes" t.bytes (Metrics.bytes_sent metrics)
+end

@@ -149,7 +149,7 @@ let f5 report ~quick ~jobs:_ =
   in
   let _ =
     Sim.run ~n
-      ~config:{ Sim.max_rounds = 500; fault = Fault.none; engine_seed = seed }
+      ~config:{ Sim.default_config with Sim.max_rounds = 500; engine_seed = seed }
       ~handlers ~measure:Payload.measure ~stop ()
   in
   let series = List.rev !head_counts in

@@ -59,7 +59,7 @@ let observe ~family ~n ~seed =
   in
   let outcome =
     Sim.run ~n
-      ~config:{ Sim.max_rounds = 2000; fault = Fault.none; engine_seed = seed }
+      ~config:{ Sim.default_config with Sim.max_rounds = 2000; engine_seed = seed }
       ~handlers ~measure:Payload.measure ~stop ()
   in
   ignore outcome.Sim.completed;

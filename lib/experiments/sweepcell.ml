@@ -57,6 +57,14 @@ let request ~algo ~family ~n ~seeds ?max_rounds ?(fault = fun _ -> Fault.none)
     req_completion = completion;
   }
 
+(* With REPRO_TRACE_INVARIANTS set (the `make check` suite sets it),
+   every sweep run executes under the online trace invariant checker —
+   free certification of conservation, liveness discipline and metrics
+   agreement across whole experiment grids. Off by default: the null
+   sink keeps production sweeps allocation-free. *)
+let check_invariants =
+  lazy (match Sys.getenv_opt "REPRO_TRACE_INVARIANTS" with None | Some "" | Some "0" -> false | Some _ -> true)
+
 (* The immutable work item the pool hands to a domain: topology
    generation and the run itself both happen on the worker, driven only
    by the spec. *)
@@ -71,7 +79,15 @@ let exec_cell req seed =
     }
   in
   let topology = topology_of ~family:req.req_family ~n:req.req_n ~seed in
-  Run.exec_spec spec req.req_algo topology
+  if Lazy.force check_invariants then begin
+    let inv = Trace.Invariants.create () in
+    let r =
+      Run.exec_spec { spec with Run.trace = Trace.Invariants.sink inv } req.req_algo topology
+    in
+    Trace.Invariants.final_check inv r.Run.metrics;
+    r
+  end
+  else Run.exec_spec spec req.req_algo topology
 
 let summarize req results =
   let completed = List.filter (fun r -> r.Run.completed) results in

@@ -50,7 +50,14 @@ val run_batch : ?jobs:int -> request list -> t list
     (default {!Repro_util.Pool.default_jobs}), then aggregate per
     request. Results are merged in (request, seed) order, so the
     output is byte-identical to a sequential sweep regardless of
-    [jobs]. *)
+    [jobs].
+
+    When the [REPRO_TRACE_INVARIANTS] environment variable is set (to
+    anything but [""] or ["0"]), every run executes under the
+    {!Repro_engine.Trace.Invariants} online checker and raises
+    [Violation] on the first offending event — [make check] runs the
+    quick suite this way. Off by default (tracing stays on the
+    allocation-free null sink). *)
 
 val run :
   ?jobs:int ->

@@ -54,11 +54,52 @@ Unknown algorithms are rejected with the catalogue:
   discovery: option '--algo': unknown algorithm "warp" (known: flooding,
              swamping, pointer_jump, name_dropper, min_pointer, rand_gossip, hm
 
-Near misses get a suggestion:
+Near misses get a suggestion (module-style names like hm_gossip are
+accepted outright as aliases):
 
-  $ ../../bin/discovery_cli.exe run --algo hm_gossip -n 16 2>&1 | head -2
-  discovery: option '--algo': unknown algorithm "hm_gossip" — did you mean
-             "hm"? (known: flooding, swamping, pointer_jump, name_dropper,
+  $ ../../bin/discovery_cli.exe run --algo floding -n 16 2>&1 | head -2
+  discovery: option '--algo': unknown algorithm "floding" — did you mean
+             "flooding"? (known: flooding, swamping, pointer_jump,
+
+Structured event traces: one JSONL line per lifecycle event, reruns
+byte-identical, the invariant checker certifying the stream online:
+
+  $ ../../bin/discovery_cli.exe trace --algo hm_gossip --topology kout:3 -n 8 --seed 1 -o a.jsonl --check
+  trace invariants ok (79 events)
+  $ head -4 a.jsonl
+  {"ev":"round_begin","round":1}
+  {"ev":"join","node":0}
+  {"ev":"join","node":1}
+  {"ev":"join","node":2}
+  $ tail -1 a.jsonl
+  {"ev":"complete"}
+
+  $ ../../bin/discovery_cli.exe trace --algo hm --topology kout:3 -n 8 --seed 1 -o b.jsonl
+  $ cmp a.jsonl b.jsonl && echo byte-identical
+  byte-identical
+
+trace-diff certifies agreement, or pinpoints the first divergence:
+
+  $ ../../bin/discovery_cli.exe trace-diff a.jsonl b.jsonl
+  traces identical (79 events)
+
+  $ ../../bin/discovery_cli.exe trace --algo hm --topology kout:3 -n 8 --seed 2 -o c.jsonl
+  $ ../../bin/discovery_cli.exe trace-diff a.jsonl c.jsonl
+  traces diverge at event 10:
+    a.jsonl: {"ev":"send","src":0,"dst":7,"pointers":7,"bytes":3}
+    c.jsonl: {"ev":"send","src":0,"dst":2,"pointers":5,"bytes":3}
+  discovery: traces differ
+  [124]
+
+Usage errors are caught before any run:
+
+  $ ../../bin/discovery_cli.exe trace-diff a.jsonl 2>&1 | head -2
+  discovery: required argument TRACE_B is missing
+  Usage: discovery trace-diff [OPTION]… TRACE_A TRACE_B
+
+  $ ../../bin/discovery_cli.exe trace-diff a.jsonl no_such_file.jsonl 2>&1 | head -2
+  discovery: TRACE_B argument: no 'no_such_file.jsonl' file
+  Usage: discovery trace-diff [OPTION]… TRACE_A TRACE_B
 
 The experiments runner lists its deliverables:
 

@@ -72,6 +72,42 @@ let test_metrics_accounting () =
   Alcotest.(check (array int)) "per-round pointers" [| 8; 8 |] (Metrics.pointer_series m);
   Alcotest.(check int) "peak" 2 (Metrics.max_messages_in_round m)
 
+(* The metrics recorder driven directly, without an engine: the per-round
+   series, CSV projection and peak are pure functions of the recorded
+   sequence. *)
+let test_metrics_direct () =
+  let m = Metrics.create () in
+  Alcotest.(check int) "no rounds" 0 (Metrics.rounds m);
+  Alcotest.(check (list (list string))) "no rows" [] (Metrics.to_csv_rows m);
+  Alcotest.(check (array int)) "empty byte series" [||] (Metrics.byte_series m);
+  Alcotest.(check int) "peak of nothing" 0 (Metrics.max_messages_in_round m);
+  Metrics.begin_round m;
+  Metrics.record_send m ~pointers:3 ~bytes:10;
+  Metrics.record_send m ~pointers:1 ~bytes:4;
+  Metrics.record_delivery m;
+  Metrics.record_drop m;
+  Metrics.begin_round m;
+  (* a silent round stays in every series *)
+  Metrics.begin_round m;
+  Metrics.record_send m ~pointers:2 ~bytes:6;
+  Alcotest.(check int) "rounds" 3 (Metrics.rounds m);
+  Alcotest.(check int) "sent" 3 (Metrics.messages_sent m);
+  Alcotest.(check int) "delivered" 1 (Metrics.messages_delivered m);
+  Alcotest.(check int) "dropped" 1 (Metrics.messages_dropped m);
+  Alcotest.(check int) "pointers" 6 (Metrics.pointers_sent m);
+  Alcotest.(check int) "bytes" 20 (Metrics.bytes_sent m);
+  Alcotest.(check (array int)) "byte series" [| 14; 0; 6 |] (Metrics.byte_series m);
+  Alcotest.(check (array int)) "sent series" [| 2; 0; 1 |] (Metrics.sent_series m);
+  Alcotest.(check int) "peak round" 2 (Metrics.max_messages_in_round m);
+  Alcotest.(check (list (list string)))
+    "csv rows are [round; messages; pointers; bytes]"
+    [
+      [ "1"; "2"; "4"; "14" ];
+      [ "2"; "0"; "0"; "0" ];
+      [ "3"; "1"; "2"; "6" ];
+    ]
+    (Metrics.to_csv_rows m)
+
 let test_stop_before_first_round () =
   let outcome =
     Sim.run ~n:2 ~config:Sim.default_config
@@ -157,7 +193,7 @@ let count_drops ~seed ~p =
   let fault = Fault.with_loss Fault.none ~p in
   let outcome =
     Sim.run ~n:50
-      ~config:{ Sim.max_rounds = 40; fault; engine_seed = seed }
+      ~config:{ Sim.default_config with Sim.max_rounds = 40; fault; engine_seed = seed }
       ~handlers ~measure:(fun _ -> 0)
       ~stop:(fun ~round:_ ~alive:_ -> false)
       ()
@@ -282,7 +318,10 @@ let () =
           Alcotest.test_case "send validation" `Quick test_send_validation;
         ] );
       ( "accounting",
-        [ Alcotest.test_case "metrics" `Quick test_metrics_accounting ] );
+        [
+          Alcotest.test_case "metrics" `Quick test_metrics_accounting;
+          Alcotest.test_case "metrics direct" `Quick test_metrics_direct;
+        ] );
       ( "faults",
         [
           Alcotest.test_case "crash semantics" `Quick test_crash_semantics;

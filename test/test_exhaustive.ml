@@ -35,6 +35,17 @@ let algorithms =
     Hm_gossip.algorithm;
   ]
 
+(* The model checker doubles as a stress test for the trace invariants:
+   every one of the thousands of runs below executes under the online
+   checker. *)
+let checked_exec spec algo topo =
+  let inv = Repro_engine.Trace.Invariants.create () in
+  let r =
+    Run.exec_spec { spec with Run.trace = Repro_engine.Trace.Invariants.sink inv } algo topo
+  in
+  Repro_engine.Trace.Invariants.final_check inv r.Run.metrics;
+  r
+
 let exhaustive n () =
   let topologies = connected_topologies n in
   Alcotest.(check bool)
@@ -48,7 +59,7 @@ let exhaustive n () =
           List.iter
             (fun seed ->
               let r =
-                Run.exec_spec
+                checked_exec
                   { Run.default_spec with Run.seed; max_rounds = Some 300 }
                   algo topology
               in
@@ -94,7 +105,7 @@ let flooding_characterisation () =
   List.iteri
     (fun i topology ->
       let r =
-        Run.exec_spec
+        checked_exec
           { Run.default_spec with Run.seed = 1; max_rounds = Some 100 }
           Flooding.algorithm topology
       in

@@ -12,6 +12,15 @@ let topology ~n ~seed =
    round budget *)
 let spec ~seed ~fault = { Run.default_spec with Run.seed; fault; max_rounds = Some 2000 }
 
+(* Fault injection is exactly where the trace invariants bite (drop
+   reasons, liveness discipline under crashes and late joins), so every
+   run in this suite executes under the online checker. *)
+let checked_exec spec algo topo =
+  let inv = Trace.Invariants.create () in
+  let r = Run.exec_spec { spec with Run.trace = Trace.Invariants.sink inv } algo topo in
+  Trace.Invariants.final_check inv r.Run.metrics;
+  r
+
 let test_loss_tolerance () =
   (* every retransmitting algorithm must finish under 30% loss *)
   List.iter
@@ -19,7 +28,7 @@ let test_loss_tolerance () =
       List.iter
         (fun seed ->
           let fault = Fault.with_loss Fault.none ~p:0.3 in
-          let r = Run.exec_spec (spec ~seed ~fault) algo (topology ~n:128 ~seed) in
+          let r = checked_exec (spec ~seed ~fault) algo (topology ~n:128 ~seed) in
           if not r.Run.completed then
             Alcotest.failf "%s seed=%d did not survive 30%% loss" algo.Algorithm.name seed)
         [ 1; 2; 3 ])
@@ -35,7 +44,7 @@ let test_loss_tolerance () =
 let test_loss_slows_but_never_breaks_hm () =
   let rounds p =
     let fault = if p > 0.0 then Fault.with_loss Fault.none ~p else Fault.none in
-    let r = Run.exec_spec (spec ~seed:3 ~fault) Hm_gossip.algorithm (topology ~n:256 ~seed:3) in
+    let r = checked_exec (spec ~seed:3 ~fault) Hm_gossip.algorithm (topology ~n:256 ~seed:3) in
     Alcotest.(check bool) (Printf.sprintf "completed at loss %.1f" p) true r.Run.completed;
     r.Run.rounds
   in
@@ -51,7 +60,7 @@ let test_crash_survivors_complete () =
           let n = 128 in
           let fault = Repro_experiments.Sweepcell.crash_fault ~seed ~n ~count:12 in
           let r =
-            Run.exec_spec
+            checked_exec
               { (spec ~seed ~fault) with Run.completion = Run.Survivors_strong }
               algo (topology ~n ~seed)
           in
@@ -70,7 +79,7 @@ let test_hm_survives_sink_crash () =
   Array.iteri (fun v l -> if l < labels.(!rank_min) then rank_min := v) labels;
   let fault = Fault.with_crash Fault.none ~node:!rank_min ~round:4 in
   let r =
-    Run.exec_spec
+    checked_exec
       { (spec ~seed ~fault) with Run.completion = Run.Survivors_strong }
       Hm_gossip.algorithm (topology ~n ~seed)
   in
@@ -82,7 +91,7 @@ let test_min_pointer_stalls_on_late_sink_crash () =
   let n = 1024 and seed = 1 in
   let fault = Fault.with_crash Fault.none ~node:0 ~round:5 in
   let r =
-    Run.exec_spec
+    checked_exec
       {
         (spec ~seed ~fault) with
         Run.completion = Run.Survivors_strong;
@@ -96,7 +105,7 @@ let test_crash_all_but_one () =
   let n = 16 and seed = 2 in
   let fault = Fault.with_crashes Fault.none (List.init 15 (fun i -> (i + 1, 1))) in
   let r =
-    Run.exec_spec
+    checked_exec
       {
         (spec ~seed ~fault) with
         Run.completion = Run.Survivors_strong;
@@ -119,7 +128,7 @@ let test_churn_stabilizes () =
           let late = Repro_util.Rng.sample_distinct rng ~n ~k:(n / 2) ~avoid:(-1) in
           let joins = List.mapi (fun i v -> (v, if i mod 2 = 0 then 4 else 9)) (Array.to_list late) in
           let fault = Fault.with_joins Fault.none joins in
-          let r = Run.exec_spec (spec ~seed ~fault) algo (topology ~n ~seed) in
+          let r = checked_exec (spec ~seed ~fault) algo (topology ~n ~seed) in
           if not r.Run.completed then
             Alcotest.failf "%s seed=%d did not stabilise under churn" algo.Algorithm.name seed;
           if r.Run.rounds < 9 then
@@ -138,12 +147,12 @@ let test_churn_with_loss () =
       (Fault.with_joins Fault.none (List.map (fun v -> (v, 6)) (Array.to_list late)))
       ~p:0.2
   in
-  let r = Run.exec_spec (spec ~seed ~fault) Hm_gossip.algorithm (topology ~n ~seed) in
+  let r = checked_exec (spec ~seed ~fault) Hm_gossip.algorithm (topology ~n ~seed) in
   Alcotest.(check bool) "completed" true r.Run.completed
 
 let test_drops_accounted () =
   let fault = Fault.with_loss Fault.none ~p:0.5 in
-  let r = Run.exec_spec (spec ~seed:1 ~fault) Name_dropper.algorithm (topology ~n:64 ~seed:1) in
+  let r = checked_exec (spec ~seed:1 ~fault) Name_dropper.algorithm (topology ~n:64 ~seed:1) in
   Alcotest.(check int) "sent = delivered + dropped" r.Run.messages (r.Run.delivered + r.Run.dropped);
   Alcotest.(check bool) "some drops happened" true (r.Run.dropped > 0)
 

@@ -28,6 +28,20 @@ let random_weak_topology_gen =
     let* seed = int_range 0 5000 in
     return (n, spine @ extra, seed))
 
+(* Every run in this suite executes under the online trace invariant
+   checker: conservation, liveness discipline, monotonicity and final
+   metrics agreement are asserted event-by-event, for free, across all
+   the random instances below. *)
+let checked_exec spec algo topo =
+  let inv = Repro_engine.Trace.Invariants.create () in
+  let r =
+    Run.exec_spec
+      { spec with Run.trace = Repro_engine.Trace.Invariants.sink inv }
+      algo topo
+  in
+  Repro_engine.Trace.Invariants.final_check inv r.Run.metrics;
+  r
+
 let push_algorithms =
   [
     Swamping.algorithm;
@@ -46,7 +60,7 @@ let completes_on_random_weak (algo : Algorithm.t) =
       let topology = Topology.create ~n ~edges in
       assert (Analyze.is_weakly_connected topology);
       let r =
-        Run.exec_spec { Run.default_spec with Run.seed; max_rounds = Some 3000 } algo topology
+        checked_exec { Run.default_spec with Run.seed; max_rounds = Some 3000 } algo topology
       in
       r.Run.completed)
 
@@ -60,7 +74,7 @@ let accounting_balances =
       let topology = Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n:64 ~seed in
       let fault = Repro_engine.Fault.with_loss Repro_engine.Fault.none ~p in
       let r =
-        Run.exec_spec
+        checked_exec
           { Run.default_spec with Run.seed; fault; max_rounds = Some 3000 }
           Hm_gossip.algorithm topology
       in
@@ -96,14 +110,21 @@ let final_knowledge_exact =
           deliver = (fun ~node ~src ~round:_ p -> instances.(node).Algorithm.receive ~src p);
         }
       in
+      let inv = Repro_engine.Trace.Invariants.create () in
       let outcome =
         Repro_engine.Sim.run ~n
-          ~config:{ Repro_engine.Sim.default_config with Repro_engine.Sim.max_rounds = 3000 }
+          ~config:
+            {
+              Repro_engine.Sim.default_config with
+              Repro_engine.Sim.max_rounds = 3000;
+              trace = Repro_engine.Trace.Invariants.sink inv;
+            }
           ~handlers ~measure:Payload.measure
           ~stop:(fun ~round:_ ~alive:_ ->
             Array.for_all (fun i -> Knowledge.is_complete i.Algorithm.knowledge) instances)
           ()
       in
+      Repro_engine.Trace.Invariants.final_check inv outcome.Repro_engine.Sim.metrics;
       outcome.Repro_engine.Sim.completed
       && Array.for_all
            (fun i ->
@@ -120,7 +141,7 @@ let final_knowledge_exact =
    instance stalled forever before the custody rules were added. *)
 let test_path_pocket_regression () =
   let r =
-    Run.exec_spec
+    checked_exec
       { Run.default_spec with Run.seed = 3; max_rounds = Some 200 }
       Hm_gossip.algorithm (Generate.path 1024)
   in
@@ -132,7 +153,7 @@ let test_path_pocket_regression () =
    be discovered. *)
 let test_pull_only_hopeless_regression () =
   let r =
-    Run.exec_spec
+    checked_exec
       { Run.default_spec with Run.seed = 1; max_rounds = Some 300 }
       Pointer_jump.algorithm (Generate.inward_star 64)
   in
@@ -150,7 +171,7 @@ let test_unacked_delta_unsound () =
          (fun seed ->
            let topo = Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n:256 ~seed in
            not
-             (Run.exec_spec { Run.default_spec with Run.seed; max_rounds = Some 400 } algo topo)
+             (checked_exec { Run.default_spec with Run.seed; max_rounds = Some 400 } algo topo)
                .Run.completed)
          [ 1; 2; 3; 4; 5 ])
   in

@@ -21,6 +21,12 @@ let test_find_primary () =
     (fun n -> Alcotest.(check string) "resolves" n (find_ok n).Algorithm.name)
     (Registry.names ())
 
+let test_find_aliases () =
+  List.iter
+    (fun (alias, expected) ->
+      Alcotest.(check string) alias expected (find_ok alias).Algorithm.name)
+    [ ("hm_gossip", "hm"); ("haeupler_malkhi", "hm") ]
+
 let test_find_rand_specs () =
   List.iter
     (fun (spec, expected) ->
@@ -68,7 +74,7 @@ let test_near_miss_suggestions () =
       if not (contains ~sub:(Printf.sprintf "did you mean %S" expected) e) then
         Alcotest.failf "error for %S does not suggest %S: %s" name expected e)
     [
-      ("hm_gossip", "hm");  (* module-style alias contains the real name *)
+      ("hmgossip", "hm");  (* mangled module-style name contains the real name *)
       ("floding", "flooding");  (* typo within edit distance 2 *)
       ("rand", "rand_gossip");  (* truncation *)
       ("name_droper", "name_dropper");
@@ -104,6 +110,7 @@ let () =
         [
           Alcotest.test_case "all/baselines" `Quick test_all;
           Alcotest.test_case "find primary" `Quick test_find_primary;
+          Alcotest.test_case "module-style aliases" `Quick test_find_aliases;
         ] );
       ( "specs",
         [

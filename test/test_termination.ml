@@ -36,7 +36,7 @@ let drive ?(fault = Fault.none) ?(max_rounds = 2000) ~family ~n ~seed ~stop () =
   in
   let outcome =
     Sim.run ~n
-      ~config:{ Sim.max_rounds; fault; engine_seed = seed }
+      ~config:{ Sim.default_config with Sim.max_rounds; fault; engine_seed = seed }
       ~handlers ~measure:Payload.measure ~stop:(stop instances) ()
   in
   (instances, outcome)
