@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all build test check quick experiments bench trace-golden clean
+.PHONY: all build test check quick experiments bench bench-json trace-golden clean
 
 all: build
 
@@ -37,6 +37,11 @@ experiments:
 
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable benchmark trajectory: microbenchmarks only, written
+# to BENCH_results.json (ns/run and minor words/run per subject).
+bench-json:
+	dune exec bench/main.exe -- --json
 
 clean:
 	dune clean

@@ -1,10 +1,20 @@
 (* bench/main.exe — the full benchmark harness.
 
-   Part 1 (B1-B8): Bechamel microbenchmarks of the hot substrate
-   operations and of one complete discovery run per key algorithm.
+   Part 1 (B1-B9): Bechamel microbenchmarks of the hot substrate
+   operations and of one complete discovery run per key algorithm, each
+   measured on two instances: monotonic clock (ns/run) and minor-heap
+   allocation (words/run). The allocation figure is the one the
+   zero-copy/allocation-free engine work is graded on — see
+   EXPERIMENTS.md "Benchmark trajectory".
 
    Part 2: the experiment suite — regenerates every table (T1-T7) and
    figure (F1-F4) of EXPERIMENTS.md into results/.
+
+   Modes:
+     bench/main.exe            table output + experiment suite
+     bench/main.exe --json     microbenchmarks only, written as
+                               machine-readable JSON (default
+                               BENCH_results.json; override with -o)
 
    Set REPRO_BENCH_QUICK=1 to run the experiment suite at reduced sizes
    (useful for smoke-testing; the published numbers use the full mode).
@@ -81,47 +91,146 @@ let b6 = full_run "B6 full_run_name_dropper_1024" Name_dropper.algorithm
 let b7 = full_run "B7 full_run_min_pointer_1024" Min_pointer.algorithm
 let b8 = full_run "B8 full_run_rand_gossip_1024" Rand_gossip.algorithm
 
-let microbenchmarks () =
+(* One broadcast round of the swamping instance at n = 65536, against a
+   single shared receiver whose knowledge is already complete (so the
+   merge takes the O(1) saturated fast path and the subject isolates the
+   per-send cost: snapshot, payload construction, measurement,
+   delivery). This is the subject the zero-copy payload work targets —
+   before it, every round pays a full bitset snapshot plus an O(n)
+   materialisation of the destination list. *)
+let b9_broadcast =
+  let n = 65536 in
+  let labels = Array.init n (fun i -> i) in
+  let full =
+    let b = Bitset.create n in
+    for v = 0 to n - 1 do
+      ignore (Bitset.add b v)
+    done;
+    b
+  in
+  let instance node =
+    let ctx =
+      {
+        Algorithm.n;
+        node;
+        neighbors = [||];
+        labels;
+        rng = Rng.create ~seed:(9 + node);
+        params = Params.default;
+      }
+    in
+    let inst = Swamping.algorithm.Algorithm.make ctx in
+    ignore (Knowledge.merge_bits inst.Algorithm.knowledge full);
+    inst
+  in
+  let sender = instance 0 in
+  let receiver = instance 1 in
+  let metrics = Repro_engine.Metrics.create () in
+  Repro_engine.Metrics.begin_round metrics;
+  let send ~dst:_ payload =
+    Repro_engine.Metrics.record_send metrics ~pointers:(Payload.measure payload) ~bytes:0;
+    receiver.Algorithm.receive ~src:0 payload
+  in
+  Test.make ~name:"B9 broadcast_round_65536"
+    (Staged.stage (fun () -> sender.Algorithm.round ~round:1 ~send))
+
+(* ---------- measurement and reporting ---------- *)
+
+type row = { name : string; ns_per_run : float; minor_words_per_run : float }
+
+let estimate ols =
+  match Bechamel.Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> Float.nan
+
+let measure_subjects () =
   let tests =
     Test.make_grouped ~name:"repro"
-      [ b1_bitset_union; b2_rng; b3_knowledge_merge; b4_graph_gen; b5; b6; b7; b8 ]
+      [ b1_bitset_union; b2_rng; b3_knowledge_merge; b4_graph_gen; b5; b6; b7; b8; b9_broadcast ]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 2.0) ~stabilize:true () in
   let raw = Benchmark.all cfg instances tests in
   let ols = Bechamel.Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
-  let results = Bechamel.Analyze.all ols Instance.monotonic_clock raw in
-  print_endline "## Microbenchmarks (monotonic clock, OLS ns/run)\n";
+  let times = Bechamel.Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Bechamel.Analyze.all ols Instance.minor_allocated raw in
   let rows =
     Hashtbl.fold
-      (fun name ols acc ->
-        let est =
-          match Bechamel.Analyze.OLS.estimates ols with
-          | Some (t :: _) -> t
-          | _ -> Float.nan
+      (fun name t acc ->
+        let words =
+          match Hashtbl.find_opt allocs name with Some a -> estimate a | None -> Float.nan
         in
-        (name, est) :: acc)
-      results []
-    |> List.sort compare
+        { name; ns_per_run = estimate t; minor_words_per_run = words } :: acc)
+      times []
   in
-  let table = Table.create ~columns:[ ("benchmark", Table.Left); ("time/run", Table.Right) ] in
+  List.sort (fun a b -> String.compare a.name b.name) rows
+
+let human_time ns =
+  if Float.is_nan ns then "n/a"
+  else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let human_words w =
+  if Float.is_nan w then "n/a"
+  else if w >= 1e6 then Printf.sprintf "%.2f Mw" (w /. 1e6)
+  else if w >= 1e3 then Printf.sprintf "%.2f kw" (w /. 1e3)
+  else Printf.sprintf "%.0f w" w
+
+let print_table rows =
+  print_endline "## Microbenchmarks (OLS per-run estimates)\n";
+  let table =
+    Table.create
+      ~columns:
+        [ ("benchmark", Table.Left); ("time/run", Table.Right); ("minor words/run", Table.Right) ]
+  in
   List.iter
-    (fun (name, ns) ->
-      let human =
-        if Float.is_nan ns then "n/a"
-        else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-        else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-        else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-        else Printf.sprintf "%.0f ns" ns
-      in
-      Table.add_row table [ name; human ])
+    (fun r ->
+      Table.add_row table [ r.name; human_time r.ns_per_run; human_words r.minor_words_per_run ])
     rows;
   Table.print table;
   print_newline ()
 
+(* Machine-readable trajectory point: one JSON document per bench run,
+   compared across PRs. NaN (an estimate bechamel could not produce) is
+   encoded as null. *)
+let write_json path rows =
+  let oc = open_out path in
+  let num v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
+  output_string oc "{\n";
+  output_string oc "  \"schema\": \"repro-bench/v1\",\n";
+  output_string oc "  \"units\": { \"ns_per_run\": \"ns\", \"minor_words_per_run\": \"words\" },\n";
+  output_string oc "  \"subjects\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "    { \"name\": %S, \"ns_per_run\": %s, \"minor_words_per_run\": %s }%s\n"
+        r.name (num r.ns_per_run)
+        (num r.minor_words_per_run)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d subjects)\n" path (List.length rows)
+
 let () =
-  microbenchmarks ();
-  if Sys.getenv_opt "REPRO_BENCH_SKIP_EXPERIMENTS" = None then begin
+  let json = ref false in
+  let out = ref "BENCH_results.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "-o" :: path :: rest ->
+      out := path;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "usage: %s [--json] [-o FILE]\nunknown argument %S\n" Sys.argv.(0) arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let rows = measure_subjects () in
+  print_table rows;
+  if !json then write_json !out rows
+  else if Sys.getenv_opt "REPRO_BENCH_SKIP_EXPERIMENTS" = None then begin
     let quick = Sys.getenv_opt "REPRO_BENCH_QUICK" <> None in
     match
       Repro_experiments.Suite.run ~quick ~jobs:(Pool.default_jobs ()) ~results_dir:"results" ()

@@ -7,11 +7,17 @@ let make (ctx : Algorithm.ctx) =
   let round ~round:_ ~send =
     (* Send only fresh knowledge; silence once there is nothing new.
        [sent_upto] starts at 0 so the first round floods the full initial
-       knowledge (self + neighbors). *)
-    let fresh = Knowledge.since st.knowledge ~mark:st.sent_upto in
-    st.sent_upto <- Knowledge.mark st.knowledge;
-    if Array.length fresh > 0 then
-      Array.iter (fun dst -> send ~dst (Payload.Share (Payload.Ids fresh))) st.neighbors
+       knowledge (self + neighbors). The mark comparison makes the
+       steady-state round allocation-free, and the delta itself is a
+       zero-copy slice of the learn order, shared across all neighbors. *)
+    let m = Knowledge.mark st.knowledge in
+    if m > st.sent_upto then begin
+      let msg =
+        Payload.Share (Payload.Delta (Knowledge.since_slice st.knowledge ~mark:st.sent_upto))
+      in
+      st.sent_upto <- m;
+      Array.iter (fun dst -> send ~dst msg) st.neighbors
+    end
   in
   let receive ~src:_ payload =
     match (payload : Payload.t) with

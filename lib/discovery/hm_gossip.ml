@@ -26,6 +26,9 @@ type state = {
    trigger this; a suspected node that speaks again is rehabilitated. *)
 let patience = 5
 
+(* the steady-state report (empty delta), shared by every node and round *)
+let exchange_empty = Payload.Exchange Payload.empty_delta
+
 (* A head whose knowledge has been stable and whose reporters have all
    been sending empty deltas for this many consecutive rounds decides the
    protocol is finished, broadcasts [Halt], and quiesces. This is a
@@ -78,6 +81,9 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
     }
   in
   let self = ctx.node in
+  (* O(1) frozen view of the live knowledge; at most two per round (the
+     reply to reporters and the head broadcast), so no laziness needed *)
+  let snap () = Payload.Bits (Knowledge.snapshot st.knowledge) in
   let round ~round:_ ~send =
     if st.halted then begin
       (* Quiescent: answer any straggling reporter with the full view
@@ -86,10 +92,10 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
          completes and stops. Flow still decays to zero: each straggler
          report costs exactly two replies. *)
       if not (Intvec.is_empty st.pending_replies) then begin
-        let snap = Payload.Bits (Knowledge.snapshot st.knowledge) in
+        let reply = Payload.Reply (Payload.Bits (Knowledge.snapshot st.knowledge)) in
         Intvec.iter
           (fun dst ->
-            send ~dst (Payload.Reply snap);
+            send ~dst reply;
             send ~dst Payload.Halt)
           st.pending_replies;
         Intvec.clear st.pending_replies
@@ -98,9 +104,9 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
     else begin
     (* Answer last round's reporters with the current full view (one
        shared snapshot): this is the downward half of the exchange. *)
-    let snap = lazy (Payload.Bits (Knowledge.snapshot st.knowledge)) in
     if not (Intvec.is_empty st.pending_replies) then begin
-      Intvec.iter (fun dst -> send ~dst (Payload.Reply (Lazy.force snap))) st.pending_replies;
+      let reply = Payload.Reply (snap ()) in
+      Intvec.iter (fun dst -> send ~dst reply) st.pending_replies;
       Intvec.clear st.pending_replies
     end;
     let head =
@@ -119,9 +125,7 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
     st.saw_new_info <- false;
     if head = self && st.quiet_rounds >= halt_patience then begin
       st.halted <- true;
-      Array.iter
-        (fun dst -> if dst <> self then send ~dst Payload.Halt)
-        (Knowledge.elements_in_learn_order st.knowledge)
+      Knowledge.iter_known st.knowledge (fun dst -> if dst <> self then send ~dst Payload.Halt)
     end
     else if head <> self then begin
       if st.report_target <> head then begin
@@ -142,27 +146,43 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
       end;
       (* Report to the head candidate. An empty report still goes out —
          it doubles as the pull request for the head's reply. *)
-      let data =
+      let msg =
         match upward with
         | Delta ->
-          let recent = Knowledge.since st.knowledge ~mark:st.acked_upto in
+          (* The unacknowledged window, minus identifiers already in
+             smaller-ranked custody. The common steady-state cases are
+             allocation-free: an empty window reuses the shared empty
+             report, and a window with nothing filtered out goes as a
+             zero-copy slice of the learn order. *)
+          let acked = st.acked_upto in
           st.prev_sent <- st.last_sent;
           st.last_sent <- Knowledge.mark st.knowledge;
-          let keep = ref 0 in
-          Array.iter (fun v -> if not (Bitset.mem st.upward_done v) then incr keep) recent;
-          let fresh = Array.make !keep 0 in
-          let i = ref 0 in
-          Array.iter
-            (fun v ->
-              if not (Bitset.mem st.upward_done v) then begin
-                fresh.(!i) <- v;
-                incr i
-              end)
-            recent;
-          Payload.Ids fresh
-        | Full -> Lazy.force snap
+          if st.last_sent = acked then exchange_empty
+          else begin
+            let recent = Knowledge.since_slice st.knowledge ~mark:acked in
+            let total = Intvec.slice_length recent in
+            let keep = ref 0 in
+            for i = 0 to total - 1 do
+              if not (Bitset.mem st.upward_done (Intvec.slice_get recent i)) then incr keep
+            done;
+            if !keep = 0 then exchange_empty
+            else if !keep = total then Payload.Exchange (Payload.Delta recent)
+            else begin
+              let fresh = Array.make !keep 0 in
+              let j = ref 0 in
+              for i = 0 to total - 1 do
+                let v = Intvec.slice_get recent i in
+                if not (Bitset.mem st.upward_done v) then begin
+                  fresh.(!j) <- v;
+                  incr j
+                end
+              done;
+              Payload.Exchange (Payload.Ids fresh)
+            end
+          end
+        | Full -> Payload.Exchange (snap ())
       in
-      send ~dst:head (Payload.Exchange data)
+      send ~dst:head msg
     end
     else begin
       (* Head: broadcast the full view to the cluster and to every foreign
@@ -170,13 +190,16 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
       match broadcast with
       | Off -> ()
       | All ->
-        Array.iter
-          (fun dst -> if dst <> self then send ~dst (Payload.Share (Lazy.force snap)))
-          (Knowledge.elements_in_learn_order st.knowledge)
+        if Knowledge.cardinal st.knowledge > 1 then begin
+          let msg = Payload.Share (snap ()) in
+          Knowledge.iter_known st.knowledge (fun dst -> if dst <> self then send ~dst msg)
+        end
       | Cap k ->
-        Array.iter
-          (fun dst -> send ~dst (Payload.Share (Lazy.force snap)))
-          (Knowledge.random_known_among st.knowledge ctx.rng ~k)
+        let targets = Knowledge.random_known_among st.knowledge ctx.rng ~k in
+        if Array.length targets > 0 then begin
+          let msg = Payload.Share (snap ()) in
+          Array.iter (fun dst -> send ~dst msg) targets
+        end
     end
     end
   in
@@ -192,7 +215,7 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
     | Payload.Bits b ->
       ignore (Bitset.union_into ~dst:st.upward_done ~src:b);
       if src <> st.report_target then ignore (Bitset.remove st.upward_done src)
-    | Payload.Ids _ -> ()
+    | Payload.Ids _ | Payload.Delta _ -> ()
   in
   (* Quiescence is reversible: a message that teaches anything new, or
      contact from a node we have never heard of (a late joiner), wakes a
@@ -221,6 +244,7 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
         match d with
         | Payload.Bits b -> ignore (Bitset.union_into ~dst:st.upward_done ~src:b)
         | Payload.Ids ids -> Array.iter (fun v -> ignore (Bitset.add st.upward_done v)) ids
+        | Payload.Delta s -> Intvec.slice_iter (fun v -> ignore (Bitset.add st.upward_done v)) s
       end
       else note_custody ~src d
     | Share d ->

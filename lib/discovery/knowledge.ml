@@ -7,6 +7,8 @@ type t = {
   labels : int array;
   mutable best : int;  (* argmin of labels over the known set *)
   mutable best_raw : int;  (* min raw index over the known set *)
+  fy_pos : Intvec.t;  (* sampling scratch: positions displaced this call *)
+  fy_val : Intvec.t;  (* sampling scratch: their current values *)
 }
 
 let create ~n ~owner ~labels =
@@ -14,9 +16,22 @@ let create ~n ~owner ~labels =
   if Array.length labels <> n then invalid_arg "Knowledge.create: labels length mismatch";
   let bits = Bitset.create n in
   ignore (Bitset.add bits owner);
-  let order = Intvec.create () in
+  (* The learn order grows to the full cardinality on completed runs, so
+     doubling from a small capacity would pay every intermediate size in
+     minor-heap allocations; starting at min n 512 words the vector is
+     either exactly sized (small n) or born on the major heap. *)
+  let order = Intvec.create ~capacity:(min n 512) () in
   Intvec.push order owner;
-  { owner; bits; order; labels; best = owner; best_raw = owner }
+  {
+    owner;
+    bits;
+    order;
+    labels;
+    best = owner;
+    best_raw = owner;
+    fy_pos = Intvec.create ~capacity:1 ();
+    fy_val = Intvec.create ~capacity:1 ();
+  }
 
 let owner t = t.owner
 let universe t = Bitset.capacity t.bits
@@ -47,7 +62,21 @@ let merge_ids t ids =
     ids;
   !learned
 
-let snapshot t = Bitset.copy t.bits
+let merge_slice t s =
+  let learned = ref 0 in
+  Intvec.slice_iter
+    (fun v ->
+      if Bitset.add t.bits v then begin
+        note t v;
+        incr learned
+      end)
+    s;
+  !learned
+
+(* O(1): an immutable view of the live bitset. The live set privatises
+   its storage on the next write (copy-on-write), so the snapshot is a
+   stable value even though no words were copied here. *)
+let snapshot t = Bitset.freeze t.bits
 let contents t = t.bits
 
 let mark t = Intvec.length t.order
@@ -55,6 +84,13 @@ let mark t = Intvec.length t.order
 let since t ~mark =
   if mark < 0 || mark > Intvec.length t.order then invalid_arg "Knowledge.since: invalid mark";
   Intvec.sub t.order ~pos:mark ~len:(Intvec.length t.order - mark)
+
+let since_slice t ~mark =
+  if mark < 0 || mark > Intvec.length t.order then
+    invalid_arg "Knowledge.since_slice: invalid mark";
+  Intvec.slice t.order ~pos:mark ~len:(Intvec.length t.order - mark)
+
+let iter_known t f = Intvec.iter f t.order
 
 let random_known t rng =
   let len = Intvec.length t.order in
@@ -69,23 +105,43 @@ let random_known t rng =
     Some (draw ())
   end
 
+(* Virtual partial Fisher–Yates over the non-owner ranks (the owner is
+   always order.(0), so the eligible ranks are 1 .. len-1). The rank
+   permutation is conceptually the identity at the start of every call,
+   and a k-draw sample displaces at most k positions, so instead of
+   materialising an [avail]-sized rank array — whose repeated growth
+   would be a major-heap allocation per knowledge-growth event — we
+   record just the displaced (position, value) pairs in two reused
+   scratch vectors. A lookup scans the ≤ k entries backwards (latest
+   write wins), keeping the call allocation-free beyond the result
+   array while still issuing exactly [min k (cardinal-1)] RNG draws. *)
+let rank_at t x =
+  let n = Intvec.length t.fy_pos in
+  let rec scan i = if i < 0 then x + 1 else if Intvec.get t.fy_pos i = x then Intvec.get t.fy_val i else scan (i - 1) in
+  scan (n - 1)
+
 let random_known_among t rng ~k =
   let len = Intvec.length t.order in
   let avail = len - 1 in
   let k = min k avail in
   if k <= 0 then [||]
+  else if k = 1 then
+    (* Scratch-free fast path; identical RNG stream and result to the
+       general loop's first iteration (ranks are the identity here). *)
+    [| Intvec.get t.order (Rng.int rng avail + 1) |]
   else begin
-    (* Draw distinct ranks in the order vector, skipping the owner. *)
-    let chosen = Hashtbl.create (2 * k) in
+    Intvec.clear t.fy_pos;
+    Intvec.clear t.fy_val;
     let out = Array.make k 0 in
-    let filled = ref 0 in
-    while !filled < k do
-      let v = Intvec.get t.order (Rng.int rng len) in
-      if v <> t.owner && not (Hashtbl.mem chosen v) then begin
-        Hashtbl.add chosen v ();
-        out.(!filled) <- v;
-        incr filled
-      end
+    for i = 0 to k - 1 do
+      let j = i + Rng.int rng (avail - i) in
+      let vj = rank_at t j in
+      let vi = rank_at t i in
+      out.(i) <- Intvec.get t.order vj;
+      (* Position [i] is never read again; only [j]'s displacement must
+         be visible to later iterations. *)
+      Intvec.push t.fy_pos j;
+      Intvec.push t.fy_val vi
     done;
     out
   end
@@ -98,11 +154,16 @@ let min_known_excluding t ~suspects =
     invalid_arg "Knowledge.min_known_excluding: capacity mismatch";
   if not (Bitset.mem suspects t.best) then t.best
   else begin
-    let best = ref t.owner in
+    (* A suspected owner competes like any other node: it is skipped
+       while an unsuspected candidate exists and is only returned as the
+       last-resort fallback when every known node (including the owner)
+       is suspected. *)
+    let best = ref (-1) in
     Intvec.iter
       (fun v ->
-        if (not (Bitset.mem suspects v)) && t.labels.(v) < t.labels.(!best) then best := v)
+        if (not (Bitset.mem suspects v)) && (!best < 0 || t.labels.(v) < t.labels.(!best)) then
+          best := v)
       t.order;
-    !best
+    if !best < 0 then t.owner else !best
   end
 let elements_in_learn_order t = Intvec.to_array t.order

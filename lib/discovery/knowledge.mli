@@ -42,9 +42,15 @@ val merge_bits : t -> Bitset.t -> int
 val merge_ids : t -> int array -> int
 (** Merge an explicit identifier list; returns the number learned. *)
 
+val merge_slice : t -> Intvec.slice -> int
+(** Merge the identifiers of a zero-copy slice (a delta payload);
+    returns the number learned. *)
+
 val snapshot : t -> Bitset.t
-(** An immutable-by-convention copy of the current bitset, suitable for
-    use as a message payload. *)
+(** An immutable view of the current bitset, suitable for use as a
+    message payload shared across a whole fan-out. O(1): the view is a
+    {!Repro_util.Bitset.freeze} of the live set, which privatises its
+    storage on its next write, so no words are copied here. *)
 
 val contents : t -> Bitset.t
 (** The live bitset — read-only alias for completion checks; callers must
@@ -57,13 +63,29 @@ val since : t -> mark:int -> int array
 (** Identifiers learned after [mark] was taken, oldest first.
     @raise Invalid_argument for a stale/invalid mark. *)
 
+val since_slice : t -> mark:int -> Intvec.slice
+(** Like {!since} but as a zero-copy slice of the learn order — the
+    allocation-free payload for steady-state delta resends. Valid
+    indefinitely (the learn order is append-only).
+    @raise Invalid_argument for a stale/invalid mark. *)
+
+val iter_known : t -> (int -> unit) -> unit
+(** Iterate the known identifiers in learn order (starting with the
+    owner) without materialising an array — the allocation-free
+    counterpart of {!elements_in_learn_order} for broadcast fan-outs.
+    The knowledge set must not be mutated during iteration. *)
+
 val random_known : t -> Rng.t -> int option
 (** A uniformly random known identifier excluding the owner; [None] when
     the owner knows only itself. *)
 
 val random_known_among : t -> Rng.t -> k:int -> int array
 (** Up to [k] distinct uniform known identifiers excluding the owner
-    (fewer when the set is small). *)
+    (fewer when the set is small). Virtual partial Fisher–Yates over the
+    learn order's ranks: exactly [min k (cardinal - 1)] RNG draws, even
+    when [k] approaches the number of known nodes, and no allocation
+    beyond the result (the displaced ranks live in a reused scratch,
+    scanned in O(k) per draw). *)
 
 val min_known : t -> int
 (** The known node with the smallest label (possibly the owner). *)
@@ -75,8 +97,10 @@ val min_known_raw : t -> int
 
 val min_known_excluding : t -> suspects:Bitset.t -> int
 (** The known node with the smallest label whose bit is not set in
-    [suspects], falling back to the owner when everything else is
-    suspected. O(cardinal) — used only on the failure-handling path.
+    [suspects]. The owner competes like any other known node — a
+    suspected owner is skipped too — and is returned only as the
+    last-resort fallback when every known node is suspected.
+    O(cardinal) — used only on the failure-handling path.
     @raise Invalid_argument if [suspects] has the wrong capacity. *)
 
 val elements_in_learn_order : t -> int array

@@ -9,12 +9,13 @@ let make (ctx : Algorithm.ctx) =
   let round ~round:_ ~send =
     let snap = Payload.Bits (Knowledge.snapshot st.knowledge) in
     if not (Intvec.is_empty st.pending_replies) then begin
-      Intvec.iter (fun dst -> send ~dst (Payload.Reply snap)) st.pending_replies;
+      let reply = Payload.Reply snap in
+      Intvec.iter (fun dst -> send ~dst reply) st.pending_replies;
       Intvec.clear st.pending_replies
     end;
     let leader = Knowledge.min_known_raw st.knowledge in
     if leader <> self then send ~dst:leader (Payload.Exchange snap)
-    else
+    else if Knowledge.cardinal st.knowledge > 1 then begin
       (* This node is a root (local minimum of its knowledge). Roots never
          have a smaller node to report to, so they do the spreading work
          instead: broadcast to everything they know. This both merges
@@ -22,9 +23,9 @@ let make (ctx : Algorithm.ctx) =
          of a foreign node introduces itself, letting knowledge of a
          smaller root flow back) and performs the final dissemination once
          the global minimum knows everyone. *)
-      Array.iter
-        (fun dst -> if dst <> self then send ~dst (Payload.Share snap))
-        (Knowledge.elements_in_learn_order st.knowledge)
+      let msg = Payload.Share snap in
+      Knowledge.iter_known st.knowledge (fun dst -> if dst <> self then send ~dst msg)
+    end
   in
   let receive ~src payload =
     match (payload : Payload.t) with

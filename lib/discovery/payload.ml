@@ -1,16 +1,24 @@
 open Repro_util
 
-type data = Bits of Bitset.t | Ids of int array
+type data = Bits of Bitset.t | Ids of int array | Delta of Intvec.slice
 
 type t = Share of data | Exchange of data | Reply of data | Probe | Halt
 
-let data_size = function Bits b -> Bitset.cardinal b | Ids a -> Array.length a
+let data_size = function
+  | Bits b -> Bitset.cardinal b
+  | Ids a -> Array.length a
+  | Delta s -> Intvec.slice_length s
 
 let measure = function Share d | Exchange d | Reply d -> data_size d | Probe | Halt -> 1
 
 let merge_data knowledge = function
   | Bits b -> Knowledge.merge_bits knowledge b
   | Ids a -> Knowledge.merge_ids knowledge a
+  | Delta s -> Knowledge.merge_slice knowledge s
+
+(* Preallocated empty delta: steady-state "I learned nothing since my
+   last send" resends are the hot case and should not allocate. *)
+let empty_delta = Delta (Intvec.slice (Intvec.create ()) ~pos:0 ~len:0)
 
 let pp ppf = function
   | Share d -> Format.fprintf ppf "share(%d)" (data_size d)

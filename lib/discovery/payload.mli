@@ -10,8 +10,15 @@ open Repro_util
 type data =
   | Bits of Bitset.t
       (** Full-knowledge snapshot. Payload bitsets are immutable by
-          convention and may be shared across fan-out. *)
-  | Ids of int array  (** Explicit identifier list (deltas, small sets). *)
+          convention and may be shared across fan-out (senders pass a
+          {!Repro_util.Bitset.freeze} view of their live set). *)
+  | Ids of int array  (** Explicit identifier list (small sets). *)
+  | Delta of Intvec.slice
+      (** Zero-copy window into the sender's learn order — the
+          allocation-free form of a "what I learned since my last send"
+          delta (see {!Knowledge.since_slice}). Carries the same
+          identifiers as the equivalent [Ids] array: identical
+          {!measure}, merge result, and wire encoding. *)
 
 type t =
   | Share of data  (** One-way knowledge transfer. *)
@@ -39,5 +46,10 @@ val measure : t -> int
 val merge_data : Knowledge.t -> data -> int
 (** Merge carried identifiers into a knowledge set; returns the number of
     identifiers learned. *)
+
+val empty_delta : data
+(** A preallocated empty [Delta] for steady-state "nothing new since my
+    last send" resends, shared so the hot path allocates no payload
+    body. *)
 
 val pp : Format.formatter -> t -> unit

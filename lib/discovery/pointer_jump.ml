@@ -6,10 +6,10 @@ let make (ctx : Algorithm.ctx) =
   let knowledge = Algorithm.initial_knowledge ctx in
   let st = { knowledge; pending_replies = Intvec.create () } in
   let round ~round:_ ~send =
-    (* answer last round's probes first; one shared snapshot *)
+    (* answer last round's probes first; one shared reply message *)
     if not (Intvec.is_empty st.pending_replies) then begin
-      let snap = Payload.Bits (Knowledge.snapshot st.knowledge) in
-      Intvec.iter (fun dst -> send ~dst (Payload.Reply snap)) st.pending_replies;
+      let reply = Payload.Reply (Payload.Bits (Knowledge.snapshot st.knowledge)) in
+      Intvec.iter (fun dst -> send ~dst reply) st.pending_replies;
       Intvec.clear st.pending_replies
     end;
     match Knowledge.random_known st.knowledge ctx.rng with

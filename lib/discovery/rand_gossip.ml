@@ -21,30 +21,31 @@ let make_with params (ctx : Algorithm.ctx) =
   let st = { knowledge; pending_replies = Intvec.create (); pushed_upto = 0 } in
   let push_data () =
     if params.Params.delta then begin
-      let fresh = Knowledge.since st.knowledge ~mark:st.pushed_upto in
+      let mark = st.pushed_upto in
       st.pushed_upto <- Knowledge.mark st.knowledge;
-      Payload.Ids fresh
+      if st.pushed_upto = mark then Payload.empty_delta
+      else Payload.Delta (Knowledge.since_slice st.knowledge ~mark)
     end
     else Payload.Bits (Knowledge.snapshot st.knowledge)
   in
   let round ~round:_ ~send =
-    (* Replies first: full knowledge, one shared snapshot. Replies do
-       not themselves trigger replies. *)
+    (* Replies first: full knowledge, one shared reply message. Replies
+       do not themselves trigger replies. *)
     if not (Intvec.is_empty st.pending_replies) then begin
-      let snap = Payload.Bits (Knowledge.snapshot st.knowledge) in
-      Intvec.iter (fun dst -> send ~dst (Payload.Reply snap)) st.pending_replies;
+      let reply = Payload.Reply (Payload.Bits (Knowledge.snapshot st.knowledge)) in
+      Intvec.iter (fun dst -> send ~dst reply) st.pending_replies;
       Intvec.clear st.pending_replies
     end;
     let targets = partners ctx st in
     if Array.length targets > 0 then begin
       match params.Params.mode with
       | Params.Push ->
-        let data = push_data () in
-        Array.iter (fun dst -> send ~dst (Payload.Share data)) targets
+        let msg = Payload.Share (push_data ()) in
+        Array.iter (fun dst -> send ~dst msg) targets
       | Params.Pull -> Array.iter (fun dst -> send ~dst Payload.Probe) targets
       | Params.Push_pull ->
-        let data = push_data () in
-        Array.iter (fun dst -> send ~dst (Payload.Exchange data)) targets
+        let msg = Payload.Exchange (push_data ()) in
+        Array.iter (fun dst -> send ~dst msg) targets
     end
   in
   let receive ~src payload =

@@ -5,12 +5,14 @@ let make (ctx : Algorithm.ctx) =
   let st = { knowledge } in
   let self = ctx.node in
   let round ~round:_ ~send =
-    (* One snapshot per round, shared across the whole fan-out: payload
-       bitsets are immutable by convention. *)
-    let snap = Payload.Bits (Knowledge.snapshot st.knowledge) in
-    Array.iter
-      (fun dst -> if dst <> self then send ~dst (Payload.Share snap))
-      (Knowledge.elements_in_learn_order st.knowledge)
+    (* One message per round, shared across the whole fan-out: the
+       snapshot is an O(1) frozen view of the live bitset, and the
+       learn order is walked in place — a broadcast round allocates
+       nothing proportional to the fan-out. *)
+    if Knowledge.cardinal st.knowledge > 1 then begin
+      let msg = Payload.Share (Payload.Bits (Knowledge.snapshot st.knowledge)) in
+      Knowledge.iter_known st.knowledge (fun dst -> if dst <> self then send ~dst msg)
+    end
   in
   let receive ~src:_ payload =
     match (payload : Payload.t) with

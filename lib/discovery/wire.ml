@@ -40,7 +40,8 @@ let read_varint bytes pos =
 (* canonical identifier list of a data payload: sorted, deduplicated *)
 let ids_of_data = function
   | Payload.Bits b -> Bitset.elements b
-  | Payload.Ids a -> List.sort_uniq compare (Array.to_list a)
+  | Payload.Ids a -> List.sort_uniq Int.compare (Array.to_list a)
+  | Payload.Delta s -> List.sort_uniq Int.compare (Array.to_list (Intvec.slice_to_array s))
 
 let ids_of_payload = function
   | Payload.Share d | Payload.Exchange d | Payload.Reply d -> ids_of_data d
@@ -65,8 +66,6 @@ let raw32_body ids =
       Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF)))
     ids;
   buf
-
-let raw32_size ids = varint_size (List.length ids) + (4 * List.length ids)
 
 let varint_body ids =
   let buf = Buffer.create 64 in
@@ -150,15 +149,87 @@ let encode encoding ~universe payload =
    reaches the bitmap width the varint body (>= 1 byte per identifier
    plus the count prefix) provably exceeds the bitmap, so [Adaptive] can
    choose the bitmap in O(1). *)
+(* Fold step for the bitset walk, with (prev + 1, running total) packed
+   into one int so the accumulator stays immediate. Top-level so passing
+   it to [Bitset.fold] costs no closure. *)
+let varint_bits_step acc v =
+  let prev = (acc lsr 31) - 1 in
+  ((v + 1) lsl 31) lor ((acc land 0x7FFFFFFF) + varint_size (v - prev - 1))
+
 let varint_size_of_bits b =
-  let total = ref (varint_size (Bitset.cardinal b)) in
+  varint_size (Bitset.cardinal b) + (Bitset.fold varint_bits_step 0 b land 0x7FFFFFFF)
+
+(* For [Ids]/[Delta] payloads the canonical form is sorted and
+   deduplicated, but materialising it as a list per sized message is the
+   dominant allocator of a full run (delta windows are re-sent every
+   round until acknowledged). Instead the identifiers are copied into a
+   grow-only scratch array, sorted in place, and walked once — domain-
+   local because parallel sweeps size messages concurrently. *)
+let size_scratch : int array ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [||])
+
+(* In-place heapsort of [arr.(0..m-1)]: [Array.sort] cannot sort a
+   prefix of a longer scratch without an allocating copy. [sift] and the
+   swaps are top-level so the sort builds no closures. *)
+let rec sift arr i len =
+  let l = (2 * i) + 1 in
+  if l < len then begin
+    let c = if l + 1 < len && arr.(l + 1) > arr.(l) then l + 1 else l in
+    if arr.(c) > arr.(i) then begin
+      let t = arr.(i) in
+      arr.(i) <- arr.(c);
+      arr.(c) <- t;
+      sift arr c len
+    end
+  end
+
+let sort_prefix arr m =
+  for i = (m / 2) - 1 downto 0 do
+    sift arr i m
+  done;
+  for len = m - 1 downto 1 do
+    let t = arr.(0) in
+    arr.(0) <- arr.(len);
+    arr.(len) <- t;
+    sift arr 0 len
+  done
+
+(* Distinct count and varint body size of a sorted scratch prefix,
+   skipping duplicates exactly as the canonical list form would. Packed
+   as [count lsl 31 lor bytes] — returning a pair would put a tuple on
+   the minor heap for every sized message. *)
+let sorted_prefix_sizes arr m =
+  let distinct = ref 0 in
+  let vbytes = ref 0 in
   let prev = ref (-1) in
-  Bitset.iter
-    (fun v ->
-      total := !total + varint_size (v - !prev - 1);
-      prev := v)
-    b;
-  !total
+  for i = 0 to m - 1 do
+    let v = arr.(i) in
+    if v <> !prev then begin
+      incr distinct;
+      vbytes := !vbytes + varint_size (v - !prev - 1);
+      prev := v
+    end
+  done;
+  (!distinct lsl 31) lor !vbytes
+
+let ids_sizes d =
+  let scratch = Domain.DLS.get size_scratch in
+  let m =
+    match d with
+    | Payload.Ids a -> Array.length a
+    | Payload.Delta s -> Intvec.slice_length s
+    | Payload.Bits _ -> invalid_arg "Wire.ids_sizes: Bits payload"
+  in
+  if Array.length !scratch < m then scratch := Array.make (max m (2 * Array.length !scratch)) 0;
+  let arr = !scratch in
+  (match d with
+  | Payload.Ids a -> Array.blit a 0 arr 0 m
+  | Payload.Delta s ->
+    for i = 0 to m - 1 do
+      arr.(i) <- Intvec.slice_get s i
+    done
+  | Payload.Bits _ -> ());
+  sort_prefix arr m;
+  sorted_prefix_sizes arr m
 
 let encoded_size encoding ~universe payload =
   match payload with
@@ -172,12 +243,14 @@ let encoded_size encoding ~universe payload =
       | Adaptive, Payload.Bits b ->
         if Bitset.cardinal b >= bitmap_size ~universe then bitmap_size ~universe
         else min (varint_size_of_bits b) (bitmap_size ~universe)
-      | (Raw32 | Varint_delta | Adaptive), Payload.Ids _ ->
-        let ids = ids_of_data d in
-        (match body_choice encoding ~universe ids with
-        | `Raw -> raw32_size ids
-        | `Varint -> varint_size_of ids
-        | `Bitmap -> bitmap_size ~universe)
+      | (Raw32 | Varint_delta | Adaptive), (Payload.Ids _ | Payload.Delta _) ->
+        let packed = ids_sizes d in
+        let distinct = packed lsr 31 and vbytes = packed land 0x7FFFFFFF in
+        let vsize = varint_size distinct + vbytes in
+        (match encoding with
+        | Raw32 -> varint_size distinct + (4 * distinct)
+        | Varint_delta -> vsize
+        | Bitmap | Adaptive -> min vsize (bitmap_size ~universe))
     in
     2 + body
 
@@ -229,7 +302,7 @@ let decode _encoding ~universe bytes =
     in
     (match data with
     | Payload.Ids out -> Array.iter (fun v -> if v >= universe then invalid_arg "Wire.decode: identifier out of range") out
-    | Payload.Bits _ -> ());
+    | Payload.Bits _ | Payload.Delta _ -> ());
     match kind with
     | 0 -> Payload.Share data
     | 1 -> Payload.Exchange data

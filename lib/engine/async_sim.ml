@@ -29,72 +29,152 @@ type outcome = {
   alive : bool array;
 }
 
-(* A small binary min-heap of timestamped events. The sequence number
-   breaks timestamp ties deterministically (insertion order). *)
+(* A small binary min-heap of timestamped events, stored as parallel
+   arrays: an unboxed float array of times plus int arrays for the
+   tie-breaking sequence number, the event kind and its two int operands,
+   and a lazily-seeded ['msg] array for deliver payloads. Compared to a
+   heap of (float * int * event) tuples this allocates nothing per event
+   in steady state — pushing writes into preallocated slots, and the
+   peek/drop interface inspects the root fields in place instead of
+   materialising an option of a tuple.
+
+   The sequence number breaks timestamp ties deterministically
+   (insertion order), exactly as the tuple heap did.
+
+   Kinds: 0 = Tick (a = node), 1 = Deliver (a = src, b = dst, msg),
+   2 = Monitor. The payload array stays empty until the first deliver is
+   pushed — ['msg] has no fabricable dummy — and is only touched while
+   non-empty, which is safe because ticks and monitors never read it. *)
 module Heap = struct
-  type 'a t = {
-    mutable data : (float * int * 'a) array;
+  type 'msg t = {
+    mutable times : float array;
+    mutable seqs : int array;
+    mutable kinds : int array;
+    mutable a : int array;
+    mutable b : int array;
+    mutable msgs : 'msg array;
     mutable len : int;
     mutable seq : int;
-    dummy : 'a;
   }
 
-  let create dummy = { data = Array.make 64 (0.0, 0, dummy); len = 0; seq = 0; dummy }
+  let tick_kind = 0
+  let deliver_kind = 1
+  let monitor_kind = 2
 
-  let lt (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
+  let create () =
+    {
+      times = Array.make 64 0.0;
+      seqs = Array.make 64 0;
+      kinds = Array.make 64 0;
+      a = Array.make 64 0;
+      b = Array.make 64 0;
+      msgs = [||];
+      len = 0;
+      seq = 0;
+    }
 
-  let push h time event =
-    if h.len = Array.length h.data then begin
-      let data = Array.make (2 * h.len) (0.0, 0, h.dummy) in
-      Array.blit h.data 0 data 0 h.len;
-      h.data <- data
-    end;
-    let entry = (time, h.seq, event) in
-    h.seq <- h.seq + 1;
-    h.data.(h.len) <- entry;
-    h.len <- h.len + 1;
-    (* sift up *)
+  let lt h i j = h.times.(i) < h.times.(j) || (h.times.(i) = h.times.(j) && h.seqs.(i) < h.seqs.(j))
+
+  let swap h i j =
+    let swap_at arr =
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp
+    in
+    let tmp = h.times.(i) in
+    h.times.(i) <- h.times.(j);
+    h.times.(j) <- tmp;
+    swap_at h.seqs;
+    swap_at h.kinds;
+    swap_at h.a;
+    swap_at h.b;
+    if Array.length h.msgs > 0 then swap_at h.msgs
+
+  let grow h =
+    let cap = Array.length h.times in
+    let cap' = 2 * cap in
+    let extend dummy arr =
+      let arr' = Array.make cap' dummy in
+      Array.blit arr 0 arr' 0 h.len;
+      arr'
+    in
+    h.times <- extend 0.0 h.times;
+    h.seqs <- extend 0 h.seqs;
+    h.kinds <- extend 0 h.kinds;
+    h.a <- extend 0 h.a;
+    h.b <- extend 0 h.b;
+    if Array.length h.msgs > 0 then h.msgs <- extend h.msgs.(0) h.msgs
+
+  let sift_up h =
     let i = ref (h.len - 1) in
     while
       !i > 0
       &&
       let parent = (!i - 1) / 2 in
-      lt h.data.(!i) h.data.(parent)
+      lt h !i parent
     do
       let parent = (!i - 1) / 2 in
-      let tmp = h.data.(!i) in
-      h.data.(!i) <- h.data.(parent);
-      h.data.(parent) <- tmp;
+      swap h !i parent;
       i := parent
     done
 
-  let pop h =
-    if h.len = 0 then None
-    else begin
-      let (time, _, event) = h.data.(0) in
-      h.len <- h.len - 1;
-      h.data.(0) <- h.data.(h.len);
+  let push_slot h time =
+    if h.len = Array.length h.times then grow h;
+    let i = h.len in
+    h.times.(i) <- time;
+    h.seqs.(i) <- h.seq;
+    h.seq <- h.seq + 1;
+    h.len <- h.len + 1;
+    i
+
+  let push_tick h time node =
+    let i = push_slot h time in
+    h.kinds.(i) <- tick_kind;
+    h.a.(i) <- node;
+    sift_up h
+
+  let push_monitor h time =
+    let i = push_slot h time in
+    h.kinds.(i) <- monitor_kind;
+    sift_up h
+
+  let push_deliver h time ~src ~dst msg =
+    let i = push_slot h time in
+    h.kinds.(i) <- deliver_kind;
+    h.a.(i) <- src;
+    h.b.(i) <- dst;
+    (* seed the payload array on first use, at the current capacity *)
+    if Array.length h.msgs = 0 then h.msgs <- Array.make (Array.length h.times) msg;
+    h.msgs.(i) <- msg;
+    sift_up h
+
+  let is_empty h = h.len = 0
+  let peek_time h = h.times.(0)
+  let peek_kind h = h.kinds.(0)
+  let peek_a h = h.a.(0)
+  let peek_b h = h.b.(0)
+  let peek_msg h = h.msgs.(0)
+
+  let drop h =
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      swap h 0 h.len;
       (* sift down *)
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < h.len && lt h.data.(l) h.data.(!smallest) then smallest := l;
-        if r < h.len && lt h.data.(r) h.data.(!smallest) then smallest := r;
+        if l < h.len && lt h l !smallest then smallest := l;
+        if r < h.len && lt h r !smallest then smallest := r;
         if !smallest = !i then continue := false
         else begin
-          let tmp = h.data.(!i) in
-          h.data.(!i) <- h.data.(!smallest);
-          h.data.(!smallest) <- tmp;
+          swap h !i !smallest;
           i := !smallest
         end
-      done;
-      Some (time, event)
+      done
     end
 end
-
-type 'msg event = Tick of int | Deliver of int * int * 'msg | Monitor
 
 let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
   if n < 0 then invalid_arg "Async_sim.run: negative node count";
@@ -122,7 +202,7 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
   let period = Array.init n (fun _ -> 1.0 -. config.tick_jitter +. Rng.float rng (2.0 *. config.tick_jitter)) in
   let tick_count = Array.make n 0 in
   let is_alive v = v >= 0 && v < n && alive.(v) in
-  let heap = Heap.create (Monitor : 'msg event) in
+  let heap : 'msg Heap.t = Heap.create () in
   let now = ref 0.0 in
   let latency () =
     config.latency_min +. Rng.float rng (config.latency_max -. config.latency_min)
@@ -143,9 +223,9 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
     if join_time.(v) > 0.0 then alive.(v) <- false
     else if tracing then Trace.emit trace (Trace.Join { node = v });
     (* first tick: a random phase within the first period after joining *)
-    Heap.push heap (join_time.(v) +. Rng.float rng period.(v)) (Tick v)
+    Heap.push_tick heap (join_time.(v) +. Rng.float rng period.(v)) v
   done;
-  Heap.push heap 1.0 Monitor;
+  Heap.push_monitor heap 1.0;
   let ticks = ref 0 in
   let completed = ref (stop ~time:0.0 ~alive:is_alive) in
   let send_from src ~dst payload =
@@ -157,18 +237,20 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
       Metrics.record_drop metrics;
       if tracing then Trace.emit trace (Trace.Drop { src; dst; reason = Trace.Loss })
     end
-    else Heap.push heap (!now +. latency ()) (Deliver (src, dst, payload))
+    else Heap.push_deliver heap (!now +. latency ()) ~src ~dst payload
   in
   let continue = ref true in
   while !continue && not !completed do
-    match Heap.pop heap with
-    | None -> continue := false
-    | Some (time, event) ->
+    if Heap.is_empty heap then continue := false
+    else begin
+      let time = Heap.peek_time heap in
       if time > config.horizon then continue := false
       else begin
         now := time;
-        (match event with
-        | Tick v ->
+        let kind = Heap.peek_kind heap in
+        if kind = Heap.tick_kind then begin
+          let v = Heap.peek_a heap in
+          Heap.drop heap;
           (* lazily apply crash/join status at activation time *)
           if alive.(v) && !now >= crash_time.(v) then begin
             alive.(v) <- false;
@@ -186,8 +268,12 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
             handlers.Sim.round_begin ~node:v ~round:tick_count.(v)
               ~send:(fun ~dst payload -> send_from v ~dst payload)
           end;
-          if !now < crash_time.(v) then Heap.push heap (!now +. period.(v)) (Tick v)
-        | Deliver (src, dst, payload) ->
+          if !now < crash_time.(v) then Heap.push_tick heap (!now +. period.(v)) v
+        end
+        else if kind = Heap.deliver_kind then begin
+          let src = Heap.peek_a heap and dst = Heap.peek_b heap in
+          let payload = Heap.peek_msg heap in
+          Heap.drop heap;
           if alive.(dst) && !now >= crash_time.(dst) then begin
             alive.(dst) <- false;
             if tracing then emit_crash dst
@@ -208,10 +294,14 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
                      reason = (if crash_emitted.(dst) then Trace.Dead_dst else Trace.Unjoined_dst);
                    })
           end
-        | Monitor ->
+        end
+        else begin
+          Heap.drop heap;
           if stop ~time:!now ~alive:is_alive then completed := true
-          else Heap.push heap (!now +. 1.0) Monitor)
+          else Heap.push_monitor heap (!now +. 1.0)
+        end
       end
+    end
   done;
   if tracing then begin
     Trace.emit trace (if !completed then Trace.Complete else Trace.Give_up);

@@ -12,8 +12,6 @@ let default_config =
 
 type outcome = { completed : bool; rounds : int; metrics : Metrics.t; alive : bool array }
 
-type 'msg envelope = { src : int; dst : int; payload : 'msg }
-
 let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
     ?(on_round_end = fun ~round:_ -> ()) () =
   if n < 0 then invalid_arg "Sim.run: negative node count";
@@ -35,13 +33,24 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
       end)
     (Fault.joining_nodes config.fault);
   let is_alive v = v >= 0 && v < n && alive.(v) in
-  let outbox : 'msg envelope list ref = ref [] in
+  (* one buffer for the whole run: cleared (not reallocated) per round *)
+  let outbox : 'msg Outbox.t = Outbox.create () in
   let completed = ref (stop ~round:0 ~alive:is_alive) in
   let round = ref 0 in
   (* tracing is observational only: no RNG draw, metric or delivery
      depends on it, and with the null sink no event is even constructed *)
   let trace = config.trace in
   let tracing = not (Trace.is_null trace) in
+  (* one send closure per node for the whole run — building them inside
+     the round loop would put n closures per round on the minor heap *)
+  let senders =
+    Array.init n (fun v ~dst payload ->
+        if dst < 0 || dst >= n then invalid_arg "Sim.send: destination out of range";
+        let pointers = measure payload and bytes = measure_bytes payload in
+        Metrics.record_send metrics ~pointers ~bytes;
+        if tracing then Trace.emit trace (Trace.Send { src = v; dst; pointers; bytes });
+        Outbox.push outbox ~src:v ~dst payload)
+  in
   while (not !completed) && !round < config.max_rounds do
     incr round;
     let r = !round in
@@ -60,22 +69,12 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
       end
     done;
     (* send phase: all sends are computed from start-of-round state *)
-    outbox := [];
+    Outbox.clear outbox;
     for v = 0 to n - 1 do
-      if alive.(v) then begin
-        let send ~dst payload =
-          if dst < 0 || dst >= n then invalid_arg "Sim.send: destination out of range";
-          let pointers = measure payload and bytes = measure_bytes payload in
-          Metrics.record_send metrics ~pointers ~bytes;
-          if tracing then Trace.emit trace (Trace.Send { src = v; dst; pointers; bytes });
-          outbox := { src = v; dst; payload } :: !outbox
-        in
-        handlers.round_begin ~node:v ~round:r ~send
-      end
+      if alive.(v) then handlers.round_begin ~node:v ~round:r ~send:senders.(v)
     done;
     (* delivery phase, in send order *)
-    List.iter
-      (fun { src; dst; payload } ->
+    Outbox.iter outbox (fun src dst payload ->
         if not alive.(dst) then begin
           Metrics.record_drop metrics;
           if tracing then
@@ -95,8 +94,7 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
           Metrics.record_delivery metrics;
           if tracing then Trace.emit trace (Trace.Deliver { src; dst });
           handlers.deliver ~node:dst ~src ~round:r payload
-        end)
-      (List.rev !outbox);
+        end);
     on_round_end ~round:r;
     if stop ~round:r ~alive:is_alive then completed := true
   done;

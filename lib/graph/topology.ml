@@ -11,23 +11,45 @@ let create ~n ~edges =
       if u < 0 || u >= n || v < 0 || v >= n then
         invalid_arg "Topology.create: edge endpoint out of range")
     edges;
-  let edges =
-    List.filter (fun (u, v) -> u <> v) edges
-    |> List.sort_uniq compare
-  in
-  let deg = Array.make n 0 in
-  List.iter (fun (u, _) -> deg.(u) <- deg.(u) + 1) edges;
-  let offsets = Array.make (n + 1) 0 in
-  for u = 0 to n - 1 do
-    offsets.(u + 1) <- offsets.(u) + deg.(u)
-  done;
-  let adj = Array.make offsets.(n) 0 in
-  let cursor = Array.copy offsets in
+  (* Deduplicate via packed [u * n + v] codes sorted in place: sorting
+     the tuple list with the polymorphic compare allocates a multiple of
+     the list size per merge level, which dominated graph-generation
+     allocation profiles. The packed code of an (n-1, n-1) edge is below
+     2^62 for any n addressable by the simulator. *)
+  let m = List.fold_left (fun acc (u, v) -> if u <> v then acc + 1 else acc) 0 edges in
+  let codes = Array.make m 0 in
+  let i = ref 0 in
   List.iter
     (fun (u, v) ->
-      adj.(cursor.(u)) <- v;
-      cursor.(u) <- cursor.(u) + 1)
+      if u <> v then begin
+        codes.(!i) <- (u * n) + v;
+        incr i
+      end)
     edges;
+  Array.sort Int.compare codes;
+  let distinct = ref 0 in
+  let prev = ref (-1) in
+  for j = 0 to m - 1 do
+    if codes.(j) <> !prev then begin
+      prev := codes.(j);
+      codes.(!distinct) <- codes.(j);
+      incr distinct
+    end
+  done;
+  let m = !distinct in
+  let offsets = Array.make (n + 1) 0 in
+  for j = 0 to m - 1 do
+    let u = codes.(j) / n in
+    offsets.(u + 1) <- offsets.(u + 1) + 1
+  done;
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + offsets.(u + 1)
+  done;
+  let adj = Array.make m 0 in
+  (* codes are sorted, so neighbours land in CSR order directly *)
+  for j = 0 to m - 1 do
+    adj.(j) <- codes.(j) mod n
+  done;
   { n; offsets; adj }
 
 let n t = t.n

@@ -2,9 +2,22 @@
    [v lsr 5] at position [v land 31]). Native ints keep every operation
    unboxed — an [Int64 array] representation measured ~50x slower because
    each element access allocates. Cardinality is maintained incrementally
-   so completion checks in the simulator are O(1) per node. *)
+   so completion checks in the simulator are O(1) per node.
 
-type t = { n : int; words : int array; mutable card : int }
+   Sharing. [freeze] hands out O(1) immutable views that alias the
+   owner's word array; the owner stays mutable through copy-on-write.
+   The invariant is that a [Frozen] record's word array is never written:
+   an owner whose words are aliased is marked [Shared] and re-materialises
+   a private copy the first time a mutation actually needs to write. A
+   union that learns nothing therefore never copies — the dominant case
+   for saturated knowledge sets in steady state. *)
+
+type status =
+  | Owned  (* words are private and writable *)
+  | Shared  (* words are aliased by at least one frozen view: copy before write *)
+  | Frozen  (* immutable view: writes are errors *)
+
+type t = { n : int; mutable words : int array; mutable card : int; mutable status : status }
 
 let bits_per_word = 32
 
@@ -12,11 +25,31 @@ let words_for n = (n + bits_per_word - 1) / bits_per_word
 
 let create n =
   if n < 0 then invalid_arg "Bitset.create: negative capacity";
-  { n; words = Array.make (words_for n) 0; card = 0 }
+  { n; words = Array.make (words_for n) 0; card = 0; status = Owned }
 
 let capacity t = t.n
 let cardinal t = t.card
 let is_empty t = t.card = 0
+let is_frozen t = t.status = Frozen
+
+let freeze t =
+  if t.status = Frozen then t
+  else begin
+    t.status <- Shared;
+    { n = t.n; words = t.words; card = t.card; status = Frozen }
+  end
+
+let frozen_error () = invalid_arg "Bitset: mutation of a frozen view"
+
+(* Called when a mutator is about to write. Frozen views reject the
+   write; a shared owner privatises its words first. *)
+let unshare t =
+  match t.status with
+  | Owned -> ()
+  | Shared ->
+    t.words <- Array.copy t.words;
+    t.status <- Owned
+  | Frozen -> frozen_error ()
 
 let check t v = if v < 0 || v >= t.n then invalid_arg "Bitset: element out of range"
 
@@ -26,9 +59,11 @@ let mem t v =
 
 let add t v =
   check t v;
+  if t.status = Frozen then frozen_error ();
   let w = v lsr 5 and bit = 1 lsl (v land 31) in
   if t.words.(w) land bit <> 0 then false
   else begin
+    unshare t;
     t.words.(w) <- t.words.(w) lor bit;
     t.card <- t.card + 1;
     true
@@ -36,15 +71,17 @@ let add t v =
 
 let remove t v =
   check t v;
+  if t.status = Frozen then frozen_error ();
   let w = v lsr 5 and bit = 1 lsl (v land 31) in
   if t.words.(w) land bit = 0 then false
   else begin
+    unshare t;
     t.words.(w) <- t.words.(w) land lnot bit;
     t.card <- t.card - 1;
     true
   end
 
-let copy t = { n = t.n; words = Array.copy t.words; card = t.card }
+let copy t = { n = t.n; words = Array.copy t.words; card = t.card; status = Owned }
 
 (* SWAR popcount; inputs are 32-bit values held in native ints. *)
 let popcount x =
@@ -55,50 +92,79 @@ let popcount x =
 
 let same_capacity a b = if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
 
-let union_into ~dst ~src =
-  same_capacity dst src;
-  if dst.card = dst.n || src.card = 0 then 0
+(* Index of the first word of [src] carrying a bit absent from [dst], or
+   -1 when [src] is a subset — the write-free pre-scan that lets a
+   copy-on-write destination stay shared across no-op unions. *)
+let rec first_fresh_from dw sw w nw =
+  if w >= nw then -1
+  else if Array.unsafe_get sw w land lnot (Array.unsafe_get dw w) <> 0 then w
+  else first_fresh_from dw sw (w + 1) nw
+
+let first_fresh_word dw sw = first_fresh_from dw sw 0 (Array.length dw)
+
+(* The merge loops recurse rather than accumulate through a [ref]: these
+   run once per delivered message, and a 3-word ref cell per merge is
+   visible in whole-run allocation profiles. *)
+let rec union_words dw sw w acc =
+  if w >= Array.length dw then acc
   else begin
-  let dw = dst.words and sw = src.words in
-  let added = ref 0 in
-  for w = 0 to Array.length dw - 1 do
     let d = Array.unsafe_get dw w and s = Array.unsafe_get sw w in
     let fresh = s land lnot d in
-    if fresh <> 0 then begin
+    if fresh = 0 then union_words dw sw (w + 1) acc
+    else begin
       Array.unsafe_set dw w (d lor s);
-      added := !added + popcount fresh
+      union_words dw sw (w + 1) (acc + popcount fresh)
     end
-  done;
-  dst.card <- dst.card + !added;
-  !added
   end
 
-let iter_word_bits base bits f =
-  let bits = ref bits in
-  while !bits <> 0 do
-    let low = !bits land (- !bits) in
-    let idx = popcount (low - 1) in
-    f (base + idx);
-    bits := !bits lxor low
-  done
+let union_into ~dst ~src =
+  same_capacity dst src;
+  if dst.status = Frozen then frozen_error ();
+  if dst.card = dst.n || src.card = 0 then 0
+  else begin
+    let first = first_fresh_word dst.words src.words in
+    if first < 0 then 0
+    else begin
+      unshare dst;
+      let added = union_words dst.words src.words first 0 in
+      dst.card <- dst.card + added;
+      added
+    end
+  end
+
+let rec iter_word_bits base bits f =
+  if bits <> 0 then begin
+    let low = bits land (-bits) in
+    f (base + popcount (low - 1));
+    iter_word_bits base (bits lxor low) f
+  end
+
+let rec union_words_with dw sw w acc f =
+  if w >= Array.length dw then acc
+  else begin
+    let d = Array.unsafe_get dw w and s = Array.unsafe_get sw w in
+    let fresh = s land lnot d in
+    if fresh = 0 then union_words_with dw sw (w + 1) acc f
+    else begin
+      Array.unsafe_set dw w (d lor s);
+      iter_word_bits (w lsl 5) fresh f;
+      union_words_with dw sw (w + 1) (acc + popcount fresh) f
+    end
+  end
 
 let union_into_with ~dst ~src f =
   same_capacity dst src;
+  if dst.status = Frozen then frozen_error ();
   if dst.card = dst.n || src.card = 0 then 0
   else begin
-  let dw = dst.words and sw = src.words in
-  let added = ref 0 in
-  for w = 0 to Array.length dw - 1 do
-    let d = Array.unsafe_get dw w and s = Array.unsafe_get sw w in
-    let fresh = s land lnot d in
-    if fresh <> 0 then begin
-      Array.unsafe_set dw w (d lor s);
-      added := !added + popcount fresh;
-      iter_word_bits (w lsl 5) fresh f
+    let first = first_fresh_word dst.words src.words in
+    if first < 0 then 0
+    else begin
+      unshare dst;
+      let added = union_words_with dst.words src.words first 0 f in
+      dst.card <- dst.card + added;
+      added
     end
-  done;
-  dst.card <- dst.card + !added;
-  !added
   end
 
 let inter_cardinal a b =
@@ -127,10 +193,25 @@ let iter f t =
     if t.words.(w) <> 0 then iter_word_bits (w lsl 5) t.words.(w) f
   done
 
-let fold f init t =
-  let acc = ref init in
-  iter (fun v -> acc := f !acc v) t;
-  !acc
+(* [fold] threads the accumulator through top-level recursion instead of
+   a ref cell so that callers passing a statically-allocated function
+   (e.g. encoded-size accumulation in [Wire]) fold without allocating. *)
+let rec fold_word_bits f base bits acc =
+  if bits = 0 then acc
+  else begin
+    let low = bits land (-bits) in
+    fold_word_bits f base (bits lxor low) (f acc (base + popcount (low - 1)))
+  end
+
+let rec fold_words f words w acc =
+  if w >= Array.length words then acc
+  else begin
+    let bits = Array.unsafe_get words w in
+    if bits = 0 then fold_words f words (w + 1) acc
+    else fold_words f words (w + 1) (fold_word_bits f (w lsl 5) bits acc)
+  end
+
+let fold f init t = fold_words f t.words 0 init
 
 let elements t = List.rev (fold (fun acc v -> v :: acc) [] t)
 

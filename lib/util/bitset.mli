@@ -31,7 +31,20 @@ val remove : t -> int -> bool
 (** [remove t v] deletes [v]; returns [true] iff [v] was present. *)
 
 val copy : t -> t
-(** Independent copy. *)
+(** Independent (deep, always-mutable) copy. *)
+
+val freeze : t -> t
+(** [freeze t] is an immutable view of [t]'s current contents, in O(1):
+    the view aliases [t]'s storage instead of copying it. Calling a
+    mutator ({!add}, {!remove}, {!union_into}, {!union_into_with}) on the
+    view raises [Invalid_argument]. [t] itself stays mutable: its first
+    subsequent write re-materialises private storage (copy-on-write), so
+    existing views never change. Freezing an already-frozen view returns
+    it unchanged. This is the zero-copy path for payload snapshots that
+    are shared across a fan-out. *)
+
+val is_frozen : t -> bool
+(** [true] on views returned by {!freeze}. *)
 
 val union_into : dst:t -> src:t -> int
 (** [union_into ~dst ~src] adds every element of [src] to [dst] and

@@ -55,6 +55,36 @@ let sub t ~pos ~len =
 
 let of_array a = { data = (if Array.length a = 0 then Array.make 1 0 else Array.copy a); len = Array.length a }
 
+(* Zero-copy slices. A slice captures the backing array by reference, so
+   it stays valid across later [push]es (including ones that grow and
+   replace [t.data] — the captured array keeps the old elements) as long
+   as the sliced range itself is not overwritten via [set]/[clear]+push.
+   The append-only vectors this is used for (knowledge learn orders)
+   satisfy that by construction. *)
+type slice = { sdata : int array; spos : int; slen : int }
+
+let slice t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Intvec.slice: invalid slice";
+  { sdata = t.data; spos = pos; slen = len }
+
+let slice_length s = s.slen
+
+let slice_get s i =
+  if i < 0 || i >= s.slen then invalid_arg "Intvec.slice_get: index out of bounds";
+  s.sdata.(s.spos + i)
+
+let slice_iter f s =
+  for i = s.spos to s.spos + s.slen - 1 do
+    f s.sdata.(i)
+  done
+
+let slice_fold f init s =
+  let acc = ref init in
+  slice_iter (fun v -> acc := f !acc v) s;
+  !acc
+
+let slice_to_array s = Array.sub s.sdata s.spos s.slen
+
 let last t =
   if t.len = 0 then invalid_arg "Intvec.last: empty";
   t.data.(t.len - 1)

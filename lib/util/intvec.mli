@@ -31,3 +31,29 @@ val sub : t -> pos:int -> len:int -> int array
 val of_array : int array -> t
 val last : t -> int
 (** @raise Invalid_argument if empty. *)
+
+(** {2 Zero-copy slices}
+
+    A slice is a read-only window into a vector's backing storage,
+    taken without copying. It remains valid across later [push]es (the
+    elements it covers are captured by reference), but its contents are
+    unspecified if the covered range is mutated with {!set} or recycled
+    via {!clear} followed by pushes. Intended for append-only vectors
+    such as knowledge learn orders, where neither happens. *)
+
+type slice
+
+val slice : t -> pos:int -> len:int -> slice
+(** [slice t ~pos ~len] is the window [pos .. pos+len-1], in O(1).
+    @raise Invalid_argument on an invalid range. *)
+
+val slice_length : slice -> int
+
+val slice_get : slice -> int -> int
+(** @raise Invalid_argument if the index is out of bounds. *)
+
+val slice_iter : (int -> unit) -> slice -> unit
+val slice_fold : ('a -> int -> 'a) -> 'a -> slice -> 'a
+
+val slice_to_array : slice -> int array
+(** Copies the window out. *)

@@ -1,0 +1,57 @@
+open Repro_util
+open Repro_discovery
+
+(* Regression guard for the allocation-free hot path: a steady-state
+   flooding round at n = 4096 with tracing off must not allocate on the
+   minor heap. Once a node's [sent_upto] mark has caught up with its
+   knowledge, the round body is a single integer comparison — any
+   reintroduced per-node or per-send allocation shows up here as at
+   least one word per node, far above the measurement overhead of the
+   [Gc.minor_words] calls themselves (which box their float results). *)
+
+let n = 4096
+
+let make_instances () =
+  let labels = Array.init n (fun i -> i) in
+  Array.init n (fun i ->
+      Flooding.algorithm.make
+        {
+          Algorithm.n;
+          node = i;
+          neighbors = [| (i + 1) mod n |];
+          labels;
+          rng = Rng.create ~seed:i;
+          params = Params.default;
+        })
+
+let send_sink ~dst:_ (_ : Payload.t) = ()
+
+let run_round inst = inst.Algorithm.round ~round:2 ~send:send_sink
+
+let test_steady_state_flooding_round_allocates_nothing () =
+  let instances = make_instances () in
+  (* saturate every node's knowledge, then flush the backlog once so the
+     next round is the converged steady state *)
+  let everyone = Payload.Share (Payload.Ids (Array.init n (fun i -> i))) in
+  Array.iter (fun inst -> inst.Algorithm.receive ~src:0 everyone) instances;
+  Array.iter (fun inst -> inst.Algorithm.round ~round:1 ~send:send_sink) instances;
+  (* calibrate the overhead of the measurement window itself *)
+  let cal_before = Gc.minor_words () in
+  let cal_after = Gc.minor_words () in
+  let overhead = cal_after -. cal_before in
+  let before = Gc.minor_words () in
+  Array.iter run_round instances;
+  let after = Gc.minor_words () in
+  let extra = after -. before -. overhead in
+  if extra > 64.0 then
+    Alcotest.failf "steady-state flooding round allocated %.0f minor words (expected 0)" extra
+
+let () =
+  Alcotest.run "alloc"
+    [
+      ( "regression",
+        [
+          Alcotest.test_case "steady-state flooding round is allocation-free" `Quick
+            test_steady_state_flooding_round_allocates_nothing;
+        ] );
+    ]

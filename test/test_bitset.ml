@@ -91,6 +91,63 @@ let test_equal_copy () =
   check_bool "copy independent" false (Bitset.equal a b);
   check_int "original untouched" 3 (Bitset.cardinal a)
 
+let frozen_exn = Invalid_argument "Bitset: mutation of a frozen view"
+
+let test_freeze_immutable () =
+  let t = Bitset.of_array 100 [| 1; 40; 64 |] in
+  let v = Bitset.freeze t in
+  check_bool "view is frozen" true (Bitset.is_frozen v);
+  check_bool "source is not frozen" false (Bitset.is_frozen t);
+  check_bool "view equals source" true (Bitset.equal t v);
+  Alcotest.check_raises "add on view" frozen_exn (fun () -> ignore (Bitset.add v 2));
+  Alcotest.check_raises "no-op add on view" frozen_exn (fun () -> ignore (Bitset.add v 1));
+  Alcotest.check_raises "remove on view" frozen_exn (fun () -> ignore (Bitset.remove v 1));
+  Alcotest.check_raises "union into view" frozen_exn (fun () ->
+      ignore (Bitset.union_into ~dst:v ~src:t));
+  Alcotest.check_raises "union_into_with into view" frozen_exn (fun () ->
+      ignore (Bitset.union_into_with ~dst:v ~src:t (fun _ -> ())));
+  (* reads still work on the view *)
+  check_bool "mem" true (Bitset.mem v 40);
+  check_int "cardinal" 3 (Bitset.cardinal v);
+  Alcotest.(check (list int)) "elements" [ 1; 40; 64 ] (Bitset.elements v)
+
+let test_freeze_copy_on_write () =
+  let t = Bitset.of_array 100 [| 1; 40 |] in
+  let v = Bitset.freeze t in
+  (* mutating the source must not be visible through the view *)
+  check_bool "source add" true (Bitset.add t 7);
+  check_bool "source remove" true (Bitset.remove t 40);
+  check_int "source cardinal" 2 (Bitset.cardinal t);
+  check_int "view cardinal unchanged" 2 (Bitset.cardinal v);
+  check_bool "view does not see add" false (Bitset.mem v 7);
+  check_bool "view still sees removed" true (Bitset.mem v 40);
+  (* union into a shared source privatises it first *)
+  let t2 = Bitset.of_array 100 [| 3 |] in
+  let v2 = Bitset.freeze t2 in
+  ignore (Bitset.union_into ~dst:t2 ~src:(Bitset.of_array 100 [| 3; 9 |]));
+  check_bool "union visible in source" true (Bitset.mem t2 9);
+  check_bool "union invisible in view" false (Bitset.mem v2 9);
+  (* a union that learns nothing leaves the sharing intact and both
+     sides untouched *)
+  let t3 = Bitset.of_array 100 [| 5; 6 |] in
+  let v3 = Bitset.freeze t3 in
+  check_int "subset union adds nothing" 0
+    (Bitset.union_into ~dst:t3 ~src:(Bitset.of_array 100 [| 5 |]));
+  check_bool "still equal" true (Bitset.equal t3 v3)
+
+let test_freeze_idempotent () =
+  let t = Bitset.of_array 10 [| 2 |] in
+  let v = Bitset.freeze t in
+  check_bool "freeze of frozen is itself" true (Bitset.freeze v == v);
+  (* repeated freezes of the source share storage and stay consistent *)
+  let v2 = Bitset.freeze t in
+  check_bool "second view equal" true (Bitset.equal v v2);
+  (* a copy of a frozen view is mutable again *)
+  let c = Bitset.copy v in
+  check_bool "copy not frozen" false (Bitset.is_frozen c);
+  check_bool "copy mutable" true (Bitset.add c 3);
+  check_bool "view untouched" false (Bitset.mem v 3)
+
 let test_is_full () =
   let t = Bitset.create 33 in
   for v = 0 to 32 do
@@ -169,6 +226,9 @@ let () =
           Alcotest.test_case "choose_nth" `Quick test_choose_nth;
           Alcotest.test_case "inter_cardinal" `Quick test_inter_cardinal;
           Alcotest.test_case "equal/copy" `Quick test_equal_copy;
+          Alcotest.test_case "freeze is immutable" `Quick test_freeze_immutable;
+          Alcotest.test_case "freeze copy-on-write" `Quick test_freeze_copy_on_write;
+          Alcotest.test_case "freeze idempotent" `Quick test_freeze_idempotent;
           Alcotest.test_case "is_full" `Quick test_is_full;
         ] );
       ( "properties",

@@ -54,6 +54,50 @@ let test_of_array_copies () =
   a.(0) <- 99;
   Alcotest.(check int) "of_array copies" 1 (Intvec.get v 0)
 
+let test_slice () =
+  let v = Intvec.of_array [| 5; 6; 7; 8; 9 |] in
+  let s = Intvec.slice v ~pos:1 ~len:3 in
+  Alcotest.(check int) "length" 3 (Intvec.slice_length s);
+  Alcotest.(check int) "get 0" 6 (Intvec.slice_get s 0);
+  Alcotest.(check int) "get 2" 8 (Intvec.slice_get s 2);
+  Alcotest.(check (array int)) "to_array" [| 6; 7; 8 |] (Intvec.slice_to_array s);
+  Alcotest.(check int) "fold" 21 (Intvec.slice_fold ( + ) 0 s);
+  let seen = ref [] in
+  Intvec.slice_iter (fun x -> seen := x :: !seen) s;
+  Alcotest.(check (list int)) "iter order" [ 6; 7; 8 ] (List.rev !seen);
+  let empty = Intvec.slice v ~pos:5 ~len:0 in
+  Alcotest.(check int) "empty slice" 0 (Intvec.slice_length empty);
+  Alcotest.(check (array int)) "empty to_array" [||] (Intvec.slice_to_array empty)
+
+let test_slice_bounds () =
+  let v = Intvec.of_array [| 1; 2; 3 |] in
+  let bad pos len =
+    Alcotest.check_raises "slice oob" (Invalid_argument "Intvec.slice: invalid slice")
+      (fun () -> ignore (Intvec.slice v ~pos ~len))
+  in
+  bad (-1) 1;
+  bad 0 4;
+  bad 2 2;
+  bad 0 (-1);
+  let s = Intvec.slice v ~pos:1 ~len:2 in
+  Alcotest.check_raises "get below" (Invalid_argument "Intvec.slice_get: index out of bounds")
+    (fun () -> ignore (Intvec.slice_get s (-1)));
+  Alcotest.check_raises "get above" (Invalid_argument "Intvec.slice_get: index out of bounds")
+    (fun () -> ignore (Intvec.slice_get s 2))
+
+let test_slice_survives_growth () =
+  (* the documented contract: a slice of an append-only vector stays
+     valid even when later pushes force the vector to reallocate *)
+  let v = Intvec.create ~capacity:2 () in
+  Intvec.push v 10;
+  Intvec.push v 11;
+  let s = Intvec.slice v ~pos:0 ~len:2 in
+  for i = 0 to 99 do
+    Intvec.push v i
+  done;
+  Alcotest.(check (array int)) "slice unchanged after growth" [| 10; 11 |]
+    (Intvec.slice_to_array s)
+
 let prop_push_pop_roundtrip =
   QCheck2.Test.make ~name:"pushes then pops return reversed input" ~count:200
     QCheck2.Gen.(list_size (int_range 0 100) int)
@@ -74,6 +118,9 @@ let () =
           Alcotest.test_case "sub" `Quick test_sub;
           Alcotest.test_case "iter/fold" `Quick test_iter_fold;
           Alcotest.test_case "of_array copies" `Quick test_of_array_copies;
+          Alcotest.test_case "slice" `Quick test_slice;
+          Alcotest.test_case "slice bounds" `Quick test_slice_bounds;
+          Alcotest.test_case "slice survives growth" `Quick test_slice_survives_growth;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_push_pop_roundtrip ]);
     ]

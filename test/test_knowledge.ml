@@ -63,6 +63,26 @@ let test_min_excluding () =
   Alcotest.check_raises "capacity" (Invalid_argument "Knowledge.min_known_excluding: capacity mismatch")
     (fun () -> ignore (Knowledge.min_known_excluding k ~suspects:(Bitset.create 3)))
 
+(* Pins the chosen behaviour when the owner itself is suspected: any
+   unsuspected known node wins — even one with a larger label than the
+   owner's — and the owner is returned only when every known node
+   (owner included) is suspected. *)
+let test_min_excluding_suspected_owner () =
+  let labels = Array.init 10 (fun i -> i) in
+  let k = mk ~owner:2 ~labels () in
+  ignore (Knowledge.merge_ids k [| 7; 4 |]);
+  Alcotest.(check int) "owner wins unsuspected" 2
+    (Knowledge.min_known_excluding k ~suspects:(Bitset.create 10));
+  let owner_suspected = Bitset.of_array 10 [| 2 |] in
+  Alcotest.(check int) "suspected owner loses to larger label" 4
+    (Knowledge.min_known_excluding k ~suspects:owner_suspected);
+  let owner_and_4 = Bitset.of_array 10 [| 2; 4 |] in
+  Alcotest.(check int) "next unsuspected candidate" 7
+    (Knowledge.min_known_excluding k ~suspects:owner_and_4);
+  let everyone = Bitset.of_array 10 [| 2; 4; 7 |] in
+  Alcotest.(check int) "owner as last resort" 2
+    (Knowledge.min_known_excluding k ~suspects:everyone)
+
 let test_marks_and_since () =
   let k = mk () in
   let m0 = Knowledge.mark k in
@@ -110,6 +130,55 @@ let test_random_known_among () =
     pick;
   Alcotest.(check int) "k=0" 0 (Array.length (Knowledge.random_known_among k rng ~k:0))
 
+let test_random_known_among_exhaustive () =
+  (* k = cardinal - 1 — the regime where rejection sampling degraded to
+     unbounded retries. Fisher–Yates must return all non-owner nodes,
+     each exactly once, with exactly k RNG draws. *)
+  let k = mk ~n:20 ~owner:0 () in
+  ignore (Knowledge.merge_ids k (Array.init 19 (fun i -> i + 1)));
+  let rng = Rng.create ~seed:7 in
+  let pick = Knowledge.random_known_among k rng ~k:19 in
+  Alcotest.(check int) "all non-owner nodes" 19 (Array.length pick);
+  Alcotest.(check (list int)) "a permutation of 1..19"
+    (List.init 19 (fun i -> i + 1))
+    (List.sort Int.compare (Array.to_list pick));
+  (* Draw-count pin: a fresh RNG advanced by exactly k bounded draws of
+     the same widths must agree with an independent same-seed sample. *)
+  let rng_a = Rng.create ~seed:11 and rng_b = Rng.create ~seed:11 in
+  let sample = Knowledge.random_known_among k rng_a ~k:5 in
+  for i = 0 to 4 do
+    ignore (Rng.int rng_b (19 - i))
+  done;
+  let next_a = Rng.int rng_a 1000 and next_b = Rng.int rng_b 1000 in
+  Alcotest.(check int) "exactly k draws consumed" next_b next_a;
+  Alcotest.(check int) "sample size" 5 (Array.length sample);
+  (* The rank scratch is restored between calls: two same-seed samples
+     from the same knowledge set are identical. *)
+  let s1 = Knowledge.random_known_among k (Rng.create ~seed:3) ~k:8 in
+  let s2 = Knowledge.random_known_among k (Rng.create ~seed:3) ~k:8 in
+  Alcotest.(check (array int)) "deterministic given seed" s1 s2
+
+let test_slices_and_iteration () =
+  let k = mk () in
+  let m0 = Knowledge.mark k in
+  ignore (Knowledge.merge_ids k [| 4; 2; 9 |]);
+  let s = Knowledge.since_slice k ~mark:m0 in
+  Alcotest.(check (array int)) "slice delta" [| 4; 2; 9 |] (Intvec.slice_to_array s);
+  ignore (Knowledge.add k 6);
+  Alcotest.(check (array int)) "slice is a fixed window" [| 4; 2; 9 |]
+    (Intvec.slice_to_array s);
+  Alcotest.check_raises "stale mark" (Invalid_argument "Knowledge.since_slice: invalid mark")
+    (fun () -> ignore (Knowledge.since_slice k ~mark:99));
+  let other = mk ~owner:1 () in
+  Alcotest.(check int) "merge_slice learns" 3 (Knowledge.merge_slice other s);
+  Alcotest.(check int) "merge_slice dedups" 0 (Knowledge.merge_slice other s);
+  Alcotest.(check (array int)) "merged in slice order" [| 1; 4; 2; 9 |]
+    (Knowledge.elements_in_learn_order other);
+  let seen = ref [] in
+  Knowledge.iter_known k (fun v -> seen := v :: !seen);
+  Alcotest.(check (list int)) "iter_known follows learn order" [ 0; 4; 2; 9; 6 ]
+    (List.rev !seen)
+
 let prop_learn_order_matches_set =
   QCheck2.Test.make ~name:"learn order is a duplicate-free enumeration of the set" ~count:200
     QCheck2.Gen.(
@@ -154,10 +223,15 @@ let () =
           Alcotest.test_case "completion" `Quick test_completion;
           Alcotest.test_case "min tracking" `Quick test_min_tracking;
           Alcotest.test_case "min excluding suspects" `Quick test_min_excluding;
+          Alcotest.test_case "min excluding suspected owner" `Quick
+            test_min_excluding_suspected_owner;
           Alcotest.test_case "marks and deltas" `Quick test_marks_and_since;
           Alcotest.test_case "snapshot independence" `Quick test_snapshot_independent;
           Alcotest.test_case "random known" `Quick test_random_known;
           Alcotest.test_case "random known among" `Quick test_random_known_among;
+          Alcotest.test_case "random known among exhaustive" `Quick
+            test_random_known_among_exhaustive;
+          Alcotest.test_case "slices and iteration" `Quick test_slices_and_iteration;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -1,0 +1,75 @@
+open Repro_engine
+
+let drain box =
+  let out = ref [] in
+  Outbox.iter box (fun src dst msg -> out := (src, dst, msg) :: !out);
+  List.rev !out
+
+let test_basic () =
+  let box = Outbox.create () in
+  Alcotest.(check bool) "empty" true (Outbox.is_empty box);
+  Outbox.push box ~src:0 ~dst:1 "a";
+  Outbox.push box ~src:2 ~dst:0 "b";
+  Outbox.push box ~src:1 ~dst:2 "c";
+  Alcotest.(check int) "length" 3 (Outbox.length box);
+  Alcotest.(check (list (triple int int string)))
+    "push order preserved"
+    [ (0, 1, "a"); (2, 0, "b"); (1, 2, "c") ]
+    (drain box)
+
+let test_reuse_across_rounds () =
+  (* the engine contract: clear resets the length but keeps the storage,
+     so steady-state rounds never grow the buffer *)
+  let box = Outbox.create () in
+  for round = 1 to 5 do
+    Outbox.clear box;
+    for i = 0 to 99 do
+      Outbox.push box ~src:i ~dst:(i + 1) (round * 1000 + i)
+    done;
+    Alcotest.(check int) "round length" 100 (Outbox.length box)
+  done;
+  let cap_after_warmup = Outbox.capacity box in
+  for round = 6 to 20 do
+    Outbox.clear box;
+    for i = 0 to 99 do
+      Outbox.push box ~src:i ~dst:(i + 1) (round * 1000 + i)
+    done
+  done;
+  Alcotest.(check int) "capacity stable across rounds" cap_after_warmup (Outbox.capacity box);
+  Alcotest.(check (list (triple int int int)))
+    "contents are the last round only"
+    (List.init 100 (fun i -> (i, i + 1, 20_000 + i)))
+    (drain box)
+
+let test_growth () =
+  let box = Outbox.create () in
+  Alcotest.(check int) "initial capacity" 0 (Outbox.capacity box);
+  for i = 0 to 999 do
+    Outbox.push box ~src:i ~dst:0 i
+  done;
+  Alcotest.(check int) "length" 1000 (Outbox.length box);
+  Alcotest.(check (list (triple int int int)))
+    "order across growth"
+    (List.init 1000 (fun i -> (i, 0, i)))
+    (drain box)
+
+let test_clear_empty () =
+  let box = Outbox.create () in
+  Outbox.clear box;
+  Alcotest.(check bool) "still empty" true (Outbox.is_empty box);
+  Outbox.push box ~src:3 ~dst:4 'x';
+  Outbox.clear box;
+  Alcotest.(check int) "cleared" 0 (Outbox.length box);
+  Alcotest.(check (list (triple int int char))) "iterates nothing" [] (drain box)
+
+let () =
+  Alcotest.run "outbox"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "reuse across rounds" `Quick test_reuse_across_rounds;
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "clear" `Quick test_clear_empty;
+        ] );
+    ]
