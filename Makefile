@@ -28,6 +28,8 @@ trace-golden:
 	  dune exec bin/discovery_cli.exe -- trace --algo $$a --topology kout:3 -n 8 --seed 1 --check \
 	    -o test/golden/$$a.jsonl || exit 1; \
 	done
+	dune exec bin/discovery_cli.exe -- trace --async --algo hm --topology kout:3 -n 8 --seed 1 --check \
+	  -o test/golden/hm_async.jsonl
 
 quick:
 	dune exec bin/experiments.exe -- --quick

@@ -157,8 +157,11 @@ let run_cmd =
             (fun i v -> Printf.printf "  round %3d: %10.1f\n" (i + 1) v)
             result.Run.mean_knowledge_series
         end;
-        if result.Run.completed then `Ok ()
-        else `Error (false, "did not complete within the round budget")
+        if result.Run.completed then `Ok 0
+        else begin
+          prerr_endline "discovery: did not complete within the round budget";
+          `Ok 1
+        end
       end
       else begin
         match
@@ -188,12 +191,12 @@ let run_cmd =
         Printf.printf "pointers         : %s\n" (cell (agg (fun r -> r.Run.pointers)));
         Printf.printf "wire bytes       : %s (adaptive codec)\n" (cell (agg (fun r -> r.Run.bytes)));
         let dnf = List.length (List.filter (fun r -> not r.Run.completed) runs) in
-        if dnf = 0 then `Ok ()
-        else
-          `Error
-            ( false,
-              Printf.sprintf "%d of %d replicates did not complete within the round budget" dnf
-                seeds )
+        if dnf = 0 then `Ok 0
+        else begin
+          Printf.eprintf "discovery: %d of %d replicates did not complete within the round budget\n"
+            dnf seeds;
+          `Ok 1
+        end
       end
     end
   in
@@ -209,7 +212,8 @@ let list_cmd =
   let list () =
     List.iter
       (fun (a : Algorithm.t) -> Printf.printf "%-14s %s\n" a.Algorithm.name a.Algorithm.description)
-      Registry.all
+      Registry.all;
+    0
   in
   Cmd.v (Cmd.info "list" ~doc:"List the implemented algorithms.") Term.(const list $ const ())
 
@@ -250,14 +254,15 @@ let trace_cmd =
     in
     close ();
     match invariants with
-    | None -> `Ok ()
+    | None -> `Ok 0
     | Some inv -> (
       match Trace.Invariants.final_check inv metrics with
       | () ->
         Printf.eprintf "trace invariants ok (%d events)\n" (Trace.Invariants.events_seen inv);
-        `Ok ()
+        `Ok 0
       | exception Trace.Invariants.Violation msg ->
-        `Error (false, Printf.sprintf "invariant violation: %s" msg))
+        Printf.eprintf "discovery: invariant violation: %s\n" msg;
+        `Ok 1)
   in
   let async_arg =
     Arg.(
@@ -315,25 +320,29 @@ let trace_diff_cmd =
     | lines_a, lines_b ->
       let width = max (String.length file_a) (String.length file_b) in
       let pad f = f ^ String.make (width - String.length f) ' ' in
+      let differ () =
+        flush stdout;
+        prerr_endline "discovery: traces differ";
+        (* divergence is an operational failure (exit 1), distinct from
+           usage errors (exit 2) *)
+        `Ok 1
+      in
       let rec go i a b =
         match (a, b) with
         | [], [] ->
           Printf.printf "traces identical (%d events)\n" i;
-          `Ok ()
+          `Ok 0
         | la :: _, lb :: _ when la <> lb ->
           Printf.printf "traces diverge at event %d:\n  %s: %s\n  %s: %s\n" (i + 1) (pad file_a)
             la (pad file_b) lb;
-          flush stdout;
-          `Error (false, "traces differ")
+          differ ()
         | _ :: a, _ :: b -> go (i + 1) a b
         | [], lb :: _ ->
           Printf.printf "%s ends at event %d; %s continues:\n  %s\n" file_a i file_b lb;
-          flush stdout;
-          `Error (false, "traces differ")
+          differ ()
         | la :: _, [] ->
           Printf.printf "%s ends at event %d; %s continues:\n  %s\n" file_b i file_a la;
-          flush stdout;
-          `Error (false, "traces differ")
+          differ ()
       in
       go 0 lines_a lines_b
   in
@@ -346,6 +355,135 @@ let trace_diff_cmd =
        ~doc:
          "Compare two JSONL event traces and report the first divergent event — certifies \
           that two runs (different machines, job counts, builds) executed identically.")
+    term
+
+(* --- cluster: run the algorithm as live processes over sockets --- *)
+
+let cluster_cmd =
+  let open Repro_net in
+  let backend_conv =
+    let parse s = Transport.backend_of_string s |> Result.map_error (fun e -> `Msg e) in
+    Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Transport.backend_name b))
+  in
+  let encoding_conv =
+    let parse s =
+      match List.find_opt (fun e -> Wire.encoding_name e = s) Wire.all_encodings with
+      | Some e -> Ok e
+      | None -> Error (`Msg (Printf.sprintf "unknown encoding %S (raw32|varint|bitmap|adaptive)" s))
+    in
+    Arg.conv (parse, fun ppf e -> Format.pp_print_string ppf (Wire.encoding_name e))
+  in
+  let transport_arg =
+    Arg.(
+      value
+      & opt backend_conv Transport.Uds
+      & info [ "transport" ] ~docv:"BACKEND"
+          ~doc:
+            "How nodes talk: $(b,loopback) (in-process, deterministic, trace-identical to the \
+             async simulator), $(b,uds) (one process per node over unix-domain sockets) or \
+             $(b,tcp) (one process per node over 127.0.0.1).")
+  in
+  let tick_arg =
+    Arg.(
+      value
+      & opt float Node.default_tick_period
+      & info [ "tick-period" ] ~docv:"SECONDS" ~doc:"Seconds between algorithm activations.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget; exceeding it counts as non-convergence.")
+  in
+  let encoding_arg =
+    Arg.(
+      value
+      & opt encoding_conv Wire.Adaptive
+      & info [ "encoding" ] ~docv:"CODEC" ~doc:"Wire codec: raw32, varint, bitmap or adaptive.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the merged, time-ordered JSONL event trace of the whole cluster to $(docv).")
+  in
+  let no_check_arg =
+    Arg.(
+      value & flag
+      & info [ "no-check" ]
+          ~doc:"Skip the online invariant checker over the merged event stream.")
+  in
+  let kill_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill" ] ~docv:"NODE"
+          ~doc:
+            "Sabotage: SIGKILL node $(docv) right after spawn. The run must then report the \
+             node as crashed and fail to converge (exit 1) — the failure-path drill.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"UDS socket directory (default: a fresh directory under /tmp, removed afterwards).")
+  in
+  let cluster algo family n seed transport tick_period timeout encoding trace_out no_check kill
+      dir =
+    if n < 1 then `Error (false, "-n must be at least 1")
+    else begin
+      let oc = Option.map open_out trace_out in
+      let spec =
+        {
+          (Cluster.default_spec algo) with
+          Cluster.n;
+          family;
+          seed;
+          backend = transport;
+          tick_period;
+          timeout;
+          encoding;
+          dir;
+          trace = (match oc with Some oc -> Repro_engine.Trace.jsonl oc | None -> Repro_engine.Trace.null);
+          check_invariants = not no_check;
+          kill_node = kill;
+        }
+      in
+      match Cluster.run spec with
+      | result ->
+        Option.iter close_out oc;
+        print_endline (Cluster.result_to_json result);
+        let ok =
+          result.Cluster.converged
+          && (match result.Cluster.invariants with Cluster.Failed _ -> false | _ -> true)
+        in
+        if not ok then
+          Printf.eprintf "discovery: cluster did not converge cleanly (%s)\n"
+            (match result.Cluster.invariants with
+            | Cluster.Failed msg -> "invariant violation: " ^ msg
+            | _ when result.Cluster.crashed <> [] ->
+              Printf.sprintf "%d node(s) crashed" (List.length result.Cluster.crashed)
+            | _ -> "not all nodes completed in time");
+        `Ok (if ok then 0 else 1)
+      | exception Invalid_argument msg ->
+        Option.iter close_out oc;
+        `Error (false, msg)
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const cluster $ algo_arg $ topology_arg $ n_arg $ seed_arg $ transport_arg $ tick_arg
+       $ timeout_arg $ encoding_arg $ trace_out_arg $ no_check_arg $ kill_arg $ dir_arg))
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run one discovery configuration as a live cluster: n node processes over real \
+          sockets, convergence verified against the same invariant checker the simulators \
+          use, JSON report on stdout. Exit 0 on clean convergence, 1 otherwise.")
     term
 
 let topo_cmd =
@@ -363,13 +501,26 @@ let topo_cmd =
     end;
     let deg = Analyze.degree_stats topology in
     Printf.printf "out-degree    : mean %.1f, min %.0f, max %.0f\n" deg.Stats.mean deg.Stats.min
-      deg.Stats.max
+      deg.Stats.max;
+    0
   in
   Cmd.v
     (Cmd.info "topo" ~doc:"Describe a generated topology.")
     Term.(const show $ topology_arg $ n_arg $ seed_arg)
 
+(* Exit-code discipline: 0 success, 1 operational failure (divergent
+   traces, non-convergence, DNF), 2 usage errors, 125 unexpected
+   exceptions. Subcommands return their code; cmdliner-level parse and
+   term errors are usage errors. *)
 let () =
   let doc = "Distributed resource discovery in sub-logarithmic time (PODC'15 reproduction)" in
   let info = Cmd.info "discovery" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; topo_cmd; trace_cmd; trace_diff_cmd ]))
+  let group =
+    Cmd.group info [ run_cmd; list_cmd; topo_cmd; trace_cmd; trace_diff_cmd; cluster_cmd ]
+  in
+  exit
+    (match Cmd.eval_value group with
+    | Ok (`Ok code) -> code
+    | Ok `Help | Ok `Version -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 125)

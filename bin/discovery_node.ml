@@ -1,0 +1,188 @@
+(* discovery_node — one live discovery process.
+
+   Every node of a deployment is started with the SAME --peers address
+   table (the static name service: index in the table = node id) and the
+   SAME --seed (labels are a pure function of (seed, n), so all nodes
+   agree on the label permutation). A node identifies itself by its
+   --listen address, which must appear in the table.
+
+   Example (3 nodes over unix-domain sockets, run in 3 shells):
+
+     discovery_node --listen /tmp/d/node-0.sock \
+       --peers /tmp/d/node-0.sock,/tmp/d/node-1.sock,/tmp/d/node-2.sock \
+       --algo hm --seed 1
+
+   The process exits once its knowledge is complete and the link has
+   been idle for --idle-timeout seconds; exit status 0 means it learned
+   all n identifiers. *)
+
+open Repro_discovery
+open Repro_net
+open Cmdliner
+
+let parse_addr s =
+  if String.contains s '/' then Ok (Unix.ADDR_UNIX s)
+  else
+    match int_of_string_opt s with
+    | Some port when port > 0 && port < 65536 -> Ok (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+    | Some _ -> Error (Printf.sprintf "port %S out of range" s)
+    | None -> (
+      match String.rindex_opt s ':' with
+      | None -> Error (Printf.sprintf "bad address %S (want a socket path, PORT or HOST:PORT)" s)
+      | Some i -> (
+        let host = String.sub s 0 i and port = String.sub s (i + 1) (String.length s - i - 1) in
+        match (int_of_string_opt port, try Some (Unix.inet_addr_of_string host) with _ -> None) with
+        | Some p, Some a when p > 0 && p < 65536 -> Ok (Unix.ADDR_INET (a, p))
+        | _ -> Error (Printf.sprintf "bad address %S" s)))
+
+let addr_string = function
+  | Unix.ADDR_UNIX path -> path
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+
+let algo_conv =
+  let parse s = Registry.find s |> Result.map_error (fun e -> `Msg e) in
+  let print ppf (a : Algorithm.t) = Format.pp_print_string ppf a.Algorithm.name in
+  Arg.conv (parse, print)
+
+let encoding_conv =
+  let parse s =
+    match List.find_opt (fun e -> Wire.encoding_name e = s) Wire.all_encodings with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown encoding %S (raw32|varint|bitmap|adaptive)" s))
+  in
+  Arg.conv (parse, fun ppf e -> Format.pp_print_string ppf (Wire.encoding_name e))
+
+let listen_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:"Our own endpoint: a unix-domain socket path, PORT, or HOST:PORT.")
+
+let peers_arg =
+  Arg.(
+    required
+    & opt (some (list ~sep:',' string)) None
+    & info [ "peers" ] ~docv:"ADDR,..."
+        ~doc:
+          "The full deployment address table, identical on every node; position in the list is \
+           the node id, and $(b,--listen) must appear in it.")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt algo_conv Hm_gossip.algorithm
+    & info [ "a"; "algo" ] ~docv:"ALGO" ~doc:("Algorithm: " ^ Registry.parse_doc ()))
+
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Deployment seed (identical on every node).")
+
+let neighbors_arg =
+  Arg.(
+    value
+    & opt (some (list ~sep:',' int)) None
+    & info [ "neighbors" ] ~docv:"ID,..."
+        ~doc:
+          "Initial knowledge: node ids we start out knowing (default: ring neighbours \
+           id±1 mod n).")
+
+let tick_arg =
+  Arg.(
+    value
+    & opt float Node.default_tick_period
+    & info [ "tick-period" ] ~docv:"SECONDS" ~doc:"Seconds between algorithm activations.")
+
+let idle_arg =
+  Arg.(
+    value
+    & opt float Node.default_idle_timeout
+    & info [ "idle-timeout" ] ~docv:"SECONDS"
+        ~doc:"Exit this long after knowledge is complete and the link has gone quiet.")
+
+let max_ticks_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "max-ticks" ] ~docv:"K" ~doc:"Give up after this many activations.")
+
+let encoding_arg =
+  Arg.(
+    value
+    & opt encoding_conv Wire.Adaptive
+    & info [ "encoding" ] ~docv:"CODEC" ~doc:"Wire codec: raw32, varint, bitmap or adaptive.")
+
+let main listen peers algo seed neighbors tick_period idle_timeout max_ticks encoding =
+  let resolve acc addr =
+    match (acc, parse_addr addr) with
+    | Error e, _ -> Error e
+    | Ok acc, Ok a -> Ok (a :: acc)
+    | Ok _, Error e -> Error e
+  in
+  match List.fold_left resolve (Ok []) peers with
+  | Error msg -> `Error (false, msg)
+  | Ok rev_addrs -> (
+    let addrs = Array.of_list (List.rev rev_addrs) in
+    let n = Array.length addrs in
+    let table = Array.map addr_string addrs in
+    match Array.to_list table |> List.mapi (fun i a -> (i, a)) |> List.find_opt (fun (_, a) -> a = listen) with
+    | None -> `Error (false, Printf.sprintf "--listen %S does not appear in --peers" listen)
+    | Some (node, _) -> (
+      let neighbors =
+        match neighbors with
+        | Some ids -> Array.of_list ids
+        | None ->
+          if n = 1 then [||]
+          else Array.of_list (List.sort_uniq compare [ (node + 1) mod n; (node + n - 1) mod n ])
+      in
+      match Array.exists (fun v -> v < 0 || v >= n) neighbors with
+      | true -> `Error (false, "--neighbors: node id out of range")
+      | false ->
+        let report =
+          Node.run
+            {
+              Node.node;
+              n;
+              algo;
+              seed;
+              neighbors;
+              scheme = Transport.Table addrs;
+              listen_fd = None;
+              control_fd = None;
+              epoch = Unix.gettimeofday ();
+              tick_period;
+              idle_timeout;
+              max_ticks;
+              connect_retries = Node.default_connect_retries;
+              backoff = Node.default_backoff;
+              encoding;
+            }
+        in
+        let f = report.Node.final in
+        let completed = f.Control.complete_tick <> None in
+        Printf.printf
+          {|{"node":%d,"n":%d,"algorithm":"%s","seed":%d,"completed":%b,"complete_tick":%s,"ticks":%d,"sent":%d,"delivered":%d,"dropped":%d,"decode_errors":%d}|}
+          node n algo.Algorithm.name seed completed
+          (match f.Control.complete_tick with Some t -> string_of_int t | None -> "null")
+          f.Control.ticks f.Control.sent f.Control.delivered f.Control.dropped
+          f.Control.decode_errors;
+        print_newline ();
+        `Ok (if completed then 0 else 1)))
+
+let () =
+  let term =
+    Term.(
+      ret
+        (const main $ listen_arg $ peers_arg $ algo_arg $ seed_arg $ neighbors_arg $ tick_arg
+       $ idle_arg $ max_ticks_arg $ encoding_arg))
+  in
+  let info =
+    Cmd.info "discovery_node" ~version:"1.0.0"
+      ~doc:"Run one resource-discovery node as a live process over sockets."
+  in
+  exit
+    (match Cmd.eval_value (Cmd.v info term) with
+    | Ok (`Ok code) -> code
+    | Ok `Help | Ok `Version -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 125)

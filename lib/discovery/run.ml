@@ -1,8 +1,7 @@
-open Repro_util
 open Repro_graph
 open Repro_engine
 
-type completion = Strong | Survivors_strong | Leader | Quiescent
+type completion = Exec.completion = Strong | Survivors_strong | Leader | Quiescent
 
 type result = {
   algorithm : string;
@@ -20,49 +19,6 @@ type result = {
   metrics : Metrics.t;
   alive : bool array;
 }
-
-let strong_done instances ~alive n =
-  let ok = ref true in
-  let v = ref 0 in
-  while !ok && !v < n do
-    if alive !v && not (Knowledge.is_complete instances.(!v).Algorithm.knowledge) then ok := false;
-    incr v
-  done;
-  !ok
-
-let survivors_done instances ~alive n =
-  (* every alive node's knowledge must cover the alive set *)
-  let alive_set = Bitset.create n in
-  for v = 0 to n - 1 do
-    if alive v then ignore (Bitset.add alive_set v)
-  done;
-  let ok = ref true in
-  let v = ref 0 in
-  while !ok && !v < n do
-    if alive !v && not (Bitset.subset alive_set (Knowledge.contents instances.(!v).Algorithm.knowledge))
-    then ok := false;
-    incr v
-  done;
-  !ok
-
-let leader_done instances ~alive n ~labels =
-  (* candidate leader: the alive node with the globally smallest label *)
-  let leader = ref (-1) in
-  for v = 0 to n - 1 do
-    if alive v && (!leader < 0 || labels.(v) < labels.(!leader)) then leader := v
-  done;
-  if !leader < 0 then true
-  else if not (Knowledge.is_complete instances.(!leader).Algorithm.knowledge) then false
-  else begin
-    let ok = ref true in
-    let v = ref 0 in
-    while !ok && !v < n do
-      if alive !v && not (Knowledge.knows instances.(!v).Algorithm.knowledge !leader) then
-        ok := false;
-      incr v
-    done;
-    !ok
-  end
 
 type spec = {
   seed : int;
@@ -89,47 +45,14 @@ let exec_spec spec (algo : Algorithm.t) topology =
   let { seed; fault; completion; max_rounds; track_growth; encoding; trace } = spec in
   let n = Topology.n topology in
   let max_rounds = match max_rounds with Some m -> m | None -> (4 * n) + 64 in
-  let labels = Rng.permutation (Rng.substream ~seed ~index:0) n in
-  let instances =
-    Array.init n (fun node ->
-        let ctx =
-          {
-            Algorithm.n;
-            node;
-            neighbors = Topology.out_neighbors topology node;
-            labels;
-            rng = Rng.substream ~seed ~index:(node + 1);
-            params = Params.default;
-          }
-        in
-        algo.Algorithm.make ctx)
-  in
-  let handlers =
-    {
-      Sim.round_begin =
-        (fun ~node ~round ~send -> instances.(node).Algorithm.round ~round ~send);
-      deliver = (fun ~node ~src ~round:_ payload -> instances.(node).Algorithm.receive ~src payload);
-    }
-  in
+  let labels, instances = Exec.instances ~seed algo topology in
+  let handlers = Exec.handlers instances in
   (* Completion predicates quantify over alive nodes, so they could fire
      while scheduled joiners are still offline; gate them on the last
      join having happened. *)
-  let last_join =
-    List.fold_left (fun acc (_, round) -> max acc round) 0 (Fault.joining_nodes fault)
-  in
+  let last_join = Exec.last_join_round fault in
   let stop ~round ~alive =
-    round >= last_join
-    &&
-    match completion with
-    | Strong -> strong_done instances ~alive n
-    | Survivors_strong -> survivors_done instances ~alive n
-    | Leader -> leader_done instances ~alive n ~labels
-    | Quiescent ->
-      let ok = ref true in
-      Array.iteri
-        (fun v inst -> if alive v && not (inst.Algorithm.is_quiescent ()) then ok := false)
-        instances;
-      !ok
+    round >= last_join && Exec.satisfied completion ~labels ~instances ~alive
   in
   let growth = ref [] in
   let on_round_end ~round:_ =

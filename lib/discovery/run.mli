@@ -8,8 +8,10 @@
 open Repro_graph
 open Repro_engine
 
-(** When is an execution considered finished? *)
-type completion =
+(** When is an execution considered finished? (Alias of
+    {!Exec.completion}, the definition shared with the asynchronous and
+    live executors.) *)
+type completion = Exec.completion =
   | Strong
       (** every alive node knows all [n] nodes — the paper's "complete
           resource discovery" *)

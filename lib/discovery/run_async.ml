@@ -1,4 +1,3 @@
-open Repro_util
 open Repro_graph
 open Repro_engine
 
@@ -41,74 +40,11 @@ let exec_spec spec (algo : Algorithm.t) topology =
   let { seed; fault; completion; horizon; tick_jitter; latency; trace } = spec in
   let n = Topology.n topology in
   let horizon = match horizon with Some h -> h | None -> (4.0 *. float_of_int n) +. 64.0 in
-  let labels = Rng.permutation (Rng.substream ~seed ~index:0) n in
-  let instances =
-    Array.init n (fun node ->
-        let ctx =
-          {
-            Algorithm.n;
-            node;
-            neighbors = Topology.out_neighbors topology node;
-            labels;
-            rng = Rng.substream ~seed ~index:(node + 1);
-            params = Params.default;
-          }
-        in
-        algo.Algorithm.make ctx)
-  in
-  let handlers =
-    {
-      Sim.round_begin = (fun ~node ~round ~send -> instances.(node).Algorithm.round ~round ~send);
-      deliver = (fun ~node ~src ~round:_ payload -> instances.(node).Algorithm.receive ~src payload);
-    }
-  in
-  let last_join =
-    List.fold_left (fun acc (_, round) -> max acc (float_of_int round)) 0.0
-      (Fault.joining_nodes fault)
-  in
+  let labels, instances = Exec.instances ~seed algo topology in
+  let handlers = Exec.handlers instances in
+  let last_join = float_of_int (Exec.last_join_round fault) in
   let stop ~time ~alive =
-    time >= last_join
-    &&
-    match completion with
-    | Run.Strong ->
-      let ok = ref true in
-      Array.iteri
-        (fun v inst ->
-          if alive v && not (Knowledge.is_complete inst.Algorithm.knowledge) then ok := false)
-        instances;
-      !ok
-    | Run.Survivors_strong ->
-      let alive_set = Bitset.create n in
-      for v = 0 to n - 1 do
-        if alive v then ignore (Bitset.add alive_set v)
-      done;
-      let ok = ref true in
-      Array.iteri
-        (fun v inst ->
-          if alive v && not (Bitset.subset alive_set (Knowledge.contents inst.Algorithm.knowledge))
-          then ok := false)
-        instances;
-      !ok
-    | Run.Quiescent ->
-      let ok = ref true in
-      Array.iteri
-        (fun v inst -> if alive v && not (inst.Algorithm.is_quiescent ()) then ok := false)
-        instances;
-      !ok
-    | Run.Leader ->
-      let leader = ref (-1) in
-      for v = 0 to n - 1 do
-        if alive v && (!leader < 0 || labels.(v) < labels.(!leader)) then leader := v
-      done;
-      !leader < 0
-      || Knowledge.is_complete instances.(!leader).Algorithm.knowledge
-         &&
-         let ok = ref true in
-         for v = 0 to n - 1 do
-           if alive v && not (Knowledge.knows instances.(v).Algorithm.knowledge !leader) then
-             ok := false
-         done;
-         !ok
+    time >= last_join && Exec.satisfied completion ~labels ~instances ~alive
   in
   let lmin, lmax = latency in
   let config =

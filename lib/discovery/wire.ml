@@ -254,7 +254,13 @@ let encoded_size encoding ~universe payload =
     in
     2 + body
 
-let decode _encoding ~universe bytes =
+(* Decoding is defensive: the input may come off a socket, so every
+   malformed buffer — truncation, corruption, hostile lengths — must be
+   reported as [Error], never raised, and must never trigger a large
+   allocation (claimed element counts are validated against the bytes
+   actually present before any array is sized from them). The raising
+   internal form is wrapped once at the bottom. *)
+let decode_exn ~universe bytes =
   if Bytes.length bytes < 1 then invalid_arg "Wire.decode: empty message";
   let kind = Char.code (Bytes.get bytes 0) in
   if kind = 3 || kind = 4 then begin
@@ -262,6 +268,7 @@ let decode _encoding ~universe bytes =
     if kind = 3 then Payload.Probe else Payload.Halt
   end
   else begin
+    if kind > 2 then invalid_arg "Wire.decode: unknown message kind";
     if Bytes.length bytes < 2 then invalid_arg "Wire.decode: truncated header";
     let codec = Char.code (Bytes.get bytes 1) in
     let pos = ref 2 in
@@ -269,6 +276,10 @@ let decode _encoding ~universe bytes =
       match codec with
       | 0 ->
         let count = read_varint bytes pos in
+        (* exact-length check before sizing the array: a hostile count
+           cannot make us allocate more than the buffer itself implies *)
+        if count < 0 || count > (Bytes.length bytes - !pos) / 4 then
+          invalid_arg "Wire.decode: raw32 length mismatch";
         if Bytes.length bytes - !pos <> 4 * count then
           invalid_arg "Wire.decode: raw32 length mismatch";
         let out = Array.make count 0 in
@@ -280,12 +291,20 @@ let decode _encoding ~universe bytes =
         Payload.Ids out
       | 1 ->
         let count = read_varint bytes pos in
+        (* each gap varint is at least one byte, so a valid count never
+           exceeds the remaining length *)
+        if count < 0 || count > Bytes.length bytes - !pos then
+          invalid_arg "Wire.decode: varint count exceeds buffer";
         let out = Array.make count 0 in
         let prev = ref (-1) in
         for i = 0 to count - 1 do
           let gap = read_varint bytes pos in
-          out.(i) <- !prev + 1 + gap;
-          prev := out.(i)
+          let v = !prev + 1 + gap in
+          (* checked per element: gap-sum overflow would otherwise wrap
+             negative and slip past a final >= universe test *)
+          if v < 0 || v >= universe then invalid_arg "Wire.decode: identifier out of range";
+          out.(i) <- v;
+          prev := v
         done;
         if !pos <> Bytes.length bytes then invalid_arg "Wire.decode: trailing bytes";
         Payload.Ids out
@@ -297,11 +316,21 @@ let decode _encoding ~universe bytes =
           let byte = Char.code (Bytes.get bytes (2 + (v lsr 3))) in
           if byte land (1 lsl (v land 7)) <> 0 then ignore (Bitset.add bits v)
         done;
+        (* bits of the final partial byte beyond [universe) would be
+           silently dropped; reject them as corruption instead *)
+        if universe land 7 <> 0 then begin
+          let last = Char.code (Bytes.get bytes (Bytes.length bytes - 1)) in
+          if last lsr (universe land 7) <> 0 then
+            invalid_arg "Wire.decode: bitmap has bits beyond the universe"
+        end;
         Payload.Bits bits
       | _ -> invalid_arg "Wire.decode: unknown body codec"
     in
     (match data with
-    | Payload.Ids out -> Array.iter (fun v -> if v >= universe then invalid_arg "Wire.decode: identifier out of range") out
+    | Payload.Ids out ->
+      Array.iter
+        (fun v -> if v < 0 || v >= universe then invalid_arg "Wire.decode: identifier out of range")
+        out
     | Payload.Bits _ | Payload.Delta _ -> ());
     match kind with
     | 0 -> Payload.Share data
@@ -309,3 +338,9 @@ let decode _encoding ~universe bytes =
     | 2 -> Payload.Reply data
     | _ -> invalid_arg "Wire.decode: unknown message kind"
   end
+
+let decode _encoding ~universe bytes =
+  if universe < 0 then Error "Wire.decode: negative universe"
+  else match decode_exn ~universe bytes with
+    | payload -> Ok payload
+    | exception Invalid_argument msg -> Error msg

@@ -29,11 +29,17 @@ val encode : encoding -> universe:int -> Payload.t -> bytes
     bitmap width); identifiers must lie in [0, universe).
     @raise Invalid_argument on out-of-range identifiers. *)
 
-val decode : encoding -> universe:int -> bytes -> Payload.t
+val decode : encoding -> universe:int -> bytes -> (Payload.t, string) result
 (** Inverse of {!encode} (up to the set-of-identifiers semantics of the
     payload: identifier lists come back sorted and deduplicated, and a
     data payload may come back as [Bits] or [Ids] depending on the
-    codec). @raise Invalid_argument on malformed input. *)
+    codec). Total on arbitrary input: every malformed buffer —
+    truncated, corrupted, hostile length fields — is reported as
+    [Error], never an exception, and claimed element counts are
+    validated against the bytes actually present before any allocation
+    is sized from them (a 5-byte buffer cannot demand a billion-element
+    array). The network transport layer decodes socket input through
+    this function. *)
 
 val encoded_size : encoding -> universe:int -> Payload.t -> int
 (** [encoded_size e ~universe p] = [Bytes.length (encode e ~universe p)],

@@ -43,6 +43,15 @@ let record_send t ~pointers ~bytes =
 let record_delivery t = t.delivered <- t.delivered + 1
 let record_drop t = t.dropped <- t.dropped + 1
 
+let absorb t ~sent ~delivered ~dropped ~pointers ~bytes =
+  if sent < 0 || delivered < 0 || dropped < 0 || pointers < 0 || bytes < 0 then
+    invalid_arg "Metrics.absorb: negative totals";
+  t.sent <- t.sent + sent;
+  t.delivered <- t.delivered + delivered;
+  t.dropped <- t.dropped + dropped;
+  t.pointers <- t.pointers + pointers;
+  t.bytes <- t.bytes + bytes
+
 let rounds t = Intvec.length t.sent_per_round
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered

@@ -16,6 +16,13 @@ val record_send : t -> pointers:int -> bytes:int -> unit
 val record_delivery : t -> unit
 val record_drop : t -> unit
 
+val absorb : t -> sent:int -> delivered:int -> dropped:int -> pointers:int -> bytes:int -> unit
+(** Merge pre-aggregated totals into [t] without touching the per-round
+    series — how the cluster harness folds the counters its node
+    processes report into one run-level metrics value (live runs have no
+    global rounds, so the series stay empty).
+    @raise Invalid_argument on negative totals. *)
+
 (** {2 Totals} *)
 
 val rounds : t -> int

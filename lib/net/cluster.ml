@@ -1,0 +1,534 @@
+open Repro_util
+open Repro_graph
+open Repro_engine
+open Repro_discovery
+
+type spec = {
+  n : int;
+  algo : Algorithm.t;
+  family : Generate.family;
+  seed : int;
+  backend : Transport.backend;
+  tick_period : float;
+  timeout : float;
+  encoding : Wire.encoding;
+  dir : string option;
+  trace : Trace.sink;
+  check_invariants : bool;
+  kill_node : int option;
+}
+
+let default_spec algo =
+  {
+    n = 8;
+    algo;
+    family = Generate.K_out 3;
+    seed = 0;
+    backend = Transport.Uds;
+    tick_period = Node.default_tick_period;
+    timeout = 30.0;
+    encoding = Wire.Adaptive;
+    dir = None;
+    trace = Trace.null;
+    check_invariants = true;
+    kill_node = None;
+  }
+
+type node_outcome = Finished of Control.final | Crashed of string | Unresponsive
+
+type node_report = { id : int; outcome : node_outcome; completed : bool }
+
+type invariant_status = Passed of int | Failed of string | Skipped of string
+
+type result = {
+  algorithm : string;
+  family : string;
+  backend : Transport.backend;
+  n : int;
+  seed : int;
+  converged : bool;
+  wall_time : float;
+  events : int;
+  crashed : int list;
+  invariants : invariant_status;
+  nodes : node_report array;
+  totals : Control.final option;  (** aggregate, when every node reported *)
+}
+
+(* --- loopback: delegate to the async oracle ------------------------ *)
+
+let run_loopback (spec : spec) =
+  let topology =
+    Generate.build spec.family ~rng:(Rng.substream ~seed:spec.seed ~index:0x70b0) ~n:spec.n
+  in
+  let checker = if spec.check_invariants then Some (Trace.Invariants.create ()) else None in
+  let trace =
+    match checker with
+    | None -> spec.trace
+    | Some inv -> Trace.tee (Trace.Invariants.sink inv) spec.trace
+  in
+  let run_spec = { Run_async.default_spec with seed = spec.seed; trace } in
+  let sim, finals = Loopback.exec_spec run_spec spec.algo topology in
+  let invariants =
+    match checker with
+    | None -> Skipped "disabled"
+    | Some inv -> (
+      match Trace.Invariants.final_check inv sim.Run_async.metrics with
+      | () -> Passed (Trace.Invariants.events_seen inv)
+      | exception Trace.Invariants.Violation msg -> Failed msg)
+  in
+  let totals =
+    Array.fold_left
+      (fun (acc : Control.final) (f : Control.final) ->
+        {
+          acc with
+          ticks = acc.ticks + f.ticks;
+          sent = acc.sent + f.sent;
+          delivered = acc.delivered + f.delivered;
+          dropped = acc.dropped + f.dropped;
+          pointers = acc.pointers + f.pointers;
+          bytes = acc.bytes + f.bytes;
+        })
+      {
+        Control.ticks = 0;
+        sent = 0;
+        delivered = 0;
+        dropped = 0;
+        pointers = 0;
+        bytes = 0;
+        complete_tick = None;
+        decode_errors = 0;
+      }
+      finals
+  in
+  {
+    algorithm = spec.algo.Algorithm.name;
+    family = Generate.family_name spec.family;
+    backend = Transport.Loopback;
+    n = spec.n;
+    seed = spec.seed;
+    converged = sim.Run_async.completed;
+    wall_time = sim.Run_async.time;
+    events = (match checker with Some inv -> Trace.Invariants.events_seen inv | None -> 0);
+    crashed = [];
+    invariants;
+    nodes =
+      Array.mapi
+        (fun id f -> { id; outcome = Finished f; completed = sim.Run_async.completed })
+        finals;
+    totals = Some totals;
+  }
+
+(* --- socket backends: one forked process per node ------------------ *)
+
+type child = {
+  id : int;
+  pid : int;
+  fd : Unix.file_descr;  (* parent side of the control socketpair *)
+  buf : Buffer.t;  (* partial control line *)
+  mutable events : (float * Trace.event) list;  (* newest first *)
+  mutable completed : bool;
+  mutable final : Control.final option;
+  mutable eof : bool;
+  mutable exit_status : Unix.process_status option;
+  mutable killed : bool;  (* sabotaged / force-killed by the harness *)
+}
+
+let event_rank (ev : Trace.event) =
+  match ev with
+  | Trace.Join _ -> 0
+  | Trace.Crash _ -> 1
+  | Trace.Round_begin _ | Trace.Tick _ -> 2
+  | Trace.Send _ -> 3
+  | Trace.Deliver _ -> 4
+  | Trace.Drop _ -> 5
+  | Trace.Complete | Trace.Give_up -> 6
+
+let handle_line child line =
+  match Control.parse line with
+  | Error _ -> ()  (* tolerate garbage: a crashing child may truncate a line *)
+  | Ok (Control.Event (time, ev)) -> child.events <- (time, ev) :: child.events
+  | Ok (Control.Completed (_, _)) -> child.completed <- true
+  | Ok (Control.Final f) -> child.final <- Some f
+
+let drain_child child =
+  let buf = Bytes.create 4096 in
+  let reading = ref true in
+  while !reading do
+    match Unix.read child.fd buf 0 4096 with
+    | 0 ->
+      child.eof <- true;
+      reading := false
+    | k ->
+      for i = 0 to k - 1 do
+        let c = Bytes.get buf i in
+        if c = '\n' then begin
+          handle_line child (Buffer.contents child.buf);
+          Buffer.clear child.buf
+        end
+        else Buffer.add_char child.buf c
+      done
+    | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) -> reading := false
+    | exception Unix.Unix_error _ ->
+      child.eof <- true;
+      reading := false
+  done
+
+let status_string = function
+  | Unix.WEXITED 0 -> "exit 0"
+  | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+
+let signal_all children signal =
+  Array.iter
+    (fun c ->
+      if c.exit_status = None then begin
+        c.killed <- c.killed || signal = Sys.sigkill;
+        try Unix.kill c.pid signal with Unix.Unix_error _ -> ()
+      end)
+    children
+
+let run_sockets (spec : spec) =
+  if spec.n < 1 then invalid_arg "Cluster.run: n must be positive";
+  (match spec.kill_node with
+  | Some v when v < 0 || v >= spec.n -> invalid_arg "Cluster.run: kill_node out of range"
+  | _ -> ());
+  (* writes to a crashed child's control socket must surface as EPIPE,
+     not kill the harness *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+  let topology =
+    Generate.build spec.family ~rng:(Rng.substream ~seed:spec.seed ~index:0x70b0) ~n:spec.n
+  in
+  (* the id→address map: a socket directory for UDS, a port table for
+     TCP (bound to port 0 now, real ports read back before any fork) *)
+  let cleanup_dir = ref None in
+  let scheme =
+    match spec.backend with
+    | Transport.Uds ->
+      let dir =
+        match spec.dir with
+        | Some d -> d
+        | None ->
+          (* /tmp, not cwd: sun_path is 108 bytes and sandboxed cwds are long *)
+          let d = Filename.temp_dir ~temp_dir:"/tmp" "discovery-" ".cluster" in
+          cleanup_dir := Some d;
+          d
+      in
+      Transport.Dir dir
+    | Transport.Tcp -> Transport.Ports (Array.make spec.n 0)
+    | Transport.Loopback -> assert false
+  in
+  let listeners = Array.init spec.n (fun v -> Transport.listen_socket scheme v) in
+  (match scheme with
+  | Transport.Ports ports -> Array.iteri (fun v fd -> ports.(v) <- Transport.bound_port fd) listeners
+  | Transport.Dir _ | Transport.Table _ -> ());
+  let pairs =
+    Array.init spec.n (fun _ -> Unix.socketpair ~cloexec:false Unix.PF_UNIX Unix.SOCK_STREAM 0)
+  in
+  let epoch = Unix.gettimeofday () in
+  let max_ticks = int_of_float (spec.timeout /. spec.tick_period) + 16 in
+  (* buffered output must not be duplicated into every child *)
+  flush stdout;
+  flush stderr;
+  let spawn v =
+    match Unix.fork () with
+    | 0 ->
+      let code =
+        try
+          let parent_of (p, _) = p and child_of (_, c) = c in
+          Array.iter (fun pair -> Unix.close (parent_of pair)) pairs;
+          Array.iteri (fun u pair -> if u <> v then Unix.close (child_of pair)) pairs;
+          Array.iteri (fun u fd -> if u <> v then Unix.close fd) listeners;
+          let report =
+            Node.run
+              {
+                Node.node = v;
+                n = spec.n;
+                algo = spec.algo;
+                seed = spec.seed;
+                neighbors = Topology.out_neighbors topology v;
+                scheme;
+                listen_fd = Some listeners.(v);
+                control_fd = Some (child_of pairs.(v));
+                epoch;
+                tick_period = spec.tick_period;
+                idle_timeout = Node.default_idle_timeout;
+                max_ticks;
+                connect_retries = Node.default_connect_retries;
+                backoff = Node.default_backoff;
+                encoding = spec.encoding;
+              }
+          in
+          ignore report;
+          0
+        with _ -> 70
+      in
+      (* the child shares the parent's runtime state: exit without
+         flushing inherited channels or running at_exit handlers *)
+      Unix._exit code
+    | pid ->
+      {
+        id = v;
+        pid;
+        fd = fst pairs.(v);
+        buf = Buffer.create 256;
+        events = [];
+        completed = false;
+        final = None;
+        eof = false;
+        exit_status = None;
+        killed = false;
+      }
+  in
+  let children = Array.init spec.n spawn in
+  Array.iter (fun (_, child_fd) -> try Unix.close child_fd with Unix.Unix_error _ -> ()) pairs;
+  Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  Array.iter (fun c -> Unix.set_nonblock c.fd) children;
+  (* sabotage: kill one node outright to exercise the failure path *)
+  (match spec.kill_node with
+  | Some v ->
+    children.(v).killed <- true;
+    (try Unix.kill children.(v).pid Sys.sigkill with Unix.Unix_error _ -> ())
+  | None -> ());
+  let start = Unix.gettimeofday () in
+  let deadline = start +. spec.timeout in
+  let crash_events = ref [] in
+  let halt_sent = ref false in
+  let grace_deadline = ref infinity in
+  let term_deadline = ref infinity in
+  let timed_out = ref false in
+  let broadcast_halt () =
+    if not !halt_sent then begin
+      halt_sent := true;
+      grace_deadline := Unix.gettimeofday () +. 2.0;
+      term_deadline := !grace_deadline +. 0.5;
+      let line = Bytes.of_string Control.halt_line in
+      Array.iter
+        (fun c ->
+          if not c.eof then
+            try ignore (Unix.write c.fd line 0 (Bytes.length line)) with Unix.Unix_error _ -> ())
+        children
+    end
+  in
+  let crashed_child c =
+    match c.exit_status with
+    | Some (Unix.WEXITED 0) -> false
+    | Some _ -> true
+    | None -> false
+  in
+  let all_reaped () = Array.for_all (fun c -> c.exit_status <> None) children in
+  let all_eof () = Array.for_all (fun c -> c.eof) children in
+  while not (all_reaped () && all_eof ()) do
+    let now = Unix.gettimeofday () in
+    (* reap exits; a non-zero status is a crash (unless we killed it
+       ourselves during sabotage/teardown, which is still a crash from
+       the protocol's point of view but not a surprise) *)
+    Array.iter
+      (fun c ->
+        if c.exit_status = None then
+          match Unix.waitpid [ Unix.WNOHANG ] c.pid with
+          | 0, _ -> ()
+          | _, status ->
+            c.exit_status <- Some status;
+            if crashed_child c then
+              crash_events :=
+                (Unix.gettimeofday () -. epoch, Trace.Crash { node = c.id }) :: !crash_events
+          | exception Unix.Unix_error (ECHILD, _, _) -> c.exit_status <- Some (Unix.WEXITED 0))
+      children;
+    let converged_now = Array.for_all (fun c -> c.completed) children in
+    let any_crash = Array.exists crashed_child children in
+    (* convergence → graceful halt; a crash makes convergence impossible
+       (the dead node can never announce), so halt survivors immediately *)
+    if (not !halt_sent) && (converged_now || any_crash) then broadcast_halt ();
+    if (not !halt_sent) && now >= deadline then begin
+      timed_out := true;
+      broadcast_halt ()
+    end;
+    if !halt_sent && now >= !grace_deadline && not (all_reaped ()) then
+      signal_all children Sys.sigterm;
+    if !halt_sent && now >= !term_deadline && not (all_reaped ()) then
+      signal_all children Sys.sigkill;
+    let rfds =
+      Array.to_list children
+      |> List.filter_map (fun c -> if c.eof then None else Some c.fd)
+    in
+    if rfds = [] then (
+      if not (all_reaped ()) then ignore (Unix.select [] [] [] 0.02))
+    else begin
+      let readable, _, _ =
+        try Unix.select rfds [] [] 0.05 with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+      in
+      Array.iter (fun c -> if List.mem c.fd readable then drain_child c) children
+    end
+  done;
+  let wall_time = Unix.gettimeofday () -. start in
+  Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) children;
+  (match !cleanup_dir with
+  | Some dir ->
+    for v = 0 to spec.n - 1 do
+      try Unix.unlink (Transport.socket_path dir v) with Unix.Unix_error _ -> ()
+    done;
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  | None -> ());
+  let converged = Array.for_all (fun c -> c.completed) children && not !timed_out in
+  let crashed =
+    Array.to_list children |> List.filter crashed_child |> List.map (fun c -> c.id)
+  in
+  (* merge the per-node streams into one time-ordered trace; stable sort
+     keeps each node's own order for equal (time, rank) keys *)
+  let merged =
+    Array.to_list children
+    |> List.concat_map (fun c -> List.rev c.events)
+    |> List.append (List.rev !crash_events)
+    |> List.stable_sort (fun (t1, e1) (t2, e2) ->
+           match compare (t1 : float) t2 with
+           | 0 -> compare (event_rank e1) (event_rank e2)
+           | c -> c)
+  in
+  let terminal = if converged then Trace.Complete else Trace.Give_up in
+  let checker = if spec.check_invariants then Some (Trace.Invariants.create ()) else None in
+  let check_failure = ref None in
+  let emit_checked ev =
+    (match checker with
+    | Some inv when !check_failure = None -> (
+      try Trace.emit (Trace.Invariants.sink inv) ev
+      with Trace.Invariants.Violation msg -> check_failure := Some msg)
+    | _ -> ());
+    Trace.emit spec.trace ev
+  in
+  List.iter (fun (_, ev) -> emit_checked ev) merged;
+  emit_checked terminal;
+  Trace.flush spec.trace;
+  let totals =
+    if Array.for_all (fun c -> c.final <> None) children then
+      Some
+        (Array.fold_left
+           (fun (acc : Control.final) c ->
+             let f = Option.get c.final in
+             {
+               Control.ticks = acc.ticks + f.ticks;
+               sent = acc.sent + f.sent;
+               delivered = acc.delivered + f.delivered;
+               dropped = acc.dropped + f.dropped;
+               pointers = acc.pointers + f.pointers;
+               bytes = acc.bytes + f.bytes;
+               complete_tick = None;
+               decode_errors = acc.decode_errors + f.decode_errors;
+             })
+           {
+             Control.ticks = 0;
+             sent = 0;
+             delivered = 0;
+             dropped = 0;
+             pointers = 0;
+             bytes = 0;
+             complete_tick = None;
+             decode_errors = 0;
+           }
+           children)
+    else None
+  in
+  let invariants =
+    match (checker, !check_failure) with
+    | None, _ -> Skipped "disabled"
+    | Some _, Some msg -> Failed msg
+    | Some inv, None -> (
+      match (crashed, totals) with
+      | [], Some t -> (
+        (* end-to-end agreement between the merged trace and the nodes'
+           own counters, via the same final_check the engines use *)
+        let metrics = Metrics.create () in
+        Metrics.absorb metrics ~sent:t.Control.sent ~delivered:t.Control.delivered
+          ~dropped:t.Control.dropped ~pointers:t.Control.pointers ~bytes:t.Control.bytes;
+        match Trace.Invariants.final_check inv metrics with
+        | () -> Passed (Trace.Invariants.events_seen inv)
+        | exception Trace.Invariants.Violation msg -> Failed msg)
+      | _ :: _, _ -> Skipped "crashed nodes: totals are partial"
+      | [], None -> Skipped "missing final reports")
+  in
+  let nodes =
+    Array.map
+      (fun c ->
+        let outcome =
+          match (c.final, c.exit_status) with
+          | Some f, Some (Unix.WEXITED 0) -> Finished f
+          | _, Some (Unix.WEXITED 0) -> Unresponsive
+          | _, Some status -> Crashed (status_string status)
+          | _, None -> Unresponsive
+        in
+        { id = c.id; outcome; completed = c.completed })
+      children
+  in
+  {
+    algorithm = spec.algo.Algorithm.name;
+    family = Generate.family_name spec.family;
+    backend = spec.backend;
+    n = spec.n;
+    seed = spec.seed;
+    converged;
+    wall_time;
+    events = List.length merged + 1;
+    crashed;
+    invariants;
+    nodes;
+    totals;
+  }
+
+let run (spec : spec) =
+  match spec.backend with
+  | Transport.Loopback ->
+    if spec.kill_node <> None then
+      invalid_arg "Cluster.run: kill_node requires a socket backend (uds|tcp)";
+    run_loopback spec
+  | Transport.Uds | Transport.Tcp -> run_sockets spec
+
+(* --- JSON report ---------------------------------------------------- *)
+
+let json_final (f : Control.final) =
+  Printf.sprintf
+    {|{"ticks":%d,"sent":%d,"delivered":%d,"dropped":%d,"pointers":%d,"bytes":%d,"complete_tick":%s,"decode_errors":%d}|}
+    f.Control.ticks f.Control.sent f.Control.delivered f.Control.dropped f.Control.pointers
+    f.Control.bytes
+    (match f.Control.complete_tick with Some t -> string_of_int t | None -> "null")
+    f.Control.decode_errors
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let result_to_json r =
+  let node_json nr =
+    let outcome, detail =
+      match nr.outcome with
+      | Finished f -> ("finished", json_final f)
+      | Crashed s -> ("crashed", Printf.sprintf {|"%s"|} (json_escape s))
+      | Unresponsive -> ("unresponsive", "null")
+    in
+    Printf.sprintf {|{"id":%d,"outcome":"%s","completed":%b,"detail":%s}|} nr.id outcome
+      nr.completed detail
+  in
+  let invariants =
+    match r.invariants with
+    | Passed k -> Printf.sprintf {|{"status":"passed","events":%d}|} k
+    | Failed msg -> Printf.sprintf {|{"status":"failed","reason":"%s"}|} (json_escape msg)
+    | Skipped why -> Printf.sprintf {|{"status":"skipped","reason":"%s"}|} (json_escape why)
+  in
+  Printf.sprintf
+    {|{"algorithm":"%s","family":"%s","transport":"%s","n":%d,"seed":%d,"converged":%b,"wall_time":%.6f,"events":%d,"crashed":[%s],"invariants":%s,"totals":%s,"nodes":[%s]}|}
+    (json_escape r.algorithm) (json_escape r.family)
+    (Transport.backend_name r.backend)
+    r.n r.seed r.converged r.wall_time r.events
+    (String.concat "," (List.map string_of_int r.crashed))
+    invariants
+    (match r.totals with Some t -> json_final t | None -> "null")
+    (String.concat "," (Array.to_list (Array.map node_json r.nodes)))

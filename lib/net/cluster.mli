@@ -1,0 +1,87 @@
+(** Multi-process cluster harness.
+
+    Runs one discovery algorithm over [n] live node processes and
+    reports whether the deployment converged (every node learned all [n]
+    identifiers). The harness owns the whole lifecycle:
+
+    - builds the topology from [(family, seed)] exactly as the
+      simulators do (same RNG substream), so a cluster run is comparable
+      to a simulated run of the same parameters;
+    - binds {e every} node's listening socket before forking — children
+      inherit their listener, so there is no connect-before-listen
+      startup race and, for TCP, no port collision (listeners bind port
+      0 and the kernel-assigned ports are read back into the address
+      map pre-fork);
+    - forks one child per node, each connected by a control socketpair
+      ({!Control} protocol) over which it streams trace events,
+      completion announcements and its final counters;
+    - declares convergence when every child has announced completion,
+      then halts them gracefully; a child that dies early (crash, or
+      {!spec.kill_node} sabotage) is detected by [waitpid], reported as
+      crashed — never hung — and the survivors are halted; unresponsive
+      children are escalated SIGTERM → SIGKILL so teardown always
+      finishes within the grace window;
+    - merges the per-node event streams into one time-ordered trace,
+      feeds it to [spec.trace] and (healthy runs) to the online
+      {!Repro_engine.Trace.Invariants} checker, closing with the same
+      [final_check] totals-agreement the engines use.
+
+    The [Loopback] backend short-circuits all of this to
+    {!Loopback.exec_spec}: in-process, deterministic, trace-identical to
+    {!Repro_discovery.Run_async}. *)
+
+open Repro_graph
+open Repro_engine
+open Repro_discovery
+
+type spec = {
+  n : int;
+  algo : Algorithm.t;
+  family : Generate.family;
+  seed : int;
+  backend : Transport.backend;
+  tick_period : float;
+  timeout : float;  (** overall wall-clock budget; exceeding it = non-convergence *)
+  encoding : Wire.encoding;
+  dir : string option;  (** UDS socket directory; default: fresh dir under /tmp *)
+  trace : Trace.sink;  (** receives the merged, time-ordered event stream *)
+  check_invariants : bool;
+  kill_node : int option;
+      (** sabotage: SIGKILL this node right after spawn (socket backends only) *)
+}
+
+val default_spec : Algorithm.t -> spec
+
+type node_outcome =
+  | Finished of Control.final  (** exited 0 with a final report *)
+  | Crashed of string  (** non-zero exit or signal (description) *)
+  | Unresponsive  (** exited 0 but never delivered a final report *)
+
+type node_report = { id : int; outcome : node_outcome; completed : bool }
+
+type invariant_status = Passed of int  (** events checked *) | Failed of string | Skipped of string
+
+type result = {
+  algorithm : string;
+  family : string;
+  backend : Transport.backend;
+  n : int;
+  seed : int;
+  converged : bool;
+  wall_time : float;  (** seconds (loopback: simulated time) *)
+  events : int;
+  crashed : int list;
+  invariants : invariant_status;
+  nodes : node_report array;
+  totals : Control.final option;  (** aggregate, when every node reported *)
+}
+
+val run : spec -> result
+(** Execute the cluster and tear everything down before returning: all
+    children reaped, control sockets closed, any harness-created UDS
+    directory removed.
+    @raise Invalid_argument on a nonsensical spec ([n < 1], [kill_node]
+    out of range or combined with the loopback backend). *)
+
+val result_to_json : result -> string
+(** One-line JSON report (stable field order, no trailing newline). *)

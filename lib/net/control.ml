@@ -1,0 +1,104 @@
+open Repro_engine
+
+type final = {
+  ticks : int;
+  sent : int;
+  delivered : int;
+  dropped : int;
+  pointers : int;
+  bytes : int;
+  complete_tick : int option;
+  decode_errors : int;
+}
+
+type msg = Event of float * Trace.event | Completed of float * int | Final of final
+
+(* Times are printed with the same "%.12g" convention as the trace JSON
+   so a re-serialised merged stream is byte-stable. *)
+let time_str t = Printf.sprintf "%.12g" t
+
+let event_line ~time (ev : Trace.event) =
+  let body =
+    match ev with
+    | Trace.Tick { node; count; _ } -> Printf.sprintf "tick %d %d" node count
+    | Trace.Send { src; dst; pointers; bytes } ->
+      Printf.sprintf "send %d %d %d %d" src dst pointers bytes
+    | Trace.Deliver { src; dst } -> Printf.sprintf "deliver %d %d" src dst
+    | Trace.Drop { src; dst; reason } ->
+      Printf.sprintf "drop %d %d %s" src dst (Trace.drop_reason_name reason)
+    | Trace.Join { node } -> Printf.sprintf "join %d" node
+    | Trace.Crash { node } -> Printf.sprintf "crash %d" node
+    | Trace.Complete -> "complete"
+    | Trace.Give_up -> "give_up"
+    | Trace.Round_begin { round } -> Printf.sprintf "round_begin %d" round
+  in
+  Printf.sprintf "E %s %s\n" (time_str time) body
+
+let completed_line ~time ~tick = Printf.sprintf "C %s %d\n" (time_str time) tick
+
+let final_line f =
+  Printf.sprintf "F %d %d %d %d %d %d %d %d\n" f.ticks f.sent f.delivered f.dropped f.pointers
+    f.bytes
+    (match f.complete_tick with Some t -> t | None -> -1)
+    f.decode_errors
+
+let halt_line = "H\n"
+
+let parse_event ~time = function
+  | [ "tick"; node; count ] ->
+    Ok (Trace.Tick { node = int_of_string node; time; count = int_of_string count })
+  | [ "send"; src; dst; pointers; bytes ] ->
+    Ok
+      (Trace.Send
+         {
+           src = int_of_string src;
+           dst = int_of_string dst;
+           pointers = int_of_string pointers;
+           bytes = int_of_string bytes;
+         })
+  | [ "deliver"; src; dst ] -> Ok (Trace.Deliver { src = int_of_string src; dst = int_of_string dst })
+  | [ "drop"; src; dst; reason ] ->
+    let reason =
+      match reason with
+      | "loss" -> Trace.Loss
+      | "dead_dst" -> Trace.Dead_dst
+      | _ -> Trace.Unjoined_dst
+    in
+    Ok (Trace.Drop { src = int_of_string src; dst = int_of_string dst; reason })
+  | [ "join"; node ] -> Ok (Trace.Join { node = int_of_string node })
+  | [ "crash"; node ] -> Ok (Trace.Crash { node = int_of_string node })
+  | [ "complete" ] -> Ok Trace.Complete
+  | [ "give_up" ] -> Ok Trace.Give_up
+  | [ "round_begin"; round ] -> Ok (Trace.Round_begin { round = int_of_string round })
+  | words -> Error (Printf.sprintf "unknown event %S" (String.concat " " words))
+
+let parse line =
+  let fail () = Error (Printf.sprintf "malformed control line %S" line) in
+  match String.split_on_char ' ' (String.trim line) with
+  | "E" :: time :: rest -> (
+    match float_of_string_opt time with
+    | None -> fail ()
+    | Some t -> (
+      try Result.map (fun ev -> Event (t, ev)) (parse_event ~time:t rest)
+      with Failure _ -> fail ()))
+  | [ "C"; time; tick ] -> (
+    match (float_of_string_opt time, int_of_string_opt tick) with
+    | Some t, Some k -> Ok (Completed (t, k))
+    | _ -> fail ())
+  | [ "F"; ticks; sent; delivered; dropped; pointers; bytes; complete_tick; decode_errors ] -> (
+    try
+      let i = int_of_string in
+      Ok
+        (Final
+           {
+             ticks = i ticks;
+             sent = i sent;
+             delivered = i delivered;
+             dropped = i dropped;
+             pointers = i pointers;
+             bytes = i bytes;
+             complete_tick = (if i complete_tick < 0 then None else Some (i complete_tick));
+             decode_errors = i decode_errors;
+           })
+    with Failure _ -> fail ())
+  | _ -> fail ()

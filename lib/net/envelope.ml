@@ -1,0 +1,114 @@
+(* Framed message envelope for the socket transports. Layout (all
+   multi-byte fields little-endian):
+
+     offset  size  field
+     0       2     magic "RD"
+     2       1     version (currently 1)
+     3       1     reserved (must be 0)
+     4       4     src node id
+     8       4     stamp (sender's tick count when the message left)
+     12      4     body length
+     16      4     CRC-32 (IEEE) of bytes [0, 16) ++ body
+     20      ...   body ([Wire]-encoded payload)
+
+   The header carries its own integrity evidence: magic + version gate
+   resynchronisation bugs, the length field is bounded before any
+   allocation, and the CRC — seeded over the first 16 header bytes and
+   continued over the body — catches corruption of the addressing
+   fields as well as the payload. *)
+
+let magic0 = 'R'
+let magic1 = 'D'
+let version = 1
+let header_size = 20
+
+(* generous per-message bound: a bitmap body for n = 2^24 nodes is 2 MiB *)
+let max_body = 16 * 1024 * 1024
+
+type t = { src : int; stamp : int; body : bytes }
+
+(* --- CRC-32 (IEEE 802.3), table-driven --- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref i in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc_init = 0xFFFFFFFF
+
+let crc_update c buf off len =
+  let table = Lazy.force crc_table in
+  let c = ref c in
+  for i = off to off + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get buf i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c
+
+let crc_finish c = c lxor 0xFFFFFFFF
+let crc32 buf off len = crc_finish (crc_update crc_init buf off len)
+
+(* --- little-endian u32 helpers --- *)
+
+let put_u32 buf off v =
+  Bytes.unsafe_set buf off (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set buf (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set buf (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set buf (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+
+let get_u32 buf off =
+  Char.code (Bytes.unsafe_get buf off)
+  lor (Char.code (Bytes.unsafe_get buf (off + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get buf (off + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get buf (off + 3)) lsl 24)
+
+let encoded_size t = header_size + Bytes.length t.body
+
+let encode t =
+  if t.src < 0 || t.src > 0x7FFFFFFF then invalid_arg "Envelope.encode: src out of range";
+  if t.stamp < 0 || t.stamp > 0x7FFFFFFF then invalid_arg "Envelope.encode: stamp out of range";
+  let blen = Bytes.length t.body in
+  if blen > max_body then invalid_arg "Envelope.encode: body too large";
+  let out = Bytes.create (header_size + blen) in
+  Bytes.set out 0 magic0;
+  Bytes.set out 1 magic1;
+  Bytes.set out 2 (Char.chr version);
+  Bytes.set out 3 '\000';
+  put_u32 out 4 t.src;
+  put_u32 out 8 t.stamp;
+  put_u32 out 12 blen;
+  Bytes.blit t.body 0 out header_size blen;
+  (* CRC spans the 16 addressing bytes plus the body (the CRC field
+     itself is excluded) *)
+  put_u32 out 16 (crc_finish (crc_update (crc_update crc_init out 0 16) t.body 0 blen));
+  out
+
+let decode buf ~off ~len =
+  if len < header_size then `Need_more
+  else if Bytes.get buf off <> magic0 || Bytes.get buf (off + 1) <> magic1 then
+    `Corrupt "bad magic"
+  else if Char.code (Bytes.get buf (off + 2)) <> version then
+    `Corrupt
+      (Printf.sprintf "unsupported envelope version %d (this build speaks %d)"
+         (Char.code (Bytes.get buf (off + 2)))
+         version)
+  else if Bytes.get buf (off + 3) <> '\000' then `Corrupt "nonzero reserved byte"
+  else begin
+    let src = get_u32 buf (off + 4) in
+    let stamp = get_u32 buf (off + 8) in
+    let blen = get_u32 buf (off + 12) in
+    if blen < 0 || blen > max_body then `Corrupt (Printf.sprintf "body length %d out of bounds" blen)
+    else if len < header_size + blen then `Need_more
+    else begin
+      let crc = get_u32 buf (off + 16) in
+      let actual =
+        crc_finish (crc_update (crc_update crc_init buf off 16) buf (off + header_size) blen)
+      in
+      if crc <> actual then `Corrupt "CRC mismatch"
+      else
+        `Frame ({ src; stamp; body = Bytes.sub buf (off + header_size) blen }, header_size + blen)
+    end
+  end

@@ -1,0 +1,44 @@
+(** Length-prefixed wire envelope for the socket transports.
+
+    The {!Repro_discovery.Wire} codecs serialise a payload's identifier
+    set; a live byte stream additionally needs framing and integrity.
+    Every message on a UDS/TCP connection travels as one envelope:
+    a 20-byte header — magic, version, sender node id, the sender's tick
+    stamp, body length, CRC-32 covering the addressing header and the
+    body — followed by the [Wire]-encoded payload body.
+
+    Decoding is incremental (a TCP read may deliver half a frame) and
+    defensive: truncation is [`Need_more], while corruption — bad magic,
+    unknown version, out-of-bounds length, CRC mismatch — is [`Corrupt]
+    with a reason, and a hostile length field is bounded {e before} any
+    allocation depends on it. *)
+
+type t = {
+  src : int;  (** sender's node id *)
+  stamp : int;  (** sender's tick count when the message was sent *)
+  body : bytes;  (** [Wire]-encoded payload *)
+}
+
+val header_size : int
+(** 20 bytes. *)
+
+val max_body : int
+(** Upper bound on [Bytes.length body] accepted by both directions. *)
+
+val encoded_size : t -> int
+(** [header_size + length body]. *)
+
+val encode : t -> bytes
+(** @raise Invalid_argument on a negative/overflowing [src] or [stamp],
+    or a body larger than {!max_body}. *)
+
+val decode : bytes -> off:int -> len:int -> [ `Frame of t * int | `Need_more | `Corrupt of string ]
+(** [decode buf ~off ~len] inspects the [len] bytes at [off].
+    [`Frame (env, consumed)] hands back one complete envelope and how
+    many bytes it occupied; [`Need_more] means the buffer holds only a
+    frame prefix; [`Corrupt] means the stream can no longer be trusted
+    (the connection should be dropped — there is no resynchronisation). *)
+
+val crc32 : bytes -> int -> int -> int
+(** [crc32 buf off len]: CRC-32 (IEEE) of a byte range — exposed for
+    tests. *)

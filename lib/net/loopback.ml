@@ -1,0 +1,42 @@
+open Repro_graph
+open Repro_engine
+open Repro_discovery
+
+(* Per-node tallies are reconstructed from the trace stream with a
+   callback sink teed in front of the caller's sink, so enabling them
+   cannot perturb the run (tracing is observational by contract). *)
+let exec_spec (spec : Run_async.spec) (algo : Algorithm.t) topology =
+  let n = Topology.n topology in
+  let ticks = Array.make n 0 in
+  let sent = Array.make n 0 in
+  let delivered = Array.make n 0 in
+  let dropped = Array.make n 0 in
+  let pointers = Array.make n 0 in
+  let bytes = Array.make n 0 in
+  let tally (ev : Trace.event) =
+    match ev with
+    | Trace.Tick { node; _ } -> ticks.(node) <- ticks.(node) + 1
+    | Trace.Send { src; pointers = p; bytes = b; _ } ->
+      sent.(src) <- sent.(src) + 1;
+      pointers.(src) <- pointers.(src) + p;
+      bytes.(src) <- bytes.(src) + b
+    | Trace.Deliver { dst; _ } -> delivered.(dst) <- delivered.(dst) + 1
+    | Trace.Drop { src; _ } -> dropped.(src) <- dropped.(src) + 1
+    | Trace.Round_begin _ | Trace.Crash _ | Trace.Join _ | Trace.Complete | Trace.Give_up -> ()
+  in
+  let spec = { spec with Run_async.trace = Trace.tee (Trace.callback tally) spec.Run_async.trace } in
+  let result = Run_async.exec_spec spec algo topology in
+  let reports =
+    Array.init n (fun v ->
+        {
+          Control.ticks = ticks.(v);
+          sent = sent.(v);
+          delivered = delivered.(v);
+          dropped = dropped.(v);
+          pointers = pointers.(v);
+          bytes = bytes.(v);
+          complete_tick = None;
+          decode_errors = 0;
+        })
+  in
+  (result, reports)

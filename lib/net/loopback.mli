@@ -1,0 +1,17 @@
+(** In-process deterministic backend.
+
+    Scheduling delegates wholesale to {!Repro_engine.Async_sim} through
+    the shared {!Repro_discovery.Exec} plumbing, so a loopback "cluster"
+    run is trace-identical — byte for byte under [trace-diff] — to the
+    simulator run with the same (algorithm, topology, spec, seed). The
+    only addition is a per-node tally pass over the event stream, which
+    is observational and cannot perturb the execution. *)
+
+open Repro_graph
+open Repro_discovery
+
+val exec_spec :
+  Run_async.spec -> Algorithm.t -> Topology.t -> Run_async.result * Control.final array
+(** Run under the async oracle; also return per-node counters in the
+    same shape the socket backends report ([complete_tick] and
+    [decode_errors] are not applicable in-process and read [None]/[0]). *)

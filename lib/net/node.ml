@@ -1,0 +1,423 @@
+open Repro_engine
+open Repro_discovery
+
+type config = {
+  node : int;
+  n : int;
+  algo : Algorithm.t;
+  seed : int;
+  neighbors : int array;
+  scheme : Transport.scheme;
+  listen_fd : Unix.file_descr option;
+  control_fd : Unix.file_descr option;
+  epoch : float;
+  tick_period : float;
+  idle_timeout : float;
+  max_ticks : int;
+  connect_retries : int;
+  backoff : float;
+  encoding : Wire.encoding;
+}
+
+let default_tick_period = 0.01
+let default_idle_timeout = 1.0
+let default_connect_retries = 8
+let default_backoff = 0.02
+
+type report = { final : Control.final; halted : bool }
+
+(* Outgoing link to one peer. Frames queued while no connection is
+   established wait in [pending] (newest first) and are moved onto the
+   connection once it is writable; every failed attempt backs off
+   exponentially until the retry budget is spent, after which the peer
+   is declared dead and queued frames are dropped. *)
+type link_state =
+  | No_conn  (** nothing in flight; connect on next send / retry slot *)
+  | Connecting of Transport.Conn.t
+  | Ready of Transport.Conn.t
+  | Dead
+
+type link = {
+  mutable state : link_state;
+  mutable pending : bytes list;
+  mutable pending_count : int;
+  mutable attempt : int;
+  mutable retry_at : float;
+}
+
+type t = {
+  cfg : config;
+  inst : Algorithm.instance;
+  links : link array;
+  mutable incoming : Transport.Conn.t list;
+  listen_fd : Unix.file_descr;
+  own_listener : bool;  (** we bound it ourselves, so we unlink/close it *)
+  control : Transport.Conn.t option;  (** write side of the control channel *)
+  mutable tick_count : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable pointers : int;
+  mutable bytes : int;
+  mutable decode_errors : int;
+  mutable complete_tick : int option;
+  mutable complete_announced : bool;
+  mutable last_activity : float;
+  mutable halted : bool;
+  mutable running : bool;
+}
+
+let now_rel t = Unix.gettimeofday () -. t.cfg.epoch
+
+let emit t (ev : Trace.event) =
+  match t.control with
+  | None -> ()
+  | Some c -> Transport.Conn.queue c (Bytes.of_string (Control.event_line ~time:(now_rel t) ev))
+
+let control_send t line =
+  match t.control with
+  | None -> ()
+  | Some c -> Transport.Conn.queue c (Bytes.of_string line)
+
+(* --- connection management ----------------------------------------- *)
+
+let drop_link_frames t dst count =
+  for _ = 1 to count do
+    t.dropped <- t.dropped + 1;
+    emit t (Trace.Drop { src = t.cfg.node; dst; reason = Trace.Dead_dst })
+  done
+
+let declare_dead t dst =
+  let link = t.links.(dst) in
+  (match link.state with
+  | Connecting c | Ready c ->
+    drop_link_frames t dst (Transport.Conn.queued_frames c);
+    Transport.Conn.close c
+  | No_conn | Dead -> ());
+  drop_link_frames t dst link.pending_count;
+  link.pending <- [];
+  link.pending_count <- 0;
+  link.state <- Dead
+
+let connect_failed t dst =
+  let link = t.links.(dst) in
+  (match link.state with
+  | Connecting c -> Transport.Conn.close c
+  | No_conn | Ready _ | Dead -> ());
+  link.state <- No_conn;
+  link.attempt <- link.attempt + 1;
+  if link.attempt > t.cfg.connect_retries then declare_dead t dst
+  else
+    (* exponential backoff: base, 2·base, 4·base, ... *)
+    link.retry_at <-
+      Unix.gettimeofday () +. (t.cfg.backoff *. float_of_int (1 lsl min (link.attempt - 1) 10))
+
+let promote_ready t dst conn =
+  let link = t.links.(dst) in
+  link.state <- Ready conn;
+  link.attempt <- 0;
+  List.iter (Transport.Conn.queue conn) (List.rev link.pending);
+  link.pending <- [];
+  link.pending_count <- 0
+
+let start_connect t dst =
+  let link = t.links.(dst) in
+  let fd = Unix.socket (Transport.domain t.cfg.scheme) Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec fd;
+  Unix.set_nonblock fd;
+  match Unix.connect fd (Transport.sockaddr t.cfg.scheme dst) with
+  | () -> promote_ready t dst (Transport.Conn.create fd)
+  | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN | EINTR), _, _) ->
+    link.state <- Connecting (Transport.Conn.create fd)
+  | exception Unix.Unix_error (_, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    connect_failed t dst
+
+let maybe_connect t dst =
+  let link = t.links.(dst) in
+  match link.state with
+  | No_conn when (link.pending_count > 0 || link.attempt = 0) && Unix.gettimeofday () >= link.retry_at
+    ->
+    start_connect t dst
+  | _ -> ()
+
+(* deliver a payload locally (self-sends skip the network entirely) *)
+let deliver t ~src payload =
+  t.delivered <- t.delivered + 1;
+  t.last_activity <- Unix.gettimeofday ();
+  emit t (Trace.Deliver { src; dst = t.cfg.node });
+  t.inst.Algorithm.receive ~src payload
+
+let announce_if_complete t =
+  if (not t.complete_announced) && Knowledge.is_complete t.inst.Algorithm.knowledge then begin
+    t.complete_announced <- true;
+    t.complete_tick <- Some t.tick_count;
+    control_send t (Control.completed_line ~time:(now_rel t) ~tick:t.tick_count)
+  end
+
+let send_payload t ~dst payload =
+  if dst < 0 || dst >= t.cfg.n then invalid_arg "Node.send: destination out of range";
+  let pointers = Payload.measure payload in
+  let body = Wire.encode t.cfg.encoding ~universe:t.cfg.n payload in
+  t.sent <- t.sent + 1;
+  t.pointers <- t.pointers + pointers;
+  t.bytes <- t.bytes + Bytes.length body;
+  emit t (Trace.Send { src = t.cfg.node; dst; pointers; bytes = Bytes.length body });
+  if dst = t.cfg.node then deliver t ~src:t.cfg.node payload
+  else begin
+    let link = t.links.(dst) in
+    match link.state with
+    | Dead ->
+      t.dropped <- t.dropped + 1;
+      emit t (Trace.Drop { src = t.cfg.node; dst; reason = Trace.Dead_dst })
+    | Ready conn ->
+      Transport.Conn.queue conn
+        (Envelope.encode { Envelope.src = t.cfg.node; stamp = t.tick_count; body })
+    | No_conn | Connecting _ ->
+      link.pending <-
+        Envelope.encode { Envelope.src = t.cfg.node; stamp = t.tick_count; body } :: link.pending;
+      link.pending_count <- link.pending_count + 1;
+      maybe_connect t dst
+  end
+
+let do_tick t =
+  t.tick_count <- t.tick_count + 1;
+  emit t (Trace.Tick { node = t.cfg.node; time = now_rel t; count = t.tick_count });
+  t.inst.Algorithm.round ~round:t.tick_count ~send:(fun ~dst payload -> send_payload t ~dst payload);
+  announce_if_complete t
+
+let handle_envelope t (env : Envelope.t) =
+  if env.Envelope.src < 0 || env.Envelope.src >= t.cfg.n || env.Envelope.src = t.cfg.node then
+    t.decode_errors <- t.decode_errors + 1
+  else
+    match Wire.decode t.cfg.encoding ~universe:t.cfg.n env.Envelope.body with
+    | Error _ -> t.decode_errors <- t.decode_errors + 1
+    | Ok payload ->
+      deliver t ~src:env.Envelope.src payload;
+      announce_if_complete t
+
+(* --- the event loop ------------------------------------------------- *)
+
+let restarting_select rfds wfds timeout =
+  try Unix.select rfds wfds [] timeout
+  with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+
+let final_report t =
+  {
+    Control.ticks = t.tick_count;
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    pointers = t.pointers;
+    bytes = t.bytes;
+    complete_tick = t.complete_tick;
+    decode_errors = t.decode_errors;
+  }
+
+let flush_control t ~deadline =
+  match t.control with
+  | None -> ()
+  | Some c ->
+    let rec go () =
+      match Transport.Conn.flush c with
+      | `Closed -> ()
+      | `Ok ->
+        if Transport.Conn.pending_out c && Unix.gettimeofday () < deadline then begin
+          ignore
+            (restarting_select [] [ Transport.Conn.fd c ]
+               (max 0.01 (deadline -. Unix.gettimeofday ())));
+          go ()
+        end
+    in
+    go ()
+
+let shutdown t =
+  (* best-effort: push any queued data frames out, then the final report *)
+  let deadline = Unix.gettimeofday () +. 0.5 in
+  Array.iter
+    (fun link ->
+      match link.state with
+      | Ready conn ->
+        ignore (Transport.Conn.flush conn);
+        Transport.Conn.close conn
+      | Connecting conn -> Transport.Conn.close conn
+      | No_conn | Dead -> ())
+    t.links;
+  List.iter Transport.Conn.close t.incoming;
+  control_send t (Control.final_line (final_report t));
+  flush_control t ~deadline;
+  (match t.control with Some c -> Transport.Conn.close c | None -> ());
+  if t.own_listener then begin
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    match Transport.sockaddr t.cfg.scheme t.cfg.node with
+    | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Unix.ADDR_INET _ -> ()
+  end
+
+let run cfg =
+  if cfg.n <= 0 then invalid_arg "Node.run: n must be positive";
+  if cfg.node < 0 || cfg.node >= cfg.n then invalid_arg "Node.run: node out of range";
+  if cfg.tick_period <= 0.0 then invalid_arg "Node.run: tick period must be positive";
+  (* a write to a freshly-dead peer must surface as EPIPE, not a signal *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+  let labels = Exec.labels_of ~seed:cfg.seed cfg.n in
+  let ctx =
+    {
+      Algorithm.n = cfg.n;
+      node = cfg.node;
+      neighbors = cfg.neighbors;
+      labels;
+      rng = Repro_util.Rng.substream ~seed:cfg.seed ~index:(cfg.node + 1);
+      params = Params.default;
+    }
+  in
+  let listen_fd, own_listener =
+    match cfg.listen_fd with
+    | Some fd -> (fd, false)
+    | None -> (Transport.listen_socket cfg.scheme cfg.node, true)
+  in
+  let t =
+    {
+      cfg;
+      inst = cfg.algo.Algorithm.make ctx;
+      links =
+        Array.init cfg.n (fun _ ->
+            { state = No_conn; pending = []; pending_count = 0; attempt = 0; retry_at = 0.0 });
+      incoming = [];
+      listen_fd;
+      own_listener;
+      control = Option.map Transport.Conn.create cfg.control_fd;
+      tick_count = 0;
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      pointers = 0;
+      bytes = 0;
+      decode_errors = 0;
+      complete_tick = None;
+      complete_announced = false;
+      last_activity = Unix.gettimeofday ();
+      halted = false;
+      running = true;
+    }
+  in
+  emit t (Trace.Join { node = cfg.node });
+  announce_if_complete t;
+  let next_tick = ref (Unix.gettimeofday () +. cfg.tick_period) in
+  while t.running do
+    let now = Unix.gettimeofday () in
+    (* fire the tick timer *)
+    if now >= !next_tick then begin
+      if t.tick_count < cfg.max_ticks then do_tick t
+      else if t.control = None then t.running <- false;
+      (* re-arm relative to now: a stalled process must not burst *)
+      next_tick := Unix.gettimeofday () +. cfg.tick_period
+    end;
+    (* retry slots for links in backoff *)
+    for dst = 0 to cfg.n - 1 do
+      maybe_connect t dst
+    done;
+    (* opportunistic flush of every ready link *)
+    Array.iteri
+      (fun dst link ->
+        match link.state with
+        | Ready conn -> if Transport.Conn.flush conn = `Closed then connect_failed t dst
+        | No_conn | Connecting _ | Dead -> ())
+      t.links;
+    (match t.control with Some c -> ignore (Transport.Conn.flush c) | None -> ());
+    (* assemble the select sets *)
+    let rfds = ref [ t.listen_fd ] in
+    List.iter (fun c -> rfds := Transport.Conn.fd c :: !rfds) t.incoming;
+    (match cfg.control_fd with Some fd -> rfds := fd :: !rfds | None -> ());
+    let wfds = ref [] in
+    Array.iter
+      (fun link ->
+        match link.state with
+        | Connecting c -> wfds := Transport.Conn.fd c :: !wfds
+        | Ready c -> if Transport.Conn.pending_out c then wfds := Transport.Conn.fd c :: !wfds
+        | No_conn | Dead -> ())
+      t.links;
+    (match t.control with
+    | Some c -> if Transport.Conn.pending_out c then wfds := Transport.Conn.fd c :: !wfds
+    | None -> ());
+    let now = Unix.gettimeofday () in
+    let timeout = ref (!next_tick -. now) in
+    Array.iter
+      (fun link ->
+        match link.state with
+        | No_conn when link.pending_count > 0 -> timeout := min !timeout (link.retry_at -. now)
+        | _ -> ())
+      t.links;
+    let timeout = max 0.0 (min !timeout cfg.tick_period) in
+    let readable, writable, _ = restarting_select !rfds !wfds timeout in
+    (* connect completions and write progress *)
+    Array.iteri
+      (fun dst link ->
+        match link.state with
+        | Connecting c when List.mem (Transport.Conn.fd c) writable -> (
+          match Unix.getsockopt_error (Transport.Conn.fd c) with
+          | None -> promote_ready t dst c
+          | Some _ -> connect_failed t dst)
+        | Ready c when List.mem (Transport.Conn.fd c) writable ->
+          if Transport.Conn.flush c = `Closed then connect_failed t dst
+        | _ -> ())
+      t.links;
+    (* accept new incoming connections *)
+    if List.mem t.listen_fd readable then begin
+      let accepting = ref true in
+      while !accepting do
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | fd, _ -> t.incoming <- Transport.Conn.create fd :: t.incoming
+        | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) -> accepting := false
+        | exception Unix.Unix_error _ -> accepting := false
+      done
+    end;
+    (* drain incoming data *)
+    t.incoming <-
+      List.filter
+        (fun c ->
+          if List.mem (Transport.Conn.fd c) readable then begin
+            match Transport.Conn.read c ~handle:(handle_envelope t) with
+            | `Ok -> true
+            | `Closed ->
+              Transport.Conn.close c;
+              false
+            | `Corrupt _ ->
+              t.decode_errors <- t.decode_errors + 1;
+              Transport.Conn.close c;
+              false
+          end
+          else true)
+        t.incoming;
+    (* control commands from the harness *)
+    (match cfg.control_fd with
+    | Some fd when List.mem fd readable ->
+      let buf = Bytes.create 64 in
+      let reading = ref true in
+      while !reading do
+        match Unix.read fd buf 0 64 with
+        | 0 ->
+          (* harness is gone: shut down rather than run orphaned *)
+          t.running <- false;
+          reading := false
+        | k ->
+          for i = 0 to k - 1 do
+            if Bytes.get buf i = 'H' then begin
+              t.halted <- true;
+              t.running <- false
+            end
+          done
+        | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) -> reading := false
+        | exception Unix.Unix_error _ ->
+          t.running <- false;
+          reading := false
+      done
+    | _ -> ());
+    (* standalone convergence: complete and quiet for the idle window *)
+    if
+      t.running && cfg.control_fd = None && t.complete_announced
+      && Unix.gettimeofday () -. t.last_activity >= cfg.idle_timeout
+    then t.running <- false
+  done;
+  shutdown t;
+  { final = final_report t; halted = t.halted }

@@ -1,0 +1,50 @@
+(** A live node process: one discovery-algorithm instance driven by a
+    socket event loop instead of the simulator scheduler.
+
+    The node ticks its algorithm every [tick_period] seconds, encodes
+    outgoing payloads with the {!Repro_discovery.Wire} codec inside an
+    {!Envelope} frame, and maintains one outgoing connection per peer it
+    has sent to ("connect-on-learn": the id→address map is static, so
+    learning an id is enough to reach it). Connections are established
+    lazily with bounded retry and exponential backoff; once the retry
+    budget for a peer is spent the peer is declared dead and frames to
+    it are counted as drops.
+
+    Under a {!Cluster} harness ([control_fd] set) the node streams
+    {!Control} lines upward and exits on the halt command. Standalone
+    ([control_fd = None]) it exits once its knowledge is complete and
+    the link has been idle for [idle_timeout] seconds. *)
+
+open Repro_discovery
+
+type config = {
+  node : int;
+  n : int;
+  algo : Algorithm.t;
+  seed : int;  (** must match the cluster seed: labels derive from it *)
+  neighbors : int array;
+  scheme : Transport.scheme;
+  listen_fd : Unix.file_descr option;
+      (** listener inherited from the harness; [None] = bind our own *)
+  control_fd : Unix.file_descr option;
+  epoch : float;  (** wall-clock origin shared by every node of the run *)
+  tick_period : float;
+  idle_timeout : float;
+  max_ticks : int;  (** give up after this many ticks without halt *)
+  connect_retries : int;
+  backoff : float;  (** base backoff; attempt [k] waits [backoff * 2^(k-1)] *)
+  encoding : Wire.encoding;
+}
+
+val default_tick_period : float
+val default_idle_timeout : float
+val default_connect_retries : int
+val default_backoff : float
+
+type report = { final : Control.final; halted : bool }
+
+val run : config -> report
+(** Run the event loop to completion. Returns after graceful shutdown
+    (halt command, standalone idle convergence, or tick budget
+    exhausted). Sockets are closed and, if we bound our own UDS
+    listener, its path unlinked. *)

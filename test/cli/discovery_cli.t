@@ -83,23 +83,82 @@ trace-diff certifies agreement, or pinpoints the first divergence:
   $ ../../bin/discovery_cli.exe trace-diff a.jsonl b.jsonl
   traces identical (79 events)
 
+Divergence is an operational failure: exit 1, distinct from usage
+errors (exit 2):
+
   $ ../../bin/discovery_cli.exe trace --algo hm --topology kout:3 -n 8 --seed 2 -o c.jsonl
   $ ../../bin/discovery_cli.exe trace-diff a.jsonl c.jsonl
   traces diverge at event 10:
     a.jsonl: {"ev":"send","src":0,"dst":7,"pointers":7,"bytes":3}
     c.jsonl: {"ev":"send","src":0,"dst":2,"pointers":5,"bytes":3}
   discovery: traces differ
-  [124]
+  [1]
 
-Usage errors are caught before any run:
+Usage errors are caught before any run and exit 2:
 
   $ ../../bin/discovery_cli.exe trace-diff a.jsonl 2>&1 | head -2
   discovery: required argument TRACE_B is missing
   Usage: discovery trace-diff [OPTION]… TRACE_A TRACE_B
 
+  $ ../../bin/discovery_cli.exe trace-diff a.jsonl 2>/dev/null
+  [2]
+
   $ ../../bin/discovery_cli.exe trace-diff a.jsonl no_such_file.jsonl 2>&1 | head -2
   discovery: TRACE_B argument: no 'no_such_file.jsonl' file
   Usage: discovery trace-diff [OPTION]… TRACE_A TRACE_B
+
+Live execution: the cluster harness runs the same configuration as real
+node processes over sockets. The loopback backend is in-process and
+trace-identical to the async simulator; uds forks one process per node.
+The JSON report's timings vary, so pin only the verdict fields:
+
+  $ ../../bin/discovery_cli.exe cluster --transport loopback -n 8 --algo hm --seed 1 \
+  >   | grep -c '"converged":true.*"invariants":{"status":"passed"'
+  1
+
+  $ ../../bin/discovery_cli.exe cluster --transport uds -n 8 --algo hm --seed 1 \
+  >   | grep -c '"converged":true.*"invariants":{"status":"passed"'
+  1
+
+trace-diff certifies the loopback backend against the async simulator:
+same (algorithm, topology, seed) — byte-identical event stream:
+
+  $ ../../bin/discovery_cli.exe trace --async --algo hm --topology kout:3 -n 8 --seed 1 -o sim.jsonl
+  $ ../../bin/discovery_cli.exe cluster --transport loopback -n 8 --algo hm --seed 1 \
+  >   --trace-out live.jsonl > /dev/null
+  $ ../../bin/discovery_cli.exe trace-diff sim.jsonl live.jsonl
+  traces identical (87 events)
+
+A node killed mid-run is reported as crashed — never hung — and the
+run fails with exit 1:
+
+  $ ../../bin/discovery_cli.exe cluster --transport uds -n 8 --algo hm --seed 1 --kill 3 --no-check 2>/dev/null \
+  >   | grep -c '"converged":false.*"crashed":\[3\]'
+  1
+  $ ../../bin/discovery_cli.exe cluster --transport uds -n 8 --algo hm --seed 1 --kill 3 --no-check >/dev/null 2>&1
+  [1]
+
+  $ ../../bin/discovery_cli.exe cluster --transport warp -n 8 2>&1 | head -1
+  discovery: option '--transport': unknown transport "warp" (loopback|uds|tcp)
+  $ ../../bin/discovery_cli.exe cluster --transport warp -n 8 2>/dev/null
+  [2]
+
+The standalone binary runs one live node per invocation: every process
+gets the same address table (--peers; list position = node id) and
+identifies itself by its --listen address. Three of them, each knowing
+only its successor on a directed ring, discover all identifiers over
+real unix-domain sockets and exit once complete and idle:
+
+  $ D=$(mktemp -d /tmp/discovery-node-XXXXXX)
+  $ P=$D/node-0.sock,$D/node-1.sock,$D/node-2.sock
+  $ for i in 0 1 2; do
+  >   ../../bin/discovery_node.exe --listen $D/node-$i.sock --peers $P \
+  >     --algo hm --seed 1 --neighbors $(( (i+1) % 3 )) --idle-timeout 0.3 \
+  >     > $D/out-$i.json &
+  > done; wait
+  $ cat $D/out-*.json | grep -c '"completed":true'
+  3
+  $ rm -rf $D
 
 The experiments runner lists its deliverables:
 

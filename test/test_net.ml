@@ -1,0 +1,248 @@
+(* Live transport layer: envelope framing, control protocol, loopback
+   trace-identity, and real multi-process UDS/TCP clusters. *)
+
+open Repro_engine
+open Repro_discovery
+open Repro_net
+
+let get_algo name =
+  match Registry.find name with Ok a -> a | Error e -> Alcotest.fail e
+
+(* --- Envelope ------------------------------------------------------- *)
+
+let sample_body = Bytes.of_string "\001\000\003\000\000\000\005\000\000\000"
+
+let encode_sample () = Envelope.encode { Envelope.src = 7; stamp = 42; body = sample_body }
+
+let test_envelope_roundtrip () =
+  let frame = encode_sample () in
+  match Envelope.decode frame ~off:0 ~len:(Bytes.length frame) with
+  | `Frame (env, consumed) ->
+    Alcotest.(check int) "consumed" (Bytes.length frame) consumed;
+    Alcotest.(check int) "src" 7 env.Envelope.src;
+    Alcotest.(check int) "stamp" 42 env.Envelope.stamp;
+    Alcotest.(check bytes) "body" sample_body env.Envelope.body
+  | `Need_more -> Alcotest.fail "decode wanted more bytes"
+  | `Corrupt reason -> Alcotest.fail ("corrupt: " ^ reason)
+
+let test_envelope_incremental () =
+  let frame = encode_sample () in
+  (* every strict prefix is Need_more, never Corrupt: framing is
+     length-prefixed so partial reads are normal *)
+  for len = 0 to Bytes.length frame - 1 do
+    match Envelope.decode frame ~off:0 ~len with
+    | `Need_more -> ()
+    | `Frame _ -> Alcotest.failf "prefix of %d bytes decoded as a full frame" len
+    | `Corrupt reason -> Alcotest.failf "prefix of %d bytes reported corrupt: %s" len reason
+  done
+
+let test_envelope_corruption () =
+  let frame = encode_sample () in
+  let corrupted = ref 0 in
+  for i = 0 to Bytes.length frame - 1 do
+    let mutated = Bytes.copy frame in
+    Bytes.set mutated i (Char.chr (Char.code (Bytes.get mutated i) lxor 0xff));
+    match Envelope.decode mutated ~off:0 ~len:(Bytes.length mutated) with
+    | `Corrupt _ -> incr corrupted
+    | `Need_more -> incr corrupted (* length field grew: frame looks unfinished *)
+    | `Frame _ -> Alcotest.failf "single-byte corruption at offset %d went unnoticed" i
+  done;
+  Alcotest.(check bool) "every mutation detected" true (!corrupted = Bytes.length (encode_sample ()))
+
+let test_envelope_limits () =
+  Alcotest.check_raises "oversized body" (Invalid_argument "Envelope.encode: body too large")
+    (fun () ->
+      ignore (Envelope.encode { Envelope.src = 0; stamp = 0; body = Bytes.create (Envelope.max_body + 1) }));
+  Alcotest.check_raises "negative src" (Invalid_argument "Envelope.encode: src out of range")
+    (fun () -> ignore (Envelope.encode { Envelope.src = -1; stamp = 0; body = Bytes.empty }))
+
+(* --- Control protocol ---------------------------------------------- *)
+
+let test_control_roundtrip () =
+  let events =
+    [
+      Trace.Tick { node = 3; time = 1.5; count = 2 };
+      Trace.Send { src = 1; dst = 2; pointers = 4; bytes = 17 };
+      Trace.Deliver { src = 1; dst = 2 };
+      Trace.Drop { src = 0; dst = 5; reason = Trace.Dead_dst };
+      Trace.Join { node = 0 };
+      Trace.Crash { node = 9 };
+      Trace.Complete;
+      Trace.Give_up;
+      Trace.Round_begin { round = 7 };
+    ]
+  in
+  List.iter
+    (fun ev ->
+      let time = match ev with Trace.Tick { time; _ } -> time | _ -> 1.5 in
+      match Control.parse (Control.event_line ~time ev) with
+      | Ok (Control.Event (t, ev')) ->
+        Alcotest.(check (float 0.0)) "time survives" time t;
+        Alcotest.(check string) "event survives" (Trace.event_to_json ev) (Trace.event_to_json ev')
+      | Ok _ -> Alcotest.fail "event line parsed as non-event"
+      | Error e -> Alcotest.fail e)
+    events;
+  (match Control.parse (Control.completed_line ~time:2.25 ~tick:9) with
+  | Ok (Control.Completed (t, k)) ->
+    Alcotest.(check (float 0.0)) "completed time" 2.25 t;
+    Alcotest.(check int) "completed tick" 9 k
+  | _ -> Alcotest.fail "completed line did not parse");
+  let final =
+    {
+      Control.ticks = 12;
+      sent = 34;
+      delivered = 30;
+      dropped = 4;
+      pointers = 99;
+      bytes = 1024;
+      complete_tick = Some 11;
+      decode_errors = 0;
+    }
+  in
+  (match Control.parse (Control.final_line final) with
+  | Ok (Control.Final f) -> Alcotest.(check bool) "final survives" true (f = final)
+  | _ -> Alcotest.fail "final line did not parse");
+  match Control.parse "E 1.0 bogus stuff" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage line parsed"
+
+(* --- Loopback: trace-identical to the async simulator --------------- *)
+
+let test_loopback_trace_identity () =
+  let algo = get_algo "hm" in
+  let sim_buf = Buffer.create 4096 and loop_buf = Buffer.create 4096 in
+  let topology =
+    Repro_graph.Generate.build (Repro_graph.Generate.K_out 3)
+      ~rng:(Repro_util.Rng.substream ~seed:11 ~index:0x70b0)
+      ~n:24
+  in
+  let sim_spec = { Run_async.default_spec with seed = 11; trace = Trace.buffer sim_buf } in
+  let sim = Run_async.exec_spec sim_spec algo topology in
+  let loop_spec = { Run_async.default_spec with seed = 11; trace = Trace.buffer loop_buf } in
+  let loop, finals = Loopback.exec_spec loop_spec algo topology in
+  Alcotest.(check bool) "sim completed" true sim.Run_async.completed;
+  Alcotest.(check bool) "loopback completed" true loop.Run_async.completed;
+  (* the tentpole identity: byte-for-byte equal event streams *)
+  Alcotest.(check string) "traces byte-identical" (Buffer.contents sim_buf)
+    (Buffer.contents loop_buf);
+  (* and the per-node tallies sum to the run totals *)
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 finals in
+  Alcotest.(check int) "sent total" sim.Run_async.messages (sum (fun f -> f.Control.sent));
+  Alcotest.(check int) "pointer total" sim.Run_async.pointers (sum (fun f -> f.Control.pointers));
+  Alcotest.(check int)
+    "bytes total"
+    (Metrics.bytes_sent sim.Run_async.metrics)
+    (sum (fun f -> f.Control.bytes))
+
+let test_cluster_loopback () =
+  let algo = get_algo "hm" in
+  let spec = { (Cluster.default_spec algo) with backend = Transport.Loopback; n = 16; seed = 3 } in
+  let r = Cluster.run spec in
+  Alcotest.(check bool) "converged" true r.Cluster.converged;
+  (match r.Cluster.invariants with
+  | Cluster.Passed k -> Alcotest.(check bool) "checked events" true (k > 0)
+  | Cluster.Failed msg -> Alcotest.fail ("invariants failed: " ^ msg)
+  | Cluster.Skipped why -> Alcotest.fail ("invariants skipped: " ^ why))
+
+(* --- live clusters -------------------------------------------------- *)
+
+let run_cluster ?kill_node ?(n = 16) ?(check = true) backend =
+  let algo = get_algo "hm" in
+  let spec =
+    {
+      (Cluster.default_spec algo) with
+      backend;
+      n;
+      seed = 5;
+      timeout = 60.0;
+      check_invariants = check;
+      kill_node;
+    }
+  in
+  Cluster.run spec
+
+let check_converged r =
+  Alcotest.(check bool) "converged" true r.Cluster.converged;
+  Alcotest.(check (list int)) "no crashes" [] r.Cluster.crashed;
+  Array.iter
+    (fun nr ->
+      match nr.Cluster.outcome with
+      | Cluster.Finished f ->
+        Alcotest.(check bool) "announced completion" true (f.Control.complete_tick <> None);
+        Alcotest.(check int) "clean link" 0 f.Control.decode_errors
+      | Cluster.Crashed s -> Alcotest.failf "node %d crashed: %s" nr.Cluster.id s
+      | Cluster.Unresponsive -> Alcotest.failf "node %d unresponsive" nr.Cluster.id)
+    r.Cluster.nodes;
+  match r.Cluster.invariants with
+  | Cluster.Passed k -> Alcotest.(check bool) "events checked" true (k > 0)
+  | Cluster.Failed msg -> Alcotest.fail ("invariants failed: " ^ msg)
+  | Cluster.Skipped why -> Alcotest.fail ("invariants skipped: " ^ why)
+
+(* the acceptance-criterion run: 16 processes over unix-domain sockets,
+   every node learns all 16 ids, merged trace passes the checker *)
+let test_cluster_uds () = check_converged (run_cluster Transport.Uds)
+let test_cluster_tcp () = check_converged (run_cluster ~n:8 Transport.Tcp)
+
+let test_cluster_crash_detected () =
+  let r = run_cluster ~kill_node:3 ~check:false Transport.Uds in
+  Alcotest.(check bool) "not converged" false r.Cluster.converged;
+  Alcotest.(check bool) "victim reported crashed" true (List.mem 3 r.Cluster.crashed);
+  (match r.Cluster.nodes.(3).Cluster.outcome with
+  | Cluster.Crashed _ -> ()
+  | Cluster.Finished _ | Cluster.Unresponsive -> Alcotest.fail "victim not reported as crashed");
+  (* survivors were halted, not left hanging: the harness returned and
+     every surviving node wound down gracefully *)
+  Array.iteri
+    (fun i nr ->
+      if i <> 3 then
+        match nr.Cluster.outcome with
+        | Cluster.Finished _ -> ()
+        | Cluster.Crashed s -> Alcotest.failf "survivor %d crashed: %s" i s
+        | Cluster.Unresponsive -> Alcotest.failf "survivor %d unresponsive" i)
+    r.Cluster.nodes
+
+let test_cluster_teardown_bounded () =
+  let t0 = Unix.gettimeofday () in
+  let r = run_cluster ~n:8 ~kill_node:0 ~check:false Transport.Uds in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "not converged" false r.Cluster.converged;
+  (* crash → halt → grace(2s) → SIGTERM(0.5s) → SIGKILL: well under 30s *)
+  Alcotest.(check bool) "teardown bounded" true (elapsed < 30.0)
+
+let test_cluster_report_json () =
+  let r = run_cluster ~n:4 Transport.Uds in
+  let json = Cluster.result_to_json r in
+  let contains needle =
+    let nl = String.length needle and hl = String.length json in
+    let rec at i = i + nl <= hl && (String.sub json i nl = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "mentions transport" true (contains {|"transport":"uds"|});
+  Alcotest.(check bool) "converged flag" true (contains {|"converged":true|});
+  Alcotest.(check bool) "invariants passed" true (contains {|"status":"passed"|})
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "envelope",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_envelope_roundtrip;
+          Alcotest.test_case "incremental" `Quick test_envelope_incremental;
+          Alcotest.test_case "corruption" `Quick test_envelope_corruption;
+          Alcotest.test_case "limits" `Quick test_envelope_limits;
+        ] );
+      ("control", [ Alcotest.test_case "roundtrip" `Quick test_control_roundtrip ]);
+      ( "loopback",
+        [
+          Alcotest.test_case "trace-identity" `Quick test_loopback_trace_identity;
+          Alcotest.test_case "cluster" `Quick test_cluster_loopback;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "uds-16" `Quick test_cluster_uds;
+          Alcotest.test_case "tcp-8" `Quick test_cluster_tcp;
+          Alcotest.test_case "crash-detected" `Quick test_cluster_crash_detected;
+          Alcotest.test_case "teardown-bounded" `Quick test_cluster_teardown_bounded;
+          Alcotest.test_case "report-json" `Quick test_cluster_report_json;
+        ] );
+    ]

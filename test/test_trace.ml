@@ -66,6 +66,21 @@ let test_goldens () =
       check_traces_equal name got (read_file (Filename.concat "golden" (name ^ ".jsonl"))))
     golden_algos
 
+(* The committed async golden pins the Async_sim event stream of hm, and
+   the live loopback transport backend must reproduce it byte-for-byte —
+   the trace-identity contract of lib/net. *)
+let test_golden_async () =
+  let topo = topology ~n:8 ~seed:1 in
+  let golden = read_file (Filename.concat "golden" "hm_async.jsonl") in
+  let got, r = async_trace ~seed:1 (find "hm") topo in
+  Alcotest.(check bool) "hm async completed" true r.Run_async.completed;
+  check_traces_equal "hm async" got golden;
+  let buf = Buffer.create 4096 in
+  let spec = { Run_async.default_spec with Run_async.seed = 1; trace = Trace.buffer buf } in
+  let live, _ = Repro_net.Loopback.exec_spec spec (find "hm") topo in
+  Alcotest.(check bool) "loopback completed" true live.Run_async.completed;
+  check_traces_equal "loopback vs async golden" (Buffer.contents buf) golden
+
 let test_rerun_byte_identical () =
   let topo = topology ~n:8 ~seed:1 in
   List.iter
@@ -375,6 +390,7 @@ let () =
       ( "golden traces",
         [
           Alcotest.test_case "match committed goldens" `Quick test_goldens;
+          Alcotest.test_case "async golden and loopback identity" `Quick test_golden_async;
           Alcotest.test_case "reruns are byte-identical" `Quick test_rerun_byte_identical;
           Alcotest.test_case "jobs=1 and jobs=4 traces agree" `Quick test_jobs_invariance;
         ] );

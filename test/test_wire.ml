@@ -12,7 +12,9 @@ let payload_testable =
     (fun a b -> Wire.ids_of_payload a = Wire.ids_of_payload b && Payload.(measure Probe) >= 0)
 
 let roundtrip encoding p =
-  Wire.decode encoding ~universe (Wire.encode encoding ~universe p)
+  match Wire.decode encoding ~universe (Wire.encode encoding ~universe p) with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "%s: valid encoding rejected: %s" (Wire.encoding_name encoding) msg
 
 let test_probe_roundtrip () =
   List.iter
@@ -120,8 +122,11 @@ let test_decode_validation () =
     List.iter
       (fun (name, bytes) ->
         match Wire.decode Wire.Adaptive ~universe bytes with
-        | exception Invalid_argument _ -> ()
-        | _ -> Alcotest.failf "%s: decode accepted malformed input" name)
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "%s: decode accepted malformed input" name
+        | exception e ->
+          Alcotest.failf "%s: decode raised %s instead of returning Error" name
+            (Printexc.to_string e))
       cases
   in
   bad
@@ -133,7 +138,64 @@ let test_decode_validation () =
       ("truncated varint", Bytes.of_string "\000\001\255");
       ("raw32 length mismatch", Bytes.of_string "\000\000\002\001\000\000\000");
       ("bitmap width mismatch", Bytes.of_string "\000\002\000");
+      (* hostile length field: claims 2^35 raw32 elements in 4 bytes *)
+      ("hostile raw32 count", Bytes.of_string "\000\000\128\128\128\128\128\001");
+      (* varint codec claiming more elements than remaining bytes *)
+      ("hostile varint count", Bytes.of_string "\000\001\200\001\005");
+      (* gap sum overflowing past max_int must not wrap negative *)
+      ("gap overflow", Bytes.of_string "\000\001\001\255\255\255\255\255\255\255\255\062")
     ]
+
+(* Fuzz the decoder the way a flaky or hostile link would: take valid
+   encodings and mutate them byte by byte — every single-byte overwrite,
+   every truncation, and a trailing-garbage extension. Decode must
+   return [Ok] (mutations can land on don't-care bits) or [Error], but
+   never raise and never hang. *)
+let test_decode_fuzz () =
+  let payloads =
+    [
+      Payload.Probe;
+      Payload.Halt;
+      Payload.Share (Payload.Ids [||]);
+      Payload.Share (Payload.Ids [| 0; 7; 250 |]);
+      Payload.Exchange (Payload.Ids (Array.init 60 (fun i -> i * 5)));
+      Payload.Reply (Payload.Bits (Bitset.of_array universe [| 1; 64; 299 |]));
+    ]
+  in
+  let attempts = ref 0 in
+  let try_decode name bytes =
+    incr attempts;
+    match Wire.decode Wire.Adaptive ~universe bytes with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "%s: decode raised %s on %S" name (Printexc.to_string e)
+        (Bytes.to_string bytes)
+  in
+  List.iter
+    (fun enc ->
+      List.iter
+        (fun p ->
+          let valid = Wire.encode enc ~universe p in
+          let len = Bytes.length valid in
+          for i = 0 to len - 1 do
+            (* all 255 single-byte overwrites at position i *)
+            for b = 0 to 255 do
+              if b <> Char.code (Bytes.get valid i) then begin
+                let m = Bytes.copy valid in
+                Bytes.set m i (Char.chr b);
+                try_decode "overwrite" m
+              end
+            done;
+            (* truncation to the first i bytes *)
+            try_decode "truncate" (Bytes.sub valid 0 i)
+          done;
+          (* trailing garbage *)
+          let extended = Bytes.extend valid 0 3 in
+          Bytes.set extended len '\255';
+          try_decode "extend" extended)
+        payloads)
+    Wire.all_encodings;
+  Alcotest.(check bool) "fuzzed a meaningful corpus" true (!attempts > 10_000)
 
 let prop_roundtrip =
   QCheck2.Test.make ~name:"wire roundtrip over random id sets and codecs" ~count:400
@@ -152,9 +214,11 @@ let prop_roundtrip =
         | _ -> Payload.Reply data
       in
       let encoded = Wire.encode enc ~universe p in
-      let back = Wire.decode enc ~universe encoded in
-      Wire.ids_of_payload back = List.sort_uniq compare ids
-      && Bytes.length encoded = Wire.encoded_size enc ~universe p)
+      match Wire.decode enc ~universe encoded with
+      | Error _ -> false
+      | Ok back ->
+        Wire.ids_of_payload back = List.sort_uniq compare ids
+        && Bytes.length encoded = Wire.encoded_size enc ~universe p)
 
 let prop_adaptive_never_worse =
   QCheck2.Test.make ~name:"adaptive is min(varint, bitmap)" ~count:300
@@ -189,6 +253,7 @@ let () =
         [
           Alcotest.test_case "encode range" `Quick test_range_validation;
           Alcotest.test_case "decode malformed" `Quick test_decode_validation;
+          Alcotest.test_case "decode mutation fuzz" `Quick test_decode_fuzz;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_adaptive_never_worse ] );
