@@ -104,9 +104,28 @@ let jobs_arg =
           "Worker domains for $(b,--seeds) replication (default: cores - 1, or \
            \\$(b,REPRO_JOBS)).")
 
-let build_fault ~seed ~n ~loss ~crashes =
+let fault_conv =
+  let parse s = Repro_engine.Fault.of_string s |> Result.map_error (fun e -> `Msg e) in
+  Arg.conv (parse, Repro_engine.Fault.pp)
+
+let fault_arg =
+  Arg.(
+    value
+    & opt fault_conv Repro_engine.Fault.none
+    & info [ "fault" ] ~docv:"PLAN"
+        ~doc:
+          "Unified fault plan, as a comma-separated DSL: loss=P, delay=T, dup=P, reorder=P, \
+           corrupt=P, link=SRC>DST:key=value:..., part=G1|G2\\@START..HEAL, crash=N\\@R, \
+           restart=N\\@R, join=N\\@R. Example: \
+           loss=0.1,part=0-3|4-7\\@5..20,crash=5\\@8,restart=5\\@14. Composes with \\$(b,--loss) \
+           and \\$(b,--crashes), which overlay the plan.")
+
+(* --loss / --crashes predate the plan DSL; they overlay [base] so old
+   invocations keep their exact semantics (including the crash-victim
+   RNG substream). *)
+let build_fault ?(base = Repro_engine.Fault.none) ~seed ~n ~loss ~crashes () =
   let open Repro_engine in
-  let fault = if loss > 0.0 then Fault.with_loss Fault.none ~p:loss else Fault.none in
+  let fault = if loss > 0.0 then Fault.with_loss base ~p:loss else base in
   if crashes <= 0 then fault
   else begin
     let rng = Rng.substream ~seed ~index:0xdead in
@@ -116,18 +135,26 @@ let build_fault ~seed ~n ~loss ~crashes =
       fault victims
   end
 
+(* A plan that takes nodes down for good makes Strong completion
+   unreachable; one whose every crash restarts does not. *)
+let has_fatal_crashes (fault : Repro_engine.Fault.t) =
+  let open Repro_engine in
+  List.exists (fun (v, _) -> Fault.restart_round fault ~node:v = None) (Fault.crashed_nodes fault)
+
 let run_cmd =
-  let run algo family n seed seeds loss crashes max_rounds completion growth jobs =
+  let run algo family n seed seeds loss crashes plan max_rounds completion growth jobs =
     if seeds < 1 then `Error (false, "--seeds must be at least 1")
     else begin
       let completion =
-        if crashes > 0 && completion = Run.Strong then Run.Survivors_strong else completion
+        if (crashes > 0 || has_fatal_crashes plan) && completion = Run.Strong then
+          Run.Survivors_strong
+        else completion
       in
       let spec_of seed =
         {
           Run.default_spec with
           Run.seed;
-          fault = build_fault ~seed ~n ~loss ~crashes;
+          fault = build_fault ~base:plan ~seed ~n ~loss ~crashes ();
           completion;
           max_rounds;
           track_growth = growth && seeds = 1;
@@ -204,7 +231,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ algo_arg $ topology_arg $ n_arg $ seed_arg $ seeds_arg $ loss_arg
-       $ crashes_arg $ max_rounds_arg $ completion_arg $ growth_arg $ jobs_arg))
+       $ crashes_arg $ fault_arg $ max_rounds_arg $ completion_arg $ growth_arg $ jobs_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one discovery configuration.") term
 
@@ -220,12 +247,14 @@ let list_cmd =
 (* --- trace: emit the structured event stream of one run as JSONL --- *)
 
 let trace_cmd =
-  let trace algo family n seed loss crashes max_rounds completion asynchronous check output =
+  let trace algo family n seed loss crashes plan max_rounds completion asynchronous check output =
     let open Repro_engine in
     let completion =
-      if crashes > 0 && completion = Run.Strong then Run.Survivors_strong else completion
+      if (crashes > 0 || has_fatal_crashes plan) && completion = Run.Strong then
+        Run.Survivors_strong
+      else completion
     in
-    let fault = build_fault ~seed ~n ~loss ~crashes in
+    let fault = build_fault ~base:plan ~seed ~n ~loss ~crashes () in
     let topology = Generate.build family ~rng:(Rng.substream ~seed ~index:0x70b0) ~n in
     let oc, close =
       match output with
@@ -290,7 +319,7 @@ let trace_cmd =
     Term.(
       ret
         (const trace $ algo_arg $ topology_arg $ n_arg $ seed_arg $ loss_arg $ crashes_arg
-       $ max_rounds_arg $ completion_arg $ async_arg $ check_arg $ output_arg))
+       $ fault_arg $ max_rounds_arg $ completion_arg $ async_arg $ check_arg $ output_arg))
   in
   Cmd.v
     (Cmd.info "trace"
@@ -431,7 +460,7 @@ let cluster_cmd =
           ~doc:"UDS socket directory (default: a fresh directory under /tmp, removed afterwards).")
   in
   let cluster algo family n seed transport tick_period timeout encoding trace_out no_check kill
-      dir =
+      fault dir =
     if n < 1 then `Error (false, "-n must be at least 1")
     else begin
       let oc = Option.map open_out trace_out in
@@ -449,6 +478,7 @@ let cluster_cmd =
           trace = (match oc with Some oc -> Repro_engine.Trace.jsonl oc | None -> Repro_engine.Trace.null);
           check_invariants = not no_check;
           kill_node = kill;
+          fault;
         }
       in
       match Cluster.run spec with
@@ -476,7 +506,8 @@ let cluster_cmd =
     Term.(
       ret
         (const cluster $ algo_arg $ topology_arg $ n_arg $ seed_arg $ transport_arg $ tick_arg
-       $ timeout_arg $ encoding_arg $ trace_out_arg $ no_check_arg $ kill_arg $ dir_arg))
+       $ timeout_arg $ encoding_arg $ trace_out_arg $ no_check_arg $ kill_arg $ fault_arg
+       $ dir_arg))
   in
   Cmd.v
     (Cmd.info "cluster"
@@ -484,6 +515,114 @@ let cluster_cmd =
          "Run one discovery configuration as a live cluster: n node processes over real \
           sockets, convergence verified against the same invariant checker the simulators \
           use, JSON report on stdout. Exit 0 on clean convergence, 1 otherwise.")
+    term
+
+(* --- chaos: seeded soak of randomized fault plans over live clusters --- *)
+
+let chaos_cmd =
+  let open Repro_net in
+  let backend_conv =
+    let parse s =
+      match Transport.backend_of_string s with
+      | Ok Transport.Loopback -> Error (`Msg "chaos needs a live backend (uds|tcp)")
+      | Ok b -> Ok b
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Transport.backend_name b))
+  in
+  let transport_arg =
+    Arg.(
+      value
+      & opt backend_conv Transport.Uds
+      & info [ "transport" ] ~docv:"BACKEND"
+          ~doc:"Socket backend for the trial clusters: $(b,uds) or $(b,tcp).")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "trials" ] ~docv:"K" ~doc:"Number of seeded trials; trial i uses seed + i.")
+  in
+  let loss_max_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "loss-max" ] ~docv:"P"
+          ~doc:"Upper bound on each trial's randomized base loss rate.")
+  in
+  let tick_arg =
+    Arg.(
+      value
+      & opt float Node.default_tick_period
+      & info [ "tick-period" ] ~docv:"SECONDS" ~doc:"Seconds between algorithm activations.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-trial wall-clock budget; exceeding it fails the trial.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress the per-trial progress lines on stderr.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"UDS socket directory (default: a fresh directory under /tmp, removed afterwards).")
+  in
+  let chaos algo n seed transport trials loss_max tick_period timeout quiet dir =
+    let spec =
+      {
+        (Chaos.default_spec algo) with
+        Chaos.n;
+        trials;
+        seed;
+        backend = transport;
+        tick_period;
+        timeout;
+        loss_max;
+        dir;
+      }
+    in
+    let progress (t : Chaos.trial) =
+      if not quiet then
+        Printf.eprintf "chaos: trial %d/%d seed=%d %s: %s\n%!" (t.Chaos.index + 1) trials
+          t.Chaos.seed
+          (Repro_engine.Fault.to_string t.Chaos.plan)
+          (if t.Chaos.passed then "pass" else "FAIL")
+    in
+    match Chaos.run ~progress spec with
+    | report ->
+      print_endline (Chaos.report_to_json report);
+      if Chaos.all_passed report then `Ok 0
+      else begin
+        Printf.eprintf "discovery: chaos soak failed (%d of %d trials)\n"
+          (List.length report.Chaos.trials - report.Chaos.passed)
+          (List.length report.Chaos.trials);
+        `Ok 1
+      end
+    | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  let n_arg =
+    Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of machines per trial.")
+  in
+  let term =
+    Term.(
+      ret
+        (const chaos $ algo_arg $ n_arg $ seed_arg $ transport_arg $ trials_arg $ loss_max_arg
+       $ tick_arg $ timeout_arg $ quiet_arg $ dir_arg))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Soak-test the live network under randomized — but fully seeded — fault plans: each \
+          trial runs a cluster under per-link loss, duplication, reordering, corruption, a \
+          healing partition and a crash-with-restart, then verifies convergence with the \
+          online invariant checker. JSON soak report on stdout; exit 0 only if every trial \
+          passes. Replay a failing trial alone by passing its reported seed with \
+          $(b,--trials 1).")
     term
 
 let topo_cmd =
@@ -516,7 +655,7 @@ let () =
   let doc = "Distributed resource discovery in sub-logarithmic time (PODC'15 reproduction)" in
   let info = Cmd.info "discovery" ~version:"1.0.0" ~doc in
   let group =
-    Cmd.group info [ run_cmd; list_cmd; topo_cmd; trace_cmd; trace_diff_cmd; cluster_cmd ]
+    Cmd.group info [ run_cmd; list_cmd; topo_cmd; trace_cmd; trace_diff_cmd; cluster_cmd; chaos_cmd ]
   in
   exit
     (match Cmd.eval_value group with

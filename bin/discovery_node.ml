@@ -112,7 +112,29 @@ let encoding_arg =
     & opt encoding_conv Wire.Adaptive
     & info [ "encoding" ] ~docv:"CODEC" ~doc:"Wire codec: raw32, varint, bitmap or adaptive.")
 
-let main listen peers algo seed neighbors tick_period idle_timeout max_ticks encoding =
+let fault_conv =
+  let parse s = Repro_engine.Fault.of_string s |> Result.map_error (fun e -> `Msg e) in
+  Arg.conv (parse, Repro_engine.Fault.pp)
+
+let fault_arg =
+  Arg.(
+    value
+    & opt fault_conv Repro_engine.Fault.none
+    & info [ "fault" ] ~docv:"PLAN"
+        ~doc:
+          "Fault plan applied to this node's outgoing frames (identical on every node for a \
+           meaningful experiment), e.g. loss=0.1 or loss=0.05,delay=2.")
+
+let announce_arg =
+  Arg.(
+    value & flag
+    & info [ "announce" ]
+        ~doc:
+          "Greet the initial neighbours with a hello frame on startup; peers answer with \
+           their full identifier set. Use when (re)joining an already-running deployment.")
+
+let main listen peers algo seed neighbors tick_period idle_timeout max_ticks encoding fault
+    announce =
   let resolve acc addr =
     match (acc, parse_addr addr) with
     | Error e, _ -> Error e
@@ -155,17 +177,21 @@ let main listen peers algo seed neighbors tick_period idle_timeout max_ticks enc
               max_ticks;
               connect_retries = Node.default_connect_retries;
               backoff = Node.default_backoff;
+              backoff_cap = Node.default_backoff_cap;
+              rto = Node.default_rto;
+              fault;
+              announce;
               encoding;
             }
         in
         let f = report.Node.final in
         let completed = f.Control.complete_tick <> None in
         Printf.printf
-          {|{"node":%d,"n":%d,"algorithm":"%s","seed":%d,"completed":%b,"complete_tick":%s,"ticks":%d,"sent":%d,"delivered":%d,"dropped":%d,"decode_errors":%d}|}
+          {|{"node":%d,"n":%d,"algorithm":"%s","seed":%d,"completed":%b,"complete_tick":%s,"ticks":%d,"sent":%d,"delivered":%d,"dropped":%d,"decode_errors":%d,"retransmits":%d,"corrupt_frames":%d}|}
           node n algo.Algorithm.name seed completed
           (match f.Control.complete_tick with Some t -> string_of_int t | None -> "null")
           f.Control.ticks f.Control.sent f.Control.delivered f.Control.dropped
-          f.Control.decode_errors;
+          f.Control.decode_errors f.Control.retransmits f.Control.corrupt_frames;
         print_newline ();
         `Ok (if completed then 0 else 1)))
 
@@ -174,7 +200,7 @@ let () =
     Term.(
       ret
         (const main $ listen_arg $ peers_arg $ algo_arg $ seed_arg $ neighbors_arg $ tick_arg
-       $ idle_arg $ max_ticks_arg $ encoding_arg))
+       $ idle_arg $ max_ticks_arg $ encoding_arg $ fault_arg $ announce_arg))
   in
   let info =
     Cmd.info "discovery_node" ~version:"1.0.0"

@@ -92,7 +92,24 @@ let satisfied completion ~labels ~instances ~alive =
   | Quiescent -> quiescent_done instances ~alive n
 
 let last_join_round fault =
-  List.fold_left (fun acc (_, round) -> max acc round) 0 (Fault.joining_nodes fault)
+  (* restarts re-activate a node just like a late join: completion must
+     not be declared while the plan still owes the network a node *)
+  let m = List.fold_left (fun acc (_, round) -> max acc round) 0 (Fault.joining_nodes fault) in
+  List.fold_left (fun acc (_, round) -> max acc round) m (Fault.restarting_nodes fault)
+
+let restart_instance ~seed (algo : Algorithm.t) topology instances ~node =
+  let n = Topology.n topology in
+  let ctx =
+    {
+      Algorithm.n;
+      node;
+      neighbors = Topology.out_neighbors topology node;
+      labels = labels_of ~seed n;
+      rng = Rng.substream ~seed ~index:(node + 1);
+      params = Params.default;
+    }
+  in
+  instances.(node) <- algo.Algorithm.make ctx
 
 let handlers instances =
   {

@@ -44,8 +44,15 @@ val satisfied :
     {!last_join_round} so scheduled joiners are not vacuously skipped. *)
 
 val last_join_round : Fault.t -> int
-(** The latest scheduled join round (0 when none): completion must not
-    be declared before this round/time. *)
+(** The latest scheduled join {e or restart} round (0 when none):
+    completion must not be declared before this round/time. *)
+
+val restart_instance :
+  seed:int -> Algorithm.t -> Topology.t -> Algorithm.instance array -> node:int -> unit
+(** Reset [instances.(node)] to its initial state — the same derivation
+    as {!instances} (same labels, same RNG substream), mirroring a live
+    restart where the supervisor re-forks the node process from scratch.
+    Pass it as the engines' [on_restart] callback. *)
 
 val handlers : Algorithm.instance array -> Payload.t Sim.handlers
 (** Engine handlers that drive [instances]: poll [round] on round begin,

@@ -66,7 +66,11 @@ let exec_spec spec (algo : Algorithm.t) topology =
   in
   let config = { Sim.max_rounds; fault; engine_seed = seed; trace } in
   let measure_bytes = Wire.encoded_size encoding ~universe:n in
-  let outcome = Sim.run ~n ~config ~handlers ~measure:Payload.measure ~measure_bytes ~stop ~on_round_end () in
+  let on_restart ~node = Exec.restart_instance ~seed algo topology instances ~node in
+  let outcome =
+    Sim.run ~n ~config ~handlers ~measure:Payload.measure ~measure_bytes ~stop ~on_round_end
+      ~on_restart ()
+  in
   {
     algorithm = algo.Algorithm.name;
     n;

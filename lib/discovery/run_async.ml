@@ -58,7 +58,10 @@ let exec_spec spec (algo : Algorithm.t) topology =
       trace;
     }
   in
-  let outcome = Async_sim.run ~n ~config ~handlers ~measure:Payload.measure ~stop () in
+  let on_restart ~node = Exec.restart_instance ~seed algo topology instances ~node in
+  let outcome =
+    Async_sim.run ~n ~config ~handlers ~measure:Payload.measure ~stop ~on_restart ()
+  in
   {
     algorithm = algo.Algorithm.name;
     n;

@@ -176,7 +176,8 @@ module Heap = struct
     end
 end
 
-let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
+let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
+    ?(on_restart = fun ~node:_ -> ()) () =
   if n < 0 then invalid_arg "Async_sim.run: negative node count";
   if config.horizon <= 0.0 then invalid_arg "Async_sim.run: horizon must be positive";
   if config.tick_jitter < 0.0 || config.tick_jitter >= 1.0 then
@@ -186,12 +187,17 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
   let metrics = Metrics.create () in
   Metrics.begin_round metrics;
   let rng = Rng.substream ~seed:config.engine_seed ~index:0xa5f1 in
-  let loss = Fault.drop_probability config.fault in
+  let fault = config.fault in
+  let has_partitions = Fault.partitions fault <> [] in
   let alive = Array.make n true in
   let crash_time = Array.make n infinity in
   List.iter
     (fun (node, round) -> if node < n then crash_time.(node) <- float_of_int round)
     (Fault.crashed_nodes config.fault);
+  let restart_time = Array.make n infinity in
+  List.iter
+    (fun (node, round) -> if node < n then restart_time.(node) <- float_of_int round)
+    (Fault.restarting_nodes config.fault);
   let join_time = Array.make n 0.0 in
   List.iter
     (fun (node, round) -> if node < n then join_time.(node) <- float_of_int round)
@@ -219,6 +225,20 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
     crash_emitted.(v) <- true;
     Trace.emit trace (Trace.Crash { node = v })
   in
+  (* like crashes, restarts are applied lazily at the node's next event;
+     the revived node gets its initial state back (via [on_restart]) and
+     a fresh tick sequence *)
+  let apply_restart v =
+    if (not alive.(v)) && !now >= crash_time.(v) && !now >= restart_time.(v) then begin
+      if tracing && not crash_emitted.(v) then emit_crash v;
+      alive.(v) <- true;
+      crash_time.(v) <- infinity;
+      restart_time.(v) <- infinity;
+      tick_count.(v) <- 0;
+      if tracing then Trace.emit trace (Trace.Join { node = v });
+      on_restart ~node:v
+    end
+  in
   for v = 0 to n - 1 do
     if join_time.(v) > 0.0 then alive.(v) <- false
     else if tracing then Trace.emit trace (Trace.Join { node = v });
@@ -233,11 +253,18 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
     let pointers = measure payload and bytes = measure_bytes payload in
     Metrics.record_send metrics ~pointers ~bytes;
     if tracing then Trace.emit trace (Trace.Send { src; dst; pointers; bytes });
-    if loss > 0.0 && Rng.bernoulli rng ~p:loss then begin
+    if has_partitions && Fault.cut fault ~src ~dst ~time:!now then begin
       Metrics.record_drop metrics;
-      if tracing then Trace.emit trace (Trace.Drop { src; dst; reason = Trace.Loss })
+      if tracing then Trace.emit trace (Trace.Drop { src; dst; reason = Trace.Partitioned })
     end
-    else Heap.push_deliver heap (!now +. latency ()) ~src ~dst payload
+    else begin
+      let loss = Fault.loss_between fault ~src ~dst in
+      if loss > 0.0 && Rng.bernoulli rng ~p:loss then begin
+        Metrics.record_drop metrics;
+        if tracing then Trace.emit trace (Trace.Drop { src; dst; reason = Trace.Loss })
+      end
+      else Heap.push_deliver heap (!now +. latency ()) ~src ~dst payload
+    end
   in
   let continue = ref true in
   while !continue && not !completed do
@@ -260,6 +287,7 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
             alive.(v) <- true;
             if tracing then Trace.emit trace (Trace.Join { node = v })
           end;
+          apply_restart v;
           if alive.(v) then begin
             incr ticks;
             tick_count.(v) <- tick_count.(v) + 1;
@@ -268,7 +296,10 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
             handlers.Sim.round_begin ~node:v ~round:tick_count.(v)
               ~send:(fun ~dst payload -> send_from v ~dst payload)
           end;
-          if !now < crash_time.(v) then Heap.push_tick heap (!now +. period.(v)) v
+          (* keep scheduling activations for a crashed node that still
+             has a restart ahead of it, so the restart can fire *)
+          if !now < crash_time.(v) || restart_time.(v) < infinity then
+            Heap.push_tick heap (!now +. period.(v)) v
         end
         else if kind = Heap.deliver_kind then begin
           let src = Heap.peek_a heap and dst = Heap.peek_b heap in
@@ -278,6 +309,7 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop () =
             alive.(dst) <- false;
             if tracing then emit_crash dst
           end;
+          apply_restart dst;
           if alive.(dst) then begin
             Metrics.record_delivery metrics;
             if tracing then Trace.emit trace (Trace.Deliver { src; dst });

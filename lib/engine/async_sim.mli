@@ -51,10 +51,15 @@ val run :
   measure:('msg -> int) ->
   ?measure_bytes:('msg -> int) ->
   stop:(time:float -> alive:(int -> bool) -> bool) ->
+  ?on_restart:(node:int -> unit) ->
   unit ->
   outcome
 (** [handlers.round_begin] is invoked on each node tick with [round]
     equal to that node's own tick count (1-based) — algorithms written
-    against {!Sim} run unchanged.
+    against {!Sim} run unchanged. Scheduled restarts are applied lazily
+    like crashes: at the revived node's next event the engine emits
+    [Crash] (if not yet announced) then [Join], resets the node's tick
+    sequence, and calls [on_restart] so the caller can reinstall the
+    node's initial algorithm state (default: no-op).
     @raise Invalid_argument on a negative [n], a non-positive [horizon],
     a jitter outside [0, 1), or an invalid latency interval. *)

@@ -1,26 +1,155 @@
 module Imap = Map.Make (Int)
 
-type t = { loss : float; crashes : int Imap.t; joins : int Imap.t }
+type link = {
+  loss : float;
+  delay : int;
+  dup : float;
+  reorder : float;
+  corrupt : float;
+}
 
-let none = { loss = 0.0; crashes = Imap.empty; joins = Imap.empty }
+let default_link = { loss = 0.0; delay = 0; dup = 0.0; reorder = 0.0; corrupt = 0.0 }
 
-let drop_probability t = t.loss
+type partition = { groups : int list list; start : int; heal : int }
+
+type t = {
+  base : link;
+  overrides : ((int * int) * link) list;
+  partitions : partition list;
+  crashes : int Imap.t;
+  restarts : int Imap.t;
+  joins : int Imap.t;
+}
+
+let none =
+  {
+    base = default_link;
+    overrides = [];
+    partitions = [];
+    crashes = Imap.empty;
+    restarts = Imap.empty;
+    joins = Imap.empty;
+  }
+
+let check_p name p =
+  if p < 0.0 || p > 1.0 then invalid_arg (Printf.sprintf "Fault.%s: probability out of range" name)
+
+(* --- base link faults ------------------------------------------------ *)
+
+let drop_probability t = t.base.loss
 
 let with_loss t ~p =
-  if p < 0.0 || p > 1.0 then invalid_arg "Fault.with_loss: probability out of range";
-  { t with loss = p }
+  check_p "with_loss" p;
+  { t with base = { t.base with loss = p } }
+
+let with_delay t ~ticks =
+  if ticks < 0 then invalid_arg "Fault.with_delay: negative delay";
+  { t with base = { t.base with delay = ticks } }
+
+let with_dup t ~p =
+  check_p "with_dup" p;
+  { t with base = { t.base with dup = p } }
+
+let with_reorder t ~p =
+  check_p "with_reorder" p;
+  { t with base = { t.base with reorder = p } }
+
+let with_corrupt t ~p =
+  check_p "with_corrupt" p;
+  { t with base = { t.base with corrupt = p } }
+
+(* --- per-link overrides ---------------------------------------------- *)
+
+let check_link lk =
+  check_p "with_link" lk.loss;
+  check_p "with_link" lk.dup;
+  check_p "with_link" lk.reorder;
+  check_p "with_link" lk.corrupt;
+  if lk.delay < 0 then invalid_arg "Fault.with_link: negative delay"
+
+let equal_link a b =
+  a.loss = b.loss && a.delay = b.delay && a.dup = b.dup && a.reorder = b.reorder
+  && a.corrupt = b.corrupt
+
+let with_link t ~src ~dst lk =
+  if src < 0 || dst < 0 then invalid_arg "Fault.with_link: negative node";
+  check_link lk;
+  let rest = List.filter (fun (k, _) -> k <> (src, dst)) t.overrides in
+  (* an all-default override is a reset: drop the entry entirely *)
+  if equal_link lk default_link then { t with overrides = rest }
+  else { t with overrides = ((src, dst), lk) :: rest }
+
+let link_between t ~src ~dst =
+  match t.overrides with
+  | [] -> t.base
+  | l -> ( match List.assoc_opt (src, dst) l with Some lk -> lk | None -> t.base)
+
+let loss_between t ~src ~dst = (link_between t ~src ~dst).loss
+let overrides t = List.sort compare t.overrides
+let has_link_faults t = (not (equal_link t.base default_link)) || t.overrides <> []
+
+(* --- partitions ------------------------------------------------------ *)
+
+let with_partition t ~groups ~start ~heal =
+  if start < 1 then invalid_arg "Fault.with_partition: rounds are 1-based";
+  if heal <= start then invalid_arg "Fault.with_partition: heal must follow start";
+  if groups = [] || List.exists (fun g -> g = []) groups then
+    invalid_arg "Fault.with_partition: empty group";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun v ->
+         if v < 0 then invalid_arg "Fault.with_partition: negative node";
+         if Hashtbl.mem seen v then invalid_arg "Fault.with_partition: node in two groups";
+         Hashtbl.add seen v ()))
+    groups;
+  { t with partitions = t.partitions @ [ { groups; start; heal } ] }
+
+let partitions t = t.partitions
+
+let group_of p v =
+  let rec go i = function
+    | [] -> -1
+    | g :: rest -> if List.mem v g then i else go (i + 1) rest
+  in
+  go 0 p.groups
+
+let cut t ~src ~dst ~time =
+  t.partitions <> []
+  && List.exists
+       (fun p ->
+         float_of_int p.start <= time
+         && time < float_of_int p.heal
+         && group_of p src <> group_of p dst)
+       t.partitions
+
+(* --- crash / restart / join schedules -------------------------------- *)
 
 let with_crash t ~node ~round =
   if round < 1 then invalid_arg "Fault.with_crash: rounds are 1-based";
   if node < 0 then invalid_arg "Fault.with_crash: negative node";
+  (match Imap.find_opt node t.restarts with
+  | Some rr when rr <= round -> invalid_arg "Fault.with_crash: scheduled restart precedes crash"
+  | _ -> ());
   { t with crashes = Imap.add node round t.crashes }
 
 let with_crashes t pairs =
   List.fold_left (fun t (node, round) -> with_crash t ~node ~round) t pairs
 
 let crash_round t ~node = Imap.find_opt node t.crashes
-
 let crashed_nodes t = Imap.bindings t.crashes
+
+let with_restart t ~node ~round =
+  if round < 1 then invalid_arg "Fault.with_restart: rounds are 1-based";
+  if node < 0 then invalid_arg "Fault.with_restart: negative node";
+  (match Imap.find_opt node t.crashes with
+  | None -> invalid_arg "Fault.with_restart: no crash scheduled for node"
+  | Some cr when round <= cr -> invalid_arg "Fault.with_restart: restart must follow the crash"
+  | Some _ -> ());
+  { t with restarts = Imap.add node round t.restarts }
+
+let restart_round t ~node = Imap.find_opt node t.restarts
+let restarting_nodes t = Imap.bindings t.restarts
+let has_restarts t = not (Imap.is_empty t.restarts)
 
 let with_join t ~node ~round =
   if round < 1 then invalid_arg "Fault.with_join: rounds are 1-based";
@@ -31,9 +160,214 @@ let with_joins t pairs =
   List.fold_left (fun t (node, round) -> with_join t ~node ~round) t pairs
 
 let join_round t ~node = Option.value ~default:1 (Imap.find_opt node t.joins)
-
 let joining_nodes t = Imap.bindings t.joins
 
+let equal a b =
+  equal_link a.base b.base
+  && List.length a.overrides = List.length b.overrides
+  && List.for_all
+       (fun (k, lk) ->
+         match List.assoc_opt k b.overrides with
+         | Some lk' -> equal_link lk lk'
+         | None -> false)
+       a.overrides
+  && a.partitions = b.partitions
+  && Imap.equal Int.equal a.crashes b.crashes
+  && Imap.equal Int.equal a.restarts b.restarts
+  && Imap.equal Int.equal a.joins b.joins
+
+let is_none t = equal t none
+
+let last_scheduled_round t =
+  let mx m acc = Imap.fold (fun _ r acc -> max r acc) m acc in
+  let acc = mx t.crashes (mx t.restarts (mx t.joins 0)) in
+  List.fold_left (fun acc p -> max acc p.heal) acc t.partitions
+
+(* --- printer --------------------------------------------------------- *)
+
+let link_items lk =
+  List.filter_map Fun.id
+    [
+      (if lk.loss <> 0.0 then Some (Printf.sprintf "loss=%g" lk.loss) else None);
+      (if lk.delay <> 0 then Some (Printf.sprintf "delay=%d" lk.delay) else None);
+      (if lk.dup <> 0.0 then Some (Printf.sprintf "dup=%g" lk.dup) else None);
+      (if lk.reorder <> 0.0 then Some (Printf.sprintf "reorder=%g" lk.reorder) else None);
+      (if lk.corrupt <> 0.0 then Some (Printf.sprintf "corrupt=%g" lk.corrupt) else None);
+    ]
+
+(* Compress a sorted group into "+"-joined "a-b" ranges. *)
+let group_to_string g =
+  let g = List.sort_uniq compare g in
+  let rec ranges acc cur = function
+    | [] -> List.rev (cur :: acc)
+    | v :: rest ->
+        let lo, hi = cur in
+        if v = hi + 1 then ranges acc (lo, v) rest else ranges (cur :: acc) (v, v) rest
+  in
+  match g with
+  | [] -> ""
+  | v :: rest ->
+      ranges [] (v, v) rest
+      |> List.map (fun (lo, hi) ->
+             if lo = hi then string_of_int lo else Printf.sprintf "%d-%d" lo hi)
+      |> String.concat "+"
+
+let partition_to_string p =
+  Printf.sprintf "part=%s@%d..%d"
+    (String.concat "|" (List.map group_to_string p.groups))
+    p.start p.heal
+
+let to_string t =
+  let sched key m =
+    Imap.bindings m |> List.map (fun (n, r) -> Printf.sprintf "%s=%d@%d" key n r)
+  in
+  let items =
+    link_items t.base
+    @ (overrides t
+      |> List.map (fun ((s, d), lk) ->
+             Printf.sprintf "link=%d>%d:%s" s d (String.concat ":" (link_items lk))))
+    @ List.map partition_to_string t.partitions
+    @ sched "crash" t.crashes @ sched "restart" t.restarts @ sched "join" t.joins
+  in
+  String.concat "," items
+
+(* --- parser ---------------------------------------------------------- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let parse_float what s =
+  match float_of_string_opt s with Some f -> f | None -> bad "%s: not a number %S" what s
+
+let parse_int what s =
+  match int_of_string_opt s with Some i -> i | None -> bad "%s: not an integer %S" what s
+
+let split_once c s =
+  match String.index_opt s c with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let apply_link_key lk key v =
+  match key with
+  | "loss" -> { lk with loss = parse_float "loss" v }
+  | "delay" -> { lk with delay = parse_int "delay" v }
+  | "dup" -> { lk with dup = parse_float "dup" v }
+  | "reorder" -> { lk with reorder = parse_float "reorder" v }
+  | "corrupt" -> { lk with corrupt = parse_float "corrupt" v }
+  | _ -> bad "unknown link fault %S" key
+
+let parse_group s =
+  (* "0-3+8" -> [0;1;2;3;8] *)
+  String.split_on_char '+' s
+  |> List.concat_map (fun piece ->
+         match split_once '-' piece with
+         | None -> [ parse_int "node" piece ]
+         | Some (a, b) ->
+             let a = parse_int "node" a and b = parse_int "node" b in
+             if b < a then bad "empty range %S" piece;
+             List.init (b - a + 1) (fun i -> a + i))
+
+let split_window w =
+  (* "5..20" -> Some ("5", "20") *)
+  let len = String.length w in
+  let rec find i =
+    if i + 1 >= len then None
+    else if w.[i] = '.' && w.[i + 1] = '.' then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i -> Some (String.sub w 0 i, String.sub w (i + 2) (len - i - 2))
+
+let parse_partition v =
+  match split_once '@' v with
+  | None -> bad "partition needs a @START..HEAL window"
+  | Some (groups_s, window) -> (
+      let groups = String.split_on_char '|' groups_s |> List.map parse_group in
+      match split_window window with
+      | Some (s, h) -> (groups, parse_int "partition start" s, parse_int "partition heal" h)
+      | None -> bad "partition window %S: expected START..HEAL" window)
+
+let parse_at what v =
+  match split_once '@' v with
+  | Some (n, r) -> (parse_int what n, parse_int (what ^ " round") r)
+  | None -> bad "%s: expected NODE@ROUND" what
+
+type item =
+  | Base of (link -> link)
+  | Link of int * int * link
+  | Part of int list list * int * int
+  | Crash of int * int
+  | Restart of int * int
+  | Join of int * int
+
+let parse_item s =
+  match split_once '=' s with
+  | None -> bad "expected key=value in %S" s
+  | Some (key, v) -> (
+      match key with
+      | "loss" | "delay" | "dup" | "reorder" | "corrupt" -> Base (fun lk -> apply_link_key lk key v)
+      | "link" -> (
+          match split_once ':' v with
+          | None -> bad "link fault needs SRC>DST:key=value"
+          | Some (ends, kvs) -> (
+              match split_once '>' ends with
+              | None -> bad "link endpoints %S: expected SRC>DST" ends
+              | Some (s, d) ->
+                  let lk =
+                    String.split_on_char ':' kvs
+                    |> List.fold_left
+                         (fun lk kv ->
+                           match split_once '=' kv with
+                           | Some (k, v) -> apply_link_key lk k v
+                           | None -> bad "expected key=value in %S" kv)
+                         default_link
+                  in
+                  Link (parse_int "src" s, parse_int "dst" d, lk)))
+      | "part" ->
+          let groups, start, heal = parse_partition v in
+          Part (groups, start, heal)
+      | "crash" ->
+          let n, r = parse_at "crash" v in
+          Crash (n, r)
+      | "restart" ->
+          let n, r = parse_at "restart" v in
+          Restart (n, r)
+      | "join" ->
+          let n, r = parse_at "join" v in
+          Join (n, r)
+      | _ -> bad "unknown fault %S" key)
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then Ok none
+  else
+    try
+      let items = String.split_on_char ',' s |> List.map parse_item in
+      (* Restarts are validated against crashes, so apply them last:
+         "restart=5@14,crash=5@8" is as valid as the reverse order. *)
+      let order = function Restart _ -> 1 | _ -> 0 in
+      let items = List.stable_sort (fun a b -> compare (order a) (order b)) items in
+      let t =
+        List.fold_left
+          (fun t -> function
+            | Base f ->
+                let lk = f t.base in
+                check_link lk;
+                { t with base = lk }
+            | Link (src, dst, lk) -> with_link t ~src ~dst lk
+            | Part (groups, start, heal) -> with_partition t ~groups ~start ~heal
+            | Crash (node, round) -> with_crash t ~node ~round
+            | Restart (node, round) -> with_restart t ~node ~round
+            | Join (node, round) -> with_join t ~node ~round)
+          none items
+      in
+      Ok t
+    with
+    | Bad m -> Error m
+    | Invalid_argument m -> Error m
+
 let pp ppf t =
-  Format.fprintf ppf "fault(loss=%g, crashes=%d, joins=%d)" t.loss (Imap.cardinal t.crashes)
-    (Imap.cardinal t.joins)
+  if is_none t then Format.fprintf ppf "fault(none)"
+  else Format.fprintf ppf "fault(%s)" (to_string t)

@@ -1,31 +1,107 @@
-(** Fault models for the synchronous simulator.
+(** Serializable fault plans shared by the simulators and the live
+    network path.
 
-    Three orthogonal dynamics classes are supported:
-    - {b message loss}: every message is independently dropped with a
-      fixed probability (drawn from the engine's deterministic RNG);
-    - {b crash-stop failures}: a node scheduled to crash at round [r]
-      executes rounds [1 .. r-1] normally and is silent from round [r] on
-      (it neither sends nor receives; in-flight messages to it are lost);
+    A plan combines four orthogonal dynamics classes:
+
+    - {b link faults}: per-message loss, fixed delivery delay, duplication,
+      reordering and byte corruption — either uniform (the {e base} link)
+      or overridden per directed link. The synchronous and asynchronous
+      simulators apply loss only (their delivery model has no frames to
+      delay or corrupt); the live path applies all five at the frame level
+      via [Repro_net.Faultnet].
+    - {b partitions}: scheduled cuts between node groups, healed at a
+      given round. Messages crossing group boundaries inside the window
+      are dropped.
+    - {b crash/restart schedules}: a node scheduled to crash at round [r]
+      executes rounds [1 .. r-1] normally and is silent from round [r] on;
+      a restart scheduled at a later round revives it with its initial
+      knowledge (live: the supervisor re-forks the process and it rejoins
+      via a hello handshake).
     - {b late joins} (churn): a node scheduled to join at round [r] is
-      inactive — sends nothing, receives nothing — before [r], and runs
-      normally from round [r] on. Messages addressed to an unjoined node
-      are dropped, exactly like messages to a crashed one. *)
+      inactive before [r], and runs normally from round [r] on. Scheduled
+      joins are simulator-only; the live cluster forks every node at
+      start.
+
+    Plans round-trip through a textual DSL ({!of_string} / {!to_string}):
+
+    {v loss=0.1,part=0-3|4-7@5..20,crash=5@8,restart=5@14 v} *)
 
 type t
 
+type link = {
+  loss : float;  (** independent per-message drop probability *)
+  delay : int;  (** fixed delivery delay, in rounds/ticks *)
+  dup : float;  (** probability a message is delivered twice *)
+  reorder : float;  (** probability a message is held back one tick *)
+  corrupt : float;  (** probability one frame byte is flipped (live only) *)
+}
+
+type partition = { groups : int list list; start : int; heal : int }
+(** Nodes in different [groups] cannot exchange messages during rounds
+    [start .. heal-1]; nodes in no listed group form an implicit extra
+    group. *)
+
 val none : t
-(** The fault-free model. *)
+(** The fault-free plan. *)
+
+val default_link : link
+(** All-zero link faults. *)
+
+val is_none : t -> bool
+val equal : t -> t -> bool
+
+(** {1 Base link faults} *)
 
 val drop_probability : t -> float
+(** The base link's loss probability (back-compat accessor). *)
 
 val with_loss : t -> p:float -> t
-(** Independent per-message drop probability.
+(** Independent per-message drop probability on the base link.
     @raise Invalid_argument unless [0 <= p <= 1]. *)
+
+val with_delay : t -> ticks:int -> t
+val with_dup : t -> p:float -> t
+val with_reorder : t -> p:float -> t
+val with_corrupt : t -> p:float -> t
+
+(** {1 Per-link overrides} *)
+
+val with_link : t -> src:int -> dst:int -> link -> t
+(** Override every fault field for the directed link [src -> dst]; an
+    all-default link removes the override.
+    @raise Invalid_argument on negative nodes or out-of-range fields. *)
+
+val link_between : t -> src:int -> dst:int -> link
+(** The effective link faults for [src -> dst] (override or base). *)
+
+val loss_between : t -> src:int -> dst:int -> float
+val overrides : t -> ((int * int) * link) list
+(** All per-link overrides, sorted by (src, dst). *)
+
+val has_link_faults : t -> bool
+(** Any nonzero base field or any override. *)
+
+(** {1 Partitions} *)
+
+val with_partition : t -> groups:int list list -> start:int -> heal:int -> t
+(** Cut the links between [groups] during rounds [start .. heal-1].
+    @raise Invalid_argument if [start < 1], [heal <= start], a group is
+    empty, or a node appears in two groups. *)
+
+val partitions : t -> partition list
+
+val cut : t -> src:int -> dst:int -> time:float -> bool
+(** Is the [src -> dst] link severed by a partition at [time]? Rounds are
+    compared as floats so the asynchronous engines can pass fractional
+    times; the synchronous simulator passes [float_of_int round]. *)
+
+(** {1 Crash / restart / join schedules} *)
 
 val with_crash : t -> node:int -> round:int -> t
 (** Schedule [node] to crash at the start of [round] (1-based). Later
     schedules for the same node overwrite earlier ones.
-    @raise Invalid_argument if [round < 1] or [node < 0]. *)
+    @raise Invalid_argument if [round < 1], [node < 0], or a scheduled
+    restart for [node] does not come after [round]. *)
 
 val with_crashes : t -> (int * int) list -> t
 (** Fold of {!with_crash} over [(node, round)] pairs. *)
@@ -35,6 +111,16 @@ val crash_round : t -> node:int -> int option
 
 val crashed_nodes : t -> (int * int) list
 (** All scheduled crashes as [(node, round)], sorted by node. *)
+
+val with_restart : t -> node:int -> round:int -> t
+(** Schedule [node] to restart (revive with initial knowledge) at the
+    start of [round]. Requires an earlier scheduled crash.
+    @raise Invalid_argument if [round < 1], [node < 0], no crash is
+    scheduled for [node], or the restart does not come after it. *)
+
+val restart_round : t -> node:int -> int option
+val restarting_nodes : t -> (int * int) list
+val has_restarts : t -> bool
 
 val with_join : t -> node:int -> round:int -> t
 (** Schedule [node] to join (become active) at the start of [round]
@@ -50,5 +136,22 @@ val join_round : t -> node:int -> int
 
 val joining_nodes : t -> (int * int) list
 (** All scheduled late joins as [(node, round)], sorted by node. *)
+
+val last_scheduled_round : t -> int
+(** The latest round mentioned by any schedule (crash, restart, join or
+    partition heal); 0 for {!none}. Drivers use it to keep runs alive
+    until the plan has fully played out. *)
+
+(** {1 Serialization} *)
+
+val to_string : t -> string
+(** Canonical DSL form; [to_string none = ""]. Items are comma-separated:
+    [loss=P], [delay=T], [dup=P], [reorder=P], [corrupt=P],
+    [link=SRC>DST:key=value:...], [part=G1|G2@START..HEAL] (groups are
+    [+]-joined [a-b] ranges), [crash=N@R], [restart=N@R], [join=N@R]. *)
+
+val of_string : string -> (t, string) result
+(** Parse the DSL; inverse of {!to_string}. Restart items may appear
+    before the crash they depend on. *)
 
 val pp : Format.formatter -> t -> unit

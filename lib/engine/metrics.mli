@@ -16,7 +16,25 @@ val record_send : t -> pointers:int -> bytes:int -> unit
 val record_delivery : t -> unit
 val record_drop : t -> unit
 
-val absorb : t -> sent:int -> delivered:int -> dropped:int -> pointers:int -> bytes:int -> unit
+val record_retransmit : t -> unit
+(** A frame re-sent by the live path's reliability layer. Retransmits
+    are transport-level repair, not algorithm activity: they are never
+    counted as sends. *)
+
+val record_corrupt_frame : t -> unit
+(** A received frame rejected by its CRC. *)
+
+val absorb :
+  t ->
+  ?retransmits:int ->
+  ?corrupt_frames:int ->
+  sent:int ->
+  delivered:int ->
+  dropped:int ->
+  pointers:int ->
+  bytes:int ->
+  unit ->
+  unit
 (** Merge pre-aggregated totals into [t] without touching the per-round
     series — how the cluster harness folds the counters its node
     processes report into one run-level metrics value (live runs have no
@@ -33,6 +51,13 @@ val pointers_sent : t -> int
 val bytes_sent : t -> int
 (** Wire bytes under the encoding the engine was configured with (0 when
     byte accounting is off). *)
+
+val retransmits : t -> int
+(** Reliability-layer frame retransmissions (live path only; always 0 in
+    simulator runs). *)
+
+val corrupt_frames : t -> int
+(** Received frames rejected by CRC (live path only). *)
 
 (** {2 Per-round series (index 0 = round 1)} *)
 

@@ -13,17 +13,22 @@ let default_config =
 type outcome = { completed : bool; rounds : int; metrics : Metrics.t; alive : bool array }
 
 let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
-    ?(on_round_end = fun ~round:_ -> ()) () =
+    ?(on_round_end = fun ~round:_ -> ()) ?(on_restart = fun ~node:_ -> ()) () =
   if n < 0 then invalid_arg "Sim.run: negative node count";
   if config.max_rounds < 0 then invalid_arg "Sim.run: negative round budget";
   let alive = Array.make n true in
   let metrics = Metrics.create () in
   let loss_rng = Rng.substream ~seed:config.engine_seed ~index:0x10ad in
-  let loss = Fault.drop_probability config.fault in
+  let fault = config.fault in
+  let has_partitions = Fault.partitions fault <> [] in
   let crash_at = Array.make n max_int in
   List.iter
     (fun (node, round) -> if node < n then crash_at.(node) <- round)
     (Fault.crashed_nodes config.fault);
+  let restart_at = Array.make n max_int in
+  List.iter
+    (fun (node, round) -> if node < n then restart_at.(node) <- round)
+    (Fault.restarting_nodes config.fault);
   let join_at = Array.make n 1 in
   List.iter
     (fun (node, round) ->
@@ -66,6 +71,13 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
       if crash_at.(v) = r then begin
         alive.(v) <- false;
         if tracing then Trace.emit trace (Trace.Crash { node = v })
+      end;
+      (* a restart revives the node with its initial state; the restart
+         round is constrained to come strictly after the crash round *)
+      if restart_at.(v) = r then begin
+        alive.(v) <- true;
+        if tracing then Trace.emit trace (Trace.Join { node = v });
+        on_restart ~node:v
       end
     done;
     (* send phase: all sends are computed from start-of-round state *)
@@ -86,14 +98,21 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
                    reason = (if crash_at.(dst) <= r then Trace.Dead_dst else Trace.Unjoined_dst);
                  })
         end
-        else if loss > 0.0 && Rng.bernoulli loss_rng ~p:loss then begin
+        else if has_partitions && Fault.cut fault ~src ~dst ~time:(float_of_int r) then begin
           Metrics.record_drop metrics;
-          if tracing then Trace.emit trace (Trace.Drop { src; dst; reason = Trace.Loss })
+          if tracing then Trace.emit trace (Trace.Drop { src; dst; reason = Trace.Partitioned })
         end
         else begin
-          Metrics.record_delivery metrics;
-          if tracing then Trace.emit trace (Trace.Deliver { src; dst });
-          handlers.deliver ~node:dst ~src ~round:r payload
+          let loss = Fault.loss_between fault ~src ~dst in
+          if loss > 0.0 && Rng.bernoulli loss_rng ~p:loss then begin
+            Metrics.record_drop metrics;
+            if tracing then Trace.emit trace (Trace.Drop { src; dst; reason = Trace.Loss })
+          end
+          else begin
+            Metrics.record_delivery metrics;
+            if tracing then Trace.emit trace (Trace.Deliver { src; dst });
+            handlers.deliver ~node:dst ~src ~round:r payload
+          end
         end);
     on_round_end ~round:r;
     if stop ~round:r ~alive:is_alive then completed := true

@@ -52,11 +52,16 @@ val run :
   ?measure_bytes:('msg -> int) ->
   stop:(round:int -> alive:(int -> bool) -> bool) ->
   ?on_round_end:(round:int -> unit) ->
+  ?on_restart:(node:int -> unit) ->
   unit ->
   outcome
 (** Execute rounds [1, 2, …] until [stop] returns true (checked after each
     round's deliveries, and once before round 1 for trivially-complete
     instances) or [max_rounds] is reached. [measure] gives the pointer
     count of a message for accounting; [measure_bytes] (default: constant
-    0, i.e. byte accounting off) its wire size.
+    0, i.e. byte accounting off) its wire size. [on_restart] fires when a
+    scheduled restart revives a crashed node, before the node's next
+    [round_begin]: the caller must reset that node's algorithm state to
+    its initial world view (default: no-op, i.e. the node resumes with
+    whatever state the handlers still hold for it).
     @raise Invalid_argument if [n < 0] or [config.max_rounds < 0]. *)

@@ -44,6 +44,7 @@ type drop_reason =
   | Loss  (** the fault model's independent per-message coin *)
   | Dead_dst  (** destination crashed before delivery *)
   | Unjoined_dst  (** destination has not (yet) activated *)
+  | Partitioned  (** the src->dst link is severed by a scheduled partition *)
 
 type event =
   | Round_begin of { round : int }  (** synchronous engine only *)
@@ -68,8 +69,8 @@ val event_to_json : event -> string
 val pp_event : Format.formatter -> event -> unit
 
 val drop_reason_name : drop_reason -> string
-(** ["loss"], ["dead_dst"] or ["unjoined_dst"], as used in the JSON
-    encoding. *)
+(** ["loss"], ["dead_dst"], ["unjoined_dst"] or ["partitioned"], as used
+    in the JSON encoding. *)
 
 (** {2 Sinks} *)
 
@@ -150,7 +151,19 @@ module Invariants : sig
   (** Raised out of {!Trace.emit} (hence out of the engine's run) at the
       first offending event, and by {!final_check}. *)
 
-  val create : unit -> t
+  val create : ?lenient:bool -> unit -> t
+  (** [lenient] (default [false]) relaxes the checks that fault plans
+      with node restarts legitimately break: a [Join] after a [Crash] is
+      a restart (the node becomes active again and its tick sequence
+      restarts from 1); deliveries may exceed sends (a retransmission
+      can deliver to a second incarnation of a restarted peer); a
+      [Dead_dst] drop may name a node that has since restarted; and
+      {!final_check} only requires the trace totals to {e dominate} the
+      metrics totals (retired incarnations appear in the trace but not
+      in the survivors' final counters). Everything else — liveness
+      discipline, monotonic time, consecutive per-incarnation ticks —
+      is still enforced. *)
+
   val sink : t -> sink
 
   val events_seen : t -> int

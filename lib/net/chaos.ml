@@ -1,0 +1,151 @@
+open Repro_util
+open Repro_graph
+open Repro_engine
+open Repro_discovery
+
+type spec = {
+  algo : Algorithm.t;
+  n : int;
+  family : Generate.family;
+  trials : int;
+  seed : int;
+  backend : Transport.backend;
+  tick_period : float;
+  timeout : float;
+  loss_max : float;
+  encoding : Wire.encoding;
+  dir : string option;
+}
+
+let default_spec algo =
+  {
+    algo;
+    n = 8;
+    family = Generate.K_out 3;
+    trials = 10;
+    seed = 0;
+    backend = Transport.Uds;
+    tick_period = Node.default_tick_period;
+    timeout = 10.0;
+    loss_max = 0.2;
+    encoding = Wire.Adaptive;
+    dir = None;
+  }
+
+type trial = { index : int; seed : int; plan : Fault.t; result : Cluster.result; passed : bool }
+
+type report = {
+  algorithm : string;
+  family : string;
+  backend : Transport.backend;
+  n : int;
+  base_seed : int;
+  loss_max : float;
+  trials : trial list;
+  passed : int;
+}
+
+let all_passed r = r.passed = List.length r.trials
+
+(* One randomized-but-seeded plan per trial: some base link noise
+   (quantized to whole percents so plans print compactly), one scheduled
+   partition that heals, and one crash that restarts. Every trial
+   therefore exercises the reliability layer, the partition window and
+   the rejoin handshake at once. *)
+let random_plan ~rng ~n ~loss_max =
+  let pct p = float_of_int p /. 100.0 in
+  let max_pct = int_of_float ((loss_max *. 100.0) +. 0.5) in
+  let plan = Fault.none in
+  let plan =
+    Fault.with_loss plan ~p:(pct (if max_pct <= 0 then 0 else Rng.int rng (max_pct + 1)))
+  in
+  let plan = Fault.with_dup plan ~p:(pct (Rng.int rng 6)) in
+  let plan = Fault.with_reorder plan ~p:(pct (Rng.int rng 11)) in
+  let plan = Fault.with_corrupt plan ~p:(pct (Rng.int rng 3)) in
+  let split = 1 + Rng.int rng (n - 1) in
+  let group lo hi = List.init (hi - lo) (fun i -> lo + i) in
+  let start = 3 + Rng.int rng 8 in
+  let heal = start + 5 + Rng.int rng 11 in
+  let plan = Fault.with_partition plan ~groups:[ group 0 split; group split n ] ~start ~heal in
+  let victim = Rng.int rng n in
+  let crash = 3 + Rng.int rng 6 in
+  let restart = crash + 4 + Rng.int rng 7 in
+  let plan = Fault.with_crash plan ~node:victim ~round:crash in
+  Fault.with_restart plan ~node:victim ~round:restart
+
+let run ?(progress = fun _ -> ()) (spec : spec) =
+  if spec.trials < 1 then invalid_arg "Chaos.run: trials must be positive";
+  if spec.n < 2 then invalid_arg "Chaos.run: n must be at least 2";
+  (match spec.backend with
+  | Transport.Loopback -> invalid_arg "Chaos.run: chaos needs a socket backend (uds|tcp)"
+  | Transport.Uds | Transport.Tcp -> ());
+  let trials =
+    List.init spec.trials (fun index ->
+        let seed = spec.seed + index in
+        let rng = Rng.substream ~seed ~index:0xc405 in
+        let plan = random_plan ~rng ~n:spec.n ~loss_max:spec.loss_max in
+        let result =
+          Cluster.run
+            {
+              (Cluster.default_spec spec.algo) with
+              Cluster.n = spec.n;
+              family = spec.family;
+              seed;
+              backend = spec.backend;
+              tick_period = spec.tick_period;
+              timeout = spec.timeout;
+              encoding = spec.encoding;
+              dir = spec.dir;
+              fault = plan;
+            }
+        in
+        let invariants_ok =
+          match result.Cluster.invariants with
+          | Cluster.Failed _ -> false
+          | Cluster.Passed _ | Cluster.Skipped _ -> true
+        in
+        let trial = { index; seed; plan; result; passed = result.Cluster.converged && invariants_ok } in
+        progress trial;
+        trial)
+  in
+  let passed = List.length (List.filter (fun (t : trial) -> t.passed) trials) in
+  {
+    algorithm = spec.algo.Algorithm.name;
+    family = Generate.family_name spec.family;
+    backend = spec.backend;
+    n = spec.n;
+    base_seed = spec.seed;
+    loss_max = spec.loss_max;
+    trials;
+    passed;
+  }
+
+(* --- JSON soak report ----------------------------------------------- *)
+
+let trial_to_json t =
+  let invariants =
+    match t.result.Cluster.invariants with
+    | Cluster.Passed _ -> "passed"
+    | Cluster.Failed _ -> "failed"
+    | Cluster.Skipped _ -> "skipped"
+  in
+  let retransmits, corrupt_frames =
+    match t.result.Cluster.totals with
+    | Some f -> (f.Control.retransmits, f.Control.corrupt_frames)
+    | None -> (0, 0)
+  in
+  Printf.sprintf
+    {|{"trial":%d,"seed":%d,"plan":"%s","converged":%b,"invariants":"%s","passed":%b,"wall_time":%.6f,"events":%d,"crashed":[%s],"retransmits":%d,"corrupt_frames":%d}|}
+    t.index t.seed (Fault.to_string t.plan) t.result.Cluster.converged invariants t.passed
+    t.result.Cluster.wall_time t.result.Cluster.events
+    (String.concat "," (List.map string_of_int t.result.Cluster.crashed))
+    retransmits corrupt_frames
+
+let report_to_json r =
+  Printf.sprintf
+    {|{"algorithm":"%s","family":"%s","transport":"%s","n":%d,"seed":%d,"loss_max":%g,"trials":%d,"passed":%d,"failed":%d,"results":[%s]}|}
+    r.algorithm r.family
+    (Transport.backend_name r.backend)
+    r.n r.base_seed r.loss_max (List.length r.trials) r.passed
+    (List.length r.trials - r.passed)
+    (String.concat "," (List.map trial_to_json r.trials))

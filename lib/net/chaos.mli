@@ -1,0 +1,67 @@
+(** Chaos soak harness: repeated live cluster runs under randomized —
+    but fully seeded — fault plans.
+
+    Each trial derives a fault plan from [seed + trial_index]: a
+    quantized base loss rate up to [loss_max], small duplication /
+    reordering / corruption probabilities, one scheduled partition that
+    heals, and one crash with a later restart. The trial runs the
+    algorithm over a live {!Cluster} (socket backends only) under that
+    plan; it passes when the cluster converges and the online invariant
+    checker did not flag a violation. The same seed therefore always
+    replays the same soak — a failing trial can be re-run alone by
+    passing its reported seed with [trials = 1]. *)
+
+open Repro_graph
+open Repro_engine
+open Repro_discovery
+
+type spec = {
+  algo : Algorithm.t;
+  n : int;
+  family : Generate.family;
+  trials : int;
+  seed : int;  (** trial [i] uses [seed + i] for topology, labels and plan *)
+  backend : Transport.backend;  (** [Uds] or [Tcp]; loopback is rejected *)
+  tick_period : float;
+  timeout : float;  (** per-trial wall-clock budget *)
+  loss_max : float;  (** upper bound on each trial's base loss rate *)
+  encoding : Wire.encoding;
+  dir : string option;
+}
+
+val default_spec : Algorithm.t -> spec
+(** n = 8, 10 trials, seed 0, UDS, 10 s per trial, loss ≤ 0.2. *)
+
+type trial = {
+  index : int;
+  seed : int;
+  plan : Fault.t;
+  result : Cluster.result;
+  passed : bool;  (** converged with no invariant violation *)
+}
+
+type report = {
+  algorithm : string;
+  family : string;
+  backend : Transport.backend;
+  n : int;
+  base_seed : int;
+  loss_max : float;
+  trials : trial list;
+  passed : int;
+}
+
+val all_passed : report -> bool
+
+val random_plan : rng:Repro_util.Rng.t -> n:int -> loss_max:float -> Fault.t
+(** The per-trial plan generator — exposed so tests can pin its shape. *)
+
+val run : ?progress:(trial -> unit) -> spec -> report
+(** Run the soak; [progress] is called after each trial (for live
+    status lines).
+    @raise Invalid_argument if [trials < 1], [n < 2] or the backend is
+    loopback. *)
+
+val report_to_json : report -> string
+(** One-line JSON soak report (stable field order, no trailing
+    newline). *)

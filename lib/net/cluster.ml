@@ -16,6 +16,7 @@ type spec = {
   trace : Trace.sink;
   check_invariants : bool;
   kill_node : int option;
+  fault : Fault.t;
 }
 
 let default_spec algo =
@@ -32,6 +33,7 @@ let default_spec algo =
     trace = Trace.null;
     check_invariants = true;
     kill_node = None;
+    fault = Fault.none;
   }
 
 type node_outcome = Finished of Control.final | Crashed of string | Unresponsive
@@ -50,10 +52,46 @@ type result = {
   wall_time : float;
   events : int;
   crashed : int list;
+  killed : int option;
   invariants : invariant_status;
   nodes : node_report array;
   totals : Control.final option;  (** aggregate, when every node reported *)
 }
+
+(* Crash/restart accounting makes strict event-conservation unreliable
+   on the live path (a payload delivered just before its ack was lost to
+   a kill is later counted as dropped too), so any plan that can crash a
+   process checks under the relaxed rules. *)
+let lenient_for (spec : spec) =
+  spec.kill_node <> None || Fault.crashed_nodes spec.fault <> []
+
+let zero_final =
+  {
+    Control.ticks = 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    pointers = 0;
+    bytes = 0;
+    complete_tick = None;
+    decode_errors = 0;
+    retransmits = 0;
+    corrupt_frames = 0;
+  }
+
+let add_final (acc : Control.final) (f : Control.final) =
+  {
+    acc with
+    Control.ticks = acc.Control.ticks + f.Control.ticks;
+    sent = acc.Control.sent + f.Control.sent;
+    delivered = acc.Control.delivered + f.Control.delivered;
+    dropped = acc.Control.dropped + f.Control.dropped;
+    pointers = acc.Control.pointers + f.Control.pointers;
+    bytes = acc.Control.bytes + f.Control.bytes;
+    decode_errors = acc.Control.decode_errors + f.Control.decode_errors;
+    retransmits = acc.Control.retransmits + f.Control.retransmits;
+    corrupt_frames = acc.Control.corrupt_frames + f.Control.corrupt_frames;
+  }
 
 (* --- loopback: delegate to the async oracle ------------------------ *)
 
@@ -61,13 +99,17 @@ let run_loopback (spec : spec) =
   let topology =
     Generate.build spec.family ~rng:(Rng.substream ~seed:spec.seed ~index:0x70b0) ~n:spec.n
   in
-  let checker = if spec.check_invariants then Some (Trace.Invariants.create ()) else None in
+  let checker =
+    if spec.check_invariants then
+      Some (Trace.Invariants.create ~lenient:(Fault.has_restarts spec.fault) ())
+    else None
+  in
   let trace =
     match checker with
     | None -> spec.trace
     | Some inv -> Trace.tee (Trace.Invariants.sink inv) spec.trace
   in
-  let run_spec = { Run_async.default_spec with seed = spec.seed; trace } in
+  let run_spec = { Run_async.default_spec with seed = spec.seed; fault = spec.fault; trace } in
   let sim, finals = Loopback.exec_spec run_spec spec.algo topology in
   let invariants =
     match checker with
@@ -77,30 +119,7 @@ let run_loopback (spec : spec) =
       | () -> Passed (Trace.Invariants.events_seen inv)
       | exception Trace.Invariants.Violation msg -> Failed msg)
   in
-  let totals =
-    Array.fold_left
-      (fun (acc : Control.final) (f : Control.final) ->
-        {
-          acc with
-          ticks = acc.ticks + f.ticks;
-          sent = acc.sent + f.sent;
-          delivered = acc.delivered + f.delivered;
-          dropped = acc.dropped + f.dropped;
-          pointers = acc.pointers + f.pointers;
-          bytes = acc.bytes + f.bytes;
-        })
-      {
-        Control.ticks = 0;
-        sent = 0;
-        delivered = 0;
-        dropped = 0;
-        pointers = 0;
-        bytes = 0;
-        complete_tick = None;
-        decode_errors = 0;
-      }
-      finals
-  in
+  let totals = Array.fold_left add_final zero_final finals in
   {
     algorithm = spec.algo.Algorithm.name;
     family = Generate.family_name spec.family;
@@ -111,6 +130,7 @@ let run_loopback (spec : spec) =
     wall_time = sim.Run_async.time;
     events = (match checker with Some inv -> Trace.Invariants.events_seen inv | None -> 0);
     crashed = [];
+    killed = None;
     invariants;
     nodes =
       Array.mapi
@@ -180,20 +200,15 @@ let status_string = function
   | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
   | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
 
-let signal_all children signal =
-  Array.iter
-    (fun c ->
-      if c.exit_status = None then begin
-        c.killed <- c.killed || signal = Sys.sigkill;
-        try Unix.kill c.pid signal with Unix.Unix_error _ -> ()
-      end)
-    children
-
 let run_sockets (spec : spec) =
   if spec.n < 1 then invalid_arg "Cluster.run: n must be positive";
   (match spec.kill_node with
   | Some v when v < 0 || v >= spec.n -> invalid_arg "Cluster.run: kill_node out of range"
   | _ -> ());
+  List.iter
+    (fun (v, _) ->
+      if v >= spec.n then invalid_arg "Cluster.run: fault schedules a node outside the cluster")
+    (Fault.crashed_nodes spec.fault);
   (* writes to a crashed child's control socket must surface as EPIPE,
      not kill the harness *)
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
@@ -223,23 +238,31 @@ let run_sockets (spec : spec) =
   (match scheme with
   | Transport.Ports ports -> Array.iteri (fun v fd -> ports.(v) <- Transport.bound_port fd) listeners
   | Transport.Dir _ | Transport.Table _ -> ());
-  let pairs =
-    Array.init spec.n (fun _ -> Unix.socketpair ~cloexec:false Unix.PF_UNIX Unix.SOCK_STREAM 0)
-  in
   let epoch = Unix.gettimeofday () in
-  let max_ticks = int_of_float (spec.timeout /. spec.tick_period) + 16 in
-  (* buffered output must not be duplicated into every child *)
-  flush stdout;
-  flush stderr;
-  let spawn v =
+  let max_ticks =
+    max
+      (int_of_float (spec.timeout /. spec.tick_period) + 16)
+      (Fault.last_scheduled_round spec.fault + 16)
+  in
+  (* parent-side control fds every later fork must close, and the
+     listeners the parent still holds (kept open for nodes scheduled to
+     restart, so a re-forked incarnation inherits the same socket) *)
+  let control_fds = ref [] in
+  let open_listeners = ref (List.init spec.n (fun v -> (v, listeners.(v)))) in
+  let spawn ~announce v =
+    (* buffered output must not be duplicated into the child *)
+    flush stdout;
+    flush stderr;
+    let parent_fd, child_fd = Unix.socketpair ~cloexec:false Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.fork () with
     | 0 ->
       let code =
         try
-          let parent_of (p, _) = p and child_of (_, c) = c in
-          Array.iter (fun pair -> Unix.close (parent_of pair)) pairs;
-          Array.iteri (fun u pair -> if u <> v then Unix.close (child_of pair)) pairs;
-          Array.iteri (fun u fd -> if u <> v then Unix.close fd) listeners;
+          (try Unix.close parent_fd with Unix.Unix_error _ -> ());
+          List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !control_fds;
+          List.iter
+            (fun (u, fd) -> if u <> v then try Unix.close fd with Unix.Unix_error _ -> ())
+            !open_listeners;
           let report =
             Node.run
               {
@@ -250,13 +273,17 @@ let run_sockets (spec : spec) =
                 neighbors = Topology.out_neighbors topology v;
                 scheme;
                 listen_fd = Some listeners.(v);
-                control_fd = Some (child_of pairs.(v));
+                control_fd = Some child_fd;
                 epoch;
                 tick_period = spec.tick_period;
                 idle_timeout = Node.default_idle_timeout;
                 max_ticks;
                 connect_retries = Node.default_connect_retries;
                 backoff = Node.default_backoff;
+                backoff_cap = Node.default_backoff_cap;
+                rto = Node.default_rto;
+                fault = spec.fault;
+                announce;
                 encoding = spec.encoding;
               }
           in
@@ -268,10 +295,13 @@ let run_sockets (spec : spec) =
          flushing inherited channels or running at_exit handlers *)
       Unix._exit code
     | pid ->
+      (try Unix.close child_fd with Unix.Unix_error _ -> ());
+      Unix.set_nonblock parent_fd;
+      control_fds := parent_fd :: !control_fds;
       {
         id = v;
         pid;
-        fd = fst pairs.(v);
+        fd = parent_fd;
         buf = Buffer.create 256;
         events = [];
         completed = false;
@@ -281,16 +311,38 @@ let run_sockets (spec : spec) =
         killed = false;
       }
   in
-  let children = Array.init spec.n spawn in
-  Array.iter (fun (_, child_fd) -> try Unix.close child_fd with Unix.Unix_error _ -> ()) pairs;
-  Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
-  Array.iter (fun c -> Unix.set_nonblock c.fd) children;
+  let children = Array.init spec.n (fun v -> spawn ~announce:false v) in
+  let retired = ref [] in
+  (* the parent only keeps listeners it will hand to a restarted child *)
+  open_listeners :=
+    List.filter
+      (fun (v, fd) ->
+        if Fault.restart_round spec.fault ~node:v <> None then true
+        else begin
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          false
+        end)
+      !open_listeners;
   (* sabotage: kill one node outright to exercise the failure path *)
   (match spec.kill_node with
   | Some v ->
     children.(v).killed <- true;
     (try Unix.kill children.(v).pid Sys.sigkill with Unix.Unix_error _ -> ())
   | None -> ());
+  (* the fault plan's crash/restart schedule, on the shared round clock:
+     round r's tick fires about r*tick_period after the epoch, so acting
+     at (r - 0.5) ticks lands between the victim's rounds r-1 and r *)
+  let schedule =
+    ref
+      (List.stable_sort compare
+         (List.map
+            (fun (v, r) -> ((float_of_int r -. 0.5) *. spec.tick_period, `Kill, v))
+            (Fault.crashed_nodes spec.fault)
+         @ List.map
+             (fun (v, r) -> ((float_of_int r -. 0.5) *. spec.tick_period, `Respawn, v))
+             (Fault.restarting_nodes spec.fault)))
+  in
+  let expects_respawn v = List.exists (fun (_, act, u) -> act = `Respawn && u = v) !schedule in
   let start = Unix.gettimeofday () in
   let deadline = start +. spec.timeout in
   let crash_events = ref [] in
@@ -298,18 +350,29 @@ let run_sockets (spec : spec) =
   let grace_deadline = ref infinity in
   let term_deadline = ref infinity in
   let timed_out = ref false in
+  let iter_all f =
+    Array.iter f children;
+    List.iter f !retired
+  in
+  let for_all_all p = Array.for_all p children && List.for_all p !retired in
   let broadcast_halt () =
     if not !halt_sent then begin
       halt_sent := true;
+      schedule := [];  (* no point maiming a cluster that is tearing down *)
       grace_deadline := Unix.gettimeofday () +. 2.0;
       term_deadline := !grace_deadline +. 0.5;
       let line = Bytes.of_string Control.halt_line in
-      Array.iter
-        (fun c ->
+      iter_all (fun c ->
           if not c.eof then
             try ignore (Unix.write c.fd line 0 (Bytes.length line)) with Unix.Unix_error _ -> ())
-        children
     end
+  in
+  let signal_all signal =
+    iter_all (fun c ->
+        if c.exit_status = None then begin
+          c.killed <- c.killed || signal = Sys.sigkill;
+          try Unix.kill c.pid signal with Unix.Unix_error _ -> ()
+        end)
   in
   let crashed_child c =
     match c.exit_status with
@@ -317,15 +380,43 @@ let run_sockets (spec : spec) =
     | Some _ -> true
     | None -> false
   in
-  let all_reaped () = Array.for_all (fun c -> c.exit_status <> None) children in
-  let all_eof () = Array.for_all (fun c -> c.eof) children in
+  let all_reaped () = for_all_all (fun c -> c.exit_status <> None) in
+  let all_eof () = for_all_all (fun c -> c.eof) in
   while not (all_reaped () && all_eof ()) do
     let now = Unix.gettimeofday () in
-    (* reap exits; a non-zero status is a crash (unless we killed it
-       ourselves during sabotage/teardown, which is still a crash from
-       the protocol's point of view but not a surprise) *)
-    Array.iter
-      (fun c ->
+    (* play out the fault plan's schedule *)
+    let rec run_due () =
+      match !schedule with
+      | (at, act, v) :: rest when Unix.gettimeofday () -. epoch >= at ->
+        schedule := rest;
+        (match act with
+        | `Kill ->
+          let c = children.(v) in
+          if c.exit_status = None then begin
+            c.killed <- true;
+            try Unix.kill c.pid Sys.sigkill with Unix.Unix_error _ -> ()
+          end
+        | `Respawn ->
+          retired := children.(v) :: !retired;
+          children.(v) <- spawn ~announce:true v;
+          (* the fresh incarnation inherited the listener; drop our copy *)
+          open_listeners :=
+            List.filter
+              (fun (u, fd) ->
+                if u = v then begin
+                  (try Unix.close fd with Unix.Unix_error _ -> ());
+                  false
+                end
+                else true)
+              !open_listeners);
+        run_due ()
+      | _ -> ()
+    in
+    run_due ();
+    (* reap exits; a non-zero status is a crash (scheduled kills and
+       teardown kills included — still crashes from the protocol's point
+       of view, just not surprises) *)
+    iter_all (fun c ->
         if c.exit_status = None then
           match Unix.waitpid [ Unix.WNOHANG ] c.pid with
           | 0, _ -> ()
@@ -334,36 +425,35 @@ let run_sockets (spec : spec) =
             if crashed_child c then
               crash_events :=
                 (Unix.gettimeofday () -. epoch, Trace.Crash { node = c.id }) :: !crash_events
-          | exception Unix.Unix_error (ECHILD, _, _) -> c.exit_status <- Some (Unix.WEXITED 0))
-      children;
-    let converged_now = Array.for_all (fun c -> c.completed) children in
-    let any_crash = Array.exists crashed_child children in
-    (* convergence → graceful halt; a crash makes convergence impossible
-       (the dead node can never announce), so halt survivors immediately *)
-    if (not !halt_sent) && (converged_now || any_crash) then broadcast_halt ();
+          | exception Unix.Unix_error (ECHILD, _, _) -> c.exit_status <- Some (Unix.WEXITED 0));
+    let converged_now = !schedule = [] && Array.for_all (fun c -> c.completed) children in
+    (* a crash makes convergence impossible (the dead node can never
+       announce) — unless the plan revives it later, in which case the
+       outage is part of the experiment *)
+    let fatal_crash =
+      Array.exists (fun c -> crashed_child c && not (expects_respawn c.id)) children
+    in
+    if (not !halt_sent) && (converged_now || fatal_crash) then broadcast_halt ();
     if (not !halt_sent) && now >= deadline then begin
       timed_out := true;
       broadcast_halt ()
     end;
-    if !halt_sent && now >= !grace_deadline && not (all_reaped ()) then
-      signal_all children Sys.sigterm;
-    if !halt_sent && now >= !term_deadline && not (all_reaped ()) then
-      signal_all children Sys.sigkill;
-    let rfds =
-      Array.to_list children
-      |> List.filter_map (fun c -> if c.eof then None else Some c.fd)
-    in
-    if rfds = [] then (
+    if !halt_sent && now >= !grace_deadline && not (all_reaped ()) then signal_all Sys.sigterm;
+    if !halt_sent && now >= !term_deadline && not (all_reaped ()) then signal_all Sys.sigkill;
+    let rfds = ref [] in
+    iter_all (fun c -> if not c.eof then rfds := c.fd :: !rfds);
+    if !rfds = [] then (
       if not (all_reaped ()) then ignore (Unix.select [] [] [] 0.02))
     else begin
       let readable, _, _ =
-        try Unix.select rfds [] [] 0.05 with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+        try Unix.select !rfds [] [] 0.05 with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
       in
-      Array.iter (fun c -> if List.mem c.fd readable then drain_child c) children
+      iter_all (fun c -> if List.mem c.fd readable then drain_child c)
     end
   done;
   let wall_time = Unix.gettimeofday () -. start in
-  Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) children;
+  iter_all (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ());
+  List.iter (fun (_, fd) -> try Unix.close fd with Unix.Unix_error _ -> ()) !open_listeners;
   (match !cleanup_dir with
   | Some dir ->
     for v = 0 to spec.n - 1 do
@@ -375,10 +465,11 @@ let run_sockets (spec : spec) =
   let crashed =
     Array.to_list children |> List.filter crashed_child |> List.map (fun c -> c.id)
   in
-  (* merge the per-node streams into one time-ordered trace; stable sort
-     keeps each node's own order for equal (time, rank) keys *)
+  (* merge the per-node streams (every incarnation's) into one
+     time-ordered trace; stable sort keeps each node's own order for
+     equal (time, rank) keys *)
   let merged =
-    Array.to_list children
+    Array.to_list children @ !retired
     |> List.concat_map (fun c -> List.rev c.events)
     |> List.append (List.rev !crash_events)
     |> List.stable_sort (fun (t1, e1) (t2, e2) ->
@@ -387,7 +478,11 @@ let run_sockets (spec : spec) =
            | c -> c)
   in
   let terminal = if converged then Trace.Complete else Trace.Give_up in
-  let checker = if spec.check_invariants then Some (Trace.Invariants.create ()) else None in
+  let checker =
+    if spec.check_invariants then
+      Some (Trace.Invariants.create ~lenient:(lenient_for spec) ())
+    else None
+  in
   let check_failure = ref None in
   let emit_checked ev =
     (match checker with
@@ -404,29 +499,8 @@ let run_sockets (spec : spec) =
     if Array.for_all (fun c -> c.final <> None) children then
       Some
         (Array.fold_left
-           (fun (acc : Control.final) c ->
-             let f = Option.get c.final in
-             {
-               Control.ticks = acc.ticks + f.ticks;
-               sent = acc.sent + f.sent;
-               delivered = acc.delivered + f.delivered;
-               dropped = acc.dropped + f.dropped;
-               pointers = acc.pointers + f.pointers;
-               bytes = acc.bytes + f.bytes;
-               complete_tick = None;
-               decode_errors = acc.decode_errors + f.decode_errors;
-             })
-           {
-             Control.ticks = 0;
-             sent = 0;
-             delivered = 0;
-             dropped = 0;
-             pointers = 0;
-             bytes = 0;
-             complete_tick = None;
-             decode_errors = 0;
-           }
-           children)
+           (fun acc c -> add_final acc (Option.get c.final))
+           zero_final children)
     else None
   in
   let invariants =
@@ -439,8 +513,10 @@ let run_sockets (spec : spec) =
         (* end-to-end agreement between the merged trace and the nodes'
            own counters, via the same final_check the engines use *)
         let metrics = Metrics.create () in
-        Metrics.absorb metrics ~sent:t.Control.sent ~delivered:t.Control.delivered
-          ~dropped:t.Control.dropped ~pointers:t.Control.pointers ~bytes:t.Control.bytes;
+        Metrics.absorb metrics ~retransmits:t.Control.retransmits
+          ~corrupt_frames:t.Control.corrupt_frames ~sent:t.Control.sent
+          ~delivered:t.Control.delivered ~dropped:t.Control.dropped ~pointers:t.Control.pointers
+          ~bytes:t.Control.bytes ();
         match Trace.Invariants.final_check inv metrics with
         | () -> Passed (Trace.Invariants.events_seen inv)
         | exception Trace.Invariants.Violation msg -> Failed msg)
@@ -470,6 +546,7 @@ let run_sockets (spec : spec) =
     wall_time;
     events = List.length merged + 1;
     crashed;
+    killed = spec.kill_node;
     invariants;
     nodes;
     totals;
@@ -487,11 +564,11 @@ let run (spec : spec) =
 
 let json_final (f : Control.final) =
   Printf.sprintf
-    {|{"ticks":%d,"sent":%d,"delivered":%d,"dropped":%d,"pointers":%d,"bytes":%d,"complete_tick":%s,"decode_errors":%d}|}
+    {|{"ticks":%d,"sent":%d,"delivered":%d,"dropped":%d,"pointers":%d,"bytes":%d,"complete_tick":%s,"decode_errors":%d,"retransmits":%d,"corrupt_frames":%d}|}
     f.Control.ticks f.Control.sent f.Control.delivered f.Control.dropped f.Control.pointers
     f.Control.bytes
     (match f.Control.complete_tick with Some t -> string_of_int t | None -> "null")
-    f.Control.decode_errors
+    f.Control.decode_errors f.Control.retransmits f.Control.corrupt_frames
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -524,11 +601,12 @@ let result_to_json r =
     | Skipped why -> Printf.sprintf {|{"status":"skipped","reason":"%s"}|} (json_escape why)
   in
   Printf.sprintf
-    {|{"algorithm":"%s","family":"%s","transport":"%s","n":%d,"seed":%d,"converged":%b,"wall_time":%.6f,"events":%d,"crashed":[%s],"invariants":%s,"totals":%s,"nodes":[%s]}|}
+    {|{"algorithm":"%s","family":"%s","transport":"%s","n":%d,"seed":%d,"converged":%b,"wall_time":%.6f,"events":%d,"crashed":[%s],"killed":%s,"invariants":%s,"totals":%s,"nodes":[%s]}|}
     (json_escape r.algorithm) (json_escape r.family)
     (Transport.backend_name r.backend)
     r.n r.seed r.converged r.wall_time r.events
     (String.concat "," (List.map string_of_int r.crashed))
+    (match r.killed with Some v -> string_of_int v | None -> "null")
     invariants
     (match r.totals with Some t -> json_final t | None -> "null")
     (String.concat "," (Array.to_list (Array.map node_json r.nodes)))

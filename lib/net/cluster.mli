@@ -15,12 +15,19 @@
     - forks one child per node, each connected by a control socketpair
       ({!Control} protocol) over which it streams trace events,
       completion announcements and its final counters;
-    - declares convergence when every child has announced completion,
-      then halts them gracefully; a child that dies early (crash, or
-      {!spec.kill_node} sabotage) is detected by [waitpid], reported as
-      crashed — never hung — and the survivors are halted; unresponsive
-      children are escalated SIGTERM → SIGKILL so teardown always
-      finishes within the grace window;
+    - plays out the {!spec.fault} plan's crash/restart schedule on the
+      shared round clock: a scheduled crash SIGKILLs the victim between
+      its rounds, a scheduled restart re-forks it on the {e same}
+      inherited listening socket with [announce] set, so the fresh
+      incarnation rejoins via the hello handshake and rebuilds its
+      knowledge from its peers' replies;
+    - declares convergence when the schedule has fully played out and
+      every current incarnation has announced completion; a child that
+      dies early (crash, or {!spec.kill_node} sabotage) with no
+      scheduled restart is detected by [waitpid], reported as crashed —
+      never hung — and the survivors are halted; unresponsive children
+      are escalated SIGTERM → SIGKILL so teardown always finishes within
+      the grace window;
     - merges the per-node event streams into one time-ordered trace,
       feeds it to [spec.trace] and (healthy runs) to the online
       {!Repro_engine.Trace.Invariants} checker, closing with the same
@@ -48,6 +55,12 @@ type spec = {
   check_invariants : bool;
   kill_node : int option;
       (** sabotage: SIGKILL this node right after spawn (socket backends only) *)
+  fault : Fault.t;
+      (** unified fault plan: link faults and partitions are applied in
+          the children via {!Faultnet}; crash/restart schedules are
+          executed by the harness (socket backends) or the simulator
+          (loopback). Runs that can crash a process are checked with the
+          invariant checker's relaxed ([lenient]) rules. *)
 }
 
 val default_spec : Algorithm.t -> spec
@@ -70,7 +83,8 @@ type result = {
   converged : bool;
   wall_time : float;  (** seconds (loopback: simulated time) *)
   events : int;
-  crashed : int list;
+  crashed : int list;  (** nodes whose {e current} incarnation died abnormally *)
+  killed : int option;  (** echo of [spec.kill_node]: the sabotaged node, if any *)
   invariants : invariant_status;
   nodes : node_report array;
   totals : Control.final option;  (** aggregate, when every node reported *)

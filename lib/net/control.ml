@@ -9,6 +9,8 @@ type final = {
   bytes : int;
   complete_tick : int option;
   decode_errors : int;
+  retransmits : int;
+  corrupt_frames : int;
 }
 
 type msg = Event of float * Trace.event | Completed of float * int | Final of final
@@ -37,10 +39,10 @@ let event_line ~time (ev : Trace.event) =
 let completed_line ~time ~tick = Printf.sprintf "C %s %d\n" (time_str time) tick
 
 let final_line f =
-  Printf.sprintf "F %d %d %d %d %d %d %d %d\n" f.ticks f.sent f.delivered f.dropped f.pointers
-    f.bytes
+  Printf.sprintf "F %d %d %d %d %d %d %d %d %d %d\n" f.ticks f.sent f.delivered f.dropped
+    f.pointers f.bytes
     (match f.complete_tick with Some t -> t | None -> -1)
-    f.decode_errors
+    f.decode_errors f.retransmits f.corrupt_frames
 
 let halt_line = "H\n"
 
@@ -62,6 +64,7 @@ let parse_event ~time = function
       match reason with
       | "loss" -> Trace.Loss
       | "dead_dst" -> Trace.Dead_dst
+      | "partitioned" -> Trace.Partitioned
       | _ -> Trace.Unjoined_dst
     in
     Ok (Trace.Drop { src = int_of_string src; dst = int_of_string dst; reason })
@@ -85,7 +88,10 @@ let parse line =
     match (float_of_string_opt time, int_of_string_opt tick) with
     | Some t, Some k -> Ok (Completed (t, k))
     | _ -> fail ())
-  | [ "F"; ticks; sent; delivered; dropped; pointers; bytes; complete_tick; decode_errors ] -> (
+  | [
+      "F"; ticks; sent; delivered; dropped; pointers; bytes; complete_tick; decode_errors;
+      retransmits; corrupt_frames;
+    ] -> (
     try
       let i = int_of_string in
       Ok
@@ -99,6 +105,8 @@ let parse line =
              bytes = i bytes;
              complete_tick = (if i complete_tick < 0 then None else Some (i complete_tick));
              decode_errors = i decode_errors;
+             retransmits = i retransmits;
+             corrupt_frames = i corrupt_frames;
            })
     with Failure _ -> fail ())
   | _ -> fail ()

@@ -28,7 +28,9 @@ type final = {
   pointers : int;
   bytes : int;
   complete_tick : int option;  (** local tick at which knowledge became complete *)
-  decode_errors : int;  (** corrupt envelopes/payloads received (0 on a healthy link) *)
+  decode_errors : int;  (** malformed envelopes/payloads received (0 on a healthy link) *)
+  retransmits : int;  (** frames re-sent by the reliability layer *)
+  corrupt_frames : int;  (** received frames rejected by their CRC *)
 }
 
 type msg = Event of float * Trace.event | Completed of float * int | Final of final

@@ -3,29 +3,42 @@
 
      offset  size  field
      0       2     magic "RD"
-     2       1     version (currently 1)
-     3       1     reserved (must be 0)
+     2       1     version (currently 2)
+     3       1     kind (0 = data, 1 = ack, 2 = hello)
      4       4     src node id
      8       4     stamp (sender's tick count when the message left)
-     12      4     body length
-     16      4     CRC-32 (IEEE) of bytes [0, 16) ++ body
-     20      ...   body ([Wire]-encoded payload)
+     12      4     sequence number (per-link, 1-based; 0 on ack/hello)
+     16      4     cumulative ack (highest in-order seq received from dst)
+     20      4     body length
+     24      4     CRC-32 (IEEE) of bytes [0, 24) ++ body
+     28      ...   body ([Wire]-encoded payload)
 
    The header carries its own integrity evidence: magic + version gate
    resynchronisation bugs, the length field is bounded before any
-   allocation, and the CRC — seeded over the first 16 header bytes and
-   continued over the body — catches corruption of the addressing
-   fields as well as the payload. *)
+   allocation, and the CRC — seeded over the first 24 header bytes and
+   continued over the body — catches corruption of the addressing and
+   reliability fields as well as the payload.
+
+   Version 2 added the kind/seq/ack fields for the reliability layer;
+   version-1 frames are rejected as an unsupported version (live fleets
+   are always spawned from one build, so no cross-version traffic
+   exists). *)
 
 let magic0 = 'R'
 let magic1 = 'D'
-let version = 1
-let header_size = 20
+let version = 2
+let header_size = 28
 
 (* generous per-message bound: a bitmap body for n = 2^24 nodes is 2 MiB *)
 let max_body = 16 * 1024 * 1024
 
-type t = { src : int; stamp : int; body : bytes }
+type kind = Data | Ack | Hello
+
+type t = { kind : kind; src : int; stamp : int; seq : int; ack : int; body : bytes }
+
+let kind_code = function Data -> 0 | Ack -> 1 | Hello -> 2
+let kind_name = function Data -> "data" | Ack -> "ack" | Hello -> "hello"
+let crc_mismatch = "CRC mismatch"
 
 (* --- CRC-32 (IEEE 802.3), table-driven --- *)
 
@@ -67,23 +80,30 @@ let get_u32 buf off =
 
 let encoded_size t = header_size + Bytes.length t.body
 
+let check_u31 name v =
+  if v < 0 || v > 0x7FFFFFFF then invalid_arg (Printf.sprintf "Envelope.encode: %s out of range" name)
+
 let encode t =
-  if t.src < 0 || t.src > 0x7FFFFFFF then invalid_arg "Envelope.encode: src out of range";
-  if t.stamp < 0 || t.stamp > 0x7FFFFFFF then invalid_arg "Envelope.encode: stamp out of range";
+  check_u31 "src" t.src;
+  check_u31 "stamp" t.stamp;
+  check_u31 "seq" t.seq;
+  check_u31 "ack" t.ack;
   let blen = Bytes.length t.body in
   if blen > max_body then invalid_arg "Envelope.encode: body too large";
   let out = Bytes.create (header_size + blen) in
   Bytes.set out 0 magic0;
   Bytes.set out 1 magic1;
   Bytes.set out 2 (Char.chr version);
-  Bytes.set out 3 '\000';
+  Bytes.set out 3 (Char.chr (kind_code t.kind));
   put_u32 out 4 t.src;
   put_u32 out 8 t.stamp;
-  put_u32 out 12 blen;
+  put_u32 out 12 t.seq;
+  put_u32 out 16 t.ack;
+  put_u32 out 20 blen;
   Bytes.blit t.body 0 out header_size blen;
-  (* CRC spans the 16 addressing bytes plus the body (the CRC field
+  (* CRC spans the 24 addressing bytes plus the body (the CRC field
      itself is excluded) *)
-  put_u32 out 16 (crc_finish (crc_update (crc_update crc_init out 0 16) t.body 0 blen));
+  put_u32 out 24 (crc_finish (crc_update (crc_update crc_init out 0 24) t.body 0 blen));
   out
 
 let decode buf ~off ~len =
@@ -95,20 +115,29 @@ let decode buf ~off ~len =
       (Printf.sprintf "unsupported envelope version %d (this build speaks %d)"
          (Char.code (Bytes.get buf (off + 2)))
          version)
-  else if Bytes.get buf (off + 3) <> '\000' then `Corrupt "nonzero reserved byte"
   else begin
-    let src = get_u32 buf (off + 4) in
-    let stamp = get_u32 buf (off + 8) in
-    let blen = get_u32 buf (off + 12) in
-    if blen < 0 || blen > max_body then `Corrupt (Printf.sprintf "body length %d out of bounds" blen)
-    else if len < header_size + blen then `Need_more
+    let kind_byte = Char.code (Bytes.get buf (off + 3)) in
+    if kind_byte > 2 then `Corrupt (Printf.sprintf "unknown frame kind %d" kind_byte)
     else begin
-      let crc = get_u32 buf (off + 16) in
-      let actual =
-        crc_finish (crc_update (crc_update crc_init buf off 16) buf (off + header_size) blen)
-      in
-      if crc <> actual then `Corrupt "CRC mismatch"
-      else
-        `Frame ({ src; stamp; body = Bytes.sub buf (off + header_size) blen }, header_size + blen)
+      let src = get_u32 buf (off + 4) in
+      let stamp = get_u32 buf (off + 8) in
+      let seq = get_u32 buf (off + 12) in
+      let ack = get_u32 buf (off + 16) in
+      let blen = get_u32 buf (off + 20) in
+      if blen < 0 || blen > max_body then
+        `Corrupt (Printf.sprintf "body length %d out of bounds" blen)
+      else if len < header_size + blen then `Need_more
+      else begin
+        let crc = get_u32 buf (off + 24) in
+        let actual =
+          crc_finish (crc_update (crc_update crc_init buf off 24) buf (off + header_size) blen)
+        in
+        if crc <> actual then `Corrupt crc_mismatch
+        else begin
+          let kind = match kind_byte with 0 -> Data | 1 -> Ack | _ -> Hello in
+          `Frame ({ kind; src; stamp; seq; ack; body = Bytes.sub buf (off + header_size) blen },
+                  header_size + blen)
+        end
+      end
     end
   end

@@ -1,36 +1,57 @@
 (** Length-prefixed wire envelope for the socket transports.
 
     The {!Repro_discovery.Wire} codecs serialise a payload's identifier
-    set; a live byte stream additionally needs framing and integrity.
-    Every message on a UDS/TCP connection travels as one envelope:
-    a 20-byte header — magic, version, sender node id, the sender's tick
-    stamp, body length, CRC-32 covering the addressing header and the
-    body — followed by the [Wire]-encoded payload body.
+    set; a live byte stream additionally needs framing, integrity and —
+    since the reliability layer — delivery bookkeeping. Every message on
+    a UDS/TCP connection travels as one envelope: a 28-byte header —
+    magic, version, frame {!kind}, sender node id, the sender's tick
+    stamp, a per-link sequence number, a cumulative ack, body length,
+    CRC-32 covering the whole header and the body — followed by the
+    [Wire]-encoded payload body.
+
+    Frame kinds: [Data] carries an algorithm payload and occupies one
+    slot in the per-link sequence space; [Ack] is a pure cumulative
+    acknowledgement (empty body, [seq = 0]); [Hello] announces a fresh
+    incarnation after a restart and asks the receiver to reset its link
+    state for the sender (empty body, [seq = 0]).
 
     Decoding is incremental (a TCP read may deliver half a frame) and
     defensive: truncation is [`Need_more], while corruption — bad magic,
-    unknown version, out-of-bounds length, CRC mismatch — is [`Corrupt]
-    with a reason, and a hostile length field is bounded {e before} any
-    allocation depends on it. *)
+    unknown version or kind, out-of-bounds length, CRC mismatch — is
+    [`Corrupt] with a reason, and a hostile length field is bounded
+    {e before} any allocation depends on it. *)
+
+type kind = Data | Ack | Hello
 
 type t = {
+  kind : kind;
   src : int;  (** sender's node id *)
   stamp : int;  (** sender's tick count when the message was sent *)
-  body : bytes;  (** [Wire]-encoded payload *)
+  seq : int;  (** per-link data sequence number (1-based; 0 for [Ack]/[Hello]) *)
+  ack : int;  (** cumulative: highest in-order seq received from the destination *)
+  body : bytes;  (** [Wire]-encoded payload (empty for [Ack]/[Hello]) *)
 }
 
 val header_size : int
-(** 20 bytes. *)
+(** 28 bytes. *)
 
 val max_body : int
 (** Upper bound on [Bytes.length body] accepted by both directions. *)
+
+val kind_name : kind -> string
+(** ["data"], ["ack"] or ["hello"]. *)
+
+val crc_mismatch : string
+(** The exact [`Corrupt] reason produced by a CRC failure — receivers
+    key the [corrupt_frames] counter on it (all other corruption counts
+    as a decode error). *)
 
 val encoded_size : t -> int
 (** [header_size + length body]. *)
 
 val encode : t -> bytes
-(** @raise Invalid_argument on a negative/overflowing [src] or [stamp],
-    or a body larger than {!max_body}. *)
+(** @raise Invalid_argument on a negative/overflowing [src], [stamp],
+    [seq] or [ack], or a body larger than {!max_body}. *)
 
 val decode : bytes -> off:int -> len:int -> [ `Frame of t * int | `Need_more | `Corrupt of string ]
 (** [decode buf ~off ~len] inspects the [len] bytes at [off].

@@ -1,0 +1,78 @@
+open Repro_util
+open Repro_engine
+
+(* Frames held back by delay/reorder faults, awaiting their release
+   time. The list is tiny (bounded by in-flight frames on faulted
+   links), so a plain list beats a heap here. *)
+type held = { release : float; dst : int; frame : bytes }
+
+type t = {
+  plan : Fault.t;
+  rng : Rng.t;
+  node : int;
+  epoch : float;
+  tick_period : float;
+  mutable held : held list;
+}
+
+let active plan = Fault.has_link_faults plan || Fault.partitions plan <> []
+
+let create ~plan ~seed ~node ~epoch ~tick_period =
+  if tick_period <= 0.0 then invalid_arg "Faultnet.create: tick_period must be positive";
+  {
+    plan;
+    (* one private substream per node: outcomes depend only on the seed
+       and this node's frame sequence, not on wall clock or siblings *)
+    rng = Rng.substream ~seed ~index:(0xfa00 + node);
+    node;
+    epoch;
+    tick_period;
+    held = [];
+  }
+
+(* Map wall time to the simulator's round clock so partition windows
+   mean the same thing on both paths: tick k fires ~k*tick_period after
+   the epoch, so (now - epoch) / tick_period is the current "round". *)
+let round_now t ~now = (now -. t.epoch) /. t.tick_period
+
+let corrupt_copy t frame =
+  let b = Bytes.copy frame in
+  let i = Rng.int t.rng (Bytes.length b) in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+  b
+
+let pending t = t.held <> []
+
+let send t ~now ~dst frame ~queue =
+  let lk = Fault.link_between t.plan ~src:t.node ~dst in
+  if Fault.cut t.plan ~src:t.node ~dst ~time:(round_now t ~now) then ()
+    (* partitioned: silently swallowed — the reliability layer's
+       retransmission delivers it after the heal *)
+  else if lk.Fault.loss > 0.0 && Rng.bernoulli t.rng ~p:lk.Fault.loss then ()
+  else begin
+    let frame =
+      if lk.Fault.corrupt > 0.0 && Rng.bernoulli t.rng ~p:lk.Fault.corrupt then
+        corrupt_copy t frame
+      else frame
+    in
+    let emit frame =
+      if lk.Fault.delay > 0 then
+        t.held <-
+          { release = now +. (float_of_int lk.Fault.delay *. t.tick_period); dst; frame }
+          :: t.held
+      else if lk.Fault.reorder > 0.0 && Rng.bernoulli t.rng ~p:lk.Fault.reorder then
+        (* reorder: hold one tick so later frames overtake this one *)
+        t.held <- { release = now +. t.tick_period; dst; frame } :: t.held
+      else queue frame
+    in
+    emit frame;
+    if lk.Fault.dup > 0.0 && Rng.bernoulli t.rng ~p:lk.Fault.dup then emit (Bytes.copy frame)
+  end
+
+let flush_due t ~now ~queue =
+  if t.held <> [] then begin
+    let due, still = List.partition (fun h -> h.release <= now) t.held in
+    t.held <- still;
+    (* oldest first: held frames were consed newest-first *)
+    List.iter (fun h -> queue ~dst:h.dst h.frame) (List.rev due)
+  end

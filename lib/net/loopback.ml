@@ -37,6 +37,8 @@ let exec_spec (spec : Run_async.spec) (algo : Algorithm.t) topology =
           bytes = bytes.(v);
           complete_tick = None;
           decode_errors = 0;
+          retransmits = 0;
+          corrupt_frames = 0;
         })
   in
   (result, reports)

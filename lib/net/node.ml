@@ -1,5 +1,28 @@
+open Repro_util
 open Repro_engine
 open Repro_discovery
+
+(* Decorrelated-jitter backoff (the AWS variant): the first delay is
+   [base]; each subsequent delay is uniform in [base, min cap (3 * prev)].
+   Retries desynchronise instead of thundering in lockstep, and the draw
+   comes from a seeded RNG rather than wall clock so a run's retry
+   schedule is reproducible. *)
+module Backoff = struct
+  type t = { rng : Rng.t; base : float; cap : float; mutable current : float }
+
+  let create ~rng ~base ~cap =
+    if base <= 0.0 then invalid_arg "Node.Backoff.create: base must be positive";
+    if cap < base then invalid_arg "Node.Backoff.create: cap must be at least base";
+    { rng; base; cap; current = 0.0 }
+
+  let next t =
+    let hi = Float.min t.cap (t.current *. 3.0) in
+    let d = if hi <= t.base then t.base else t.base +. Rng.float t.rng (hi -. t.base) in
+    t.current <- d;
+    d
+
+  let reset t = t.current <- 0.0
+end
 
 type config = {
   node : int;
@@ -16,6 +39,10 @@ type config = {
   max_ticks : int;
   connect_retries : int;
   backoff : float;
+  backoff_cap : float;
+  rto : float;
+  fault : Fault.t;
+  announce : bool;
   encoding : Wire.encoding;
 }
 
@@ -23,32 +50,43 @@ let default_tick_period = 0.01
 let default_idle_timeout = 1.0
 let default_connect_retries = 8
 let default_backoff = 0.02
+let default_backoff_cap = 0.5
+let default_rto = 0.05
+let hello_interval = 50
 
 type report = { final : Control.final; halted : bool }
 
-(* Outgoing link to one peer. Frames queued while no connection is
-   established wait in [pending] (newest first) and are moved onto the
-   connection once it is writable; every failed attempt backs off
-   exponentially until the retry budget is spent, after which the peer
-   is declared dead and queued frames are dropped. *)
+(* Outgoing link to one peer. Data payloads live in [sendbuf] from the
+   moment they are sent until the peer's cumulative ack covers them;
+   frames are (re)encoded at transmission time so sequence numbers and
+   piggybacked acks are always current. [base_seq] is the sequence number
+   of the frame at the queue's front. *)
 type link_state =
   | No_conn  (** nothing in flight; connect on next send / retry slot *)
   | Connecting of Transport.Conn.t
   | Ready of Transport.Conn.t
   | Dead
 
+type frame = { stamp : int; body : bytes; mutable txed : bool }
+
 type link = {
   mutable state : link_state;
-  mutable pending : bytes list;
-  mutable pending_count : int;
   mutable attempt : int;
   mutable retry_at : float;
+  sendbuf : frame Queue.t;
+  mutable base_seq : int;
+  mutable rto_at : float;
+  mutable recv_cum : int;  (** highest in-order data seq received from this peer *)
+  mutable ack_owed : bool;
+  mutable hello_owed : bool;
+  backoff : Backoff.t;
 }
 
 type t = {
   cfg : config;
   inst : Algorithm.instance;
   links : link array;
+  fn : Faultnet.t option;
   mutable incoming : Transport.Conn.t list;
   listen_fd : Unix.file_descr;
   own_listener : bool;  (** we bound it ourselves, so we unlink/close it *)
@@ -60,6 +98,8 @@ type t = {
   mutable pointers : int;
   mutable bytes : int;
   mutable decode_errors : int;
+  mutable retransmits : int;
+  mutable corrupt_frames : int;
   mutable complete_tick : int option;
   mutable complete_announced : bool;
   mutable last_activity : float;
@@ -81,6 +121,17 @@ let control_send t line =
 
 (* --- connection management ----------------------------------------- *)
 
+let need_traffic link =
+  (not (Queue.is_empty link.sendbuf)) || link.ack_owed || link.hello_owed
+
+(* Every encoded frame to a peer passes through the fault shim when one
+   is active; the shim calls [queue] zero, one or two times. *)
+let queue_frame t ~dst conn frame =
+  match t.fn with
+  | None -> Transport.Conn.queue conn frame
+  | Some fn ->
+    Faultnet.send fn ~now:(Unix.gettimeofday ()) ~dst frame ~queue:(Transport.Conn.queue conn)
+
 let drop_link_frames t dst count =
   for _ = 1 to count do
     t.dropped <- t.dropped + 1;
@@ -90,35 +141,97 @@ let drop_link_frames t dst count =
 let declare_dead t dst =
   let link = t.links.(dst) in
   (match link.state with
-  | Connecting c | Ready c ->
-    drop_link_frames t dst (Transport.Conn.queued_frames c);
-    Transport.Conn.close c
+  | Connecting c | Ready c -> Transport.Conn.close c
   | No_conn | Dead -> ());
-  drop_link_frames t dst link.pending_count;
-  link.pending <- [];
-  link.pending_count <- 0;
+  drop_link_frames t dst (Queue.length link.sendbuf);
+  Queue.clear link.sendbuf;
+  link.ack_owed <- false;
+  link.hello_owed <- false;
   link.state <- Dead
+
+(* A peer that the plan revives is worth waiting for: cap the attempt
+   counter instead of declaring it dead, and let the capped backoff keep
+   probing until the supervisor re-forks it. *)
+let will_return t dst = Fault.restart_round t.cfg.fault ~node:dst <> None
 
 let connect_failed t dst =
   let link = t.links.(dst) in
   (match link.state with
-  | Connecting c -> Transport.Conn.close c
-  | No_conn | Ready _ | Dead -> ());
+  | Connecting c | Ready c -> Transport.Conn.close c
+  | No_conn | Dead -> ());
   link.state <- No_conn;
   link.attempt <- link.attempt + 1;
-  if link.attempt > t.cfg.connect_retries then declare_dead t dst
-  else
-    (* exponential backoff: base, 2·base, 4·base, ... *)
-    link.retry_at <-
-      Unix.gettimeofday () +. (t.cfg.backoff *. float_of_int (1 lsl min (link.attempt - 1) 10))
+  if link.attempt > t.cfg.connect_retries && not (will_return t dst) then declare_dead t dst
+  else begin
+    if link.attempt > t.cfg.connect_retries then link.attempt <- t.cfg.connect_retries + 1;
+    link.retry_at <- Unix.gettimeofday () +. Backoff.next link.backoff
+  end
+
+(* (Re)transmit data frames on a ready link: all of them when [resend]
+   (fresh connection or retransmission timeout), otherwise only frames
+   never yet put on the wire. Acks ride along for free. *)
+let transmit_data t dst ~resend =
+  let link = t.links.(dst) in
+  match link.state with
+  | Ready conn ->
+    let any = ref false in
+    let seq = ref link.base_seq in
+    Queue.iter
+      (fun f ->
+        if resend || not f.txed then begin
+          if f.txed then t.retransmits <- t.retransmits + 1;
+          queue_frame t ~dst conn
+            (Envelope.encode
+               {
+                 Envelope.kind = Envelope.Data;
+                 src = t.cfg.node;
+                 stamp = f.stamp;
+                 seq = !seq;
+                 ack = link.recv_cum;
+                 body = f.body;
+               });
+          f.txed <- true;
+          any := true
+        end;
+        incr seq)
+      link.sendbuf;
+    if !any then begin
+      link.ack_owed <- false;
+      link.rto_at <- Unix.gettimeofday () +. t.cfg.rto
+    end
+  | No_conn | Connecting _ | Dead -> ()
+
+let send_bare t ~dst kind ~ack =
+  let link = t.links.(dst) in
+  match link.state with
+  | Ready conn ->
+    queue_frame t ~dst conn
+      (Envelope.encode
+         {
+           Envelope.kind;
+           src = t.cfg.node;
+           stamp = t.tick_count;
+           seq = 0;
+           ack;
+           body = Bytes.empty;
+         })
+  | No_conn | Connecting _ | Dead -> ()
 
 let promote_ready t dst conn =
   let link = t.links.(dst) in
   link.state <- Ready conn;
   link.attempt <- 0;
-  List.iter (Transport.Conn.queue conn) (List.rev link.pending);
-  link.pending <- [];
-  link.pending_count <- 0
+  Backoff.reset link.backoff;
+  if link.hello_owed then begin
+    send_bare t ~dst Envelope.Hello ~ack:0;
+    link.hello_owed <- false
+  end;
+  (* anything unacked may have died with the previous connection *)
+  transmit_data t dst ~resend:true;
+  if link.ack_owed then begin
+    send_bare t ~dst Envelope.Ack ~ack:link.recv_cum;
+    link.ack_owed <- false
+  end
 
 let start_connect t dst =
   let link = t.links.(dst) in
@@ -134,12 +247,13 @@ let start_connect t dst =
     connect_failed t dst
 
 let maybe_connect t dst =
-  let link = t.links.(dst) in
-  match link.state with
-  | No_conn when (link.pending_count > 0 || link.attempt = 0) && Unix.gettimeofday () >= link.retry_at
-    ->
-    start_connect t dst
-  | _ -> ()
+  if dst <> t.cfg.node then
+    let link = t.links.(dst) in
+    match link.state with
+    | No_conn
+      when (need_traffic link || link.attempt = 0) && Unix.gettimeofday () >= link.retry_at ->
+      start_connect t dst
+    | _ -> ()
 
 (* deliver a payload locally (self-sends skip the network entirely) *)
 let deliver t ~src payload =
@@ -170,31 +284,91 @@ let send_payload t ~dst payload =
     | Dead ->
       t.dropped <- t.dropped + 1;
       emit t (Trace.Drop { src = t.cfg.node; dst; reason = Trace.Dead_dst })
-    | Ready conn ->
-      Transport.Conn.queue conn
-        (Envelope.encode { Envelope.src = t.cfg.node; stamp = t.tick_count; body })
+    | Ready _ ->
+      Queue.push { stamp = t.tick_count; body; txed = false } link.sendbuf;
+      transmit_data t dst ~resend:false
     | No_conn | Connecting _ ->
-      link.pending <-
-        Envelope.encode { Envelope.src = t.cfg.node; stamp = t.tick_count; body } :: link.pending;
-      link.pending_count <- link.pending_count + 1;
+      Queue.push { stamp = t.tick_count; body; txed = false } link.sendbuf;
       maybe_connect t dst
   end
+
+let request_hellos t =
+  Array.iter
+    (fun dst ->
+      if dst <> t.cfg.node then begin
+        t.links.(dst).hello_owed <- true;
+        maybe_connect t dst
+      end)
+    t.cfg.neighbors
 
 let do_tick t =
   t.tick_count <- t.tick_count + 1;
   emit t (Trace.Tick { node = t.cfg.node; time = now_rel t; count = t.tick_count });
+  (* a restarted node keeps announcing itself until its knowledge is
+     whole again, in case an earlier hello (or its reply) was lost *)
+  if t.cfg.announce && (not t.complete_announced) && t.tick_count mod hello_interval = 0 then
+    request_hellos t;
   t.inst.Algorithm.round ~round:t.tick_count ~send:(fun ~dst payload -> send_payload t ~dst payload);
   announce_if_complete t
+
+(* Pop everything the peer's cumulative ack covers. *)
+let apply_ack t ~src ack =
+  let link = t.links.(src) in
+  let advanced = ref false in
+  while (not (Queue.is_empty link.sendbuf)) && link.base_seq <= ack do
+    ignore (Queue.pop link.sendbuf);
+    link.base_seq <- link.base_seq + 1;
+    advanced := true
+  done;
+  if Queue.is_empty link.sendbuf then link.rto_at <- infinity
+  else if !advanced then link.rto_at <- Unix.gettimeofday () +. t.cfg.rto
+
+(* A hello announces a fresh incarnation of [src]: whatever sequence
+   state we shared with the previous one is void. Reset both directions,
+   revive the link if we had written the peer off, and hand the newcomer
+   our whole identifier set so it can rebuild its knowledge. *)
+let handle_hello t ~src =
+  let link = t.links.(src) in
+  (match link.state with
+  | Dead ->
+    link.state <- No_conn;
+    link.attempt <- 0;
+    link.retry_at <- 0.0;
+    Backoff.reset link.backoff
+  | No_conn | Connecting _ | Ready _ -> ());
+  link.base_seq <- 1;
+  Queue.iter (fun f -> f.txed <- false) link.sendbuf;
+  link.rto_at <- (if Queue.is_empty link.sendbuf then infinity else 0.0);
+  link.recv_cum <- 0;
+  link.ack_owed <- false;
+  send_payload t ~dst:src
+    (Payload.Share (Payload.Bits (Knowledge.snapshot t.inst.Algorithm.knowledge)))
 
 let handle_envelope t (env : Envelope.t) =
   if env.Envelope.src < 0 || env.Envelope.src >= t.cfg.n || env.Envelope.src = t.cfg.node then
     t.decode_errors <- t.decode_errors + 1
-  else
-    match Wire.decode t.cfg.encoding ~universe:t.cfg.n env.Envelope.body with
-    | Error _ -> t.decode_errors <- t.decode_errors + 1
-    | Ok payload ->
-      deliver t ~src:env.Envelope.src payload;
-      announce_if_complete t
+  else begin
+    let link = t.links.(env.Envelope.src) in
+    match env.Envelope.kind with
+    | Envelope.Ack -> apply_ack t ~src:env.Envelope.src env.Envelope.ack
+    | Envelope.Hello -> handle_hello t ~src:env.Envelope.src
+    | Envelope.Data ->
+      apply_ack t ~src:env.Envelope.src env.Envelope.ack;
+      if env.Envelope.seq = link.recv_cum + 1 then begin
+        link.recv_cum <- env.Envelope.seq;
+        link.ack_owed <- true;
+        match Wire.decode t.cfg.encoding ~universe:t.cfg.n env.Envelope.body with
+        | Error _ -> t.decode_errors <- t.decode_errors + 1
+        | Ok payload ->
+          deliver t ~src:env.Envelope.src payload;
+          announce_if_complete t
+      end
+      else
+        (* duplicate (retransmission of something we have) or a gap
+           (something before it was lost): either way, re-ack what we
+           hold and let go-back-N retransmission fill in the rest *)
+        link.ack_owed <- true
+  end
 
 (* --- the event loop ------------------------------------------------- *)
 
@@ -212,6 +386,8 @@ let final_report t =
     bytes = t.bytes;
     complete_tick = t.complete_tick;
     decode_errors = t.decode_errors;
+    retransmits = t.retransmits;
+    corrupt_frames = t.corrupt_frames;
   }
 
 let flush_control t ~deadline =
@@ -258,6 +434,7 @@ let run cfg =
   if cfg.n <= 0 then invalid_arg "Node.run: n must be positive";
   if cfg.node < 0 || cfg.node >= cfg.n then invalid_arg "Node.run: node out of range";
   if cfg.tick_period <= 0.0 then invalid_arg "Node.run: tick period must be positive";
+  if cfg.rto <= 0.0 then invalid_arg "Node.run: rto must be positive";
   (* a write to a freshly-dead peer must surface as EPIPE, not a signal *)
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
   let labels = Exec.labels_of ~seed:cfg.seed cfg.n in
@@ -267,7 +444,7 @@ let run cfg =
       node = cfg.node;
       neighbors = cfg.neighbors;
       labels;
-      rng = Repro_util.Rng.substream ~seed:cfg.seed ~index:(cfg.node + 1);
+      rng = Rng.substream ~seed:cfg.seed ~index:(cfg.node + 1);
       params = Params.default;
     }
   in
@@ -276,13 +453,33 @@ let run cfg =
     | Some fd -> (fd, false)
     | None -> (Transport.listen_socket cfg.scheme cfg.node, true)
   in
+  let backoff_rng = Rng.substream ~seed:cfg.seed ~index:(0xb0ff + cfg.node) in
   let t =
     {
       cfg;
       inst = cfg.algo.Algorithm.make ctx;
       links =
         Array.init cfg.n (fun _ ->
-            { state = No_conn; pending = []; pending_count = 0; attempt = 0; retry_at = 0.0 });
+            {
+              state = No_conn;
+              attempt = 0;
+              retry_at = 0.0;
+              sendbuf = Queue.create ();
+              base_seq = 1;
+              rto_at = infinity;
+              recv_cum = 0;
+              ack_owed = false;
+              hello_owed = false;
+              backoff =
+                Backoff.create ~rng:(Rng.split backoff_rng) ~base:cfg.backoff
+                  ~cap:cfg.backoff_cap;
+            });
+      fn =
+        (if Faultnet.active cfg.fault then
+           Some
+             (Faultnet.create ~plan:cfg.fault ~seed:cfg.seed ~node:cfg.node ~epoch:cfg.epoch
+                ~tick_period:cfg.tick_period)
+         else None);
       incoming = [];
       listen_fd;
       own_listener;
@@ -294,6 +491,8 @@ let run cfg =
       pointers = 0;
       bytes = 0;
       decode_errors = 0;
+      retransmits = 0;
+      corrupt_frames = 0;
       complete_tick = None;
       complete_announced = false;
       last_activity = Unix.gettimeofday ();
@@ -303,6 +502,7 @@ let run cfg =
   in
   emit t (Trace.Join { node = cfg.node });
   announce_if_complete t;
+  if cfg.announce then request_hellos t;
   let next_tick = ref (Unix.gettimeofday () +. cfg.tick_period) in
   while t.running do
     let now = Unix.gettimeofday () in
@@ -313,10 +513,37 @@ let run cfg =
       (* re-arm relative to now: a stalled process must not burst *)
       next_tick := Unix.gettimeofday () +. cfg.tick_period
     end;
+    (* release frames the fault shim held back for delay/reorder *)
+    (match t.fn with
+    | Some fn when Faultnet.pending fn ->
+      Faultnet.flush_due fn ~now:(Unix.gettimeofday ())
+        ~queue:(fun ~dst frame ->
+          match t.links.(dst).state with
+          | Ready conn -> Transport.Conn.queue conn frame
+          | No_conn | Connecting _ | Dead -> ())
+    | _ -> ());
     (* retry slots for links in backoff *)
     for dst = 0 to cfg.n - 1 do
       maybe_connect t dst
     done;
+    (* retransmission timeouts and owed bare acks / hellos *)
+    let now = Unix.gettimeofday () in
+    Array.iteri
+      (fun dst link ->
+        match link.state with
+        | Ready _ ->
+          if (not (Queue.is_empty link.sendbuf)) && now >= link.rto_at then
+            transmit_data t dst ~resend:true;
+          if link.hello_owed then begin
+            send_bare t ~dst Envelope.Hello ~ack:0;
+            link.hello_owed <- false
+          end;
+          if link.ack_owed then begin
+            send_bare t ~dst Envelope.Ack ~ack:link.recv_cum;
+            link.ack_owed <- false
+          end
+        | No_conn | Connecting _ | Dead -> ())
+      t.links;
     (* opportunistic flush of every ready link *)
     Array.iteri
       (fun dst link ->
@@ -345,7 +572,9 @@ let run cfg =
     Array.iter
       (fun link ->
         match link.state with
-        | No_conn when link.pending_count > 0 -> timeout := min !timeout (link.retry_at -. now)
+        | No_conn when need_traffic link -> timeout := min !timeout (link.retry_at -. now)
+        | Ready _ when not (Queue.is_empty link.sendbuf) ->
+          timeout := min !timeout (link.rto_at -. now)
         | _ -> ())
       t.links;
     let timeout = max 0.0 (min !timeout cfg.tick_period) in
@@ -382,8 +611,10 @@ let run cfg =
             | `Closed ->
               Transport.Conn.close c;
               false
-            | `Corrupt _ ->
-              t.decode_errors <- t.decode_errors + 1;
+            | `Corrupt reason ->
+              if String.equal reason Envelope.crc_mismatch then
+                t.corrupt_frames <- t.corrupt_frames + 1
+              else t.decode_errors <- t.decode_errors + 1;
               Transport.Conn.close c;
               false
           end

@@ -6,16 +6,53 @@
     {!Envelope} frame, and maintains one outgoing connection per peer it
     has sent to ("connect-on-learn": the id→address map is static, so
     learning an id is enough to reach it). Connections are established
-    lazily with bounded retry and exponential backoff; once the retry
-    budget for a peer is spent the peer is declared dead and frames to
-    it are counted as drops.
+    lazily with bounded retry and decorrelated-jitter backoff; once the
+    retry budget for a peer is spent the peer is declared dead and frames
+    to it are counted as drops — unless the fault plan schedules the peer
+    to restart, in which case the node keeps probing.
+
+    {b Reliable delivery.} Each directed link runs a go-back-N protocol:
+    data frames carry per-link sequence numbers and every frame (data or
+    bare ack) carries a cumulative acknowledgement. Unacknowledged
+    payloads are retransmitted after [rto] seconds and whenever the
+    connection is re-established; the receiver delivers in order exactly
+    once and re-acks duplicates. Retransmissions surface in the final
+    report as [retransmits]; frames rejected by the envelope CRC as
+    [corrupt_frames]. A node started with [announce] greets its
+    neighbours with a hello frame; a hello resets the receiver's link
+    state for that peer (fresh incarnation) and is answered with the
+    receiver's full identifier set, which is how a restarted node
+    rebuilds its knowledge.
+
+    When the run's {!Repro_engine.Fault} plan carries link faults or
+    partitions, every outgoing frame is routed through a seeded
+    {!Faultnet} shim, so loss/delay/duplication/reordering/corruption
+    afflict the live wire deterministically.
 
     Under a {!Cluster} harness ([control_fd] set) the node streams
     {!Control} lines upward and exits on the halt command. Standalone
     ([control_fd = None]) it exits once its knowledge is complete and
     the link has been idle for [idle_timeout] seconds. *)
 
+open Repro_engine
 open Repro_discovery
+
+(** Decorrelated-jitter retry backoff: the first delay is [base], each
+    later delay is uniform in [base, min cap (3 * previous)], drawn from
+    a caller-supplied seeded RNG (never wall clock) so retry schedules
+    are reproducible. Exposed for tests. *)
+module Backoff : sig
+  type t
+
+  val create : rng:Repro_util.Rng.t -> base:float -> cap:float -> t
+  (** @raise Invalid_argument if [base <= 0] or [cap < base]. *)
+
+  val next : t -> float
+  (** The next delay; advances the state. *)
+
+  val reset : t -> unit
+  (** Back to the cold state (next delay = [base]). *)
+end
 
 type config = {
   node : int;
@@ -32,7 +69,11 @@ type config = {
   idle_timeout : float;
   max_ticks : int;  (** give up after this many ticks without halt *)
   connect_retries : int;
-  backoff : float;  (** base backoff; attempt [k] waits [backoff * 2^(k-1)] *)
+  backoff : float;  (** base retry delay (seconds) *)
+  backoff_cap : float;  (** upper bound on any single retry delay *)
+  rto : float;  (** retransmission timeout (seconds) *)
+  fault : Fault.t;  (** link faults/partitions applied via {!Faultnet} *)
+  announce : bool;  (** hello the neighbours on startup (set for restarts) *)
   encoding : Wire.encoding;
 }
 
@@ -40,6 +81,8 @@ val default_tick_period : float
 val default_idle_timeout : float
 val default_connect_retries : int
 val default_backoff : float
+val default_backoff_cap : float
+val default_rto : float
 
 type report = { final : Control.final; halted : bool }
 

@@ -129,19 +129,69 @@ same (algorithm, topology, seed) — byte-identical event stream:
   $ ../../bin/discovery_cli.exe trace-diff sim.jsonl live.jsonl
   traces identical (87 events)
 
-A node killed mid-run is reported as crashed — never hung — and the
-run fails with exit 1:
+A node killed mid-run is reported as crashed — never hung — the JSON
+verdict names the sabotaged node, and the run fails with exit 1:
 
   $ ../../bin/discovery_cli.exe cluster --transport uds -n 8 --algo hm --seed 1 --kill 3 --no-check 2>/dev/null \
-  >   | grep -c '"converged":false.*"crashed":\[3\]'
+  >   | grep -c '"converged":false.*"crashed":\[3\],"killed":3'
   1
   $ ../../bin/discovery_cli.exe cluster --transport uds -n 8 --algo hm --seed 1 --kill 3 --no-check >/dev/null 2>&1
   [1]
+
+A healthy run reports no sabotage:
+
+  $ ../../bin/discovery_cli.exe cluster --transport uds -n 4 --algo hm --seed 1 2>/dev/null \
+  >   | grep -c '"killed":null'
+  1
 
   $ ../../bin/discovery_cli.exe cluster --transport warp -n 8 2>&1 | head -1
   discovery: option '--transport': unknown transport "warp" (loopback|uds|tcp)
   $ ../../bin/discovery_cli.exe cluster --transport warp -n 8 2>/dev/null
   [2]
+
+Unified fault plans drive every execution path from one DSL string.
+On the simulators the same plan replays deterministically:
+
+  $ ../../bin/discovery_cli.exe run --algo hm --topology kout:3 -n 64 --seed 1 \
+  >   --fault loss=0.2,crash=5@2,restart=5@6
+  algorithm        : hm
+  topology         : kout:3 (n=64, m=364)
+  seed             : 1
+  completed        : true
+  rounds           : 6
+  messages         : 1169
+  pointers         : 33131
+  wire bytes       : 9697 (adaptive codec)
+  dropped          : 208
+  peak msgs/round  : 250
+
+A malformed plan is a usage error (exit 2), caught before any run:
+
+  $ ../../bin/discovery_cli.exe run --fault loss=nope -n 8 2>&1 | head -1
+  discovery: option '--fault': loss: not a number "nope"
+  $ ../../bin/discovery_cli.exe run --fault loss=nope -n 8 2>/dev/null
+  [2]
+  $ ../../bin/discovery_cli.exe cluster --fault 'restart=3@9' -n 8 2>&1 | head -1
+  discovery: option '--fault': Fault.with_restart: no crash scheduled for node
+
+On the live path the plan is applied at frame level: the cluster below
+converges through 10% loss plus a partition that heals, courtesy of
+the reliability layer:
+
+  $ ../../bin/discovery_cli.exe cluster --transport uds -n 8 --algo hm --seed 1 \
+  >   --fault 'loss=0.1,part=0-3|4-7@2..8' 2>/dev/null \
+  >   | grep -c '"converged":true.*"invariants":{"status":"passed"'
+  1
+
+The chaos soak runs seeded randomized plans (loss, duplication,
+reordering, corruption, a healing partition, a crash with restart) and
+verifies every trial with the invariant checker:
+
+  $ ../../bin/discovery_cli.exe chaos --algo hm -n 8 --trials 3 --seed 42 --quiet \
+  >   | grep -c '"trials":3,"passed":3,"failed":0'
+  1
+  $ ../../bin/discovery_cli.exe chaos --transport loopback 2>&1 | head -1
+  discovery: option '--transport': chaos needs a live backend (uds|tcp)
 
 The standalone binary runs one live node per invocation: every process
 gets the same address table (--peers; list position = node id) and

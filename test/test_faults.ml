@@ -156,6 +156,165 @@ let test_drops_accounted () =
   Alcotest.(check int) "sent = delivered + dropped" r.Run.messages (r.Run.delivered + r.Run.dropped);
   Alcotest.(check bool) "some drops happened" true (r.Run.dropped > 0)
 
+(* --- fault-plan DSL and schedule edge cases -------------------------- *)
+
+let test_loss_edge_probabilities () =
+  (* p = 0.0 is a no-op plan; p = 1.0 drops every message *)
+  Alcotest.(check bool) "p=0 plan is none" true (Fault.is_none (Fault.with_loss Fault.none ~p:0.0));
+  let r =
+    Run.exec_spec
+      { Run.default_spec with Run.seed = 1; fault = Fault.with_loss Fault.none ~p:1.0; max_rounds = Some 30 }
+      Name_dropper.algorithm (topology ~n:16 ~seed:1)
+  in
+  Alcotest.(check bool) "total loss never completes" false r.Run.completed;
+  Alcotest.(check int) "nothing delivered" 0 r.Run.delivered;
+  Alcotest.(check int) "everything dropped" r.Run.messages r.Run.dropped;
+  Alcotest.check_raises "p > 1 rejected" (Invalid_argument "Fault.with_loss: probability out of range")
+    (fun () -> ignore (Fault.with_loss Fault.none ~p:1.5))
+
+let test_crash_and_join_same_node () =
+  (* a node can join late and crash later: active exactly during
+     [join, crash) *)
+  let fault = Fault.with_crash (Fault.with_join Fault.none ~node:3 ~round:3) ~node:3 ~round:5 in
+  Alcotest.(check int) "join kept" 3 (Fault.join_round fault ~node:3);
+  Alcotest.(check bool) "crash kept" true (Fault.crash_round fault ~node:3 = Some 5);
+  let r =
+    checked_exec
+      { (spec ~seed:2 ~fault) with Run.completion = Run.Survivors_strong }
+      Hm_gossip.algorithm (topology ~n:64 ~seed:2)
+  in
+  Alcotest.(check bool) "survivors complete" true r.Run.completed;
+  Alcotest.(check bool) "node 3 ends dead" false r.Run.alive.(3)
+
+let test_restart_requires_crash () =
+  Alcotest.check_raises "restart without crash rejected"
+    (Invalid_argument "Fault.with_restart: no crash scheduled for node") (fun () ->
+      ignore (Fault.with_restart Fault.none ~node:4 ~round:9));
+  Alcotest.check_raises "restart before crash rejected"
+    (Invalid_argument "Fault.with_restart: restart must follow the crash") (fun () ->
+      ignore (Fault.with_restart (Fault.with_crash Fault.none ~node:4 ~round:6) ~node:4 ~round:6));
+  (* ... but the DSL may list restart= before crash= *)
+  match Fault.of_string "restart=4@9,crash=4@6" with
+  | Ok f -> Alcotest.(check bool) "parsed out of order" true (Fault.restart_round f ~node:4 = Some 9)
+  | Error e -> Alcotest.fail e
+
+let test_dsl_examples () =
+  (* the README example parses and round-trips *)
+  match Fault.of_string "loss=0.1,part=0-3|4-7@5..20,crash=5@8,restart=5@14" with
+  | Error e -> Alcotest.fail e
+  | Ok f ->
+    Alcotest.(check (float 1e-9)) "loss" 0.1 (Fault.drop_probability f);
+    Alcotest.(check bool) "partitioned at 7" true (Fault.cut f ~src:0 ~dst:5 ~time:7.0);
+    Alcotest.(check bool) "healed at 20" false (Fault.cut f ~src:0 ~dst:5 ~time:20.0);
+    Alcotest.(check bool) "same side never cut" false (Fault.cut f ~src:0 ~dst:3 ~time:7.0);
+    (match Fault.of_string (Fault.to_string f) with
+    | Ok f' -> Alcotest.(check bool) "round-trips" true (Fault.equal f f')
+    | Error e -> Alcotest.fail e);
+    (match Fault.of_string "loss=2.0" with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "out-of-range probability parsed");
+    match Fault.of_string "flux=0.1" with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "unknown key parsed"
+
+(* qcheck: random plans round-trip through the DSL. Probabilities are
+   drawn as k/1000 so the %g printing is exact. *)
+let plan_gen =
+  QCheck2.Gen.(
+    let prob = map (fun k -> float_of_int k /. 1000.0) (int_range 0 1000) in
+    let* loss = prob and* dup = prob and* reorder = prob and* corrupt = prob in
+    let* delay = int_range 0 3 in
+    let* link =
+      opt
+        (let* src = int_range 0 9 and* dst = int_range 0 9 in
+         let* l = prob and* d = int_range 0 2 in
+         return (src, dst, { Fault.default_link with Fault.loss = l; delay = d }))
+    in
+    let* part =
+      opt
+        (let* split = int_range 1 7 and* start = int_range 1 10 and* len = int_range 1 15 in
+         return (split, start, start + len))
+    in
+    let* crash =
+      opt
+        (let* node = int_range 0 9 and* round = int_range 1 10 in
+         let* restart = opt (int_range 1 10) in
+         return (node, round, Option.map (fun d -> round + d) restart))
+    in
+    let* join = opt (pair (int_range 0 9) (int_range 1 12)) in
+    return (loss, dup, reorder, corrupt, delay, link, part, crash, join))
+
+let plan_of_gen (loss, dup, reorder, corrupt, delay, link, part, crash, join) =
+  let f = Fault.with_loss Fault.none ~p:loss in
+  let f = Fault.with_dup f ~p:dup in
+  let f = Fault.with_reorder f ~p:reorder in
+  let f = Fault.with_corrupt f ~p:corrupt in
+  let f = Fault.with_delay f ~ticks:delay in
+  let f = match link with None -> f | Some (src, dst, lk) -> Fault.with_link f ~src ~dst lk in
+  let f =
+    match part with
+    | None -> f
+    | Some (split, start, heal) ->
+      Fault.with_partition f
+        ~groups:[ List.init split Fun.id; List.init (8 - split) (fun i -> split + i) ]
+        ~start ~heal
+  in
+  let f =
+    match crash with
+    | None -> f
+    | Some (node, round, restart) ->
+      let f = Fault.with_crash f ~node ~round in
+      (match restart with None -> f | Some r -> Fault.with_restart f ~node ~round:r)
+  in
+  match join with
+  | None -> f
+  | Some (node, round) ->
+    (* joining a crashed node is allowed only if the join precedes it *)
+    (match Fault.crash_round f ~node with
+    | Some r when round >= r -> f
+    | _ -> Fault.with_join f ~node ~round)
+
+let dsl_roundtrip =
+  QCheck2.Test.make ~name:"fault DSL round-trips" ~count:500 plan_gen (fun g ->
+      let plan = plan_of_gen g in
+      match Fault.of_string (Fault.to_string plan) with
+      | Ok plan' ->
+        if not (Fault.equal plan plan') then
+          QCheck2.Test.fail_reportf "not equal after round-trip:@.%s@.%s" (Fault.to_string plan)
+            (Fault.to_string plan');
+        true
+      | Error e -> QCheck2.Test.fail_reportf "%S did not parse back: %s" (Fault.to_string plan) e)
+
+(* --- restart schedules in the simulators ----------------------------- *)
+
+let checked_lenient_exec spec algo topo =
+  let inv = Trace.Invariants.create ~lenient:true () in
+  let r = Run.exec_spec { spec with Run.trace = Trace.Invariants.sink inv } algo topo in
+  Trace.Invariants.final_check inv r.Run.metrics;
+  r
+
+let test_sim_crash_restart () =
+  (* a crashed node that restarts rejoins with initial knowledge and the
+     run still reaches Strong completion — all n nodes, not survivors *)
+  let n = 128 and seed = 3 in
+  let fault = Fault.with_restart (Fault.with_crash Fault.none ~node:5 ~round:3) ~node:5 ~round:6 in
+  let r = checked_lenient_exec (spec ~seed ~fault) Hm_gossip.algorithm (topology ~n ~seed) in
+  Alcotest.(check bool) "completed" true r.Run.completed;
+  Alcotest.(check bool) "victim alive at the end" true r.Run.alive.(5);
+  Alcotest.(check bool) "restart gates completion" true (r.Run.rounds >= 6)
+
+let test_sim_restart_async () =
+  let n = 48 and seed = 4 in
+  let fault = Fault.with_restart (Fault.with_crash Fault.none ~node:7 ~round:3) ~node:7 ~round:9 in
+  let inv = Trace.Invariants.create ~lenient:true () in
+  let r =
+    Run_async.exec_spec
+      { Run_async.default_spec with Run_async.seed; fault; trace = Trace.Invariants.sink inv }
+      Hm_gossip.algorithm (topology ~n ~seed)
+  in
+  Trace.Invariants.final_check inv r.Run_async.metrics;
+  Alcotest.(check bool) "completed" true r.Run_async.completed
+
 let () =
   Alcotest.run "faults"
     [
@@ -177,5 +336,18 @@ let () =
         [
           Alcotest.test_case "late joins stabilise" `Quick test_churn_stabilizes;
           Alcotest.test_case "churn with loss" `Quick test_churn_with_loss;
+        ] );
+      ( "plans",
+        [
+          Alcotest.test_case "loss edge probabilities" `Quick test_loss_edge_probabilities;
+          Alcotest.test_case "crash and join same node" `Quick test_crash_and_join_same_node;
+          Alcotest.test_case "restart requires crash" `Quick test_restart_requires_crash;
+          Alcotest.test_case "dsl examples" `Quick test_dsl_examples;
+          QCheck_alcotest.to_alcotest dsl_roundtrip;
+        ] );
+      ( "restarts",
+        [
+          Alcotest.test_case "sync crash+restart completes" `Quick test_sim_crash_restart;
+          Alcotest.test_case "async crash+restart completes" `Quick test_sim_restart_async;
         ] );
     ]

@@ -12,18 +12,40 @@ let get_algo name =
 
 let sample_body = Bytes.of_string "\001\000\003\000\000\000\005\000\000\000"
 
-let encode_sample () = Envelope.encode { Envelope.src = 7; stamp = 42; body = sample_body }
+let encode_sample () =
+  Envelope.encode
+    { Envelope.kind = Envelope.Data; src = 7; stamp = 42; seq = 3; ack = 1; body = sample_body }
 
 let test_envelope_roundtrip () =
   let frame = encode_sample () in
   match Envelope.decode frame ~off:0 ~len:(Bytes.length frame) with
   | `Frame (env, consumed) ->
     Alcotest.(check int) "consumed" (Bytes.length frame) consumed;
+    Alcotest.(check bool) "kind" true (env.Envelope.kind = Envelope.Data);
     Alcotest.(check int) "src" 7 env.Envelope.src;
     Alcotest.(check int) "stamp" 42 env.Envelope.stamp;
+    Alcotest.(check int) "seq" 3 env.Envelope.seq;
+    Alcotest.(check int) "ack" 1 env.Envelope.ack;
     Alcotest.(check bytes) "body" sample_body env.Envelope.body
   | `Need_more -> Alcotest.fail "decode wanted more bytes"
   | `Corrupt reason -> Alcotest.fail ("corrupt: " ^ reason)
+
+let test_envelope_kinds () =
+  (* ack and hello frames: empty body, seq 0, cumulative ack carried *)
+  List.iter
+    (fun kind ->
+      let frame =
+        Envelope.encode { Envelope.kind; src = 2; stamp = 5; seq = 0; ack = 17; body = Bytes.empty }
+      in
+      match Envelope.decode frame ~off:0 ~len:(Bytes.length frame) with
+      | `Frame (env, consumed) ->
+        Alcotest.(check int) "consumed" Envelope.header_size consumed;
+        Alcotest.(check bool) "kind survives" true (env.Envelope.kind = kind);
+        Alcotest.(check int) "ack survives" 17 env.Envelope.ack;
+        Alcotest.(check int) "empty body" 0 (Bytes.length env.Envelope.body)
+      | `Need_more -> Alcotest.fail "decode wanted more bytes"
+      | `Corrupt reason -> Alcotest.fail ("corrupt: " ^ reason))
+    [ Envelope.Ack; Envelope.Hello ]
 
 let test_envelope_incremental () =
   let frame = encode_sample () in
@@ -50,11 +72,11 @@ let test_envelope_corruption () =
   Alcotest.(check bool) "every mutation detected" true (!corrupted = Bytes.length (encode_sample ()))
 
 let test_envelope_limits () =
+  let base = { Envelope.kind = Envelope.Data; src = 0; stamp = 0; seq = 1; ack = 0; body = Bytes.empty } in
   Alcotest.check_raises "oversized body" (Invalid_argument "Envelope.encode: body too large")
-    (fun () ->
-      ignore (Envelope.encode { Envelope.src = 0; stamp = 0; body = Bytes.create (Envelope.max_body + 1) }));
+    (fun () -> ignore (Envelope.encode { base with Envelope.body = Bytes.create (Envelope.max_body + 1) }));
   Alcotest.check_raises "negative src" (Invalid_argument "Envelope.encode: src out of range")
-    (fun () -> ignore (Envelope.encode { Envelope.src = -1; stamp = 0; body = Bytes.empty }))
+    (fun () -> ignore (Envelope.encode { base with Envelope.src = -1 }))
 
 (* --- Control protocol ---------------------------------------------- *)
 
@@ -97,6 +119,8 @@ let test_control_roundtrip () =
       bytes = 1024;
       complete_tick = Some 11;
       decode_errors = 0;
+      retransmits = 6;
+      corrupt_frames = 2;
     }
   in
   (match Control.parse (Control.final_line final) with
@@ -105,6 +129,36 @@ let test_control_roundtrip () =
   match Control.parse "E 1.0 bogus stuff" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "garbage line parsed"
+
+(* --- Backoff: decorrelated jitter, deterministic per seed ------------ *)
+
+let test_backoff_deterministic () =
+  let draws seed =
+    let rng = Repro_util.Rng.substream ~seed ~index:(0xb0ff + 3) in
+    let b = Node.Backoff.create ~rng ~base:0.05 ~cap:0.5 in
+    List.init 16 (fun _ -> Node.Backoff.next b)
+  in
+  (* same seed, same delay sequence: retry timing is replayable *)
+  Alcotest.(check (list (float 0.0))) "replayable" (draws 7) (draws 7);
+  Alcotest.(check bool) "seed matters" true (draws 7 <> draws 8)
+
+let test_backoff_bounds () =
+  let rng = Repro_util.Rng.substream ~seed:1 ~index:0xb0ff in
+  let b = Node.Backoff.create ~rng ~base:0.05 ~cap:0.5 in
+  Alcotest.(check (float 1e-9)) "cold start is base" 0.05 (Node.Backoff.next b);
+  let prev = ref 0.05 in
+  for _ = 1 to 100 do
+    let d = Node.Backoff.next b in
+    Alcotest.(check bool) "at least base" true (d >= 0.05);
+    Alcotest.(check bool) "at most cap" true (d <= 0.5);
+    Alcotest.(check bool) "decorrelated: at most 3x previous" true (d <= (3.0 *. !prev) +. 1e-9);
+    prev := d
+  done;
+  Node.Backoff.reset b;
+  Alcotest.(check (float 1e-9)) "reset returns to base" 0.05 (Node.Backoff.next b);
+  Alcotest.check_raises "cap below base rejected"
+    (Invalid_argument "Node.Backoff.create: cap must be at least base") (fun () ->
+      ignore (Node.Backoff.create ~rng ~base:0.1 ~cap:0.05))
 
 (* --- Loopback: trace-identical to the async simulator --------------- *)
 
@@ -146,7 +200,7 @@ let test_cluster_loopback () =
 
 (* --- live clusters -------------------------------------------------- *)
 
-let run_cluster ?kill_node ?(n = 16) ?(check = true) backend =
+let run_cluster ?kill_node ?(fault = Fault.none) ?(n = 16) ?(check = true) backend =
   let algo = get_algo "hm" in
   let spec =
     {
@@ -157,6 +211,7 @@ let run_cluster ?kill_node ?(n = 16) ?(check = true) backend =
       timeout = 60.0;
       check_invariants = check;
       kill_node;
+      fault;
     }
   in
   Cluster.run spec
@@ -186,6 +241,7 @@ let test_cluster_tcp () = check_converged (run_cluster ~n:8 Transport.Tcp)
 let test_cluster_crash_detected () =
   let r = run_cluster ~kill_node:3 ~check:false Transport.Uds in
   Alcotest.(check bool) "not converged" false r.Cluster.converged;
+  Alcotest.(check (option int)) "killed node echoed" (Some 3) r.Cluster.killed;
   Alcotest.(check bool) "victim reported crashed" true (List.mem 3 r.Cluster.crashed);
   (match r.Cluster.nodes.(3).Cluster.outcome with
   | Cluster.Crashed _ -> ()
@@ -209,6 +265,79 @@ let test_cluster_teardown_bounded () =
   (* crash → halt → grace(2s) → SIGTERM(0.5s) → SIGKILL: well under 30s *)
   Alcotest.(check bool) "teardown bounded" true (elapsed < 30.0)
 
+(* --- fault plans on the live path ----------------------------------- *)
+
+let test_cluster_reliable_under_loss () =
+  (* 30% frame loss: go-back-N retransmission must still converge, and
+     the merged trace must satisfy the (strict) invariant checker. n is
+     large enough that convergence takes several ticks, so drops are
+     guaranteed to hit frames that still matter. *)
+  let fault = Fault.with_loss Fault.none ~p:0.3 in
+  let r = run_cluster ~fault ~n:32 Transport.Uds in
+  Alcotest.(check bool) "converged" true r.Cluster.converged;
+  (match r.Cluster.invariants with
+  | Cluster.Passed _ -> ()
+  | Cluster.Failed msg -> Alcotest.fail ("invariants failed: " ^ msg)
+  | Cluster.Skipped why -> Alcotest.fail ("invariants skipped: " ^ why));
+  match r.Cluster.totals with
+  | None -> Alcotest.fail "no totals"
+  | Some f ->
+    Alcotest.(check bool) "loss forced retransmissions" true (f.Control.retransmits > 0)
+
+let test_cluster_partition_heals () =
+  let fault = Fault.with_partition Fault.none ~groups:[ [ 0; 1; 2; 3 ]; [ 4; 5; 6; 7 ] ] ~start:2 ~heal:8 in
+  let r = run_cluster ~fault ~n:8 Transport.Uds in
+  Alcotest.(check bool) "converged after heal" true r.Cluster.converged;
+  match r.Cluster.invariants with
+  | Cluster.Passed _ -> ()
+  | Cluster.Failed msg -> Alcotest.fail ("invariants failed: " ^ msg)
+  | Cluster.Skipped why -> Alcotest.fail ("invariants skipped: " ^ why)
+
+let test_cluster_crash_restart () =
+  (* the supervisor SIGKILLs node 2 at round 4 and re-forks it at round
+     10; the fresh incarnation must rejoin via the hello handshake and
+     the whole cluster still converges *)
+  let fault = Fault.with_restart (Fault.with_crash Fault.none ~node:2 ~round:4) ~node:2 ~round:10 in
+  let r = run_cluster ~fault ~n:8 Transport.Uds in
+  Alcotest.(check bool) "converged" true r.Cluster.converged;
+  Alcotest.(check (list int)) "no incarnation left crashed" [] r.Cluster.crashed;
+  match r.Cluster.invariants with
+  | Cluster.Failed msg -> Alcotest.fail ("invariants failed: " ^ msg)
+  | Cluster.Passed _ | Cluster.Skipped _ -> ()
+
+let test_cluster_fatal_crash_without_restart () =
+  (* a scheduled crash with no restart must be reported, not hang; round
+     1 fires before the cluster can fully converge *)
+  let fault = Fault.with_crash Fault.none ~node:1 ~round:1 in
+  let r = run_cluster ~fault ~n:16 Transport.Uds in
+  Alcotest.(check bool) "not converged" false r.Cluster.converged;
+  Alcotest.(check bool) "victim reported crashed" true (List.mem 1 r.Cluster.crashed);
+  Alcotest.(check (option int)) "no sabotage kill" None r.Cluster.killed
+
+let test_chaos_plan_shape () =
+  (* the soak's plan generator: seeded, in-bounds, always heal + restart *)
+  let rng = Repro_util.Rng.substream ~seed:42 ~index:0xc405 in
+  for _ = 1 to 50 do
+    let plan = Chaos.random_plan ~rng ~n:16 ~loss_max:0.2 in
+    Alcotest.(check bool) "loss bounded" true (Fault.drop_probability plan <= 0.2);
+    (match Fault.partitions plan with
+    | [ p ] -> Alcotest.(check bool) "partition heals" true (p.Fault.heal > p.Fault.start)
+    | ps -> Alcotest.failf "expected one partition, got %d" (List.length ps));
+    match Fault.crashed_nodes plan with
+    | [ (v, r) ] -> (
+      Alcotest.(check bool) "victim in range" true (v >= 0 && v < 16);
+      match Fault.restart_round plan ~node:v with
+      | Some r' -> Alcotest.(check bool) "restart after crash" true (r' > r)
+      | None -> Alcotest.fail "chaos plan crash has no restart")
+    | cs -> Alcotest.failf "expected one crash, got %d" (List.length cs)
+  done;
+  (* replayable: the same seed yields the same plan *)
+  let plan_of seed =
+    Chaos.random_plan ~rng:(Repro_util.Rng.substream ~seed ~index:0xc405) ~n:16 ~loss_max:0.2
+  in
+  Alcotest.(check string) "seeded plans replay" (Fault.to_string (plan_of 9))
+    (Fault.to_string (plan_of 9))
+
 let test_cluster_report_json () =
   let r = run_cluster ~n:4 Transport.Uds in
   let json = Cluster.result_to_json r in
@@ -219,6 +348,7 @@ let test_cluster_report_json () =
   in
   Alcotest.(check bool) "mentions transport" true (contains {|"transport":"uds"|});
   Alcotest.(check bool) "converged flag" true (contains {|"converged":true|});
+  Alcotest.(check bool) "killed is null" true (contains {|"killed":null|});
   Alcotest.(check bool) "invariants passed" true (contains {|"status":"passed"|})
 
 let () =
@@ -227,11 +357,17 @@ let () =
       ( "envelope",
         [
           Alcotest.test_case "roundtrip" `Quick test_envelope_roundtrip;
+          Alcotest.test_case "kinds" `Quick test_envelope_kinds;
           Alcotest.test_case "incremental" `Quick test_envelope_incremental;
           Alcotest.test_case "corruption" `Quick test_envelope_corruption;
           Alcotest.test_case "limits" `Quick test_envelope_limits;
         ] );
       ("control", [ Alcotest.test_case "roundtrip" `Quick test_control_roundtrip ]);
+      ( "backoff",
+        [
+          Alcotest.test_case "deterministic" `Quick test_backoff_deterministic;
+          Alcotest.test_case "bounds" `Quick test_backoff_bounds;
+        ] );
       ( "loopback",
         [
           Alcotest.test_case "trace-identity" `Quick test_loopback_trace_identity;
@@ -244,5 +380,13 @@ let () =
           Alcotest.test_case "crash-detected" `Quick test_cluster_crash_detected;
           Alcotest.test_case "teardown-bounded" `Quick test_cluster_teardown_bounded;
           Alcotest.test_case "report-json" `Quick test_cluster_report_json;
+        ] );
+      ( "faultnet",
+        [
+          Alcotest.test_case "reliable-under-loss" `Quick test_cluster_reliable_under_loss;
+          Alcotest.test_case "partition-heals" `Quick test_cluster_partition_heals;
+          Alcotest.test_case "crash-restart" `Quick test_cluster_crash_restart;
+          Alcotest.test_case "fatal-crash-reported" `Quick test_cluster_fatal_crash_without_restart;
+          Alcotest.test_case "chaos-plan-shape" `Quick test_chaos_plan_shape;
         ] );
     ]
