@@ -115,10 +115,10 @@ let fault_arg =
     & info [ "fault" ] ~docv:"PLAN"
         ~doc:
           "Unified fault plan, as a comma-separated DSL: loss=P, delay=T, dup=P, reorder=P, \
-           corrupt=P, link=SRC>DST:key=value:..., part=G1|G2\\@START..HEAL, crash=N\\@R, \
-           restart=N\\@R, join=N\\@R. Example: \
-           loss=0.1,part=0-3|4-7\\@5..20,crash=5\\@8,restart=5\\@14. Composes with \\$(b,--loss) \
-           and \\$(b,--crashes), which overlay the plan.")
+           corrupt=P, link=SRC>DST:key=value:..., part=G1|G2@START..HEAL, crash=N@R, \
+           restart=N@R, join=N@R. Example: \
+           loss=0.1,part=0-3|4-7@5..20,crash=5@8,restart=5@14. Composes with $(b,--loss) and \
+           $(b,--crashes), which overlay the plan.")
 
 (* --loss / --crashes predate the plan DSL; they overlay [base] so old
    invocations keep their exact semantics (including the crash-victim
@@ -391,8 +391,8 @@ let trace_diff_cmd =
 let cluster_cmd =
   let open Repro_net in
   let backend_conv =
-    let parse s = Transport.backend_of_string s |> Result.map_error (fun e -> `Msg e) in
-    Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Transport.backend_name b))
+    let parse s = Backend.of_string s |> Result.map_error (fun e -> `Msg e) in
+    Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Backend.to_string b))
   in
   let encoding_conv =
     let parse s =
@@ -402,15 +402,17 @@ let cluster_cmd =
     in
     Arg.conv (parse, fun ppf e -> Format.pp_print_string ppf (Wire.encoding_name e))
   in
-  let transport_arg =
+  let backend_arg =
     Arg.(
       value
-      & opt backend_conv Transport.Uds
-      & info [ "transport" ] ~docv:"BACKEND"
+      & opt backend_conv (Backend.Process Backend.Uds)
+      & info [ "backend"; "transport" ] ~docv:"BACKEND"
           ~doc:
-            "How nodes talk: $(b,loopback) (in-process, deterministic, trace-identical to the \
-             async simulator), $(b,uds) (one process per node over unix-domain sockets) or \
-             $(b,tcp) (one process per node over 127.0.0.1).")
+            "Node runtime: $(b,loopback) (in-process, deterministic, trace-identical to the \
+             async simulator), $(b,uds) (one process per node over unix-domain sockets), \
+             $(b,tcp) (one process per node over 127.0.0.1) or $(b,mux) (every node a live \
+             protocol instance multiplexed in this process — thousands of nodes, still \
+             deterministic).")
   in
   let tick_arg =
     Arg.(
@@ -459,7 +461,7 @@ let cluster_cmd =
       & info [ "dir" ] ~docv:"DIR"
           ~doc:"UDS socket directory (default: a fresh directory under /tmp, removed afterwards).")
   in
-  let cluster algo family n seed transport tick_period timeout encoding trace_out no_check kill
+  let cluster algo family n seed backend tick_period timeout encoding trace_out no_check kill
       fault dir =
     if n < 1 then `Error (false, "-n must be at least 1")
     else begin
@@ -470,7 +472,7 @@ let cluster_cmd =
           Cluster.n;
           family;
           seed;
-          backend = transport;
+          backend;
           tick_period;
           timeout;
           encoding;
@@ -505,7 +507,7 @@ let cluster_cmd =
   let term =
     Term.(
       ret
-        (const cluster $ algo_arg $ topology_arg $ n_arg $ seed_arg $ transport_arg $ tick_arg
+        (const cluster $ algo_arg $ topology_arg $ n_arg $ seed_arg $ backend_arg $ tick_arg
        $ timeout_arg $ encoding_arg $ trace_out_arg $ no_check_arg $ kill_arg $ fault_arg
        $ dir_arg))
   in
@@ -523,19 +525,19 @@ let chaos_cmd =
   let open Repro_net in
   let backend_conv =
     let parse s =
-      match Transport.backend_of_string s with
-      | Ok Transport.Loopback -> Error (`Msg "chaos needs a live backend (uds|tcp)")
+      match Backend.of_string s with
+      | Ok Backend.Loopback -> Error (`Msg "chaos needs a live backend (uds|tcp|mux)")
       | Ok b -> Ok b
       | Error e -> Error (`Msg e)
     in
-    Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Transport.backend_name b))
+    Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Backend.to_string b))
   in
-  let transport_arg =
+  let backend_arg =
     Arg.(
       value
-      & opt backend_conv Transport.Uds
-      & info [ "transport" ] ~docv:"BACKEND"
-          ~doc:"Socket backend for the trial clusters: $(b,uds) or $(b,tcp).")
+      & opt backend_conv (Backend.Process Backend.Uds)
+      & info [ "backend"; "transport" ] ~docv:"BACKEND"
+          ~doc:"Live backend for the trial clusters: $(b,uds), $(b,tcp) or $(b,mux).")
   in
   let trials_arg =
     Arg.(
@@ -572,14 +574,14 @@ let chaos_cmd =
       & info [ "dir" ] ~docv:"DIR"
           ~doc:"UDS socket directory (default: a fresh directory under /tmp, removed afterwards).")
   in
-  let chaos algo n seed transport trials loss_max tick_period timeout quiet dir =
+  let chaos algo n seed backend trials loss_max tick_period timeout quiet dir =
     let spec =
       {
         (Chaos.default_spec algo) with
         Chaos.n;
         trials;
         seed;
-        backend = transport;
+        backend;
         tick_period;
         timeout;
         loss_max;
@@ -611,7 +613,7 @@ let chaos_cmd =
   let term =
     Term.(
       ret
-        (const chaos $ algo_arg $ n_arg $ seed_arg $ transport_arg $ trials_arg $ loss_max_arg
+        (const chaos $ algo_arg $ n_arg $ seed_arg $ backend_arg $ trials_arg $ loss_max_arg
        $ tick_arg $ timeout_arg $ quiet_arg $ dir_arg))
   in
   Cmd.v

@@ -20,25 +20,6 @@ open Repro_discovery
 open Repro_net
 open Cmdliner
 
-let parse_addr s =
-  if String.contains s '/' then Ok (Unix.ADDR_UNIX s)
-  else
-    match int_of_string_opt s with
-    | Some port when port > 0 && port < 65536 -> Ok (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
-    | Some _ -> Error (Printf.sprintf "port %S out of range" s)
-    | None -> (
-      match String.rindex_opt s ':' with
-      | None -> Error (Printf.sprintf "bad address %S (want a socket path, PORT or HOST:PORT)" s)
-      | Some i -> (
-        let host = String.sub s 0 i and port = String.sub s (i + 1) (String.length s - i - 1) in
-        match (int_of_string_opt port, try Some (Unix.inet_addr_of_string host) with _ -> None) with
-        | Some p, Some a when p > 0 && p < 65536 -> Ok (Unix.ADDR_INET (a, p))
-        | _ -> Error (Printf.sprintf "bad address %S" s)))
-
-let addr_string = function
-  | Unix.ADDR_UNIX path -> path
-  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
-
 let algo_conv =
   let parse s = Registry.find s |> Result.map_error (fun e -> `Msg e) in
   let print ppf (a : Algorithm.t) = Format.pp_print_string ppf a.Algorithm.name in
@@ -61,12 +42,21 @@ let listen_arg =
 
 let peers_arg =
   Arg.(
-    required
+    value
     & opt (some (list ~sep:',' string)) None
     & info [ "peers" ] ~docv:"ADDR,..."
         ~doc:
           "The full deployment address table, identical on every node; position in the list is \
            the node id, and $(b,--listen) must appear in it.")
+
+let peers_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "peers-file" ] ~docv:"FILE"
+        ~doc:
+          "Read the address table from $(docv) instead of $(b,--peers): one entry per line \
+           (socket path, PORT, or HOST:PORT), blank lines and #-comments ignored.")
 
 let algo_arg =
   Arg.(
@@ -133,23 +123,31 @@ let announce_arg =
           "Greet the initial neighbours with a hello frame on startup; peers answer with \
            their full identifier set. Use when (re)joining an already-running deployment.")
 
-let main listen peers algo seed neighbors tick_period idle_timeout max_ticks encoding fault
-    announce =
-  let resolve acc addr =
-    match (acc, parse_addr addr) with
-    | Error e, _ -> Error e
-    | Ok acc, Ok a -> Ok (a :: acc)
-    | Ok _, Error e -> Error e
+let fleet_halt_arg =
+  Arg.(
+    value & flag
+    & info [ "fleet-halt" ]
+        ~doc:
+          "Gossip completion across the fleet and exit once every node is known to be done, \
+           instead of exiting on the local idle timeout. All nodes of the deployment must \
+           agree on this flag.")
+
+let main listen peers peers_file algo seed neighbors tick_period idle_timeout max_ticks encoding
+    fault announce fleet_halt =
+  let table =
+    match (peers, peers_file) with
+    | Some _, Some _ -> Error "--peers and --peers-file are mutually exclusive"
+    | Some entries, None -> Addr_table.of_entries entries
+    | None, Some file -> Addr_table.load file
+    | None, None -> Error "one of --peers or --peers-file is required"
   in
-  match List.fold_left resolve (Ok []) peers with
+  match table with
   | Error msg -> `Error (false, msg)
-  | Ok rev_addrs -> (
-    let addrs = Array.of_list (List.rev rev_addrs) in
+  | Ok addrs -> (
     let n = Array.length addrs in
-    let table = Array.map addr_string addrs in
-    match Array.to_list table |> List.mapi (fun i a -> (i, a)) |> List.find_opt (fun (_, a) -> a = listen) with
-    | None -> `Error (false, Printf.sprintf "--listen %S does not appear in --peers" listen)
-    | Some (node, _) -> (
+    match Addr_table.index_of addrs listen with
+    | None -> `Error (false, Printf.sprintf "--listen %S does not appear in the address table" listen)
+    | Some node -> (
       let neighbors =
         match neighbors with
         | Some ids -> Array.of_list ids
@@ -168,7 +166,7 @@ let main listen peers algo seed neighbors tick_period idle_timeout max_ticks enc
               algo;
               seed;
               neighbors;
-              scheme = Transport.Table addrs;
+              scheme = Addr_table.scheme addrs;
               listen_fd = None;
               control_fd = None;
               epoch = Unix.gettimeofday ();
@@ -182,6 +180,7 @@ let main listen peers algo seed neighbors tick_period idle_timeout max_ticks enc
               fault;
               announce;
               encoding;
+              fleet_halt;
             }
         in
         let f = report.Node.final in
@@ -199,8 +198,9 @@ let () =
   let term =
     Term.(
       ret
-        (const main $ listen_arg $ peers_arg $ algo_arg $ seed_arg $ neighbors_arg $ tick_arg
-       $ idle_arg $ max_ticks_arg $ encoding_arg $ fault_arg $ announce_arg))
+        (const main $ listen_arg $ peers_arg $ peers_file_arg $ algo_arg $ seed_arg
+       $ neighbors_arg $ tick_arg $ idle_arg $ max_ticks_arg $ encoding_arg $ fault_arg
+       $ announce_arg $ fleet_halt_arg))
   in
   let info =
     Cmd.info "discovery_node" ~version:"1.0.0"

@@ -51,27 +51,40 @@ let add t v =
 
 let merge_bits t src = Bitset.union_into_with ~dst:t.bits ~src (note t)
 
-let merge_ids t ids =
+(* Identifier batches are semantically sets: the order a sender happened
+   to serialise them in is a transport artefact (an in-memory delta
+   arrives in the sender's learn order, the wire codecs deliver sorted
+   ids, bitset unions walk ascending). Folding members in ascending id
+   order makes the learn order — and everything derived from it:
+   broadcast fan-out order, sampling, delta windows — a function of the
+   delivery sequence alone, which is what lets the live backends certify
+   trace-identity against the in-memory engines. Already-ascending
+   batches (wire-decoded lists, singletons) merge without allocating. *)
+let merge_seq t ~len ~get =
+  let ascending = ref true in
+  for i = 1 to len - 1 do
+    if get (i - 1) > get i then ascending := false
+  done;
   let learned = ref 0 in
-  Array.iter
-    (fun v ->
-      if Bitset.add t.bits v then begin
-        note t v;
-        incr learned
-      end)
-    ids;
+  let absorb v =
+    if Bitset.add t.bits v then begin
+      note t v;
+      incr learned
+    end
+  in
+  if !ascending then
+    for i = 0 to len - 1 do
+      absorb (get i)
+    done
+  else begin
+    let a = Array.init len get in
+    Array.sort (fun (x : int) y -> compare x y) a;
+    Array.iter absorb a
+  end;
   !learned
 
-let merge_slice t s =
-  let learned = ref 0 in
-  Intvec.slice_iter
-    (fun v ->
-      if Bitset.add t.bits v then begin
-        note t v;
-        incr learned
-      end)
-    s;
-  !learned
+let merge_ids t ids = merge_seq t ~len:(Array.length ids) ~get:(Array.get ids)
+let merge_slice t s = merge_seq t ~len:(Intvec.slice_length s) ~get:(Intvec.slice_get s)
 
 (* O(1): an immutable view of the live bitset. The live set privatises
    its storage on the next write (copy-on-write), so the snapshot is a

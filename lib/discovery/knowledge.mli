@@ -40,11 +40,19 @@ val merge_bits : t -> Bitset.t -> int
 (** Merge a bitset of identifiers; returns the number learned. *)
 
 val merge_ids : t -> int array -> int
-(** Merge an explicit identifier list; returns the number learned. *)
+(** Merge an explicit identifier list; returns the number learned.
+    New members enter the learn order in ascending id order regardless
+    of the array's order: a batch is semantically a set, and its
+    serialisation order is a transport artefact (wire codecs sort, an
+    in-memory delta arrives in the sender's learn order). Canonicalising
+    here keeps every order-derived behaviour — broadcast fan-outs,
+    sampling, delta windows — a function of the delivery sequence alone,
+    so live backends stay trace-identical to the in-memory engines. *)
 
 val merge_slice : t -> Intvec.slice -> int
 (** Merge the identifiers of a zero-copy slice (a delta payload);
-    returns the number learned. *)
+    returns the number learned. Same ascending-order canonicalisation as
+    {!merge_ids}. *)
 
 val snapshot : t -> Bitset.t
 (** An immutable view of the current bitset, suitable for use as a

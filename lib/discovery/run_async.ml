@@ -22,6 +22,7 @@ type spec = {
   horizon : float option;
   tick_jitter : float;
   latency : float * float;
+  encoding : Wire.encoding;
   trace : Trace.sink;
 }
 
@@ -33,11 +34,12 @@ let default_spec =
     horizon = None;
     tick_jitter = 0.1;
     latency = (0.1, 0.9);
+    encoding = Wire.Adaptive;
     trace = Trace.null;
   }
 
 let exec_spec spec (algo : Algorithm.t) topology =
-  let { seed; fault; completion; horizon; tick_jitter; latency; trace } = spec in
+  let { seed; fault; completion; horizon; tick_jitter; latency; encoding; trace } = spec in
   let n = Topology.n topology in
   let horizon = match horizon with Some h -> h | None -> (4.0 *. float_of_int n) +. 64.0 in
   let labels, instances = Exec.instances ~seed algo topology in
@@ -59,8 +61,10 @@ let exec_spec spec (algo : Algorithm.t) topology =
     }
   in
   let on_restart ~node = Exec.restart_instance ~seed algo topology instances ~node in
+  let measure_bytes = Wire.encoded_size encoding ~universe:n in
   let outcome =
-    Async_sim.run ~n ~config ~handlers ~measure:Payload.measure ~stop ~on_restart ()
+    Async_sim.run ~n ~config ~handlers ~measure:Payload.measure ~measure_bytes ~stop
+      ~on_restart ()
   in
   {
     algorithm = algo.Algorithm.name;
@@ -79,6 +83,15 @@ let exec_spec spec (algo : Algorithm.t) topology =
 let exec ?(seed = 0) ?(fault = Fault.none) ?(completion = Run.Strong) ?horizon
     ?(tick_jitter = 0.1) ?(latency = (0.1, 0.9)) algo topology =
   exec_spec
-    { seed; fault; completion; horizon; tick_jitter; latency; trace = Trace.null }
+    {
+      seed;
+      fault;
+      completion;
+      horizon;
+      tick_jitter;
+      latency;
+      encoding = Wire.Adaptive;
+      trace = Trace.null;
+    }
     algo topology
 [@@deprecated "use Run_async.exec_spec with a Run_async.spec record"]

@@ -32,6 +32,11 @@ type spec = {
   horizon : float option;  (** time budget; [None] means [4·n + 64.] time units *)
   tick_jitter : float;  (** per-node clock drift, as a fraction of the period *)
   latency : float * float;  (** (min, max) uniform message latency *)
+  encoding : Wire.encoding;
+      (** wire codec used to {e size} each message ([Send] trace events and
+          byte metrics carry the codec's encoded length, exactly as the
+          live backends measure real frames); the payload itself is
+          delivered in memory *)
   trace : Trace.sink;
       (** structured event trace (see {!Repro_engine.Trace}); {!Run.spec}
           semantics — observational only, free when {!Repro_engine.Trace.null} *)
@@ -43,7 +48,7 @@ type spec = {
 val default_spec : spec
 (** Seed 0, no faults, strong completion, default horizon, jitter 0.1,
     latency ∈ [0.1, 0.9] (so a message takes about half a local round on
-    average), no tracing. *)
+    average), adaptive byte sizing, no tracing. *)
 
 val exec_spec : spec -> Algorithm.t -> Topology.t -> result
 (** Determinism and the completion predicates are as in

@@ -106,7 +106,17 @@ let bitmap_size ~universe = (universe + 7) / 8
 
    byte 0: message kind (0 Share, 1 Exchange, 2 Reply, 3 Probe, 4 Halt)
    byte 1 (data payloads only): body codec (0 raw32, 1 varint, 2 bitmap)
-   rest: codec body. [Adaptive] picks the smaller of varint/bitmap. *)
+     in the low bits, plus the snapshot-form flag (0x80) in the top bit
+   rest: codec body. [Adaptive] picks the smaller of varint/bitmap.
+
+   The snapshot flag preserves the payload's in-memory form across the
+   wire: algorithms distinguish a full-knowledge snapshot ([Bits]) from
+   a small explicit list ([Ids]) — e.g. custody marking in hm — and the
+   codec choice is a size decision that must not leak into protocol
+   semantics. A decoded [Bits] means the sender passed [Bits],
+   regardless of which body codec won. *)
+
+let snapshot_flag = 0x80
 
 let kind_tag = function
   | Payload.Share _ -> 0
@@ -130,15 +140,16 @@ let encode encoding ~universe payload =
   | Payload.Share d | Payload.Exchange d | Payload.Reply d ->
     let ids = ids_of_data d in
     check_range ~universe ids;
+    let form = match d with Payload.Bits _ -> snapshot_flag | Payload.Ids _ | Payload.Delta _ -> 0 in
     (match body_choice encoding ~universe ids with
     | `Raw ->
-      Buffer.add_char buf '\000';
+      Buffer.add_char buf (Char.chr form);
       Buffer.add_buffer buf (raw32_body ids)
     | `Varint ->
-      Buffer.add_char buf '\001';
+      Buffer.add_char buf (Char.chr (1 lor form));
       Buffer.add_buffer buf (varint_body ids)
     | `Bitmap ->
-      Buffer.add_char buf '\002';
+      Buffer.add_char buf (Char.chr (2 lor form));
       Buffer.add_buffer buf (bitmap_body ~universe ids)));
   Buffer.to_bytes buf
 
@@ -270,7 +281,9 @@ let decode_exn ~universe bytes =
   else begin
     if kind > 2 then invalid_arg "Wire.decode: unknown message kind";
     if Bytes.length bytes < 2 then invalid_arg "Wire.decode: truncated header";
-    let codec = Char.code (Bytes.get bytes 1) in
+    let codec_byte = Char.code (Bytes.get bytes 1) in
+    let snapshot = codec_byte land snapshot_flag <> 0 in
+    let codec = codec_byte land lnot snapshot_flag in
     let pos = ref 2 in
     let data =
       match codec with
@@ -332,6 +345,16 @@ let decode_exn ~universe bytes =
         (fun v -> if v < 0 || v >= universe then invalid_arg "Wire.decode: identifier out of range")
         out
     | Payload.Bits _ | Payload.Delta _ -> ());
+    (* restore the sender's form: the body codec was a size decision *)
+    let data =
+      match (data, snapshot) with
+      | Payload.Ids out, true ->
+        let bits = Bitset.create universe in
+        Array.iter (fun v -> ignore (Bitset.add bits v)) out;
+        Payload.Bits bits
+      | Payload.Bits bits, false -> Payload.Ids (Array.of_list (Bitset.elements bits))
+      | (Payload.Ids _ | Payload.Bits _ | Payload.Delta _), _ -> data
+    in
     match kind with
     | 0 -> Payload.Share data
     | 1 -> Payload.Exchange data

@@ -30,10 +30,15 @@ val encode : encoding -> universe:int -> Payload.t -> bytes
     @raise Invalid_argument on out-of-range identifiers. *)
 
 val decode : encoding -> universe:int -> bytes -> (Payload.t, string) result
-(** Inverse of {!encode} (up to the set-of-identifiers semantics of the
+(** Inverse of {!encode} up to the set-of-identifiers semantics of the
     payload: identifier lists come back sorted and deduplicated, and a
-    data payload may come back as [Bits] or [Ids] depending on the
-    codec). Total on arbitrary input: every malformed buffer —
+    [Delta] slice comes back as [Ids]. The snapshot form is preserved
+    exactly — a payload sent as [Bits] decodes as [Bits] and one sent as
+    [Ids]/[Delta] never does, whichever body codec won the size contest.
+    Algorithms read meaning into that distinction (a full-knowledge
+    snapshot vs a small explicit list), so it must survive the wire for
+    the live backends to be trace-identical to the in-memory ones.
+    Total on arbitrary input: every malformed buffer —
     truncated, corrupted, hostile length fields — is reported as
     [Error], never an exception, and claimed element counts are
     validated against the bytes actually present before any allocation

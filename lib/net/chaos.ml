@@ -9,7 +9,7 @@ type spec = {
   family : Generate.family;
   trials : int;
   seed : int;
-  backend : Transport.backend;
+  backend : Backend.t;
   tick_period : float;
   timeout : float;
   loss_max : float;
@@ -24,7 +24,7 @@ let default_spec algo =
     family = Generate.K_out 3;
     trials = 10;
     seed = 0;
-    backend = Transport.Uds;
+    backend = Backend.Process Backend.Uds;
     tick_period = Node.default_tick_period;
     timeout = 10.0;
     loss_max = 0.2;
@@ -37,7 +37,7 @@ type trial = { index : int; seed : int; plan : Fault.t; result : Cluster.result;
 type report = {
   algorithm : string;
   family : string;
-  backend : Transport.backend;
+  backend : Backend.t;
   n : int;
   base_seed : int;
   loss_max : float;
@@ -77,8 +77,8 @@ let run ?(progress = fun _ -> ()) (spec : spec) =
   if spec.trials < 1 then invalid_arg "Chaos.run: trials must be positive";
   if spec.n < 2 then invalid_arg "Chaos.run: n must be at least 2";
   (match spec.backend with
-  | Transport.Loopback -> invalid_arg "Chaos.run: chaos needs a socket backend (uds|tcp)"
-  | Transport.Uds | Transport.Tcp -> ());
+  | Backend.Loopback -> invalid_arg "Chaos.run: chaos needs a live backend (uds|tcp|mux)"
+  | Backend.Process _ | Backend.Mux -> ());
   let trials =
     List.init spec.trials (fun index ->
         let seed = spec.seed + index in
@@ -143,9 +143,9 @@ let trial_to_json t =
 
 let report_to_json r =
   Printf.sprintf
-    {|{"algorithm":"%s","family":"%s","transport":"%s","n":%d,"seed":%d,"loss_max":%g,"trials":%d,"passed":%d,"failed":%d,"results":[%s]}|}
+    {|{"algorithm":"%s","family":"%s","backend":"%s","n":%d,"seed":%d,"loss_max":%g,"trials":%d,"passed":%d,"failed":%d,"results":[%s]}|}
     r.algorithm r.family
-    (Transport.backend_name r.backend)
+    (Backend.to_string r.backend)
     r.n r.base_seed r.loss_max (List.length r.trials) r.passed
     (List.length r.trials - r.passed)
     (String.concat "," (List.map trial_to_json r.trials))

@@ -5,7 +5,7 @@
     quantized base loss rate up to [loss_max], small duplication /
     reordering / corruption probabilities, one scheduled partition that
     heals, and one crash with a later restart. The trial runs the
-    algorithm over a live {!Cluster} (socket backends only) under that
+    algorithm over a live {!Cluster} (socket or mux backends) under that
     plan; it passes when the cluster converges and the online invariant
     checker did not flag a violation. The same seed therefore always
     replays the same soak — a failing trial can be re-run alone by
@@ -21,7 +21,7 @@ type spec = {
   family : Generate.family;
   trials : int;
   seed : int;  (** trial [i] uses [seed + i] for topology, labels and plan *)
-  backend : Transport.backend;  (** [Uds] or [Tcp]; loopback is rejected *)
+  backend : Backend.t;  (** any live backend; loopback is rejected *)
   tick_period : float;
   timeout : float;  (** per-trial wall-clock budget *)
   loss_max : float;  (** upper bound on each trial's base loss rate *)
@@ -43,7 +43,7 @@ type trial = {
 type report = {
   algorithm : string;
   family : string;
-  backend : Transport.backend;
+  backend : Backend.t;
   n : int;
   base_seed : int;
   loss_max : float;

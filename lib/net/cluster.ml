@@ -8,7 +8,7 @@ type spec = {
   algo : Algorithm.t;
   family : Generate.family;
   seed : int;
-  backend : Transport.backend;
+  backend : Backend.t;
   tick_period : float;
   timeout : float;
   encoding : Wire.encoding;
@@ -25,7 +25,7 @@ let default_spec algo =
     algo;
     family = Generate.K_out 3;
     seed = 0;
-    backend = Transport.Uds;
+    backend = Backend.Process Backend.Uds;
     tick_period = Node.default_tick_period;
     timeout = 30.0;
     encoding = Wire.Adaptive;
@@ -45,7 +45,7 @@ type invariant_status = Passed of int | Failed of string | Skipped of string
 type result = {
   algorithm : string;
   family : string;
-  backend : Transport.backend;
+  backend : Backend.t;
   n : int;
   seed : int;
   converged : bool;
@@ -109,7 +109,15 @@ let run_loopback (spec : spec) =
     | None -> spec.trace
     | Some inv -> Trace.tee (Trace.Invariants.sink inv) spec.trace
   in
-  let run_spec = { Run_async.default_spec with seed = spec.seed; fault = spec.fault; trace } in
+  let run_spec =
+    {
+      Run_async.default_spec with
+      seed = spec.seed;
+      fault = spec.fault;
+      encoding = spec.encoding;
+      trace;
+    }
+  in
   let sim, finals = Loopback.exec_spec run_spec spec.algo topology in
   let invariants =
     match checker with
@@ -120,21 +128,94 @@ let run_loopback (spec : spec) =
       | exception Trace.Invariants.Violation msg -> Failed msg)
   in
   let totals = Array.fold_left add_final zero_final finals in
+  (* same accounting as the mux path: a node that ended the run dead is
+     reported crashed, whichever backend hosted it *)
+  let crashed = ref [] in
+  for v = spec.n - 1 downto 0 do
+    if not sim.Run_async.alive.(v) then crashed := v :: !crashed
+  done;
   {
     algorithm = spec.algo.Algorithm.name;
     family = Generate.family_name spec.family;
-    backend = Transport.Loopback;
+    backend = Backend.Loopback;
     n = spec.n;
     seed = spec.seed;
     converged = sim.Run_async.completed;
     wall_time = sim.Run_async.time;
     events = (match checker with Some inv -> Trace.Invariants.events_seen inv | None -> 0);
-    crashed = [];
+    crashed = !crashed;
     killed = None;
     invariants;
     nodes =
       Array.mapi
         (fun id f -> { id; outcome = Finished f; completed = sim.Run_async.completed })
+        finals;
+    totals = Some totals;
+  }
+
+(* --- mux: every node a live Node_core, one process, virtual time ---- *)
+
+let run_mux (spec : spec) =
+  if spec.n < 1 then invalid_arg "Cluster.run: n must be positive";
+  let topology =
+    Generate.build spec.family ~rng:(Rng.substream ~seed:spec.seed ~index:0x70b0) ~n:spec.n
+  in
+  (* crash accounting follows the live rules (a payload can be counted
+     delivered by the victim and dropped by the sender), so any plan
+     that kills a node checks under the relaxed rules, like the socket
+     path *)
+  let checker =
+    if spec.check_invariants then
+      Some
+        (Trace.Invariants.create
+           ~lenient:(Fault.crashed_nodes spec.fault <> [] || Fault.has_restarts spec.fault)
+           ())
+    else None
+  in
+  let trace =
+    match checker with
+    | None -> spec.trace
+    | Some inv -> Trace.tee (Trace.Invariants.sink inv) spec.trace
+  in
+  let run_spec =
+    {
+      Run_async.default_spec with
+      seed = spec.seed;
+      fault = spec.fault;
+      encoding = spec.encoding;
+      trace;
+    }
+  in
+  let sim, finals = Mux.exec_spec run_spec spec.algo topology in
+  let invariants =
+    match checker with
+    | None -> Skipped "disabled"
+    | Some inv -> (
+      match Trace.Invariants.final_check inv sim.Run_async.metrics with
+      | () -> Passed (Trace.Invariants.events_seen inv)
+      | exception Trace.Invariants.Violation msg -> Failed msg)
+  in
+  let totals = Array.fold_left add_final zero_final finals in
+  let crashed = ref [] in
+  for v = spec.n - 1 downto 0 do
+    if not sim.Run_async.alive.(v) then crashed := v :: !crashed
+  done;
+  {
+    algorithm = spec.algo.Algorithm.name;
+    family = Generate.family_name spec.family;
+    backend = Backend.Mux;
+    n = spec.n;
+    seed = spec.seed;
+    converged = sim.Run_async.completed;
+    wall_time = sim.Run_async.time;
+    events = (match checker with Some inv -> Trace.Invariants.events_seen inv | None -> 0);
+    crashed = !crashed;
+    killed = None;
+    invariants;
+    nodes =
+      Array.mapi
+        (fun id f ->
+          { id; outcome = Finished f; completed = f.Control.complete_tick <> None })
         finals;
     totals = Some totals;
   }
@@ -220,7 +301,7 @@ let run_sockets (spec : spec) =
   let cleanup_dir = ref None in
   let scheme =
     match spec.backend with
-    | Transport.Uds ->
+    | Backend.Process Backend.Uds ->
       let dir =
         match spec.dir with
         | Some d -> d
@@ -231,8 +312,8 @@ let run_sockets (spec : spec) =
           d
       in
       Transport.Dir dir
-    | Transport.Tcp -> Transport.Ports (Array.make spec.n 0)
-    | Transport.Loopback -> assert false
+    | Backend.Process Backend.Tcp -> Transport.Ports (Array.make spec.n 0)
+    | Backend.Loopback | Backend.Mux -> assert false
   in
   let listeners = Array.init spec.n (fun v -> Transport.listen_socket scheme v) in
   (match scheme with
@@ -285,6 +366,7 @@ let run_sockets (spec : spec) =
                 fault = spec.fault;
                 announce;
                 encoding = spec.encoding;
+                fleet_halt = true;
               }
           in
           ignore report;
@@ -343,6 +425,7 @@ let run_sockets (spec : spec) =
              (Fault.restarting_nodes spec.fault)))
   in
   let expects_respawn v = List.exists (fun (_, act, u) -> act = `Respawn && u = v) !schedule in
+  let fatal_kill = ref false in
   let start = Unix.gettimeofday () in
   let deadline = start +. spec.timeout in
   let crash_events = ref [] in
@@ -391,6 +474,10 @@ let run_sockets (spec : spec) =
         schedule := rest;
         (match act with
         | `Kill ->
+          (* a plan kill with no later respawn is fatal to convergence
+             even if the victim slipped its completion report out before
+             the signal landed — the cluster did not END converged *)
+          if not (expects_respawn v) then fatal_kill := true;
           let c = children.(v) in
           if c.exit_status = None then begin
             c.killed <- true;
@@ -461,9 +548,14 @@ let run_sockets (spec : spec) =
     done;
     (try Unix.rmdir dir with Unix.Unix_error _ -> ())
   | None -> ());
-  let converged = Array.for_all (fun c -> c.completed) children && not !timed_out in
   let crashed =
     Array.to_list children |> List.filter crashed_child |> List.map (fun c -> c.id)
+  in
+  (* [crashed] also lists teardown kills (stragglers reaped after the
+     halt), which must not void convergence — only a plan kill that was
+     never respawned does, via [fatal_kill] *)
+  let converged =
+    Array.for_all (fun c -> c.completed) children && (not !timed_out) && not !fatal_kill
   in
   (* merge the per-node streams (every incarnation's) into one
      time-ordered trace; stable sort keeps each node's own order for
@@ -554,11 +646,11 @@ let run_sockets (spec : spec) =
 
 let run (spec : spec) =
   match spec.backend with
-  | Transport.Loopback ->
+  | Backend.Loopback | Backend.Mux ->
     if spec.kill_node <> None then
       invalid_arg "Cluster.run: kill_node requires a socket backend (uds|tcp)";
-    run_loopback spec
-  | Transport.Uds | Transport.Tcp -> run_sockets spec
+    if spec.backend = Backend.Mux then run_mux spec else run_loopback spec
+  | Backend.Process _ -> run_sockets spec
 
 (* --- JSON report ---------------------------------------------------- *)
 
@@ -601,9 +693,9 @@ let result_to_json r =
     | Skipped why -> Printf.sprintf {|{"status":"skipped","reason":"%s"}|} (json_escape why)
   in
   Printf.sprintf
-    {|{"algorithm":"%s","family":"%s","transport":"%s","n":%d,"seed":%d,"converged":%b,"wall_time":%.6f,"events":%d,"crashed":[%s],"killed":%s,"invariants":%s,"totals":%s,"nodes":[%s]}|}
+    {|{"algorithm":"%s","family":"%s","backend":"%s","n":%d,"seed":%d,"converged":%b,"wall_time":%.6f,"events":%d,"crashed":[%s],"killed":%s,"invariants":%s,"totals":%s,"nodes":[%s]}|}
     (json_escape r.algorithm) (json_escape r.family)
-    (Transport.backend_name r.backend)
+    (Backend.to_string r.backend)
     r.n r.seed r.converged r.wall_time r.events
     (String.concat "," (List.map string_of_int r.crashed))
     (match r.killed with Some v -> string_of_int v | None -> "null")

@@ -33,9 +33,14 @@
       {!Repro_engine.Trace.Invariants} checker, closing with the same
       [final_check] totals-agreement the engines use.
 
-    The [Loopback] backend short-circuits all of this to
+    Process-per-node is one of three implementations of the {!Backend}
+    API. [Backend.Loopback] short-circuits all of the above to
     {!Loopback.exec_spec}: in-process, deterministic, trace-identical to
-    {!Repro_discovery.Run_async}. *)
+    {!Repro_discovery.Run_async}. [Backend.Mux] runs the same live
+    protocol stack as the processes — every node a {!Node_core} — but
+    multiplexed into this one process on a virtual clock
+    ({!Mux.exec_spec}), scaling to thousands of live nodes while staying
+    trace-identical to loopback on fault-free runs. *)
 
 open Repro_graph
 open Repro_engine
@@ -46,7 +51,7 @@ type spec = {
   algo : Algorithm.t;
   family : Generate.family;
   seed : int;
-  backend : Transport.backend;
+  backend : Backend.t;
   tick_period : float;
   timeout : float;  (** overall wall-clock budget; exceeding it = non-convergence *)
   encoding : Wire.encoding;
@@ -57,10 +62,11 @@ type spec = {
       (** sabotage: SIGKILL this node right after spawn (socket backends only) *)
   fault : Fault.t;
       (** unified fault plan: link faults and partitions are applied in
-          the children via {!Faultnet}; crash/restart schedules are
-          executed by the harness (socket backends) or the simulator
-          (loopback). Runs that can crash a process are checked with the
-          invariant checker's relaxed ([lenient]) rules. *)
+          the nodes via {!Faultnet}; crash/restart schedules are
+          executed by the harness (socket backends), the mux scheduler,
+          or the simulator (loopback). Runs that can crash a node are
+          checked with the invariant checker's relaxed ([lenient])
+          rules. *)
 }
 
 val default_spec : Algorithm.t -> spec
@@ -77,11 +83,11 @@ type invariant_status = Passed of int  (** events checked *) | Failed of string 
 type result = {
   algorithm : string;
   family : string;
-  backend : Transport.backend;
+  backend : Backend.t;
   n : int;
   seed : int;
   converged : bool;
-  wall_time : float;  (** seconds (loopback: simulated time) *)
+  wall_time : float;  (** seconds (loopback/mux: virtual time) *)
   events : int;
   crashed : int list;  (** nodes whose {e current} incarnation died abnormally *)
   killed : int option;  (** echo of [spec.kill_node]: the sabotaged node, if any *)
@@ -95,7 +101,7 @@ val run : spec -> result
     children reaped, control sockets closed, any harness-created UDS
     directory removed.
     @raise Invalid_argument on a nonsensical spec ([n < 1], [kill_node]
-    out of range or combined with the loopback backend). *)
+    out of range or combined with an in-process backend). *)
 
 val result_to_json : result -> string
 (** One-line JSON report (stable field order, no trailing newline). *)

@@ -3,11 +3,12 @@
 
      offset  size  field
      0       2     magic "RD"
-     2       1     version (currently 2)
-     3       1     kind (0 = data, 1 = ack, 2 = hello)
+     2       1     version (currently 3)
+     3       1     kind (low 7 bits: 0 = data, 1 = ack, 2 = hello,
+                   3 = done; bit 7: sender's knowledge is complete)
      4       4     src node id
      8       4     stamp (sender's tick count when the message left)
-     12      4     sequence number (per-link, 1-based; 0 on ack/hello)
+     12      4     sequence number (per-link, 1-based; 0 on bare frames)
      16      4     cumulative ack (highest in-order seq received from dst)
      20      4     body length
      24      4     CRC-32 (IEEE) of bytes [0, 24) ++ body
@@ -20,24 +21,26 @@
    reliability fields as well as the payload.
 
    Version 2 added the kind/seq/ack fields for the reliability layer;
-   version-1 frames are rejected as an unsupported version (live fleets
-   are always spawned from one build, so no cross-version traffic
-   exists). *)
+   version 3 added the Done kind and the completion flag bit for
+   fleet-wide termination gossip. Older frames are rejected as an
+   unsupported version (live fleets are always spawned from one build,
+   so no cross-version traffic exists). *)
 
 let magic0 = 'R'
 let magic1 = 'D'
-let version = 2
+let version = 3
 let header_size = 28
 
 (* generous per-message bound: a bitmap body for n = 2^24 nodes is 2 MiB *)
 let max_body = 16 * 1024 * 1024
 
-type kind = Data | Ack | Hello
+type kind = Data | Ack | Hello | Done
 
-type t = { kind : kind; src : int; stamp : int; seq : int; ack : int; body : bytes }
+type t = { kind : kind; src : int; stamp : int; seq : int; ack : int; comp : bool; body : bytes }
 
-let kind_code = function Data -> 0 | Ack -> 1 | Hello -> 2
-let kind_name = function Data -> "data" | Ack -> "ack" | Hello -> "hello"
+let kind_code = function Data -> 0 | Ack -> 1 | Hello -> 2 | Done -> 3
+let kind_name = function Data -> "data" | Ack -> "ack" | Hello -> "hello" | Done -> "done"
+let comp_bit = 0x80
 let crc_mismatch = "CRC mismatch"
 
 (* --- CRC-32 (IEEE 802.3), table-driven --- *)
@@ -94,7 +97,7 @@ let encode t =
   Bytes.set out 0 magic0;
   Bytes.set out 1 magic1;
   Bytes.set out 2 (Char.chr version);
-  Bytes.set out 3 (Char.chr (kind_code t.kind));
+  Bytes.set out 3 (Char.chr (kind_code t.kind lor if t.comp then comp_bit else 0));
   put_u32 out 4 t.src;
   put_u32 out 8 t.stamp;
   put_u32 out 12 t.seq;
@@ -105,6 +108,18 @@ let encode t =
      itself is excluded) *)
   put_u32 out 24 (crc_finish (crc_update (crc_update crc_init out 0 24) t.body 0 blen));
   out
+
+(* The mux runtime classifies frames it is about to "transmit" without
+   a full decode: data frames get simulator-aligned latency draws. *)
+let peek_kind buf =
+  if Bytes.length buf < 4 then None
+  else
+    match Char.code (Bytes.get buf 3) land lnot comp_bit with
+    | 0 -> Some Data
+    | 1 -> Some Ack
+    | 2 -> Some Hello
+    | 3 -> Some Done
+    | _ -> None
 
 let decode buf ~off ~len =
   if len < header_size then `Need_more
@@ -117,7 +132,9 @@ let decode buf ~off ~len =
          version)
   else begin
     let kind_byte = Char.code (Bytes.get buf (off + 3)) in
-    if kind_byte > 2 then `Corrupt (Printf.sprintf "unknown frame kind %d" kind_byte)
+    let comp = kind_byte land comp_bit <> 0 in
+    let kind_byte = kind_byte land lnot comp_bit in
+    if kind_byte > 3 then `Corrupt (Printf.sprintf "unknown frame kind %d" kind_byte)
     else begin
       let src = get_u32 buf (off + 4) in
       let stamp = get_u32 buf (off + 8) in
@@ -134,9 +151,10 @@ let decode buf ~off ~len =
         in
         if crc <> actual then `Corrupt crc_mismatch
         else begin
-          let kind = match kind_byte with 0 -> Data | 1 -> Ack | _ -> Hello in
-          `Frame ({ kind; src; stamp; seq; ack; body = Bytes.sub buf (off + header_size) blen },
-                  header_size + blen)
+          let kind = match kind_byte with 0 -> Data | 1 -> Ack | 2 -> Hello | _ -> Done in
+          `Frame
+            ( { kind; src; stamp; seq; ack; comp; body = Bytes.sub buf (off + header_size) blen },
+              header_size + blen )
         end
       end
     end

@@ -13,7 +13,10 @@
     slot in the per-link sequence space; [Ack] is a pure cumulative
     acknowledgement (empty body, [seq = 0]); [Hello] announces a fresh
     incarnation after a restart and asks the receiver to reset its link
-    state for the sender (empty body, [seq = 0]).
+    state for the sender (empty body, [seq = 0]); [Done] is termination
+    gossip — a bare probe/confirmation that the sender's knowledge is
+    complete. Every frame additionally carries a completion flag
+    ([comp]), so any traffic at all doubles as termination gossip.
 
     Decoding is incremental (a TCP read may deliver half a frame) and
     defensive: truncation is [`Need_more], while corruption — bad magic,
@@ -21,15 +24,16 @@
     [`Corrupt] with a reason, and a hostile length field is bounded
     {e before} any allocation depends on it. *)
 
-type kind = Data | Ack | Hello
+type kind = Data | Ack | Hello | Done
 
 type t = {
   kind : kind;
   src : int;  (** sender's node id *)
   stamp : int;  (** sender's tick count when the message was sent *)
-  seq : int;  (** per-link data sequence number (1-based; 0 for [Ack]/[Hello]) *)
+  seq : int;  (** per-link data sequence number (1-based; 0 for bare frames) *)
   ack : int;  (** cumulative: highest in-order seq received from the destination *)
-  body : bytes;  (** [Wire]-encoded payload (empty for [Ack]/[Hello]) *)
+  comp : bool;  (** the sender's knowledge was complete when this frame left *)
+  body : bytes;  (** [Wire]-encoded payload (empty for bare frames) *)
 }
 
 val header_size : int
@@ -39,7 +43,13 @@ val max_body : int
 (** Upper bound on [Bytes.length body] accepted by both directions. *)
 
 val kind_name : kind -> string
-(** ["data"], ["ack"] or ["hello"]. *)
+(** ["data"], ["ack"], ["hello"] or ["done"]. *)
+
+val peek_kind : bytes -> kind option
+(** The frame kind of an encoded envelope, read from the header without
+    a full decode (no CRC check) — used by the mux runtime to classify a
+    frame it is about to transmit. [None] if the buffer is too short or
+    the kind byte is unknown. *)
 
 val crc_mismatch : string
 (** The exact [`Corrupt] reason produced by a CRC failure — receivers

@@ -44,6 +44,7 @@ type config = {
   fault : Fault.t;
   announce : bool;
   encoding : Wire.encoding;
+  fleet_halt : bool;
 }
 
 let default_tick_period = 0.01
@@ -52,102 +53,49 @@ let default_connect_retries = 8
 let default_backoff = 0.02
 let default_backoff_cap = 0.5
 let default_rto = 0.05
-let hello_interval = 50
 
 type report = { final : Control.final; halted : bool }
 
-(* Outgoing link to one peer. Data payloads live in [sendbuf] from the
-   moment they are sent until the peer's cumulative ack covers them;
-   frames are (re)encoded at transmission time so sequence numbers and
-   piggybacked acks are always current. [base_seq] is the sequence number
-   of the frame at the queue's front. *)
-type link_state =
-  | No_conn  (** nothing in flight; connect on next send / retry slot *)
-  | Connecting of Transport.Conn.t
-  | Ready of Transport.Conn.t
-  | Dead
+(* The transport-side life of one outgoing path. The protocol truth
+   (send buffer, sequence state, liveness verdict) lives in the
+   {!Node_core} link; this record only tracks the socket and its retry
+   budget. [given_up] mirrors the core's [Dead] status — it is cleared
+   when a hello revives the link (the core flips Dead back to Down). *)
+type conn_state = No_conn | Connecting of Transport.Conn.t | Ready of Transport.Conn.t
 
-type frame = { stamp : int; body : bytes; mutable txed : bool }
-
-type link = {
-  mutable state : link_state;
+type conn = {
+  mutable state : conn_state;
   mutable attempt : int;
-  mutable retry_at : float;
-  sendbuf : frame Queue.t;
-  mutable base_seq : int;
-  mutable rto_at : float;
-  mutable recv_cum : int;  (** highest in-order data seq received from this peer *)
-  mutable ack_owed : bool;
-  mutable hello_owed : bool;
+  mutable retry_at : float;  (* absolute wall-clock *)
+  mutable given_up : bool;
   backoff : Backoff.t;
 }
 
 type t = {
   cfg : config;
-  inst : Algorithm.instance;
-  links : link array;
-  fn : Faultnet.t option;
+  core : Node_core.t;
+  conns : conn array;
   mutable incoming : Transport.Conn.t list;
   listen_fd : Unix.file_descr;
   own_listener : bool;  (** we bound it ourselves, so we unlink/close it *)
   control : Transport.Conn.t option;  (** write side of the control channel *)
-  mutable tick_count : int;
-  mutable sent : int;
-  mutable delivered : int;
-  mutable dropped : int;
-  mutable pointers : int;
-  mutable bytes : int;
-  mutable decode_errors : int;
-  mutable retransmits : int;
-  mutable corrupt_frames : int;
-  mutable complete_tick : int option;
-  mutable complete_announced : bool;
-  mutable last_activity : float;
+  mutable fleet_exit_at : float;  (* absolute; infinity until fleet_done observed *)
   mutable halted : bool;
   mutable running : bool;
 }
 
-let now_rel t = Unix.gettimeofday () -. t.cfg.epoch
-
-let emit t (ev : Trace.event) =
-  match t.control with
-  | None -> ()
-  | Some c -> Transport.Conn.queue c (Bytes.of_string (Control.event_line ~time:(now_rel t) ev))
-
-let control_send t line =
-  match t.control with
-  | None -> ()
-  | Some c -> Transport.Conn.queue c (Bytes.of_string line)
+(* the core runs on epoch-relative time; the runtime's own timers
+   (retries, tick scheduling, deadlines) stay on the wall clock *)
+let rel cfg = Unix.gettimeofday () -. cfg.epoch
 
 (* --- connection management ----------------------------------------- *)
 
-let need_traffic link =
-  (not (Queue.is_empty link.sendbuf)) || link.ack_owed || link.hello_owed
-
-(* Every encoded frame to a peer passes through the fault shim when one
-   is active; the shim calls [queue] zero, one or two times. *)
-let queue_frame t ~dst conn frame =
-  match t.fn with
-  | None -> Transport.Conn.queue conn frame
-  | Some fn ->
-    Faultnet.send fn ~now:(Unix.gettimeofday ()) ~dst frame ~queue:(Transport.Conn.queue conn)
-
-let drop_link_frames t dst count =
-  for _ = 1 to count do
-    t.dropped <- t.dropped + 1;
-    emit t (Trace.Drop { src = t.cfg.node; dst; reason = Trace.Dead_dst })
-  done
-
-let declare_dead t dst =
-  let link = t.links.(dst) in
-  (match link.state with
-  | Connecting c | Ready c -> Transport.Conn.close c
-  | No_conn | Dead -> ());
-  drop_link_frames t dst (Queue.length link.sendbuf);
-  Queue.clear link.sendbuf;
-  link.ack_owed <- false;
-  link.hello_owed <- false;
-  link.state <- Dead
+let promote_ready t dst conn =
+  let c = t.conns.(dst) in
+  c.state <- Ready conn;
+  c.attempt <- 0;
+  Backoff.reset c.backoff;
+  Node_core.link_up t.core ~now:(rel t.cfg) ~dst
 
 (* A peer that the plan revives is worth waiting for: cap the attempt
    counter instead of declaring it dead, and let the capped backoff keep
@@ -155,219 +103,52 @@ let declare_dead t dst =
 let will_return t dst = Fault.restart_round t.cfg.fault ~node:dst <> None
 
 let connect_failed t dst =
-  let link = t.links.(dst) in
-  (match link.state with
-  | Connecting c | Ready c -> Transport.Conn.close c
-  | No_conn | Dead -> ());
-  link.state <- No_conn;
-  link.attempt <- link.attempt + 1;
-  if link.attempt > t.cfg.connect_retries && not (will_return t dst) then declare_dead t dst
-  else begin
-    if link.attempt > t.cfg.connect_retries then link.attempt <- t.cfg.connect_retries + 1;
-    link.retry_at <- Unix.gettimeofday () +. Backoff.next link.backoff
+  let c = t.conns.(dst) in
+  (match c.state with
+  | Connecting conn | Ready conn -> Transport.Conn.close conn
+  | No_conn -> ());
+  c.state <- No_conn;
+  Node_core.link_down t.core ~dst;
+  c.attempt <- c.attempt + 1;
+  if c.attempt > t.cfg.connect_retries && not (will_return t dst) then begin
+    c.given_up <- true;
+    Node_core.link_dead t.core ~now:(rel t.cfg) ~dst
   end
-
-(* (Re)transmit data frames on a ready link: all of them when [resend]
-   (fresh connection or retransmission timeout), otherwise only frames
-   never yet put on the wire. Acks ride along for free. *)
-let transmit_data t dst ~resend =
-  let link = t.links.(dst) in
-  match link.state with
-  | Ready conn ->
-    let any = ref false in
-    let seq = ref link.base_seq in
-    Queue.iter
-      (fun f ->
-        if resend || not f.txed then begin
-          if f.txed then t.retransmits <- t.retransmits + 1;
-          queue_frame t ~dst conn
-            (Envelope.encode
-               {
-                 Envelope.kind = Envelope.Data;
-                 src = t.cfg.node;
-                 stamp = f.stamp;
-                 seq = !seq;
-                 ack = link.recv_cum;
-                 body = f.body;
-               });
-          f.txed <- true;
-          any := true
-        end;
-        incr seq)
-      link.sendbuf;
-    if !any then begin
-      link.ack_owed <- false;
-      link.rto_at <- Unix.gettimeofday () +. t.cfg.rto
-    end
-  | No_conn | Connecting _ | Dead -> ()
-
-let send_bare t ~dst kind ~ack =
-  let link = t.links.(dst) in
-  match link.state with
-  | Ready conn ->
-    queue_frame t ~dst conn
-      (Envelope.encode
-         {
-           Envelope.kind;
-           src = t.cfg.node;
-           stamp = t.tick_count;
-           seq = 0;
-           ack;
-           body = Bytes.empty;
-         })
-  | No_conn | Connecting _ | Dead -> ()
-
-let promote_ready t dst conn =
-  let link = t.links.(dst) in
-  link.state <- Ready conn;
-  link.attempt <- 0;
-  Backoff.reset link.backoff;
-  if link.hello_owed then begin
-    send_bare t ~dst Envelope.Hello ~ack:0;
-    link.hello_owed <- false
-  end;
-  (* anything unacked may have died with the previous connection *)
-  transmit_data t dst ~resend:true;
-  if link.ack_owed then begin
-    send_bare t ~dst Envelope.Ack ~ack:link.recv_cum;
-    link.ack_owed <- false
+  else begin
+    if c.attempt > t.cfg.connect_retries then c.attempt <- t.cfg.connect_retries + 1;
+    c.retry_at <- Unix.gettimeofday () +. Backoff.next c.backoff
   end
 
 let start_connect t dst =
-  let link = t.links.(dst) in
   let fd = Unix.socket (Transport.domain t.cfg.scheme) Unix.SOCK_STREAM 0 in
   Unix.set_close_on_exec fd;
   Unix.set_nonblock fd;
   match Unix.connect fd (Transport.sockaddr t.cfg.scheme dst) with
   | () -> promote_ready t dst (Transport.Conn.create fd)
   | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN | EINTR), _, _) ->
-    link.state <- Connecting (Transport.Conn.create fd)
+    t.conns.(dst).state <- Connecting (Transport.Conn.create fd)
   | exception Unix.Unix_error (_, _, _) ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     connect_failed t dst
 
 let maybe_connect t dst =
-  if dst <> t.cfg.node then
-    let link = t.links.(dst) in
-    match link.state with
+  if dst <> t.cfg.node then begin
+    let c = t.conns.(dst) in
+    (* the core revived a written-off peer (hello handshake): restore
+       the retry budget so we actually try to reach it again *)
+    if c.given_up && Node_core.link_status t.core ~dst <> Node_core.Dead then begin
+      c.given_up <- false;
+      c.attempt <- 0;
+      c.retry_at <- 0.0;
+      Backoff.reset c.backoff
+    end;
+    match c.state with
     | No_conn
-      when (need_traffic link || link.attempt = 0) && Unix.gettimeofday () >= link.retry_at ->
+      when (not c.given_up)
+           && (Node_core.wants_link t.core ~dst || c.attempt = 0)
+           && Unix.gettimeofday () >= c.retry_at ->
       start_connect t dst
     | _ -> ()
-
-(* deliver a payload locally (self-sends skip the network entirely) *)
-let deliver t ~src payload =
-  t.delivered <- t.delivered + 1;
-  t.last_activity <- Unix.gettimeofday ();
-  emit t (Trace.Deliver { src; dst = t.cfg.node });
-  t.inst.Algorithm.receive ~src payload
-
-let announce_if_complete t =
-  if (not t.complete_announced) && Knowledge.is_complete t.inst.Algorithm.knowledge then begin
-    t.complete_announced <- true;
-    t.complete_tick <- Some t.tick_count;
-    control_send t (Control.completed_line ~time:(now_rel t) ~tick:t.tick_count)
-  end
-
-let send_payload t ~dst payload =
-  if dst < 0 || dst >= t.cfg.n then invalid_arg "Node.send: destination out of range";
-  let pointers = Payload.measure payload in
-  let body = Wire.encode t.cfg.encoding ~universe:t.cfg.n payload in
-  t.sent <- t.sent + 1;
-  t.pointers <- t.pointers + pointers;
-  t.bytes <- t.bytes + Bytes.length body;
-  emit t (Trace.Send { src = t.cfg.node; dst; pointers; bytes = Bytes.length body });
-  if dst = t.cfg.node then deliver t ~src:t.cfg.node payload
-  else begin
-    let link = t.links.(dst) in
-    match link.state with
-    | Dead ->
-      t.dropped <- t.dropped + 1;
-      emit t (Trace.Drop { src = t.cfg.node; dst; reason = Trace.Dead_dst })
-    | Ready _ ->
-      Queue.push { stamp = t.tick_count; body; txed = false } link.sendbuf;
-      transmit_data t dst ~resend:false
-    | No_conn | Connecting _ ->
-      Queue.push { stamp = t.tick_count; body; txed = false } link.sendbuf;
-      maybe_connect t dst
-  end
-
-let request_hellos t =
-  Array.iter
-    (fun dst ->
-      if dst <> t.cfg.node then begin
-        t.links.(dst).hello_owed <- true;
-        maybe_connect t dst
-      end)
-    t.cfg.neighbors
-
-let do_tick t =
-  t.tick_count <- t.tick_count + 1;
-  emit t (Trace.Tick { node = t.cfg.node; time = now_rel t; count = t.tick_count });
-  (* a restarted node keeps announcing itself until its knowledge is
-     whole again, in case an earlier hello (or its reply) was lost *)
-  if t.cfg.announce && (not t.complete_announced) && t.tick_count mod hello_interval = 0 then
-    request_hellos t;
-  t.inst.Algorithm.round ~round:t.tick_count ~send:(fun ~dst payload -> send_payload t ~dst payload);
-  announce_if_complete t
-
-(* Pop everything the peer's cumulative ack covers. *)
-let apply_ack t ~src ack =
-  let link = t.links.(src) in
-  let advanced = ref false in
-  while (not (Queue.is_empty link.sendbuf)) && link.base_seq <= ack do
-    ignore (Queue.pop link.sendbuf);
-    link.base_seq <- link.base_seq + 1;
-    advanced := true
-  done;
-  if Queue.is_empty link.sendbuf then link.rto_at <- infinity
-  else if !advanced then link.rto_at <- Unix.gettimeofday () +. t.cfg.rto
-
-(* A hello announces a fresh incarnation of [src]: whatever sequence
-   state we shared with the previous one is void. Reset both directions,
-   revive the link if we had written the peer off, and hand the newcomer
-   our whole identifier set so it can rebuild its knowledge. *)
-let handle_hello t ~src =
-  let link = t.links.(src) in
-  (match link.state with
-  | Dead ->
-    link.state <- No_conn;
-    link.attempt <- 0;
-    link.retry_at <- 0.0;
-    Backoff.reset link.backoff
-  | No_conn | Connecting _ | Ready _ -> ());
-  link.base_seq <- 1;
-  Queue.iter (fun f -> f.txed <- false) link.sendbuf;
-  link.rto_at <- (if Queue.is_empty link.sendbuf then infinity else 0.0);
-  link.recv_cum <- 0;
-  link.ack_owed <- false;
-  send_payload t ~dst:src
-    (Payload.Share (Payload.Bits (Knowledge.snapshot t.inst.Algorithm.knowledge)))
-
-let handle_envelope t (env : Envelope.t) =
-  if env.Envelope.src < 0 || env.Envelope.src >= t.cfg.n || env.Envelope.src = t.cfg.node then
-    t.decode_errors <- t.decode_errors + 1
-  else begin
-    let link = t.links.(env.Envelope.src) in
-    match env.Envelope.kind with
-    | Envelope.Ack -> apply_ack t ~src:env.Envelope.src env.Envelope.ack
-    | Envelope.Hello -> handle_hello t ~src:env.Envelope.src
-    | Envelope.Data ->
-      apply_ack t ~src:env.Envelope.src env.Envelope.ack;
-      if env.Envelope.seq = link.recv_cum + 1 then begin
-        link.recv_cum <- env.Envelope.seq;
-        link.ack_owed <- true;
-        match Wire.decode t.cfg.encoding ~universe:t.cfg.n env.Envelope.body with
-        | Error _ -> t.decode_errors <- t.decode_errors + 1
-        | Ok payload ->
-          deliver t ~src:env.Envelope.src payload;
-          announce_if_complete t
-      end
-      else
-        (* duplicate (retransmission of something we have) or a gap
-           (something before it was lost): either way, re-ack what we
-           hold and let go-back-N retransmission fill in the rest *)
-        link.ack_owed <- true
   end
 
 (* --- the event loop ------------------------------------------------- *)
@@ -376,19 +157,10 @@ let restarting_select rfds wfds timeout =
   try Unix.select rfds wfds [] timeout
   with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
 
-let final_report t =
-  {
-    Control.ticks = t.tick_count;
-    sent = t.sent;
-    delivered = t.delivered;
-    dropped = t.dropped;
-    pointers = t.pointers;
-    bytes = t.bytes;
-    complete_tick = t.complete_tick;
-    decode_errors = t.decode_errors;
-    retransmits = t.retransmits;
-    corrupt_frames = t.corrupt_frames;
-  }
+let control_send t line =
+  match t.control with
+  | None -> ()
+  | Some c -> Transport.Conn.queue c (Bytes.of_string line)
 
 let flush_control t ~deadline =
   match t.control with
@@ -411,16 +183,16 @@ let shutdown t =
   (* best-effort: push any queued data frames out, then the final report *)
   let deadline = Unix.gettimeofday () +. 0.5 in
   Array.iter
-    (fun link ->
-      match link.state with
+    (fun c ->
+      match c.state with
       | Ready conn ->
         ignore (Transport.Conn.flush conn);
         Transport.Conn.close conn
       | Connecting conn -> Transport.Conn.close conn
-      | No_conn | Dead -> ())
-    t.links;
+      | No_conn -> ())
+    t.conns;
   List.iter Transport.Conn.close t.incoming;
-  control_send t (Control.final_line (final_report t));
+  control_send t (Control.final_line (Node_core.final t.core));
   flush_control t ~deadline;
   (match t.control with Some c -> Transport.Conn.close c | None -> ());
   if t.own_listener then begin
@@ -437,120 +209,102 @@ let run cfg =
   if cfg.rto <= 0.0 then invalid_arg "Node.run: rto must be positive";
   (* a write to a freshly-dead peer must surface as EPIPE, not a signal *)
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
-  let labels = Exec.labels_of ~seed:cfg.seed cfg.n in
-  let ctx =
-    {
-      Algorithm.n = cfg.n;
-      node = cfg.node;
-      neighbors = cfg.neighbors;
-      labels;
-      rng = Rng.substream ~seed:cfg.seed ~index:(cfg.node + 1);
-      params = Params.default;
-    }
-  in
   let listen_fd, own_listener =
     match cfg.listen_fd with
     | Some fd -> (fd, false)
     | None -> (Transport.listen_socket cfg.scheme cfg.node, true)
   in
   let backoff_rng = Rng.substream ~seed:cfg.seed ~index:(0xb0ff + cfg.node) in
+  let conns =
+    Array.init cfg.n (fun _ ->
+        {
+          state = No_conn;
+          attempt = 0;
+          retry_at = 0.0;
+          given_up = false;
+          backoff =
+            Backoff.create ~rng:(Rng.split backoff_rng) ~base:cfg.backoff ~cap:cfg.backoff_cap;
+        })
+  in
+  let control = Option.map Transport.Conn.create cfg.control_fd in
+  let actions =
+    {
+      Node_core.emit =
+        (fun ~now ev ->
+          match control with
+          | None -> ()
+          | Some c -> Transport.Conn.queue c (Bytes.of_string (Control.event_line ~time:now ev)));
+      xmit =
+        (fun ~now:_ ~dst frame ->
+          match conns.(dst).state with
+          | Ready conn -> Transport.Conn.queue conn frame
+          | No_conn | Connecting _ -> ());
+      notify_complete =
+        (fun ~now ~tick ->
+          match control with
+          | None -> ()
+          | Some c ->
+            Transport.Conn.queue c (Bytes.of_string (Control.completed_line ~time:now ~tick)));
+      (* connection establishment is polled every loop iteration, so a
+         wake needs no immediate action in this runtime *)
+      wake = (fun ~dst:_ -> ());
+    }
+  in
+  let core =
+    Node_core.create
+      {
+        Node_core.node = cfg.node;
+        n = cfg.n;
+        algo = cfg.algo;
+        seed = cfg.seed;
+        neighbors = cfg.neighbors;
+        tick_period = cfg.tick_period;
+        rto = cfg.rto;
+        fault = cfg.fault;
+        announce = cfg.announce;
+        encoding = cfg.encoding;
+        fleet_halt = cfg.fleet_halt;
+      }
+      actions ~links_up:false ~now:(rel cfg)
+  in
   let t =
     {
       cfg;
-      inst = cfg.algo.Algorithm.make ctx;
-      links =
-        Array.init cfg.n (fun _ ->
-            {
-              state = No_conn;
-              attempt = 0;
-              retry_at = 0.0;
-              sendbuf = Queue.create ();
-              base_seq = 1;
-              rto_at = infinity;
-              recv_cum = 0;
-              ack_owed = false;
-              hello_owed = false;
-              backoff =
-                Backoff.create ~rng:(Rng.split backoff_rng) ~base:cfg.backoff
-                  ~cap:cfg.backoff_cap;
-            });
-      fn =
-        (if Faultnet.active cfg.fault then
-           Some
-             (Faultnet.create ~plan:cfg.fault ~seed:cfg.seed ~node:cfg.node ~epoch:cfg.epoch
-                ~tick_period:cfg.tick_period)
-         else None);
+      core;
+      conns;
       incoming = [];
       listen_fd;
       own_listener;
-      control = Option.map Transport.Conn.create cfg.control_fd;
-      tick_count = 0;
-      sent = 0;
-      delivered = 0;
-      dropped = 0;
-      pointers = 0;
-      bytes = 0;
-      decode_errors = 0;
-      retransmits = 0;
-      corrupt_frames = 0;
-      complete_tick = None;
-      complete_announced = false;
-      last_activity = Unix.gettimeofday ();
+      control;
+      fleet_exit_at = infinity;
       halted = false;
       running = true;
     }
   in
-  emit t (Trace.Join { node = cfg.node });
-  announce_if_complete t;
-  if cfg.announce then request_hellos t;
   let next_tick = ref (Unix.gettimeofday () +. cfg.tick_period) in
   while t.running do
     let now = Unix.gettimeofday () in
     (* fire the tick timer *)
     if now >= !next_tick then begin
-      if t.tick_count < cfg.max_ticks then do_tick t
+      if Node_core.tick_count core < cfg.max_ticks then Node_core.tick core ~now:(rel cfg)
       else if t.control = None then t.running <- false;
       (* re-arm relative to now: a stalled process must not burst *)
       next_tick := Unix.gettimeofday () +. cfg.tick_period
     end;
-    (* release frames the fault shim held back for delay/reorder *)
-    (match t.fn with
-    | Some fn when Faultnet.pending fn ->
-      Faultnet.flush_due fn ~now:(Unix.gettimeofday ())
-        ~queue:(fun ~dst frame ->
-          match t.links.(dst).state with
-          | Ready conn -> Transport.Conn.queue conn frame
-          | No_conn | Connecting _ | Dead -> ())
-    | _ -> ());
+    Node_core.flush_faults core ~now:(rel cfg);
     (* retry slots for links in backoff *)
     for dst = 0 to cfg.n - 1 do
       maybe_connect t dst
     done;
-    (* retransmission timeouts and owed bare acks / hellos *)
-    let now = Unix.gettimeofday () in
-    Array.iteri
-      (fun dst link ->
-        match link.state with
-        | Ready _ ->
-          if (not (Queue.is_empty link.sendbuf)) && now >= link.rto_at then
-            transmit_data t dst ~resend:true;
-          if link.hello_owed then begin
-            send_bare t ~dst Envelope.Hello ~ack:0;
-            link.hello_owed <- false
-          end;
-          if link.ack_owed then begin
-            send_bare t ~dst Envelope.Ack ~ack:link.recv_cum;
-            link.ack_owed <- false
-          end
-        | No_conn | Connecting _ | Dead -> ())
-      t.links;
+    (* retransmission timeouts and owed bare acks / hellos / probes *)
+    Node_core.pump core ~now:(rel cfg);
     (* opportunistic flush of every ready link *)
     Array.iteri
-      (fun dst link ->
-        match link.state with
+      (fun dst c ->
+        match c.state with
         | Ready conn -> if Transport.Conn.flush conn = `Closed then connect_failed t dst
-        | No_conn | Connecting _ | Dead -> ())
-      t.links;
+        | No_conn | Connecting _ -> ())
+      t.conns;
     (match t.control with Some c -> ignore (Transport.Conn.flush c) | None -> ());
     (* assemble the select sets *)
     let rfds = ref [ t.listen_fd ] in
@@ -558,39 +312,40 @@ let run cfg =
     (match cfg.control_fd with Some fd -> rfds := fd :: !rfds | None -> ());
     let wfds = ref [] in
     Array.iter
-      (fun link ->
-        match link.state with
-        | Connecting c -> wfds := Transport.Conn.fd c :: !wfds
-        | Ready c -> if Transport.Conn.pending_out c then wfds := Transport.Conn.fd c :: !wfds
-        | No_conn | Dead -> ())
-      t.links;
+      (fun c ->
+        match c.state with
+        | Connecting conn -> wfds := Transport.Conn.fd conn :: !wfds
+        | Ready conn -> if Transport.Conn.pending_out conn then wfds := Transport.Conn.fd conn :: !wfds
+        | No_conn -> ())
+      t.conns;
     (match t.control with
     | Some c -> if Transport.Conn.pending_out c then wfds := Transport.Conn.fd c :: !wfds
     | None -> ());
     let now = Unix.gettimeofday () in
     let timeout = ref (!next_tick -. now) in
-    Array.iter
-      (fun link ->
-        match link.state with
-        | No_conn when need_traffic link -> timeout := min !timeout (link.retry_at -. now)
-        | Ready _ when not (Queue.is_empty link.sendbuf) ->
-          timeout := min !timeout (link.rto_at -. now)
+    Array.iteri
+      (fun dst c ->
+        match c.state with
+        | No_conn when (not c.given_up) && Node_core.wants_link core ~dst ->
+          timeout := min !timeout (c.retry_at -. now)
         | _ -> ())
-      t.links;
+      t.conns;
+    let rto = Node_core.next_rto_deadline core in
+    if rto < infinity then timeout := min !timeout (rto +. cfg.epoch -. now);
     let timeout = max 0.0 (min !timeout cfg.tick_period) in
     let readable, writable, _ = restarting_select !rfds !wfds timeout in
     (* connect completions and write progress *)
     Array.iteri
-      (fun dst link ->
-        match link.state with
-        | Connecting c when List.mem (Transport.Conn.fd c) writable -> (
-          match Unix.getsockopt_error (Transport.Conn.fd c) with
-          | None -> promote_ready t dst c
+      (fun dst c ->
+        match c.state with
+        | Connecting conn when List.mem (Transport.Conn.fd conn) writable -> (
+          match Unix.getsockopt_error (Transport.Conn.fd conn) with
+          | None -> promote_ready t dst conn
           | Some _ -> connect_failed t dst)
-        | Ready c when List.mem (Transport.Conn.fd c) writable ->
-          if Transport.Conn.flush c = `Closed then connect_failed t dst
+        | Ready conn when List.mem (Transport.Conn.fd conn) writable ->
+          if Transport.Conn.flush conn = `Closed then connect_failed t dst
         | _ -> ())
-      t.links;
+      t.conns;
     (* accept new incoming connections *)
     if List.mem t.listen_fd readable then begin
       let accepting = ref true in
@@ -606,15 +361,17 @@ let run cfg =
       List.filter
         (fun c ->
           if List.mem (Transport.Conn.fd c) readable then begin
-            match Transport.Conn.read c ~handle:(handle_envelope t) with
+            match
+              Transport.Conn.read c ~handle:(fun env ->
+                  Node_core.handle_frame core ~now:(rel cfg) env)
+            with
             | `Ok -> true
             | `Closed ->
               Transport.Conn.close c;
               false
             | `Corrupt reason ->
-              if String.equal reason Envelope.crc_mismatch then
-                t.corrupt_frames <- t.corrupt_frames + 1
-              else t.decode_errors <- t.decode_errors + 1;
+              if String.equal reason Envelope.crc_mismatch then Node_core.note_corrupt_frame core
+              else Node_core.note_decode_error core;
               Transport.Conn.close c;
               false
           end
@@ -644,11 +401,20 @@ let run cfg =
           reading := false
       done
     | _ -> ());
+    (* fleet-wide completion detected by gossip: stop promptly (after a
+       short linger so final acks and done replies drain) instead of
+       chattering until an external halt or the idle window *)
+    if cfg.fleet_halt && Node_core.fleet_done core then begin
+      let now = Unix.gettimeofday () in
+      if t.fleet_exit_at = infinity then t.fleet_exit_at <- now +. (2.0 *. cfg.rto);
+      if t.running && now >= t.fleet_exit_at then t.running <- false
+    end;
     (* standalone convergence: complete and quiet for the idle window *)
     if
-      t.running && cfg.control_fd = None && t.complete_announced
-      && Unix.gettimeofday () -. t.last_activity >= cfg.idle_timeout
+      t.running && cfg.control_fd = None
+      && Node_core.is_complete core
+      && rel cfg -. Node_core.last_activity core >= cfg.idle_timeout
     then t.running <- false
   done;
   shutdown t;
-  { final = final_report t; halted = t.halted }
+  { final = Node_core.final t.core; halted = t.halted }

@@ -1,38 +1,26 @@
-(** A live node process: one discovery-algorithm instance driven by a
-    socket event loop instead of the simulator scheduler.
+(** A live node process: one {!Node_core} protocol instance driven by a
+    socket event loop on wall-clock time.
 
-    The node ticks its algorithm every [tick_period] seconds, encodes
-    outgoing payloads with the {!Repro_discovery.Wire} codec inside an
-    {!Envelope} frame, and maintains one outgoing connection per peer it
-    has sent to ("connect-on-learn": the id→address map is static, so
-    learning an id is enough to reach it). Connections are established
-    lazily with bounded retry and decorrelated-jitter backoff; once the
-    retry budget for a peer is spent the peer is declared dead and frames
-    to it are counted as drops — unless the fault plan schedules the peer
-    to restart, in which case the node keeps probing.
-
-    {b Reliable delivery.} Each directed link runs a go-back-N protocol:
-    data frames carry per-link sequence numbers and every frame (data or
-    bare ack) carries a cumulative acknowledgement. Unacknowledged
-    payloads are retransmitted after [rto] seconds and whenever the
-    connection is re-established; the receiver delivers in order exactly
-    once and re-acks duplicates. Retransmissions surface in the final
-    report as [retransmits]; frames rejected by the envelope CRC as
-    [corrupt_frames]. A node started with [announce] greets its
-    neighbours with a hello frame; a hello resets the receiver's link
-    state for that peer (fresh incarnation) and is answered with the
-    receiver's full identifier set, which is how a restarted node
-    rebuilds its knowledge.
-
-    When the run's {!Repro_engine.Fault} plan carries link faults or
-    partitions, every outgoing frame is routed through a seeded
-    {!Faultnet} shim, so loss/delay/duplication/reordering/corruption
-    afflict the live wire deterministically.
+    This is the [Process] backend's runtime. All protocol decisions —
+    go-back-N reliable delivery, the hello handshake, fault-shim
+    routing, completion detection and termination gossip — live in the
+    transport-agnostic {!Node_core}; this module owns what a real
+    deployment owns: sockets, [select], connection establishment with
+    bounded retry and decorrelated-jitter backoff ("connect-on-learn":
+    the id→address map is static, so learning an id is enough to reach
+    it), the tick timer, and process lifetime. Once the retry budget for
+    a peer is spent the peer is declared dead to the core and frames to
+    it are counted as drops — unless the fault plan schedules the peer
+    to restart, in which case the node keeps probing. A hello from a
+    written-off peer revives the link and restores the retry budget.
 
     Under a {!Cluster} harness ([control_fd] set) the node streams
     {!Control} lines upward and exits on the halt command. Standalone
     ([control_fd = None]) it exits once its knowledge is complete and
-    the link has been idle for [idle_timeout] seconds. *)
+    the link has been idle for [idle_timeout] seconds. With [fleet_halt]
+    (the default for live fleets) the core's termination gossip lets the
+    node wind down within a couple of RTOs of fleet-wide completion,
+    instead of chattering until an external halt or the idle window. *)
 
 open Repro_engine
 open Repro_discovery
@@ -75,6 +63,9 @@ type config = {
   fault : Fault.t;  (** link faults/partitions applied via {!Faultnet} *)
   announce : bool;  (** hello the neighbours on startup (set for restarts) *)
   encoding : Wire.encoding;
+  fleet_halt : bool;
+      (** termination gossip: carry completion flags, probe quiet peers,
+          and exit shortly after the whole fleet is known complete *)
 }
 
 val default_tick_period : float

@@ -1,0 +1,480 @@
+open Repro_util
+open Repro_engine
+open Repro_discovery
+
+let hello_interval = 50
+let done_interval = 5
+
+type config = {
+  node : int;
+  n : int;
+  algo : Algorithm.t;
+  seed : int;
+  neighbors : int array;
+  tick_period : float;
+  rto : float;
+  fault : Fault.t;
+  announce : bool;
+  encoding : Wire.encoding;
+  fleet_halt : bool;
+}
+
+type actions = {
+  emit : now:float -> Trace.event -> unit;
+  xmit : now:float -> dst:int -> bytes -> unit;
+  notify_complete : now:float -> tick:int -> unit;
+  wake : dst:int -> unit;
+}
+
+type status = Up | Down | Dead
+
+(* Outgoing link to one peer. Data payloads live in [sendbuf] from the
+   moment they are sent until the peer's cumulative ack covers them;
+   frames are (re)encoded at transmission time so sequence numbers and
+   piggybacked acks are always current. [base_seq] is the sequence number
+   of the frame at the queue's front. *)
+type frame = { stamp : int; body : bytes; mutable txed : bool }
+
+type link = {
+  mutable status : status;
+  sendbuf : frame Queue.t;
+  mutable base_seq : int;
+  mutable rto_at : float;
+  mutable recv_cum : int;  (** highest contiguous data seq received from this peer *)
+  mutable recv_early : int list;  (** seqs above [recv_cum + 1] already delivered (gap pending) *)
+  mutable ack_owed : bool;
+  mutable hello_owed : bool;
+  mutable done_owed : bool;
+  mutable peer_done : bool;  (** peer has signalled complete knowledge *)
+}
+
+type t = {
+  cfg : config;
+  acts : actions;
+  inst : Algorithm.instance;
+  links : link array;
+  fn : Faultnet.t option;
+  mutable tick_count : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable pointers : int;
+  mutable bytes : int;
+  mutable decode_errors : int;
+  mutable retransmits : int;
+  mutable corrupt_frames : int;
+  mutable complete_tick : int option;
+  mutable complete_announced : bool;
+  mutable done_known : int;  (** peers currently marked [peer_done] *)
+  mutable last_activity : float;
+}
+
+let tick_count t = t.tick_count
+let instance t = t.inst
+let is_complete t = t.complete_announced
+let last_activity t = t.last_activity
+let fleet_done t = t.complete_announced && t.done_known = t.cfg.n - 1
+let link_status t ~dst = t.links.(dst).status
+
+let wants_link t ~dst =
+  let link = t.links.(dst) in
+  (not (Queue.is_empty link.sendbuf)) || link.ack_owed || link.hello_owed || link.done_owed
+
+let note_corrupt_frame t = t.corrupt_frames <- t.corrupt_frames + 1
+let note_decode_error t = t.decode_errors <- t.decode_errors + 1
+
+(* Every encoded frame to a peer passes through the fault shim when one
+   is active; the shim calls [queue] zero, one or two times. *)
+let queue_frame t ~now ~dst frame =
+  match t.fn with
+  | None -> t.acts.xmit ~now ~dst frame
+  | Some fn -> Faultnet.send fn ~now ~dst frame ~queue:(fun f -> t.acts.xmit ~now ~dst f)
+
+(* (Re)transmit data frames on an up link: all of them when [resend]
+   (fresh connection or retransmission timeout), otherwise only frames
+   never yet put on the wire. Acks ride along for free. *)
+let transmit_data t ~now dst ~resend =
+  let link = t.links.(dst) in
+  match link.status with
+  | Up ->
+    let any = ref false in
+    let seq = ref link.base_seq in
+    Queue.iter
+      (fun f ->
+        if resend || not f.txed then begin
+          if f.txed then t.retransmits <- t.retransmits + 1;
+          queue_frame t ~now ~dst
+            (Envelope.encode
+               {
+                 Envelope.kind = Envelope.Data;
+                 src = t.cfg.node;
+                 stamp = f.stamp;
+                 seq = !seq;
+                 ack = link.recv_cum;
+                 comp = t.complete_announced;
+                 body = f.body;
+               });
+          f.txed <- true;
+          any := true
+        end;
+        incr seq)
+      link.sendbuf;
+    if !any then begin
+      link.ack_owed <- false;
+      link.rto_at <- now +. t.cfg.rto
+    end
+  | Down | Dead -> ()
+
+let send_bare t ~now ~dst kind ~ack =
+  let link = t.links.(dst) in
+  match link.status with
+  | Up ->
+    queue_frame t ~now ~dst
+      (Envelope.encode
+         {
+           Envelope.kind;
+           src = t.cfg.node;
+           stamp = t.tick_count;
+           seq = 0;
+           ack;
+           comp = t.complete_announced;
+           body = Bytes.empty;
+         })
+  | Down | Dead -> ()
+
+(* Termination gossip: a bare frame saying "my knowledge is complete".
+   It doubles as a cumulative ack (it carries one for free). *)
+let send_done t ~now ~dst =
+  let link = t.links.(dst) in
+  match link.status with
+  | Up ->
+    send_bare t ~now ~dst Envelope.Done ~ack:link.recv_cum;
+    link.done_owed <- false;
+    link.ack_owed <- false
+  | Down ->
+    link.done_owed <- true;
+    t.acts.wake ~dst
+  | Dead -> ()
+
+let drop_link_frames t ~now dst count =
+  for _ = 1 to count do
+    t.dropped <- t.dropped + 1;
+    t.acts.emit ~now (Trace.Drop { src = t.cfg.node; dst; reason = Trace.Dead_dst })
+  done
+
+(* The runtime has given up reaching [dst]: everything queued for it is
+   accounted as dropped and the link stops accepting traffic. *)
+let link_dead t ~now ~dst =
+  let link = t.links.(dst) in
+  drop_link_frames t ~now dst (Queue.length link.sendbuf);
+  Queue.clear link.sendbuf;
+  link.ack_owed <- false;
+  link.hello_owed <- false;
+  link.done_owed <- false;
+  link.status <- Dead
+
+let link_down t ~dst =
+  let link = t.links.(dst) in
+  match link.status with Up | Down -> link.status <- Down | Dead -> ()
+
+(* The transport (re)established the path to [dst]: greet if owed, then
+   assume anything unacked died in transit and resend the lot. *)
+let link_up t ~now ~dst =
+  let link = t.links.(dst) in
+  link.status <- Up;
+  if link.hello_owed then begin
+    send_bare t ~now ~dst Envelope.Hello ~ack:0;
+    link.hello_owed <- false
+  end;
+  transmit_data t ~now dst ~resend:true;
+  if link.done_owed then send_done t ~now ~dst;
+  if link.ack_owed then begin
+    send_bare t ~now ~dst Envelope.Ack ~ack:link.recv_cum;
+    link.ack_owed <- false
+  end
+
+(* deliver a payload locally (self-sends skip the network entirely) *)
+let deliver t ~now ~src payload =
+  t.delivered <- t.delivered + 1;
+  t.last_activity <- now;
+  t.acts.emit ~now (Trace.Deliver { src; dst = t.cfg.node });
+  t.inst.Algorithm.receive ~src payload
+
+let announce_if_complete t ~now =
+  if (not t.complete_announced) && Knowledge.is_complete t.inst.Algorithm.knowledge then begin
+    t.complete_announced <- true;
+    t.complete_tick <- Some t.tick_count;
+    t.acts.notify_complete ~now ~tick:t.tick_count
+  end
+
+let send_payload t ~now ~dst payload =
+  if dst < 0 || dst >= t.cfg.n then invalid_arg "Node_core.send: destination out of range";
+  let pointers = Payload.measure payload in
+  let body = Wire.encode t.cfg.encoding ~universe:t.cfg.n payload in
+  t.sent <- t.sent + 1;
+  t.pointers <- t.pointers + pointers;
+  t.bytes <- t.bytes + Bytes.length body;
+  t.acts.emit ~now (Trace.Send { src = t.cfg.node; dst; pointers; bytes = Bytes.length body });
+  if dst = t.cfg.node then deliver t ~now ~src:t.cfg.node payload
+  else begin
+    let link = t.links.(dst) in
+    match link.status with
+    | Dead ->
+      t.dropped <- t.dropped + 1;
+      t.acts.emit ~now (Trace.Drop { src = t.cfg.node; dst; reason = Trace.Dead_dst })
+    | Up ->
+      Queue.push { stamp = t.tick_count; body; txed = false } link.sendbuf;
+      transmit_data t ~now dst ~resend:false
+    | Down ->
+      Queue.push { stamp = t.tick_count; body; txed = false } link.sendbuf;
+      t.acts.wake ~dst
+  end
+
+let request_hellos t ~now =
+  Array.iter
+    (fun dst ->
+      if dst <> t.cfg.node then begin
+        let link = t.links.(dst) in
+        match link.status with
+        | Up ->
+          send_bare t ~now ~dst Envelope.Hello ~ack:0;
+          link.hello_owed <- false
+        | Down ->
+          link.hello_owed <- true;
+          t.acts.wake ~dst
+        | Dead -> ()
+      end)
+    t.cfg.neighbors
+
+let tick t ~now =
+  if not (t.cfg.fleet_halt && fleet_done t) then begin
+    t.tick_count <- t.tick_count + 1;
+    t.acts.emit ~now (Trace.Tick { node = t.cfg.node; time = now; count = t.tick_count });
+    (* a restarted node keeps announcing itself until its knowledge is
+       whole again, in case an earlier hello (or its reply) was lost *)
+    if t.cfg.announce && (not t.complete_announced) && t.tick_count mod hello_interval = 0 then
+      request_hellos t ~now;
+    t.inst.Algorithm.round ~round:t.tick_count
+      ~send:(fun ~dst payload -> send_payload t ~now ~dst payload);
+    announce_if_complete t ~now;
+    (* termination gossip: a complete node periodically probes the peers
+       it has not yet heard completion from, until the whole fleet is
+       known complete (and this node may stop ticking) *)
+    if
+      t.cfg.fleet_halt && t.complete_announced
+      && (not (fleet_done t))
+      && t.tick_count mod done_interval = 0
+    then
+      for dst = 0 to t.cfg.n - 1 do
+        if dst <> t.cfg.node && not t.links.(dst).peer_done then send_done t ~now ~dst
+      done
+  end
+
+(* Pop everything the peer's cumulative ack covers. *)
+let apply_ack t ~now ~src ack =
+  let link = t.links.(src) in
+  let advanced = ref false in
+  while (not (Queue.is_empty link.sendbuf)) && link.base_seq <= ack do
+    ignore (Queue.pop link.sendbuf);
+    link.base_seq <- link.base_seq + 1;
+    advanced := true
+  done;
+  if Queue.is_empty link.sendbuf then link.rto_at <- infinity
+  else if !advanced then link.rto_at <- now +. t.cfg.rto
+
+let clear_peer_done t link =
+  if link.peer_done then begin
+    link.peer_done <- false;
+    t.done_known <- t.done_known - 1
+  end
+
+(* [src] has evidence of complete knowledge. First news from a peer that
+   arrived as an explicit Done probe gets one Done reply (if we are
+   complete ourselves), so both sides learn of each other even when
+   neither has data traffic left; re-probing covers lost replies. *)
+let mark_peer_done t ~now ~src ~probe =
+  let link = t.links.(src) in
+  if not link.peer_done then begin
+    link.peer_done <- true;
+    t.done_known <- t.done_known + 1;
+    if probe && t.cfg.fleet_halt && t.complete_announced then send_done t ~now ~dst:src
+  end
+
+(* A hello announces a fresh incarnation of [src]: whatever sequence
+   state we shared with the previous one is void. Reset both directions,
+   revive the link if we had written the peer off, and hand the newcomer
+   our whole identifier set so it can rebuild its knowledge. *)
+let handle_hello t ~now ~src =
+  let link = t.links.(src) in
+  (match link.status with
+  | Dead ->
+    link.status <- Down;
+    t.acts.wake ~dst:src
+  | Up | Down -> ());
+  link.base_seq <- 1;
+  Queue.iter (fun f -> f.txed <- false) link.sendbuf;
+  link.rto_at <- (if Queue.is_empty link.sendbuf then infinity else 0.0);
+  link.recv_cum <- 0;
+  link.recv_early <- [];
+  link.ack_owed <- false;
+  (* the fresh incarnation starts from scratch: its predecessor's
+     completion claim no longer stands *)
+  clear_peer_done t link;
+  send_payload t ~now ~dst:src
+    (Payload.Share (Payload.Bits (Knowledge.snapshot t.inst.Algorithm.knowledge)))
+
+let handle_frame t ~now (env : Envelope.t) =
+  if env.Envelope.src < 0 || env.Envelope.src >= t.cfg.n || env.Envelope.src = t.cfg.node then
+    t.decode_errors <- t.decode_errors + 1
+  else begin
+    let src = env.Envelope.src in
+    let link = t.links.(src) in
+    (match env.Envelope.kind with
+    | Envelope.Hello -> ()  (* a hello resets peer state below; its comp flag is moot *)
+    | Envelope.Data | Envelope.Ack | Envelope.Done ->
+      if env.Envelope.comp then
+        mark_peer_done t ~now ~src ~probe:(env.Envelope.kind = Envelope.Done));
+    match env.Envelope.kind with
+    | Envelope.Ack | Envelope.Done -> apply_ack t ~now ~src env.Envelope.ack
+    | Envelope.Hello -> handle_hello t ~now ~src
+    | Envelope.Data ->
+      apply_ack t ~now ~src env.Envelope.ack;
+      link.ack_owed <- true;
+      (* Deliver-on-arrival with dedup: the discovery channel model is
+         non-FIFO (the async oracle draws an independent latency per
+         message), so a frame that overtakes its predecessor is handed
+         to the algorithm immediately — holding it for in-order delivery
+         would make the live runtimes observably more ordered than the
+         semantics they certify against. [recv_cum] still only advances
+         contiguously: it is the cumulative ack mark, and the sender's
+         go-back-N retransmission fills the gaps, deduplicated here. *)
+      let seq = env.Envelope.seq in
+      let fresh = seq > link.recv_cum && not (List.mem seq link.recv_early) in
+      if fresh then begin
+        link.recv_early <- seq :: link.recv_early;
+        while List.mem (link.recv_cum + 1) link.recv_early do
+          link.recv_cum <- link.recv_cum + 1;
+          link.recv_early <- List.filter (fun s -> s > link.recv_cum) link.recv_early
+        done;
+        match Wire.decode t.cfg.encoding ~universe:t.cfg.n env.Envelope.body with
+        | Error _ -> t.decode_errors <- t.decode_errors + 1
+        | Ok payload ->
+          deliver t ~now ~src payload;
+          announce_if_complete t ~now
+      end
+  end
+
+(* Retransmission timeouts and owed bare frames, over every up link. *)
+let pump t ~now =
+  Array.iteri
+    (fun dst link ->
+      match link.status with
+      | Up ->
+        if (not (Queue.is_empty link.sendbuf)) && now >= link.rto_at then
+          transmit_data t ~now dst ~resend:true;
+        if link.hello_owed then begin
+          send_bare t ~now ~dst Envelope.Hello ~ack:0;
+          link.hello_owed <- false
+        end;
+        if link.done_owed then send_done t ~now ~dst;
+        if link.ack_owed then begin
+          send_bare t ~now ~dst Envelope.Ack ~ack:link.recv_cum;
+          link.ack_owed <- false
+        end
+      | Down | Dead -> ())
+    t.links
+
+(* release frames the fault shim held back for delay/reorder *)
+let flush_faults t ~now =
+  match t.fn with
+  | Some fn when Faultnet.pending fn ->
+    Faultnet.flush_due fn ~now ~queue:(fun ~dst frame ->
+        match t.links.(dst).status with
+        | Up -> t.acts.xmit ~now ~dst frame
+        | Down | Dead -> ())
+  | _ -> ()
+
+let next_rto_deadline t =
+  let deadline = ref infinity in
+  Array.iter
+    (fun link ->
+      match link.status with
+      | Up when not (Queue.is_empty link.sendbuf) -> deadline := Float.min !deadline link.rto_at
+      | _ -> ())
+    t.links;
+  !deadline
+
+let final t =
+  {
+    Control.ticks = t.tick_count;
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    pointers = t.pointers;
+    bytes = t.bytes;
+    complete_tick = t.complete_tick;
+    decode_errors = t.decode_errors;
+    retransmits = t.retransmits;
+    corrupt_frames = t.corrupt_frames;
+  }
+
+let create (cfg : config) (acts : actions) ~links_up ~now =
+  if cfg.n <= 0 then invalid_arg "Node_core.create: n must be positive";
+  if cfg.node < 0 || cfg.node >= cfg.n then invalid_arg "Node_core.create: node out of range";
+  if cfg.tick_period <= 0.0 then invalid_arg "Node_core.create: tick period must be positive";
+  if cfg.rto <= 0.0 then invalid_arg "Node_core.create: rto must be positive";
+  let labels = Exec.labels_of ~seed:cfg.seed cfg.n in
+  let ctx =
+    {
+      Algorithm.n = cfg.n;
+      node = cfg.node;
+      neighbors = cfg.neighbors;
+      labels;
+      rng = Rng.substream ~seed:cfg.seed ~index:(cfg.node + 1);
+      params = Params.default;
+    }
+  in
+  let t =
+    {
+      cfg;
+      acts;
+      inst = cfg.algo.Algorithm.make ctx;
+      links =
+        Array.init cfg.n (fun _ ->
+            {
+              status = (if links_up then Up else Down);
+              sendbuf = Queue.create ();
+              base_seq = 1;
+              rto_at = infinity;
+              recv_cum = 0;
+              recv_early = [];
+              ack_owed = false;
+              hello_owed = false;
+              done_owed = false;
+              peer_done = false;
+            });
+      fn =
+        (if Faultnet.active cfg.fault then
+           Some
+             (Faultnet.create ~plan:cfg.fault ~seed:cfg.seed ~node:cfg.node ~epoch:0.0
+                ~tick_period:cfg.tick_period)
+         else None);
+      tick_count = 0;
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      pointers = 0;
+      bytes = 0;
+      decode_errors = 0;
+      retransmits = 0;
+      corrupt_frames = 0;
+      complete_tick = None;
+      complete_announced = false;
+      done_known = 0;
+      last_activity = now;
+    }
+  in
+  acts.emit ~now (Trace.Join { node = cfg.node });
+  announce_if_complete t ~now;
+  if cfg.announce then request_hellos t ~now;
+  t

@@ -10,6 +10,11 @@ let backend_of_string = function
 
 let all_backends = [ Loopback; Uds; Tcp ]
 
+let backend_to_t = function
+  | Loopback -> Backend.Loopback
+  | Uds -> Backend.Process Backend.Uds
+  | Tcp -> Backend.Process Backend.Tcp
+
 type scheme =
   | Dir of string  (** UDS: node [i] listens on [<dir>/node-<i>.sock] *)
   | Ports of int array  (** TCP: node [i] listens on [127.0.0.1:ports.(i)] *)

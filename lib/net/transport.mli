@@ -1,24 +1,32 @@
-(** Transport backends and framed connections.
+(** Socket address schemes and framed connections for the live
+    execution path.
 
-    The live execution path is pluggable over three backends:
-
-    - {!Loopback}: in-process, deterministic — message scheduling
-      delegates to the {!Repro_engine.Async_sim} oracle, so a loopback
-      run is byte-identical (trace-diff clean) to the simulator;
-    - {!Uds}: one OS process per node, Unix-domain stream sockets;
-    - {!Tcp}: one OS process per node, TCP over the loopback interface.
-
-    The socket backends share an address {!scheme} mapping node ids to
-    socket addresses. Discovery is about learning {e identifiers}; the
-    id→address map is the deployment's static name service (a directory
-    layout for UDS, a port table for TCP), so "connect-on-learn" needs
-    no out-of-band address exchange. *)
+    Which runtime hosts the nodes is the {!Backend} module's business;
+    this module owns how the socket-backed runtimes address and talk to
+    each other. Discovery is about learning {e identifiers}; the
+    id→address map ({!scheme}) is the deployment's static name service
+    (a directory layout for UDS, a port table for TCP, an explicit
+    table for hand-built fleets), so "connect-on-learn" needs no
+    out-of-band address exchange. *)
 
 type backend = Loopback | Uds | Tcp
+[@@deprecated "use Backend.t, which distinguishes process and mux runtimes"]
+
+[@@@alert "-deprecated"]
 
 val backend_name : backend -> string
+[@@deprecated "use Backend.to_string"]
+
 val backend_of_string : string -> (backend, string) result
+[@@deprecated "use Backend.of_string"]
+
 val all_backends : backend list
+[@@deprecated "use Backend.all"]
+
+val backend_to_t : backend -> Backend.t
+[@@deprecated "migration shim for the legacy string-keyed plumbing"]
+
+[@@@alert "+deprecated"]
 
 (** Address scheme of a socket-backed deployment. *)
 type scheme =

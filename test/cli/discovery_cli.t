@@ -129,6 +129,15 @@ same (algorithm, topology, seed) — byte-identical event stream:
   $ ../../bin/discovery_cli.exe trace-diff sim.jsonl live.jsonl
   traces identical (87 events)
 
+The mux backend hosts every node as a live protocol instance — full
+wire stack, one process — and certifies against loopback the same way:
+
+  $ ../../bin/discovery_cli.exe cluster --backend mux -n 8 --algo hm --seed 1 \
+  >   --trace-out muxed.jsonl | grep -c '"converged":true.*"invariants":{"status":"passed"'
+  1
+  $ ../../bin/discovery_cli.exe trace-diff live.jsonl muxed.jsonl
+  traces identical (87 events)
+
 A node killed mid-run is reported as crashed — never hung — the JSON
 verdict names the sabotaged node, and the run fails with exit 1:
 
@@ -145,7 +154,7 @@ A healthy run reports no sabotage:
   1
 
   $ ../../bin/discovery_cli.exe cluster --transport warp -n 8 2>&1 | head -1
-  discovery: option '--transport': unknown transport "warp" (loopback|uds|tcp)
+  discovery: option '--transport': unknown backend "warp"
   $ ../../bin/discovery_cli.exe cluster --transport warp -n 8 2>/dev/null
   [2]
 
@@ -160,8 +169,8 @@ On the simulators the same plan replays deterministically:
   completed        : true
   rounds           : 6
   messages         : 1169
-  pointers         : 33131
-  wire bytes       : 9697 (adaptive codec)
+  pointers         : 33160
+  wire bytes       : 9699 (adaptive codec)
   dropped          : 208
   peak msgs/round  : 250
 
@@ -191,7 +200,7 @@ verifies every trial with the invariant checker:
   >   | grep -c '"trials":3,"passed":3,"failed":0'
   1
   $ ../../bin/discovery_cli.exe chaos --transport loopback 2>&1 | head -1
-  discovery: option '--transport': chaos needs a live backend (uds|tcp)
+  discovery: option '--transport': chaos needs a live backend (uds|tcp|mux)
 
 The standalone binary runs one live node per invocation: every process
 gets the same address table (--peers; list position = node id) and

@@ -87,12 +87,13 @@ let test_marks_and_since () =
   let k = mk () in
   let m0 = Knowledge.mark k in
   ignore (Knowledge.merge_ids k [| 4; 2 |]);
-  Alcotest.(check (array int)) "delta" [| 4; 2 |] (Knowledge.since k ~mark:m0);
+  (* batches enter the learn order ascending, whatever the array order *)
+  Alcotest.(check (array int)) "delta" [| 2; 4 |] (Knowledge.since k ~mark:m0);
   let m1 = Knowledge.mark k in
   Alcotest.(check (array int)) "empty delta" [||] (Knowledge.since k ~mark:m1);
   ignore (Knowledge.add k 7);
   Alcotest.(check (array int)) "next delta" [| 7 |] (Knowledge.since k ~mark:m1);
-  Alcotest.(check (array int)) "from zero includes owner" [| 0; 4; 2; 7 |]
+  Alcotest.(check (array int)) "from zero includes owner" [| 0; 2; 4; 7 |]
     (Knowledge.since k ~mark:0);
   Alcotest.check_raises "stale mark" (Invalid_argument "Knowledge.since: invalid mark")
     (fun () -> ignore (Knowledge.since k ~mark:99))
@@ -163,21 +164,29 @@ let test_slices_and_iteration () =
   let m0 = Knowledge.mark k in
   ignore (Knowledge.merge_ids k [| 4; 2; 9 |]);
   let s = Knowledge.since_slice k ~mark:m0 in
-  Alcotest.(check (array int)) "slice delta" [| 4; 2; 9 |] (Intvec.slice_to_array s);
+  Alcotest.(check (array int)) "slice delta" [| 2; 4; 9 |] (Intvec.slice_to_array s);
   ignore (Knowledge.add k 6);
-  Alcotest.(check (array int)) "slice is a fixed window" [| 4; 2; 9 |]
+  Alcotest.(check (array int)) "slice is a fixed window" [| 2; 4; 9 |]
     (Intvec.slice_to_array s);
   Alcotest.check_raises "stale mark" (Invalid_argument "Knowledge.since_slice: invalid mark")
     (fun () -> ignore (Knowledge.since_slice k ~mark:99));
   let other = mk ~owner:1 () in
   Alcotest.(check int) "merge_slice learns" 3 (Knowledge.merge_slice other s);
   Alcotest.(check int) "merge_slice dedups" 0 (Knowledge.merge_slice other s);
-  Alcotest.(check (array int)) "merged in slice order" [| 1; 4; 2; 9 |]
+  Alcotest.(check (array int)) "merged ascending after owner" [| 1; 2; 4; 9 |]
     (Knowledge.elements_in_learn_order other);
   let seen = ref [] in
   Knowledge.iter_known k (fun v -> seen := v :: !seen);
-  Alcotest.(check (list int)) "iter_known follows learn order" [ 0; 4; 2; 9; 6 ]
-    (List.rev !seen)
+  Alcotest.(check (list int)) "iter_known follows learn order" [ 0; 2; 4; 9; 6 ]
+    (List.rev !seen);
+  (* canonicalisation: an unsorted batch and its sorted permutation
+     produce identical learn orders *)
+  let a = mk ~owner:0 () and b = mk ~owner:0 () in
+  ignore (Knowledge.merge_ids a [| 7; 3; 5; 3 |]);
+  ignore (Knowledge.merge_ids b [| 3; 3; 5; 7 |]);
+  Alcotest.(check (array int)) "batch order is canonical"
+    (Knowledge.elements_in_learn_order a)
+    (Knowledge.elements_in_learn_order b)
 
 let prop_learn_order_matches_set =
   QCheck2.Test.make ~name:"learn order is a duplicate-free enumeration of the set" ~count:200

@@ -73,6 +73,35 @@ let test_bits_roundtrip () =
         (Wire.ids_of_payload back))
     Wire.all_encodings
 
+let test_form_preserved () =
+  (* the snapshot-vs-list distinction carries protocol meaning (custody
+     marking); it must survive every codec in both directions *)
+  let is_bits = function
+    | Payload.Share d | Payload.Exchange d | Payload.Reply d -> (
+      match d with Payload.Bits _ -> true | Payload.Ids _ | Payload.Delta _ -> false)
+    | Payload.Probe | Payload.Halt -> false
+  in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun (p, expect) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s preserves form" (Wire.encoding_name e))
+            expect
+            (is_bits (roundtrip e p)))
+        [
+          (* a sparse snapshot: varint wins under Adaptive, yet Bits must survive *)
+          (Payload.Share (Payload.Bits (Bitset.of_array universe [| 3; 9 |])), true);
+          (* a dense snapshot: bitmap wins *)
+          ( Payload.Reply (Payload.Bits (Bitset.of_array universe (Array.init universe Fun.id))),
+            true );
+          (* an explicit list dense enough for the bitmap codec must NOT
+             come back as a snapshot *)
+          (Payload.Share (Payload.Ids (Array.init universe Fun.id)), false);
+          (Payload.Exchange (Payload.Ids [| 1; 5 |]), false);
+        ])
+    Wire.all_encodings
+
 let test_size_matches_encode () =
   let payloads =
     [
@@ -242,6 +271,7 @@ let () =
           Alcotest.test_case "kinds preserved" `Quick test_kind_preserved;
           Alcotest.test_case "id sets" `Quick test_ids_roundtrip_all;
           Alcotest.test_case "bitsets" `Quick test_bits_roundtrip;
+          Alcotest.test_case "form preserved" `Quick test_form_preserved;
         ] );
       ( "sizes",
         [
