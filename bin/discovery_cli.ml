@@ -55,8 +55,8 @@ let topology_arg =
     & info [ "t"; "topology" ] ~docv:"FAMILY"
         ~doc:
           "Initial knowledge graph family: path, dpath, cycle, dcycle, star, instar, complete, \
-           tree, grid, hypercube, lollipop, kout:K, er:P, clustered:C:K, seeds:S:F, ba:M, \
-           ws:K:B, geo:R.")
+           tree, grid, hypercube, lollipop, sorted_chain, kniesburges:W, kout:K, er:P, \
+           clustered:C:K, seeds:S:F, ba:M, ws:K:B, geo:R.")
 
 let algo_arg =
   Arg.(
@@ -115,9 +115,12 @@ let fault_arg =
     & info [ "fault" ] ~docv:"PLAN"
         ~doc:
           "Unified fault plan, as a comma-separated DSL: loss=P, delay=T, dup=P, reorder=P, \
-           corrupt=P, link=SRC>DST:key=value:..., part=G1|G2@START..HEAL, crash=N@R, \
-           restart=N@R, join=N@R. Example: \
-           loss=0.1,part=0-3|4-7@5..20,crash=5@8,restart=5@14. Composes with $(b,--loss) and \
+           corrupt=P, cap=K (per-link messages per round; 0 = unlimited), \
+           link=SRC>DST:key=value:..., wan=R1|R2:key=value:... (per-link profile on every \
+           cross-region link), part=G1|G2@START..HEAL, crash=N@R, restart=N@R, join=N@R, \
+           fabricate=NODE@ID, audit=1. Example: \
+           loss=0.1,part=0-3|4-7@5..20,crash=5@8,restart=5@14. Example: \
+           wan=0-3|4-7:delay=2:loss=0.1:cap=5. Composes with $(b,--loss) and \
            $(b,--crashes), which overlay the plan.")
 
 (* --loss / --crashes predate the plan DSL; they overlay [base] so old
@@ -263,13 +266,20 @@ let trace_cmd =
         let oc = open_out file in
         (oc, fun () -> close_out oc)
     in
-    let invariants = if check then Some (Trace.Invariants.create ()) else None in
+    let invariants =
+      (* delayed links carry messages across round boundaries; the
+         checker must not flag those as lost at the boundary *)
+      if check then Some (Trace.Invariants.create ~allow_inflight:(Fault.has_delays fault) ())
+      else None
+    in
     let sink =
       match invariants with
       | None -> Trace.jsonl oc
       | Some inv -> Trace.tee (Trace.jsonl oc) (Trace.Invariants.sink inv)
     in
-    let metrics =
+    (* the online checker raises mid-run (e.g. a content audit catching
+       a fabricated id), so the execution itself is under the handler *)
+    match
       if asynchronous then
         (Run_async.exec_spec
            { Run_async.default_spec with Run_async.seed; fault; completion; trace = sink }
@@ -280,18 +290,23 @@ let trace_cmd =
            { Run.default_spec with Run.seed; fault; completion; max_rounds; trace = sink }
            algo topology)
           .Run.metrics
-    in
-    close ();
-    match invariants with
-    | None -> `Ok 0
-    | Some inv -> (
-      match Trace.Invariants.final_check inv metrics with
-      | () ->
-        Printf.eprintf "trace invariants ok (%d events)\n" (Trace.Invariants.events_seen inv);
-        `Ok 0
-      | exception Trace.Invariants.Violation msg ->
-        Printf.eprintf "discovery: invariant violation: %s\n" msg;
-        `Ok 1)
+    with
+    | exception Trace.Invariants.Violation msg ->
+      close ();
+      Printf.eprintf "discovery: invariant violation: %s\n" msg;
+      `Ok 1
+    | metrics -> (
+      close ();
+      match invariants with
+      | None -> `Ok 0
+      | Some inv -> (
+        match Trace.Invariants.final_check inv metrics with
+        | () ->
+          Printf.eprintf "trace invariants ok (%d events)\n" (Trace.Invariants.events_seen inv);
+          `Ok 0
+        | exception Trace.Invariants.Violation msg ->
+          Printf.eprintf "discovery: invariant violation: %s\n" msg;
+          `Ok 1))
   in
   let async_arg =
     Arg.(
@@ -627,6 +642,162 @@ let chaos_cmd =
           $(b,--trials 1).")
     term
 
+(* --- chaos-matrix: plan families × algorithms × topologies ------------ *)
+
+let chaos_matrix_cmd =
+  let open Repro_net in
+  let backend_conv =
+    let parse s =
+      match Backend.of_string s with
+      | Ok Backend.Loopback -> Error (`Msg "chaos-matrix needs a live backend (uds|tcp|mux)")
+      | Ok b -> Ok b
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Backend.to_string b))
+  in
+  let backend_arg =
+    Arg.(
+      value & opt backend_conv Backend.Mux
+      & info [ "backend"; "transport" ] ~docv:"BACKEND"
+          ~doc:
+            "Live backend for the cell clusters: $(b,uds), $(b,tcp) or $(b,mux). The default \
+             mux backend runs on a virtual clock, which makes the summary byte-reproducible \
+             and therefore safe to diff against a pinned baseline.")
+  in
+  let n_arg =
+    Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of machines per cell.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "trials" ] ~docv:"K"
+          ~doc:"Seeded trials per cell; trial i uses seed + i for topology and plan.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-trial wall-clock budget; exceeding it fails the trial.")
+  in
+  let loss_max_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "loss-max" ] ~docv:"P"
+          ~doc:"Upper bound on the links plan family's randomized base loss rate.")
+  in
+  let algos_arg =
+    Arg.(
+      value
+      & opt (list algo_conv)
+          [ Hm_gossip.algorithm; Rand_gossip.algorithm; Name_dropper.algorithm ]
+      & info [ "algos" ] ~docv:"A1,A2,..." ~doc:"Algorithms to sweep (comma-separated).")
+  in
+  let topologies_arg =
+    Arg.(
+      value
+      & opt (list topology_conv) (Generate.adversarial_families @ [ Generate.K_out 3 ])
+      & info [ "topologies" ] ~docv:"T1,T2,..."
+          ~doc:
+            "Topology families to sweep (comma-separated; default: the named adversarial \
+             families plus kout:3).")
+  in
+  let plans_arg =
+    Arg.(
+      value
+      & opt (list string) Chaos.plan_families
+      & info [ "plans" ] ~docv:"P1,P2,..."
+          ~doc:
+            (Printf.sprintf "Plan families to sweep (comma-separated; default: %s)."
+               (String.concat ", " Chaos.plan_families)))
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Compare the summary against a pinned baseline file. A mismatch prints the \
+             differing lines and exits 1; when the baseline matches, its pass/fail counts are \
+             taken as the expected state and the exit code is 0.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Also write the summary to FILE (e.g. to regenerate the baseline).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the per-cell progress lines on stderr.")
+  in
+  let matrix algos topologies plans n seed backend trials timeout loss_max baseline out quiet =
+    let progress (c : Chaos.cell) =
+      if not quiet then
+        Printf.eprintf "chaos-matrix: %s/%s/%s: %d/%d\n%!" c.Chaos.cell_algo c.Chaos.cell_topology
+          c.Chaos.cell_plan c.Chaos.cell_passed c.Chaos.cell_trials
+    in
+    match
+      Chaos.matrix ~progress ~algos ~families:topologies ~plans ~n ~trials ~seed ~backend ~timeout
+        ~loss_max ()
+    with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | cells ->
+      let summary = Chaos.matrix_to_json cells in
+      print_string summary;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc summary;
+          close_out oc)
+        out;
+      (match baseline with
+      | None ->
+        let failed = List.filter (fun c -> c.Chaos.cell_passed < c.Chaos.cell_trials) cells in
+        if failed = [] then `Ok 0
+        else begin
+          Printf.eprintf "discovery: chaos matrix failed (%d of %d cells)\n" (List.length failed)
+            (List.length cells);
+          `Ok 1
+        end
+      | Some path ->
+        let expected =
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let s = really_input_string ic len in
+          close_in ic;
+          s
+        in
+        if String.equal expected summary then `Ok 0
+        else begin
+          let lines s = String.split_on_char '\n' s in
+          let exp = Array.of_list (lines expected) and got = Array.of_list (lines summary) in
+          Printf.eprintf "discovery: chaos matrix diverges from baseline %s\n" path;
+          for i = 0 to max (Array.length exp) (Array.length got) - 1 do
+            let e = if i < Array.length exp then exp.(i) else "<missing>" in
+            let g = if i < Array.length got then got.(i) else "<missing>" in
+            if not (String.equal e g) then
+              Printf.eprintf "  line %d:\n  - %s\n  + %s\n" (i + 1) e g
+          done;
+          `Ok 1
+        end)
+  in
+  let term =
+    Term.(
+      ret
+        (const matrix $ algos_arg $ topologies_arg $ plans_arg $ n_arg $ seed_arg $ backend_arg
+       $ trials_arg $ timeout_arg $ loss_max_arg $ baseline_arg $ out_arg $ quiet_arg))
+  in
+  Cmd.v
+    (Cmd.info "chaos-matrix"
+       ~doc:
+         "Sweep a grid of algorithms × topologies × named fault-plan families over live \
+          clusters and reduce every cell to a deterministic pass count. Plan families isolate \
+          one fault dimension each: base link noise, a healing partition, a crash with \
+          restart, and a two-region WAN profile. On the default mux backend the one-line-per- \
+          cell JSON summary is byte-reproducible, so CI diffs it against \
+          $(b,ci/chaos-matrix-baseline.json); regenerate the baseline with $(b,--out).")
+    term
+
 let topo_cmd =
   let show family n seed =
     let rng = Rng.substream ~seed ~index:0x70b0 in
@@ -657,7 +828,11 @@ let () =
   let doc = "Distributed resource discovery in sub-logarithmic time (PODC'15 reproduction)" in
   let info = Cmd.info "discovery" ~version:"1.0.0" ~doc in
   let group =
-    Cmd.group info [ run_cmd; list_cmd; topo_cmd; trace_cmd; trace_diff_cmd; cluster_cmd; chaos_cmd ]
+    Cmd.group info
+      [
+        run_cmd; list_cmd; topo_cmd; trace_cmd; trace_diff_cmd; cluster_cmd; chaos_cmd;
+        chaos_matrix_cmd;
+      ]
   in
   exit
     (match Cmd.eval_value group with

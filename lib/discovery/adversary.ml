@@ -1,0 +1,76 @@
+open Repro_util
+open Repro_engine
+
+let data_ids (d : Payload.data) =
+  match d with
+  | Payload.Bits b -> Bitset.to_array b
+  | Payload.Ids ids ->
+    let a = Array.copy ids in
+    Array.sort compare a;
+    a
+  | Payload.Delta s ->
+    let a = Intvec.slice_to_array s in
+    Array.sort compare a;
+    a
+
+let payload_ids (p : Payload.t) =
+  match p with
+  | Payload.Share d | Payload.Exchange d | Payload.Reply d -> Some (data_ids d)
+  | Payload.Probe | Payload.Halt -> None
+
+let inject_data ~universe ids (d : Payload.data) =
+  let fresh = List.filter (fun id -> id >= 0 && id < universe) ids in
+  if fresh = [] then d
+  else
+    match d with
+    | Payload.Bits b ->
+      let b' = Bitset.copy b in
+      List.iter (fun id -> ignore (Bitset.add b' id)) fresh;
+      Payload.Bits b'
+    | Payload.Ids arr ->
+      let extra = List.filter (fun id -> not (Array.exists (Int.equal id) arr)) fresh in
+      if extra = [] then d else Payload.Ids (Array.append arr (Array.of_list extra))
+    | Payload.Delta s ->
+      let arr = Intvec.slice_to_array s in
+      let extra = List.filter (fun id -> not (Array.exists (Int.equal id) arr)) fresh in
+      if extra = [] then d else Payload.Ids (Array.append arr (Array.of_list extra))
+
+let inject ~universe (p : Payload.t) ids =
+  match p with
+  | Payload.Share d -> Payload.Share (inject_data ~universe ids d)
+  | Payload.Exchange d -> Payload.Exchange (inject_data ~universe ids d)
+  | Payload.Reply d -> Payload.Reply (inject_data ~universe ids d)
+  | Payload.Probe | Payload.Halt -> p
+
+let genesis_event ~node knowledge =
+  Trace.Genesis { node; ids = Bitset.to_array (Knowledge.contents knowledge) }
+
+let wrap ~fault ~n ~trace (h : Payload.t Sim.handlers) : Payload.t Sim.handlers =
+  let fab_by_node = Array.make (max n 1) [] in
+  let has_fabs = ref false in
+  List.iter
+    (fun (node, ids) ->
+      if node < n then begin
+        fab_by_node.(node) <- ids;
+        has_fabs := true
+      end)
+    (Fault.fabrications fault);
+  let audit = Fault.audit fault && not (Trace.is_null trace) in
+  if (not !has_fabs) && not audit then h
+  else
+    {
+      Sim.round_begin =
+        (fun ~node ~round ~send ->
+          match fab_by_node.(node) with
+          | [] -> h.Sim.round_begin ~node ~round ~send
+          | ids ->
+            h.Sim.round_begin ~node ~round ~send:(fun ~dst p ->
+                send ~dst (inject ~universe:n p ids)));
+      deliver =
+        (fun ~node ~src ~round payload ->
+          (if audit then
+             match payload_ids payload with
+             | Some ids -> Trace.emit trace (Trace.Content { src; dst = node; ids })
+             | None -> ());
+          h.Sim.deliver ~node ~src ~round payload);
+    }

@@ -1,0 +1,46 @@
+(** Content adversaries and the audit instrumentation that catches them.
+
+    The CRC/sequence layer of the live path detects {e transport}
+    corruption, but nothing below this module audits {e content}: a node
+    advertising a stale or fabricated identifier produces perfectly
+    well-formed messages. A fault plan can schedule exactly that
+    ({!Repro_engine.Fault.with_fabrication}), and this module provides
+
+    - the injection primitive ({!inject}) that adds the scheduled ids to
+      every data payload a fabricating node sends, and
+    - the audit instrumentation ({!wrap}, {!genesis_event},
+      {!payload_ids}) that lets {!Repro_engine.Trace.Invariants} verify
+      the provenance invariant "every advertised id was genuinely
+      learned" and flag the fabricator. *)
+
+open Repro_engine
+
+val data_ids : Payload.data -> int array
+(** The identifiers a data payload advertises, ascending. Allocates; used
+    only on audited runs. *)
+
+val payload_ids : Payload.t -> int array option
+(** {!data_ids} of a data-bearing payload; [None] for [Probe]/[Halt]
+    (they advertise nothing beyond the sender's own address, which the
+    checker credits from the [Deliver] event itself). *)
+
+val inject : universe:int -> Payload.t -> int list -> Payload.t
+(** [inject ~universe p ids] returns [p] with [ids] added to its data
+    (ids outside [0, universe) are ignored — they would not fit the
+    receiver's bitset). [Probe]/[Halt] pass through. A [Delta] with
+    additions becomes an [Ids] payload: the wire shape may change, but
+    receivers treat both identically. *)
+
+val genesis_event : node:int -> Knowledge.t -> Trace.event
+(** The [Genesis] audit event for a node's current knowledge — emit at
+    birth (initial knowledge = self + out-neighbors) and after a restart
+    re-initialises the instance. *)
+
+val wrap : fault:Fault.t -> n:int -> trace:Trace.sink -> Payload.t Sim.handlers -> Payload.t Sim.handlers
+(** Wrap engine handlers with the plan's content behaviour: fabricating
+    nodes have every outgoing payload pass through {!inject}, and — when
+    the plan's audit flag is on and tracing is enabled — every delivered
+    data payload emits a [Content] event (adjacent to its [Deliver])
+    naming the ids it advertises. Returns the handlers unchanged when the
+    plan schedules neither, so unaudited runs stay on the untouched hot
+    path. *)

@@ -46,7 +46,12 @@ let exec_spec spec (algo : Algorithm.t) topology =
   let n = Topology.n topology in
   let max_rounds = match max_rounds with Some m -> m | None -> (4 * n) + 64 in
   let labels, instances = Exec.instances ~seed algo topology in
-  let handlers = Exec.handlers instances in
+  let handlers = Adversary.wrap ~fault ~n ~trace (Exec.handlers instances) in
+  let auditing = Fault.audit fault && not (Trace.is_null trace) in
+  let emit_genesis node =
+    Trace.emit trace (Adversary.genesis_event ~node instances.(node).Algorithm.knowledge)
+  in
+  if auditing then Array.iteri (fun node _ -> emit_genesis node) instances;
   (* Completion predicates quantify over alive nodes, so they could fire
      while scheduled joiners are still offline; gate them on the last
      join having happened. *)
@@ -66,7 +71,11 @@ let exec_spec spec (algo : Algorithm.t) topology =
   in
   let config = { Sim.max_rounds; fault; engine_seed = seed; trace } in
   let measure_bytes = Wire.encoded_size encoding ~universe:n in
-  let on_restart ~node = Exec.restart_instance ~seed algo topology instances ~node in
+  let on_restart ~node =
+    Exec.restart_instance ~seed algo topology instances ~node;
+    (* a restart resets the node's provenance to its initial knowledge *)
+    if auditing then emit_genesis node
+  in
   let outcome =
     Sim.run ~n ~config ~handlers ~measure:Payload.measure ~measure_bytes ~stop ~on_round_end
       ~on_restart ()

@@ -43,7 +43,12 @@ let exec_spec spec (algo : Algorithm.t) topology =
   let n = Topology.n topology in
   let horizon = match horizon with Some h -> h | None -> (4.0 *. float_of_int n) +. 64.0 in
   let labels, instances = Exec.instances ~seed algo topology in
-  let handlers = Exec.handlers instances in
+  let handlers = Adversary.wrap ~fault ~n ~trace (Exec.handlers instances) in
+  let auditing = Fault.audit fault && not (Trace.is_null trace) in
+  let emit_genesis node =
+    Trace.emit trace (Adversary.genesis_event ~node instances.(node).Algorithm.knowledge)
+  in
+  if auditing then Array.iteri (fun node _ -> emit_genesis node) instances;
   let last_join = float_of_int (Exec.last_join_round fault) in
   let stop ~time ~alive =
     time >= last_join && Exec.satisfied completion ~labels ~instances ~alive
@@ -60,7 +65,10 @@ let exec_spec spec (algo : Algorithm.t) topology =
       trace;
     }
   in
-  let on_restart ~node = Exec.restart_instance ~seed algo topology instances ~node in
+  let on_restart ~node =
+    Exec.restart_instance ~seed algo topology instances ~node;
+    if auditing then emit_genesis node
+  in
   let measure_bytes = Wire.encoded_size encoding ~universe:n in
   let outcome =
     Async_sim.run ~n ~config ~handlers ~measure:Payload.measure ~measure_bytes ~stop

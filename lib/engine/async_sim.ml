@@ -210,6 +210,10 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
   let is_alive v = v >= 0 && v < n && alive.(v) in
   let heap : 'msg Heap.t = Heap.create () in
   let now = ref 0.0 in
+  (* per-link bandwidth windows, keyed src*n+dst -> (window, used) *)
+  let cap_used : (int, int * int) Hashtbl.t =
+    Hashtbl.create (if Fault.has_caps config.fault then 64 else 1)
+  in
   let latency () =
     config.latency_min +. Rng.float rng (config.latency_max -. config.latency_min)
   in
@@ -258,12 +262,34 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
       if tracing then Trace.emit trace (Trace.Drop { src; dst; reason = Trace.Partitioned })
     end
     else begin
-      let loss = Fault.loss_between fault ~src ~dst in
-      if loss > 0.0 && Rng.bernoulli rng ~p:loss then begin
+      let lk = Fault.link_between fault ~src ~dst in
+      let throttled =
+        lk.Fault.cap > 0
+        &&
+        (* bandwidth window: [cap] messages per unit of simulated time
+           (the mean tick period) per directed link *)
+        let key = (src * n) + dst in
+        let window = int_of_float !now in
+        let used =
+          match Hashtbl.find_opt cap_used key with
+          | Some (w, u) when w = window -> u
+          | _ -> 0
+        in
+        Hashtbl.replace cap_used key (window, used + 1);
+        used >= lk.Fault.cap
+      in
+      if throttled then begin
+        Metrics.record_drop metrics;
+        if tracing then Trace.emit trace (Trace.Drop { src; dst; reason = Trace.Throttled })
+      end
+      else if lk.Fault.loss > 0.0 && Rng.bernoulli rng ~p:lk.Fault.loss then begin
         Metrics.record_drop metrics;
         if tracing then Trace.emit trace (Trace.Drop { src; dst; reason = Trace.Loss })
       end
-      else Heap.push_deliver heap (!now +. latency ()) ~src ~dst payload
+      else
+        Heap.push_deliver heap
+          (!now +. latency () +. float_of_int lk.Fault.delay)
+          ~src ~dst payload
     end
   in
   let continue = ref true in

@@ -6,29 +6,38 @@ type link = {
   dup : float;
   reorder : float;
   corrupt : float;
+  cap : int;
 }
 
-let default_link = { loss = 0.0; delay = 0; dup = 0.0; reorder = 0.0; corrupt = 0.0 }
+let default_link = { loss = 0.0; delay = 0; dup = 0.0; reorder = 0.0; corrupt = 0.0; cap = 0 }
 
 type partition = { groups : int list list; start : int; heal : int }
+
+type wan = { regions : int list list; cross : link }
 
 type t = {
   base : link;
   overrides : ((int * int) * link) list;
+  wan : wan option;
   partitions : partition list;
   crashes : int Imap.t;
   restarts : int Imap.t;
   joins : int Imap.t;
+  fabrications : int list Imap.t;
+  audit : bool;
 }
 
 let none =
   {
     base = default_link;
     overrides = [];
+    wan = None;
     partitions = [];
     crashes = Imap.empty;
     restarts = Imap.empty;
     joins = Imap.empty;
+    fabrications = Imap.empty;
+    audit = false;
   }
 
 let check_p name p =
@@ -58,6 +67,10 @@ let with_corrupt t ~p =
   check_p "with_corrupt" p;
   { t with base = { t.base with corrupt = p } }
 
+let with_cap t ~limit =
+  if limit < 0 then invalid_arg "Fault.with_cap: negative cap";
+  { t with base = { t.base with cap = limit } }
+
 (* --- per-link overrides ---------------------------------------------- *)
 
 let check_link lk =
@@ -65,11 +78,12 @@ let check_link lk =
   check_p "with_link" lk.dup;
   check_p "with_link" lk.reorder;
   check_p "with_link" lk.corrupt;
-  if lk.delay < 0 then invalid_arg "Fault.with_link: negative delay"
+  if lk.delay < 0 then invalid_arg "Fault.with_link: negative delay";
+  if lk.cap < 0 then invalid_arg "Fault.with_link: negative cap"
 
 let equal_link a b =
   a.loss = b.loss && a.delay = b.delay && a.dup = b.dup && a.reorder = b.reorder
-  && a.corrupt = b.corrupt
+  && a.corrupt = b.corrupt && a.cap = b.cap
 
 let with_link t ~src ~dst lk =
   if src < 0 || dst < 0 then invalid_arg "Fault.with_link: negative node";
@@ -79,14 +93,52 @@ let with_link t ~src ~dst lk =
   if equal_link lk default_link then { t with overrides = rest }
   else { t with overrides = ((src, dst), lk) :: rest }
 
+(* --- WAN profiles ----------------------------------------------------- *)
+
+let region_of w v =
+  let rec go i = function
+    | [] -> -1
+    | g :: rest -> if List.mem v g then i else go (i + 1) rest
+  in
+  go 0 w.regions
+
+let with_wan t ~regions ~cross =
+  if regions = [] || List.exists (fun g -> g = []) regions then
+    invalid_arg "Fault.with_wan: empty region";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun v ->
+         if v < 0 then invalid_arg "Fault.with_wan: negative node";
+         if Hashtbl.mem seen v then invalid_arg "Fault.with_wan: node in two regions";
+         Hashtbl.add seen v ()))
+    regions;
+  check_link cross;
+  if equal_link cross default_link then invalid_arg "Fault.with_wan: cross profile has no faults";
+  { t with wan = Some { regions; cross } }
+
+let wan t = t.wan
+
 let link_between t ~src ~dst =
-  match t.overrides with
-  | [] -> t.base
-  | l -> ( match List.assoc_opt (src, dst) l with Some lk -> lk | None -> t.base)
+  match List.assoc_opt (src, dst) t.overrides with
+  | Some lk -> lk
+  | None -> (
+      match t.wan with
+      | Some w when region_of w src <> region_of w dst -> w.cross
+      | _ -> t.base)
 
 let loss_between t ~src ~dst = (link_between t ~src ~dst).loss
 let overrides t = List.sort compare t.overrides
-let has_link_faults t = (not (equal_link t.base default_link)) || t.overrides <> []
+
+let has_link_faults t =
+  (not (equal_link t.base default_link)) || t.overrides <> [] || t.wan <> None
+
+let fold_links t f acc =
+  let acc = f acc t.base in
+  let acc = List.fold_left (fun acc (_, lk) -> f acc lk) acc t.overrides in
+  match t.wan with None -> acc | Some w -> f acc w.cross
+
+let has_delays t = fold_links t (fun acc lk -> acc || lk.delay > 0) false
+let has_caps t = fold_links t (fun acc lk -> acc || lk.cap > 0) false
 
 (* --- partitions ------------------------------------------------------ *)
 
@@ -162,6 +214,21 @@ let with_joins t pairs =
 let join_round t ~node = Option.value ~default:1 (Imap.find_opt node t.joins)
 let joining_nodes t = Imap.bindings t.joins
 
+(* --- content adversaries --------------------------------------------- *)
+
+let with_fabrication t ~node ~id =
+  if node < 0 then invalid_arg "Fault.with_fabrication: negative node";
+  if id < 0 then invalid_arg "Fault.with_fabrication: negative id";
+  let ids = Option.value ~default:[] (Imap.find_opt node t.fabrications) in
+  let ids = if List.mem id ids then ids else List.sort compare (id :: ids) in
+  { t with fabrications = Imap.add node ids t.fabrications }
+
+let fabrications t = Imap.bindings t.fabrications
+let fabricated_ids t ~node = Option.value ~default:[] (Imap.find_opt node t.fabrications)
+let has_fabrications t = not (Imap.is_empty t.fabrications)
+let with_audit t on = { t with audit = on }
+let audit t = t.audit
+
 let equal a b =
   equal_link a.base b.base
   && List.length a.overrides = List.length b.overrides
@@ -171,10 +238,16 @@ let equal a b =
          | Some lk' -> equal_link lk lk'
          | None -> false)
        a.overrides
+  && (match (a.wan, b.wan) with
+     | None, None -> true
+     | Some wa, Some wb -> wa.regions = wb.regions && equal_link wa.cross wb.cross
+     | _ -> false)
   && a.partitions = b.partitions
   && Imap.equal Int.equal a.crashes b.crashes
   && Imap.equal Int.equal a.restarts b.restarts
   && Imap.equal Int.equal a.joins b.joins
+  && Imap.equal (fun x y -> x = y) a.fabrications b.fabrications
+  && a.audit = b.audit
 
 let is_none t = equal t none
 
@@ -193,6 +266,7 @@ let link_items lk =
       (if lk.dup <> 0.0 then Some (Printf.sprintf "dup=%g" lk.dup) else None);
       (if lk.reorder <> 0.0 then Some (Printf.sprintf "reorder=%g" lk.reorder) else None);
       (if lk.corrupt <> 0.0 then Some (Printf.sprintf "corrupt=%g" lk.corrupt) else None);
+      (if lk.cap <> 0 then Some (Printf.sprintf "cap=%d" lk.cap) else None);
     ]
 
 (* Compress a sorted group into "+"-joined "a-b" ranges. *)
@@ -217,6 +291,11 @@ let partition_to_string p =
     (String.concat "|" (List.map group_to_string p.groups))
     p.start p.heal
 
+let wan_to_string w =
+  Printf.sprintf "wan=%s:%s"
+    (String.concat "|" (List.map group_to_string w.regions))
+    (String.concat ":" (link_items w.cross))
+
 let to_string t =
   let sched key m =
     Imap.bindings m |> List.map (fun (n, r) -> Printf.sprintf "%s=%d@%d" key n r)
@@ -226,8 +305,13 @@ let to_string t =
     @ (overrides t
       |> List.map (fun ((s, d), lk) ->
              Printf.sprintf "link=%d>%d:%s" s d (String.concat ":" (link_items lk))))
+    @ (match t.wan with None -> [] | Some w -> [ wan_to_string w ])
     @ List.map partition_to_string t.partitions
     @ sched "crash" t.crashes @ sched "restart" t.restarts @ sched "join" t.joins
+    @ (Imap.bindings t.fabrications
+      |> List.concat_map (fun (n, ids) ->
+             List.map (fun id -> Printf.sprintf "fabricate=%d@%d" n id) ids))
+    @ (if t.audit then [ "audit=1" ] else [])
   in
   String.concat "," items
 
@@ -255,6 +339,7 @@ let apply_link_key lk key v =
   | "dup" -> { lk with dup = parse_float "dup" v }
   | "reorder" -> { lk with reorder = parse_float "reorder" v }
   | "corrupt" -> { lk with corrupt = parse_float "corrupt" v }
+  | "cap" -> { lk with cap = parse_int "cap" v }
   | _ -> bad "unknown link fault %S" key
 
 let parse_group s =
@@ -297,17 +382,45 @@ let parse_at what v =
 type item =
   | Base of (link -> link)
   | Link of int * int * link
+  | Wan of int list list * link
   | Part of int list list * int * int
   | Crash of int * int
   | Restart of int * int
   | Join of int * int
+  | Fabricate of int * int
+  | Audit of bool
+
+let parse_link_kvs kvs =
+  String.split_on_char ':' kvs
+  |> List.fold_left
+       (fun lk kv ->
+         match split_once '=' kv with
+         | Some (k, v) -> apply_link_key lk k v
+         | None -> bad "expected key=value in %S" kv)
+       default_link
 
 let parse_item s =
   match split_once '=' s with
   | None -> bad "expected key=value in %S" s
   | Some (key, v) -> (
       match key with
-      | "loss" | "delay" | "dup" | "reorder" | "corrupt" -> Base (fun lk -> apply_link_key lk key v)
+      | "loss" | "delay" | "dup" | "reorder" | "corrupt" | "cap" ->
+          Base (fun lk -> apply_link_key lk key v)
+      | "wan" -> (
+          match split_once ':' v with
+          | None -> bad "wan profile needs REGION|REGION:key=value"
+          | Some (regions_s, kvs) ->
+              let regions = String.split_on_char '|' regions_s |> List.map parse_group in
+              Wan (regions, parse_link_kvs kvs))
+      | "audit" -> (
+          match v with
+          | "1" -> Audit true
+          | "0" -> Audit false
+          | _ -> bad "audit: expected 0 or 1, got %S" v)
+      | "fabricate" -> (
+          match split_once '@' v with
+          | Some (n, i) -> Fabricate (parse_int "fabricate node" n, parse_int "fabricated id" i)
+          | None -> bad "fabricate: expected NODE@ID")
       | "link" -> (
           match split_once ':' v with
           | None -> bad "link fault needs SRC>DST:key=value"
@@ -315,16 +428,7 @@ let parse_item s =
               match split_once '>' ends with
               | None -> bad "link endpoints %S: expected SRC>DST" ends
               | Some (s, d) ->
-                  let lk =
-                    String.split_on_char ':' kvs
-                    |> List.fold_left
-                         (fun lk kv ->
-                           match split_once '=' kv with
-                           | Some (k, v) -> apply_link_key lk k v
-                           | None -> bad "expected key=value in %S" kv)
-                         default_link
-                  in
-                  Link (parse_int "src" s, parse_int "dst" d, lk)))
+                  Link (parse_int "src" s, parse_int "dst" d, parse_link_kvs kvs)))
       | "part" ->
           let groups, start, heal = parse_partition v in
           Part (groups, start, heal)
@@ -349,6 +453,19 @@ let of_string s =
          "restart=5@14,crash=5@8" is as valid as the reverse order. *)
       let order = function Restart _ -> 1 | _ -> 0 in
       let items = List.stable_sort (fun a b -> compare (order a) (order b)) items in
+      (* A plan string naming the same link twice is almost always a typo:
+         reject it instead of silently keeping the last override. *)
+      let seen_links = Hashtbl.create 8 in
+      List.iter
+        (function
+          | Link (src, dst, _) ->
+              if Hashtbl.mem seen_links (src, dst) then
+                bad "duplicate link override for %d>%d" src dst;
+              Hashtbl.add seen_links (src, dst) ()
+          | _ -> ())
+        items;
+      if List.length (List.filter (function Wan _ -> true | _ -> false) items) > 1 then
+        bad "duplicate wan profile (at most one wan= item per plan)";
       let t =
         List.fold_left
           (fun t -> function
@@ -357,10 +474,13 @@ let of_string s =
                 check_link lk;
                 { t with base = lk }
             | Link (src, dst, lk) -> with_link t ~src ~dst lk
+            | Wan (regions, cross) -> with_wan t ~regions ~cross
             | Part (groups, start, heal) -> with_partition t ~groups ~start ~heal
             | Crash (node, round) -> with_crash t ~node ~round
             | Restart (node, round) -> with_restart t ~node ~round
-            | Join (node, round) -> with_join t ~node ~round)
+            | Join (node, round) -> with_join t ~node ~round
+            | Fabricate (node, id) -> with_fabrication t ~node ~id
+            | Audit on -> with_audit t on)
           none items
       in
       Ok t

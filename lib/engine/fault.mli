@@ -1,17 +1,22 @@
 (** Serializable fault plans shared by the simulators and the live
     network path.
 
-    A plan combines four orthogonal dynamics classes:
+    A plan combines five orthogonal dynamics classes:
 
     - {b link faults}: per-message loss, fixed delivery delay, duplication,
-      reordering and byte corruption — either uniform (the {e base} link)
-      or overridden per directed link. The synchronous and asynchronous
-      simulators apply loss only (their delivery model has no frames to
-      delay or corrupt); the live path applies all five at the frame level
-      via [Repro_net.Faultnet].
+      reordering, byte corruption and a per-link bandwidth cap — either
+      uniform (the {e base} link), overridden per directed link, or applied
+      to all cross-region links via a {b WAN profile}. The simulators apply
+      loss, delay and caps (their delivery model has no frames to corrupt
+      or reorder); the live path applies everything at the frame level via
+      [Repro_net.Faultnet].
     - {b partitions}: scheduled cuts between node groups, healed at a
       given round. Messages crossing group boundaries inside the window
       are dropped.
+    - {b content adversaries}: nodes scheduled to fabricate identifiers
+      inject them into every data payload they send; the audit flag makes
+      drivers emit provenance events ([genesis]/[content]) so the trace
+      invariant checker can catch exactly this class of misbehavior.
     - {b crash/restart schedules}: a node scheduled to crash at round [r]
       executes rounds [1 .. r-1] normally and is silent from round [r] on;
       a restart scheduled at a later round revives it with its initial
@@ -34,12 +39,22 @@ type link = {
   dup : float;  (** probability a message is delivered twice *)
   reorder : float;  (** probability a message is held back one tick *)
   corrupt : float;  (** probability one frame byte is flipped (live only) *)
+  cap : int;
+      (** bandwidth cap: at most [cap] messages per round (sync) or per
+          unit-time window (async/live) cross the link; excess messages
+          are dropped ([throttled]). 0 means unlimited. *)
 }
 
 type partition = { groups : int list list; start : int; heal : int }
 (** Nodes in different [groups] cannot exchange messages during rounds
     [start .. heal-1]; nodes in no listed group form an implicit extra
     group. *)
+
+type wan = { regions : int list list; cross : link }
+(** A WAN profile: nodes cluster into latency [regions]; every link whose
+    endpoints sit in different regions (nodes in no listed region form an
+    implicit extra region) uses the [cross] link profile instead of the
+    base link. Per-link overrides still win over the WAN profile. *)
 
 val none : t
 (** The fault-free plan. *)
@@ -64,6 +79,10 @@ val with_dup : t -> p:float -> t
 val with_reorder : t -> p:float -> t
 val with_corrupt : t -> p:float -> t
 
+val with_cap : t -> limit:int -> t
+(** Base-link bandwidth cap in messages per round/window; 0 = unlimited.
+    @raise Invalid_argument if [limit < 0]. *)
+
 (** {1 Per-link overrides} *)
 
 val with_link : t -> src:int -> dst:int -> link -> t
@@ -72,14 +91,32 @@ val with_link : t -> src:int -> dst:int -> link -> t
     @raise Invalid_argument on negative nodes or out-of-range fields. *)
 
 val link_between : t -> src:int -> dst:int -> link
-(** The effective link faults for [src -> dst] (override or base). *)
+(** The effective link faults for [src -> dst]: per-link override if one
+    exists, else the WAN cross profile when the endpoints sit in different
+    regions, else the base link. *)
 
 val loss_between : t -> src:int -> dst:int -> float
 val overrides : t -> ((int * int) * link) list
 (** All per-link overrides, sorted by (src, dst). *)
 
 val has_link_faults : t -> bool
-(** Any nonzero base field or any override. *)
+(** Any nonzero base field, any override, or a WAN profile. *)
+
+val has_delays : t -> bool
+(** Any link (base, override or WAN cross) with a nonzero delay. *)
+
+val has_caps : t -> bool
+(** Any link (base, override or WAN cross) with a bandwidth cap. *)
+
+(** {1 WAN profiles} *)
+
+val with_wan : t -> regions:int list list -> cross:link -> t
+(** Install a WAN profile (replacing any previous one).
+    @raise Invalid_argument if a region is empty, a node appears in two
+    regions, [cross] has an out-of-range field, or [cross] is all-default
+    (a no-op profile is almost certainly a mistake). *)
+
+val wan : t -> wan option
 
 (** {1 Partitions} *)
 
@@ -137,6 +174,31 @@ val join_round : t -> node:int -> int
 val joining_nodes : t -> (int * int) list
 (** All scheduled late joins as [(node, round)], sorted by node. *)
 
+(** {1 Content adversaries} *)
+
+val with_fabrication : t -> node:int -> id:int -> t
+(** Make [node] inject identifier [id] into every data payload it sends —
+    a Byzantine-ish adversary advertising ids it never genuinely learned.
+    Multiple fabrications per node accumulate (set semantics).
+    @raise Invalid_argument on a negative node or id. *)
+
+val fabrications : t -> (int * int list) list
+(** All fabrication schedules as [(node, sorted ids)], sorted by node. *)
+
+val fabricated_ids : t -> node:int -> int list
+(** The ids [node] fabricates (sorted; [] when honest). *)
+
+val has_fabrications : t -> bool
+
+val with_audit : t -> bool -> t
+(** Toggle content auditing: drivers emit [genesis] events (a node's
+    genuinely originated knowledge at birth/restart) and [content] events
+    (the ids a payload advertises) so {!Trace.Invariants} can verify that
+    every advertised id was genuinely learned. Off by default — audit
+    events change the trace stream, so goldens stay byte-identical. *)
+
+val audit : t -> bool
+
 val last_scheduled_round : t -> int
 (** The latest round mentioned by any schedule (crash, restart, join or
     partition heal); 0 for {!none}. Drivers use it to keep runs alive
@@ -146,12 +208,14 @@ val last_scheduled_round : t -> int
 
 val to_string : t -> string
 (** Canonical DSL form; [to_string none = ""]. Items are comma-separated:
-    [loss=P], [delay=T], [dup=P], [reorder=P], [corrupt=P],
-    [link=SRC>DST:key=value:...], [part=G1|G2@START..HEAL] (groups are
-    [+]-joined [a-b] ranges), [crash=N@R], [restart=N@R], [join=N@R]. *)
+    [loss=P], [delay=T], [dup=P], [reorder=P], [corrupt=P], [cap=N],
+    [link=SRC>DST:key=value:...], [wan=R1|R2:key=value:...] (regions are
+    [+]-joined [a-b] ranges), [part=G1|G2@START..HEAL], [crash=N@R],
+    [restart=N@R], [join=N@R], [fabricate=NODE@ID], [audit=1]. *)
 
 val of_string : string -> (t, string) result
 (** Parse the DSL; inverse of {!to_string}. Restart items may appear
-    before the crash they depend on. *)
+    before the crash they depend on. Duplicate [link=] items for the same
+    directed link and duplicate [wan=] items are rejected. *)
 
 val pp : Format.formatter -> t -> unit

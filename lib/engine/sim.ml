@@ -21,6 +21,13 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
   let loss_rng = Rng.substream ~seed:config.engine_seed ~index:0x10ad in
   let fault = config.fault in
   let has_partitions = Fault.partitions fault <> [] in
+  let has_delays = Fault.has_delays fault in
+  let has_caps = Fault.has_caps fault in
+  (* per-round per-link bandwidth accounting, keyed src*n+dst *)
+  let cap_used : (int, int) Hashtbl.t = Hashtbl.create (if has_caps then 64 else 1) in
+  (* messages held by delayed links, (release_round, src, dst, payload)
+     newest first; they outlive the outbox, which is cleared per round *)
+  let pending = ref [] in
   let crash_at = Array.make n max_int in
   List.iter
     (fun (node, round) -> if node < n then crash_at.(node) <- round)
@@ -86,33 +93,50 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
       if alive.(v) then handlers.round_begin ~node:v ~round:r ~send:senders.(v)
     done;
     (* delivery phase, in send order *)
+    let drop src dst reason =
+      Metrics.record_drop metrics;
+      if tracing then Trace.emit trace (Trace.Drop { src; dst; reason })
+    in
+    let drop_dead src dst =
+      drop src dst (if crash_at.(dst) <= r then Trace.Dead_dst else Trace.Unjoined_dst)
+    in
+    let deliver src dst payload =
+      Metrics.record_delivery metrics;
+      if tracing then Trace.emit trace (Trace.Deliver { src; dst });
+      handlers.deliver ~node:dst ~src ~round:r payload
+    in
+    if has_caps then Hashtbl.reset cap_used;
+    (* messages released by delayed links deliver first (they are older
+       than this round's outbox), oldest sends first; partitions and loss
+       were already resolved at send time, only liveness is re-checked *)
+    if has_delays && !pending <> [] then begin
+      let due, held = List.partition (fun (rel, _, _, _) -> rel <= r) !pending in
+      pending := held;
+      List.iter
+        (fun (_, src, dst, payload) ->
+          if not alive.(dst) then drop_dead src dst else deliver src dst payload)
+        (List.rev due)
+    end;
     Outbox.iter outbox (fun src dst payload ->
-        if not alive.(dst) then begin
-          Metrics.record_drop metrics;
-          if tracing then
-            Trace.emit trace
-              (Trace.Drop
-                 {
-                   src;
-                   dst;
-                   reason = (if crash_at.(dst) <= r then Trace.Dead_dst else Trace.Unjoined_dst);
-                 })
-        end
-        else if has_partitions && Fault.cut fault ~src ~dst ~time:(float_of_int r) then begin
-          Metrics.record_drop metrics;
-          if tracing then Trace.emit trace (Trace.Drop { src; dst; reason = Trace.Partitioned })
-        end
+        if not alive.(dst) then drop_dead src dst
+        else if has_partitions && Fault.cut fault ~src ~dst ~time:(float_of_int r) then
+          drop src dst Trace.Partitioned
         else begin
-          let loss = Fault.loss_between fault ~src ~dst in
-          if loss > 0.0 && Rng.bernoulli loss_rng ~p:loss then begin
-            Metrics.record_drop metrics;
-            if tracing then Trace.emit trace (Trace.Drop { src; dst; reason = Trace.Loss })
-          end
-          else begin
-            Metrics.record_delivery metrics;
-            if tracing then Trace.emit trace (Trace.Deliver { src; dst });
-            handlers.deliver ~node:dst ~src ~round:r payload
-          end
+          let lk = Fault.link_between fault ~src ~dst in
+          let throttled =
+            lk.Fault.cap > 0
+            &&
+            let key = (src * n) + dst in
+            let used = Option.value ~default:0 (Hashtbl.find_opt cap_used key) in
+            Hashtbl.replace cap_used key (used + 1);
+            used >= lk.Fault.cap
+          in
+          if throttled then drop src dst Trace.Throttled
+          else if lk.Fault.loss > 0.0 && Rng.bernoulli loss_rng ~p:lk.Fault.loss then
+            drop src dst Trace.Loss
+          else if lk.Fault.delay > 0 then
+            pending := (r + lk.Fault.delay, src, dst, payload) :: !pending
+          else deliver src dst payload
         end);
     on_round_end ~round:r;
     if stop ~round:r ~alive:is_alive then completed := true

@@ -1,4 +1,4 @@
-type drop_reason = Loss | Dead_dst | Unjoined_dst | Partitioned
+type drop_reason = Loss | Dead_dst | Unjoined_dst | Partitioned | Throttled
 
 type event =
   | Round_begin of { round : int }
@@ -8,6 +8,8 @@ type event =
   | Drop of { src : int; dst : int; reason : drop_reason }
   | Crash of { node : int }
   | Join of { node : int }
+  | Genesis of { node : int; ids : int array }
+  | Content of { src : int; dst : int; ids : int array }
   | Complete
   | Give_up
 
@@ -16,11 +18,23 @@ let drop_reason_name = function
   | Dead_dst -> "dead_dst"
   | Unjoined_dst -> "unjoined_dst"
   | Partitioned -> "partitioned"
+  | Throttled -> "throttled"
 
 (* "%.12g" prints a given double identically on every run and platform,
    which is all byte-stable traces need; times beyond 12 significant
    digits are not distinguished by the textual diff. *)
 let float_str t = Printf.sprintf "%.12g" t
+
+let ids_json ids =
+  let b = Buffer.create ((Array.length ids * 4) + 2) in
+  Buffer.add_char b '[';
+  Array.iteri
+    (fun i id ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int id))
+    ids;
+  Buffer.add_char b ']';
+  Buffer.contents b
 
 let event_to_json = function
   | Round_begin { round } -> Printf.sprintf {|{"ev":"round_begin","round":%d}|} round
@@ -35,6 +49,10 @@ let event_to_json = function
       (drop_reason_name reason)
   | Crash { node } -> Printf.sprintf {|{"ev":"crash","node":%d}|} node
   | Join { node } -> Printf.sprintf {|{"ev":"join","node":%d}|} node
+  | Genesis { node; ids } ->
+    Printf.sprintf {|{"ev":"genesis","node":%d,"ids":%s}|} node (ids_json ids)
+  | Content { src; dst; ids } ->
+    Printf.sprintf {|{"ev":"content","src":%d,"dst":%d,"ids":%s}|} src dst (ids_json ids)
   | Complete -> {|{"ev":"complete"}|}
   | Give_up -> {|{"ev":"give_up"}|}
 
@@ -134,11 +152,18 @@ module Invariants = struct
     tick_counts : (int, int) Hashtbl.t;
     mutable events : int;
     lenient : bool;
+    allow_inflight : bool;
+    (* provenance audit: per-node set of ids the node genuinely learned
+       (its genesis knowledge plus everything delivered to it); armed by
+       the first Genesis event *)
+    mutable auditing : bool;
+    genuine : (int, (int, unit) Hashtbl.t) Hashtbl.t;
   }
 
-  let create ?(lenient = false) () =
+  let create ?(lenient = false) ?(allow_inflight = false) () =
     {
       lenient;
+      allow_inflight;
       sent = 0;
       delivered = 0;
       dropped = 0;
@@ -151,6 +176,8 @@ module Invariants = struct
       status = Hashtbl.create 64;
       tick_counts = Hashtbl.create 64;
       events = 0;
+      auditing = false;
+      genuine = Hashtbl.create 64;
     }
 
   let fail fmt = Printf.ksprintf (fun m -> raise (Violation m)) fmt
@@ -161,6 +188,16 @@ module Invariants = struct
     | Some Crashed -> fail "%s involves crashed node %d" who node
     | None -> fail "%s involves unjoined node %d" who node
 
+  let genuine_set t node =
+    match Hashtbl.find_opt t.genuine node with
+    | Some set -> set
+    | None ->
+      let set = Hashtbl.create 16 in
+      Hashtbl.replace t.genuine node set;
+      set
+
+  let learn t ~node id = Hashtbl.replace (genuine_set t node) id ()
+
   let check t ev =
     t.events <- t.events + 1;
     if t.finished then fail "event after run completion: %s" (event_to_json ev);
@@ -170,10 +207,13 @@ module Invariants = struct
       if round <> t.round + 1 then
         fail "round %d begins after round %d (rounds must increase by 1)" round t.round;
       (* synchronous rounds resolve every message they send before the
-         next round starts *)
-      if t.delivered + t.dropped <> t.sent then
+         next round starts; delayed links legitimately carry messages
+         across round boundaries, hence allow_inflight *)
+      if (not t.allow_inflight) && t.delivered + t.dropped <> t.sent then
         fail "round %d begins with %d unresolved message(s)" round
           (t.sent - t.delivered - t.dropped);
+      if t.allow_inflight && t.delivered + t.dropped > t.sent then
+        fail "round %d begins with more deliveries+drops than sends" round;
       t.round <- round
     | Tick { node; time; count } ->
       if time < t.last_time then fail "time went backwards: %g after %g" time t.last_time;
@@ -187,17 +227,19 @@ module Invariants = struct
       t.sent <- t.sent + 1;
       t.pointers <- t.pointers + pointers;
       t.bytes <- t.bytes + bytes
-    | Deliver { src = _; dst } ->
+    | Deliver { src; dst } ->
       t.delivered <- t.delivered + 1;
       if (not t.lenient) && t.delivered + t.dropped > t.sent then
         fail "more deliveries+drops than sends";
-      require_active t "delivery" dst
+      require_active t "delivery" dst;
+      (* a delivery genuinely teaches the receiver the sender's id *)
+      if t.auditing then learn t ~node:dst src
     | Drop { src = _; dst; reason } -> (
       t.dropped <- t.dropped + 1;
       if (not t.lenient) && t.delivered + t.dropped > t.sent then
         fail "more deliveries+drops than sends";
       match (reason, Hashtbl.find_opt t.status dst) with
-      | Loss, _ | Partitioned, _ -> ()
+      | Loss, _ | Partitioned, _ | Throttled, _ -> ()
       | Dead_dst, Some Crashed -> ()
       | Dead_dst, _ when t.lenient -> ()
         (* a restarted destination is Active again, but a sender may
@@ -218,9 +260,34 @@ module Invariants = struct
         Hashtbl.replace t.status node Active;
         Hashtbl.replace t.tick_counts node 0
       | Some Crashed -> fail "crashed node %d joined" node)
+    | Genesis { node; ids } ->
+      (* the node's genuinely originated knowledge at birth (or at
+         restart, which resets its provenance) *)
+      t.auditing <- true;
+      let set = Hashtbl.create (Array.length ids + 1) in
+      Hashtbl.replace set node ();
+      Array.iter (fun id -> Hashtbl.replace set id ()) ids;
+      Hashtbl.replace t.genuine node set
+    | Content { src; dst; ids } ->
+      if t.auditing then begin
+        (match Hashtbl.find_opt t.genuine src with
+        | None -> fail "content from node %d, which has no genesis" src
+        | Some set ->
+          Array.iter
+            (fun id ->
+              if id <> src && not (Hashtbl.mem set id) then
+                fail "node %d advertised id %d it never genuinely learned (provenance violation)"
+                  src id)
+            ids);
+        (* content that survives the audit becomes genuine knowledge of
+           the receiver *)
+        let dset = genuine_set t dst in
+        Hashtbl.replace dset src ();
+        Array.iter (fun id -> Hashtbl.replace dset id ()) ids
+      end
     | Complete | Give_up ->
       t.finished <- true;
-      if t.synchronous && t.delivered + t.dropped <> t.sent then
+      if t.synchronous && (not t.allow_inflight) && t.delivered + t.dropped <> t.sent then
         fail "synchronous run ended with %d unresolved message(s)"
           (t.sent - t.delivered - t.dropped)
 

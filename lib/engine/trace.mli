@@ -45,6 +45,7 @@ type drop_reason =
   | Dead_dst  (** destination crashed before delivery *)
   | Unjoined_dst  (** destination has not (yet) activated *)
   | Partitioned  (** the src->dst link is severed by a scheduled partition *)
+  | Throttled  (** the link's bandwidth cap was exhausted this round/window *)
 
 type event =
   | Round_begin of { round : int }  (** synchronous engine only *)
@@ -58,6 +59,14 @@ type event =
   | Drop of { src : int; dst : int; reason : drop_reason }
   | Crash of { node : int }
   | Join of { node : int }
+  | Genesis of { node : int; ids : int array }
+      (** content audit only: the ids a node genuinely originates with at
+          birth or restart (itself plus its initial out-neighbors),
+          ascending. Emitted only when the fault plan's audit flag is on,
+          so untraced and golden runs are unchanged. *)
+  | Content of { src : int; dst : int; ids : int array }
+      (** content audit only: the ids a delivered data payload advertises
+          (ascending), emitted adjacent to its [Deliver]. *)
   | Complete  (** the completion predicate fired *)
   | Give_up  (** round/time budget exhausted *)
 
@@ -69,8 +78,8 @@ val event_to_json : event -> string
 val pp_event : Format.formatter -> event -> unit
 
 val drop_reason_name : drop_reason -> string
-(** ["loss"], ["dead_dst"], ["unjoined_dst"] or ["partitioned"], as used
-    in the JSON encoding. *)
+(** ["loss"], ["dead_dst"], ["unjoined_dst"], ["partitioned"] or
+    ["throttled"], as used in the JSON encoding. *)
 
 (** {2 Sinks} *)
 
@@ -143,6 +152,12 @@ end
       node; nothing follows [Complete]/[Give_up].
     - {b metrics agreement} ({!Invariants.final_check}): the
       sink-counted totals equal the engine's {!Metrics} totals.
+    - {b provenance} (content audit): once a [Genesis] event arms the
+      audit, every id a [Content] event advertises must be genuinely
+      held by its sender — present in the sender's genesis set or learned
+      through an earlier audited delivery. A fabricated or stale id is a
+      violation. A node's [Genesis] resets its provenance (restarts
+      start over from initial knowledge).
 *)
 module Invariants : sig
   type t
@@ -151,7 +166,7 @@ module Invariants : sig
   (** Raised out of {!Trace.emit} (hence out of the engine's run) at the
       first offending event, and by {!final_check}. *)
 
-  val create : ?lenient:bool -> unit -> t
+  val create : ?lenient:bool -> ?allow_inflight:bool -> unit -> t
   (** [lenient] (default [false]) relaxes the checks that fault plans
       with node restarts legitimately break: a [Join] after a [Crash] is
       a restart (the node becomes active again and its tick sequence
@@ -162,7 +177,13 @@ module Invariants : sig
       metrics totals (retired incarnations appear in the trace but not
       in the survivors' final counters). Everything else — liveness
       discipline, monotonic time, consecutive per-incarnation ticks —
-      is still enforced. *)
+      is still enforced.
+
+      [allow_inflight] (default [false]) relaxes the synchronous
+      round-boundary and end-of-run conservation checks from equality to
+      "never more resolutions than sends": fault plans with link delays
+      legitimately carry messages across round boundaries (and a run can
+      end with delayed messages still pending). *)
 
   val sink : t -> sink
 

@@ -40,6 +40,11 @@ let all =
       run = (fun r ~quick ~jobs -> Exp_termination.t11 r ~quick ~jobs);
     };
     {
+      id = "T12";
+      title = "adversarial scenario matrix";
+      run = (fun r ~quick ~jobs -> Exp_adversarial.t12 r ~quick ~jobs);
+    };
+    {
       id = "F2";
       title = "knowledge-growth dynamics";
       run = (fun r ~quick ~jobs -> Exp_dynamics.f2 r ~quick ~jobs);

@@ -14,6 +14,7 @@ type t = {
   pointers : Stats.summary option;
   bytes : Stats.summary option;
   peak_round_messages : Stats.summary option;
+  dropped : Stats.summary option;
 }
 
 (* Must stay in sync with discovery_cli so `discovery run --seed s`
@@ -80,7 +81,8 @@ let exec_cell req seed =
   in
   let topology = topology_of ~family:req.req_family ~n:req.req_n ~seed in
   if Lazy.force check_invariants then begin
-    let inv = Trace.Invariants.create () in
+    (* delayed links legitimately carry messages across round boundaries *)
+    let inv = Trace.Invariants.create ~allow_inflight:(Fault.has_delays spec.Run.fault) () in
     let r =
       Run.exec_spec { spec with Run.trace = Trace.Invariants.sink inv } req.req_algo topology
     in
@@ -103,6 +105,7 @@ let summarize req results =
     pointers = summarize (fun r -> r.Run.pointers);
     bytes = summarize (fun r -> r.Run.bytes);
     peak_round_messages = summarize (fun r -> r.Run.max_round_messages);
+    dropped = summarize (fun r -> r.Run.dropped);
   }
 
 (* Shard every (cell, seed) replicate of [requests] across [jobs]

@@ -17,6 +17,9 @@ type t = {
   pointers : Stats.summary option;
   bytes : Stats.summary option;  (** wire bytes, {!Repro_discovery.Wire.Adaptive} codec *)
   peak_round_messages : Stats.summary option;
+  dropped : Stats.summary option;
+      (** messages the fault model destroyed in flight (loss, corruption
+          past detection, or a bandwidth-cap throttle) *)
 }
 
 val topology_of : family:Generate.family -> n:int -> seed:int -> Topology.t

@@ -79,6 +79,26 @@ let lollipop n =
   done;
   Topology.create ~n ~edges:!edges
 
+(* The paper's sorted-input nemesis: every node's single pointer targets
+   the node with the next-smaller id (node 0 knows nobody). Ids coincide
+   with ranks, so deterministic min-pointer strategies collapse the whole
+   instance onto node 0 instead of spreading load. *)
+let sorted_chain n = Topology.create ~n ~edges:(List.init (max 0 (n - 1)) (fun i -> (i + 1, i)))
+
+(* The Kniesburges et al. deterministic worst case: w interleaved
+   descending sorted lists (node v points to v - w) whose heads are
+   chained together. With w = 1 this degenerates to the sorted chain. *)
+let kniesburges ~n ~w =
+  if w < 1 then invalid_arg "Generate.kniesburges: need w >= 1";
+  let edges = ref [] in
+  for v = w to n - 1 do
+    edges := (v, v - w) :: !edges
+  done;
+  for i = 0 to min (w - 2) (n - 2) do
+    edges := (i, i + 1) :: !edges
+  done;
+  Topology.create ~n ~edges:!edges
+
 (* Stitch an edge list into a single weakly connected component by
    chaining component representatives with symmetric edges. *)
 let stitch ~n edges =
@@ -277,6 +297,8 @@ type family =
   | Grid
   | Hypercube
   | Lollipop
+  | Sorted_chain
+  | Kniesburges of int
   | K_out of int
   | Erdos_renyi of float
   | Clustered of int * int
@@ -297,6 +319,8 @@ let family_name = function
   | Grid -> "grid"
   | Hypercube -> "hypercube"
   | Lollipop -> "lollipop"
+  | Sorted_chain -> "sorted_chain"
+  | Kniesburges w -> Printf.sprintf "kniesburges:%d" w
   | K_out k -> Printf.sprintf "kout:%d" k
   | Erdos_renyi p -> Printf.sprintf "er:%g" p
   | Clustered (c, k) -> Printf.sprintf "clustered:%d:%d" c k
@@ -324,6 +348,9 @@ let family_of_string s =
   | [ "grid" ] -> Ok Grid
   | [ "hypercube" ] -> Ok Hypercube
   | [ "lollipop" ] -> Ok Lollipop
+  | [ "sorted_chain" ] -> Ok Sorted_chain
+  | [ "kniesburges" ] -> Ok (Kniesburges 8)
+  | [ "kniesburges"; w ] -> int_arg "kniesburges" w (fun w -> Ok (Kniesburges w))
   | [ "kout"; k ] -> int_arg "kout" k (fun k -> Ok (K_out k))
   | [ "er"; p ] -> (
     match float_of_string_opt p with
@@ -367,6 +394,8 @@ let build family ~rng ~n =
     let dim = max 1 (int_of_float (Float.floor (Stats.log2 (float_of_int (max 2 n))))) in
     hypercube ~dim
   | Lollipop -> lollipop n
+  | Sorted_chain -> sorted_chain n
+  | Kniesburges w -> kniesburges ~n ~w
   | K_out k -> k_out ~rng ~n ~k
   | Erdos_renyi p -> erdos_renyi ~rng ~n ~p
   | Clustered (c, k) -> clustered ~rng ~n ~clusters:c ~intra_k:k
@@ -394,3 +423,8 @@ let all_families =
     Watts_strogatz (2, 0.1);
     Random_geometric 0.06;
   ]
+
+(* The named worst-case instances swept by exp_adversarial and the CI
+   chaos matrix; kept out of all_families so existing reports keep their
+   shape. *)
+let adversarial_families = [ Sorted_chain; Star; Lollipop; Binary_tree; Kniesburges 8 ]

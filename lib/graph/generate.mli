@@ -42,6 +42,17 @@ val hypercube : dim:int -> Topology.t
 val lollipop : int -> Topology.t
 (** Clique on the first ⌈n/2⌉ nodes glued to a path on the rest. *)
 
+val sorted_chain : int -> Topology.t
+(** The sorted-input nemesis: node v's single pointer targets v−1 (node 0
+    knows nobody). Ids coincide with ranks, so deterministic min-pointer
+    strategies funnel the whole instance onto node 0. *)
+
+val kniesburges : n:int -> w:int -> Topology.t
+(** The Kniesburges et al. deterministic worst case: [w] interleaved
+    descending sorted lists (node v points to v−w) with the list heads
+    0 → 1 → … → w−1 chained; [w = 1] is {!sorted_chain}.
+    @raise Invalid_argument if [w < 1]. *)
+
 val k_out : rng:Rng.t -> n:int -> k:int -> Topology.t
 (** Each node picks [k] distinct uniform random acquaintances; knowledge
     of an acquaintance is symmetric (both endpoints know each other), so
@@ -99,6 +110,8 @@ type family =
   | Grid
   | Hypercube
   | Lollipop
+  | Sorted_chain
+  | Kniesburges of int  (** interleaved sorted lists w *)
   | K_out of int
   | Erdos_renyi of float
   | Clustered of int * int  (** clusters, intra_k *)
@@ -110,7 +123,8 @@ type family =
 val family_name : family -> string
 val family_of_string : string -> (family, string) result
 (** Parse names like ["path"], ["kout:3"], ["er:0.01"], ["clustered:8:3"],
-    ["seeds:16:2"], ["ba:2"], ["ws:3:0.1"], ["geo:0.05"]. *)
+    ["seeds:16:2"], ["ba:2"], ["ws:3:0.1"], ["geo:0.05"], ["sorted_chain"],
+    ["kniesburges:4"] (bare ["kniesburges"] defaults to w = 8). *)
 
 val build : family -> rng:Rng.t -> n:int -> Topology.t
 (** Instantiate a family at size [n]. [Grid] uses a near-square layout,
@@ -118,3 +132,8 @@ val build : family -> rng:Rng.t -> n:int -> Topology.t
 
 val all_families : family list
 (** The families exercised by the topology-sensitivity experiment (T4). *)
+
+val adversarial_families : family list
+(** The named worst-case instances swept by the adversarial experiment
+    (T12) and the CI chaos matrix: sorted chain, star, lollipop, binary
+    tree and the Kniesburges instance. *)

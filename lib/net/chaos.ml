@@ -120,6 +120,126 @@ let run ?(progress = fun _ -> ()) (spec : spec) =
     passed;
   }
 
+(* --- plan families and the chaos matrix ------------------------------ *)
+
+let plan_families = [ "links"; "partition"; "crash"; "wan" ]
+
+let group lo hi = List.init (hi - lo) (fun i -> lo + i)
+
+let plan_of_family name ~rng ~n ~loss_max =
+  let pct p = float_of_int p /. 100.0 in
+  match name with
+  | "links" ->
+    let max_pct = int_of_float ((loss_max *. 100.0) +. 0.5) in
+    let plan =
+      Fault.with_loss Fault.none ~p:(pct (if max_pct <= 0 then 0 else Rng.int rng (max_pct + 1)))
+    in
+    let plan = Fault.with_dup plan ~p:(pct (Rng.int rng 6)) in
+    let plan = Fault.with_reorder plan ~p:(pct (Rng.int rng 11)) in
+    Fault.with_corrupt plan ~p:(pct (Rng.int rng 3))
+  | "partition" ->
+    let split = 1 + Rng.int rng (n - 1) in
+    let start = 2 + Rng.int rng 4 in
+    let heal = start + 4 + Rng.int rng 8 in
+    Fault.with_partition Fault.none ~groups:[ group 0 split; group split n ] ~start ~heal
+  | "crash" ->
+    let victim = Rng.int rng n in
+    let crash = 2 + Rng.int rng 4 in
+    let restart = crash + 3 + Rng.int rng 6 in
+    Fault.with_restart
+      (Fault.with_crash Fault.none ~node:victim ~round:crash)
+      ~node:victim ~round:restart
+  | "wan" ->
+    let split = 1 + Rng.int rng (n - 1) in
+    let delay = 1 + Rng.int rng 2 in
+    let loss = pct (Rng.int rng 11) in
+    Fault.with_wan Fault.none
+      ~regions:[ group 0 split; group split n ]
+      ~cross:{ Fault.default_link with Fault.delay; loss; cap = 2 }
+  | other -> invalid_arg (Printf.sprintf "Chaos.plan_of_family: unknown plan family %S" other)
+
+type cell = {
+  cell_algo : string;
+  cell_topology : string;
+  cell_plan : string;
+  cell_n : int;
+  cell_trials : int;
+  cell_passed : int;
+}
+
+let cell_to_json c =
+  Printf.sprintf
+    {|{"algo":"%s","topology":"%s","plan_family":"%s","n":%d,"trials":%d,"passed":%d,"failed":%d}|}
+    c.cell_algo c.cell_topology c.cell_plan c.cell_n c.cell_trials c.cell_passed
+    (c.cell_trials - c.cell_passed)
+
+let matrix_to_json cells = String.concat "\n" (List.map cell_to_json cells) ^ "\n"
+
+let matrix ?(progress = fun _ -> ()) ~algos ~families ~plans ~n ~trials ~seed ~backend ~timeout
+    ~loss_max () =
+  if trials < 1 then invalid_arg "Chaos.matrix: trials must be positive";
+  if n < 2 then invalid_arg "Chaos.matrix: n must be at least 2";
+  (match backend with
+  | Backend.Loopback -> invalid_arg "Chaos.matrix: chaos needs a live backend (uds|tcp|mux)"
+  | Backend.Process _ | Backend.Mux -> ());
+  let indexed = List.mapi (fun i p -> (p, i)) plan_families in
+  let plans =
+    List.map
+      (fun p ->
+        match List.assoc_opt p indexed with
+        | Some i -> (p, i)
+        | None -> invalid_arg (Printf.sprintf "Chaos.matrix: unknown plan family %S" p))
+      plans
+  in
+  List.concat_map
+    (fun algo ->
+      List.concat_map
+        (fun family ->
+          List.map
+            (fun (plan_name, plan_index) ->
+              let passed = ref 0 in
+              for index = 0 to trials - 1 do
+                let trial_seed = seed + index in
+                (* One substream per (plan family, trial): the same plan
+                   therefore stresses every (algorithm, topology) cell,
+                   which makes cell-to-cell comparisons meaningful. *)
+                let rng = Rng.substream ~seed:trial_seed ~index:(0xc406 + plan_index) in
+                let plan = plan_of_family plan_name ~rng ~n ~loss_max in
+                let result =
+                  Cluster.run
+                    {
+                      (Cluster.default_spec algo) with
+                      Cluster.n;
+                      family;
+                      seed = trial_seed;
+                      backend;
+                      timeout;
+                      fault = plan;
+                    }
+                in
+                let invariants_ok =
+                  match result.Cluster.invariants with
+                  | Cluster.Failed _ -> false
+                  | Cluster.Passed _ | Cluster.Skipped _ -> true
+                in
+                if result.Cluster.converged && invariants_ok then incr passed
+              done;
+              let cell =
+                {
+                  cell_algo = algo.Algorithm.name;
+                  cell_topology = Generate.family_name family;
+                  cell_plan = plan_name;
+                  cell_n = n;
+                  cell_trials = trials;
+                  cell_passed = !passed;
+                }
+              in
+              progress cell;
+              cell)
+            plans)
+        families)
+    algos
+
 (* --- JSON soak report ----------------------------------------------- *)
 
 let trial_to_json t =

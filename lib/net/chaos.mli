@@ -65,3 +65,61 @@ val run : ?progress:(trial -> unit) -> spec -> report
 val report_to_json : report -> string
 (** One-line JSON soak report (stable field order, no trailing
     newline). *)
+
+(** {2 The chaos matrix}
+
+    Where {!run} soaks one (algorithm, topology) pair under kitchen-sink
+    plans, the matrix sweeps a grid of algorithms × topologies × named
+    {e plan families} — each family isolating one fault dimension — and
+    reduces every cell to a deterministic pass count. On the mux backend
+    (virtual clock) the JSON summary is byte-reproducible, so CI can
+    diff it against a pinned baseline. *)
+
+val plan_families : string list
+(** [["links"; "partition"; "crash"; "wan"]] — base link noise
+    (loss / duplication / reordering / corruption); a healing two-group
+    partition; a crash with a later restart; a two-region WAN profile
+    (cross-region delay, loss and a bandwidth cap). Fabrication is
+    deliberately excluded: an audited fabrication must fail, so it has
+    its own negative tests instead of a pass-count cell. *)
+
+val plan_of_family :
+  string -> rng:Repro_util.Rng.t -> n:int -> loss_max:float -> Fault.t
+(** The seeded plan generator behind each family name.
+    @raise Invalid_argument on an unknown name. *)
+
+type cell = {
+  cell_algo : string;
+  cell_topology : string;
+  cell_plan : string;
+  cell_n : int;
+  cell_trials : int;
+  cell_passed : int;
+}
+
+val cell_to_json : cell -> string
+(** One line, stable field order, no wall-clock fields — safe to pin. *)
+
+val matrix_to_json : cell list -> string
+(** One {!cell_to_json} line per cell, newline-terminated. *)
+
+val matrix :
+  ?progress:(cell -> unit) ->
+  algos:Repro_discovery.Algorithm.t list ->
+  families:Generate.family list ->
+  plans:string list ->
+  n:int ->
+  trials:int ->
+  seed:int ->
+  backend:Backend.t ->
+  timeout:float ->
+  loss_max:float ->
+  unit ->
+  cell list
+(** Run every (algorithm, topology, plan family) cell for [trials]
+    seeded trials; trial [i] of a given plan family uses the same plan
+    in every cell, so cells are comparable. Cells appear in
+    deterministic grid order (algorithms outermost, plan families
+    innermost).
+    @raise Invalid_argument if [trials < 1], [n < 2], the backend is
+    loopback, or a plan name is unknown. *)

@@ -19,6 +19,16 @@ type msg = Event of float * Trace.event | Completed of float * int | Final of fi
    so a re-serialised merged stream is byte-stable. *)
 let time_str t = Printf.sprintf "%.12g" t
 
+(* Id lists travel as one comma-joined word ("-" when empty) so event
+   lines stay space-separated with a fixed arity per kind. *)
+let ids_str ids =
+  if Array.length ids = 0 then "-"
+  else String.concat "," (Array.to_list (Array.map string_of_int ids))
+
+let parse_ids = function
+  | "-" -> [||]
+  | s -> Array.of_list (List.map int_of_string (String.split_on_char ',' s))
+
 let event_line ~time (ev : Trace.event) =
   let body =
     match ev with
@@ -30,6 +40,8 @@ let event_line ~time (ev : Trace.event) =
       Printf.sprintf "drop %d %d %s" src dst (Trace.drop_reason_name reason)
     | Trace.Join { node } -> Printf.sprintf "join %d" node
     | Trace.Crash { node } -> Printf.sprintf "crash %d" node
+    | Trace.Genesis { node; ids } -> Printf.sprintf "genesis %d %s" node (ids_str ids)
+    | Trace.Content { src; dst; ids } -> Printf.sprintf "content %d %d %s" src dst (ids_str ids)
     | Trace.Complete -> "complete"
     | Trace.Give_up -> "give_up"
     | Trace.Round_begin { round } -> Printf.sprintf "round_begin %d" round
@@ -65,11 +77,17 @@ let parse_event ~time = function
       | "loss" -> Trace.Loss
       | "dead_dst" -> Trace.Dead_dst
       | "partitioned" -> Trace.Partitioned
+      | "throttled" -> Trace.Throttled
       | _ -> Trace.Unjoined_dst
     in
     Ok (Trace.Drop { src = int_of_string src; dst = int_of_string dst; reason })
   | [ "join"; node ] -> Ok (Trace.Join { node = int_of_string node })
   | [ "crash"; node ] -> Ok (Trace.Crash { node = int_of_string node })
+  | [ "genesis"; node; ids ] ->
+    Ok (Trace.Genesis { node = int_of_string node; ids = parse_ids ids })
+  | [ "content"; src; dst; ids ] ->
+    Ok
+      (Trace.Content { src = int_of_string src; dst = int_of_string dst; ids = parse_ids ids })
   | [ "complete" ] -> Ok Trace.Complete
   | [ "give_up" ] -> Ok Trace.Give_up
   | [ "round_begin"; round ] -> Ok (Trace.Round_begin { round = int_of_string round })

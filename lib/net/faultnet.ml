@@ -13,6 +13,8 @@ type t = {
   epoch : float;
   tick_period : float;
   mutable held : held list;
+  (* per-destination bandwidth windows: dst -> (window, frames sent) *)
+  caps : (int, int * int) Hashtbl.t;
 }
 
 let active plan = Fault.has_link_faults plan || Fault.partitions plan <> []
@@ -28,6 +30,7 @@ let create ~plan ~seed ~node ~epoch ~tick_period =
     epoch;
     tick_period;
     held = [];
+    caps = Hashtbl.create (if Fault.has_caps plan then 8 else 1);
   }
 
 (* Map wall time to the simulator's round clock so partition windows
@@ -43,11 +46,23 @@ let corrupt_copy t frame =
 
 let pending t = t.held <> []
 
+let over_cap t ~now ~dst cap =
+  (* cap frames per tick-period window per destination; like loss and
+     partitions the excess is silently swallowed and retransmission
+     recovers, modelling a saturated WAN link *)
+  let window = int_of_float (round_now t ~now) in
+  let used =
+    match Hashtbl.find_opt t.caps dst with Some (w, u) when w = window -> u | _ -> 0
+  in
+  Hashtbl.replace t.caps dst (window, used + 1);
+  used >= cap
+
 let send t ~now ~dst frame ~queue =
   let lk = Fault.link_between t.plan ~src:t.node ~dst in
   if Fault.cut t.plan ~src:t.node ~dst ~time:(round_now t ~now) then ()
     (* partitioned: silently swallowed — the reliability layer's
        retransmission delivers it after the heal *)
+  else if lk.Fault.cap > 0 && over_cap t ~now ~dst lk.Fault.cap then ()
   else if lk.Fault.loss > 0.0 && Rng.bernoulli t.rng ~p:lk.Fault.loss then ()
   else begin
     let frame =

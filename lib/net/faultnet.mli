@@ -4,7 +4,8 @@
     loop; live UDS/TCP fleets have no such chokepoint, so each node
     routes every {e outgoing} encoded frame through this shim instead.
     The shim applies the plan's link faults — loss, fixed delay,
-    duplication, reordering, single-byte corruption — and partition
+    duplication, reordering, single-byte corruption, per-link bandwidth
+    caps (including WAN cross-region profiles) — and partition
     cuts, seeded per node from the run's master seed: given the same
     frame sequence, the same frames are dropped/held/corrupted,
     independent of wall clock or process interleaving.

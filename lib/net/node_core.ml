@@ -54,6 +54,8 @@ type t = {
   inst : Algorithm.instance;
   links : link array;
   fn : Faultnet.t option;
+  byz : int list;  (** ids this node fabricates into every data payload *)
+  auditing : bool;
   mutable tick_count : int;
   mutable sent : int;
   mutable delivered : int;
@@ -198,6 +200,10 @@ let deliver t ~now ~src payload =
   t.delivered <- t.delivered + 1;
   t.last_activity <- now;
   t.acts.emit ~now (Trace.Deliver { src; dst = t.cfg.node });
+  (if t.auditing then
+     match Adversary.payload_ids payload with
+     | Some ids -> t.acts.emit ~now (Trace.Content { src; dst = t.cfg.node; ids })
+     | None -> ());
   t.inst.Algorithm.receive ~src payload
 
 let announce_if_complete t ~now =
@@ -209,6 +215,9 @@ let announce_if_complete t ~now =
 
 let send_payload t ~now ~dst payload =
   if dst < 0 || dst >= t.cfg.n then invalid_arg "Node_core.send: destination out of range";
+  let payload =
+    match t.byz with [] -> payload | ids -> Adversary.inject ~universe:t.cfg.n payload ids
+  in
   let pointers = Payload.measure payload in
   let body = Wire.encode t.cfg.encoding ~universe:t.cfg.n payload in
   t.sent <- t.sent + 1;
@@ -459,6 +468,8 @@ let create (cfg : config) (acts : actions) ~links_up ~now =
              (Faultnet.create ~plan:cfg.fault ~seed:cfg.seed ~node:cfg.node ~epoch:0.0
                 ~tick_period:cfg.tick_period)
          else None);
+      byz = Fault.fabricated_ids cfg.fault ~node:cfg.node;
+      auditing = Fault.audit cfg.fault;
       tick_count = 0;
       sent = 0;
       delivered = 0;
@@ -475,6 +486,30 @@ let create (cfg : config) (acts : actions) ~links_up ~now =
     }
   in
   acts.emit ~now (Trace.Join { node = cfg.node });
+  (* a re-created (restarted) core re-emits its genesis, resetting its
+     provenance to initial knowledge *)
+  if t.auditing then
+    acts.emit ~now (Adversary.genesis_event ~node:cfg.node t.inst.Algorithm.knowledge);
   announce_if_complete t ~now;
   if cfg.announce then request_hellos t ~now;
   t
+
+type link_view = {
+  view_status : status;
+  view_base_seq : int;
+  view_inflight : int;
+  view_recv_cum : int;
+  view_recv_early : int list;
+  view_peer_done : bool;
+}
+
+let link_view t ~dst =
+  let l = t.links.(dst) in
+  {
+    view_status = l.status;
+    view_base_seq = l.base_seq;
+    view_inflight = Queue.length l.sendbuf;
+    view_recv_cum = l.recv_cum;
+    view_recv_early = List.sort compare l.recv_early;
+    view_peer_done = l.peer_done;
+  }

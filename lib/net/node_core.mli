@@ -137,3 +137,19 @@ val fleet_done : t -> bool
 
 val final : t -> Control.final
 (** The node's final counters. *)
+
+(** {2 Introspection for the model checker}
+
+    A read-only snapshot of one directed link's reliability state, so an
+    exhaustive test driver ({!Model}) can assert the go-back-N window
+    invariants between moves without reaching into the representation. *)
+type link_view = {
+  view_status : status;
+  view_base_seq : int;  (** sequence number of the sendbuf's front frame *)
+  view_inflight : int;  (** unacknowledged data frames queued *)
+  view_recv_cum : int;  (** highest contiguous data seq received *)
+  view_recv_early : int list;  (** out-of-order seqs already delivered, ascending *)
+  view_peer_done : bool;
+}
+
+val link_view : t -> dst:int -> link_view

@@ -202,6 +202,56 @@ verifies every trial with the invariant checker:
   $ ../../bin/discovery_cli.exe chaos --transport loopback 2>&1 | head -1
   discovery: option '--transport': chaos needs a live backend (uds|tcp|mux)
 
+Adversarial scenarios: the named worst-case topologies are first-class
+families. The sorted chain is min_pointer's deterministic worst case
+(ids sorted against the rank order), and its numbers are a pure
+function of the seed:
+
+  $ ../../bin/discovery_cli.exe run --algo min_pointer --topology sorted_chain -n 64 --seed 1
+  algorithm        : min_pointer
+  topology         : sorted_chain (n=64, m=63)
+  seed             : 1
+  completed        : true
+  rounds           : 10
+  messages         : 1393
+  pointers         : 39462
+  wire bytes       : 12814 (adaptive codec)
+  dropped          : 0
+  peak msgs/round  : 189
+
+  $ ../../bin/discovery_cli.exe topo --topology kniesburges:4 -n 16
+  family        : kniesburges:4
+  nodes         : 16
+  edges         : 15
+  weakly conn.  : true
+  diameter est. : 9
+  out-degree    : mean 0.9, min 0, max 1
+
+WAN profiles put a per-link override on every cross-region link; a
+conflicting pair of per-link overrides is rejected at parse time:
+
+  $ ../../bin/discovery_cli.exe run --algo hm -n 8 \
+  >   --fault 'link=1>2:loss=0.5,link=1>2:delay=1' 2>&1 | head -1
+  discovery: option '--fault': duplicate link override for 1>2
+
+The content audit arms a provenance invariant: a node injecting
+fabricated identifiers is caught by the checker, as an operational
+failure (exit 1, not a crash):
+
+  $ ../../bin/discovery_cli.exe trace --algo hm --topology sorted_chain -n 64 --seed 1 \
+  >   --fault 'fabricate=1@50,audit=1' -o fab.jsonl --check
+  discovery: invariant violation: node 1 advertised id 50 it never genuinely learned (provenance violation)
+  [1]
+
+The chaos matrix sweeps algorithms x topologies x named plan families
+over the mux backend's virtual clock, so its per-cell summary is
+byte-reproducible (CI diffs the full grid against a pinned baseline):
+
+  $ ../../bin/discovery_cli.exe chaos-matrix --algos hm --topologies sorted_chain \
+  >   --plans crash,wan --trials 2 --seed 0 --quiet
+  {"algo":"hm","topology":"sorted_chain","plan_family":"crash","n":8,"trials":2,"passed":2,"failed":0}
+  {"algo":"hm","topology":"sorted_chain","plan_family":"wan","n":8,"trials":2,"passed":2,"failed":0}
+
 The standalone binary runs one live node per invocation: every process
 gets the same address table (--peers; list position = node id) and
 identifies itself by its --listen address. Three of them, each knowing
@@ -235,10 +285,11 @@ The experiments runner lists its deliverables:
   T9   discovery under churn
   T10  asynchronous execution
   T11  local termination detection
+  T12  adversarial scenario matrix
   F2   knowledge-growth dynamics
   F4   per-round message budget
   F5   cluster-head population dynamics
 
   $ ../../bin/experiments.exe --only T99 2>&1
-  experiments: unknown experiment id(s): T99 (known: T1, T2, T3, F1, T4, F3, T5, T6, T7, T8, T9, T10, T11, F2, F4, F5)
+  experiments: unknown experiment id(s): T99 (known: T1, T2, T3, F1, T4, F3, T5, T6, T7, T8, T9, T10, T11, T12, F2, F4, F5)
   [124]

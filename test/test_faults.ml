@@ -217,6 +217,75 @@ let test_dsl_examples () =
     | Error _ -> ()
     | Ok _ -> Alcotest.fail "unknown key parsed"
 
+let test_duplicate_link_rejected () =
+  (* two overrides for the same directed link would silently shadow each
+     other depending on application order — the parser must refuse *)
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+    at 0
+  in
+  (match Fault.of_string "link=1>2:loss=0.5,link=1>2:delay=2" with
+  | Ok _ -> Alcotest.fail "duplicate link override parsed"
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error names the link (%s)" e)
+      true
+      (contains e "duplicate link override for 1>2"));
+  (* distinct links are of course fine *)
+  (match Fault.of_string "link=1>2:loss=0.5,link=2>1:delay=2" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Fault.of_string "wan=0-3|4-7:delay=2,wan=0-1|2-7:delay=1" with
+  | Ok _ -> Alcotest.fail "duplicate wan profile parsed"
+  | Error _ -> ()
+
+let test_wan_precedence () =
+  (* per-link override > WAN cross profile > base link *)
+  let base = Fault.with_loss Fault.none ~p:0.1 in
+  let cross = { Fault.default_link with Fault.delay = 3; loss = 0.2 } in
+  let f = Fault.with_wan base ~regions:[ [ 0; 1 ]; [ 2; 3 ] ] ~cross in
+  let f = Fault.with_link f ~src:0 ~dst:2 { Fault.default_link with Fault.cap = 1 } in
+  (* same region: base link *)
+  let same = Fault.link_between f ~src:0 ~dst:1 in
+  Alcotest.(check (float 1e-9)) "intra-region loss is base" 0.1 same.Fault.loss;
+  Alcotest.(check int) "intra-region delay is base" 0 same.Fault.delay;
+  (* cross-region without override: the WAN profile *)
+  let far = Fault.link_between f ~src:1 ~dst:3 in
+  Alcotest.(check int) "cross-region delay" 3 far.Fault.delay;
+  Alcotest.(check (float 1e-9)) "cross-region loss" 0.2 far.Fault.loss;
+  (* cross-region with override: the override, whole record *)
+  let ov = Fault.link_between f ~src:0 ~dst:2 in
+  Alcotest.(check int) "override cap" 1 ov.Fault.cap;
+  Alcotest.(check int) "override delay (not wan's)" 0 ov.Fault.delay;
+  (* a node in no listed region forms the implicit region *)
+  let f = Fault.with_wan base ~regions:[ [ 0; 1 ] ] ~cross in
+  let implicit = Fault.link_between f ~src:0 ~dst:5 in
+  Alcotest.(check int) "implicit region is cross" 3 implicit.Fault.delay;
+  let implicit2 = Fault.link_between f ~src:5 ~dst:7 in
+  Alcotest.(check int) "both unlisted share the implicit region" 0 implicit2.Fault.delay
+
+let test_wan_dsl_example () =
+  match Fault.of_string "wan=0-3|4-7:delay=2:loss=0.1:cap=5,cap=9" with
+  | Error e -> Alcotest.fail e
+  | Ok f ->
+    let cross = Fault.link_between f ~src:0 ~dst:4 in
+    Alcotest.(check int) "cross delay" 2 cross.Fault.delay;
+    Alcotest.(check (float 1e-9)) "cross loss" 0.1 cross.Fault.loss;
+    Alcotest.(check int) "cross cap" 5 cross.Fault.cap;
+    Alcotest.(check int) "base cap" 9 (Fault.link_between f ~src:0 ~dst:1).Fault.cap;
+    Alcotest.(check bool) "has_caps" true (Fault.has_caps f);
+    Alcotest.(check bool) "has_delays" true (Fault.has_delays f);
+    (match Fault.of_string (Fault.to_string f) with
+    | Ok f' -> Alcotest.(check bool) "round-trips" true (Fault.equal f f')
+    | Error e -> Alcotest.fail e);
+    match Fault.of_string "fabricate=3@17,audit=1" with
+    | Error e -> Alcotest.fail e
+    | Ok f ->
+      Alcotest.(check bool) "audit flag" true (Fault.audit f);
+      Alcotest.(check (list (pair int (list int)))) "fabrications" [ (3, [ 17 ]) ]
+        (Fault.fabrications f)
+
 (* qcheck: random plans round-trip through the DSL. Probabilities are
    drawn as k/1000 so the %g printing is exact. *)
 let plan_gen =
@@ -227,8 +296,8 @@ let plan_gen =
     let* link =
       opt
         (let* src = int_range 0 9 and* dst = int_range 0 9 in
-         let* l = prob and* d = int_range 0 2 in
-         return (src, dst, { Fault.default_link with Fault.loss = l; delay = d }))
+         let* l = prob and* d = int_range 0 2 and* c = int_range 0 2 in
+         return (src, dst, { Fault.default_link with Fault.loss = l; delay = d; cap = c }))
     in
     let* part =
       opt
@@ -242,14 +311,34 @@ let plan_gen =
          return (node, round, Option.map (fun d -> round + d) restart))
     in
     let* join = opt (pair (int_range 0 9) (int_range 1 12)) in
-    return (loss, dup, reorder, corrupt, delay, link, part, crash, join))
+    let* cap = int_range 0 3 in
+    let* wan =
+      opt
+        (let* split = int_range 1 7 in
+         let* wloss = prob and* wdelay = int_range 0 2 and* wcap = int_range 0 2 in
+         return (split, wloss, wdelay, wcap))
+    in
+    let* fab = opt (pair (int_range 0 9) (int_range 0 99)) in
+    let* audit = bool in
+    return ((loss, dup, reorder, corrupt, delay), link, part, crash, join, (cap, wan, fab, audit)))
 
-let plan_of_gen (loss, dup, reorder, corrupt, delay, link, part, crash, join) =
+let plan_of_gen ((loss, dup, reorder, corrupt, delay), link, part, crash, join, (cap, wan, fab, audit)) =
   let f = Fault.with_loss Fault.none ~p:loss in
   let f = Fault.with_dup f ~p:dup in
   let f = Fault.with_reorder f ~p:reorder in
   let f = Fault.with_corrupt f ~p:corrupt in
   let f = Fault.with_delay f ~ticks:delay in
+  let f = Fault.with_cap f ~limit:cap in
+  let f =
+    match wan with
+    | Some (split, wloss, wdelay, wcap) when wloss > 0.0 || wdelay > 0 || wcap > 0 ->
+      Fault.with_wan f
+        ~regions:[ List.init split Fun.id; List.init (8 - split) (fun i -> split + i) ]
+        ~cross:{ Fault.default_link with Fault.loss = wloss; delay = wdelay; cap = wcap }
+    | Some _ | None -> f
+  in
+  let f = match fab with None -> f | Some (node, id) -> Fault.with_fabrication f ~node ~id in
+  let f = Fault.with_audit f audit in
   let f = match link with None -> f | Some (src, dst, lk) -> Fault.with_link f ~src ~dst lk in
   let f =
     match part with
@@ -343,6 +432,9 @@ let () =
           Alcotest.test_case "crash and join same node" `Quick test_crash_and_join_same_node;
           Alcotest.test_case "restart requires crash" `Quick test_restart_requires_crash;
           Alcotest.test_case "dsl examples" `Quick test_dsl_examples;
+          Alcotest.test_case "duplicate link rejected" `Quick test_duplicate_link_rejected;
+          Alcotest.test_case "wan precedence" `Quick test_wan_precedence;
+          Alcotest.test_case "wan dsl example" `Quick test_wan_dsl_example;
           QCheck_alcotest.to_alcotest dsl_roundtrip;
         ] );
       ( "restarts",

@@ -153,6 +153,59 @@ let test_determinism () =
   Alcotest.(check bool) "same seed same graph" true (Topology.edges a = Topology.edges b);
   Alcotest.(check bool) "different seed different graph" true (Topology.edges a <> Topology.edges c)
 
+let test_sorted_chain () =
+  let t = Generate.sorted_chain 6 in
+  Alcotest.(check int) "nodes" 6 (Topology.n t);
+  (* every node except the minimum points one step DOWN the id order;
+     nothing points up — that asymmetry is the worst case *)
+  Alcotest.(check int) "edges" 5 (Topology.edge_count t);
+  for v = 1 to 5 do
+    Alcotest.(check bool) "points down" true (Topology.mem_edge t v (v - 1));
+    Alcotest.(check bool) "never up" false (Topology.mem_edge t (v - 1) v)
+  done;
+  Alcotest.(check bool) "connected" true (Analyze.is_weakly_connected t);
+  (* degenerate sizes stay well-formed *)
+  Alcotest.(check int) "singleton" 0 (Topology.edge_count (Generate.sorted_chain 1))
+
+let test_kniesburges () =
+  let w = 3 and n = 12 in
+  let t = Generate.kniesburges ~n ~w in
+  Alcotest.(check int) "nodes" n (Topology.n t);
+  (* each node points w back (the interleaved sorted lists)... *)
+  for v = w to n - 1 do
+    Alcotest.(check bool) "list edge" true (Topology.mem_edge t v (v - w))
+  done;
+  (* ...and the w list heads are chained head-to-head *)
+  for i = 0 to w - 2 do
+    Alcotest.(check bool) "head chain" true (Topology.mem_edge t i (i + 1))
+  done;
+  Alcotest.(check int) "edge count" (n - w + (w - 1)) (Topology.edge_count t);
+  Alcotest.(check bool) "connected" true (Analyze.is_weakly_connected t);
+  (* w = 1 degenerates to the sorted chain *)
+  Alcotest.(check bool)
+    "w=1 is the sorted chain" true
+    (Topology.edges (Generate.kniesburges ~n:8 ~w:1) = Topology.edges (Generate.sorted_chain 8));
+  Alcotest.check_raises "w must be positive"
+    (Invalid_argument "Generate.kniesburges: need w >= 1") (fun () ->
+      ignore (Generate.kniesburges ~n:8 ~w:0))
+
+let test_adversarial_families () =
+  (* every named worst case is buildable, connected, parseable by name —
+     the contract the CLI, exp_adversarial and the chaos matrix rely on *)
+  List.iter
+    (fun f ->
+      let name = Generate.family_name f in
+      let t = Generate.build f ~rng:(rng ()) ~n:32 in
+      if not (Analyze.is_weakly_connected t) then Alcotest.failf "%s not weakly connected" name;
+      match Generate.family_of_string name with
+      | Ok f' -> Alcotest.(check string) "name round-trips" name (Generate.family_name f')
+      | Error e -> Alcotest.failf "failed to parse %s: %s" name e)
+    Generate.adversarial_families;
+  (* bare "kniesburges" defaults to the w = 8 instance *)
+  match Generate.family_of_string "kniesburges" with
+  | Ok f -> Alcotest.(check string) "default width" "kniesburges:8" (Generate.family_name f)
+  | Error e -> Alcotest.fail e
+
 let test_family_roundtrip () =
   List.iter
     (fun f ->
@@ -206,6 +259,9 @@ let () =
           Alcotest.test_case "grid" `Quick test_grid;
           Alcotest.test_case "hypercube" `Quick test_hypercube;
           Alcotest.test_case "lollipop" `Quick test_lollipop;
+          Alcotest.test_case "sorted chain" `Quick test_sorted_chain;
+          Alcotest.test_case "kniesburges" `Quick test_kniesburges;
+          Alcotest.test_case "adversarial families" `Quick test_adversarial_families;
         ] );
       ( "random families",
         [

@@ -1,0 +1,98 @@
+(* Bounded exhaustive exploration of Node_core: enumerate every
+   deliver/reorder/timeout/crash interleaving at small n and assert the
+   go-back-N window invariants plus drain-then-converge on each. *)
+
+open Repro_net
+
+let explore_ok name cfg =
+  match Model.explore cfg with
+  | Ok stats -> stats
+  | Error msg -> Alcotest.failf "%s: invariant violation: %s" name msg
+
+(* Each config must be exhaustive (untruncated) at its depth, so the
+   suite really is a complete enumeration and not a lucky sample. *)
+let check_exhaustive name cfg ~at_least =
+  let stats = explore_ok name cfg in
+  Alcotest.(check bool) (name ^ " untruncated") false stats.Model.truncated;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s interleavings >= %d (got %d)" name at_least stats.Model.interleavings)
+    true
+    (stats.Model.interleavings >= at_least)
+
+let test_pair_deep () =
+  check_exhaustive "n2-depth8" { Model.default with n = 2; depth = 8; max_leaves = 60_000 }
+    ~at_least:5_000
+
+let test_triple_medium () =
+  check_exhaustive "n3-depth6" { Model.default with n = 3; depth = 6; max_leaves = 60_000 }
+    ~at_least:10_000
+
+let test_quad_shallow () =
+  check_exhaustive "n4-depth5" { Model.default with n = 4; depth = 5; max_leaves = 60_000 }
+    ~at_least:5_000
+
+let test_crash_restart () =
+  check_exhaustive "n3-crash-depth5"
+    { Model.default with n = 3; depth = 5; max_crashes = 1; max_leaves = 60_000 }
+    ~at_least:5_000
+
+(* The acceptance bar for the whole harness: summed over the configs the
+   suite enumerates well over ten thousand complete interleavings. *)
+let test_total_interleavings () =
+  let total =
+    List.fold_left
+      (fun acc cfg -> acc + (explore_ok "total" cfg).Model.interleavings)
+      0
+      [
+        { Model.default with n = 2; depth = 8; max_leaves = 60_000 };
+        { Model.default with n = 3; depth = 6; max_leaves = 60_000 };
+        { Model.default with n = 4; depth = 5; max_leaves = 60_000 };
+        { Model.default with n = 3; depth = 5; max_crashes = 1; max_leaves = 60_000 };
+      ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "total interleavings %d >= 10000" total)
+    true (total >= 10_000)
+
+let test_budget_truncates () =
+  let stats = explore_ok "budget" { Model.default with n = 2; depth = 9; max_leaves = 500 } in
+  Alcotest.(check bool) "truncated" true stats.Model.truncated;
+  Alcotest.(check int) "leaf budget respected" 500 stats.Model.interleavings
+
+let test_wider_reorder () =
+  (* a deeper reorder window explores strictly more schedules and must
+     still hold every invariant *)
+  let narrow =
+    explore_ok "narrow" { Model.default with n = 2; depth = 7; reorder_width = 1; max_leaves = 60_000 }
+  in
+  let wide =
+    explore_ok "wide" { Model.default with n = 2; depth = 7; reorder_width = 3; max_leaves = 60_000 }
+  in
+  Alcotest.(check bool) "wide explores at least as many" true
+    (wide.Model.interleavings >= narrow.Model.interleavings)
+
+let test_rejects_bad_config () =
+  (try
+     ignore (Model.explore { Model.default with n = 1 });
+     Alcotest.fail "n=1 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Model.explore { Model.default with depth = 0 });
+    Alcotest.fail "depth=0 accepted"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "explore",
+        [
+          Alcotest.test_case "pair-deep" `Quick test_pair_deep;
+          Alcotest.test_case "triple-medium" `Quick test_triple_medium;
+          Alcotest.test_case "quad-shallow" `Quick test_quad_shallow;
+          Alcotest.test_case "crash-restart" `Quick test_crash_restart;
+          Alcotest.test_case "total-10k" `Quick test_total_interleavings;
+          Alcotest.test_case "budget-truncates" `Quick test_budget_truncates;
+          Alcotest.test_case "wider-reorder" `Quick test_wider_reorder;
+          Alcotest.test_case "rejects-bad-config" `Quick test_rejects_bad_config;
+        ] );
+    ]

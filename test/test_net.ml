@@ -200,6 +200,35 @@ let test_backoff_bounds () =
     (Invalid_argument "Node.Backoff.create: cap must be at least base") (fun () ->
       ignore (Node.Backoff.create ~rng ~base:0.1 ~cap:0.05))
 
+let test_backoff_extremes () =
+  let rng = Repro_util.Rng.substream ~seed:3 ~index:0xb0ff in
+  (* base = cap degenerates to a constant delay *)
+  let flat = Node.Backoff.create ~rng ~base:0.25 ~cap:0.25 in
+  for _ = 1 to 50 do
+    Alcotest.(check (float 1e-9)) "base = cap is constant" 0.25 (Node.Backoff.next flat)
+  done;
+  (* a tiny base under a huge cap must stay inside [base, cap] and never
+     jump past the decorrelated 3x envelope, even after many draws *)
+  let wide = Node.Backoff.create ~rng ~base:1e-6 ~cap:1e6 in
+  let prev = ref (Node.Backoff.next wide) in
+  Alcotest.(check (float 1e-12)) "cold start is base" 1e-6 !prev;
+  for _ = 1 to 200 do
+    let d = Node.Backoff.next wide in
+    Alcotest.(check bool) "at least base" true (d >= 1e-6);
+    Alcotest.(check bool) "at most cap" true (d <= 1e6);
+    Alcotest.(check bool) "at most 3x previous" true (d <= (3.0 *. !prev) +. 1e-9);
+    prev := d
+  done;
+  (* reset really forgets the growth: the envelope restarts from base *)
+  Node.Backoff.reset wide;
+  Alcotest.(check (float 1e-12)) "reset forgets growth" 1e-6 (Node.Backoff.next wide);
+  Alcotest.(check bool)
+    "second draw after reset is re-bounded" true
+    (Node.Backoff.next wide <= 3e-6 +. 1e-12);
+  Alcotest.check_raises "zero base rejected"
+    (Invalid_argument "Node.Backoff.create: base must be positive") (fun () ->
+      ignore (Node.Backoff.create ~rng ~base:0.0 ~cap:1.0))
+
 (* --- Loopback: trace-identical to the async simulator --------------- *)
 
 let test_loopback_trace_identity () =
@@ -379,6 +408,39 @@ let test_chaos_plan_shape () =
   Alcotest.(check string) "seeded plans replay" (Fault.to_string (plan_of 9))
     (Fault.to_string (plan_of 9))
 
+let test_chaos_matrix_deterministic () =
+  (* a small slice of the nightly matrix on the mux backend: the JSON
+     summary must be byte-identical across runs (it is diffed against a
+     pinned baseline in CI), every plan family must produce a cell, and
+     this slice is known-green *)
+  let sweep () =
+    Chaos.matrix
+      ~algos:[ get_algo "hm" ]
+      ~families:[ Repro_graph.Generate.Sorted_chain; Repro_graph.Generate.K_out 3 ]
+      ~plans:Chaos.plan_families ~n:8 ~trials:2 ~seed:0 ~backend:Backend.Mux ~timeout:10.0
+      ~loss_max:0.2 ()
+  in
+  let cells = sweep () in
+  Alcotest.(check int) "one cell per (topology, plan family)"
+    (2 * List.length Chaos.plan_families)
+    (List.length cells);
+  List.iter
+    (fun (c : Chaos.cell) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s/%s/%s all trials pass" c.Chaos.cell_algo c.Chaos.cell_topology
+           c.Chaos.cell_plan)
+        c.Chaos.cell_trials c.Chaos.cell_passed)
+    cells;
+  Alcotest.(check string) "summary is byte-reproducible" (Chaos.matrix_to_json cells)
+    (Chaos.matrix_to_json (sweep ()));
+  Alcotest.check_raises "unknown plan family rejected"
+    (Invalid_argument "Chaos.matrix: unknown plan family \"gamma-rays\"") (fun () ->
+      ignore
+        (Chaos.matrix ~algos:[ get_algo "hm" ]
+           ~families:[ Repro_graph.Generate.K_out 3 ]
+           ~plans:[ "gamma-rays" ] ~n:8 ~trials:1 ~seed:0 ~backend:Backend.Mux ~timeout:10.0
+           ~loss_max:0.2 ()))
+
 let test_cluster_report_json () =
   let r = run_cluster ~n:4 uds in
   let json = Cluster.result_to_json r in
@@ -457,6 +519,43 @@ let test_addr_table_rejects () =
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "bad entry %S parsed" bad)
     [ "0"; "70000"; "host:99999"; "not an address" ]
+
+let test_addr_table_host_edge_cases () =
+  (* the host split is on the LAST ':', so an IPv6 literal's colons all
+     land in the host field *)
+  (match Addr_table.parse_entry "::1:9000" with
+  | Error e -> Alcotest.failf "IPv6 loopback rejected: %s" e
+  | Ok addr ->
+    Alcotest.(check bool)
+      "IPv6 host survives the split" true
+      (addr = Unix.ADDR_INET (Unix.inet_addr_of_string "::1", 9000));
+    (* the canonical spelling re-parses to the same address *)
+    (match Addr_table.parse_entry (Addr_table.entry_to_string addr) with
+    | Ok addr' -> Alcotest.(check bool) "canonical form round-trips" true (addr = addr')
+    | Error e -> Alcotest.failf "canonical IPv6 form rejected: %s" e));
+  (* an empty host falls into hostname resolution and must error, not
+     silently bind something *)
+  (match Addr_table.parse_entry ":9000" with
+  | Error _ -> ()
+  | Ok addr -> Alcotest.failf "empty host parsed as %s" (Addr_table.entry_to_string addr));
+  (* a bare port canonicalizes to an explicit loopback HOST:PORT, and
+     index_of treats both spellings as the same node *)
+  (match Addr_table.parse_entry "9000" with
+  | Error e -> Alcotest.failf "bare port rejected: %s" e
+  | Ok addr ->
+    Alcotest.(check string) "bare port canonical form" "127.0.0.1:9000"
+      (Addr_table.entry_to_string addr);
+    (match Addr_table.of_entries [ "9000"; "127.0.0.1:9001" ] with
+    | Error e -> Alcotest.fail e
+    | Ok table ->
+      Alcotest.(check (option int)) "bare spelling resolves" (Some 0)
+        (Addr_table.index_of table "9000");
+      Alcotest.(check (option int))
+        "explicit spelling resolves to the same id" (Some 0)
+        (Addr_table.index_of table "127.0.0.1:9000");
+      Alcotest.(check (option int))
+        "unparseable listen spelling is None" None
+        (Addr_table.index_of table "not an address")))
 
 (* --- Mux: thousands of live nodes in one process --------------------- *)
 
@@ -587,12 +686,14 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_addr_table_roundtrip;
           Alcotest.test_case "rejects" `Quick test_addr_table_rejects;
+          Alcotest.test_case "host-edge-cases" `Quick test_addr_table_host_edge_cases;
         ] );
       ("control", [ Alcotest.test_case "roundtrip" `Quick test_control_roundtrip ]);
       ( "backoff",
         [
           Alcotest.test_case "deterministic" `Quick test_backoff_deterministic;
           Alcotest.test_case "bounds" `Quick test_backoff_bounds;
+          Alcotest.test_case "extremes" `Quick test_backoff_extremes;
         ] );
       ( "loopback",
         [
@@ -622,5 +723,6 @@ let () =
           Alcotest.test_case "crash-restart" `Quick test_cluster_crash_restart;
           Alcotest.test_case "fatal-crash-reported" `Quick test_cluster_fatal_crash_without_restart;
           Alcotest.test_case "chaos-plan-shape" `Quick test_chaos_plan_shape;
+          Alcotest.test_case "chaos-matrix-deterministic" `Quick test_chaos_matrix_deterministic;
         ] );
     ]
