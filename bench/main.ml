@@ -56,13 +56,24 @@ let b2_rng =
          done;
          !acc))
 
+let cset_pair n seed =
+  let rng = Rng.create ~seed in
+  let mk () =
+    let b = Cset.create n in
+    for _ = 1 to n / 2 do
+      ignore (Cset.add b (Rng.int rng n))
+    done;
+    b
+  in
+  (mk (), mk ())
+
 let b3_knowledge_merge =
   let n = 8192 in
   let labels = Array.init n (fun i -> i) in
-  let _, src = bitset_pair n 3 in
+  let _, src = cset_pair n 3 in
   Test.make ~name:"B3 knowledge_merge_8192"
     (Staged.stage (fun () ->
-         let k = Knowledge.create ~n ~owner:0 ~labels in
+         let k = Knowledge.create ~n ~owner:0 ~labels () in
          ignore (Knowledge.merge_bits k src)))
 
 let b4_graph_gen =
@@ -102,9 +113,9 @@ let b9_broadcast =
   let n = 65536 in
   let labels = Array.init n (fun i -> i) in
   let full =
-    let b = Bitset.create n in
+    let b = Cset.create n in
     for v = 0 to n - 1 do
-      ignore (Bitset.add b v)
+      ignore (Cset.add b v)
     done;
     b
   in
@@ -134,6 +145,31 @@ let b9_broadcast =
   Test.make ~name:"B9 broadcast_round_65536"
     (Staged.stage (fun () -> sender.Algorithm.round ~round:1 ~send))
 
+(* Compressed-vs-dense set unions at the knowledge-state sizes the
+   large-n engine work targets. Same shape as B1: copy the destination,
+   union a fixed half-full source in. The adaptive set pays container
+   dispatch at 4096, meets its promotion boundary around 65,536 (one
+   container) and must win asymptotically at 1M, where the dense bitmap
+   scans 15,625 words regardless of occupancy. *)
+let union_pair_subjects =
+  List.concat_map
+    (fun n ->
+      let dstb, srcb = bitset_pair n (n lxor 21) in
+      let dstc, srcc = cset_pair n (n lxor 22) in
+      [
+        Test.make
+          ~name:(Printf.sprintf "B10 bitset_union_%d" n)
+          (Staged.stage (fun () ->
+               let dst = Bitset.copy dstb in
+               ignore (Bitset.union_into ~dst ~src:srcb)));
+        Test.make
+          ~name:(Printf.sprintf "B11 cset_union_%d" n)
+          (Staged.stage (fun () ->
+               let dst = Cset.copy dstc in
+               ignore (Cset.union_into ~dst ~src:srcc)));
+      ])
+    [ 4096; 65536; 1048576 ]
+
 (* ---------- measurement and reporting ---------- *)
 
 type row = { name : string; ns_per_run : float; minor_words_per_run : float }
@@ -144,7 +180,8 @@ let estimate ols =
 let measure_subjects () =
   let tests =
     Test.make_grouped ~name:"repro"
-      [ b1_bitset_union; b2_rng; b3_knowledge_merge; b4_graph_gen; b5; b6; b7; b8; b9_broadcast ]
+      ([ b1_bitset_union; b2_rng; b3_knowledge_merge; b4_graph_gen; b5; b6; b7; b8; b9_broadcast ]
+      @ union_pair_subjects)
   in
   let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 2.0) ~stabilize:true () in
@@ -162,6 +199,26 @@ let measure_subjects () =
       times []
   in
   List.sort (fun a b -> String.compare a.name b.name) rows
+
+(* The scale subject: one complete hm run at n = 65,536 (compact
+   knowledge regime, domain-parallel engine at the machine's default job
+   count). Far too slow for an OLS loop — measured as a single shot, so
+   its row is a wall-clock point, not a per-run estimate. Skipped under
+   REPRO_BENCH_QUICK. *)
+let scale_subject () =
+  if Sys.getenv_opt "REPRO_BENCH_QUICK" <> None then []
+  else begin
+    let n = 65536 in
+    let topo = Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n ~seed:1 in
+    let spec = { Run.default_spec with Run.seed = 1; jobs = Pool.default_jobs () } in
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let r = Run.exec_spec spec Hm_gossip.algorithm topo in
+    let dt = Unix.gettimeofday () -. t0 in
+    let dw = Gc.minor_words () -. w0 in
+    assert r.Run.completed;
+    [ { name = "repro/B12 full_run_hm_65536"; ns_per_run = dt *. 1e9; minor_words_per_run = dw } ]
+  end
 
 let human_time ns =
   if Float.is_nan ns then "n/a"
@@ -227,7 +284,11 @@ let () =
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let rows = measure_subjects () in
+  let rows =
+    List.sort
+      (fun a b -> String.compare a.name b.name)
+      (measure_subjects () @ scale_subject ())
+  in
   print_table rows;
   if !json then write_json !out rows
   else if Sys.getenv_opt "REPRO_BENCH_SKIP_EXPERIMENTS" = None then begin

@@ -101,8 +101,9 @@ let jobs_arg =
     & opt (some int) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Worker domains for $(b,--seeds) replication (default: cores - 1, or \
-           \\$(b,REPRO_JOBS)).")
+          "Worker domains. With $(b,--seeds) K > 1: shard the K replicate runs (default: cores \
+           - 1, or \\$(b,REPRO_JOBS)). With a single seed: shard the one run's nodes across N \
+           domains (default: 1); any N produces a byte-identical trace and result.")
 
 let fault_conv =
   let parse s = Repro_engine.Fault.of_string s |> Result.map_error (fun e -> `Msg e) in
@@ -161,6 +162,9 @@ let run_cmd =
           completion;
           max_rounds;
           track_growth = growth && seeds = 1;
+          (* single-seed: --jobs shards this run's nodes instead of
+             sharding replicates *)
+          jobs = (if seeds = 1 then Option.value jobs ~default:1 else 1);
         }
       in
       let exec seed =
@@ -250,7 +254,8 @@ let list_cmd =
 (* --- trace: emit the structured event stream of one run as JSONL --- *)
 
 let trace_cmd =
-  let trace algo family n seed loss crashes plan max_rounds completion asynchronous check output =
+  let trace algo family n seed loss crashes plan max_rounds completion asynchronous check output
+      jobs =
     let open Repro_engine in
     let completion =
       if (crashes > 0 || has_fatal_crashes plan) && completion = Run.Strong then
@@ -287,7 +292,15 @@ let trace_cmd =
           .Run_async.metrics
       else
         (Run.exec_spec
-           { Run.default_spec with Run.seed; fault; completion; max_rounds; trace = sink }
+           {
+             Run.default_spec with
+             Run.seed;
+             fault;
+             completion;
+             max_rounds;
+             trace = sink;
+             jobs = Option.value jobs ~default:1;
+           }
            algo topology)
           .Run.metrics
     with
@@ -334,7 +347,8 @@ let trace_cmd =
     Term.(
       ret
         (const trace $ algo_arg $ topology_arg $ n_arg $ seed_arg $ loss_arg $ crashes_arg
-       $ fault_arg $ max_rounds_arg $ completion_arg $ async_arg $ check_arg $ output_arg))
+       $ fault_arg $ max_rounds_arg $ completion_arg $ async_arg $ check_arg $ output_arg
+       $ jobs_arg))
   in
   Cmd.v
     (Cmd.info "trace"

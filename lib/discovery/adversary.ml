@@ -3,7 +3,7 @@ open Repro_engine
 
 let data_ids (d : Payload.data) =
   match d with
-  | Payload.Bits b -> Bitset.to_array b
+  | Payload.Bits b -> Cset.to_array b.Knowledge.set
   | Payload.Ids ids ->
     let a = Array.copy ids in
     Array.sort compare a;
@@ -24,9 +24,10 @@ let inject_data ~universe ids (d : Payload.data) =
   else
     match d with
     | Payload.Bits b ->
-      let b' = Bitset.copy b in
-      List.iter (fun id -> ignore (Bitset.add b' id)) fresh;
-      Payload.Bits b'
+      let s' = Cset.copy b.Knowledge.set in
+      List.iter (fun id -> ignore (Cset.add s' id)) fresh;
+      (* injected ids invalidate the carried minima: mark them unknown *)
+      Payload.Bits (Knowledge.external_snapshot s')
     | Payload.Ids arr ->
       let extra = List.filter (fun id -> not (Array.exists (Int.equal id) arr)) fresh in
       if extra = [] then d else Payload.Ids (Array.append arr (Array.of_list extra))
@@ -43,7 +44,7 @@ let inject ~universe (p : Payload.t) ids =
   | Payload.Probe | Payload.Halt -> p
 
 let genesis_event ~node knowledge =
-  Trace.Genesis { node; ids = Bitset.to_array (Knowledge.contents knowledge) }
+  Trace.Genesis { node; ids = Cset.to_array (Knowledge.contents knowledge) }
 
 let wrap ~fault ~n ~trace (h : Payload.t Sim.handlers) : Payload.t Sim.handlers =
   let fab_by_node = Array.make (max n 1) [] in

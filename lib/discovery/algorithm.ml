@@ -21,6 +21,6 @@ let never_quiescent () = false
 type t = { name : string; description : string; make : ctx -> instance }
 
 let initial_knowledge ctx =
-  let k = Knowledge.create ~n:ctx.n ~owner:ctx.node ~labels:ctx.labels in
+  let k = Knowledge.create ~n:ctx.n ~owner:ctx.node ~labels:ctx.labels () in
   Array.iter (fun v -> ignore (Knowledge.add k v)) ctx.neighbors;
   k

@@ -42,14 +42,14 @@ let strong_done instances ~alive n =
 
 let survivors_done instances ~alive n =
   (* every alive node's knowledge must cover the alive set *)
-  let alive_set = Bitset.create n in
+  let alive_set = Cset.create n in
   for v = 0 to n - 1 do
-    if alive v then ignore (Bitset.add alive_set v)
+    if alive v then ignore (Cset.add alive_set v)
   done;
   let ok = ref true in
   let v = ref 0 in
   while !ok && !v < n do
-    if alive !v && not (Bitset.subset alive_set (Knowledge.contents instances.(!v).Algorithm.knowledge))
+    if alive !v && not (Cset.subset alive_set (Knowledge.contents instances.(!v).Algorithm.knowledge))
     then ok := false;
     incr v
   done;

@@ -11,8 +11,15 @@ type state = {
   mutable prev_sent : int;  (* mark carried by the report one round ago *)
   mutable last_sent : int;  (* mark carried by the latest report *)
   mutable report_target : int;  (* current head candidate, -1 before the first report *)
-  upward_done : Bitset.t;  (* identifiers that need not flow upward again *)
-  suspects : Bitset.t;  (* nodes suspected crashed (silent head candidates) *)
+  upward_done : Cset.t;  (* identifiers that need not flow upward again *)
+  mutable last_custody : Knowledge.snap option;
+      (* compact regime: physical identity of the last snapshot absorbed
+         into [upward_done]. A head's reply and broadcast of one version
+         are the same cached snapshot, so cluster members see every view
+         twice per round — the second absorption is skipped. Never set in
+         tracked mode, where the golden traces pin the re-union (and the
+         re-marking of ids a [remove] had cleared in between). *)
+  suspects : Cset.t;  (* nodes suspected crashed (silent head candidates) *)
   mutable silence : int;  (* rounds since the current target last answered *)
   mutable halted : bool;  (* local termination decision reached *)
   mutable quiet_rounds : int;  (* consecutive uninformative rounds (heads) *)
@@ -71,8 +78,9 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
       prev_sent = 0;
       last_sent = 0;
       report_target = -1;
-      upward_done = Bitset.create ctx.n;
-      suspects = Bitset.create ctx.n;
+      upward_done = Cset.create ctx.n;
+      last_custody = None;
+      suspects = Cset.create ctx.n;
       silence = 0;
       halted = false;
       quiet_rounds = 0;
@@ -84,6 +92,41 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
   (* O(1) frozen view of the live knowledge; at most two per round (the
      reply to reporters and the head broadcast), so no laziness needed *)
   let snap () = Payload.Bits (Knowledge.snapshot st.knowledge) in
+  (* Steady-state heads re-send the same full view every round (the
+     broadcast and the reply to reporters): cache the whole message per
+     knowledge version so an unchanged view costs zero allocation. *)
+  let share_msg = ref exchange_empty in
+  let share_version = ref (-1) in
+  let reply_msg = ref exchange_empty in
+  let reply_version = ref (-1) in
+  let share_snap () =
+    let v = Knowledge.version st.knowledge in
+    if !share_version <> v then begin
+      share_msg := Payload.Share (snap ());
+      share_version := v
+    end;
+    !share_msg
+  in
+  let reply_snap () =
+    let v = Knowledge.version st.knowledge in
+    if !reply_version <> v then begin
+      reply_msg := Payload.Reply (snap ());
+      reply_version := v
+    end;
+    !reply_msg
+  in
+  (* Broadcast suppression (compact regime): a head whose knowledge is
+     unchanged since its last broadcast would re-send the identical view
+     to the identical audience — the known set is a function of the
+     version — so the quiet tail between convergence and the halt
+     decision is pure redundancy. It is safe to skip even under loss:
+     every reporter pulls the full view through its reply each round, so
+     a node that missed a broadcast still completes; the broadcast only
+     accelerates the spread of *new* information, and anything new bumps
+     the version and re-arms it. Tracked mode keeps the historic
+     always-broadcast behaviour that the golden traces pin down. *)
+  let bcast_version = ref (-1) in
+  let tracked = Knowledge.is_tracked knowledge in
   let round ~round:_ ~send =
     if st.halted then begin
       (* Quiescent: answer any straggling reporter with the full view
@@ -92,7 +135,7 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
          completes and stops. Flow still decays to zero: each straggler
          report costs exactly two replies. *)
       if not (Intvec.is_empty st.pending_replies) then begin
-        let reply = Payload.Reply (Payload.Bits (Knowledge.snapshot st.knowledge)) in
+        let reply = reply_snap () in
         Intvec.iter
           (fun dst ->
             send ~dst reply;
@@ -105,12 +148,12 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
     (* Answer last round's reporters with the current full view (one
        shared snapshot): this is the downward half of the exchange. *)
     if not (Intvec.is_empty st.pending_replies) then begin
-      let reply = Payload.Reply (snap ()) in
+      let reply = reply_snap () in
       Intvec.iter (fun dst -> send ~dst reply) st.pending_replies;
       Intvec.clear st.pending_replies
     end;
     let head =
-      if Bitset.is_empty st.suspects then Knowledge.min_known st.knowledge
+      if Cset.is_empty st.suspects then Knowledge.min_known st.knowledge
       else Knowledge.min_known_excluding st.knowledge ~suspects:st.suspects
     in
     (* local termination detection (heads only): nothing new learned and
@@ -140,7 +183,7 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
       else begin
         st.silence <- st.silence + 1;
         if st.silence > patience then begin
-          ignore (Bitset.add st.suspects head);
+          ignore (Cset.add st.suspects head);
           st.silence <- 0
         end
       end;
@@ -163,7 +206,7 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
             let total = Intvec.slice_length recent in
             let keep = ref 0 in
             for i = 0 to total - 1 do
-              if not (Bitset.mem st.upward_done (Intvec.slice_get recent i)) then incr keep
+              if not (Cset.mem st.upward_done (Intvec.slice_get recent i)) then incr keep
             done;
             if !keep = 0 then exchange_empty
             else if !keep = total then Payload.Exchange (Payload.Delta recent)
@@ -172,7 +215,7 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
               let j = ref 0 in
               for i = 0 to total - 1 do
                 let v = Intvec.slice_get recent i in
-                if not (Bitset.mem st.upward_done v) then begin
+                if not (Cset.mem st.upward_done v) then begin
                   fresh.(!j) <- v;
                   incr j
                 end
@@ -191,13 +234,17 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
       | Off -> ()
       | All ->
         if Knowledge.cardinal st.knowledge > 1 then begin
-          let msg = Payload.Share (snap ()) in
-          Knowledge.iter_known st.knowledge (fun dst -> if dst <> self then send ~dst msg)
+          let v = Knowledge.version st.knowledge in
+          if tracked || v <> !bcast_version then begin
+            bcast_version := v;
+            let msg = share_snap () in
+            Knowledge.iter_known st.knowledge (fun dst -> if dst <> self then send ~dst msg)
+          end
         end
       | Cap k ->
         let targets = Knowledge.random_known_among st.knowledge ctx.rng ~k in
         if Array.length targets > 0 then begin
-          let msg = Payload.Share (snap ()) in
+          let msg = share_snap () in
           Array.iter (fun dst -> send ~dst msg) targets
         end
     end
@@ -210,11 +257,27 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
      the snapshot came from a foreign node. Small explicit lists
      (introductions) are head identifiers that must propagate and are
      never marked done. *)
+  let absorb_custody (b : Knowledge.snap) =
+    if tracked then ignore (Cset.union_into ~dst:st.upward_done ~src:b.set)
+    else begin
+      match st.last_custody with
+      | Some p when p == b -> ()
+      | _ ->
+        ignore (Cset.union_into ~dst:st.upward_done ~src:b.set);
+        st.last_custody <- Some b
+    end
+  in
   let note_custody ~src d =
     match (d : Payload.data) with
     | Payload.Bits b ->
-      ignore (Bitset.union_into ~dst:st.upward_done ~src:b);
-      if src <> st.report_target then ignore (Bitset.remove st.upward_done src)
+      absorb_custody b;
+      if src <> st.report_target then begin
+        ignore (Cset.remove st.upward_done src);
+        (* Compact knowledge does not enter bulk-merged ids into the
+           learn order, but the sharer's own existence is now in our
+           custody and must flow upward: make it an explicit learn. *)
+        Knowledge.note_explicit st.knowledge src
+      end
     | Payload.Ids _ | Payload.Delta _ -> ()
   in
   (* Quiescence is reversible: a message that teaches anything new, or
@@ -228,7 +291,7 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
     end
   in
   let receive ~src payload =
-    if Bitset.mem st.suspects src then ignore (Bitset.remove st.suspects src);
+    if Cset.mem st.suspects src then ignore (Cset.remove st.suspects src);
     if src = st.report_target then st.silence <- 0;
     match (payload : Payload.t) with
     | Exchange d ->
@@ -240,11 +303,11 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
     | Reply d ->
       if Payload.merge_data st.knowledge d > 0 then wake ();
       if src = st.report_target then begin
-        st.acked_upto <- max st.acked_upto st.prev_sent;
+        (if st.prev_sent > st.acked_upto then st.acked_upto <- st.prev_sent);
         match d with
-        | Payload.Bits b -> ignore (Bitset.union_into ~dst:st.upward_done ~src:b)
-        | Payload.Ids ids -> Array.iter (fun v -> ignore (Bitset.add st.upward_done v)) ids
-        | Payload.Delta s -> Intvec.slice_iter (fun v -> ignore (Bitset.add st.upward_done v)) s
+        | Payload.Bits b -> absorb_custody b
+        | Payload.Ids ids -> Array.iter (fun v -> ignore (Cset.add st.upward_done v)) ids
+        | Payload.Delta s -> Intvec.slice_iter (fun v -> ignore (Cset.add st.upward_done v)) s
       end
       else note_custody ~src d
     | Share d ->

@@ -1,60 +1,174 @@
 open Repro_util
 
+(* Two regimes over the same API (see the .mli):
+
+   - tracked (small n): per-identifier learn order, exactly the historic
+     behaviour — every merge enumerates its fresh identifiers into
+     [order], so delta windows, broadcast fan-out order and sampling are
+     all functions of the delivery sequence. This is the regime the
+     golden traces and live-backend certification pin down.
+
+   - compact (large n): bulk merges are container-level set unions with
+     O(1) argmin maintenance from the payload's carried minima — no
+     per-identifier work, which is what makes a full-knowledge run
+     O(total containers merged) instead of Θ(n²) learn events. [order]
+     then holds only *explicitly* learned identifiers (singletons and
+     id-list batches): exactly the ones hm-style custody must forward
+     upward, while snapshot contents stay in the sharer's custody. *)
+
+type snap = {
+  set : Cset.t;
+  sbest : int;
+  sbest_raw : int;
+  mutable vbytes : int;  (* Wire's cached varint body size; -1 until computed *)
+}
+
 type t = {
   owner : int;
-  bits : Bitset.t;
-  order : Intvec.t;  (* known ids in learn order; order.(0) = owner *)
+  bits : Cset.t;
+  order : Intvec.t;  (* tracked: known ids in learn order; compact: explicit learns *)
+  noted : Cset.t;  (* compact only: membership of [order] *)
+  tracked : bool;
   labels : int array;
   mutable best : int;  (* argmin of labels over the known set *)
   mutable best_raw : int;  (* min raw index over the known set *)
+  mutable version : int;  (* bumped on every change; keys the snapshot cache *)
+  mutable snap_cache : snap option;
+  mutable snap_version : int;
+  mutable last_merged : snap option;
+      (* physical identity of the last fully-absorbed snapshot: merging
+         it again is a no-op (frozen snapshots are immutable and [bits]
+         never shrinks), so the broadcast steady state — every round the
+         head re-sends the same cached snapshot — skips the set union
+         entirely *)
   fy_pos : Intvec.t;  (* sampling scratch: positions displaced this call *)
   fy_val : Intvec.t;  (* sampling scratch: their current values *)
 }
 
-let create ~n ~owner ~labels =
+(* Regime boundary, overridable for tests (and experiments comparing the
+   two regimes at equal n). Below or at the threshold a node's order
+   vector is at worst [tracked_max] words, so per-node memory stays
+   bounded; above it the compact regime keeps knowledge O(containers)
+   once saturated. *)
+let tracked_max = ref 16384
+
+let create ?tracked ~n ~owner ~labels () =
   if owner < 0 || owner >= n then invalid_arg "Knowledge.create: owner out of range";
   if Array.length labels <> n then invalid_arg "Knowledge.create: labels length mismatch";
-  let bits = Bitset.create n in
-  ignore (Bitset.add bits owner);
-  (* The learn order grows to the full cardinality on completed runs, so
-     doubling from a small capacity would pay every intermediate size in
-     minor-heap allocations; starting at min n 512 words the vector is
-     either exactly sized (small n) or born on the major heap. *)
-  let order = Intvec.create ~capacity:(min n 512) () in
+  let tracked = match tracked with Some b -> b | None -> n <= !tracked_max in
+  let bits = Cset.create n in
+  ignore (Cset.add bits owner);
+  (* Tracked learn orders grow to the full cardinality on completed
+     runs: starting at min n 512 words the vector is either exactly
+     sized (small n) or born on the major heap. Compact orders hold only
+     explicit learns — a handful per node — so they start tiny. *)
+  let order = Intvec.create ~capacity:(if tracked then min n 512 else 8) () in
   Intvec.push order owner;
+  let noted = if tracked then Cset.create 0 else Cset.create n in
+  if not tracked then ignore (Cset.add noted owner);
   {
     owner;
     bits;
     order;
+    noted;
+    tracked;
     labels;
     best = owner;
     best_raw = owner;
+    version = 0;
+    snap_cache = None;
+    snap_version = -1;
+    last_merged = None;
     fy_pos = Intvec.create ~capacity:1 ();
     fy_val = Intvec.create ~capacity:1 ();
   }
 
 let owner t = t.owner
-let universe t = Bitset.capacity t.bits
-let cardinal t = Bitset.cardinal t.bits
-let knows t v = Bitset.mem t.bits v
-let is_complete t = Bitset.is_full t.bits
+let universe t = Cset.capacity t.bits
+let cardinal t = Cset.cardinal t.bits
+let knows t v = Cset.mem t.bits v
+let is_complete t = Cset.is_full t.bits
+let is_tracked t = t.tracked
+let version t = t.version
 
-let note t v =
-  Intvec.push t.order v;
+let bump_best t v =
   if t.labels.(v) < t.labels.(t.best) then t.best <- v;
   if v < t.best_raw then t.best_raw <- v
 
+(* tracked: a fresh identifier enters the learn order *)
+let note t v =
+  Intvec.push t.order v;
+  bump_best t v
+
+(* compact: best maintenance without order growth (bulk merges) *)
+let note_best t v = bump_best t v
+
+(* compact: a fresh *explicitly* learned identifier *)
+let note_explicit_fresh t v =
+  Intvec.push t.order v;
+  ignore (Cset.add t.noted v);
+  bump_best t v
+
 let add t v =
-  let fresh = Bitset.add t.bits v in
-  if fresh then note t v;
+  let fresh = Cset.add t.bits v in
+  if fresh then begin
+    if t.tracked then note t v else note_explicit_fresh t v;
+    t.version <- t.version + 1
+  end
+  else if (not t.tracked) && not (Cset.mem t.noted v) then begin
+    (* Already known through a bulk snapshot, but now learned explicitly:
+       enter the explicit stream so custody-style delta reports forward
+       it upward. Tracked mode needs no equivalent — the id is already
+       somewhere in the full learn order. *)
+    Intvec.push t.order v;
+    ignore (Cset.add t.noted v)
+  end;
   fresh
 
-let merge_bits t src = Bitset.union_into_with ~dst:t.bits ~src (note t)
+let note_explicit t v =
+  if (not t.tracked) && Cset.mem t.bits v && not (Cset.mem t.noted v) then begin
+    Intvec.push t.order v;
+    ignore (Cset.add t.noted v)
+  end
+
+let merge_bits t src =
+  let added =
+    if t.tracked then Cset.union_into_with ~dst:t.bits ~src (note t)
+    else Cset.union_into_with ~dst:t.bits ~src (note_best t)
+  in
+  if added > 0 then t.version <- t.version + 1;
+  added
+
+let merge_snapshot t (s : snap) =
+  match t.last_merged with
+  | Some prev when prev == s -> 0
+  | _ ->
+    let added =
+      if t.tracked then Cset.union_into_with ~dst:t.bits ~src:s.set (note t)
+      else if s.sbest >= 0 then begin
+        (* O(containers): the argmin over the union is the smaller of the
+           two argmins, carried by the snapshot — no element enumeration *)
+        let a = Cset.union_into ~dst:t.bits ~src:s.set in
+        if a > 0 then begin
+          if t.labels.(s.sbest) < t.labels.(t.best) then t.best <- s.sbest;
+          let raw = if s.sbest_raw >= 0 then s.sbest_raw else Cset.min_elt s.set in
+          if raw < t.best_raw then t.best_raw <- raw
+        end;
+        a
+      end
+      else
+        (* snapshot of unknown minima (wire-decoded or adversarial):
+           enumerate the fresh identifiers to maintain the argmin *)
+        Cset.union_into_with ~dst:t.bits ~src:s.set (note_best t)
+    in
+    if added > 0 then t.version <- t.version + 1;
+    t.last_merged <- Some s;
+    added
 
 (* Identifier batches are semantically sets: the order a sender happened
    to serialise them in is a transport artefact (an in-memory delta
    arrives in the sender's learn order, the wire codecs deliver sorted
-   ids, bitset unions walk ascending). Folding members in ascending id
+   ids, set unions walk ascending). Folding members in ascending id
    order makes the learn order — and everything derived from it:
    broadcast fan-out order, sampling, delta windows — a function of the
    delivery sequence alone, which is what lets the live backends certify
@@ -67,8 +181,8 @@ let merge_seq t ~len ~get =
   done;
   let learned = ref 0 in
   let absorb v =
-    if Bitset.add t.bits v then begin
-      note t v;
+    if Cset.add t.bits v then begin
+      if t.tracked then note t v else note_explicit_fresh t v;
       incr learned
     end
   in
@@ -81,15 +195,29 @@ let merge_seq t ~len ~get =
     Array.sort (fun (x : int) y -> compare x y) a;
     Array.iter absorb a
   end;
+  if !learned > 0 then t.version <- t.version + 1;
   !learned
 
 let merge_ids t ids = merge_seq t ~len:(Array.length ids) ~get:(Array.get ids)
 let merge_slice t s = merge_seq t ~len:(Intvec.slice_length s) ~get:(Intvec.slice_get s)
 
-(* O(1): an immutable view of the live bitset. The live set privatises
-   its storage on the next write (copy-on-write), so the snapshot is a
-   stable value even though no words were copied here. *)
-let snapshot t = Bitset.freeze t.bits
+(* O(containers): an immutable view of the live set plus its carried
+   minima. The live set privatises its storage on the next write
+   (copy-on-write), so the snapshot is a stable value even though
+   nothing was copied here. Cached per [version] so a node whose
+   knowledge is stable (the broadcast steady state) re-sends the same
+   snapshot value with no allocation at all. *)
+let snapshot t =
+  match t.snap_cache with
+  | Some s when t.snap_version = t.version -> s
+  | _ ->
+    let s = { set = Cset.freeze t.bits; sbest = t.best; sbest_raw = t.best_raw; vbytes = -1 } in
+    t.snap_cache <- Some s;
+    t.snap_version <- t.version;
+    s
+
+let external_snapshot set = { set; sbest = -1; sbest_raw = -1; vbytes = -1 }
+
 let contents t = t.bits
 
 let mark t = Intvec.length t.order
@@ -103,23 +231,34 @@ let since_slice t ~mark =
     invalid_arg "Knowledge.since_slice: invalid mark";
   Intvec.slice t.order ~pos:mark ~len:(Intvec.length t.order - mark)
 
-let iter_known t f = Intvec.iter f t.order
+let iter_known t f = if t.tracked then Intvec.iter f t.order else Cset.iter f t.bits
 
 let random_known t rng =
-  let len = Intvec.length t.order in
-  if len <= 1 then None
+  if t.tracked then begin
+    let len = Intvec.length t.order in
+    if len <= 1 then None
+    else begin
+      (* The owner sits somewhere in the order vector; draw until we miss
+         it. With ≥ 2 elements each draw succeeds with probability ≥ 1/2. *)
+      let rec draw () =
+        let v = Intvec.get t.order (Rng.int rng len) in
+        if v = t.owner then draw () else v
+      in
+      Some (draw ())
+    end
+  end
   else begin
-    (* The owner sits somewhere in the order vector; draw until we miss
-       it. With ≥ 2 elements each draw succeeds with probability ≥ 1/2. *)
-    let rec draw () =
-      let v = Intvec.get t.order (Rng.int rng len) in
-      if v = t.owner then draw () else v
-    in
-    Some (draw ())
+    let card = Cset.cardinal t.bits in
+    if card <= 1 then None
+    else begin
+      (* rank-space draw over the set minus the owner: one RNG draw *)
+      let orank = Cset.rank t.bits t.owner in
+      let r = Rng.int rng (card - 1) in
+      Some (Cset.choose_nth t.bits (if r >= orank then r + 1 else r))
+    end
   end
 
-(* Virtual partial Fisher–Yates over the non-owner ranks (the owner is
-   always order.(0), so the eligible ranks are 1 .. len-1). The rank
+(* Virtual partial Fisher–Yates over the non-owner ranks. The rank
    permutation is conceptually the identity at the start of every call,
    and a k-draw sample displaces at most k positions, so instead of
    materialising an [avail]-sized rank array — whose repeated growth
@@ -127,56 +266,93 @@ let random_known t rng =
    record just the displaced (position, value) pairs in two reused
    scratch vectors. A lookup scans the ≤ k entries backwards (latest
    write wins), keeping the call allocation-free beyond the result
-   array while still issuing exactly [min k (cardinal-1)] RNG draws. *)
+   array while still issuing exactly [min k (cardinal-1)] RNG draws.
+
+   Tracked mode ranks over the learn order (owner at rank 0, eligible
+   ranks 1..len-1); compact mode ranks over the set in ascending id
+   order with the owner's rank spliced out. *)
 let rank_at t x =
   let n = Intvec.length t.fy_pos in
   let rec scan i = if i < 0 then x + 1 else if Intvec.get t.fy_pos i = x then Intvec.get t.fy_val i else scan (i - 1) in
   scan (n - 1)
 
+let rank_at0 t x =
+  let n = Intvec.length t.fy_pos in
+  let rec scan i = if i < 0 then x else if Intvec.get t.fy_pos i = x then Intvec.get t.fy_val i else scan (i - 1) in
+  scan (n - 1)
+
 let random_known_among t rng ~k =
-  let len = Intvec.length t.order in
-  let avail = len - 1 in
-  let k = min k avail in
-  if k <= 0 then [||]
-  else if k = 1 then
-    (* Scratch-free fast path; identical RNG stream and result to the
-       general loop's first iteration (ranks are the identity here). *)
-    [| Intvec.get t.order (Rng.int rng avail + 1) |]
+  if t.tracked then begin
+    let len = Intvec.length t.order in
+    let avail = len - 1 in
+    let k = min k avail in
+    if k <= 0 then [||]
+    else if k = 1 then
+      (* Scratch-free fast path; identical RNG stream and result to the
+         general loop's first iteration (ranks are the identity here). *)
+      [| Intvec.get t.order (Rng.int rng avail + 1) |]
+    else begin
+      Intvec.clear t.fy_pos;
+      Intvec.clear t.fy_val;
+      let out = Array.make k 0 in
+      for i = 0 to k - 1 do
+        let j = i + Rng.int rng (avail - i) in
+        let vj = rank_at t j in
+        let vi = rank_at t i in
+        out.(i) <- Intvec.get t.order vj;
+        (* Position [i] is never read again; only [j]'s displacement must
+           be visible to later iterations. *)
+        Intvec.push t.fy_pos j;
+        Intvec.push t.fy_val vi
+      done;
+      out
+    end
+  end
   else begin
-    Intvec.clear t.fy_pos;
-    Intvec.clear t.fy_val;
-    let out = Array.make k 0 in
-    for i = 0 to k - 1 do
-      let j = i + Rng.int rng (avail - i) in
-      let vj = rank_at t j in
-      let vi = rank_at t i in
-      out.(i) <- Intvec.get t.order vj;
-      (* Position [i] is never read again; only [j]'s displacement must
-         be visible to later iterations. *)
-      Intvec.push t.fy_pos j;
-      Intvec.push t.fy_val vi
-    done;
-    out
+    let avail = Cset.cardinal t.bits - 1 in
+    let k = min k avail in
+    if k <= 0 then [||]
+    else begin
+      let orank = Cset.rank t.bits t.owner in
+      let select e = Cset.choose_nth t.bits (if e >= orank then e + 1 else e) in
+      if k = 1 then [| select (Rng.int rng avail) |]
+      else begin
+        Intvec.clear t.fy_pos;
+        Intvec.clear t.fy_val;
+        let out = Array.make k 0 in
+        for i = 0 to k - 1 do
+          let j = i + Rng.int rng (avail - i) in
+          let vj = rank_at0 t j in
+          let vi = rank_at0 t i in
+          out.(i) <- select vj;
+          Intvec.push t.fy_pos j;
+          Intvec.push t.fy_val vi
+        done;
+        out
+      end
+    end
   end
 
 let min_known t = t.best
 let min_known_raw t = t.best_raw
 
 let min_known_excluding t ~suspects =
-  if Bitset.capacity suspects <> Bitset.capacity t.bits then
+  if Cset.capacity suspects <> Cset.capacity t.bits then
     invalid_arg "Knowledge.min_known_excluding: capacity mismatch";
-  if not (Bitset.mem suspects t.best) then t.best
+  if not (Cset.mem suspects t.best) then t.best
   else begin
     (* A suspected owner competes like any other node: it is skipped
        while an unsuspected candidate exists and is only returned as the
        last-resort fallback when every known node (including the owner)
        is suspected. *)
     let best = ref (-1) in
-    Intvec.iter
-      (fun v ->
-        if (not (Bitset.mem suspects v)) && (!best < 0 || t.labels.(v) < t.labels.(!best)) then
-          best := v)
-      t.order;
+    let consider v =
+      if (not (Cset.mem suspects v)) && (!best < 0 || t.labels.(v) < t.labels.(!best)) then
+        best := v
+    in
+    if t.tracked then Intvec.iter consider t.order else Cset.iter consider t.bits;
     if !best < 0 then t.owner else !best
   end
-let elements_in_learn_order t = Intvec.to_array t.order
+
+let elements_in_learn_order t =
+  if t.tracked then Intvec.to_array t.order else Cset.to_array t.bits

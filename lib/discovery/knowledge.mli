@@ -2,13 +2,27 @@
 
     Combines three views that the algorithms need at different costs:
 
-    - a dense {!Repro_util.Bitset.t} for O(1) membership and O(n/64)
-      whole-set merges;
-    - an insertion-ordered element vector, giving O(1) uniform random
-      choice over the known set and O(1) "what did I learn since round r"
-      deltas;
+    - an adaptive compressed set ({!Repro_util.Cset.t}) for O(1)
+      membership and container-level whole-set merges — O(1) per
+      saturated container, the dominant case once discovery converges;
+    - a learn-order element vector, giving O(1) "what did I learn since
+      round r" deltas and uniform random choice over the known set;
     - the running argmin of the (label-permuted) identifiers, for
       min-pointer style algorithms.
+
+    Two regimes share this API, switched on the universe size at
+    {!create} (threshold {!tracked_max}):
+
+    - {b tracked} (small [n]): the learn order holds {e every} known
+      identifier, and every merge enumerates its fresh ids — the
+      historic behaviour that golden traces and live-backend
+      certification pin down.
+    - {b compact} (large [n]): bulk snapshot merges are container-level
+      unions with O(1) argmin maintenance from payload-carried minima;
+      the learn order holds only {e explicitly} learned identifiers
+      (singletons and id-list batches) — exactly the ones custody-style
+      protocols must forward — so per-node memory stays O(containers +
+      explicit learns) instead of Θ(n) words.
 
     A knowledge set always contains its owner. *)
 
@@ -16,11 +30,31 @@ open Repro_util
 
 type t
 
-val create : n:int -> owner:int -> labels:int array -> t
-(** [create ~n ~owner ~labels] is the singleton knowledge {owner}.
+type snap = {
+  set : Cset.t;  (** frozen contents *)
+  sbest : int;  (** label-argmin over [set], or [-1] when unknown *)
+  sbest_raw : int;  (** min raw id over [set], or [-1] when unknown *)
+  mutable vbytes : int;
+      (** {!Wire}'s cached varint body size for [set]; [-1] until computed.
+          Written only from the serialisation path (single-threaded). *)
+}
+(** An immutable snapshot of a knowledge set, used as a message payload
+    shared across a whole fan-out. Carrying the minima lets a compact
+    receiver merge in O(containers) without enumerating elements; the
+    frozen contents are immutable once published, so snapshots stay safe
+    to share across domains. *)
+
+val tracked_max : int ref
+(** Universe-size threshold for the tracked regime (default 16384).
+    Mutable so tests and experiments can force either regime; set it
+    before creating knowledge sets, never while they are live. *)
+
+val create : ?tracked:bool -> n:int -> owner:int -> labels:int array -> unit -> t
+(** [create ~n ~owner ~labels ()] is the singleton knowledge {owner}.
     [labels] is the shared label permutation: [labels.(v)] is the
     comparison identifier of node [v] (see DESIGN.md §7). The array is
-    captured by reference and must not be mutated.
+    captured by reference and must not be mutated. [?tracked] overrides
+    the regime choice ([n <= !tracked_max] by default).
     @raise Invalid_argument if [owner] is out of range or [labels] has
     length ≠ [n]. *)
 
@@ -33,11 +67,37 @@ val knows : t -> int -> bool
 val is_complete : t -> bool
 (** Knows all [n] nodes. *)
 
-val add : t -> int -> bool
-(** Learn one identifier; [true] iff it was new. *)
+val is_tracked : t -> bool
+(** Whether this set is in the tracked (full learn order) regime. *)
 
-val merge_bits : t -> Bitset.t -> int
-(** Merge a bitset of identifiers; returns the number learned. *)
+val version : t -> int
+(** A counter bumped on every change to the known set (and nothing
+    else): callers may cache values derived from the contents — an
+    encoded payload, a whole message — and reuse them while the version
+    is unchanged. *)
+
+val add : t -> int -> bool
+(** Learn one identifier explicitly; [true] iff it was new. In compact
+    mode an explicitly learned id enters the learn order even when it
+    was already known through a bulk snapshot (so custody deltas forward
+    it); the return value still reports set-membership freshness. *)
+
+val note_explicit : t -> int -> unit
+(** Compact-mode only (no-op when tracked): record that an
+    already-known identifier was just learned {e explicitly}, entering
+    it into the learn order if not already there. Used by custody
+    protocols when responsibility for an id is transferred. *)
+
+val merge_bits : t -> Cset.t -> int
+(** Merge a raw set of identifiers; returns the number learned. The
+    compact regime enumerates only the {e fresh} elements (to maintain
+    the argmin); prefer {!merge_snapshot} where a payload is at hand. *)
+
+val merge_snapshot : t -> snap -> int
+(** Merge a snapshot payload; returns the number learned. Tracked:
+    identical to {!merge_bits} on [snap.set]. Compact: a container-level
+    union plus O(1) argmin update from the carried minima — no element
+    enumeration (unless the minima are unknown, e.g. wire-decoded). *)
 
 val merge_ids : t -> int array -> int
 (** Merge an explicit identifier list; returns the number learned.
@@ -54,14 +114,22 @@ val merge_slice : t -> Intvec.slice -> int
     returns the number learned. Same ascending-order canonicalisation as
     {!merge_ids}. *)
 
-val snapshot : t -> Bitset.t
-(** An immutable view of the current bitset, suitable for use as a
-    message payload shared across a whole fan-out. O(1): the view is a
-    {!Repro_util.Bitset.freeze} of the live set, which privatises its
-    storage on its next write, so no words are copied here. *)
+val snapshot : t -> snap
+(** An immutable snapshot of the current contents with its minima,
+    suitable for sharing across a whole fan-out. O(containers) the first
+    time after a change, O(1) (cached) while the {!version} is stable —
+    a steady-state broadcaster re-sends the same snapshot value with no
+    allocation. The underlying set is a {!Repro_util.Cset.freeze} of the
+    live set, which privatises its storage on its next write, so no
+    payload words are copied here. *)
 
-val contents : t -> Bitset.t
-(** The live bitset — read-only alias for completion checks; callers must
+val external_snapshot : Cset.t -> snap
+(** Wrap a set not derived from a knowledge value (wire decode,
+    adversarial injection) as a snapshot with unknown minima; compact
+    receivers fall back to enumerating its fresh elements on merge. *)
+
+val contents : t -> Cset.t
+(** The live set — read-only alias for completion checks; callers must
     not mutate it. *)
 
 val mark : t -> int
@@ -78,10 +146,9 @@ val since_slice : t -> mark:int -> Intvec.slice
     @raise Invalid_argument for a stale/invalid mark. *)
 
 val iter_known : t -> (int -> unit) -> unit
-(** Iterate the known identifiers in learn order (starting with the
-    owner) without materialising an array — the allocation-free
-    counterpart of {!elements_in_learn_order} for broadcast fan-outs.
-    The knowledge set must not be mutated during iteration. *)
+(** Iterate the known identifiers without materialising an array.
+    Tracked: learn order (starting with the owner). Compact: ascending
+    id order. The knowledge set must not be mutated during iteration. *)
 
 val random_known : t -> Rng.t -> int option
 (** A uniformly random known identifier excluding the owner; [None] when
@@ -90,10 +157,11 @@ val random_known : t -> Rng.t -> int option
 val random_known_among : t -> Rng.t -> k:int -> int array
 (** Up to [k] distinct uniform known identifiers excluding the owner
     (fewer when the set is small). Virtual partial Fisher–Yates over the
-    learn order's ranks: exactly [min k (cardinal - 1)] RNG draws, even
-    when [k] approaches the number of known nodes, and no allocation
-    beyond the result (the displaced ranks live in a reused scratch,
-    scanned in O(k) per draw). *)
+    non-owner ranks: exactly [min k (cardinal - 1)] RNG draws, even when
+    [k] approaches the number of known nodes, and no allocation beyond
+    the result (the displaced ranks live in a reused scratch, scanned in
+    O(k) per draw). Tracked mode ranks over the learn order; compact
+    mode over ascending ids — the distribution is uniform either way. *)
 
 val min_known : t -> int
 (** The known node with the smallest label (possibly the owner). *)
@@ -103,12 +171,14 @@ val min_known_raw : t -> int
     comparison key of the deterministic baseline, which cannot assume
     randomly-placed identifiers. *)
 
-val min_known_excluding : t -> suspects:Bitset.t -> int
-(** The known node with the smallest label whose bit is not set in
-    [suspects]. The owner competes like any other known node — a
-    suspected owner is skipped too — and is returned only as the
-    last-resort fallback when every known node is suspected.
-    O(cardinal) — used only on the failure-handling path.
+val min_known_excluding : t -> suspects:Cset.t -> int
+(** The known node with the smallest label not in [suspects]. The owner
+    competes like any other known node — a suspected owner is skipped
+    too — and is returned only as the last-resort fallback when every
+    known node is suspected. O(cardinal) — used only on the
+    failure-handling path.
     @raise Invalid_argument if [suspects] has the wrong capacity. *)
 
 val elements_in_learn_order : t -> int array
+(** Tracked: the learn order. Compact: ascending id order (the learn
+    order is partial there). *)

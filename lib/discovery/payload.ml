@@ -1,18 +1,18 @@
 open Repro_util
 
-type data = Bits of Bitset.t | Ids of int array | Delta of Intvec.slice
+type data = Bits of Knowledge.snap | Ids of int array | Delta of Intvec.slice
 
 type t = Share of data | Exchange of data | Reply of data | Probe | Halt
 
 let data_size = function
-  | Bits b -> Bitset.cardinal b
+  | Bits b -> Cset.cardinal b.Knowledge.set
   | Ids a -> Array.length a
   | Delta s -> Intvec.slice_length s
 
 let measure = function Share d | Exchange d | Reply d -> data_size d | Probe | Halt -> 1
 
 let merge_data knowledge = function
-  | Bits b -> Knowledge.merge_bits knowledge b
+  | Bits b -> Knowledge.merge_snapshot knowledge b
   | Ids a -> Knowledge.merge_ids knowledge a
   | Delta s -> Knowledge.merge_slice knowledge s
 

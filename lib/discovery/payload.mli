@@ -8,10 +8,11 @@
 open Repro_util
 
 type data =
-  | Bits of Bitset.t
-      (** Full-knowledge snapshot. Payload bitsets are immutable by
-          convention and may be shared across fan-out (senders pass a
-          {!Repro_util.Bitset.freeze} view of their live set). *)
+  | Bits of Knowledge.snap
+      (** Full-knowledge snapshot with carried minima. Payload snapshots
+          are immutable by convention and may be shared across fan-out
+          (senders pass {!Knowledge.snapshot}, a copy-on-write freeze of
+          their live set). *)
   | Ids of int array  (** Explicit identifier list (small sets). *)
   | Delta of Intvec.slice
       (** Zero-copy window into the sender's learn order — the

@@ -28,6 +28,7 @@ type spec = {
   track_growth : bool;
   encoding : Wire.encoding;
   trace : Trace.sink;
+  jobs : int;
 }
 
 let default_spec =
@@ -39,10 +40,11 @@ let default_spec =
     track_growth = false;
     encoding = Wire.Adaptive;
     trace = Trace.null;
+    jobs = 1;
   }
 
 let exec_spec spec (algo : Algorithm.t) topology =
-  let { seed; fault; completion; max_rounds; track_growth; encoding; trace } = spec in
+  let { seed; fault; completion; max_rounds; track_growth; encoding; trace; jobs } = spec in
   let n = Topology.n topology in
   let max_rounds = match max_rounds with Some m -> m | None -> (4 * n) + 64 in
   let labels, instances = Exec.instances ~seed algo topology in
@@ -69,7 +71,11 @@ let exec_spec spec (algo : Algorithm.t) topology =
       growth := (float_of_int !total /. float_of_int (max 1 n)) :: !growth
     end
   in
-  let config = { Sim.max_rounds; fault; engine_seed = seed; trace } in
+  (* Content auditing emits a trace event from inside the deliver
+     handler, which would interleave with the engine's canonical event
+     order on the parallel path: audited runs are clamped sequential. *)
+  let jobs = if auditing then 1 else jobs in
+  let config = { Sim.max_rounds; fault; engine_seed = seed; trace; jobs } in
   let measure_bytes = Wire.encoded_size encoding ~universe:n in
   let on_restart ~node =
     Exec.restart_instance ~seed algo topology instances ~node;
@@ -100,6 +106,6 @@ let exec_spec spec (algo : Algorithm.t) topology =
 let exec ?(seed = 0) ?(fault = Fault.none) ?(completion = Strong) ?max_rounds
     ?(track_growth = false) ?(encoding = Wire.Adaptive) algo topology =
   exec_spec
-    { seed; fault; completion; max_rounds; track_growth; encoding; trace = Trace.null }
+    { seed; fault; completion; max_rounds; track_growth; encoding; trace = Trace.null; jobs = 1 }
     algo topology
 [@@deprecated "use Run.exec_spec with a Run.spec record"]

@@ -68,6 +68,12 @@ type spec = {
           Observational only: the default {!Repro_engine.Trace.null}
           sink costs nothing and every sink leaves the execution — RNG
           draws, delivery order, metrics — unchanged. *)
+  jobs : int;
+      (** domains sharding this single run's nodes (see
+          {!Repro_engine.Sim.config}); any value produces a
+          byte-identical trace and result. Clamped to 1 when the fault
+          model requests content auditing (the audit wrapper emits trace
+          events from the deliver handler). *)
 }
 (** Everything that parameterises a run besides the algorithm and the
     topology. One immutable value per run: this is what the parallel
@@ -76,7 +82,7 @@ type spec = {
 val default_spec : spec
 (** [{ seed = 0; fault = Fault.none; completion = Strong; max_rounds =
     None; track_growth = false; encoding = Wire.Adaptive; trace =
-    Trace.null }] — override fields with
+    Trace.null; jobs = 1 }] — override fields with
     [{ default_spec with seed; … }]. *)
 
 val exec_spec : spec -> Algorithm.t -> Topology.t -> result

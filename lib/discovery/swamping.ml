@@ -4,13 +4,20 @@ let make (ctx : Algorithm.ctx) =
   let knowledge = Algorithm.initial_knowledge ctx in
   let st = { knowledge } in
   let self = ctx.node in
+  (* One message per knowledge state, shared across the whole fan-out
+     and across rounds: the snapshot is an O(1) frozen view of the live
+     set, and re-wrapping it is skipped while the knowledge version is
+     stable — a steady-state broadcast round allocates nothing at all. *)
+  let msg = ref (Payload.Share Payload.empty_delta) in
+  let msg_version = ref (-1) in
   let round ~round:_ ~send =
-    (* One message per round, shared across the whole fan-out: the
-       snapshot is an O(1) frozen view of the live bitset, and the
-       learn order is walked in place — a broadcast round allocates
-       nothing proportional to the fan-out. *)
     if Knowledge.cardinal st.knowledge > 1 then begin
-      let msg = Payload.Share (Payload.Bits (Knowledge.snapshot st.knowledge)) in
+      let v = Knowledge.version st.knowledge in
+      if !msg_version <> v then begin
+        msg := Payload.Share (Payload.Bits (Knowledge.snapshot st.knowledge));
+        msg_version := v
+      end;
+      let msg = !msg in
       Knowledge.iter_known st.knowledge (fun dst -> if dst <> self then send ~dst msg)
     end
   in

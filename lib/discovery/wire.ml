@@ -39,7 +39,7 @@ let read_varint bytes pos =
 
 (* canonical identifier list of a data payload: sorted, deduplicated *)
 let ids_of_data = function
-  | Payload.Bits b -> Bitset.elements b
+  | Payload.Bits b -> Cset.elements b.Knowledge.set
   | Payload.Ids a -> List.sort_uniq Int.compare (Array.to_list a)
   | Payload.Delta s -> List.sort_uniq Int.compare (Array.to_list (Intvec.slice_to_array s))
 
@@ -156,19 +156,31 @@ let encode encoding ~universe payload =
 (* Size-only fast paths: computing the exact encoded size must not cost
    more than the encoding decision itself. For [Bits] payloads the
    identifier list is never materialised — the varint body size is
-   accumulated by iterating the bitset, and when the cardinality already
+   accumulated by iterating the set, and when the cardinality already
    reaches the bitmap width the varint body (>= 1 byte per identifier
    plus the count prefix) provably exceeds the bitmap, so [Adaptive] can
-   choose the bitmap in O(1). *)
-(* Fold step for the bitset walk, with (prev + 1, running total) packed
+   choose the bitmap in O(1). The size is memoised in the snapshot's
+   [vbytes] slot: a snapshot is shared across a whole fan-out (and, via
+   {!Knowledge.snapshot}'s version cache, across rounds in the steady
+   state), so each distinct knowledge state is walked once, not once per
+   recipient per round. *)
+(* Fold step for the set walk, with (prev + 1, running total) packed
    into one int so the accumulator stays immediate. Top-level so passing
-   it to [Bitset.fold] costs no closure. *)
+   it to [Cset.fold] costs no closure. *)
 let varint_bits_step acc v =
   let prev = (acc lsr 31) - 1 in
   ((v + 1) lsl 31) lor ((acc land 0x7FFFFFFF) + varint_size (v - prev - 1))
 
-let varint_size_of_bits b =
-  varint_size (Bitset.cardinal b) + (Bitset.fold varint_bits_step 0 b land 0x7FFFFFFF)
+let varint_size_of_bits (b : Knowledge.snap) =
+  if b.Knowledge.vbytes >= 0 then b.Knowledge.vbytes
+  else begin
+    let size =
+      varint_size (Cset.cardinal b.Knowledge.set)
+      + (Cset.fold varint_bits_step 0 b.Knowledge.set land 0x7FFFFFFF)
+    in
+    b.Knowledge.vbytes <- size;
+    size
+  end
 
 (* For [Ids]/[Delta] payloads the canonical form is sorted and
    deduplicated, but materialising it as a list per sized message is the
@@ -248,11 +260,13 @@ let encoded_size encoding ~universe payload =
   | Payload.Share d | Payload.Exchange d | Payload.Reply d ->
     let body =
       match (encoding, d) with
-      | Raw32, Payload.Bits b -> varint_size (Bitset.cardinal b) + (4 * Bitset.cardinal b)
+      | Raw32, Payload.Bits b ->
+        let card = Cset.cardinal b.Knowledge.set in
+        varint_size card + (4 * card)
       | Varint_delta, Payload.Bits b -> varint_size_of_bits b
       | Bitmap, _ -> bitmap_size ~universe
       | Adaptive, Payload.Bits b ->
-        if Bitset.cardinal b >= bitmap_size ~universe then bitmap_size ~universe
+        if Cset.cardinal b.Knowledge.set >= bitmap_size ~universe then bitmap_size ~universe
         else min (varint_size_of_bits b) (bitmap_size ~universe)
       | (Raw32 | Varint_delta | Adaptive), (Payload.Ids _ | Payload.Delta _) ->
         let packed = ids_sizes d in
@@ -324,10 +338,10 @@ let decode_exn ~universe bytes =
       | 2 ->
         let width = (universe + 7) / 8 in
         if Bytes.length bytes - 2 <> width then invalid_arg "Wire.decode: bitmap width mismatch";
-        let bits = Bitset.create universe in
+        let bits = Cset.create universe in
         for v = 0 to universe - 1 do
           let byte = Char.code (Bytes.get bytes (2 + (v lsr 3))) in
-          if byte land (1 lsl (v land 7)) <> 0 then ignore (Bitset.add bits v)
+          if byte land (1 lsl (v land 7)) <> 0 then ignore (Cset.add bits v)
         done;
         (* bits of the final partial byte beyond [universe) would be
            silently dropped; reject them as corruption instead *)
@@ -336,7 +350,7 @@ let decode_exn ~universe bytes =
           if last lsr (universe land 7) <> 0 then
             invalid_arg "Wire.decode: bitmap has bits beyond the universe"
         end;
-        Payload.Bits bits
+        Payload.Bits (Knowledge.external_snapshot bits)
       | _ -> invalid_arg "Wire.decode: unknown body codec"
     in
     (match data with
@@ -349,10 +363,10 @@ let decode_exn ~universe bytes =
     let data =
       match (data, snapshot) with
       | Payload.Ids out, true ->
-        let bits = Bitset.create universe in
-        Array.iter (fun v -> ignore (Bitset.add bits v)) out;
-        Payload.Bits bits
-      | Payload.Bits bits, false -> Payload.Ids (Array.of_list (Bitset.elements bits))
+        let bits = Cset.create universe in
+        Array.iter (fun v -> ignore (Cset.add bits v)) out;
+        Payload.Bits (Knowledge.external_snapshot bits)
+      | Payload.Bits b, false -> Payload.Ids (Cset.to_array b.Knowledge.set)
       | (Payload.Ids _ | Payload.Bits _ | Payload.Delta _), _ -> data
     in
     match kind with

@@ -5,13 +5,47 @@ type 'msg handlers = {
   deliver : node:int -> src:int -> round:int -> 'msg -> unit;
 }
 
-type config = { max_rounds : int; fault : Fault.t; engine_seed : int; trace : Trace.sink }
+type config = {
+  max_rounds : int;
+  fault : Fault.t;
+  engine_seed : int;
+  trace : Trace.sink;
+  jobs : int;
+}
 
 let default_config =
-  { max_rounds = 10_000; fault = Fault.none; engine_seed = 0; trace = Trace.null }
+  { max_rounds = 10_000; fault = Fault.none; engine_seed = 0; trace = Trace.null; jobs = 1 }
 
 type outcome = { completed : bool; rounds : int; metrics : Metrics.t; alive : bool array }
 
+(* The parallel path shards one run's nodes across a persistent domain
+   team and replays the sequential engine's event order exactly:
+
+   - send phase (parallel): shard s runs [round_begin] for its nodes,
+     pushing raw messages into a shard-private outbox — no accounting,
+     no tracing, no shared writes. Shard s covers the contiguous nodes
+     [s*chunk, (s+1)*chunk), so concatenating the shard outboxes in
+     shard order reproduces the sequential engine's global send order.
+
+   - accounting + resolution (coordinator, sequential): walk the shard
+     outboxes in canonical order emitting Send events and metrics, then
+     release due delayed messages, then resolve each message's fate
+     (liveness, partition, cap, loss, delay) in the same order and with
+     the same RNG stream as the sequential engine, emitting Drop/Deliver
+     events as resolved and pushing survivors into the destination
+     shard's delivery inbox.
+
+   - delivery phase (parallel): shard s applies [handlers.deliver] for
+     the messages in its inbox, in inbox order. Deliveries to one node
+     keep their canonical relative order; deliveries to different nodes
+     commute because a deliver handler only touches its own node's state
+     (payloads are immutable snapshots; see {!Repro_util.Cset.freeze}).
+
+   Every trace event, metric and RNG draw therefore happens on the
+   coordinator in the sequential order — a run at [jobs = k] is
+   byte-identical to [jobs = 1]. The team barrier between phases gives
+   the happens-before edges: phase N's writes are visible to phase N+1
+   on every member. *)
 let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
     ?(on_round_end = fun ~round:_ -> ()) ?(on_restart = fun ~node:_ -> ()) () =
   if n < 0 then invalid_arg "Sim.run: negative node count";
@@ -45,31 +79,15 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
       end)
     (Fault.joining_nodes config.fault);
   let is_alive v = v >= 0 && v < n && alive.(v) in
-  (* one buffer for the whole run: cleared (not reallocated) per round *)
-  let outbox : 'msg Outbox.t = Outbox.create () in
   let completed = ref (stop ~round:0 ~alive:is_alive) in
   let round = ref 0 in
   (* tracing is observational only: no RNG draw, metric or delivery
      depends on it, and with the null sink no event is even constructed *)
   let trace = config.trace in
   let tracing = not (Trace.is_null trace) in
-  (* one send closure per node for the whole run — building them inside
-     the round loop would put n closures per round on the minor heap *)
-  let senders =
-    Array.init n (fun v ~dst payload ->
-        if dst < 0 || dst >= n then invalid_arg "Sim.send: destination out of range";
-        let pointers = measure payload and bytes = measure_bytes payload in
-        Metrics.record_send metrics ~pointers ~bytes;
-        if tracing then Trace.emit trace (Trace.Send { src = v; dst; pointers; bytes });
-        Outbox.push outbox ~src:v ~dst payload)
-  in
-  while (not !completed) && !round < config.max_rounds do
-    incr round;
-    let r = !round in
-    if tracing then Trace.emit trace (Trace.Round_begin { round = r });
-    Metrics.begin_round metrics;
-    (* join and crash-stop transitions happen at the start of the round;
-       a crash scheduled at or before a node's join round wins *)
+  (* join and crash-stop transitions happen at the start of the round; a
+     crash scheduled at or before a node's join round wins *)
+  let transitions r =
     for v = 0 to n - 1 do
       if join_at.(v) = r && crash_at.(v) > r then begin
         alive.(v) <- true;
@@ -86,29 +104,44 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
         if tracing then Trace.emit trace (Trace.Join { node = v });
         on_restart ~node:v
       end
-    done;
-    (* send phase: all sends are computed from start-of-round state *)
-    Outbox.clear outbox;
-    for v = 0 to n - 1 do
-      if alive.(v) then handlers.round_begin ~node:v ~round:r ~send:senders.(v)
-    done;
-    (* delivery phase, in send order *)
-    let drop src dst reason =
-      Metrics.record_drop metrics;
-      if tracing then Trace.emit trace (Trace.Drop { src; dst; reason })
-    in
-    let drop_dead src dst =
-      drop src dst (if crash_at.(dst) <= r then Trace.Dead_dst else Trace.Unjoined_dst)
-    in
-    let deliver src dst payload =
-      Metrics.record_delivery metrics;
-      if tracing then Trace.emit trace (Trace.Deliver { src; dst });
-      handlers.deliver ~node:dst ~src ~round:r payload
-    in
-    if has_caps then Hashtbl.reset cap_used;
-    (* messages released by delayed links deliver first (they are older
-       than this round's outbox), oldest sends first; partitions and loss
-       were already resolved at send time, only liveness is re-checked *)
+    done
+  in
+  (* Delivery-fate closures are hoisted out of the round loop (they read
+     the current round through the [round] ref) so a steady-state round
+     allocates nothing. *)
+  let drop src dst reason =
+    Metrics.record_drop metrics;
+    if tracing then Trace.emit trace (Trace.Drop { src; dst; reason })
+  in
+  let drop_dead src dst =
+    drop src dst (if crash_at.(dst) <= !round then Trace.Dead_dst else Trace.Unjoined_dst)
+  in
+  (* [resolve] decides a message's fate — shared verbatim by both paths
+     so the RNG stream and event order cannot diverge. [deliver] is the
+     path-specific survivor action. *)
+  let resolve ~deliver src dst payload =
+    if not alive.(dst) then drop_dead src dst
+    else if has_partitions && Fault.cut fault ~src ~dst ~time:(float_of_int !round) then
+      drop src dst Trace.Partitioned
+    else begin
+      let lk = Fault.link_between fault ~src ~dst in
+      let throttled =
+        lk.Fault.cap > 0
+        &&
+        let key = (src * n) + dst in
+        let used = Option.value ~default:0 (Hashtbl.find_opt cap_used key) in
+        Hashtbl.replace cap_used key (used + 1);
+        used >= lk.Fault.cap
+      in
+      if throttled then drop src dst Trace.Throttled
+      else if lk.Fault.loss > 0.0 && Rng.bernoulli loss_rng ~p:lk.Fault.loss then
+        drop src dst Trace.Loss
+      else if lk.Fault.delay > 0 then
+        pending := (!round + lk.Fault.delay, src, dst, payload) :: !pending
+      else deliver src dst payload
+    end
+  in
+  let release_due ~deliver r =
     if has_delays && !pending <> [] then begin
       let due, held = List.partition (fun (rel, _, _, _) -> rel <= r) !pending in
       pending := held;
@@ -116,31 +149,111 @@ let run ~n ~config ~handlers ~measure ?(measure_bytes = fun _ -> 0) ~stop
         (fun (_, src, dst, payload) ->
           if not alive.(dst) then drop_dead src dst else deliver src dst payload)
         (List.rev due)
-    end;
-    Outbox.iter outbox (fun src dst payload ->
-        if not alive.(dst) then drop_dead src dst
-        else if has_partitions && Fault.cut fault ~src ~dst ~time:(float_of_int r) then
-          drop src dst Trace.Partitioned
-        else begin
-          let lk = Fault.link_between fault ~src ~dst in
-          let throttled =
-            lk.Fault.cap > 0
-            &&
-            let key = (src * n) + dst in
-            let used = Option.value ~default:0 (Hashtbl.find_opt cap_used key) in
-            Hashtbl.replace cap_used key (used + 1);
-            used >= lk.Fault.cap
-          in
-          if throttled then drop src dst Trace.Throttled
-          else if lk.Fault.loss > 0.0 && Rng.bernoulli loss_rng ~p:lk.Fault.loss then
-            drop src dst Trace.Loss
-          else if lk.Fault.delay > 0 then
-            pending := (r + lk.Fault.delay, src, dst, payload) :: !pending
-          else deliver src dst payload
-        end);
-    on_round_end ~round:r;
-    if stop ~round:r ~alive:is_alive then completed := true
-  done;
+    end
+  in
+  let jobs = min (max 1 config.jobs) (max 1 n) in
+  if jobs = 1 then begin
+    (* ---- sequential path ---- *)
+    (* one buffer for the whole run: cleared (not reallocated) per round *)
+    let outbox : 'msg Outbox.t = Outbox.create () in
+    (* one send closure per node for the whole run — building them inside
+       the round loop would put n closures per round on the minor heap *)
+    let senders =
+      Array.init n (fun v ~dst payload ->
+          if dst < 0 || dst >= n then invalid_arg "Sim.send: destination out of range";
+          let pointers = measure payload and bytes = measure_bytes payload in
+          Metrics.record_send metrics ~pointers ~bytes;
+          if tracing then Trace.emit trace (Trace.Send { src = v; dst; pointers; bytes });
+          Outbox.push outbox ~src:v ~dst payload)
+    in
+    let deliver src dst payload =
+      Metrics.record_delivery metrics;
+      if tracing then Trace.emit trace (Trace.Deliver { src; dst });
+      handlers.deliver ~node:dst ~src ~round:!round payload
+    in
+    let resolve_deliver src dst payload = resolve ~deliver src dst payload in
+    while (not !completed) && !round < config.max_rounds do
+      incr round;
+      let r = !round in
+      if tracing then Trace.emit trace (Trace.Round_begin { round = r });
+      Metrics.begin_round metrics;
+      transitions r;
+      (* send phase: all sends are computed from start-of-round state *)
+      Outbox.clear outbox;
+      for v = 0 to n - 1 do
+        if alive.(v) then handlers.round_begin ~node:v ~round:r ~send:senders.(v)
+      done;
+      if has_caps then Hashtbl.reset cap_used;
+      (* messages released by delayed links deliver first (they are older
+         than this round's outbox), oldest sends first; partitions and
+         loss were already resolved at send time, only liveness is
+         re-checked *)
+      release_due ~deliver r;
+      Outbox.iter outbox resolve_deliver;
+      on_round_end ~round:r;
+      if stop ~round:r ~alive:is_alive then completed := true
+    done
+  end
+  else begin
+    (* ---- parallel path ---- *)
+    let chunk = (n + jobs - 1) / jobs in
+    let shard_of v = v / chunk in
+    let shard_out : 'msg Outbox.t array = Array.init jobs (fun _ -> Outbox.create ()) in
+    let shard_in : 'msg Outbox.t array = Array.init jobs (fun _ -> Outbox.create ()) in
+    (* raw per-node senders: shard-private push, zero shared writes *)
+    let senders =
+      Array.init n (fun v ~dst payload ->
+          if dst < 0 || dst >= n then invalid_arg "Sim.send: destination out of range";
+          Outbox.push shard_out.(shard_of v) ~src:v ~dst payload)
+    in
+    let account src dst payload =
+      let pointers = measure payload and bytes = measure_bytes payload in
+      Metrics.record_send metrics ~pointers ~bytes;
+      if tracing then Trace.emit trace (Trace.Send { src; dst; pointers; bytes })
+    in
+    (* a survivor's Deliver event and metric are emitted at resolution
+       time (the sequential order); the handler itself runs in the
+       delivery phase on the destination's shard *)
+    let deliver src dst payload =
+      Metrics.record_delivery metrics;
+      if tracing then Trace.emit trace (Trace.Deliver { src; dst });
+      Outbox.push shard_in.(shard_of dst) ~src ~dst payload
+    in
+    let resolve_deliver src dst payload = resolve ~deliver src dst payload in
+    let team = Pool.Team.create ~members:jobs in
+    let send_phase s =
+      let lo = s * chunk in
+      let hi = min n (lo + chunk) - 1 in
+      for v = lo to hi do
+        if alive.(v) then handlers.round_begin ~node:v ~round:!round ~send:senders.(v)
+      done
+    in
+    let deliver_phase s =
+      Outbox.iter shard_in.(s) (fun src dst payload ->
+          handlers.deliver ~node:dst ~src ~round:!round payload)
+    in
+    Fun.protect
+      ~finally:(fun () -> Pool.Team.shutdown team)
+      (fun () ->
+        while (not !completed) && !round < config.max_rounds do
+          incr round;
+          let r = !round in
+          if tracing then Trace.emit trace (Trace.Round_begin { round = r });
+          Metrics.begin_round metrics;
+          transitions r;
+          Array.iter Outbox.clear shard_out;
+          Pool.Team.run team send_phase;
+          (* canonical accounting: shard concatenation = node order *)
+          Array.iter (fun ob -> Outbox.iter ob account) shard_out;
+          if has_caps then Hashtbl.reset cap_used;
+          Array.iter Outbox.clear shard_in;
+          release_due ~deliver r;
+          Array.iter (fun ob -> Outbox.iter ob resolve_deliver) shard_out;
+          Pool.Team.run team deliver_phase;
+          on_round_end ~round:r;
+          if stop ~round:r ~alive:is_alive then completed := true
+        done)
+  end;
   if tracing then begin
     Trace.emit trace (if !completed then Trace.Complete else Trace.Give_up);
     Trace.flush trace

@@ -32,10 +32,27 @@ type config = {
           vocabulary and ordering guarantees). Strictly observational:
           the execution is identical whatever the sink, and the default
           {!Trace.null} adds no per-event work or allocation. *)
+  jobs : int;
+      (** Domains sharding {e this} run's nodes ([<= 1] = sequential).
+          Nodes are split into [jobs] contiguous shards; each round, the
+          shards compute their sends in parallel, the coordinator then
+          accounts and resolves every message in the sequential engine's
+          canonical order (so all trace events, metrics and RNG draws
+          are emitted in the identical sequence), and the shards apply
+          deliveries in parallel. A run at [jobs = k] is byte-identical
+          — same trace, same metrics, same outcome — to [jobs = 1].
+
+          Requirements on the handlers, beyond the sequential contract:
+          [round_begin] and [deliver] for node [v] may touch only node
+          [v]'s state plus immutable shared data (message payloads must
+          be frozen snapshots), and must not emit trace events (the
+          engine owns the canonical event order; callers that wrap
+          [deliver] with trace emission — e.g. content auditing — must
+          clamp to [jobs = 1], see {!Repro_discovery.Run.exec_spec}). *)
 }
 
 val default_config : config
-(** [max_rounds = 10_000], no faults, seed 0, no tracing. *)
+(** [max_rounds = 10_000], no faults, seed 0, no tracing, [jobs = 1]. *)
 
 type outcome = {
   completed : bool;  (** the stop predicate fired before [max_rounds] *)

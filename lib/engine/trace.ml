@@ -1,3 +1,5 @@
+open Repro_util
+
 type drop_reason = Loss | Dead_dst | Unjoined_dst | Partitioned | Throttled
 
 type event =
@@ -155,9 +157,11 @@ module Invariants = struct
     allow_inflight : bool;
     (* provenance audit: per-node set of ids the node genuinely learned
        (its genesis knowledge plus everything delivered to it); armed by
-       the first Genesis event *)
+       the first Genesis event. Compressed sets rather than per-id
+       hash entries: auditing a large converged run holds n sets of up
+       to n ids each, and the saturated containers collapse to O(1). *)
     mutable auditing : bool;
-    genuine : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+    genuine : (int, Cset.t) Hashtbl.t;
   }
 
   let create ?(lenient = false) ?(allow_inflight = false) () =
@@ -192,11 +196,11 @@ module Invariants = struct
     match Hashtbl.find_opt t.genuine node with
     | Some set -> set
     | None ->
-      let set = Hashtbl.create 16 in
+      let set = Cset.create_unbounded () in
       Hashtbl.replace t.genuine node set;
       set
 
-  let learn t ~node id = Hashtbl.replace (genuine_set t node) id ()
+  let learn t ~node id = ignore (Cset.add (genuine_set t node) id)
 
   let check t ev =
     t.events <- t.events + 1;
@@ -264,9 +268,9 @@ module Invariants = struct
       (* the node's genuinely originated knowledge at birth (or at
          restart, which resets its provenance) *)
       t.auditing <- true;
-      let set = Hashtbl.create (Array.length ids + 1) in
-      Hashtbl.replace set node ();
-      Array.iter (fun id -> Hashtbl.replace set id ()) ids;
+      let set = Cset.create_unbounded () in
+      ignore (Cset.add set node);
+      Array.iter (fun id -> ignore (Cset.add set id)) ids;
       Hashtbl.replace t.genuine node set
     | Content { src; dst; ids } ->
       if t.auditing then begin
@@ -275,15 +279,15 @@ module Invariants = struct
         | Some set ->
           Array.iter
             (fun id ->
-              if id <> src && not (Hashtbl.mem set id) then
+              if id <> src && not (Cset.mem set id) then
                 fail "node %d advertised id %d it never genuinely learned (provenance violation)"
                   src id)
             ids);
         (* content that survives the audit becomes genuine knowledge of
            the receiver *)
         let dset = genuine_set t dst in
-        Hashtbl.replace dset src ();
-        Array.iter (fun id -> Hashtbl.replace dset id ()) ids
+        ignore (Cset.add dset src);
+        Array.iter (fun id -> ignore (Cset.add dset id)) ids
       end
     | Complete | Give_up ->
       t.finished <- true;

@@ -116,14 +116,56 @@ let stitch ~n edges =
     extra @ edges
   end
 
+(* Grow-only per-domain scratch of packed [u * n + v] edge codes. The
+   k-out family is generated at every sweep cell and benchmark
+   iteration, and consing 2nk edge tuples per graph dominated the
+   generation allocation profile; pushing codes into a reused array
+   leaves only the result CSR arrays as per-call allocation.
+   Domain-local because parallel sweeps generate graphs concurrently. *)
+let code_scratch : int array ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [||])
+
 let k_out ~rng ~n ~k =
   if k < 1 || k >= n then invalid_arg "Generate.k_out: need 1 <= k < n";
-  let edges = ref [] in
+  let scratch = Domain.DLS.get code_scratch in
+  (* 2nk sampled edges plus at most 2(n-1) stitch edges *)
+  let cap = (2 * n * k) + (2 * n) in
+  if Array.length !scratch < cap then scratch := Array.make (max cap (2 * Array.length !scratch)) 0;
+  let codes = !scratch in
+  let len = ref 0 in
+  let push u v =
+    codes.(!len) <- (u * n) + v;
+    incr len
+  in
   for u = 0 to n - 1 do
     let targets = Rng.sample_distinct rng ~n ~k ~avoid:u in
-    Array.iter (fun v -> edges := (u, v) :: (v, u) :: !edges) targets
+    Array.iter
+      (fun v ->
+        push u v;
+        push v u)
+      targets
   done;
-  Topology.create ~n ~edges:(stitch ~n !edges)
+  (* stitch into one weak component, exactly as [stitch] does: chain
+     consecutive component representatives (their min members, in
+     ascending order — a function of the partition alone) with
+     symmetric edges *)
+  let uf = Unionfind.create n in
+  for i = 0 to !len - 1 do
+    ignore (Unionfind.union uf (codes.(i) / n) (codes.(i) mod n))
+  done;
+  if Unionfind.count uf > 1 then begin
+    let reps = List.map List.hd (Unionfind.components uf) in
+    match reps with
+    | [] -> ()
+    | first :: rest ->
+      ignore
+        (List.fold_left
+           (fun prev r ->
+             push prev r;
+             push r prev;
+             r)
+           first rest)
+  end;
+  Topology.create_packed ~n ~codes ~len:!len
 
 let erdos_renyi ~rng ~n ~p =
   if p < 0.0 || p > 1.0 then invalid_arg "Generate.erdos_renyi: p out of range";

@@ -1,0 +1,101 @@
+(** Adaptive compressed integer sets (Roaring-style).
+
+    Drop-in companion to {!Bitset} for knowledge-scale universes: the
+    universe [0 .. n-1] is split into containers of 65,536 consecutive
+    ids, and each container independently picks a sorted array (sparse),
+    a bitmap (dense) or run-length form (saturated) — so a set costs
+    O(members) when sparse and O(1) per container once full, instead of
+    O(n) bits always. Saturated containers also merge in O(1): the
+    dominant case for converged knowledge sets.
+
+    The {!freeze} / copy-on-write contract is identical to
+    {!Bitset.freeze}: a frozen view is immutable and aliases the owner's
+    storage; the owner privatises on its first subsequent write. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0 .. n-1].
+    @raise Invalid_argument if [n < 0]. *)
+
+val create_unbounded : unit -> t
+(** An empty set over an unbounded universe: [add]/[mem] accept any
+    non-negative id and storage grows with the high-water container.
+    Unbounded sets support point and query operations but not the
+    binary set operations ({!union_into}, {!subset}, …), which require
+    matching bounded capacities. Used by the trace invariant checker,
+    whose per-node bookkeeping must not cost O(n) per node. *)
+
+val capacity : t -> int
+(** Universe size ([create]) or current high-water id + 1 (unbounded). *)
+
+val cardinal : t -> int
+(** Number of elements, maintained in O(1). *)
+
+val is_empty : t -> bool
+
+val is_full : t -> bool
+(** [is_full t] iff a bounded set contains its whole universe. *)
+
+val mem : t -> int -> bool
+(** Membership test. @raise Invalid_argument if out of range. *)
+
+val add : t -> int -> bool
+(** [add t v] inserts [v]; returns [true] iff [v] was not already
+    present. @raise Invalid_argument if out of range. *)
+
+val remove : t -> int -> bool
+(** [remove t v] deletes [v]; returns [true] iff [v] was present. *)
+
+val copy : t -> t
+(** Independent (deep, always-mutable) copy. *)
+
+val freeze : t -> t
+(** O(containers) immutable view aliasing the owner's storage; the
+    owner stays mutable through copy-on-write. Same contract as
+    {!Bitset.freeze}. *)
+
+val is_frozen : t -> bool
+
+val union_into : dst:t -> src:t -> int
+(** [union_into ~dst ~src] adds every element of [src] to [dst] and
+    returns the number of newly-added elements. O(containers) when the
+    source containers are saturated — no per-element work.
+    @raise Invalid_argument if capacities differ. *)
+
+val union_into_with : dst:t -> src:t -> (int -> unit) -> int
+(** Like {!union_into} but calls [f v] for every element newly added,
+    in increasing order. This forces per-element enumeration, so it is
+    the tracked-knowledge (small n) path; large-n merges use
+    {!union_into}. *)
+
+val inter_cardinal : t -> t -> int
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] iff every element of [a] is in [b]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate elements in increasing order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val elements : t -> int list
+val to_array : t -> int array
+val of_array : int -> int array -> t
+
+val choose_nth : t -> int -> int
+(** [choose_nth t k] is the [k]-th smallest element (0-based), in
+    O(containers + in-container select).
+    @raise Invalid_argument if [k < 0 || k >= cardinal t]. *)
+
+val rank : t -> int -> int
+(** [rank t v] is the number of elements strictly below [v].
+    @raise Invalid_argument if [v] is out of range. *)
+
+val min_elt : t -> int
+(** Smallest element. @raise Invalid_argument if the set is empty. *)
+
+val memory_words : t -> int
+(** Approximate heap words held by the set's payload (reporting aid). *)
+
+val pp : Format.formatter -> t -> unit

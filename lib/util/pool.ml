@@ -105,3 +105,114 @@ let run ~jobs (tasks : (unit -> 'a) array) : 'a array =
 
 let map ~jobs f items =
   Array.to_list (run ~jobs (Array.of_list (List.map (fun x -> fun () -> f x) items)))
+
+(* Persistent worker team for phase-parallel work: [run] above spawns
+   and joins domains per call, which is fine for coarse sweep cells but
+   ~100x too expensive for a per-round barrier inside a single simulated
+   run. A team spawns its domains once; each [Team.run] is one
+   barrier-to-barrier phase in which every member (the caller
+   participates as member 0) executes the same closure on its own shard
+   index. Coordination is a mutex/condvar epoch: posting a phase bumps
+   the epoch and wakes the workers, and the call returns when the last
+   member checks in — so phase N's writes happen-before phase N+1's
+   reads on every member, which is what lets the engine hand frozen
+   snapshots across shards without further synchronisation. *)
+module Team = struct
+  type t = {
+    members : int;
+    lock : Mutex.t;
+    wake : Condition.t;
+    done_ : Condition.t;
+    mutable epoch : int;  (* bumped per phase; workers run when it advances *)
+    mutable task : int -> unit;  (* the current phase's body, given the member index *)
+    mutable pending : int;  (* members still inside the current phase *)
+    mutable stopping : bool;
+    mutable failures : (exn * Printexc.raw_backtrace) option array;  (* per member *)
+    mutable domains : unit Domain.t array;
+  }
+
+  let worker t me () =
+    Domain.DLS.set inside_key true;
+    let seen = ref 0 in
+    let continue = ref true in
+    while !continue do
+      Mutex.lock t.lock;
+      while t.epoch = !seen && not t.stopping do
+        Condition.wait t.wake t.lock
+      done;
+      if t.stopping then begin
+        continue := false;
+        Mutex.unlock t.lock
+      end
+      else begin
+        seen := t.epoch;
+        let task = t.task in
+        Mutex.unlock t.lock;
+        (try task me
+         with e -> t.failures.(me) <- Some (e, Printexc.get_raw_backtrace ()));
+        Mutex.lock t.lock;
+        t.pending <- t.pending - 1;
+        if t.pending = 0 then Condition.broadcast t.done_;
+        Mutex.unlock t.lock
+      end
+    done
+
+  let create ~members =
+    if members < 1 then invalid_arg "Pool.Team.create: members must be >= 1";
+    if members > 1 && Domain.DLS.get inside_key then
+      invalid_arg "Pool.Team.create: nested parallel region";
+    let members = min members hard_cap in
+    let t =
+      {
+        members;
+        lock = Mutex.create ();
+        wake = Condition.create ();
+        done_ = Condition.create ();
+        epoch = 0;
+        task = ignore;
+        pending = 0;
+        stopping = false;
+        failures = Array.make members None;
+        domains = [||];
+      }
+    in
+    t.domains <- Array.init (members - 1) (fun i -> Domain.spawn (worker t (i + 1)));
+    t
+
+  let members t = t.members
+
+  let run t f =
+    if t.stopping then invalid_arg "Pool.Team.run: team is shut down";
+    Array.fill t.failures 0 t.members None;
+    Mutex.lock t.lock;
+    t.task <- f;
+    t.pending <- t.members;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock;
+    (* the caller is member 0 *)
+    (try f 0 with e -> t.failures.(0) <- Some (e, Printexc.get_raw_backtrace ()));
+    Mutex.lock t.lock;
+    t.pending <- t.pending - 1;
+    if t.pending > 0 then
+      while t.pending > 0 do
+        Condition.wait t.done_ t.lock
+      done
+    else Condition.broadcast t.done_;
+    Mutex.unlock t.lock;
+    (* deterministic failure: re-raise the lowest member's exception *)
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      t.failures
+
+  let shutdown t =
+    if not t.stopping then begin
+      Mutex.lock t.lock;
+      t.stopping <- true;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.lock;
+      Array.iter Domain.join t.domains
+    end
+end

@@ -34,3 +34,34 @@ val run : jobs:int -> (unit -> 'a) array -> 'a array
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f items] is {!run} over [fun () -> f item], preserving
     list order. *)
+
+(** Persistent worker team for phase-parallel work inside one
+    computation (e.g. the engine's sharded round loop). Where {!run}
+    spawns and joins domains per call, a team spawns its domains once
+    and then executes an arbitrary number of barrier-delimited phases,
+    so the per-phase cost is a mutex/condvar round-trip rather than a
+    domain spawn. *)
+module Team : sig
+  type t
+
+  val create : members:int -> t
+  (** [create ~members] spawns [members - 1] worker domains (the caller
+      participates as member 0). Workers count against the same
+      oversubscription guard as {!run}: creating a team with
+      [members > 1] from inside a pool task or another team raises
+      [Invalid_argument], and team members may not start nested
+      parallel regions. Shut the team down with {!shutdown}. *)
+
+  val members : t -> int
+
+  val run : t -> (int -> unit) -> unit
+  (** [run t f] executes [f member] on every member (0 inclusive) and
+      returns when all have finished — one barrier-to-barrier phase.
+      Everything written before [run] returns happens-before the next
+      phase's reads on every member. If members raise, every member
+      still finishes its phase and the lowest member's exception is
+      re-raised (deterministic failure). *)
+
+  val shutdown : t -> unit
+  (** Join the worker domains. Idempotent; the team is unusable after. *)
+end

@@ -176,6 +176,7 @@ let test_cap_bounds_link_sync () =
       fault = Fault.with_cap Fault.none ~limit:cap;
       engine_seed = 0;
       trace = sink;
+      jobs = 1;
     }
   in
   let outcome =

@@ -56,6 +56,37 @@ let test_min_pointer_uses_no_randomness () =
     [ List.hd rounds; List.hd rounds; List.hd rounds ]
     rounds
 
+let test_sharded_run_trace_identical () =
+  (* the domain-sharded engine is specified to replay the sequential
+     event order exactly: the full structured trace — every send, drop,
+     deliver, metric-bearing event, in order — must be byte-identical
+     at any job count (see lib/engine/sim.ml). *)
+  let traced ~seed ~jobs =
+    let buf = Buffer.create (1 lsl 16) in
+    let topology =
+      Repro_experiments.Sweepcell.topology_of ~family:(Generate.K_out 3) ~n:1024 ~seed
+    in
+    let spec =
+      {
+        Run.default_spec with
+        Run.seed;
+        max_rounds = Some 2000;
+        trace = Trace.buffer buf;
+        jobs;
+      }
+    in
+    let r = Run.exec_spec spec Hm_gossip.algorithm topology in
+    (summary r, Buffer.contents buf)
+  in
+  List.iter
+    (fun seed ->
+      let s1, t1 = traced ~seed ~jobs:1 and s4, t4 = traced ~seed ~jobs:4 in
+      if s1 <> s4 then Alcotest.failf "seed %d: sharded run result differs from sequential" seed;
+      if not (String.equal t1 t4) then
+        Alcotest.failf "seed %d: sharded run trace is not byte-identical (%d vs %d bytes)" seed
+          (String.length t1) (String.length t4))
+    [ 1; 2; 3 ]
+
 let () =
   Alcotest.run "determinism"
     [
@@ -70,5 +101,7 @@ let () =
           Alcotest.test_case "deterministic under loss" `Quick test_fault_determinism;
           Alcotest.test_case "min_pointer is seed-independent" `Quick
             test_min_pointer_uses_no_randomness;
+          Alcotest.test_case "sharded run trace is byte-identical" `Quick
+            test_sharded_run_trace_identical;
         ] );
     ]

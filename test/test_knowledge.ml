@@ -3,7 +3,7 @@ open Repro_discovery
 
 let mk ?(n = 10) ?(owner = 0) ?labels () =
   let labels = match labels with Some l -> l | None -> Array.init n (fun i -> i) in
-  Knowledge.create ~n ~owner ~labels
+  Knowledge.create ~n ~owner ~labels ()
 
 let test_initial () =
   let k = mk ~owner:3 () in
@@ -17,17 +17,17 @@ let test_initial () =
 
 let test_validation () =
   Alcotest.check_raises "owner range" (Invalid_argument "Knowledge.create: owner out of range")
-    (fun () -> ignore (Knowledge.create ~n:3 ~owner:3 ~labels:[| 0; 1; 2 |]));
+    (fun () -> ignore (Knowledge.create ~n:3 ~owner:3 ~labels:[| 0; 1; 2 |] ()));
   Alcotest.check_raises "labels length"
     (Invalid_argument "Knowledge.create: labels length mismatch") (fun () ->
-      ignore (Knowledge.create ~n:3 ~owner:0 ~labels:[| 0; 1 |]))
+      ignore (Knowledge.create ~n:3 ~owner:0 ~labels:[| 0; 1 |] ()))
 
 let test_add_and_merge () =
   let k = mk () in
   Alcotest.(check bool) "new" true (Knowledge.add k 5);
   Alcotest.(check bool) "dup" false (Knowledge.add k 5);
   Alcotest.(check int) "merge_ids" 2 (Knowledge.merge_ids k [| 5; 6; 7 |]);
-  let bits = Bitset.of_array 10 [| 6; 8; 9 |] in
+  let bits = Cset.of_array 10 [| 6; 8; 9 |] in
   Alcotest.(check int) "merge_bits" 2 (Knowledge.merge_bits k bits);
   Alcotest.(check int) "cardinal" 6 (Knowledge.cardinal k);
   Alcotest.(check (array int)) "learn order" [| 0; 5; 6; 7; 8; 9 |]
@@ -56,12 +56,12 @@ let test_min_excluding () =
   let k = mk ~owner:5 ~labels () in
   ignore (Knowledge.merge_ids k [| 8; 9; 3 |]);
   Alcotest.(check int) "unsuspected min" 9 (Knowledge.min_known k);
-  let suspects = Bitset.of_array 10 [| 9 |] in
+  let suspects = Cset.of_array 10 [| 9 |] in
   Alcotest.(check int) "skip suspect" 8 (Knowledge.min_known_excluding k ~suspects);
-  let all = Bitset.of_array 10 [| 9; 8; 3 |] in
+  let all = Cset.of_array 10 [| 9; 8; 3 |] in
   Alcotest.(check int) "fall back to owner" 5 (Knowledge.min_known_excluding k ~suspects:all);
   Alcotest.check_raises "capacity" (Invalid_argument "Knowledge.min_known_excluding: capacity mismatch")
-    (fun () -> ignore (Knowledge.min_known_excluding k ~suspects:(Bitset.create 3)))
+    (fun () -> ignore (Knowledge.min_known_excluding k ~suspects:(Cset.create 3)))
 
 (* Pins the chosen behaviour when the owner itself is suspected: any
    unsuspected known node wins — even one with a larger label than the
@@ -72,14 +72,14 @@ let test_min_excluding_suspected_owner () =
   let k = mk ~owner:2 ~labels () in
   ignore (Knowledge.merge_ids k [| 7; 4 |]);
   Alcotest.(check int) "owner wins unsuspected" 2
-    (Knowledge.min_known_excluding k ~suspects:(Bitset.create 10));
-  let owner_suspected = Bitset.of_array 10 [| 2 |] in
+    (Knowledge.min_known_excluding k ~suspects:(Cset.create 10));
+  let owner_suspected = Cset.of_array 10 [| 2 |] in
   Alcotest.(check int) "suspected owner loses to larger label" 4
     (Knowledge.min_known_excluding k ~suspects:owner_suspected);
-  let owner_and_4 = Bitset.of_array 10 [| 2; 4 |] in
+  let owner_and_4 = Cset.of_array 10 [| 2; 4 |] in
   Alcotest.(check int) "next unsuspected candidate" 7
     (Knowledge.min_known_excluding k ~suspects:owner_and_4);
-  let everyone = Bitset.of_array 10 [| 2; 4; 7 |] in
+  let everyone = Cset.of_array 10 [| 2; 4; 7 |] in
   Alcotest.(check int) "owner as last resort" 2
     (Knowledge.min_known_excluding k ~suspects:everyone)
 
@@ -102,8 +102,13 @@ let test_snapshot_independent () =
   let k = mk () in
   let snap = Knowledge.snapshot k in
   ignore (Knowledge.add k 4);
-  Alcotest.(check int) "snapshot frozen" 1 (Bitset.cardinal snap);
-  Alcotest.(check int) "live contents" 2 (Bitset.cardinal (Knowledge.contents k))
+  Alcotest.(check int) "snapshot frozen" 1 (Cset.cardinal snap.Knowledge.set);
+  Alcotest.(check int) "snapshot minima" 0 snap.Knowledge.sbest;
+  Alcotest.(check int) "live contents" 2 (Cset.cardinal (Knowledge.contents k));
+  let snap2 = Knowledge.snapshot k in
+  Alcotest.(check bool) "cache keyed by version" true (snap != snap2);
+  Alcotest.(check bool) "stable version shares the snapshot" true
+    (snap2 == Knowledge.snapshot k)
 
 let test_random_known () =
   let rng = Rng.create ~seed:1 in
@@ -196,7 +201,7 @@ let prop_learn_order_matches_set =
       let* adds = list_size (int_range 0 100) (int_range 0 (n - 1)) in
       return (n, owner, adds))
     (fun (n, owner, adds) ->
-      let k = Knowledge.create ~n ~owner ~labels:(Array.init n (fun i -> i)) in
+      let k = Knowledge.create ~n ~owner ~labels:(Array.init n (fun i -> i)) () in
       List.iter (fun v -> ignore (Knowledge.add k v)) adds;
       let order = Array.to_list (Knowledge.elements_in_learn_order k) in
       let expected = List.sort_uniq compare (owner :: adds) in
@@ -214,7 +219,7 @@ let prop_min_tracking_correct =
       return (n, owner, seed, adds))
     (fun (n, owner, seed, adds) ->
       let labels = Rng.permutation (Rng.create ~seed) n in
-      let k = Knowledge.create ~n ~owner ~labels in
+      let k = Knowledge.create ~n ~owner ~labels () in
       List.iter (fun v -> ignore (Knowledge.add k v)) adds;
       let known = Array.to_list (Knowledge.elements_in_learn_order k) in
       let by_label = List.fold_left (fun acc v -> if labels.(v) < labels.(acc) then v else acc) owner known in

@@ -1,8 +1,10 @@
 open Repro_util
 open Repro_discovery
 
+let bsnap n ids = Knowledge.external_snapshot (Cset.of_array n ids)
+
 let test_measure () =
-  let bits = Bitset.of_array 20 [| 1; 2; 3 |] in
+  let bits = bsnap 20 [| 1; 2; 3 |] in
   Alcotest.(check int) "share bits" 3 (Payload.measure (Payload.Share (Payload.Bits bits)));
   Alcotest.(check int) "exchange ids" 2 (Payload.measure (Payload.Exchange (Payload.Ids [| 4; 5 |])));
   Alcotest.(check int) "reply ids" 1 (Payload.measure (Payload.Reply (Payload.Ids [| 4 |])));
@@ -10,15 +12,15 @@ let test_measure () =
   Alcotest.(check int) "probe carries the sender" 1 (Payload.measure Payload.Probe)
 
 let test_data_size () =
-  Alcotest.(check int) "bits" 2 (Payload.data_size (Payload.Bits (Bitset.of_array 8 [| 0; 7 |])));
+  Alcotest.(check int) "bits" 2 (Payload.data_size (Payload.Bits (bsnap 8 [| 0; 7 |])));
   Alcotest.(check int) "ids" 3 (Payload.data_size (Payload.Ids [| 1; 1; 1 |]))
 
 let test_merge () =
   let labels = Array.init 10 (fun i -> i) in
-  let k = Knowledge.create ~n:10 ~owner:0 ~labels in
+  let k = Knowledge.create ~n:10 ~owner:0 ~labels () in
   Alcotest.(check int) "merge ids" 2 (Payload.merge_data k (Payload.Ids [| 3; 4 |]));
   Alcotest.(check int) "merge bits" 1
-    (Payload.merge_data k (Payload.Bits (Bitset.of_array 10 [| 4; 5 |])));
+    (Payload.merge_data k (Payload.Bits (bsnap 10 [| 4; 5 |])));
   Alcotest.(check int) "cardinal" 4 (Knowledge.cardinal k)
 
 let test_pp () =

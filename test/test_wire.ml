@@ -6,6 +6,8 @@ open Repro_discovery
 
 let universe = 300
 
+let bsnap n ids = Knowledge.external_snapshot (Cset.of_array n ids)
+
 let payload_testable =
   Alcotest.testable
     (fun ppf p -> Format.fprintf ppf "%a" Payload.pp p)
@@ -63,7 +65,7 @@ let test_ids_roundtrip_all () =
     Wire.all_encodings
 
 let test_bits_roundtrip () =
-  let bits = Bitset.of_array universe [| 0; 1; 63; 64; 299 |] in
+  let bits = bsnap universe [| 0; 1; 63; 64; 299 |] in
   List.iter
     (fun e ->
       let back = roundtrip e (Payload.Reply (Payload.Bits bits)) in
@@ -91,9 +93,9 @@ let test_form_preserved () =
             (is_bits (roundtrip e p)))
         [
           (* a sparse snapshot: varint wins under Adaptive, yet Bits must survive *)
-          (Payload.Share (Payload.Bits (Bitset.of_array universe [| 3; 9 |])), true);
+          (Payload.Share (Payload.Bits (bsnap universe [| 3; 9 |])), true);
           (* a dense snapshot: bitmap wins *)
-          ( Payload.Reply (Payload.Bits (Bitset.of_array universe (Array.init universe Fun.id))),
+          ( Payload.Reply (Payload.Bits (bsnap universe (Array.init universe Fun.id))),
             true );
           (* an explicit list dense enough for the bitmap codec must NOT
              come back as a snapshot *)
@@ -108,8 +110,8 @@ let test_size_matches_encode () =
       Payload.Probe;
       Payload.Share (Payload.Ids [||]);
       Payload.Share (Payload.Ids (Array.init 50 (fun i -> i * 3)));
-      Payload.Exchange (Payload.Bits (Bitset.of_array universe [| 1; 2; 100 |]));
-      Payload.Reply (Payload.Bits (Bitset.of_array universe (Array.init universe (fun i -> i))));
+      Payload.Exchange (Payload.Bits (bsnap universe [| 1; 2; 100 |]));
+      Payload.Reply (Payload.Bits (bsnap universe (Array.init universe (fun i -> i))));
     ]
   in
   List.iter
@@ -126,7 +128,7 @@ let test_size_matches_encode () =
 let test_relative_sizes () =
   (* a small delta: varint beats bitmap; a full set: bitmap wins *)
   let small = Payload.Share (Payload.Ids [| 1; 2; 3 |]) in
-  let full = Payload.Share (Payload.Bits (Bitset.of_array universe (Array.init universe Fun.id))) in
+  let full = Payload.Share (Payload.Bits (bsnap universe (Array.init universe Fun.id))) in
   let size e p = Wire.encoded_size e ~universe p in
   Alcotest.(check bool) "varint < bitmap on small" true
     (size Wire.Varint_delta small < size Wire.Bitmap small);
@@ -188,7 +190,7 @@ let test_decode_fuzz () =
       Payload.Share (Payload.Ids [||]);
       Payload.Share (Payload.Ids [| 0; 7; 250 |]);
       Payload.Exchange (Payload.Ids (Array.init 60 (fun i -> i * 5)));
-      Payload.Reply (Payload.Bits (Bitset.of_array universe [| 1; 64; 299 |]));
+      Payload.Reply (Payload.Bits (bsnap universe [| 1; 64; 299 |]));
     ]
   in
   let attempts = ref 0 in
