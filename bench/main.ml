@@ -1,11 +1,12 @@
 (* bench/main.exe — the full benchmark harness.
 
-   Part 1 (B1-B9): Bechamel microbenchmarks of the hot substrate
+   Part 1 (B1-B11): Bechamel microbenchmarks of the hot substrate
    operations and of one complete discovery run per key algorithm, each
    measured on two instances: monotonic clock (ns/run) and minor-heap
-   allocation (words/run). The allocation figure is the one the
-   zero-copy/allocation-free engine work is graded on — see
-   EXPERIMENTS.md "Benchmark trajectory".
+   allocation (words/run); plus two single-shot subjects — B12 (full hm
+   run at 65,536) and B13 (continuous-service soak, per-tick). The
+   allocation figure is the one the zero-copy/allocation-free engine
+   work is graded on — see EXPERIMENTS.md "Benchmark trajectory".
 
    Part 2: the experiment suite — regenerates every table (T1-T7) and
    figure (F1-F4) of EXPERIMENTS.md into results/.
@@ -220,6 +221,42 @@ let scale_subject () =
     [ { name = "repro/B12 full_run_hm_65536"; ns_per_run = dt *. 1e9; minor_words_per_run = dw } ]
   end
 
+(* The soak subject: steady-state cost of the continuous discovery
+   service under churn, normalised per virtual tick (not per run) so the
+   figure is comparable across soak lengths. Unlike the one-shot hot
+   paths this loop is not allocation-free — every tick builds payload
+   batches and trace events — so the bench-alloc-guard pins it with a
+   words-per-tick budget rather than at zero. Single-shot like B12: a
+   soak is far too long for an OLS loop. *)
+let soak_subject () =
+  let module Service = Repro_service.Service in
+  let ticks = 2000 and n = 64 in
+  let cap = n + 16 in
+  let cooldown = int_of_float (Service.default_lag_bound ~cap) + 16 in
+  let cfg =
+    {
+      Service.n;
+      cap;
+      seed = 3;
+      ticks;
+      churn = Some { Service.rate = 0.05; min_live = n / 2; until = ticks - cooldown };
+      fault = Repro_engine.Fault.none;
+      lag_bound = None;
+      full_sync = None;
+      trace = Repro_engine.Trace.null;
+    }
+  in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let stats = Service.run cfg in
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  assert (stats.Service.epochs = stats.Service.epochs_closed);
+  let per_tick v = v /. float_of_int ticks in
+  [ { name = "repro/B13 soak_service_tick_64";
+      ns_per_run = per_tick (dt *. 1e9);
+      minor_words_per_run = per_tick dw } ]
+
 let human_time ns =
   if Float.is_nan ns then "n/a"
   else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
@@ -287,7 +324,7 @@ let () =
   let rows =
     List.sort
       (fun a b -> String.compare a.name b.name)
-      (measure_subjects () @ scale_subject ())
+      (measure_subjects () @ scale_subject () @ soak_subject ())
   in
   print_table rows;
   if !json then write_json !out rows

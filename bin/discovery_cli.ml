@@ -119,7 +119,8 @@ let fault_arg =
            corrupt=P, cap=K (per-link messages per round; 0 = unlimited), \
            link=SRC>DST:key=value:..., wan=R1|R2:key=value:... (per-link profile on every \
            cross-region link), part=G1|G2@START..HEAL, crash=N@R, restart=N@R, join=N@R, \
-           fabricate=NODE@ID, audit=1. Example: \
+           leave=N@R (graceful departure, service runtime only), fabricate=NODE@ID, audit=1. \
+           Example: \
            loss=0.1,part=0-3|4-7@5..20,crash=5@8,restart=5@14. Example: \
            wan=0-3|4-7:delay=2:loss=0.1:cap=5. Composes with $(b,--loss) and \
            $(b,--crashes), which overlay the plan.")
@@ -435,7 +436,7 @@ let cluster_cmd =
     Arg.(
       value
       & opt backend_conv (Backend.Process Backend.Uds)
-      & info [ "backend"; "transport" ] ~docv:"BACKEND"
+      & info [ "backend" ] ~docv:"BACKEND"
           ~doc:
             "Node runtime: $(b,loopback) (in-process, deterministic, trace-identical to the \
              async simulator), $(b,uds) (one process per node over unix-domain sockets), \
@@ -565,7 +566,7 @@ let chaos_cmd =
     Arg.(
       value
       & opt backend_conv (Backend.Process Backend.Uds)
-      & info [ "backend"; "transport" ] ~docv:"BACKEND"
+      & info [ "backend" ] ~docv:"BACKEND"
           ~doc:"Live backend for the trial clusters: $(b,uds), $(b,tcp) or $(b,mux).")
   in
   let trials_arg =
@@ -672,7 +673,7 @@ let chaos_matrix_cmd =
   let backend_arg =
     Arg.(
       value & opt backend_conv Backend.Mux
-      & info [ "backend"; "transport" ] ~docv:"BACKEND"
+      & info [ "backend" ] ~docv:"BACKEND"
           ~doc:
             "Live backend for the cell clusters: $(b,uds), $(b,tcp) or $(b,mux). The default \
              mux backend runs on a virtual clock, which makes the summary byte-reproducible \
@@ -812,6 +813,157 @@ let chaos_matrix_cmd =
           $(b,ci/chaos-matrix-baseline.json); regenerate the baseline with $(b,--out).")
     term
 
+(* --- soak: the continuous discovery service under churn --------------- *)
+
+let soak_cmd =
+  let open Repro_service in
+  let soak n cap ticks seed churn min_live cooldown plan lag_bound full_sync trace_out quiet =
+    if n < 2 then `Error (false, "--n must be at least 2")
+    else begin
+      let cap = if cap = 0 then n + max 16 (n / 4) else cap in
+      if cap < n then `Error (false, "--cap must be at least n")
+      else if ticks < 1 then `Error (false, "--ticks must be positive")
+      else begin
+        let bound =
+          if lag_bound > 0.0 then lag_bound else Service.default_lag_bound ~cap
+        in
+        let cooldown = if cooldown < 0 then int_of_float bound + 16 else cooldown in
+        let churn =
+          if churn <= 0.0 then None
+          else
+            Some
+              {
+                Service.rate = churn;
+                min_live = (if min_live = 0 then max 2 (n / 2) else min_live);
+                until = max 0 (ticks - cooldown);
+              }
+        in
+        let oc = Option.map open_out trace_out in
+        let trace =
+          match oc with None -> Repro_engine.Trace.null | Some oc -> Repro_engine.Trace.jsonl oc
+        in
+        let cfg =
+          {
+            Service.n;
+            cap;
+            seed;
+            ticks;
+            churn;
+            fault = plan;
+            lag_bound = Some bound;
+            full_sync = (if full_sync then Some true else None);
+            trace;
+          }
+        in
+        let finish code =
+          Option.iter close_out oc;
+          `Ok code
+        in
+        match Service.run cfg with
+        | stats ->
+          print_string (Service.stats_to_json stats);
+          print_newline ();
+          let open_epochs = stats.Service.epochs - stats.Service.epochs_closed in
+          if not quiet then
+            if open_epochs = 0 then
+              Printf.eprintf
+                "discovery soak: %d ticks, %d membership changes (%d joins, %d leaves, %d \
+                 crashes), all epochs converged (max lag %.1f ticks, bound %.0f)\n"
+                stats.Service.ticks_run stats.Service.epochs stats.Service.joins
+                stats.Service.leaves stats.Service.crashes stats.Service.max_lag bound
+            else
+              Printf.eprintf
+                "discovery soak: %d ticks, %d membership changes, %d epoch(s) still settling \
+                 at the end of the run (no deadline missed; extend --ticks or --cooldown)\n"
+                stats.Service.ticks_run stats.Service.epochs open_epochs;
+          finish (if open_epochs = 0 then 0 else 1)
+        | exception Repro_engine.Trace.Lag.Violation msg ->
+          Printf.eprintf "discovery soak: INVARIANT VIOLATION: %s\n" msg;
+          finish 1
+      end
+    end
+  in
+  let n_arg =
+    Arg.(value & opt int 256 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Founding members.")
+  in
+  let cap_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "cap" ] ~docv:"CAP"
+          ~doc:
+            "Id universe: joiners and restarted members draw from ids N..CAP-1 and the retired \
+             pool. Default: N + max(16, N/4).")
+  in
+  let ticks_arg =
+    Arg.(value & opt int 5000 & info [ "ticks" ] ~docv:"T" ~doc:"Virtual ticks to run.")
+  in
+  let churn_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "churn" ] ~docv:"RATE"
+          ~doc:
+            "Expected membership events per tick: joins at RATE/2, graceful leaves and crashes \
+             at RATE/4 each. 0 disables the churn generator (scheduled $(b,--fault) churn still \
+             applies).")
+  in
+  let min_live_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "min-live" ] ~docv:"K"
+          ~doc:"Never leave/crash below K live members (default N/2).")
+  in
+  let cooldown_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "cooldown" ] ~docv:"T"
+          ~doc:
+            "Churn-free ticks at the end of the run, so every epoch's convergence deadline \
+             falls inside it (default: lag bound + 16).")
+  in
+  let lag_bound_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "lag-bound" ] ~docv:"TICKS"
+          ~doc:
+            "Convergence-lag bound: every live member must match the true membership within \
+             this many ticks of each change. Default: max(64, 4·log2(CAP)²) — the polylog \
+             envelope of the paper's re-discovery cost.")
+  in
+  let full_sync_arg =
+    Arg.(
+      value & flag
+      & info [ "full-sync" ]
+          ~doc:
+            "Force the periodic full-state anti-entropy backstop on (default: enabled exactly \
+             when an update could die in flight — the fault plan can lose messages, or \
+             membership can change at all).")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE" ~doc:"Write the JSONL event trace to $(docv).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the summary line on stderr.")
+  in
+  let term =
+    Term.(
+      ret
+        (const soak $ n_arg $ cap_arg $ ticks_arg $ seed_arg $ churn_arg $ min_live_arg
+       $ cooldown_arg $ fault_arg $ lag_bound_arg $ full_sync_arg $ trace_out_arg $ quiet_arg))
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Run discovery as a continuous service: a multiplexed fleet on a virtual clock under \
+          seeded churn (joins bootstrapping from live contacts, graceful leaves, crashes and \
+          restarts), with SWIM-style liveness probing and versioned anti-entropy deltas. The \
+          online convergence-lag invariant requires every live member's view to match the \
+          true membership within the bound after each change. One-line JSON report on stdout, \
+          byte-reproducible for a given seed; exit 0 only when every epoch converged in time.")
+    term
+
 let topo_cmd =
   let show family n seed =
     let rng = Rng.substream ~seed ~index:0x70b0 in
@@ -845,7 +997,7 @@ let () =
     Cmd.group info
       [
         run_cmd; list_cmd; topo_cmd; trace_cmd; trace_diff_cmd; cluster_cmd; chaos_cmd;
-        chaos_matrix_cmd;
+        chaos_matrix_cmd; soak_cmd;
       ]
   in
   exit

@@ -12,6 +12,9 @@ let data_ids (d : Payload.data) =
     let a = Intvec.slice_to_array s in
     Array.sort compare a;
     a
+  | Payload.Updates u ->
+    (* entries are canonically sorted by node already *)
+    Array.map (fun e -> e.Payload.node) u.entries
 
 let payload_ids (p : Payload.t) =
   match p with
@@ -35,6 +38,22 @@ let inject_data ~universe ids (d : Payload.data) =
       let arr = Intvec.slice_to_array s in
       let extra = List.filter (fun id -> not (Array.exists (Int.equal id) arr)) fresh in
       if extra = [] then d else Payload.Ids (Array.append arr (Array.of_list extra))
+    | Payload.Updates u ->
+      let known id = Array.exists (fun e -> e.Payload.node = id) u.entries in
+      let extra = List.filter (fun id -> not (known id)) fresh in
+      if extra = [] then d
+      else begin
+        (* fabricated members appear as never-versioned alive entries,
+           re-sorted to keep the batch canonical *)
+        let fab =
+          List.map
+            (fun id -> { Payload.node = id; version = 0; status = Payload.status_alive })
+            extra
+        in
+        let entries = Array.append u.entries (Array.of_list fab) in
+        Array.sort (fun a b -> compare a.Payload.node b.Payload.node) entries;
+        Payload.Updates { u with entries }
+      end
 
 let inject ~universe (p : Payload.t) ids =
   match p with

@@ -278,7 +278,7 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
            custody and must flow upward: make it an explicit learn. *)
         Knowledge.note_explicit st.knowledge src
       end
-    | Payload.Ids _ | Payload.Delta _ -> ()
+    | Payload.Ids _ | Payload.Delta _ | Payload.Updates _ -> ()
   in
   (* Quiescence is reversible: a message that teaches anything new, or
      contact from a node we have never heard of (a late joiner), wakes a
@@ -308,6 +308,8 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
         | Payload.Bits b -> absorb_custody b
         | Payload.Ids ids -> Array.iter (fun v -> ignore (Cset.add st.upward_done v)) ids
         | Payload.Delta s -> Intvec.slice_iter (fun v -> ignore (Cset.add st.upward_done v)) s
+        | Payload.Updates u ->
+          Array.iter (fun e -> ignore (Cset.add st.upward_done e.Payload.node)) u.entries
       end
       else note_custody ~src d
     | Share d ->

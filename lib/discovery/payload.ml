@@ -1,20 +1,46 @@
 open Repro_util
 
-type data = Bits of Knowledge.snap | Ids of int array | Delta of Intvec.slice
+type update = { node : int; version : int; status : int }
+
+type data =
+  | Bits of Knowledge.snap
+  | Ids of int array
+  | Delta of Intvec.slice
+  | Updates of { full : bool; entries : update array }
 
 type t = Share of data | Exchange of data | Reply of data | Probe | Halt
+
+let status_alive = 0
+let status_suspect = 1
+let status_down = 2
 
 let data_size = function
   | Bits b -> Cset.cardinal b.Knowledge.set
   | Ids a -> Array.length a
   | Delta s -> Intvec.slice_length s
+  | Updates u -> Array.length u.entries
 
-let measure = function Share d | Exchange d | Reply d -> data_size d | Probe | Halt -> 1
+let measure = function
+  | Share d | Exchange d | Reply d ->
+    (* an update batch always costs at least the sender's own address,
+       like a Probe: empty full-state requests are real messages *)
+    (match d with Updates _ -> max 1 (data_size d) | Bits _ | Ids _ | Delta _ -> data_size d)
+  | Probe | Halt -> 1
 
 let merge_data knowledge = function
   | Bits b -> Knowledge.merge_snapshot knowledge b
   | Ids a -> Knowledge.merge_ids knowledge a
   | Delta s -> Knowledge.merge_slice knowledge s
+  | Updates u ->
+    (* an update teaches the receiver the node's id and its version; the
+       status annotation is protocol state, applied by the service's
+       membership view, not by the knowledge set *)
+    Array.fold_left
+      (fun acc e ->
+        let fresh = Knowledge.add knowledge e.node in
+        ignore (Knowledge.observe_version knowledge ~node:e.node ~version:e.version);
+        if fresh then acc + 1 else acc)
+      0 u.entries
 
 (* Preallocated empty delta: steady-state "I learned nothing since my
    last send" resends are the hot case and should not allocate. *)

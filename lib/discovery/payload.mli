@@ -7,6 +7,15 @@
 
 open Repro_util
 
+type update = { node : int; version : int; status : int }
+(** One membership observation: [node] was seen at [version] (its
+    incarnation counter, see {!Knowledge.observe_version}) with
+    [status] — {!status_alive}, {!status_suspect} or {!status_down}.
+    Conflicts resolve by [(version, status)] lexicographically: a higher
+    version always wins, and at equal versions the more pessimistic
+    status does (down > suspect > alive), so an incarnation can only be
+    refuted by the node itself bumping its version. *)
+
 type data =
   | Bits of Knowledge.snap
       (** Full-knowledge snapshot with carried minima. Payload snapshots
@@ -20,6 +29,14 @@ type data =
           delta (see {!Knowledge.since_slice}). Carries the same
           identifiers as the equivalent [Ids] array: identical
           {!measure}, merge result, and wire encoding. *)
+  | Updates of { full : bool; entries : update array }
+      (** Versioned membership delta — the anti-entropy currency of the
+          continuous discovery service. [entries] must be canonical:
+          sorted by node, one entry per node. [full] marks a full-state
+          sync rather than an incremental delta: on an [Exchange] it is
+          a bootstrap request (the receiver should answer with its whole
+          view), on a [Reply]/[Share] it announces that the entries are
+          the sender's complete view. *)
 
 type t =
   | Share of data  (** One-way knowledge transfer. *)
@@ -35,6 +52,14 @@ type t =
           discovery is finished and will stop transmitting; receivers
           should quiesce too (see {!Hm_gossip} on detection). *)
 
+val status_alive : int
+val status_suspect : int
+val status_down : int
+(** The three wire statuses of an {!update}: 0, 1 and 2. [status_down]
+    covers both graceful leaves and confirmed crashes — either way the
+    node is retired from the membership view until a higher incarnation
+    refutes it. *)
+
 val data_size : data -> int
 (** Number of identifiers carried. *)
 
@@ -42,11 +67,14 @@ val measure : t -> int
 (** Pointer complexity of a message. Every message implicitly carries its
     sender's address, so [Probe] costs 1; data messages cost their
     identifier count (the sender is always an element of its own
-    knowledge). *)
+    knowledge). An empty [Updates] batch costs 1 like a probe. *)
 
 val merge_data : Knowledge.t -> data -> int
 (** Merge carried identifiers into a knowledge set; returns the number of
-    identifiers learned. *)
+    identifiers learned. [Updates] entries additionally record their
+    versions ({!Knowledge.observe_version}); their statuses are protocol
+    state for the service's membership view and are not interpreted
+    here. *)
 
 val empty_delta : data
 (** A preallocated empty [Delta] for steady-state "nothing new since my

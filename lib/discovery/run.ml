@@ -102,10 +102,3 @@ let exec_spec spec (algo : Algorithm.t) topology =
     metrics = outcome.Sim.metrics;
     alive = outcome.Sim.alive;
   }
-
-let exec ?(seed = 0) ?(fault = Fault.none) ?(completion = Strong) ?max_rounds
-    ?(track_growth = false) ?(encoding = Wire.Adaptive) algo topology =
-  exec_spec
-    { seed; fault; completion; max_rounds; track_growth; encoding; trace = Trace.null; jobs = 1 }
-    algo topology
-[@@deprecated "use Run.exec_spec with a Run.spec record"]

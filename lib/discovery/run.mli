@@ -92,17 +92,3 @@ val exec_spec : spec -> Algorithm.t -> Topology.t -> result
     predicates quantify over currently-active nodes). A run is a pure
     function of [(spec, algo, topo)] and touches no global state, so
     independent runs may execute on concurrent domains. *)
-
-val exec :
-  ?seed:int ->
-  ?fault:Fault.t ->
-  ?completion:completion ->
-  ?max_rounds:int ->
-  ?track_growth:bool ->
-  ?encoding:Wire.encoding ->
-  Algorithm.t ->
-  Topology.t ->
-  result
-[@@deprecated "use Run.exec_spec with a Run.spec record"]
-(** Optional-argument wrapper around {!exec_spec}, kept for source
-    compatibility. New code should build a {!spec}. *)

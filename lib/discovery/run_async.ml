@@ -87,19 +87,3 @@ let exec_spec spec (algo : Algorithm.t) topology =
     metrics = outcome.Async_sim.metrics;
     alive = outcome.Async_sim.alive;
   }
-
-let exec ?(seed = 0) ?(fault = Fault.none) ?(completion = Run.Strong) ?horizon
-    ?(tick_jitter = 0.1) ?(latency = (0.1, 0.9)) algo topology =
-  exec_spec
-    {
-      seed;
-      fault;
-      completion;
-      horizon;
-      tick_jitter;
-      latency;
-      encoding = Wire.Adaptive;
-      trace = Trace.null;
-    }
-    algo topology
-[@@deprecated "use Run_async.exec_spec with a Run_async.spec record"]

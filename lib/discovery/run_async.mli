@@ -54,17 +54,3 @@ val exec_spec : spec -> Algorithm.t -> Topology.t -> result
 (** Determinism and the completion predicates are as in
     {!Run.exec_spec}; under late joins, completion is gated on the last
     join time. *)
-
-val exec :
-  ?seed:int ->
-  ?fault:Fault.t ->
-  ?completion:Run.completion ->
-  ?horizon:float ->
-  ?tick_jitter:float ->
-  ?latency:float * float ->
-  Algorithm.t ->
-  Topology.t ->
-  result
-[@@deprecated "use Run_async.exec_spec with a Run_async.spec record"]
-(** Optional-argument wrapper around {!exec_spec}, kept for source
-    compatibility. New code should build a {!spec}. *)

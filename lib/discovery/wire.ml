@@ -42,6 +42,7 @@ let ids_of_data = function
   | Payload.Bits b -> Cset.elements b.Knowledge.set
   | Payload.Ids a -> List.sort_uniq Int.compare (Array.to_list a)
   | Payload.Delta s -> List.sort_uniq Int.compare (Array.to_list (Intvec.slice_to_array s))
+  | Payload.Updates u -> Array.to_list (Array.map (fun e -> e.Payload.node) u.entries)
 
 let ids_of_payload = function
   | Payload.Share d | Payload.Exchange d | Payload.Reply d -> ids_of_data d
@@ -102,12 +103,61 @@ let bitmap_body ~universe ids =
 
 let bitmap_size ~universe = (universe + 7) / 8
 
+(* --- update-batch codec (body codec 3) ---
+
+   Canonical form required of the payload: entries sorted by node,
+   strictly ascending (one entry per node). Body: varint count, then per
+   entry a varint node gap (node - prev - 1), a varint version and one
+   status byte. The 0x40 bit of the codec byte carries the batch's
+   [full] flag. *)
+
+let updates_full_flag = 0x40
+
+let check_updates ~universe (entries : Payload.update array) =
+  let prev = ref (-1) in
+  Array.iter
+    (fun (e : Payload.update) ->
+      if e.Payload.node <= !prev then invalid_arg "Wire.encode: updates not strictly ascending";
+      if e.Payload.node >= universe then invalid_arg "Wire.encode: identifier out of range";
+      if e.Payload.version < 0 then invalid_arg "Wire.encode: negative version";
+      if e.Payload.status < 0 || e.Payload.status > Payload.status_down then
+        invalid_arg "Wire.encode: unknown update status";
+      prev := e.Payload.node)
+    entries
+
+let updates_body (entries : Payload.update array) =
+  let buf = Buffer.create (8 + (3 * Array.length entries)) in
+  write_varint buf (Array.length entries);
+  let prev = ref (-1) in
+  Array.iter
+    (fun (e : Payload.update) ->
+      write_varint buf (e.Payload.node - !prev - 1);
+      write_varint buf e.Payload.version;
+      Buffer.add_char buf (Char.chr e.Payload.status);
+      prev := e.Payload.node)
+    entries;
+  buf
+
+let updates_body_size (entries : Payload.update array) =
+  let total = ref (varint_size (Array.length entries)) in
+  let prev = ref (-1) in
+  Array.iter
+    (fun (e : Payload.update) ->
+      total := !total + varint_size (e.Payload.node - !prev - 1) + varint_size e.Payload.version + 1;
+      prev := e.Payload.node)
+    entries;
+  !total
+
 (* --- message framing ---
 
    byte 0: message kind (0 Share, 1 Exchange, 2 Reply, 3 Probe, 4 Halt)
-   byte 1 (data payloads only): body codec (0 raw32, 1 varint, 2 bitmap)
-     in the low bits, plus the snapshot-form flag (0x80) in the top bit
+   byte 1 (data payloads only): body codec (0 raw32, 1 varint, 2 bitmap,
+     3 updates) in the low bits, plus the snapshot-form flag (0x80) in
+     the top bit and — update batches only — the full-state flag (0x40)
    rest: codec body. [Adaptive] picks the smaller of varint/bitmap.
+   Update batches always use codec 3: the versions make them
+   incompressible into the id-set codecs, and their encoding is
+   independent of the [encoding] choice.
 
    The snapshot flag preserves the payload's in-memory form across the
    wire: algorithms distinguish a full-knowledge snapshot ([Bits]) from
@@ -137,10 +187,20 @@ let encode encoding ~universe payload =
   Buffer.add_char buf (Char.chr (kind_tag payload));
   (match payload with
   | Payload.Probe | Payload.Halt -> ()
+  | Payload.Share (Payload.Updates u)
+  | Payload.Exchange (Payload.Updates u)
+  | Payload.Reply (Payload.Updates u) ->
+    check_updates ~universe u.entries;
+    Buffer.add_char buf (Char.chr (3 lor if u.full then updates_full_flag else 0));
+    Buffer.add_buffer buf (updates_body u.entries)
   | Payload.Share d | Payload.Exchange d | Payload.Reply d ->
     let ids = ids_of_data d in
     check_range ~universe ids;
-    let form = match d with Payload.Bits _ -> snapshot_flag | Payload.Ids _ | Payload.Delta _ -> 0 in
+    let form =
+      match d with
+      | Payload.Bits _ -> snapshot_flag
+      | Payload.Ids _ | Payload.Delta _ | Payload.Updates _ -> 0
+    in
     (match body_choice encoding ~universe ids with
     | `Raw ->
       Buffer.add_char buf (Char.chr form);
@@ -240,7 +300,7 @@ let ids_sizes d =
     match d with
     | Payload.Ids a -> Array.length a
     | Payload.Delta s -> Intvec.slice_length s
-    | Payload.Bits _ -> invalid_arg "Wire.ids_sizes: Bits payload"
+    | Payload.Bits _ | Payload.Updates _ -> invalid_arg "Wire.ids_sizes: non-id payload"
   in
   if Array.length !scratch < m then scratch := Array.make (max m (2 * Array.length !scratch)) 0;
   let arr = !scratch in
@@ -250,7 +310,7 @@ let ids_sizes d =
     for i = 0 to m - 1 do
       arr.(i) <- Intvec.slice_get s i
     done
-  | Payload.Bits _ -> ());
+  | Payload.Bits _ | Payload.Updates _ -> ());
   sort_prefix arr m;
   sorted_prefix_sizes arr m
 
@@ -260,6 +320,7 @@ let encoded_size encoding ~universe payload =
   | Payload.Share d | Payload.Exchange d | Payload.Reply d ->
     let body =
       match (encoding, d) with
+      | _, Payload.Updates u -> updates_body_size u.entries
       | Raw32, Payload.Bits b ->
         let card = Cset.cardinal b.Knowledge.set in
         varint_size card + (4 * card)
@@ -297,7 +358,10 @@ let decode_exn ~universe bytes =
     if Bytes.length bytes < 2 then invalid_arg "Wire.decode: truncated header";
     let codec_byte = Char.code (Bytes.get bytes 1) in
     let snapshot = codec_byte land snapshot_flag <> 0 in
-    let codec = codec_byte land lnot snapshot_flag in
+    let full = codec_byte land updates_full_flag <> 0 in
+    let codec = codec_byte land 0x3F in
+    if full && codec <> 3 then invalid_arg "Wire.decode: full flag on a non-update codec";
+    if snapshot && codec = 3 then invalid_arg "Wire.decode: snapshot flag on an update batch";
     let pos = ref 2 in
     let data =
       match codec with
@@ -351,6 +415,29 @@ let decode_exn ~universe bytes =
             invalid_arg "Wire.decode: bitmap has bits beyond the universe"
         end;
         Payload.Bits (Knowledge.external_snapshot bits)
+      | 3 ->
+        let count = read_varint bytes pos in
+        (* each entry is at least three bytes (gap, version, status), so
+           a valid count never exceeds a third of the remaining length *)
+        if count < 0 || count > (Bytes.length bytes - !pos) / 3 then
+          invalid_arg "Wire.decode: updates count exceeds buffer";
+        let entries = Array.make count { Payload.node = 0; version = 0; status = 0 } in
+        let prev = ref (-1) in
+        for i = 0 to count - 1 do
+          let gap = read_varint bytes pos in
+          let node = !prev + 1 + gap in
+          if node < 0 || node >= universe then invalid_arg "Wire.decode: identifier out of range";
+          let version = read_varint bytes pos in
+          if version < 0 then invalid_arg "Wire.decode: version overflow";
+          if !pos >= Bytes.length bytes then invalid_arg "Wire.decode: truncated update status";
+          let status = Char.code (Bytes.get bytes !pos) in
+          incr pos;
+          if status > Payload.status_down then invalid_arg "Wire.decode: unknown update status";
+          entries.(i) <- { Payload.node; version; status };
+          prev := node
+        done;
+        if !pos <> Bytes.length bytes then invalid_arg "Wire.decode: trailing bytes";
+        Payload.Updates { full; entries }
       | _ -> invalid_arg "Wire.decode: unknown body codec"
     in
     (match data with
@@ -358,7 +445,7 @@ let decode_exn ~universe bytes =
       Array.iter
         (fun v -> if v < 0 || v >= universe then invalid_arg "Wire.decode: identifier out of range")
         out
-    | Payload.Bits _ | Payload.Delta _ -> ());
+    | Payload.Bits _ | Payload.Delta _ | Payload.Updates _ -> ());
     (* restore the sender's form: the body codec was a size decision *)
     let data =
       match (data, snapshot) with
@@ -367,7 +454,7 @@ let decode_exn ~universe bytes =
         Array.iter (fun v -> ignore (Cset.add bits v)) out;
         Payload.Bits (Knowledge.external_snapshot bits)
       | Payload.Bits b, false -> Payload.Ids (Cset.to_array b.Knowledge.set)
-      | (Payload.Ids _ | Payload.Bits _ | Payload.Delta _), _ -> data
+      | (Payload.Ids _ | Payload.Bits _ | Payload.Delta _ | Payload.Updates _), _ -> data
     in
     match kind with
     | 0 -> Payload.Share data

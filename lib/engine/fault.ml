@@ -23,6 +23,7 @@ type t = {
   crashes : int Imap.t;
   restarts : int Imap.t;
   joins : int Imap.t;
+  leaves : int Imap.t;
   fabrications : int list Imap.t;
   audit : bool;
 }
@@ -36,6 +37,7 @@ let none =
     crashes = Imap.empty;
     restarts = Imap.empty;
     joins = Imap.empty;
+    leaves = Imap.empty;
     fabrications = Imap.empty;
     audit = false;
   }
@@ -182,6 +184,8 @@ let with_crash t ~node ~round =
   (match Imap.find_opt node t.restarts with
   | Some rr when rr <= round -> invalid_arg "Fault.with_crash: scheduled restart precedes crash"
   | _ -> ());
+  if Imap.mem node t.leaves then
+    invalid_arg "Fault.with_crash: node is scheduled to leave gracefully";
   { t with crashes = Imap.add node round t.crashes }
 
 let with_crashes t pairs =
@@ -213,6 +217,19 @@ let with_joins t pairs =
 
 let join_round t ~node = Option.value ~default:1 (Imap.find_opt node t.joins)
 let joining_nodes t = Imap.bindings t.joins
+
+let with_leave t ~node ~round =
+  if round < 1 then invalid_arg "Fault.with_leave: rounds are 1-based";
+  if node < 0 then invalid_arg "Fault.with_leave: negative node";
+  if Imap.mem node t.crashes then
+    invalid_arg "Fault.with_leave: node is scheduled to crash";
+  { t with leaves = Imap.add node round t.leaves }
+
+let with_leaves t pairs =
+  List.fold_left (fun t (node, round) -> with_leave t ~node ~round) t pairs
+
+let leave_round t ~node = Imap.find_opt node t.leaves
+let leaving_nodes t = Imap.bindings t.leaves
 
 (* --- content adversaries --------------------------------------------- *)
 
@@ -246,6 +263,7 @@ let equal a b =
   && Imap.equal Int.equal a.crashes b.crashes
   && Imap.equal Int.equal a.restarts b.restarts
   && Imap.equal Int.equal a.joins b.joins
+  && Imap.equal Int.equal a.leaves b.leaves
   && Imap.equal (fun x y -> x = y) a.fabrications b.fabrications
   && a.audit = b.audit
 
@@ -253,7 +271,7 @@ let is_none t = equal t none
 
 let last_scheduled_round t =
   let mx m acc = Imap.fold (fun _ r acc -> max r acc) m acc in
-  let acc = mx t.crashes (mx t.restarts (mx t.joins 0)) in
+  let acc = mx t.crashes (mx t.restarts (mx t.joins (mx t.leaves 0))) in
   List.fold_left (fun acc p -> max acc p.heal) acc t.partitions
 
 (* --- printer --------------------------------------------------------- *)
@@ -308,6 +326,7 @@ let to_string t =
     @ (match t.wan with None -> [] | Some w -> [ wan_to_string w ])
     @ List.map partition_to_string t.partitions
     @ sched "crash" t.crashes @ sched "restart" t.restarts @ sched "join" t.joins
+    @ sched "leave" t.leaves
     @ (Imap.bindings t.fabrications
       |> List.concat_map (fun (n, ids) ->
              List.map (fun id -> Printf.sprintf "fabricate=%d@%d" n id) ids))
@@ -387,6 +406,7 @@ type item =
   | Crash of int * int
   | Restart of int * int
   | Join of int * int
+  | Leave of int * int
   | Fabricate of int * int
   | Audit of bool
 
@@ -441,6 +461,9 @@ let parse_item s =
       | "join" ->
           let n, r = parse_at "join" v in
           Join (n, r)
+      | "leave" ->
+          let n, r = parse_at "leave" v in
+          Leave (n, r)
       | _ -> bad "unknown fault %S" key)
 
 let of_string s =
@@ -479,6 +502,7 @@ let of_string s =
             | Crash (node, round) -> with_crash t ~node ~round
             | Restart (node, round) -> with_restart t ~node ~round
             | Join (node, round) -> with_join t ~node ~round
+            | Leave (node, round) -> with_leave t ~node ~round
             | Fabricate (node, id) -> with_fabrication t ~node ~id
             | Audit on -> with_audit t on)
           none items

@@ -174,6 +174,23 @@ val join_round : t -> node:int -> int
 val joining_nodes : t -> (int * int) list
 (** All scheduled late joins as [(node, round)], sorted by node. *)
 
+val with_leave : t -> node:int -> round:int -> t
+(** Schedule [node] to leave gracefully at the start of [round]
+    (1-based): it announces its departure and stops, unlike a crash,
+    which is silent. Consumed by the continuous discovery service
+    (the one-shot engines treat membership as fixed once joined).
+    @raise Invalid_argument if [round < 1], [node < 0], or [node] also
+    has a scheduled crash (a node cannot both crash and leave). *)
+
+val with_leaves : t -> (int * int) list -> t
+(** Fold of {!with_leave} over [(node, round)] pairs. *)
+
+val leave_round : t -> node:int -> int option
+(** The round at which [node] leaves, if scheduled. *)
+
+val leaving_nodes : t -> (int * int) list
+(** All scheduled leaves as [(node, round)], sorted by node. *)
+
 (** {1 Content adversaries} *)
 
 val with_fabrication : t -> node:int -> id:int -> t
@@ -200,9 +217,9 @@ val with_audit : t -> bool -> t
 val audit : t -> bool
 
 val last_scheduled_round : t -> int
-(** The latest round mentioned by any schedule (crash, restart, join or
-    partition heal); 0 for {!none}. Drivers use it to keep runs alive
-    until the plan has fully played out. *)
+(** The latest round mentioned by any schedule (crash, restart, join,
+    leave or partition heal); 0 for {!none}. Drivers use it to keep runs
+    alive until the plan has fully played out. *)
 
 (** {1 Serialization} *)
 
@@ -211,7 +228,8 @@ val to_string : t -> string
     [loss=P], [delay=T], [dup=P], [reorder=P], [corrupt=P], [cap=N],
     [link=SRC>DST:key=value:...], [wan=R1|R2:key=value:...] (regions are
     [+]-joined [a-b] ranges), [part=G1|G2@START..HEAL], [crash=N@R],
-    [restart=N@R], [join=N@R], [fabricate=NODE@ID], [audit=1]. *)
+    [restart=N@R], [join=N@R], [leave=N@R], [fabricate=NODE@ID],
+    [audit=1]. *)
 
 val of_string : string -> (t, string) result
 (** Parse the DSL; inverse of {!to_string}. Restart items may appear

@@ -12,6 +12,10 @@ type event =
   | Join of { node : int }
   | Genesis of { node : int; ids : int array }
   | Content of { src : int; dst : int; ids : int array }
+  | Leave of { node : int }
+  | Suspect of { node : int; target : int }
+  | Retire of { node : int; target : int }
+  | Converge of { node : int; epoch : int }
   | Complete
   | Give_up
 
@@ -55,6 +59,13 @@ let event_to_json = function
     Printf.sprintf {|{"ev":"genesis","node":%d,"ids":%s}|} node (ids_json ids)
   | Content { src; dst; ids } ->
     Printf.sprintf {|{"ev":"content","src":%d,"dst":%d,"ids":%s}|} src dst (ids_json ids)
+  | Leave { node } -> Printf.sprintf {|{"ev":"leave","node":%d}|} node
+  | Suspect { node; target } ->
+    Printf.sprintf {|{"ev":"suspect","node":%d,"target":%d}|} node target
+  | Retire { node; target } ->
+    Printf.sprintf {|{"ev":"retire","node":%d,"target":%d}|} node target
+  | Converge { node; epoch } ->
+    Printf.sprintf {|{"ev":"converge","node":%d,"epoch":%d}|} node epoch
   | Complete -> {|{"ev":"complete"}|}
   | Give_up -> {|{"ev":"give_up"}|}
 
@@ -255,6 +266,17 @@ module Invariants = struct
       match Hashtbl.find_opt t.status node with
       | Some Crashed -> fail "node %d crashed twice" node
       | _ -> Hashtbl.replace t.status node Crashed)
+    | Leave { node } ->
+      (* a graceful departure is only legal from an active node; the node
+         is inactive afterwards, exactly like a crash *)
+      require_active t "leave" node;
+      Hashtbl.replace t.status node Crashed
+    | Suspect { node; target = _ } -> require_active t "suspicion" node
+    | Retire { node; target = _ } -> require_active t "retirement" node
+    | Converge { node = _; epoch } ->
+      (* observer verdicts carry no liveness obligations of their own;
+         the convergence-lag discipline lives in {!Lag} *)
+      if epoch < 0 then fail "converge with negative epoch %d" epoch
     | Join { node } -> (
       match Hashtbl.find_opt t.status node with
       | None -> Hashtbl.replace t.status node Active
@@ -315,4 +337,127 @@ module Invariants = struct
     agree "drops" t.dropped (Metrics.messages_dropped metrics);
     agree "pointers" t.pointers (Metrics.pointers_sent metrics);
     agree "bytes" t.bytes (Metrics.bytes_sent metrics)
+end
+
+module Lag = struct
+  exception Violation of string
+
+  (* Epochs are numbered from 1; epoch 0 is the genesis membership
+     (Join events before the first Tick), which carries no deadline.
+     [frontier] is the lowest epoch not yet confirmed converged; epochs
+     close in order, since a node matching the *current* membership has
+     necessarily caught up with every earlier change. *)
+  type t = {
+    bound : float;
+    mutable now : float;
+    mutable started : bool;  (* saw a Tick: membership changes now bump epochs *)
+    mutable epoch : int;
+    epoch_time : (int, float) Hashtbl.t;
+    live : (int, unit) Hashtbl.t;
+    join_time : (int, float) Hashtbl.t;
+    conv : (int, int) Hashtbl.t;  (* node -> highest converged epoch *)
+    mutable frontier : int;
+    mutable closed : int;
+    mutable max_lag : float;
+  }
+
+  let create ?(bound = 512.0) () =
+    if bound <= 0.0 then invalid_arg "Trace.Lag.create: bound must be positive";
+    {
+      bound;
+      now = 0.0;
+      started = false;
+      epoch = 0;
+      epoch_time = Hashtbl.create 64;
+      live = Hashtbl.create 64;
+      join_time = Hashtbl.create 64;
+      conv = Hashtbl.create 64;
+      frontier = 1;
+      closed = 0;
+      max_lag = 0.0;
+    }
+
+  let fail fmt = Printf.ksprintf (fun m -> raise (Violation m)) fmt
+
+  let required t ~epoch_t node =
+    Hashtbl.mem t.live node
+    && Option.value (Hashtbl.find_opt t.join_time node) ~default:0.0 <= epoch_t
+
+  let laggard t ~epoch_t ~epoch =
+    Hashtbl.fold
+      (fun node () acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if
+            required t ~epoch_t node
+            && Option.value (Hashtbl.find_opt t.conv node) ~default:0 < epoch
+          then Some node
+          else None)
+      t.live None
+
+  let advance t =
+    let continue = ref true in
+    while !continue && t.frontier <= t.epoch do
+      let epoch_t = Hashtbl.find t.epoch_time t.frontier in
+      match laggard t ~epoch_t ~epoch:t.frontier with
+      | None ->
+        let lag = t.now -. epoch_t in
+        if lag > t.max_lag then t.max_lag <- lag;
+        t.closed <- t.closed + 1;
+        t.frontier <- t.frontier + 1
+      | Some node ->
+        if t.now > epoch_t +. t.bound then
+          fail
+            "convergence lag exceeded: node %d has not converged to epoch %d (change at t=%g) by \
+             t=%g (bound %g)"
+            node t.frontier epoch_t t.now t.bound;
+        continue := false
+    done
+
+  let bump t =
+    if t.started then begin
+      t.epoch <- t.epoch + 1;
+      Hashtbl.replace t.epoch_time t.epoch t.now
+    end
+
+  let check t ev =
+    match ev with
+    | Tick { time; _ } ->
+      t.started <- true;
+      if time > t.now then t.now <- time;
+      advance t
+    | Join { node } ->
+      bump t;
+      Hashtbl.replace t.live node ();
+      Hashtbl.replace t.join_time node (if t.started then t.now else 0.0);
+      (* a fresh (re)join starts from scratch: earlier convergence
+         verdicts belong to the previous incarnation *)
+      Hashtbl.remove t.conv node;
+      advance t
+    | Crash { node } | Leave { node } ->
+      bump t;
+      Hashtbl.remove t.live node;
+      advance t
+    | Converge { node; epoch } ->
+      if epoch > t.epoch then
+        fail "node %d converged to epoch %d, which has not happened (current epoch %d)" node epoch
+          t.epoch;
+      let prev = Option.value (Hashtbl.find_opt t.conv node) ~default:0 in
+      if epoch > prev then Hashtbl.replace t.conv node epoch;
+      advance t
+    | Round_begin _ | Send _ | Deliver _ | Drop _ | Suspect _ | Retire _ | Genesis _ | Content _
+    | Complete | Give_up ->
+      ()
+
+  let sink t = callback (check t)
+  let epochs t = t.epoch
+  let closed t = t.closed
+  let max_lag t = t.max_lag
+
+  (* Epochs whose deadline falls beyond the end of the trace are not
+     enforced (the run simply ended too early to judge them); everything
+     due by the final clock reading was already checked online, so the
+     final pass is one last [advance] at the last observed time. *)
+  let final_check t = advance t
 end

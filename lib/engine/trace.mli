@@ -67,6 +67,20 @@ type event =
   | Content of { src : int; dst : int; ids : int array }
       (** content audit only: the ids a delivered data payload advertises
           (ascending), emitted adjacent to its [Deliver]. *)
+  | Leave of { node : int }
+      (** continuous service only: a graceful departure — the node
+          announces it is leaving and stops. Inactive afterwards, like
+          [Crash], but the fleet was told rather than left to find out. *)
+  | Suspect of { node : int; target : int }
+      (** continuous service only: [node]'s failure detector started
+          suspecting [target] (an unanswered liveness probe). *)
+  | Retire of { node : int; target : int }
+      (** continuous service only: [node] confirmed [target] as failed
+          and retired it from its membership view. *)
+  | Converge of { node : int; epoch : int }
+      (** continuous service only, emitted by the omniscient observer:
+          [node]'s membership view matches the true membership as of
+          change number [epoch] (see {!Lag}). *)
   | Complete  (** the completion predicate fired *)
   | Give_up  (** round/time budget exhausted *)
 
@@ -195,4 +209,52 @@ module Invariants : sig
       conservation, and that sink-counted sends/deliveries/drops/
       pointers/bytes equal the {!Metrics} totals.
       @raise Violation on any mismatch. *)
+end
+
+(** {2 Convergence-lag checking}
+
+    The liveness discipline of a {e continuous} run: after every
+    membership change (a [Join], [Crash] or [Leave] once the clock has
+    started), every live node must re-converge to the new membership
+    within [bound] time units. The observer (the service runtime)
+    numbers changes as {e epochs} — change [k] is epoch [k]; [Join]s
+    before the first [Tick] are the genesis membership, epoch 0, with no
+    deadline — and emits [Converge {node; epoch}] when a node's view
+    matches the membership as of epoch [epoch]. The checker closes
+    epochs in order (matching the current membership subsumes every
+    earlier change) and raises the moment the clock passes an open
+    epoch's deadline.
+
+    A node is required to converge to epoch [e] iff it is live and
+    (re)joined no later than [e]'s change time: later joiners answer for
+    the epochs their own join created. Like {!Invariants}, attach via
+    {!Lag.sink} ({!tee}d with any other sink). *)
+module Lag : sig
+  type t
+
+  exception Violation of string
+
+  val create : ?bound:float -> unit -> t
+  (** [bound] is the convergence deadline in the trace's time units
+      (virtual ticks), default [512.0]. Callers should scale it
+      O(polylog n) — e.g. [4 · (log2 n)²] with a small-n floor.
+      @raise Invalid_argument if [bound <= 0]. *)
+
+  val sink : t -> sink
+
+  val epochs : t -> int
+  (** Membership changes seen since the clock started. *)
+
+  val closed : t -> int
+  (** Epochs confirmed converged so far. *)
+
+  val max_lag : t -> float
+  (** The largest observed change-to-fleet-convergence lag over closed
+      epochs. *)
+
+  val final_check : t -> unit
+  (** Re-checks the frontier at the last observed time: epochs whose
+      deadline already passed must be closed. Epochs whose deadline
+      falls beyond the end of the trace are not judged.
+      @raise Violation if an overdue epoch is still open. *)
 end

@@ -45,6 +45,11 @@ let all =
       run = (fun r ~quick ~jobs -> Exp_adversarial.t12 r ~quick ~jobs);
     };
     {
+      id = "T13";
+      title = "continuous service steady state";
+      run = (fun r ~quick ~jobs -> Exp_churn.t13 r ~quick ~jobs);
+    };
+    {
       id = "F2";
       title = "knowledge-growth dynamics";
       run = (fun r ~quick ~jobs -> Exp_dynamics.f2 r ~quick ~jobs);

@@ -238,11 +238,11 @@ type child = {
 let event_rank (ev : Trace.event) =
   match ev with
   | Trace.Join _ | Trace.Genesis _ -> 0
-  | Trace.Crash _ -> 1
+  | Trace.Crash _ | Trace.Leave _ -> 1
   | Trace.Round_begin _ | Trace.Tick _ -> 2
   | Trace.Send _ -> 3
   | Trace.Deliver _ | Trace.Content _ -> 4
-  | Trace.Drop _ -> 5
+  | Trace.Drop _ | Trace.Suspect _ | Trace.Retire _ | Trace.Converge _ -> 5
   | Trace.Complete | Trace.Give_up -> 6
 
 let handle_line child line =

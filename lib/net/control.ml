@@ -42,6 +42,10 @@ let event_line ~time (ev : Trace.event) =
     | Trace.Crash { node } -> Printf.sprintf "crash %d" node
     | Trace.Genesis { node; ids } -> Printf.sprintf "genesis %d %s" node (ids_str ids)
     | Trace.Content { src; dst; ids } -> Printf.sprintf "content %d %d %s" src dst (ids_str ids)
+    | Trace.Leave { node } -> Printf.sprintf "leave %d" node
+    | Trace.Suspect { node; target } -> Printf.sprintf "suspect %d %d" node target
+    | Trace.Retire { node; target } -> Printf.sprintf "retire %d %d" node target
+    | Trace.Converge { node; epoch } -> Printf.sprintf "converge %d %d" node epoch
     | Trace.Complete -> "complete"
     | Trace.Give_up -> "give_up"
     | Trace.Round_begin { round } -> Printf.sprintf "round_begin %d" round
@@ -88,6 +92,13 @@ let parse_event ~time = function
   | [ "content"; src; dst; ids ] ->
     Ok
       (Trace.Content { src = int_of_string src; dst = int_of_string dst; ids = parse_ids ids })
+  | [ "leave"; node ] -> Ok (Trace.Leave { node = int_of_string node })
+  | [ "suspect"; node; target ] ->
+    Ok (Trace.Suspect { node = int_of_string node; target = int_of_string target })
+  | [ "retire"; node; target ] ->
+    Ok (Trace.Retire { node = int_of_string node; target = int_of_string target })
+  | [ "converge"; node; epoch ] ->
+    Ok (Trace.Converge { node = int_of_string node; epoch = int_of_string epoch })
   | [ "complete" ] -> Ok Trace.Complete
   | [ "give_up" ] -> Ok Trace.Give_up
   | [ "round_begin"; round ] -> Ok (Trace.Round_begin { round = int_of_string round })

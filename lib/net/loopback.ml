@@ -23,6 +23,7 @@ let exec_spec (spec : Run_async.spec) (algo : Algorithm.t) topology =
     | Trace.Deliver { dst; _ } -> delivered.(dst) <- delivered.(dst) + 1
     | Trace.Drop { src; _ } -> dropped.(src) <- dropped.(src) + 1
     | Trace.Round_begin _ | Trace.Crash _ | Trace.Join _ | Trace.Genesis _ | Trace.Content _
+    | Trace.Leave _ | Trace.Suspect _ | Trace.Retire _ | Trace.Converge _
     | Trace.Complete | Trace.Give_up -> ()
   in
   let spec = { spec with Run_async.trace = Trace.tee (Trace.callback tally) spec.Run_async.trace } in

@@ -1,0 +1,325 @@
+open Repro_util
+open Repro_discovery
+
+(* Timing constants, in virtual ticks. A probe round-trip is ~1.3 ticks
+   under the runtime's latency model, so [suspect_after] tolerates two
+   full RTTs before suspicion and a confirmed death takes ~13 ticks end
+   to end (probe draw + suspicion + confirmation) — far inside the
+   convergence-lag bound. *)
+let probe_interval = 4.0
+let suspect_after = 3.0
+let dead_after = 6.0
+let full_sync_interval = 64.0
+let leave_fanout = 3
+
+type actions = {
+  send : dst:int -> Payload.t -> unit;
+  on_suspect : target:int -> unit;
+  on_retire : target:int -> unit;
+  on_view_change : target:int -> alive:bool -> unit;
+}
+
+type probe_state = Waiting of float | Suspected of float
+
+type t = {
+  self : int;
+  rng : Rng.t;
+  view : View.t;
+  mutable incarnation : int;
+  (* Append-only update log, structure-of-arrays: node, version, status
+     and the entry's remaining transmission budget. *)
+  log_nodes : Intvec.t;
+  log_versions : Intvec.t;
+  log_statuses : Intvec.t;
+  log_budgets : Intvec.t;
+  cursors : (int, int) Hashtbl.t;  (* target -> log prefix already pushed *)
+  probes : (int, probe_state) Hashtbl.t;
+  mutable next_probe : float;
+  mutable bootstrap : (int array * int * Repro_net.Node.Backoff.t * float) option;
+      (* contacts, rotation index, backoff, due *)
+  mutable next_full_sync : float;
+  full_sync : bool;
+  actions : actions;
+}
+
+let self t = t.self
+let view t = t.view
+let incarnation t = t.incarnation
+let bootstrapping t = t.bootstrap <> None
+let log_length t = Intvec.length t.log_nodes
+
+(* Each entry is pushed O(log live) times fleet-wide per member — the
+   classic rumor-mongering budget that makes total dissemination cost
+   O(n log n) per change instead of O(n^2). *)
+let budget_for t =
+  let live = max 2 (View.live_count t.view) in
+  let lg = int_of_float (ceil (log (float_of_int live) /. log 2.0)) in
+  3 * max 1 lg
+
+let log_append t ~node ~version ~status =
+  Intvec.push t.log_nodes node;
+  Intvec.push t.log_versions version;
+  Intvec.push t.log_statuses status;
+  Intvec.push t.log_budgets (budget_for t)
+
+let make_member ~cap ~self ~labels ~rng ~full_sync actions =
+  if cap <= 0 then invalid_arg "Member.create: cap must be positive";
+  if self < 0 || self >= cap then invalid_arg "Member.create: self out of range";
+  {
+    self;
+    rng;
+    view = View.create ~cap ~owner:self ~labels;
+    incarnation = 1;
+    log_nodes = Intvec.create ();
+    log_versions = Intvec.create ();
+    log_statuses = Intvec.create ();
+    log_budgets = Intvec.create ();
+    cursors = Hashtbl.create 16;
+    probes = Hashtbl.create 4;
+    next_probe = 0.0;
+    bootstrap = None;
+    next_full_sync = full_sync_interval;
+    full_sync;
+    actions;
+  }
+
+let create_genesis ~cap ~self ~labels ~peers ~rng ~full_sync actions =
+  let t = make_member ~cap ~self ~labels ~rng ~full_sync actions in
+  Array.iter
+    (fun peer ->
+      if peer <> self then
+        ignore (View.apply t.view ~node:peer ~version:1 ~status:Payload.status_alive))
+    peers;
+  t
+
+let create_joiner ~cap ~self ~labels ~contacts ~rng ~full_sync actions =
+  if Array.length contacts = 0 then invalid_arg "Member.create_joiner: no contacts";
+  Array.iter
+    (fun contact ->
+      if contact < 0 || contact >= cap || contact = self then
+        invalid_arg "Member.create_joiner: bad contact")
+    contacts;
+  let t = make_member ~cap ~self ~labels ~rng ~full_sync actions in
+  log_append t ~node:self ~version:1 ~status:Payload.status_alive;
+  let backoff = Repro_net.Node.Backoff.create ~rng ~base:2.0 ~cap:16.0 in
+  t.bootstrap <- Some (contacts, 0, backoff, 0.0);
+  t
+
+(* Merge one remote observation. [relog] gates re-broadcast: gossip and
+   join announcements spread further, bootstrap replies do not (the
+   joiner must not re-announce the whole fleet). *)
+let observe t ~node ~version ~status ~relog =
+  if node = t.self && status <> Payload.status_alive && version >= t.incarnation then begin
+    (* someone thinks we are gone: refute with a higher incarnation *)
+    t.incarnation <- version + 1;
+    ignore (View.apply t.view ~node:t.self ~version:t.incarnation ~status:Payload.status_alive);
+    log_append t ~node:t.self ~version:t.incarnation ~status:Payload.status_alive
+  end
+  else
+    match View.apply t.view ~node ~version ~status with
+    | View.Stale -> ()
+    | View.Updated -> if relog then log_append t ~node ~version ~status
+    | View.Changed alive ->
+      if relog then log_append t ~node ~version ~status;
+      t.actions.on_view_change ~target:node ~alive
+
+(* The canonical batch of log entries in [from, len) that still have
+   transmission budget: latest observation per node, ascending by node.
+   Decrements the budget of every entry it includes. *)
+let pending_entries t ~from =
+  let len = Intvec.length t.log_nodes in
+  if from >= len then [||]
+  else begin
+    let latest = Hashtbl.create 8 in
+    for i = from to len - 1 do
+      if Intvec.get t.log_budgets i > 0 then begin
+        Intvec.set t.log_budgets i (Intvec.get t.log_budgets i - 1);
+        (* later entries for the same node supersede earlier ones *)
+        Hashtbl.replace latest (Intvec.get t.log_nodes i)
+          { Payload.node = Intvec.get t.log_nodes i;
+            version = Intvec.get t.log_versions i;
+            status = Intvec.get t.log_statuses i }
+      end
+    done;
+    let entries = Hashtbl.fold (fun _ e acc -> e :: acc) latest [] in
+    let entries = Array.of_list entries in
+    Array.sort (fun a b -> compare a.Payload.node b.Payload.node) entries;
+    entries
+  end
+
+let advance_cursor t target = Hashtbl.replace t.cursors target (Intvec.length t.log_nodes)
+
+let cursor t target = Option.value (Hashtbl.find_opt t.cursors target) ~default:0
+
+(* Every known node at its current (version, status) — the full-state
+   payload for bootstrap replies and the lossy-network backstop. *)
+let full_entries t =
+  let acc = ref [] in
+  View.iter_known t.view (fun node ->
+      let status =
+        match View.status t.view node with
+        | Some s when s = Payload.status_suspect ->
+          (* suspicion is local: export the lattice status, not the hunch *)
+          Payload.status_alive
+        | Some s -> s
+        | None -> assert false
+      in
+      acc := { Payload.node; version = View.version t.view node; status } :: !acc);
+  let entries = Array.of_list !acc in
+  Array.sort (fun a b -> compare a.Payload.node b.Payload.node) entries;
+  entries
+
+let gossip t =
+  match View.random_live t.view t.rng with
+  | None -> ()
+  | Some target ->
+    let entries = pending_entries t ~from:(cursor t target) in
+    advance_cursor t target;
+    if Array.length entries > 0 then
+      t.actions.send ~dst:target (Payload.Share (Payload.Updates { full = false; entries }))
+
+let send_bootstrap t ~now ~dst contacts idx backoff =
+  (* [full = false]: the payload is the joiner's lone self-announcement,
+     not a full state — which also lets the runtime's traffic classifier
+     tell bootstrap requests from periodic full-sync pushes *)
+  let entries =
+    [| { Payload.node = t.self; version = t.incarnation; status = Payload.status_alive } |]
+  in
+  t.actions.send ~dst (Payload.Exchange (Payload.Updates { full = false; entries }));
+  t.bootstrap <- Some (contacts, idx, backoff, now +. Repro_net.Node.Backoff.next backoff)
+
+let probe_timeouts t ~now =
+  let suspects = ref [] and deaths = ref [] and reprobes = ref [] in
+  Hashtbl.iter
+    (fun target state ->
+      match state with
+      | Waiting deadline when now > deadline -> suspects := target :: !suspects
+      | Suspected deadline when now > deadline -> deaths := target :: !deaths
+      | Suspected _ -> reprobes := target :: !reprobes
+      | Waiting _ -> ())
+    t.probes;
+  (* keep probing through the suspicion window: confirming a death then
+     requires every probe of the window to go unanswered, so a single
+     lost ack cannot produce a false verdict *)
+  List.iter (fun target -> t.actions.send ~dst:target Payload.Probe) !reprobes;
+  List.iter
+    (fun target ->
+      Hashtbl.replace t.probes target (Suspected (now +. dead_after));
+      t.actions.send ~dst:target Payload.Probe;
+      if View.suspect t.view target then t.actions.on_suspect ~target)
+    !suspects;
+  List.iter
+    (fun target ->
+      Hashtbl.remove t.probes target;
+      let version = View.version t.view target in
+      observe t ~node:target ~version ~status:Payload.status_down ~relog:true;
+      t.actions.on_retire ~target)
+    !deaths
+
+let maybe_probe t ~now =
+  if now >= t.next_probe then begin
+    t.next_probe <- now +. probe_interval;
+    match View.random_live t.view t.rng with
+    | Some target when not (Hashtbl.mem t.probes target) ->
+      Hashtbl.replace t.probes target (Waiting (now +. suspect_after));
+      t.actions.send ~dst:target Payload.Probe
+    | Some _ | None -> ()
+  end
+
+let maybe_full_sync t ~now =
+  if t.full_sync && now >= t.next_full_sync then begin
+    t.next_full_sync <- now +. full_sync_interval;
+    match View.random_live t.view t.rng with
+    | None -> ()
+    | Some target ->
+      advance_cursor t target;
+      (* push-pull, like bootstrap: the Exchange both delivers our state
+         and solicits the peer's full Reply. A push-only sync would let
+         a member serve the fleet while staying stale itself — it would
+         heal only when someone else's sync happened to land on it,
+         which at fleet size n is an expected n/2 intervals away. *)
+      t.actions.send ~dst:target
+        (Payload.Exchange (Payload.Updates { full = true; entries = full_entries t }))
+  end
+
+let step t ~now =
+  (match t.bootstrap with
+  | Some (contacts, idx, backoff, due) when now >= due ->
+    (* re-aim at any live peer learned since; failing that, rotate the
+       contact list — so one contact churning out mid-bootstrap cannot
+       strand the joiner on a dead address forever *)
+    let dst =
+      match View.random_live t.view t.rng with
+      | Some c -> c
+      | None -> contacts.(idx mod Array.length contacts)
+    in
+    send_bootstrap t ~now ~dst contacts (idx + 1) backoff
+  | Some _ | None -> ());
+  if t.bootstrap = None then begin
+    probe_timeouts t ~now;
+    maybe_probe t ~now;
+    maybe_full_sync t ~now
+  end;
+  gossip t
+
+let apply_updates t ~relog (u : Payload.update array) =
+  Array.iter (fun e -> observe t ~node:e.Payload.node ~version:e.version ~status:e.status ~relog) u
+
+let deliver t ~src ~now payload =
+  (* any message is proof of life *)
+  Hashtbl.remove t.probes src;
+  ignore (View.unsuspect t.view src);
+  (* a message from a node we hold down means our verdict is wrong (or
+     stale): send the verdict back so the accused can refute it with a
+     higher incarnation — the self-healing path for false positives *)
+  (match View.status t.view src with
+  | Some s when s = Payload.status_down ->
+    let entry =
+      { Payload.node = src; version = View.version t.view src; status = Payload.status_down }
+    in
+    t.actions.send ~dst:src (Payload.Share (Payload.Updates { full = false; entries = [| entry |] }))
+  | Some _ | None -> ());
+  match (payload : Payload.t) with
+  | Probe ->
+    (* the reply is the ack; piggyback whatever the prober has not seen *)
+    let entries = pending_entries t ~from:(cursor t src) in
+    advance_cursor t src;
+    t.actions.send ~dst:src (Payload.Reply (Payload.Updates { full = false; entries }))
+  | Exchange (Payload.Updates u) ->
+    (* push-pull state exchange (a joiner's bootstrap, or a peer's
+       periodic full sync): learn what the sender knows — spreading any
+       news — and answer with our whole view *)
+    apply_updates t ~relog:true u.entries;
+    advance_cursor t src;
+    t.actions.send ~dst:src (Payload.Reply (Payload.Updates { full = true; entries = full_entries t }))
+  | Reply (Payload.Updates u) when u.full ->
+    apply_updates t ~relog:false u.entries;
+    if t.bootstrap <> None then begin
+      t.bootstrap <- None;
+      t.next_full_sync <- now +. full_sync_interval
+    end
+  | Share (Payload.Updates u) | Reply (Payload.Updates u) -> apply_updates t ~relog:true u.entries
+  | Share _ | Exchange _ | Reply _ | Halt ->
+    (* one-shot discovery payloads are not part of the service protocol *)
+    ()
+
+let leave t =
+  let entry =
+    { Payload.node = t.self; version = t.incarnation; status = Payload.status_down }
+  in
+  log_append t ~node:t.self ~version:t.incarnation ~status:Payload.status_down;
+  let targets = Knowledge.random_known_among (View.knowledge t.view) t.rng ~k:leave_fanout in
+  let payload = Payload.Share (Payload.Updates { full = false; entries = [| entry |] }) in
+  let sent = ref 0 in
+  Array.iter
+    (fun target ->
+      if View.is_live t.view target then begin
+        t.actions.send ~dst:target payload;
+        incr sent
+      end)
+    targets;
+  if !sent = 0 then
+    (* no live peer in the sample: fall back to anyone live *)
+    match View.random_live t.view t.rng with
+    | Some target -> t.actions.send ~dst:target payload
+    | None -> ()

@@ -1,0 +1,93 @@
+(** One participant of the continuous discovery service.
+
+    A member generalises the one-shot discovery node into a long-lived
+    SWIM-style process with three interleaved duties, all driven by
+    {!step} (once per virtual tick) and {!deliver} (per message):
+
+    - {b anti-entropy gossip}: every local membership observation is
+      appended to an append-only update log; each tick the member picks
+      a random live peer and pushes it the log suffix that peer has not
+      seen (a per-target cursor), as a versioned
+      {!Repro_discovery.Payload.Updates} batch. Each entry carries a
+      transmission budget of [O(log live)] sends, so a change costs
+      [O(log n)] messages per member in total and a quiet fleet sends
+      {e nothing} — steady-state traffic scales with the churn rate,
+      not the fleet size.
+    - {b liveness probing}: a periodic probe to a random live peer;
+      an unanswered probe moves the target to (local-only) suspicion,
+      and continued silence confirms it [down] at its current
+      incarnation — the one verdict that is gossiped. A falsely accused
+      member refutes the verdict by bumping its incarnation
+      ({e self-refutation}), which outranks the accusation on the
+      [(version, status)] lattice.
+    - {b bootstrap}: a joiner knows a few live contacts; it retries a
+      state exchange (decorrelated-jitter backoff), rotating through the
+      contact list — so one contact churning out mid-bootstrap cannot
+      strand it — and re-aiming at any live peer it has learned of
+      meanwhile, until a full reply arrives. Bootstrap replies are
+      merged without re-logging: the joiner must not re-broadcast the
+      whole fleet.
+
+    An optional push-pull full-state sync every {!full_sync_interval}
+    ticks (enabled whenever an update could die in flight: lossy
+    networks, or any churn at all) repairs any update whose every
+    transmission was unlucky — including facts that finished
+    disseminating while a joiner's bootstrap snapshot was in flight. *)
+
+open Repro_util
+open Repro_discovery
+
+type actions = {
+  send : dst:int -> Payload.t -> unit;  (** hand a message to the runtime *)
+  on_suspect : target:int -> unit;
+  on_retire : target:int -> unit;
+  on_view_change : target:int -> alive:bool -> unit;
+      (** the membership {e classification} of [target] flipped — the
+          hook the runtime's convergence observer keys on *)
+}
+
+type t
+
+val probe_interval : float
+val suspect_after : float
+val dead_after : float
+val full_sync_interval : float
+
+val create_genesis :
+  cap:int -> self:int -> labels:int array -> peers:int array -> rng:Rng.t ->
+  full_sync:bool -> actions -> t
+(** A founding member: starts with every [peer] (and itself) alive at
+    version 1 and an empty log — the genesis membership is common
+    knowledge, not news. *)
+
+val create_joiner :
+  cap:int -> self:int -> labels:int array -> contacts:int array -> rng:Rng.t ->
+  full_sync:bool -> actions -> t
+(** A late joiner: knows only itself (incarnation 1) and the addresses
+    of a few [contacts] to bootstrap from (tried in rotation). Its own
+    join announcement is the first entry of its log.
+    @raise Invalid_argument if [contacts] is empty or contains [self]
+    or an out-of-range id. *)
+
+val self : t -> int
+val view : t -> View.t
+val incarnation : t -> int
+val bootstrapping : t -> bool
+
+val step : t -> now:float -> unit
+(** One activation at virtual time [now]: fire due bootstrap retries,
+    probe timeouts (suspicion / retirement), the periodic probe, the
+    full-sync backstop, and one gossip push. *)
+
+val deliver : t -> src:int -> now:float -> Payload.t -> unit
+(** Handle one message. Any message from [src] doubles as proof of life:
+    it cancels an outstanding probe and clears local suspicion. *)
+
+val leave : t -> unit
+(** Graceful departure: push a [down] verdict at the member's own
+    incarnation to up to three live peers, so the fleet learns of the
+    departure without waiting for failure detection. The member must
+    not be stepped afterwards. *)
+
+val log_length : t -> int
+(** Update-log length (diagnostics). *)

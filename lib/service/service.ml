@@ -1,0 +1,503 @@
+open Repro_util
+open Repro_engine
+open Repro_discovery
+
+type churn = { rate : float; min_live : int; until : int }
+
+type config = {
+  n : int;
+  cap : int;
+  seed : int;
+  ticks : int;
+  churn : churn option;
+  fault : Fault.t;
+  lag_bound : float option;
+  full_sync : bool option;
+  trace : Trace.sink;
+}
+
+type stats = {
+  ticks_run : int;
+  cap : int;
+  founders : int;
+  final_live : int;
+  joins : int;
+  leaves : int;
+  crashes : int;
+  suspicions : int;
+  retirements : int;
+  epochs : int;
+  epochs_closed : int;
+  max_lag : float;
+  msgs : int;
+  bytes : int;
+  probes : int;
+  acks : int;
+  gossip : int;
+  update_entries : int;
+  full_syncs : int;
+  bootstraps : int;
+  dropped_loss : int;
+  dropped_dead : int;
+}
+
+let default_lag_bound ~cap =
+  let lg = log (float_of_int (max 2 cap)) /. log 2.0 in
+  Float.max 64.0 (4.0 *. lg *. lg)
+
+(* --- a set of ids with O(1) add/remove/uniform-draw ------------------ *)
+
+module Pool = struct
+  type t = { ids : Intvec.t; pos : int array }
+
+  let create ~cap = { ids = Intvec.create (); pos = Array.make cap (-1) }
+  let mem t id = t.pos.(id) >= 0
+  let size t = Intvec.length t.ids
+
+  let add t id =
+    if not (mem t id) then begin
+      t.pos.(id) <- Intvec.length t.ids;
+      Intvec.push t.ids id
+    end
+
+  let remove t id =
+    if mem t id then begin
+      let last = Intvec.length t.ids - 1 in
+      let moved = Intvec.get t.ids last in
+      let hole = t.pos.(id) in
+      Intvec.set t.ids hole moved;
+      t.pos.(moved) <- hole;
+      ignore (Intvec.pop t.ids);
+      t.pos.(id) <- -1
+    end
+
+  let draw t rng =
+    if size t = 0 then None else Some (Intvec.get t.ids (Rng.int rng (size t)))
+end
+
+(* --- (time, seq)-ordered message heap -------------------------------- *)
+
+module Heap = struct
+  type entry = { time : float; seq : int; src : int; dst : int; frame : bytes }
+
+  type t = { mutable a : entry array; mutable len : int }
+
+  let dummy = { time = 0.0; seq = 0; src = 0; dst = 0; frame = Bytes.empty }
+  let create () = { a = Array.make 256 dummy; len = 0 }
+  let lt x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+  let is_empty t = t.len = 0
+  let peek t = t.a.(0)
+
+  let push t e =
+    if t.len = Array.length t.a then begin
+      let a = Array.make (2 * t.len) dummy in
+      Array.blit t.a 0 a 0 t.len;
+      t.a <- a
+    end;
+    let i = ref t.len in
+    t.len <- t.len + 1;
+    t.a.(!i) <- e;
+    while !i > 0 && lt t.a.(!i) t.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = t.a.(p) in
+      t.a.(p) <- t.a.(!i);
+      t.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop t =
+    let top = t.a.(0) in
+    t.len <- t.len - 1;
+    t.a.(0) <- t.a.(t.len);
+    t.a.(t.len) <- dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < t.len && lt t.a.(l) t.a.(!s) then s := l;
+      if r < t.len && lt t.a.(r) t.a.(!s) then s := r;
+      if !s = !i then continue := false
+      else begin
+        let tmp = t.a.(!s) in
+        t.a.(!s) <- t.a.(!i);
+        t.a.(!i) <- tmp;
+        i := !s
+      end
+    done;
+    top
+end
+
+(* --------------------------------------------------------------------- *)
+
+let validate cfg =
+  if cfg.n < 2 then invalid_arg "Service.run: need at least two founders";
+  if cfg.cap < cfg.n then invalid_arg "Service.run: cap must be >= n";
+  if cfg.ticks < 1 then invalid_arg "Service.run: ticks must be positive";
+  match cfg.churn with
+  | Some c ->
+    if c.rate < 0.0 || c.rate > 1.0 then invalid_arg "Service.run: churn rate must be in [0,1]";
+    if c.min_live < 2 then invalid_arg "Service.run: min_live must be >= 2"
+  | None -> ()
+
+let run cfg =
+  validate cfg;
+  let cap = cfg.cap in
+  let fault = cfg.fault in
+  let lossy = Fault.has_link_faults fault || Fault.partitions fault <> [] in
+  (* The periodic full sync is the backstop for every way an update can
+     die before reaching the whole fleet: a lossy link eats it, or a
+     joiner bootstraps from a snapshot racing its dissemination and the
+     piggyback budgets expire before anyone re-sends it. So it is on by
+     default whenever either hazard exists — lossy links, or any
+     membership change at all (churn or a scheduled join/leave/crash). *)
+  let churny =
+    cfg.churn <> None
+    || Fault.joining_nodes fault <> []
+    || Fault.leaving_nodes fault <> []
+    || Fault.crashed_nodes fault <> []
+  in
+  let full_sync = Option.value cfg.full_sync ~default:(lossy || churny) in
+  let bound = Option.value cfg.lag_bound ~default:(default_lag_bound ~cap) in
+  let lag = Trace.Lag.create ~bound () in
+  let trace = Trace.tee (Trace.Lag.sink lag) cfg.trace in
+  let labels = Array.init cap Fun.id in
+  let net_rng = Rng.substream ~seed:cfg.seed ~index:0x11e7 in
+  let churn_rng = Rng.substream ~seed:cfg.seed ~index:0xc511 in
+  let members = Array.make cap None in
+  let counts = Array.make cap 0 in
+  let live = Pool.create ~cap in
+  let retired = Pool.create ~cap in
+  let fresh = Pool.create ~cap in
+  let truth = Array.make cap false in
+  (* The omniscient observer matches views against consistent cuts, not
+     just the instantaneous truth: under sustained churn there is almost
+     always one change still in flight (crash detection alone takes ~13
+     ticks), so "view = truth right now" instants can elude an unlucky
+     node for longer than the lag bound even while it tracks perfectly.
+     A node converges to epoch [e] by matching the membership as of ANY
+     epoch >= e — exactly the checker's documented contract. Set
+     equality is tested with Zobrist hashes: each id gets a random
+     62-bit key, the truth hash and each member's view hash fold in a
+     key per live id, and a view matches epoch [e]'s membership iff the
+     hashes collide (the 2^-62 false-match rate is far below any churn
+     rate worth measuring; keys are drawn from a seed substream, so runs
+     stay byte-reproducible). *)
+  let zob =
+    let zrng = Rng.substream ~seed:cfg.seed ~index:0x20b1 in
+    Array.init cap (fun _ -> Int64.to_int (Rng.bits64 zrng) land max_int)
+  in
+  let htruth = ref 0 in
+  let vhash = Array.make cap 0 in
+  let conv_emitted = Array.make cap 0 in
+  let snapshots = Hashtbl.create 256 in
+  let heap = Heap.create () in
+  let seq = ref 0 in
+  let spawns = ref 0 in
+  let epoch = ref 0 in
+  (* counters *)
+  let joins = ref 0 and leaves = ref 0 and crashes = ref 0 in
+  let suspicions = ref 0 and retirements = ref 0 in
+  let msgs = ref 0 and bytes = ref 0 in
+  let probes = ref 0 and acks = ref 0 and gossip = ref 0 and update_entries = ref 0 in
+  let full_syncs = ref 0 and bootstraps = ref 0 in
+  let dropped_loss = ref 0 and dropped_dead = ref 0 in
+  let now = ref 0.0 in
+
+  let classify payload =
+    match (payload : Payload.t) with
+    | Probe -> incr probes
+    | Exchange (Payload.Updates u) ->
+      (* push-pull exchanges: a periodic full sync carries full state, a
+         bootstrap request carries only the joiner's self-announcement *)
+      if u.full then incr full_syncs else incr bootstraps
+    | Reply (Payload.Updates u) ->
+      if u.full then incr bootstraps
+      else begin
+        incr acks;
+        update_entries := !update_entries + Array.length u.entries
+      end
+    | Share (Payload.Updates u) ->
+      if u.full then incr full_syncs
+      else begin
+        incr gossip;
+        update_entries := !update_entries + Array.length u.entries
+      end
+    | Share _ | Exchange _ | Reply _ | Halt -> ()
+  in
+  let send ~src ~dst payload =
+    incr msgs;
+    classify payload;
+    let frame = Wire.encode Wire.Adaptive ~universe:cap payload in
+    bytes := !bytes + Bytes.length frame;
+    let link = Fault.link_between fault ~src ~dst in
+    let lost =
+      (link.Fault.loss > 0.0 && Rng.bernoulli net_rng ~p:link.Fault.loss)
+      || Fault.cut fault ~src ~dst ~time:!now
+    in
+    if lost then incr dropped_loss
+    else begin
+      let latency = 0.35 +. Rng.float net_rng 0.3 +. float_of_int link.Fault.delay in
+      incr seq;
+      Heap.push heap { Heap.time = !now +. latency; seq = !seq; src; dst; frame }
+    end
+  in
+  (* emit the best epoch whose membership this member's view matches *)
+  let try_converge id =
+    match Hashtbl.find_opt snapshots vhash.(id) with
+    | Some e when e > conv_emitted.(id) ->
+      conv_emitted.(id) <- e;
+      Trace.emit trace (Trace.Converge { node = id; epoch = e })
+    | Some _ | None -> ()
+  in
+  let emit_converged_sweep () =
+    for id = 0 to cap - 1 do
+      if members.(id) <> None then try_converge id
+    done
+  in
+  let on_view_change ~self ~target ~alive =
+    ignore alive;
+    if members.(self) <> None then begin
+      vhash.(self) <- vhash.(self) lxor zob.(target);
+      try_converge self
+    end
+  in
+  let actions_for self =
+    {
+      Member.send = (fun ~dst payload -> send ~src:self ~dst payload);
+      on_suspect =
+        (fun ~target ->
+          incr suspicions;
+          Trace.emit trace (Trace.Suspect { node = self; target }));
+      on_retire =
+        (fun ~target ->
+          incr retirements;
+          Trace.emit trace (Trace.Retire { node = self; target }));
+      on_view_change = (fun ~target ~alive -> on_view_change ~self ~target ~alive);
+    }
+  in
+  let member_rng () =
+    incr spawns;
+    Rng.substream ~seed:cfg.seed ~index:(0x3e0 + !spawns)
+  in
+  (* a (re)spawned member's view hash, from scratch; its convergence
+     level starts over — earlier verdicts were the previous incarnation's *)
+  let init_view_hash id =
+    match members.(id) with
+    | None -> ()
+    | Some m ->
+      let view = Member.view m in
+      let h = ref 0 in
+      View.iter_known view (fun j -> if View.is_live view j then h := !h lxor zob.(j));
+      vhash.(id) <- !h;
+      conv_emitted.(id) <- 0
+  in
+  (* flip the truth for [id] and record the new membership's hash as the
+     current epoch's snapshot — O(1), no per-member patching *)
+  let flip_truth id =
+    truth.(id) <- not truth.(id);
+    htruth := !htruth lxor zob.(id);
+    Hashtbl.replace snapshots !htruth !epoch
+  in
+
+  (* --- membership changes --------------------------------------------- *)
+  (* a churn join (genesis members are built inline below): the epoch
+     counter mirrors the lag checker's, which starts bumping once the
+     first tick has been emitted — always true here *)
+  let join ~id ~contacts =
+    Trace.emit trace (Trace.Join { node = id });
+    incr epoch;
+    incr joins;
+    flip_truth id;
+    Pool.remove fresh id;
+    Pool.remove retired id;
+    Pool.add live id;
+    let m =
+      Member.create_joiner ~cap ~self:id ~labels ~contacts ~rng:(member_rng ()) ~full_sync
+        (actions_for id)
+    in
+    members.(id) <- Some m;
+    counts.(id) <- 0;
+    init_view_hash id;
+    emit_converged_sweep ()
+  in
+  let depart ~id ~graceful =
+    match members.(id) with
+    | None -> ()
+    | Some m ->
+      if graceful then begin
+        Member.leave m;
+        incr leaves;
+        Trace.emit trace (Trace.Leave { node = id })
+      end
+      else begin
+        incr crashes;
+        Trace.emit trace (Trace.Crash { node = id })
+      end;
+      incr epoch;
+      members.(id) <- None;
+      Pool.remove live id;
+      Pool.add retired id;
+      flip_truth id;
+      emit_converged_sweep ()
+  in
+
+  (* --- genesis --------------------------------------------------------- *)
+  let scheduled_joins = Hashtbl.create 8 in
+  List.iter
+    (fun (node, round) ->
+      if round > 1 && node < cap then Hashtbl.replace scheduled_joins node round)
+    (Fault.joining_nodes fault);
+  let founders = ref [] in
+  for id = cfg.n - 1 downto 0 do
+    if not (Hashtbl.mem scheduled_joins id) then founders := id :: !founders
+  done;
+  let founders = Array.of_list !founders in
+  if Array.length founders < 2 then invalid_arg "Service.run: fewer than two founding members";
+  for id = cfg.n to cap - 1 do
+    if not (Hashtbl.mem scheduled_joins id) then Pool.add fresh id
+  done;
+  Array.iter
+    (fun id ->
+      Trace.emit trace (Trace.Join { node = id });
+      truth.(id) <- true;
+      htruth := !htruth lxor zob.(id);
+      Pool.add live id;
+      let m =
+        Member.create_genesis ~cap ~self:id ~labels ~peers:founders ~rng:(member_rng ())
+          ~full_sync (actions_for id)
+      in
+      members.(id) <- Some m)
+    founders;
+  (* epoch 0: the genesis membership *)
+  Hashtbl.replace snapshots !htruth 0;
+  Array.iter init_view_hash founders;
+
+  (* per-round schedules from the fault plan *)
+  let at tbl round id =
+    let prev = Option.value (Hashtbl.find_opt tbl round) ~default:[] in
+    Hashtbl.replace tbl round (id :: prev)
+  in
+  let joins_at = Hashtbl.create 8
+  and leaves_at = Hashtbl.create 8
+  and crashes_at = Hashtbl.create 8 in
+  Hashtbl.iter (fun node round -> at joins_at round node) scheduled_joins;
+  List.iter (fun (node, round) -> if node < cap then at leaves_at round node) (Fault.leaving_nodes fault);
+  List.iter (fun (node, round) -> if node < cap then at crashes_at round node) (Fault.crashed_nodes fault);
+  List.iter (fun (node, round) -> if node < cap then at joins_at round node) (Fault.restarting_nodes fault);
+
+  (* up to three distinct live contacts for a joiner: a single contact
+     can churn out mid-bootstrap, stranding the joiner on a dead address
+     with no live peer in its view to re-aim at *)
+  let random_contacts ~avoid =
+    let want = 3 in
+    let picked = ref [] and n_picked = ref 0 and attempts = ref (8 * want) in
+    while !n_picked < want && !attempts > 0 do
+      decr attempts;
+      match Pool.draw live churn_rng with
+      | Some c when c <> avoid && not (List.mem c !picked) ->
+        picked := c :: !picked;
+        incr n_picked
+      | Some _ | None -> ()
+    done;
+    if !picked = [] then None else Some (Array.of_list (List.rev !picked))
+  in
+  let apply_scheduled tick =
+    let sorted tbl = List.sort compare (Option.value (Hashtbl.find_opt tbl tick) ~default:[]) in
+    List.iter
+      (fun id ->
+        if members.(id) = None then
+          match random_contacts ~avoid:id with
+          | Some contacts -> join ~id ~contacts
+          | None -> ())
+      (sorted joins_at);
+    List.iter (fun id -> depart ~id ~graceful:true) (sorted leaves_at);
+    List.iter (fun id -> depart ~id ~graceful:false) (sorted crashes_at)
+  in
+  let apply_churn tick =
+    match cfg.churn with
+    | Some c when tick <= c.until ->
+      if Rng.bernoulli churn_rng ~p:(c.rate /. 2.0) then begin
+        (* fresh ids first, then the retired pool (restarts) *)
+        let id =
+          match Pool.draw fresh churn_rng with
+          | Some id -> Some id
+          | None -> Pool.draw retired churn_rng
+        in
+        match id with
+        | Some id when members.(id) = None -> (
+          match random_contacts ~avoid:id with
+          | Some contacts -> join ~id ~contacts
+          | None -> ())
+        | Some _ | None -> ()
+      end;
+      if Rng.bernoulli churn_rng ~p:(c.rate /. 4.0) && Pool.size live > c.min_live then
+        (match Pool.draw live churn_rng with
+        | Some id -> depart ~id ~graceful:true
+        | None -> ());
+      if Rng.bernoulli churn_rng ~p:(c.rate /. 4.0) && Pool.size live > c.min_live then
+        (match Pool.draw live churn_rng with
+        | Some id -> depart ~id ~graceful:false
+        | None -> ())
+    | Some _ | None -> ()
+  in
+
+  (* --- main loop ------------------------------------------------------- *)
+  for tick = 1 to cfg.ticks do
+    let tick_time = float_of_int tick in
+    (* deliver everything due by this tick, in (time, seq) order *)
+    while (not (Heap.is_empty heap)) && (Heap.peek heap).Heap.time <= tick_time do
+      let e = Heap.pop heap in
+      now := e.Heap.time;
+      match members.(e.Heap.dst) with
+      | None -> incr dropped_dead
+      | Some m -> (
+        match Wire.decode Wire.Adaptive ~universe:cap e.Heap.frame with
+        | Ok payload -> Member.deliver m ~src:e.Heap.src ~now:e.Heap.time payload
+        | Error msg -> failwith ("Service.run: wire decode failed: " ^ msg))
+    done;
+    now := tick_time;
+    for id = 0 to cap - 1 do
+      match members.(id) with
+      | None -> ()
+      | Some m ->
+        counts.(id) <- counts.(id) + 1;
+        Trace.emit trace (Trace.Tick { node = id; time = tick_time; count = counts.(id) });
+        Member.step m ~now:tick_time
+    done;
+    apply_scheduled tick;
+    apply_churn tick
+  done;
+  Trace.Lag.final_check lag;
+  Trace.flush trace;
+  {
+    ticks_run = cfg.ticks;
+    cap;
+    founders = Array.length founders;
+    final_live = Pool.size live;
+    joins = !joins;
+    leaves = !leaves;
+    crashes = !crashes;
+    suspicions = !suspicions;
+    retirements = !retirements;
+    epochs = Trace.Lag.epochs lag;
+    epochs_closed = Trace.Lag.closed lag;
+    max_lag = Trace.Lag.max_lag lag;
+    msgs = !msgs;
+    bytes = !bytes;
+    probes = !probes;
+    acks = !acks;
+    gossip = !gossip;
+    update_entries = !update_entries;
+    full_syncs = !full_syncs;
+    bootstraps = !bootstraps;
+    dropped_loss = !dropped_loss;
+    dropped_dead = !dropped_dead;
+  }
+
+let stats_to_json s =
+  Printf.sprintf
+    "{\"ticks\":%d,\"cap\":%d,\"founders\":%d,\"final_live\":%d,\"joins\":%d,\"leaves\":%d,\"crashes\":%d,\"suspicions\":%d,\"retirements\":%d,\"epochs\":%d,\"epochs_closed\":%d,\"max_lag\":%.12g,\"msgs\":%d,\"bytes\":%d,\"probes\":%d,\"acks\":%d,\"gossip\":%d,\"update_entries\":%d,\"full_syncs\":%d,\"bootstraps\":%d,\"dropped_loss\":%d,\"dropped_dead\":%d}"
+    s.ticks_run s.cap s.founders s.final_live s.joins s.leaves s.crashes s.suspicions
+    s.retirements s.epochs s.epochs_closed s.max_lag s.msgs s.bytes s.probes s.acks s.gossip
+    s.update_entries s.full_syncs s.bootstraps s.dropped_loss s.dropped_dead

@@ -1,0 +1,92 @@
+(** The continuous discovery runtime: a multiplexed fleet of
+    {!Member}s on a virtual clock, with seeded churn and an omniscient
+    convergence observer.
+
+    One-shot discovery answers "who is here?" once; the service keeps
+    the answer current. The runtime multiplexes every member of an id
+    universe [0 .. cap-1] into one process (mux-style), delivers their
+    messages through the real {!Repro_discovery.Wire} codec (every
+    payload is encoded and decoded, so the wire discipline is exercised
+    on every hop), applies scheduled ({!Repro_engine.Fault}) and
+    seeded-random churn — joins, graceful leaves, crashes and restarts
+    — and checks the {b convergence-lag invariant} online: after every
+    membership change, every live member's view must match the true
+    membership again within a bounded number of ticks
+    ({!Repro_engine.Trace.Lag}).
+
+    The observer is omniscient but O(1) per view change: it keeps a
+    Zobrist hash of each member's live-view and of every epoch's true
+    membership, and emits a [Converge] event when a member's view hash
+    matches the snapshot of any epoch it has not yet been credited with
+    — convergence to a {e consistent cut}, matching the checker's
+    contract even when later changes are still in flight. Everything is
+    a pure function of the configuration: same config, same stats, byte
+    for byte. *)
+
+open Repro_engine
+
+type churn = {
+  rate : float;
+      (** expected membership events per tick: joins arrive at
+          [rate/2], graceful leaves and crashes at [rate/4] each, so
+          the live population is stationary in expectation *)
+  min_live : int;  (** never leave/crash below this population *)
+  until : int;
+      (** last tick churn may fire; the remaining ticks are a cooldown
+          so every epoch's convergence deadline falls inside the run *)
+}
+
+type config = {
+  n : int;  (** founding members (ids [0 .. n-1] minus scheduled joiners) *)
+  cap : int;  (** id universe: joiners and rejoiners draw from [n .. cap-1] and the retired pool *)
+  seed : int;
+  ticks : int;
+  churn : churn option;  (** seeded-random churn generator *)
+  fault : Fault.t;  (** scheduled churn, link loss/delay, partitions *)
+  lag_bound : float option;  (** [None]: [max 64 (4 log2(cap)^2)] *)
+  full_sync : bool option;
+      (** enable the periodic full-state backstop; [None]: auto — on
+          exactly when an update could die in flight: the fault plan can
+          lose messages, or membership can change at all (churn or
+          scheduled joins/leaves/crashes), since a joiner's bootstrap
+          snapshot can race an in-flight update whose piggyback budgets
+          then expire *)
+  trace : Trace.sink;  (** teed with the online lag checker *)
+}
+
+type stats = {
+  ticks_run : int;
+  cap : int;
+  founders : int;
+  final_live : int;
+  joins : int;  (** churn joins applied after genesis (incl. restarts) *)
+  leaves : int;
+  crashes : int;
+  suspicions : int;
+  retirements : int;
+  epochs : int;  (** membership changes after genesis *)
+  epochs_closed : int;  (** epochs whose fleet-wide convergence was confirmed *)
+  max_lag : float;  (** worst confirmed convergence lag, in ticks *)
+  msgs : int;  (** total messages sent (all kinds) *)
+  bytes : int;  (** total encoded bytes *)
+  probes : int;
+  acks : int;  (** probe replies *)
+  gossip : int;  (** incremental update pushes *)
+  update_entries : int;  (** entries carried by incremental pushes *)
+  full_syncs : int;  (** periodic full-state sync pushes *)
+  bootstraps : int;  (** bootstrap requests + full-state replies *)
+  dropped_loss : int;  (** lost to the fault plan's coin / partitions *)
+  dropped_dead : int;  (** destination no longer live *)
+}
+
+val default_lag_bound : cap:int -> float
+
+val run : config -> stats
+(** Run the service for [config.ticks] virtual ticks.
+    @raise Trace.Lag.Violation when a live member fails to re-converge
+    within the lag bound.
+    @raise Invalid_argument on a malformed configuration. *)
+
+val stats_to_json : stats -> string
+(** One-line JSON object, stable field order, ["%.12g"] floats —
+    byte-stable across reruns for CI baselines. *)

@@ -1,0 +1,108 @@
+open Repro_util
+open Repro_discovery
+
+(* Status bytes mirror the wire encoding; 255 marks never-observed so
+   the whole array initialises with one Bytes.make. *)
+let unknown = 255
+
+type t = {
+  knowledge : Knowledge.t;
+  statuses : Bytes.t;
+  mutable live : int;  (* known nodes whose status is alive or suspect *)
+}
+
+type applied = Stale | Updated | Changed of bool
+
+let create ~cap ~owner ~labels =
+  let knowledge = Knowledge.create ~n:cap ~owner ~labels () in
+  ignore (Knowledge.observe_version knowledge ~node:owner ~version:1);
+  let statuses = Bytes.make cap (Char.chr unknown) in
+  Bytes.set statuses owner (Char.chr Payload.status_alive);
+  { knowledge; statuses; live = 1 }
+
+let knowledge t = t.knowledge
+let owner t = Knowledge.owner t.knowledge
+
+let raw_status t node =
+  if node < 0 || node >= Bytes.length t.statuses then invalid_arg "View.status: out of range";
+  Char.code (Bytes.get t.statuses node)
+
+let status t node =
+  let s = raw_status t node in
+  if s = unknown then None else Some s
+
+let version t node = Knowledge.node_version t.knowledge node
+let live_status s = s = Payload.status_alive || s = Payload.status_suspect
+let is_live t node = live_status (raw_status t node)
+let live_count t = t.live
+
+let set_status t node status =
+  let was = live_status (raw_status t node) in
+  let now = live_status status in
+  Bytes.set t.statuses node (Char.chr status);
+  if was && not now then t.live <- t.live - 1
+  else if now && not was then t.live <- t.live + 1;
+  if was = now then Updated else Changed now
+
+let apply t ~node ~version ~status =
+  if node < 0 || node >= Bytes.length t.statuses then invalid_arg "View.apply: node out of range";
+  if version < 0 then invalid_arg "View.apply: negative version";
+  if status < 0 || status > Payload.status_down then invalid_arg "View.apply: unknown status";
+  let cur_v = Knowledge.node_version t.knowledge node in
+  let cur_s = raw_status t node in
+  let stronger =
+    if cur_s = unknown then true
+    else version > cur_v || (version = cur_v && status > cur_s)
+  in
+  if not stronger then Stale
+  else begin
+    ignore (Knowledge.add t.knowledge node);
+    ignore (Knowledge.observe_version t.knowledge ~node ~version);
+    set_status t node status
+  end
+
+let suspect t node =
+  raw_status t node = Payload.status_alive
+  && (Bytes.set t.statuses node (Char.chr Payload.status_suspect);
+      true)
+
+let unsuspect t node =
+  raw_status t node = Payload.status_suspect
+  && (Bytes.set t.statuses node (Char.chr Payload.status_alive);
+      true)
+
+let random_live t rng =
+  if t.live <= 1 then None
+  else begin
+    (* the known set is mostly live in steady state, so rejection
+       sampling almost always lands within a draw or two *)
+    let found = ref (-1) in
+    let attempts = ref 0 in
+    while !found < 0 && !attempts < 8 do
+      incr attempts;
+      match Knowledge.random_known t.knowledge rng with
+      | Some v when is_live t v -> found := v
+      | Some _ | None -> ()
+    done;
+    if !found >= 0 then Some !found
+    else begin
+      (* retirement-heavy view: fall back to a uniform choice over an
+         explicit enumeration of the live non-owners *)
+      let self = owner t in
+      let live = ref [] in
+      let count = ref 0 in
+      Knowledge.iter_known t.knowledge (fun v ->
+          if v <> self && is_live t v then begin
+            live := v :: !live;
+            incr count
+          end);
+      if !count = 0 then None
+      else begin
+        let k = Rng.int rng !count in
+        let rec nth l i = match l with [] -> assert false | x :: tl -> if i = 0 then x else nth tl (i - 1) in
+        Some (nth !live k)
+      end
+    end
+  end
+
+let iter_known t f = Knowledge.iter_known t.knowledge f

@@ -112,11 +112,11 @@ node processes over sockets. The loopback backend is in-process and
 trace-identical to the async simulator; uds forks one process per node.
 The JSON report's timings vary, so pin only the verdict fields:
 
-  $ ../../bin/discovery_cli.exe cluster --transport loopback -n 8 --algo hm --seed 1 \
+  $ ../../bin/discovery_cli.exe cluster --backend loopback -n 8 --algo hm --seed 1 \
   >   | grep -c '"converged":true.*"invariants":{"status":"passed"'
   1
 
-  $ ../../bin/discovery_cli.exe cluster --transport uds -n 8 --algo hm --seed 1 \
+  $ ../../bin/discovery_cli.exe cluster --backend uds -n 8 --algo hm --seed 1 \
   >   | grep -c '"converged":true.*"invariants":{"status":"passed"'
   1
 
@@ -124,7 +124,7 @@ trace-diff certifies the loopback backend against the async simulator:
 same (algorithm, topology, seed) — byte-identical event stream:
 
   $ ../../bin/discovery_cli.exe trace --async --algo hm --topology kout:3 -n 8 --seed 1 -o sim.jsonl
-  $ ../../bin/discovery_cli.exe cluster --transport loopback -n 8 --algo hm --seed 1 \
+  $ ../../bin/discovery_cli.exe cluster --backend loopback -n 8 --algo hm --seed 1 \
   >   --trace-out live.jsonl > /dev/null
   $ ../../bin/discovery_cli.exe trace-diff sim.jsonl live.jsonl
   traces identical (87 events)
@@ -141,21 +141,21 @@ wire stack, one process — and certifies against loopback the same way:
 A node killed mid-run is reported as crashed — never hung — the JSON
 verdict names the sabotaged node, and the run fails with exit 1:
 
-  $ ../../bin/discovery_cli.exe cluster --transport uds -n 8 --algo hm --seed 1 --kill 3 --no-check 2>/dev/null \
+  $ ../../bin/discovery_cli.exe cluster --backend uds -n 8 --algo hm --seed 1 --kill 3 --no-check 2>/dev/null \
   >   | grep -c '"converged":false.*"crashed":\[3\],"killed":3'
   1
-  $ ../../bin/discovery_cli.exe cluster --transport uds -n 8 --algo hm --seed 1 --kill 3 --no-check >/dev/null 2>&1
+  $ ../../bin/discovery_cli.exe cluster --backend uds -n 8 --algo hm --seed 1 --kill 3 --no-check >/dev/null 2>&1
   [1]
 
 A healthy run reports no sabotage:
 
-  $ ../../bin/discovery_cli.exe cluster --transport uds -n 4 --algo hm --seed 1 2>/dev/null \
+  $ ../../bin/discovery_cli.exe cluster --backend uds -n 4 --algo hm --seed 1 2>/dev/null \
   >   | grep -c '"killed":null'
   1
 
-  $ ../../bin/discovery_cli.exe cluster --transport warp -n 8 2>&1 | head -1
-  discovery: option '--transport': unknown backend "warp"
-  $ ../../bin/discovery_cli.exe cluster --transport warp -n 8 2>/dev/null
+  $ ../../bin/discovery_cli.exe cluster --backend warp -n 8 2>&1 | head -1
+  discovery: option '--backend': unknown backend "warp" (loopback|uds|tcp|mux)
+  $ ../../bin/discovery_cli.exe cluster --backend warp -n 8 2>/dev/null
   [2]
 
 Unified fault plans drive every execution path from one DSL string.
@@ -187,7 +187,7 @@ On the live path the plan is applied at frame level: the cluster below
 converges through 10% loss plus a partition that heals, courtesy of
 the reliability layer:
 
-  $ ../../bin/discovery_cli.exe cluster --transport uds -n 8 --algo hm --seed 1 \
+  $ ../../bin/discovery_cli.exe cluster --backend uds -n 8 --algo hm --seed 1 \
   >   --fault 'loss=0.1,part=0-3|4-7@2..8' 2>/dev/null \
   >   | grep -c '"converged":true.*"invariants":{"status":"passed"'
   1
@@ -199,8 +199,8 @@ verifies every trial with the invariant checker:
   $ ../../bin/discovery_cli.exe chaos --algo hm -n 8 --trials 3 --seed 42 --quiet \
   >   | grep -c '"trials":3,"passed":3,"failed":0'
   1
-  $ ../../bin/discovery_cli.exe chaos --transport loopback 2>&1 | head -1
-  discovery: option '--transport': chaos needs a live backend (uds|tcp|mux)
+  $ ../../bin/discovery_cli.exe chaos --backend loopback 2>&1 | head -1
+  discovery: option '--backend': chaos needs a live backend (uds|tcp|mux)
 
 Adversarial scenarios: the named worst-case topologies are first-class
 families. The sorted chain is min_pointer's deterministic worst case
@@ -252,6 +252,32 @@ byte-reproducible (CI diffs the full grid against a pinned baseline):
   {"algo":"hm","topology":"sorted_chain","plan_family":"crash","n":8,"trials":2,"passed":2,"failed":0}
   {"algo":"hm","topology":"sorted_chain","plan_family":"wan","n":8,"trials":2,"passed":2,"failed":0}
 
+The continuous service keeps discovery running as a long-lived fleet:
+liveness probes, incremental anti-entropy, seeded churn, and an online
+convergence-lag invariant. Same config, same report, byte for byte:
+
+  $ ../../bin/discovery_cli.exe soak -n 32 --ticks 400 --churn 0.05 --seed 7 --quiet > s1.json
+  $ ../../bin/discovery_cli.exe soak -n 32 --ticks 400 --churn 0.05 --seed 7 --quiet > s2.json
+  $ cmp s1.json s2.json && echo byte-identical
+  byte-identical
+  $ grep -o '"epochs":[0-9]*,"epochs_closed":[0-9]*' s1.json
+  "epochs":14,"epochs_closed":14
+
+A quiet fleet pays only the probe floor — zero churn means zero
+anti-entropy traffic:
+
+  $ ../../bin/discovery_cli.exe soak -n 16 --ticks 200 --seed 1 --quiet \
+  >   | grep -o '"gossip":0,"update_entries":0'
+  "gossip":0,"update_entries":0
+
+An unmeetable lag bound is an operational failure (exit 1), raised by
+the online checker the moment the deadline passes:
+
+  $ ../../bin/discovery_cli.exe soak -n 32 --ticks 300 --churn 0.1 --seed 7 --lag-bound 2 --quiet 2>&1 | head -1
+  discovery soak: INVARIANT VIOLATION: convergence lag exceeded: node 20 has not converged to epoch 1 (change at t=3) by t=6 (bound 2)
+  $ ../../bin/discovery_cli.exe soak -n 32 --ticks 300 --churn 0.1 --seed 7 --lag-bound 2 --quiet 2>/dev/null
+  [1]
+
 The standalone binary runs one live node per invocation: every process
 gets the same address table (--peers; list position = node id) and
 identifies itself by its --listen address. Three of them, each knowing
@@ -286,10 +312,11 @@ The experiments runner lists its deliverables:
   T10  asynchronous execution
   T11  local termination detection
   T12  adversarial scenario matrix
+  T13  continuous service steady state
   F2   knowledge-growth dynamics
   F4   per-round message budget
   F5   cluster-head population dynamics
 
   $ ../../bin/experiments.exe --only T99 2>&1
-  experiments: unknown experiment id(s): T99 (known: T1, T2, T3, F1, T4, F3, T5, T6, T7, T8, T9, T10, T11, T12, F2, F4, F5)
+  experiments: unknown experiment id(s): T99 (known: T1, T2, T3, F1, T4, F3, T5, T6, T7, T8, T9, T10, T11, T12, T13, F2, F4, F5)
   [124]

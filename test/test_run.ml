@@ -88,23 +88,6 @@ let test_max_rounds_respected () =
   Alcotest.(check bool) "did not finish in 2 rounds" false r.Run.completed;
   Alcotest.(check int) "stopped at budget" 2 r.Run.rounds
 
-(* the deprecated optional-argument wrapper must stay a faithful
-   delegate of exec_spec until it is removed *)
-let[@alert "-deprecated"] test_deprecated_wrapper_agrees () =
-  let topo = kout ~n:64 ~seed:6 in
-  let via_spec =
-    Run.exec_spec
-      { Run.default_spec with Run.seed = 6; track_growth = true }
-      Hm_gossip.algorithm topo
-  in
-  let via_wrapper = Run.exec ~seed:6 ~track_growth:true Hm_gossip.algorithm topo in
-  Alcotest.(check bool) "same outcome" true
-    ((via_spec.Run.completed, via_spec.Run.rounds, via_spec.Run.messages, via_spec.Run.bytes)
-    = ( via_wrapper.Run.completed,
-        via_wrapper.Run.rounds,
-        via_wrapper.Run.messages,
-        via_wrapper.Run.bytes ))
-
 let () =
   Alcotest.run "run"
     [
@@ -114,7 +97,6 @@ let () =
           Alcotest.test_case "growth tracking" `Quick test_growth_tracking;
           Alcotest.test_case "trivial instances" `Quick test_trivial_instances;
           Alcotest.test_case "max rounds respected" `Quick test_max_rounds_respected;
-          Alcotest.test_case "deprecated wrapper agrees" `Quick test_deprecated_wrapper_agrees;
         ] );
       ( "completion predicates",
         [

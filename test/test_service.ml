@@ -1,0 +1,409 @@
+(* Continuous discovery service: the convergence-lag invariant checker,
+   the versioned-update wire codec, the membership view lattice, the
+   graceful-leave fault schedule, and end-to-end soaks of the service
+   runtime under churn. *)
+
+open Repro_engine
+open Repro_discovery
+open Repro_service
+
+(* --- Trace.Lag: the convergence-lag invariant ------------------------- *)
+
+let feed lag events =
+  let sink = Trace.Lag.sink lag in
+  List.iter (Trace.emit sink) events
+
+let tick time = Trace.Tick { node = 0; time; count = 1 }
+
+let test_lag_clean_churn () =
+  let lag = Trace.Lag.create ~bound:10.0 () in
+  feed lag
+    [
+      (* genesis: pre-tick joins carry no deadline *)
+      Trace.Join { node = 0 };
+      Trace.Join { node = 1 };
+      Trace.Join { node = 2 };
+      tick 1.0;
+      Trace.Crash { node = 2 };
+      (* epoch 1 at t=1 *)
+      tick 2.0;
+      Trace.Converge { node = 0; epoch = 1 };
+      Trace.Converge { node = 1; epoch = 1 };
+      tick 3.0;
+      Trace.Join { node = 3 };
+      (* epoch 2 at t=3: nodes 0, 1 and the joiner itself must converge *)
+      tick 5.0;
+      Trace.Converge { node = 0; epoch = 2 };
+      Trace.Converge { node = 1; epoch = 2 };
+      Trace.Converge { node = 3; epoch = 2 };
+      tick 6.0;
+    ];
+  Trace.Lag.final_check lag;
+  Alcotest.(check int) "epochs" 2 (Trace.Lag.epochs lag);
+  Alcotest.(check int) "closed" 2 (Trace.Lag.closed lag);
+  Alcotest.(check bool) "max lag recorded" true (Trace.Lag.max_lag lag >= 1.0)
+
+let test_lag_violation_rejected () =
+  let lag = Trace.Lag.create ~bound:5.0 () in
+  let violating () =
+    feed lag
+      [
+        Trace.Join { node = 0 };
+        Trace.Join { node = 1 };
+        tick 1.0;
+        Trace.Crash { node = 1 };
+        (* node 0 never confirms the change; clock passes 1 + bound *)
+        tick 4.0;
+        tick 7.0;
+      ]
+  in
+  Alcotest.check_raises "laggard rejected"
+    (Trace.Lag.Violation
+       "convergence lag exceeded: node 0 has not converged to epoch 1 (change at t=1) by t=7 \
+        (bound 5)")
+    violating
+
+let test_lag_joiner_is_accountable () =
+  let lag = Trace.Lag.create ~bound:5.0 () in
+  Alcotest.check_raises "joiner must converge too"
+    (Trace.Lag.Violation
+       "convergence lag exceeded: node 2 has not converged to epoch 1 (change at t=1) by t=8 \
+        (bound 5)")
+    (fun () ->
+      feed lag
+        [
+          Trace.Join { node = 0 };
+          Trace.Join { node = 1 };
+          tick 1.0;
+          Trace.Join { node = 2 };
+          Trace.Converge { node = 0; epoch = 1 };
+          Trace.Converge { node = 1; epoch = 1 };
+          tick 8.0;
+        ])
+
+let test_lag_departed_not_required () =
+  (* a node that leaves mid-epoch is excused from converging to it *)
+  let lag = Trace.Lag.create ~bound:5.0 () in
+  feed lag
+    [
+      Trace.Join { node = 0 };
+      Trace.Join { node = 1 };
+      Trace.Join { node = 2 };
+      tick 1.0;
+      Trace.Crash { node = 2 };
+      tick 2.0;
+      Trace.Converge { node = 0; epoch = 1 };
+      (* node 1 leaves before confirming epoch 1: that closes the epoch *)
+      Trace.Leave { node = 1 };
+      Trace.Converge { node = 0; epoch = 2 };
+      tick 3.0;
+    ];
+  Trace.Lag.final_check lag;
+  Alcotest.(check int) "both epochs closed" 2 (Trace.Lag.closed lag)
+
+let test_lag_future_epoch_rejected () =
+  let lag = Trace.Lag.create () in
+  Alcotest.check_raises "cannot converge to the future"
+    (Trace.Lag.Violation "node 0 converged to epoch 3, which has not happened (current epoch 0)")
+    (fun () -> feed lag [ Trace.Join { node = 0 }; tick 1.0; Trace.Converge { node = 0; epoch = 3 } ])
+
+let test_lag_open_epoch_within_bound_ok () =
+  (* the run may end with an epoch still settling, as long as its
+     deadline lies beyond the final clock reading *)
+  let lag = Trace.Lag.create ~bound:100.0 () in
+  feed lag [ Trace.Join { node = 0 }; Trace.Join { node = 1 }; tick 1.0; Trace.Crash { node = 1 }; tick 2.0 ];
+  Trace.Lag.final_check lag;
+  Alcotest.(check int) "epoch open" 0 (Trace.Lag.closed lag);
+  Alcotest.(check int) "but counted" 1 (Trace.Lag.epochs lag)
+
+(* --- Wire codec 3: versioned update batches --------------------------- *)
+
+let updates ?(full = false) entries =
+  Payload.Updates
+    { full; entries = Array.of_list (List.map (fun (node, version, status) -> { Payload.node; version; status }) entries) }
+
+let roundtrip p =
+  let b = Wire.encode Wire.Adaptive ~universe:300 p in
+  match Wire.decode Wire.Adaptive ~universe:300 b with
+  | Ok p' -> p'
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_wire_updates_roundtrip () =
+  List.iter
+    (fun p -> Alcotest.(check bool) "roundtrip preserves payload" true (roundtrip p = p))
+    [
+      Payload.Share (updates [ (0, 1, 0); (7, 12, 2); (299, 1, 1) ]);
+      Payload.Share (updates ~full:true [ (3, 1, 0); (4, 2, 0) ]);
+      Payload.Exchange (updates ~full:true [ (42, 1, 0) ]);
+      Payload.Reply (updates []);
+      Payload.Reply (updates ~full:true []);
+    ]
+
+let test_wire_updates_canonical_enforced () =
+  let check_invalid name p =
+    Alcotest.check_raises name (Invalid_argument "Wire.encode: updates not strictly ascending")
+      (fun () -> ignore (Wire.encode Wire.Adaptive ~universe:300 p))
+  in
+  check_invalid "unsorted rejected" (Payload.Share (updates [ (7, 1, 0); (3, 1, 0) ]));
+  check_invalid "duplicate rejected" (Payload.Share (updates [ (3, 1, 0); (3, 2, 0) ]))
+
+let test_wire_updates_bad_bytes_rejected () =
+  let good = Wire.encode Wire.Adaptive ~universe:300 (Payload.Share (updates [ (5, 3, 1) ])) in
+  (* flip the status byte (last byte) to an unknown value *)
+  let bad = Bytes.copy good in
+  Bytes.set bad (Bytes.length bad - 1) (Char.chr 7);
+  (match Wire.decode Wire.Adaptive ~universe:300 bad with
+  | Ok _ -> Alcotest.fail "unknown status accepted"
+  | Error _ -> ());
+  (* truncated body *)
+  (match Wire.decode Wire.Adaptive ~universe:300 (Bytes.sub good 0 (Bytes.length good - 1)) with
+  | Ok _ -> Alcotest.fail "truncated batch accepted"
+  | Error _ -> ());
+  (* the full flag is meaningless on a non-update codec *)
+  let share = Wire.encode Wire.Adaptive ~universe:300 (Payload.Share (Payload.Ids [| 1; 2 |])) in
+  let bad = Bytes.copy share in
+  Bytes.set bad 1 (Char.chr (Char.code (Bytes.get share 1) lor 0x40));
+  match Wire.decode Wire.Adaptive ~universe:300 bad with
+  | Ok _ -> Alcotest.fail "stray full flag accepted"
+  | Error _ -> ()
+
+let test_wire_updates_size_exact () =
+  let p = Payload.Share (updates [ (0, 1, 0); (150, 200, 2) ]) in
+  let b = Wire.encode Wire.Adaptive ~universe:300 p in
+  Alcotest.(check int) "encoded_size agrees" (Bytes.length b)
+    (Wire.encoded_size Wire.Adaptive ~universe:300 p)
+
+(* --- Knowledge versions / Payload updates ----------------------------- *)
+
+let knowledge ~n ~owner = Knowledge.create ~n ~owner ~labels:(Array.init n Fun.id) ()
+
+let test_knowledge_versions () =
+  let k = knowledge ~n:32 ~owner:0 in
+  Alcotest.(check int) "unobserved is 0" 0 (Knowledge.node_version k 5);
+  Alcotest.(check bool) "first observation advances" true
+    (Knowledge.observe_version k ~node:5 ~version:3);
+  Alcotest.(check int) "recorded" 3 (Knowledge.node_version k 5);
+  Alcotest.(check bool) "regression ignored" false (Knowledge.observe_version k ~node:5 ~version:2);
+  Alcotest.(check bool) "equal ignored" false (Knowledge.observe_version k ~node:5 ~version:3);
+  Alcotest.(check bool) "advance accepted" true (Knowledge.observe_version k ~node:5 ~version:9);
+  Alcotest.(check bool) "zero is a no-op" false (Knowledge.observe_version k ~node:7 ~version:0);
+  Alcotest.(check int) "still unobserved" 0 (Knowledge.node_version k 7);
+  Alcotest.check_raises "range checked" (Invalid_argument "Knowledge.node_version: out of range")
+    (fun () -> ignore (Knowledge.node_version k 32))
+
+let test_payload_updates_merge () =
+  let k = knowledge ~n:32 ~owner:0 in
+  let d = updates [ (3, 2, 0); (4, 1, 2) ] in
+  Alcotest.(check int) "both fresh" 2 (Payload.merge_data k d);
+  Alcotest.(check bool) "ids learned" true (Knowledge.knows k 3 && Knowledge.knows k 4);
+  Alcotest.(check int) "version recorded" 2 (Knowledge.node_version k 3);
+  Alcotest.(check int) "nothing new twice" 0 (Payload.merge_data k d);
+  Alcotest.(check int) "empty batch still costs a pointer" 1
+    (Payload.measure (Payload.Share (updates [])))
+
+(* --- Fault: graceful-leave schedules ---------------------------------- *)
+
+let test_fault_leave_roundtrip () =
+  let f = Fault.with_leaves Fault.none [ (3, 10); (5, 4) ] in
+  Alcotest.(check string) "to_string" "leave=3@10,leave=5@4" (Fault.to_string f);
+  (match Fault.of_string (Fault.to_string f) with
+  | Ok f' -> Alcotest.(check bool) "roundtrip" true (Fault.equal f f')
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (option int)) "leave_round" (Some 4) (Fault.leave_round f ~node:5);
+  Alcotest.(check (option int)) "unscheduled" None (Fault.leave_round f ~node:9);
+  Alcotest.(check int) "last_scheduled_round sees leaves" 10 (Fault.last_scheduled_round f)
+
+let test_fault_leave_crash_exclusive () =
+  let f = Fault.with_leave Fault.none ~node:3 ~round:5 in
+  Alcotest.check_raises "crash after leave"
+    (Invalid_argument "Fault.with_crash: node is scheduled to leave gracefully") (fun () ->
+      ignore (Fault.with_crash f ~node:3 ~round:7));
+  let g = Fault.with_crash Fault.none ~node:3 ~round:5 in
+  Alcotest.check_raises "leave after crash"
+    (Invalid_argument "Fault.with_leave: node is scheduled to crash") (fun () ->
+      ignore (Fault.with_leave g ~node:3 ~round:7))
+
+(* --- View: the (version, status) lattice ------------------------------ *)
+
+let test_view_lattice () =
+  let v = View.create ~cap:16 ~owner:0 ~labels:(Array.init 16 Fun.id) in
+  Alcotest.(check bool) "owner live" true (View.is_live v 0);
+  Alcotest.(check bool) "unknown not live" false (View.is_live v 3);
+  (match View.apply v ~node:3 ~version:1 ~status:Payload.status_alive with
+  | View.Changed true -> ()
+  | _ -> Alcotest.fail "first observation should change liveness");
+  (match View.apply v ~node:3 ~version:1 ~status:Payload.status_alive with
+  | View.Stale -> ()
+  | _ -> Alcotest.fail "same observation should be stale");
+  (* at equal version the pessimistic status wins *)
+  (match View.apply v ~node:3 ~version:1 ~status:Payload.status_down with
+  | View.Changed false -> ()
+  | _ -> Alcotest.fail "down at same version should win");
+  (match View.apply v ~node:3 ~version:1 ~status:Payload.status_alive with
+  | View.Stale -> ()
+  | _ -> Alcotest.fail "alive cannot override down at the same version");
+  (* only a higher incarnation refutes a down verdict *)
+  (match View.apply v ~node:3 ~version:2 ~status:Payload.status_alive with
+  | View.Changed true -> ()
+  | _ -> Alcotest.fail "higher incarnation should refute");
+  Alcotest.(check int) "live count" 2 (View.live_count v)
+
+let test_view_suspicion_is_local () =
+  let v = View.create ~cap:16 ~owner:0 ~labels:(Array.init 16 Fun.id) in
+  ignore (View.apply v ~node:5 ~version:1 ~status:Payload.status_alive);
+  Alcotest.(check bool) "suspect flips" true (View.suspect v 5);
+  Alcotest.(check bool) "still live" true (View.is_live v 5);
+  Alcotest.(check int) "live count unchanged" 2 (View.live_count v);
+  Alcotest.(check bool) "unsuspect clears" true (View.unsuspect v 5);
+  Alcotest.(check bool) "no double clear" false (View.unsuspect v 5);
+  Alcotest.(check bool) "cannot suspect the unknown" false (View.suspect v 9)
+
+(* --- Service: end-to-end soaks ---------------------------------------- *)
+
+let soak_config ?(n = 16) ?(cap = 24) ?(ticks = 600) ?(seed = 11) ?churn ?(fault = Fault.none) ()
+    =
+  {
+    Service.n;
+    cap;
+    seed;
+    ticks;
+    churn;
+    fault;
+    lag_bound = None;
+    full_sync = None;
+    trace = Trace.null;
+  }
+
+let test_service_clean_churn_converges () =
+  let churn = { Service.rate = 0.1; min_live = 8; until = 450 } in
+  let stats = Service.run (soak_config ~churn ()) in
+  Alcotest.(check bool) "some churn happened" true (stats.Service.epochs > 0);
+  Alcotest.(check int) "every epoch closed" stats.Service.epochs stats.Service.epochs_closed;
+  Alcotest.(check bool) "lag within bound" true
+    (stats.Service.max_lag <= Service.default_lag_bound ~cap:24)
+
+let test_service_quiet_fleet_sends_no_gossip () =
+  let stats = Service.run (soak_config ~ticks:300 ()) in
+  Alcotest.(check int) "no gossip without churn" 0 stats.Service.gossip;
+  Alcotest.(check int) "no update entries" 0 stats.Service.update_entries;
+  Alcotest.(check int) "no churn, no epochs" 0 stats.Service.epochs;
+  Alcotest.(check bool) "probe floor only" true
+    (stats.Service.msgs = stats.Service.probes + stats.Service.acks)
+
+let test_service_lossy_churn_converges () =
+  let churn = { Service.rate = 0.05; min_live = 8; until = 400 } in
+  let fault = Fault.with_loss Fault.none ~p:0.05 in
+  let stats = Service.run (soak_config ~churn ~fault ~seed:3 ()) in
+  Alcotest.(check int) "every epoch closed" stats.Service.epochs stats.Service.epochs_closed;
+  Alcotest.(check bool) "loss actually applied" true (stats.Service.dropped_loss > 0);
+  Alcotest.(check bool) "backstop auto-enabled" true (stats.Service.full_syncs > 0)
+
+let test_service_scheduled_churn () =
+  let fault =
+    Fault.with_leave (Fault.with_crash (Fault.with_join Fault.none ~node:20 ~round:100) ~node:2 ~round:50)
+      ~node:5 ~round:150
+  in
+  let stats = Service.run (soak_config ~fault ~ticks:400 ()) in
+  Alcotest.(check int) "three scheduled changes" 3 stats.Service.epochs;
+  Alcotest.(check int) "all closed" 3 stats.Service.epochs_closed;
+  Alcotest.(check int) "one join" 1 stats.Service.joins;
+  Alcotest.(check int) "one leave" 1 stats.Service.leaves;
+  Alcotest.(check int) "one crash" 1 stats.Service.crashes;
+  Alcotest.(check int) "net population" 15 stats.Service.final_live
+
+let test_service_deterministic () =
+  let churn = { Service.rate = 0.08; min_live = 8; until = 400 } in
+  let a = Service.run (soak_config ~churn ~seed:9 ()) in
+  let b = Service.run (soak_config ~churn ~seed:9 ()) in
+  Alcotest.(check string) "byte-identical reports" (Service.stats_to_json a)
+    (Service.stats_to_json b);
+  let c = Service.run (soak_config ~churn ~seed:10 ()) in
+  Alcotest.(check bool) "seed matters" true (Service.stats_to_json a <> Service.stats_to_json c)
+
+let test_service_traffic_scales_with_churn_not_n () =
+  (* per-member steady-state traffic must be flat in fleet size and
+     grow with the churn rate: the anti-entropy claim of the service *)
+  let run ~n ~rate =
+    let cap = n + n / 4 in
+    let churn = if rate = 0.0 then None else Some { Service.rate; min_live = n / 2; until = 700 } in
+    let stats = Service.run (soak_config ~n ~cap ~ticks:900 ~seed:5 ?churn ()) in
+    float_of_int (stats.Service.gossip + stats.Service.probes + stats.Service.acks)
+    /. float_of_int stats.Service.ticks_run /. float_of_int n
+  in
+  let small_quiet = run ~n:32 ~rate:0.0 in
+  let small_churny = run ~n:32 ~rate:0.2 in
+  let big_churny = run ~n:128 ~rate:0.2 in
+  Alcotest.(check bool) "churn costs traffic" true (small_churny > small_quiet);
+  (* quadrupling the fleet at fixed churn must not quadruple per-member
+     traffic; allow 2x slack for the log-factor and noise *)
+  Alcotest.(check bool) "per-member traffic flat in n" true (big_churny < 2.0 *. small_churny)
+
+(* --- chaos matrix: the known-failing cell stays pinned ---------------- *)
+
+let test_chaos_known_failing_cell_pinned () =
+  (* hm on a tree under the partition family: trial 2's cut isolates a
+     subtree past hm's retry budget, a real robustness gap tracked by
+     ci/chaos-matrix-baseline.json. Pin the exact pass count so a fix
+     (or a regression) surfaces here first. *)
+  let open Repro_net in
+  let cells =
+    Chaos.matrix ~algos:[ Hm_gossip.algorithm ] ~families:[ Repro_graph.Generate.Binary_tree ]
+      ~plans:[ "partition" ] ~n:8 ~trials:3 ~seed:0 ~backend:Backend.Mux ~timeout:10.0
+      ~loss_max:0.2 ()
+  in
+  match cells with
+  | [ cell ] ->
+    Alcotest.(check string) "cell"
+      "{\"algo\":\"hm\",\"topology\":\"tree\",\"plan_family\":\"partition\",\"n\":8,\"trials\":3,\"passed\":2,\"failed\":1}"
+      (Chaos.cell_to_json cell)
+  | _ -> Alcotest.fail "expected exactly one cell"
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "lag",
+        [
+          Alcotest.test_case "clean churn passes" `Quick test_lag_clean_churn;
+          Alcotest.test_case "laggard rejected" `Quick test_lag_violation_rejected;
+          Alcotest.test_case "joiner accountable" `Quick test_lag_joiner_is_accountable;
+          Alcotest.test_case "departed excused" `Quick test_lag_departed_not_required;
+          Alcotest.test_case "future epoch rejected" `Quick test_lag_future_epoch_rejected;
+          Alcotest.test_case "open epoch within bound" `Quick test_lag_open_epoch_within_bound_ok;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "updates roundtrip" `Quick test_wire_updates_roundtrip;
+          Alcotest.test_case "canonical form enforced" `Quick test_wire_updates_canonical_enforced;
+          Alcotest.test_case "bad bytes rejected" `Quick test_wire_updates_bad_bytes_rejected;
+          Alcotest.test_case "size exact" `Quick test_wire_updates_size_exact;
+        ] );
+      ( "versions",
+        [
+          Alcotest.test_case "knowledge versions" `Quick test_knowledge_versions;
+          Alcotest.test_case "payload merge" `Quick test_payload_updates_merge;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "leave roundtrip" `Quick test_fault_leave_roundtrip;
+          Alcotest.test_case "leave/crash exclusive" `Quick test_fault_leave_crash_exclusive;
+        ] );
+      ( "view",
+        [
+          Alcotest.test_case "lattice" `Quick test_view_lattice;
+          Alcotest.test_case "suspicion local" `Quick test_view_suspicion_is_local;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "clean churn converges" `Quick test_service_clean_churn_converges;
+          Alcotest.test_case "quiet fleet silent" `Quick test_service_quiet_fleet_sends_no_gossip;
+          Alcotest.test_case "lossy churn converges" `Quick test_service_lossy_churn_converges;
+          Alcotest.test_case "scheduled churn" `Quick test_service_scheduled_churn;
+          Alcotest.test_case "deterministic" `Quick test_service_deterministic;
+          Alcotest.test_case "traffic scales with churn" `Slow
+            test_service_traffic_scales_with_churn_not_n;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "known-failing cell pinned" `Slow test_chaos_known_failing_cell_pinned;
+        ] );
+    ]

@@ -80,7 +80,9 @@ let test_form_preserved () =
      marking); it must survive every codec in both directions *)
   let is_bits = function
     | Payload.Share d | Payload.Exchange d | Payload.Reply d -> (
-      match d with Payload.Bits _ -> true | Payload.Ids _ | Payload.Delta _ -> false)
+      match d with
+      | Payload.Bits _ -> true
+      | Payload.Ids _ | Payload.Delta _ | Payload.Updates _ -> false)
     | Payload.Probe | Payload.Halt -> false
   in
   List.iter
