@@ -243,6 +243,9 @@ let soak_subject () =
       fault = Repro_engine.Fault.none;
       lag_bound = None;
       full_sync = None;
+      backend = None;
+      indirect_k = 2;
+      lifeguard = true;
       trace = Repro_engine.Trace.null;
     }
   in

@@ -817,12 +817,14 @@ let chaos_matrix_cmd =
 
 let soak_cmd =
   let open Repro_service in
-  let soak n cap ticks seed churn min_live cooldown plan lag_bound full_sync trace_out quiet =
+  let soak n cap ticks seed churn min_live cooldown plan lag_bound full_sync backend indirect_k
+      no_lifeguard trace_out quiet =
     if n < 2 then `Error (false, "--n must be at least 2")
     else begin
       let cap = if cap = 0 then n + max 16 (n / 4) else cap in
       if cap < n then `Error (false, "--cap must be at least n")
       else if ticks < 1 then `Error (false, "--ticks must be positive")
+      else if indirect_k < 0 then `Error (false, "--indirect-k must be >= 0")
       else begin
         let bound =
           if lag_bound > 0.0 then lag_bound else Service.default_lag_bound ~cap
@@ -852,6 +854,9 @@ let soak_cmd =
             fault = plan;
             lag_bound = Some bound;
             full_sync = (if full_sync then Some true else None);
+            backend;
+            indirect_k;
+            lifeguard = not no_lifeguard;
             trace;
           }
         in
@@ -938,6 +943,44 @@ let soak_cmd =
              when an update could die in flight — the fault plan can lose messages, or \
              membership can change at all).")
   in
+  let backend_arg =
+    let service_backend_conv =
+      let parse s =
+        match Repro_net.Backend.of_string s with
+        | Ok (Repro_net.Backend.Loopback | Repro_net.Backend.Mux) as ok -> ok
+        | Ok (Repro_net.Backend.Process _) ->
+          Error "the service multiplexes members into one process: use loopback or mux"
+        | Error _ as e -> e
+      in
+      Arg.conv
+        ( (fun s -> parse s |> Result.map_error (fun e -> `Msg e)),
+          fun ppf b -> Format.pp_print_string ppf (Repro_net.Backend.to_string b) )
+    in
+    Arg.(
+      value
+      & opt (some service_backend_conv) None
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Member runtime: $(b,loopback) (default; members exchange wire-encoded payloads \
+             directly) or $(b,mux) (each member hosted inside a real node core — envelope \
+             framing, go-back-N retransmission and the seeded fault shim on every hop).")
+  in
+  let indirect_k_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "indirect-k" ] ~docv:"K"
+          ~doc:
+            "Intermediaries asked to probe on our behalf before a silent peer is suspected; 0 \
+             disables the indirect round (a direct-probe timeout suspects immediately).")
+  in
+  let no_lifeguard_arg =
+    Arg.(
+      value & flag
+      & info [ "no-lifeguard" ]
+          ~doc:
+            "Disable local-health timeout scaling (by default a member whose own probes fail \
+             broadly widens its liveness timeouts instead of spraying down verdicts).")
+  in
   let trace_out_arg =
     Arg.(
       value
@@ -951,7 +994,8 @@ let soak_cmd =
     Term.(
       ret
         (const soak $ n_arg $ cap_arg $ ticks_arg $ seed_arg $ churn_arg $ min_live_arg
-       $ cooldown_arg $ fault_arg $ lag_bound_arg $ full_sync_arg $ trace_out_arg $ quiet_arg))
+       $ cooldown_arg $ fault_arg $ lag_bound_arg $ full_sync_arg $ backend_arg
+       $ indirect_k_arg $ no_lifeguard_arg $ trace_out_arg $ quiet_arg))
   in
   Cmd.v
     (Cmd.info "soak"

@@ -19,7 +19,8 @@ let data_ids (d : Payload.data) =
 let payload_ids (p : Payload.t) =
   match p with
   | Payload.Share d | Payload.Exchange d | Payload.Reply d -> Some (data_ids d)
-  | Payload.Probe | Payload.Halt -> None
+  | Payload.Probe | Payload.Halt | Payload.Probe_req _ | Payload.Probe_ack _
+  | Payload.Suspicion _ -> None
 
 let inject_data ~universe ids (d : Payload.data) =
   let fresh = List.filter (fun id -> id >= 0 && id < universe) ids in
@@ -60,7 +61,8 @@ let inject ~universe (p : Payload.t) ids =
   | Payload.Share d -> Payload.Share (inject_data ~universe ids d)
   | Payload.Exchange d -> Payload.Exchange (inject_data ~universe ids d)
   | Payload.Reply d -> Payload.Reply (inject_data ~universe ids d)
-  | Payload.Probe | Payload.Halt -> p
+  | Payload.Probe | Payload.Halt | Payload.Probe_req _ | Payload.Probe_ack _
+  | Payload.Suspicion _ -> p
 
 let genesis_event ~node knowledge =
   Trace.Genesis { node; ids = Cset.to_array (Knowledge.contents knowledge) }

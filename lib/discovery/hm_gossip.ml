@@ -320,6 +320,7 @@ let make_with ~broadcast ~upward (ctx : Algorithm.ctx) =
       ignore (Knowledge.add st.knowledge src);
       Intvec.push st.pending_replies src
     | Halt -> st.halted <- true
+    | Probe_req _ | Probe_ack _ | Suspicion _ -> ()
   in
   { Algorithm.knowledge; round; receive; is_quiescent = (fun () -> st.halted) }
 

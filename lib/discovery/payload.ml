@@ -8,7 +8,15 @@ type data =
   | Delta of Intvec.slice
   | Updates of { full : bool; entries : update array }
 
-type t = Share of data | Exchange of data | Reply of data | Probe | Halt
+type t =
+  | Share of data
+  | Exchange of data
+  | Reply of data
+  | Probe
+  | Halt
+  | Probe_req of { target : int; nonce : int }
+  | Probe_ack of { target : int; nonce : int }
+  | Suspicion of { target : int; version : int }
 
 let status_alive = 0
 let status_suspect = 1
@@ -26,6 +34,9 @@ let measure = function
        like a Probe: empty full-state requests are real messages *)
     (match d with Updates _ -> max 1 (data_size d) | Bits _ | Ids _ | Delta _ -> data_size d)
   | Probe | Halt -> 1
+  (* indirect-probe and suspicion traffic names a second node: the
+     implicit sender address plus the target pointer *)
+  | Probe_req _ | Probe_ack _ | Suspicion _ -> 2
 
 let merge_data knowledge = function
   | Bits b -> Knowledge.merge_snapshot knowledge b
@@ -52,3 +63,6 @@ let pp ppf = function
   | Reply d -> Format.fprintf ppf "reply(%d)" (data_size d)
   | Probe -> Format.fprintf ppf "probe"
   | Halt -> Format.fprintf ppf "halt"
+  | Probe_req p -> Format.fprintf ppf "probe-req(%d#%d)" p.target p.nonce
+  | Probe_ack p -> Format.fprintf ppf "probe-ack(%d#%d)" p.target p.nonce
+  | Suspicion s -> Format.fprintf ppf "suspicion(%d@%d)" s.target s.version

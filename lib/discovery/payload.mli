@@ -51,6 +51,20 @@ type t =
       (** Termination announcement: the sender has locally decided that
           discovery is finished and will stop transmitting; receivers
           should quiesce too (see {!Hm_gossip} on detection). *)
+  | Probe_req of { target : int; nonce : int }
+      (** Indirect-probe request: "probe [target] on my behalf". The
+          intermediary probes [target] and, on any sign of life, answers
+          the requester with a [Probe_ack] echoing the same [nonce]
+          (SWIM's ping-req). *)
+  | Probe_ack of { target : int; nonce : int }
+      (** Indirect-probe answer: the sender vouches that [target] was
+          alive for the [Probe_req] correlated by [nonce]. *)
+  | Suspicion of { target : int; version : int }
+      (** Suspicion claim: the sender currently suspects [target] at
+          incarnation [version]. Receivers that independently suspect
+          the same (target, version) count it as a confirmation and
+          shrink their suspicion timeout; the target itself refutes by
+          bumping its incarnation. *)
 
 val status_alive : int
 val status_suspect : int
@@ -67,7 +81,9 @@ val measure : t -> int
 (** Pointer complexity of a message. Every message implicitly carries its
     sender's address, so [Probe] costs 1; data messages cost their
     identifier count (the sender is always an element of its own
-    knowledge). An empty [Updates] batch costs 1 like a probe. *)
+    knowledge). An empty [Updates] batch costs 1 like a probe.
+    [Probe_req]/[Probe_ack]/[Suspicion] name a second node and cost
+    2. *)
 
 val merge_data : Knowledge.t -> data -> int
 (** Merge carried identifiers into a knowledge set; returns the number of

@@ -58,7 +58,7 @@ let make_with params (ctx : Algorithm.ctx) =
     | Probe ->
       ignore (Knowledge.add st.knowledge src);
       Intvec.push st.pending_replies src
-    | Halt -> ()
+    | Halt | Probe_req _ | Probe_ack _ | Suspicion _ -> ()
   in
   { Algorithm.knowledge; round; receive; is_quiescent = Algorithm.never_quiescent }
 

@@ -46,7 +46,8 @@ let ids_of_data = function
 
 let ids_of_payload = function
   | Payload.Share d | Payload.Exchange d | Payload.Reply d -> ids_of_data d
-  | Payload.Probe | Payload.Halt -> []
+  | Payload.Probe | Payload.Halt | Payload.Probe_req _ | Payload.Probe_ack _
+  | Payload.Suspicion _ -> []
 
 let check_range ~universe ids =
   List.iter
@@ -150,7 +151,8 @@ let updates_body_size (entries : Payload.update array) =
 
 (* --- message framing ---
 
-   byte 0: message kind (0 Share, 1 Exchange, 2 Reply, 3 Probe, 4 Halt)
+   byte 0: message kind (0 Share, 1 Exchange, 2 Reply, 3 Probe, 4 Halt,
+     5 Probe_req, 6 Probe_ack, 7 Suspicion)
    byte 1 (data payloads only): body codec (0 raw32, 1 varint, 2 bitmap,
      3 updates) in the low bits, plus the snapshot-form flag (0x80) in
      the top bit and — update batches only — the full-state flag (0x40)
@@ -174,6 +176,18 @@ let kind_tag = function
   | Payload.Reply _ -> 2
   | Payload.Probe -> 3
   | Payload.Halt -> 4
+  | Payload.Probe_req _ -> 5
+  | Payload.Probe_ack _ -> 6
+  | Payload.Suspicion _ -> 7
+
+(* Liveness control messages (kinds 5-7) carry two varints after the
+   kind byte: the target identifier and a correlation value (the probe
+   nonce or the suspected incarnation). No codec byte: the body shape is
+   fixed by the kind, and canonical form is exactly the two varints with
+   no trailing bytes. *)
+let check_liveness ~universe ~target ~aux =
+  if target < 0 || target >= universe then invalid_arg "Wire.encode: identifier out of range";
+  if aux < 0 then invalid_arg "Wire.encode: negative correlation value"
 
 let body_choice encoding ~universe ids =
   match encoding with
@@ -187,6 +201,14 @@ let encode encoding ~universe payload =
   Buffer.add_char buf (Char.chr (kind_tag payload));
   (match payload with
   | Payload.Probe | Payload.Halt -> ()
+  | Payload.Probe_req { target; nonce } | Payload.Probe_ack { target; nonce } ->
+    check_liveness ~universe ~target ~aux:nonce;
+    write_varint buf target;
+    write_varint buf nonce
+  | Payload.Suspicion { target; version } ->
+    check_liveness ~universe ~target ~aux:version;
+    write_varint buf target;
+    write_varint buf version
   | Payload.Share (Payload.Updates u)
   | Payload.Exchange (Payload.Updates u)
   | Payload.Reply (Payload.Updates u) ->
@@ -317,6 +339,9 @@ let ids_sizes d =
 let encoded_size encoding ~universe payload =
   match payload with
   | Payload.Probe | Payload.Halt -> 1
+  | Payload.Probe_req { target; nonce } | Payload.Probe_ack { target; nonce } ->
+    1 + varint_size target + varint_size nonce
+  | Payload.Suspicion { target; version } -> 1 + varint_size target + varint_size version
   | Payload.Share d | Payload.Exchange d | Payload.Reply d ->
     let body =
       match (encoding, d) with
@@ -352,6 +377,19 @@ let decode_exn ~universe bytes =
   if kind = 3 || kind = 4 then begin
     if Bytes.length bytes <> 1 then invalid_arg "Wire.decode: oversized probe/halt";
     if kind = 3 then Payload.Probe else Payload.Halt
+  end
+  else if kind >= 5 && kind <= 7 then begin
+    let pos = ref 1 in
+    let target = read_varint bytes pos in
+    if target < 0 || target >= universe then invalid_arg "Wire.decode: identifier out of range";
+    let aux = read_varint bytes pos in
+    if aux < 0 then invalid_arg "Wire.decode: correlation value overflow";
+    (* canonical form is exactly two varints: trailing bytes are noise *)
+    if !pos <> Bytes.length bytes then invalid_arg "Wire.decode: trailing bytes";
+    match kind with
+    | 5 -> Payload.Probe_req { target; nonce = aux }
+    | 6 -> Payload.Probe_ack { target; nonce = aux }
+    | _ -> Payload.Suspicion { target; version = aux }
   end
   else begin
     if kind > 2 then invalid_arg "Wire.decode: unknown message kind";

@@ -359,6 +359,7 @@ module Lag = struct
     mutable frontier : int;
     mutable closed : int;
     mutable max_lag : float;
+    mutable table_peak : int;  (* high-water mark of [epoch_time] *)
   }
 
   let create ?(bound = 512.0) () =
@@ -375,6 +376,7 @@ module Lag = struct
       frontier = 1;
       closed = 0;
       max_lag = 0.0;
+      table_peak = 0;
     }
 
   let fail fmt = Printf.ksprintf (fun m -> raise (Violation m)) fmt
@@ -405,6 +407,10 @@ module Lag = struct
         let lag = t.now -. epoch_t in
         if lag > t.max_lag then t.max_lag <- lag;
         t.closed <- t.closed + 1;
+        (* a closed epoch's change time is never consulted again:
+           pruning here keeps the table at O(open epochs) — bounded by
+           the lag window, not the run length *)
+        Hashtbl.remove t.epoch_time t.frontier;
         t.frontier <- t.frontier + 1
       | Some node ->
         if t.now > epoch_t +. t.bound then
@@ -418,7 +424,9 @@ module Lag = struct
   let bump t =
     if t.started then begin
       t.epoch <- t.epoch + 1;
-      Hashtbl.replace t.epoch_time t.epoch t.now
+      Hashtbl.replace t.epoch_time t.epoch t.now;
+      let size = Hashtbl.length t.epoch_time in
+      if size > t.table_peak then t.table_peak <- size
     end
 
   let check t ev =
@@ -454,6 +462,7 @@ module Lag = struct
   let epochs t = t.epoch
   let closed t = t.closed
   let max_lag t = t.max_lag
+  let table_peak t = t.table_peak
 
   (* Epochs whose deadline falls beyond the end of the trace are not
      enforced (the run simply ended too early to judge them); everything

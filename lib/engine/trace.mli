@@ -252,6 +252,13 @@ module Lag : sig
   (** The largest observed change-to-fleet-convergence lag over closed
       epochs. *)
 
+  val table_peak : t -> int
+  (** High-water mark of the internal epoch→change-time table. Closed
+      epochs are pruned as the frontier advances, so this is bounded by
+      the number of epochs ever simultaneously open (O(bound · churn
+      rate)), not by the total number of changes — the memory guarantee
+      long soaks rely on. *)
+
   val final_check : t -> unit
   (** Re-checks the frontier at the last observed time: epochs whose
       deadline already passed must be closed. Epochs whose deadline

@@ -50,6 +50,11 @@ let all =
       run = (fun r ~quick ~jobs -> Exp_churn.t13 r ~quick ~jobs);
     };
     {
+      id = "T14";
+      title = "failure-detector precision under loss";
+      run = (fun r ~quick ~jobs -> Exp_churn.t14 r ~quick ~jobs);
+    };
+    {
       id = "F2";
       title = "knowledge-growth dynamics";
       run = (fun r ~quick ~jobs -> Exp_dynamics.f2 r ~quick ~jobs);

@@ -240,6 +240,83 @@ let matrix ?(progress = fun _ -> ()) ~algos ~families ~plans ~n ~trials ~seed ~b
         families)
     algos
 
+(* --- trace-level diagnosis of a failing cell ------------------------- *)
+
+type diagnosis = {
+  diag_seed : int;
+  diag_plan : Fault.t;
+  diag_heal_time : float;
+  diag_quiet_pre_heal : int list;
+  diag_never_completed : int list;
+  diag_converged : bool;
+}
+
+let diagnose ~algo ~family ~plan_family ~n ~trial ~seed ~backend ~timeout ~loss_max () =
+  let plan_index =
+    match List.find_index (String.equal plan_family) plan_families with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Chaos.diagnose: unknown plan family %S" plan_family)
+  in
+  let trial_seed = seed + trial in
+  let rng = Rng.substream ~seed:trial_seed ~index:(0xc406 + plan_index) in
+  let plan = plan_of_family plan_family ~rng ~n ~loss_max in
+  let last_send = Array.make n neg_infinity in
+  let clock = ref 0.0 in
+  let sink =
+    Trace.callback (function
+      | Trace.Tick { time; _ } -> clock := Float.max !clock time
+      | Trace.Send { src; _ } -> if !clock > last_send.(src) then last_send.(src) <- !clock
+      | _ -> ())
+  in
+  let result =
+    Cluster.run
+      {
+        (Cluster.default_spec algo) with
+        Cluster.n;
+        family;
+        seed = trial_seed;
+        backend;
+        timeout;
+        fault = plan;
+        trace = sink;
+      }
+  in
+  (* in-process backends run on the virtual round clock (one unit per
+     round); the socket backends tie rounds to the real tick period *)
+  let round_period =
+    match backend with
+    | Backend.Mux | Backend.Loopback -> 1.0
+    | Backend.Process _ -> (Cluster.default_spec algo).Cluster.tick_period
+  in
+  let heal_time =
+    List.fold_left
+      (fun acc (p : Fault.partition) -> Float.max acc (float_of_int p.Fault.heal *. round_period))
+      0.0 (Fault.partitions plan)
+  in
+  let quiet =
+    List.filter (fun id -> last_send.(id) < heal_time) (List.init n (fun i -> i))
+  in
+  let never =
+    Array.to_list result.Cluster.nodes
+    |> List.filter (fun (r : Cluster.node_report) -> not r.Cluster.completed)
+    |> List.map (fun (r : Cluster.node_report) -> r.Cluster.id)
+  in
+  {
+    diag_seed = trial_seed;
+    diag_plan = plan;
+    diag_heal_time = heal_time;
+    diag_quiet_pre_heal = quiet;
+    diag_never_completed = never;
+    diag_converged = result.Cluster.converged;
+  }
+
+let diagnosis_to_json d =
+  let ints l = String.concat "," (List.map string_of_int l) in
+  Printf.sprintf
+    {|{"seed":%d,"plan":"%s","heal_time":%g,"quiet_pre_heal":[%s],"never_completed":[%s],"converged":%b}|}
+    d.diag_seed (Fault.to_string d.diag_plan) d.diag_heal_time (ints d.diag_quiet_pre_heal)
+    (ints d.diag_never_completed) d.diag_converged
+
 (* --- JSON soak report ----------------------------------------------- *)
 
 let trial_to_json t =

@@ -88,6 +88,48 @@ val plan_of_family :
 (** The seeded plan generator behind each family name.
     @raise Invalid_argument on an unknown name. *)
 
+(** {2 Trace-level diagnosis of a failing cell}
+
+    A pinned failing cell records {e that} a configuration loses trials;
+    [diagnose] replays one trial with a tracing sink to show {e why}.
+    For partition plans the interesting signal is which nodes stopped
+    transmitting before the cut healed: a node that went quiet pre-heal
+    concluded (or starved) inside its side of the partition, so nothing
+    it knew could reach the other side afterwards. *)
+
+type diagnosis = {
+  diag_seed : int;  (** the trial's seed ([seed + trial]) *)
+  diag_plan : Fault.t;  (** the exact replayed plan *)
+  diag_heal_time : float;
+      (** virtual time at which the last scheduled partition healed;
+          0 if the plan has no partition *)
+  diag_quiet_pre_heal : int list;
+      (** nodes whose last transmission predates [diag_heal_time] —
+          whatever they knew never crossed the healed cut *)
+  diag_never_completed : int list;  (** nodes that never announced completion *)
+  diag_converged : bool;
+}
+
+val diagnose :
+  algo:Repro_discovery.Algorithm.t ->
+  family:Generate.family ->
+  plan_family:string ->
+  n:int ->
+  trial:int ->
+  seed:int ->
+  backend:Backend.t ->
+  timeout:float ->
+  loss_max:float ->
+  unit ->
+  diagnosis
+(** Replay trial [trial] of the given matrix cell — same substream as
+    {!matrix}, so the plan is identical — with a {!Repro_engine.Trace}
+    callback recording per-node last-transmission times.
+    @raise Invalid_argument on an unknown plan family. *)
+
+val diagnosis_to_json : diagnosis -> string
+(** One line, stable field order — printable from tests and tools. *)
+
 type cell = {
   cell_algo : string;
   cell_topology : string;

@@ -239,6 +239,30 @@ let send_payload t ~now ~dst payload =
       t.acts.wake ~dst
   end
 
+(* One unsolicited hello to [dst]: announce this (possibly fresh)
+   incarnation so the peer voids any go-back-N state it still holds
+   from a predecessor of this node id. Revives a link this side had
+   written off — the peer evidently matters again. *)
+let greet t ~now ~dst =
+  if dst <> t.cfg.node then begin
+    let link = t.links.(dst) in
+    (match link.status with
+    | Dead ->
+      link.status <- Down;
+      t.acts.wake ~dst
+    | Up | Down -> ());
+    match link.status with
+    | Up ->
+      send_bare t ~now ~dst Envelope.Hello ~ack:0;
+      link.hello_owed <- false
+    | Down ->
+      link.hello_owed <- true;
+      t.acts.wake ~dst
+    | Dead -> ()
+  end
+
+let send = send_payload
+
 let request_hellos t ~now =
   Array.iter
     (fun dst ->

@@ -84,6 +84,21 @@ val tick : t -> now:float -> unit
 val handle_frame : t -> now:float -> Envelope.t -> unit
 (** Process one decoded envelope from the wire (any kind). *)
 
+val send : t -> now:float -> dst:int -> Payload.t -> unit
+(** Put one payload on the reliable channel to [dst] — the same path
+    the algorithm's [round] callback uses (go-back-N sendbuf, fault
+    shim, counters). Exposed for runtimes whose protocol logic emits
+    messages outside the round callback (the continuous service's
+    members reply from their delivery handler).
+    @raise Invalid_argument when [dst] is out of range. *)
+
+val greet : t -> now:float -> dst:int -> unit
+(** Send one unsolicited hello to [dst], announcing this (possibly
+    fresh) incarnation so the peer voids any go-back-N sequence state
+    it still holds from a predecessor of this node id; revives the
+    local link if it had been declared dead. The service runtime calls
+    this when a node id from the retired pool is reborn. *)
+
 val pump : t -> now:float -> unit
 (** Retransmission timeouts and owed bare acks/hellos/done probes, over
     every [Up] link. Call once per event-loop iteration. *)

@@ -2,15 +2,45 @@ open Repro_util
 open Repro_discovery
 
 (* Timing constants, in virtual ticks. A probe round-trip is ~1.3 ticks
-   under the runtime's latency model, so [suspect_after] tolerates two
-   full RTTs before suspicion and a confirmed death takes ~13 ticks end
-   to end (probe draw + suspicion + confirmation) — far inside the
-   convergence-lag bound. *)
+   under the virtual-clock runtime's latency model and up to ~2 ticks
+   over the hosted mux backend (replies queue until the next
+   activation), so [suspect_after] tolerates a full RTT slack before
+   escalating, the indirect window fits a relayed round-trip, and a
+   confirmed death takes at most
+   (suspect_after + indirect_after + suspicion_max) * lhm ticks end to
+   end — 48 at the worst local-health multiplier, still inside the
+   minimum convergence-lag bound of 64. *)
 let probe_interval = 4.0
 let suspect_after = 3.0
-let dead_after = 6.0
+let indirect_after = 4.0
 let full_sync_interval = 64.0
 let leave_fanout = 3
+
+(* Suspicion window: starts at [suspicion_max] and shrinks toward
+   [suspicion_min] as independent confirmations arrive (see
+   [suspicion_timeout]). With confirmations capped at
+   [suspicion_confirmation_cap] the fully corroborated window equals
+   the old fixed one's floor. *)
+let suspicion_min = 3.0
+let suspicion_max = 9.0
+let suspicion_confirmation_cap = 3
+let suspicion_fanout = 3
+
+(* dead_after is kept as the historical name for the uncorroborated
+   suspicion window (diagnostics, tests). *)
+let dead_after = suspicion_max
+
+(* Local health (lifeguard): a saturating counter of recent evidence
+   that *our own* probes are failing broadly. Every timeout or wrong
+   verdict bumps it, every answered probe decays it; the multiplier it
+   induces widens all our liveness timeouts, so a node on the minority
+   side of a partition slows its convictions instead of spraying down
+   verdicts. *)
+let health_max = 4
+
+(* An intermediary remembers who asked it to probe whom for this many
+   ticks; relays older than that are dropped unanswered. *)
+let relay_ttl = 6.0
 
 type actions = {
   send : dst:int -> Payload.t -> unit;
@@ -19,7 +49,18 @@ type actions = {
   on_view_change : target:int -> alive:bool -> unit;
 }
 
-type probe_state = Waiting of float | Suspected of float
+type probe_state =
+  | Direct of { deadline : float }
+  | Indirect of { deadline : float; nonce : int }
+  | Suspected of {
+      started : float;
+      nonce : int;
+      version : int;  (* the incarnation under suspicion *)
+      mutable deadline : float;
+      mutable confirmers : int list;  (* distinct peers corroborating *)
+    }
+
+type relay = { requester : int; nonce : int; expiry : float }
 
 type t = {
   self : int;
@@ -34,6 +75,10 @@ type t = {
   log_budgets : Intvec.t;
   cursors : (int, int) Hashtbl.t;  (* target -> log prefix already pushed *)
   probes : (int, probe_state) Hashtbl.t;
+  relays : (int, relay list) Hashtbl.t;  (* target -> pending vouches *)
+  indirect_k : int;
+  lifeguard : bool;
+  mutable health : int;
   mutable next_probe : float;
   mutable bootstrap : (int array * int * Repro_net.Node.Backoff.t * float) option;
       (* contacts, rotation index, backoff, due *)
@@ -47,6 +92,24 @@ let view t = t.view
 let incarnation t = t.incarnation
 let bootstrapping t = t.bootstrap <> None
 let log_length t = Intvec.length t.log_nodes
+let health t = t.health
+
+(* The local-health multiplier: 1x when healthy, up to 3x when every
+   recent probe failed. *)
+let lhm t = 1.0 +. (0.5 *. float_of_int t.health)
+
+let penalize t = if t.lifeguard then t.health <- min health_max (t.health + 1)
+let improve t = if t.lifeguard then t.health <- max 0 (t.health - 1)
+
+(* Lifeguard-style timeout scaling: the window starts wide and shrinks
+   logarithmically with independent confirmations, floored at
+   [suspicion_min]. Both bounds stretch under a bad local health. *)
+let suspicion_timeout t ~confirmations =
+  let m = lhm t in
+  let max_to = suspicion_max *. m and min_to = suspicion_min *. m in
+  let c = float_of_int (min confirmations suspicion_confirmation_cap) in
+  let k = float_of_int suspicion_confirmation_cap in
+  max min_to (max_to -. ((max_to -. min_to) *. log (c +. 1.0) /. log (k +. 1.0)))
 
 (* Each entry is pushed O(log live) times fleet-wide per member — the
    classic rumor-mongering budget that makes total dissemination cost
@@ -62,9 +125,10 @@ let log_append t ~node ~version ~status =
   Intvec.push t.log_statuses status;
   Intvec.push t.log_budgets (budget_for t)
 
-let make_member ~cap ~self ~labels ~rng ~full_sync actions =
+let make_member ~cap ~self ~labels ~rng ~full_sync ~indirect_k ~lifeguard actions =
   if cap <= 0 then invalid_arg "Member.create: cap must be positive";
   if self < 0 || self >= cap then invalid_arg "Member.create: self out of range";
+  if indirect_k < 0 then invalid_arg "Member.create: negative indirect_k";
   {
     self;
     rng;
@@ -76,6 +140,10 @@ let make_member ~cap ~self ~labels ~rng ~full_sync actions =
     log_budgets = Intvec.create ();
     cursors = Hashtbl.create 16;
     probes = Hashtbl.create 4;
+    relays = Hashtbl.create 4;
+    indirect_k;
+    lifeguard;
+    health = 0;
     next_probe = 0.0;
     bootstrap = None;
     next_full_sync = full_sync_interval;
@@ -83,8 +151,9 @@ let make_member ~cap ~self ~labels ~rng ~full_sync actions =
     actions;
   }
 
-let create_genesis ~cap ~self ~labels ~peers ~rng ~full_sync actions =
-  let t = make_member ~cap ~self ~labels ~rng ~full_sync actions in
+let create_genesis ~cap ~self ~labels ~peers ~rng ~full_sync ?(indirect_k = 2)
+    ?(lifeguard = true) actions =
+  let t = make_member ~cap ~self ~labels ~rng ~full_sync ~indirect_k ~lifeguard actions in
   Array.iter
     (fun peer ->
       if peer <> self then
@@ -92,18 +161,34 @@ let create_genesis ~cap ~self ~labels ~peers ~rng ~full_sync actions =
     peers;
   t
 
-let create_joiner ~cap ~self ~labels ~contacts ~rng ~full_sync actions =
+let create_joiner ~cap ~self ~labels ~contacts ~rng ~full_sync ?(indirect_k = 2)
+    ?(lifeguard = true) actions =
   if Array.length contacts = 0 then invalid_arg "Member.create_joiner: no contacts";
   Array.iter
     (fun contact ->
       if contact < 0 || contact >= cap || contact = self then
         invalid_arg "Member.create_joiner: bad contact")
     contacts;
-  let t = make_member ~cap ~self ~labels ~rng ~full_sync actions in
+  let t = make_member ~cap ~self ~labels ~rng ~full_sync ~indirect_k ~lifeguard actions in
   log_append t ~node:self ~version:1 ~status:Payload.status_alive;
   let backoff = Repro_net.Node.Backoff.create ~rng ~base:2.0 ~cap:16.0 in
   t.bootstrap <- Some (contacts, 0, backoff, 0.0);
   t
+
+(* Drop a liveness hypothesis about [target] because it proved alive.
+   A refuted *suspicion* (not a mere pending probe) means we were about
+   to convict a live node: that is local-health evidence of our own
+   unreliability, not the target's. *)
+let cancel_probe t ~target ~refuted =
+  match Hashtbl.find_opt t.probes target with
+  | None -> ()
+  | Some (Direct _ | Indirect _) ->
+    Hashtbl.remove t.probes target;
+    if refuted then improve t
+  | Some (Suspected _) ->
+    Hashtbl.remove t.probes target;
+    ignore (View.unsuspect t.view target);
+    if refuted then penalize t
 
 (* Merge one remote observation. [relog] gates re-broadcast: gossip and
    join announcements spread further, bootstrap replies do not (the
@@ -115,13 +200,21 @@ let observe t ~node ~version ~status ~relog =
     ignore (View.apply t.view ~node:t.self ~version:t.incarnation ~status:Payload.status_alive);
     log_append t ~node:t.self ~version:t.incarnation ~status:Payload.status_alive
   end
-  else
+  else begin
+    (* a fresher alive incarnation outranks any in-flight suspicion of
+       an older one: cancel it instead of letting it convict later *)
+    (match Hashtbl.find_opt t.probes node with
+    | Some (Suspected s)
+      when status = Payload.status_alive && version > s.version ->
+      cancel_probe t ~target:node ~refuted:true
+    | Some _ | None -> ());
     match View.apply t.view ~node ~version ~status with
     | View.Stale -> ()
     | View.Updated -> if relog then log_append t ~node ~version ~status
     | View.Changed alive ->
       if relog then log_append t ~node ~version ~status;
       t.actions.on_view_change ~target:node ~alive
+  end
 
 (* The canonical batch of log entries in [from, len) that still have
    transmission budget: latest observation per node, ascending by node.
@@ -188,32 +281,83 @@ let send_bootstrap t ~now ~dst contacts idx backoff =
   t.actions.send ~dst (Payload.Exchange (Payload.Updates { full = false; entries }));
   t.bootstrap <- Some (contacts, idx, backoff, now +. Repro_net.Node.Backoff.next backoff)
 
+let fresh_nonce t = Rng.int t.rng 0x3FFFFFFF
+
+(* Escalate an unanswered direct probe: ask up to [indirect_k] random
+   live intermediaries to probe the target on our behalf, correlated by
+   a nonce — one lost link no longer convicts a healthy node. Falls
+   through to suspicion when indirect probing is off or no intermediary
+   exists. Returns [true] if an indirect round was opened. *)
+let start_indirect t ~target ~now =
+  let mids = View.random_live_sample t.view t.rng ~k:t.indirect_k ~exclude:target in
+  if Array.length mids = 0 then false
+  else begin
+    let nonce = fresh_nonce t in
+    Hashtbl.replace t.probes target (Indirect { deadline = now +. (indirect_after *. lhm t); nonce });
+    Array.iter (fun mid -> t.actions.send ~dst:mid (Payload.Probe_req { target; nonce })) mids;
+    (* keep trying directly too: the direct path may only have been
+       unlucky, and its answer is accepted at any time *)
+    t.actions.send ~dst:target Payload.Probe;
+    true
+  end
+
+(* Open the suspicion sub-protocol on [target]: mark it suspect
+   locally, start the (wide) refutation window and tell a few live
+   peers — each will corroborate only from its own probe evidence, and
+   each independent confirmation shrinks the window. *)
+let start_suspicion t ~target ~now =
+  let version = View.version t.view target in
+  let deadline = now +. suspicion_timeout t ~confirmations:0 in
+  (* keep the indirect round's nonce: an ack that raced the window's
+     expiry is still valid evidence and may acquit the suspicion *)
+  let nonce =
+    match Hashtbl.find_opt t.probes target with
+    | Some (Indirect i) -> i.nonce
+    | Some (Direct _ | Suspected _) | None -> fresh_nonce t
+  in
+  Hashtbl.replace t.probes target
+    (Suspected { started = now; nonce; version; deadline; confirmers = [] });
+  if View.suspect t.view target then t.actions.on_suspect ~target;
+  let peers = View.random_live_sample t.view t.rng ~k:suspicion_fanout ~exclude:target in
+  Array.iter (fun peer -> t.actions.send ~dst:peer (Payload.Suspicion { target; version })) peers;
+  t.actions.send ~dst:target Payload.Probe
+
 let probe_timeouts t ~now =
-  let suspects = ref [] and deaths = ref [] and reprobes = ref [] in
+  let escalate = ref [] and deaths = ref [] and reprobes = ref [] in
   Hashtbl.iter
     (fun target state ->
       match state with
-      | Waiting deadline when now > deadline -> suspects := target :: !suspects
-      | Suspected deadline when now > deadline -> deaths := target :: !deaths
-      | Suspected _ -> reprobes := target :: !reprobes
-      | Waiting _ -> ())
+      | Direct { deadline } when now > deadline -> escalate := (target, `To_indirect) :: !escalate
+      | Indirect { deadline; _ } when now > deadline ->
+        escalate := (target, `To_suspected) :: !escalate
+      | Suspected s when now > s.deadline -> deaths := target :: !deaths
+      | Suspected _ | Indirect _ -> reprobes := target :: !reprobes
+      | Direct _ -> ())
     t.probes;
-  (* keep probing through the suspicion window: confirming a death then
-     requires every probe of the window to go unanswered, so a single
-     lost ack cannot produce a false verdict *)
+  (* keep probing through the indirect and suspicion windows:
+     confirming a death then requires every probe of the window to go
+     unanswered, so a single lost ack cannot produce a false verdict *)
   List.iter (fun target -> t.actions.send ~dst:target Payload.Probe) !reprobes;
   List.iter
-    (fun target ->
-      Hashtbl.replace t.probes target (Suspected (now +. dead_after));
-      t.actions.send ~dst:target Payload.Probe;
-      if View.suspect t.view target then t.actions.on_suspect ~target)
-    !suspects;
+    (fun (target, transition) ->
+      (* an expired window is local-health evidence either way *)
+      penalize t;
+      match transition with
+      | `To_indirect ->
+        if not (start_indirect t ~target ~now) then start_suspicion t ~target ~now
+      | `To_suspected -> start_suspicion t ~target ~now)
+    !escalate;
   List.iter
     (fun target ->
-      Hashtbl.remove t.probes target;
-      let version = View.version t.view target in
-      observe t ~node:target ~version ~status:Payload.status_down ~relog:true;
-      t.actions.on_retire ~target)
+      match Hashtbl.find_opt t.probes target with
+      | Some (Suspected s) ->
+        Hashtbl.remove t.probes target;
+        (* convict at the incarnation we suspected: if the node refuted
+           meanwhile with a higher one, the verdict is stale on the
+           lattice and changes nothing *)
+        observe t ~node:target ~version:s.version ~status:Payload.status_down ~relog:true;
+        t.actions.on_retire ~target
+      | Some _ | None -> ())
     !deaths
 
 let maybe_probe t ~now =
@@ -221,7 +365,7 @@ let maybe_probe t ~now =
     t.next_probe <- now +. probe_interval;
     match View.random_live t.view t.rng with
     | Some target when not (Hashtbl.mem t.probes target) ->
-      Hashtbl.replace t.probes target (Waiting (now +. suspect_after));
+      Hashtbl.replace t.probes target (Direct { deadline = now +. (suspect_after *. lhm t) });
       t.actions.send ~dst:target Payload.Probe
     | Some _ | None -> ()
   end
@@ -242,6 +386,19 @@ let maybe_full_sync t ~now =
         (Payload.Exchange (Payload.Updates { full = true; entries = full_entries t }))
   end
 
+(* Drop relay entries whose requester stopped waiting long ago. *)
+let prune_relays t ~now =
+  if Hashtbl.length t.relays > 0 then begin
+    let stale = ref [] in
+    Hashtbl.iter
+      (fun target pending ->
+        if List.for_all (fun r -> now > r.expiry) pending then stale := target :: !stale
+        else
+          Hashtbl.replace t.relays target (List.filter (fun r -> now <= r.expiry) pending))
+      t.relays;
+    List.iter (Hashtbl.remove t.relays) !stale
+  end
+
 let step t ~now =
   (match t.bootstrap with
   | Some (contacts, idx, backoff, due) when now >= due ->
@@ -258,26 +415,53 @@ let step t ~now =
   if t.bootstrap = None then begin
     probe_timeouts t ~now;
     maybe_probe t ~now;
-    maybe_full_sync t ~now
+    maybe_full_sync t ~now;
+    prune_relays t ~now
   end;
   gossip t
 
 let apply_updates t ~relog (u : Payload.update array) =
   Array.iter (fun e -> observe t ~node:e.Payload.node ~version:e.version ~status:e.status ~relog) u
 
+let share_entry t ~dst ~node ~version ~status =
+  let entry = { Payload.node; version; status } in
+  t.actions.send ~dst (Payload.Share (Payload.Updates { full = false; entries = [| entry |] }))
+
+(* Answer every pending indirect-probe vouch for [target]: it just
+   proved alive to us, so ack the requesters that asked us to check. *)
+let fire_relays t ~target ~now =
+  match Hashtbl.find_opt t.relays target with
+  | None -> ()
+  | Some pending ->
+    Hashtbl.remove t.relays target;
+    List.iter
+      (fun r ->
+        if now <= r.expiry then
+          t.actions.send ~dst:r.requester (Payload.Probe_ack { target; nonce = r.nonce }))
+      pending
+
+let add_relay t ~target ~requester ~nonce ~now =
+  let pending = Option.value (Hashtbl.find_opt t.relays target) ~default:[] in
+  Hashtbl.replace t.relays target ({ requester; nonce; expiry = now +. relay_ttl } :: pending)
+
 let deliver t ~src ~now payload =
-  (* any message is proof of life *)
-  Hashtbl.remove t.probes src;
+  (* any message is proof of life: an answered probe improves local
+     health, a refuted suspicion degrades it (we nearly convicted a
+     live node) *)
+  (match Hashtbl.find_opt t.probes src with
+  | Some (Direct _ | Indirect _) -> improve t
+  | Some (Suspected _) -> penalize t
+  | None -> ());
+  cancel_probe t ~target:src ~refuted:false;
   ignore (View.unsuspect t.view src);
+  fire_relays t ~target:src ~now;
   (* a message from a node we hold down means our verdict is wrong (or
      stale): send the verdict back so the accused can refute it with a
      higher incarnation — the self-healing path for false positives *)
   (match View.status t.view src with
   | Some s when s = Payload.status_down ->
-    let entry =
-      { Payload.node = src; version = View.version t.view src; status = Payload.status_down }
-    in
-    t.actions.send ~dst:src (Payload.Share (Payload.Updates { full = false; entries = [| entry |] }))
+    share_entry t ~dst:src ~node:src ~version:(View.version t.view src)
+      ~status:Payload.status_down
   | Some _ | None -> ());
   match (payload : Payload.t) with
   | Probe ->
@@ -285,6 +469,57 @@ let deliver t ~src ~now payload =
     let entries = pending_entries t ~from:(cursor t src) in
     advance_cursor t src;
     t.actions.send ~dst:src (Payload.Reply (Payload.Updates { full = false; entries }))
+  | Probe_req { target; nonce } ->
+    if target = t.self then
+      (* we are the accused and evidently alive: vouch for ourselves *)
+      t.actions.send ~dst:src (Payload.Probe_ack { target; nonce })
+    else if View.status t.view target = Some Payload.status_down then
+      (* already convicted here: share the verdict instead of probing *)
+      share_entry t ~dst:src ~node:target ~version:(View.version t.view target)
+        ~status:Payload.status_down
+    else if target >= 0 then begin
+      add_relay t ~target ~requester:src ~nonce ~now;
+      t.actions.send ~dst:target Payload.Probe
+    end
+  | Probe_ack { target; nonce } ->
+    (* correlate by nonce: a stale ack from a previous round must not
+       acquit the current hypothesis *)
+    (match Hashtbl.find_opt t.probes target with
+    | Some (Indirect i) when i.nonce = nonce ->
+      improve t;
+      cancel_probe t ~target ~refuted:false
+    | Some (Suspected s) when s.nonce = nonce ->
+      (* the vouch raced the window's expiry: acquit the suspicion *)
+      cancel_probe t ~target ~refuted:true
+    | Some _ | None -> ())
+  | Suspicion { target; version } ->
+    if target = t.self then
+      (* observe handles self-accusations: bump our incarnation *)
+      observe t ~node:t.self ~version ~status:Payload.status_suspect ~relog:true
+    else begin
+      match Hashtbl.find_opt t.probes target with
+      | Some (Suspected s) when version = s.version && not (List.mem src s.confirmers) ->
+        (* an independent corroboration: shrink the refutation window *)
+        s.confirmers <- src :: s.confirmers;
+        s.deadline <-
+          s.started +. suspicion_timeout t ~confirmations:(List.length s.confirmers)
+      | Some _ -> ()
+      | None ->
+        if View.status t.view target = Some Payload.status_down then
+          share_entry t ~dst:src ~node:target ~version:(View.version t.view target)
+            ~status:Payload.status_down
+        else if version < View.version t.view target && View.is_live t.view target then
+          (* stale accusation: quash it with the newer alive incarnation *)
+          share_entry t ~dst:src ~node:target ~version:(View.version t.view target)
+            ~status:Payload.status_alive
+        else if View.is_live t.view target && not (View.owner t.view = target) then begin
+          (* corroborate only from our own evidence: probe the accused
+             now and let the normal pipeline raise (and gossip) our own
+             suspicion if it stays silent *)
+          Hashtbl.replace t.probes target (Direct { deadline = now +. (suspect_after *. lhm t) });
+          t.actions.send ~dst:target Payload.Probe
+        end
+    end
   | Exchange (Payload.Updates u) ->
     (* push-pull state exchange (a joiner's bootstrap, or a peer's
        periodic full sync): learn what the sender knows — spreading any

@@ -13,13 +13,28 @@
       [O(log n)] messages per member in total and a quiet fleet sends
       {e nothing} — steady-state traffic scales with the churn rate,
       not the fleet size.
-    - {b liveness probing}: a periodic probe to a random live peer;
-      an unanswered probe moves the target to (local-only) suspicion,
-      and continued silence confirms it [down] at its current
-      incarnation — the one verdict that is gossiped. A falsely accused
-      member refutes the verdict by bumping its incarnation
-      ({e self-refutation}), which outranks the accusation on the
-      [(version, status)] lattice.
+    - {b liveness probing}: a periodic probe to a random live peer. An
+      unanswered direct probe escalates to an {e indirect-probe round}
+      ([Probe_req] to up to [indirect_k] random live intermediaries,
+      answered by nonce-correlated [Probe_ack]s), so one lost link no
+      longer convicts a healthy node. Only when the indirect round also
+      goes silent does the member open the {e suspicion sub-protocol}:
+      the target is marked suspect locally, a [Suspicion] claim is sent
+      to a few peers — each corroborates only from its own probe
+      evidence — and the refutation window starts {e wide}
+      ([dead_after] ticks), shrinking toward a floor as independent
+      confirmations arrive. Expiry convicts the target [down] at the
+      incarnation that was suspected — the one verdict that is
+      gossiped; a fresher incarnation makes it stale. A falsely accused
+      member refutes by bumping its incarnation ({e self-refutation}),
+      which outranks the accusation on the [(version, status)] lattice.
+    - {b local health} (lifeguard-style): a saturating counter of
+      recent evidence that the member's {e own} probes fail broadly
+      (timeouts, refuted suspicions); the multiplier it induces
+      (1x..3x) widens all of that member's liveness timeouts. A node on
+      the minority side of a partition sees every probe fail, saturates
+      its health counter, and slows its convictions instead of spraying
+      down verdicts at the unreachable majority.
     - {b bootstrap}: a joiner knows a few live contacts; it retries a
       state exchange (decorrelated-jitter backoff), rotating through the
       contact list — so one contact churning out mid-bootstrap cannot
@@ -49,20 +64,35 @@ type actions = {
 type t
 
 val probe_interval : float
+
 val suspect_after : float
+(** Direct-probe window (base, before the local-health multiplier):
+    silence past it escalates to the indirect round. *)
+
+val indirect_after : float
+(** Indirect-round window (base): silence past it opens suspicion. *)
+
 val dead_after : float
+(** The uncorroborated suspicion window (base) — the refutation window
+    starts here and shrinks toward a floor of [suspicion_min] as
+    independent confirmations arrive. *)
+
 val full_sync_interval : float
 
 val create_genesis :
   cap:int -> self:int -> labels:int array -> peers:int array -> rng:Rng.t ->
-  full_sync:bool -> actions -> t
+  full_sync:bool -> ?indirect_k:int -> ?lifeguard:bool -> actions -> t
 (** A founding member: starts with every [peer] (and itself) alive at
     version 1 and an empty log — the genesis membership is common
-    knowledge, not news. *)
+    knowledge, not news. [indirect_k] (default 2) is the number of
+    intermediaries asked per indirect-probe round; 0 disables the round
+    (a direct timeout suspects immediately, the pre-lifeguard
+    behaviour). [lifeguard] (default true) enables the local-health
+    multiplier; off, all timeouts stay at their base values. *)
 
 val create_joiner :
   cap:int -> self:int -> labels:int array -> contacts:int array -> rng:Rng.t ->
-  full_sync:bool -> actions -> t
+  full_sync:bool -> ?indirect_k:int -> ?lifeguard:bool -> actions -> t
 (** A late joiner: knows only itself (incarnation 1) and the addresses
     of a few [contacts] to bootstrap from (tried in rotation). Its own
     join announcement is the first entry of its log.
@@ -74,14 +104,21 @@ val view : t -> View.t
 val incarnation : t -> int
 val bootstrapping : t -> bool
 
+val health : t -> int
+(** Current local-health score, 0 (healthy) to 4 (every recent probe
+    failed); always 0 with [lifeguard:false]. The induced timeout
+    multiplier is [1 + health/2]. *)
+
 val step : t -> now:float -> unit
 (** One activation at virtual time [now]: fire due bootstrap retries,
-    probe timeouts (suspicion / retirement), the periodic probe, the
-    full-sync backstop, and one gossip push. *)
+    probe timeouts (indirect escalation / suspicion / retirement), the
+    periodic probe, the full-sync backstop, and one gossip push. *)
 
 val deliver : t -> src:int -> now:float -> Payload.t -> unit
 (** Handle one message. Any message from [src] doubles as proof of life:
-    it cancels an outstanding probe and clears local suspicion. *)
+    it cancels an outstanding probe or suspicion of [src], clears local
+    suspicion, and answers any pending indirect-probe vouches for
+    [src]. *)
 
 val leave : t -> unit
 (** Graceful departure: push a [down] verdict at the member's own

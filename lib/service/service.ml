@@ -1,6 +1,10 @@
 open Repro_util
 open Repro_engine
 open Repro_discovery
+module Backend = Repro_net.Backend
+module Node_core = Repro_net.Node_core
+module Envelope = Repro_net.Envelope
+module Control = Repro_net.Control
 
 type churn = { rate : float; min_live : int; until : int }
 
@@ -13,6 +17,9 @@ type config = {
   fault : Fault.t;
   lag_bound : float option;
   full_sync : bool option;
+  backend : Backend.t option;
+  indirect_k : int;
+  lifeguard : bool;
   trace : Trace.sink;
 }
 
@@ -39,6 +46,14 @@ type stats = {
   bootstraps : int;
   dropped_loss : int;
   dropped_dead : int;
+  probe_reqs : int;
+  probe_acks : int;
+  suspicion_msgs : int;
+  false_suspicions : int;
+  false_retirements : int;
+  retransmits : int;
+  snapshots_peak : int;
+  lag_table_peak : int;
 }
 
 let default_lag_bound ~cap =
@@ -134,6 +149,7 @@ let validate cfg =
   if cfg.n < 2 then invalid_arg "Service.run: need at least two founders";
   if cfg.cap < cfg.n then invalid_arg "Service.run: cap must be >= n";
   if cfg.ticks < 1 then invalid_arg "Service.run: ticks must be positive";
+  if cfg.indirect_k < 0 then invalid_arg "Service.run: indirect_k must be >= 0";
   match cfg.churn with
   | Some c ->
     if c.rate < 0.0 || c.rate > 1.0 then invalid_arg "Service.run: churn rate must be in [0,1]";
@@ -142,6 +158,15 @@ let validate cfg =
 
 let run cfg =
   validate cfg;
+  let hosted =
+    match cfg.backend with
+    | None | Some Backend.Loopback -> false
+    | Some Backend.Mux -> true
+    | Some (Backend.Process _) ->
+      invalid_arg
+        "Service.run: process backends fork one OS process per node; the multiplexed service \
+         runs on loopback or mux"
+  in
   let cap = cfg.cap in
   let fault = cfg.fault in
   let lossy = Fault.has_link_faults fault || Fault.partitions fault <> [] in
@@ -165,6 +190,9 @@ let run cfg =
   let net_rng = Rng.substream ~seed:cfg.seed ~index:0x11e7 in
   let churn_rng = Rng.substream ~seed:cfg.seed ~index:0xc511 in
   let members = Array.make cap None in
+  let cores : Node_core.t option array = Array.make cap None in
+  let ever_lived = Array.make cap false in
+  let healing = Array.make cap false in
   let counts = Array.make cap 0 in
   let live = Pool.create ~cap in
   let retired = Pool.create ~cap in
@@ -191,6 +219,9 @@ let run cfg =
   let vhash = Array.make cap 0 in
   let conv_emitted = Array.make cap 0 in
   let snapshots = Hashtbl.create 256 in
+  let snapshots_peak = ref 0 in
+  (* every snapshot insertion, oldest first, for expiry below *)
+  let snapshot_ages : (int * int * float) Queue.t = Queue.create () in
   let heap = Heap.create () in
   let seq = ref 0 in
   let spawns = ref 0 in
@@ -198,15 +229,21 @@ let run cfg =
   (* counters *)
   let joins = ref 0 and leaves = ref 0 and crashes = ref 0 in
   let suspicions = ref 0 and retirements = ref 0 in
+  let false_suspicions = ref 0 and false_retirements = ref 0 in
   let msgs = ref 0 and bytes = ref 0 in
   let probes = ref 0 and acks = ref 0 and gossip = ref 0 and update_entries = ref 0 in
+  let probe_reqs = ref 0 and probe_acks = ref 0 and suspicion_msgs = ref 0 in
   let full_syncs = ref 0 and bootstraps = ref 0 in
   let dropped_loss = ref 0 and dropped_dead = ref 0 in
+  let retransmits = ref 0 in
   let now = ref 0.0 in
 
   let classify payload =
     match (payload : Payload.t) with
     | Probe -> incr probes
+    | Probe_req _ -> incr probe_reqs
+    | Probe_ack _ -> incr probe_acks
+    | Suspicion _ -> incr suspicion_msgs
     | Exchange (Payload.Updates u) ->
       (* push-pull exchanges: a periodic full sync carries full state, a
          bootstrap request carries only the joiner's self-announcement *)
@@ -225,21 +262,37 @@ let run cfg =
       end
     | Share _ | Exchange _ | Reply _ | Halt -> ()
   in
+  let latency () = 0.35 +. Rng.float net_rng 0.3 in
+  (* One member-level message. Virtual mode encodes, applies the fault
+     plan's coin and pushes the frame itself; hosted mode hands the
+     payload to the node core, whose wire stack (envelope framing,
+     go-back-N, fault shim) owns loss and retransmission — so
+     [dropped_loss] stays 0 there: the shim drops silently and the
+     reliability layer re-sends. Both modes count the same member-level
+     [msgs]/[bytes], so traffic stats are comparable across backends. *)
   let send ~src ~dst payload =
     incr msgs;
     classify payload;
-    let frame = Wire.encode Wire.Adaptive ~universe:cap payload in
-    bytes := !bytes + Bytes.length frame;
-    let link = Fault.link_between fault ~src ~dst in
-    let lost =
-      (link.Fault.loss > 0.0 && Rng.bernoulli net_rng ~p:link.Fault.loss)
-      || Fault.cut fault ~src ~dst ~time:!now
-    in
-    if lost then incr dropped_loss
+    if hosted then begin
+      bytes := !bytes + Wire.encoded_size Wire.Adaptive ~universe:cap payload;
+      match cores.(src) with
+      | Some core -> Node_core.send core ~now:!now ~dst payload
+      | None -> ()
+    end
     else begin
-      let latency = 0.35 +. Rng.float net_rng 0.3 +. float_of_int link.Fault.delay in
-      incr seq;
-      Heap.push heap { Heap.time = !now +. latency; seq = !seq; src; dst; frame }
+      let frame = Wire.encode Wire.Adaptive ~universe:cap payload in
+      bytes := !bytes + Bytes.length frame;
+      let link = Fault.link_between fault ~src ~dst in
+      let lost =
+        (link.Fault.loss > 0.0 && Rng.bernoulli net_rng ~p:link.Fault.loss)
+        || Fault.cut fault ~src ~dst ~time:!now
+      in
+      if lost then incr dropped_loss
+      else begin
+        incr seq;
+        Heap.push heap
+          { Heap.time = !now +. latency () +. float_of_int link.Fault.delay; seq = !seq; src; dst; frame }
+      end
     end
   in
   (* emit the best epoch whose membership this member's view matches *)
@@ -268,10 +321,12 @@ let run cfg =
       on_suspect =
         (fun ~target ->
           incr suspicions;
+          if truth.(target) then incr false_suspicions;
           Trace.emit trace (Trace.Suspect { node = self; target }));
       on_retire =
         (fun ~target ->
           incr retirements;
+          if truth.(target) then incr false_retirements;
           Trace.emit trace (Trace.Retire { node = self; target }));
       on_view_change = (fun ~target ~alive -> on_view_change ~self ~target ~alive);
     }
@@ -292,12 +347,158 @@ let run cfg =
       vhash.(id) <- !h;
       conv_emitted.(id) <- 0
   in
+  let record_snapshot hash ep =
+    Hashtbl.replace snapshots hash ep;
+    Queue.push (hash, ep, !now) snapshot_ages;
+    let size = Hashtbl.length snapshots in
+    if size > !snapshots_peak then snapshots_peak := size
+  in
+  (* Expire snapshots old enough that no member could still legitimately
+     converge to them: an epoch more than [bound] old that is still open
+     has already raised {!Trace.Lag.Violation}, so keeping twice that
+     window is safely conservative. A hash re-recorded since (the
+     membership returned to a previous set) keeps its newer entry: the
+     guard removes a binding only when it still carries the queued
+     epoch. This caps the table at O(bound * churn rate) entries instead
+     of one per change for the whole run. *)
+  let prune_snapshots () =
+    let continue = ref true in
+    while !continue && not (Queue.is_empty snapshot_ages) do
+      let hash, ep, born = Queue.peek snapshot_ages in
+      if !now -. born > 2.0 *. bound then begin
+        ignore (Queue.pop snapshot_ages);
+        match Hashtbl.find_opt snapshots hash with
+        | Some e when e = ep -> Hashtbl.remove snapshots hash
+        | Some _ | None -> ()
+      end
+      else continue := false
+    done
+  in
   (* flip the truth for [id] and record the new membership's hash as the
      current epoch's snapshot — O(1), no per-member patching *)
   let flip_truth id =
     truth.(id) <- not truth.(id);
     htruth := !htruth lxor zob.(id);
-    Hashtbl.replace snapshots !htruth !epoch
+    record_snapshot !htruth !epoch
+  in
+
+  (* --- the hosted backend: members inside real node cores ------------- *)
+  (* Under [backend = Mux] every member lives inside an (unmodified)
+     {!Node_core}: its messages ride the full wire stack — envelope
+     framing + CRC, per-link go-back-N with retransmission, the seeded
+     fault shim for loss/delay/partitions — and the service delivers
+     encoded frames, not payloads. The core's own trace events are
+     discarded (the service emits the canonical lifecycle itself), and
+     its completion machinery is inert ([fleet_halt = false]). *)
+  let spawn_core id =
+    match members.(id) with
+    | None -> ()
+    | Some m ->
+      let algo =
+        {
+          Algorithm.name = "service-member";
+          description = "continuous-service member hosted on a node core";
+          make =
+            (fun _ctx ->
+              (* the member, not the ctx, is the protocol state: the
+                 core's round/receive hooks just forward to it on the
+                 service's clock *)
+              {
+                Algorithm.knowledge = View.knowledge (Member.view m);
+                round = (fun ~round:_ ~send:_ -> Member.step m ~now:!now);
+                receive = (fun ~src payload -> Member.deliver m ~src ~now:!now payload);
+                is_quiescent = Algorithm.never_quiescent;
+              });
+        }
+      in
+      let acts =
+        {
+          Node_core.emit = (fun ~now:_ _ -> ());
+          xmit =
+            (fun ~now:sent_at ~dst frame ->
+              incr seq;
+              Heap.push heap
+                { Heap.time = sent_at +. latency (); seq = !seq; src = id; dst; frame });
+          notify_complete = (fun ~now:_ ~tick:_ -> ());
+          (* "establishing a connection" is instantaneous here, as in the
+             mux: a revived link comes straight back up *)
+          wake =
+            (fun ~dst ->
+              match cores.(id) with
+              | Some core -> Node_core.link_up core ~now:!now ~dst
+              | None -> ());
+        }
+      in
+      let core =
+        Node_core.create
+          {
+            Node_core.node = id;
+            n = cap;
+            algo;
+            seed = cfg.seed;
+            neighbors = [||];
+            tick_period = 1.0;
+            rto = 3.0;
+            fault;
+            announce = false;
+            encoding = Wire.Adaptive;
+            fleet_halt = false;
+          }
+          acts ~links_up:true ~now:!now
+      in
+      cores.(id) <- Some core;
+      if ever_lived.(id) then begin
+        (* A reborn id must void the go-back-N state peers still hold
+           about its predecessor (their stale cumulative-ack marks would
+           silently eat the fresh incarnation's low sequence numbers):
+           greet every live peer, and keep re-greeting — see
+           [heal_links] — until each peer's dead link has demonstrably
+           been revived, since any single hello can be lost. *)
+        for p = 0 to cap - 1 do
+          if p <> id && cores.(p) <> None then Node_core.greet core ~now:!now ~dst:p
+        done;
+        healing.(id) <- true
+      end;
+      ever_lived.(id) <- true
+  in
+  let despawn_core id =
+    match cores.(id) with
+    | None -> ()
+    | Some core ->
+      retransmits := !retransmits + (Node_core.final core).Control.retransmits;
+      cores.(id) <- None;
+      healing.(id) <- false;
+      (* every peer writes the departed id off at once, so go-back-N
+         stops retransmitting into the void; a later rebirth revives the
+         links via its greeting hellos *)
+      for p = 0 to cap - 1 do
+        if p <> id then
+          match cores.(p) with
+          | Some pc -> Node_core.link_dead pc ~now:!now ~dst:id
+          | None -> ()
+      done
+  in
+  (* Re-greet peers whose link toward a reborn id is still [Dead]: the
+     hello that should have revived it was eaten by the fault shim. The
+     peer's link status is the delivery receipt — once no peer holds a
+     dead link toward the id, healing is done. *)
+  let heal_links () =
+    for id = 0 to cap - 1 do
+      if healing.(id) then
+        match cores.(id) with
+        | None -> healing.(id) <- false
+        | Some core ->
+          let pending = ref false in
+          for p = 0 to cap - 1 do
+            if p <> id then
+              match cores.(p) with
+              | Some pc when Node_core.link_status pc ~dst:id = Node_core.Dead ->
+                pending := true;
+                Node_core.greet core ~now:!now ~dst:p
+              | Some _ | None -> ()
+          done;
+          if not !pending then healing.(id) <- false
+    done
   in
 
   (* --- membership changes --------------------------------------------- *)
@@ -314,10 +515,11 @@ let run cfg =
     Pool.add live id;
     let m =
       Member.create_joiner ~cap ~self:id ~labels ~contacts ~rng:(member_rng ()) ~full_sync
-        (actions_for id)
+        ~indirect_k:cfg.indirect_k ~lifeguard:cfg.lifeguard (actions_for id)
     in
     members.(id) <- Some m;
     counts.(id) <- 0;
+    if hosted then spawn_core id;
     init_view_hash id;
     emit_converged_sweep ()
   in
@@ -336,6 +538,7 @@ let run cfg =
       end;
       incr epoch;
       members.(id) <- None;
+      if hosted then despawn_core id;
       Pool.remove live id;
       Pool.add retired id;
       flip_truth id;
@@ -365,13 +568,14 @@ let run cfg =
       Pool.add live id;
       let m =
         Member.create_genesis ~cap ~self:id ~labels ~peers:founders ~rng:(member_rng ())
-          ~full_sync (actions_for id)
+          ~full_sync ~indirect_k:cfg.indirect_k ~lifeguard:cfg.lifeguard (actions_for id)
       in
       members.(id) <- Some m)
     founders;
   (* epoch 0: the genesis membership *)
-  Hashtbl.replace snapshots !htruth 0;
+  record_snapshot !htruth 0;
   Array.iter init_view_hash founders;
+  if hosted then Array.iter spawn_core founders;
 
   (* per-round schedules from the fault plan *)
   let at tbl round id =
@@ -449,25 +653,53 @@ let run cfg =
     while (not (Heap.is_empty heap)) && (Heap.peek heap).Heap.time <= tick_time do
       let e = Heap.pop heap in
       now := e.Heap.time;
-      match members.(e.Heap.dst) with
-      | None -> incr dropped_dead
-      | Some m -> (
-        match Wire.decode Wire.Adaptive ~universe:cap e.Heap.frame with
-        | Ok payload -> Member.deliver m ~src:e.Heap.src ~now:e.Heap.time payload
-        | Error msg -> failwith ("Service.run: wire decode failed: " ^ msg))
+      if hosted then begin
+        match cores.(e.Heap.dst) with
+        | None -> incr dropped_dead
+        | Some core -> (
+          match Envelope.decode e.Heap.frame ~off:0 ~len:(Bytes.length e.Heap.frame) with
+          | `Frame (env, _) -> Node_core.handle_frame core ~now:e.Heap.time env
+          | `Corrupt reason ->
+            if String.equal reason Envelope.crc_mismatch then Node_core.note_corrupt_frame core
+            else Node_core.note_decode_error core
+          | `Need_more -> Node_core.note_decode_error core)
+      end
+      else begin
+        match members.(e.Heap.dst) with
+        | None -> incr dropped_dead
+        | Some m -> (
+          match Wire.decode Wire.Adaptive ~universe:cap e.Heap.frame with
+          | Ok payload -> Member.deliver m ~src:e.Heap.src ~now:e.Heap.time payload
+          | Error msg -> failwith ("Service.run: wire decode failed: " ^ msg))
+      end
     done;
     now := tick_time;
     for id = 0 to cap - 1 do
       match members.(id) with
       | None -> ()
-      | Some m ->
+      | Some m -> (
         counts.(id) <- counts.(id) + 1;
         Trace.emit trace (Trace.Tick { node = id; time = tick_time; count = counts.(id) });
-        Member.step m ~now:tick_time
+        match cores.(id) with
+        | Some core ->
+          (* the core runs the member's step through its round hook, and
+             owns retransmission timeouts and held fault-shim frames *)
+          Node_core.flush_faults core ~now:tick_time;
+          Node_core.tick core ~now:tick_time;
+          Node_core.pump core ~now:tick_time
+        | None -> Member.step m ~now:tick_time)
     done;
+    if hosted then heal_links ();
     apply_scheduled tick;
-    apply_churn tick
+    apply_churn tick;
+    prune_snapshots ()
   done;
+  if hosted then
+    Array.iter
+      (function
+        | Some core -> retransmits := !retransmits + (Node_core.final core).Control.retransmits
+        | None -> ())
+      cores;
   Trace.Lag.final_check lag;
   Trace.flush trace;
   {
@@ -493,11 +725,21 @@ let run cfg =
     bootstraps = !bootstraps;
     dropped_loss = !dropped_loss;
     dropped_dead = !dropped_dead;
+    probe_reqs = !probe_reqs;
+    probe_acks = !probe_acks;
+    suspicion_msgs = !suspicion_msgs;
+    false_suspicions = !false_suspicions;
+    false_retirements = !false_retirements;
+    retransmits = !retransmits;
+    snapshots_peak = !snapshots_peak;
+    lag_table_peak = Trace.Lag.table_peak lag;
   }
 
 let stats_to_json s =
   Printf.sprintf
-    "{\"ticks\":%d,\"cap\":%d,\"founders\":%d,\"final_live\":%d,\"joins\":%d,\"leaves\":%d,\"crashes\":%d,\"suspicions\":%d,\"retirements\":%d,\"epochs\":%d,\"epochs_closed\":%d,\"max_lag\":%.12g,\"msgs\":%d,\"bytes\":%d,\"probes\":%d,\"acks\":%d,\"gossip\":%d,\"update_entries\":%d,\"full_syncs\":%d,\"bootstraps\":%d,\"dropped_loss\":%d,\"dropped_dead\":%d}"
+    "{\"ticks\":%d,\"cap\":%d,\"founders\":%d,\"final_live\":%d,\"joins\":%d,\"leaves\":%d,\"crashes\":%d,\"suspicions\":%d,\"retirements\":%d,\"epochs\":%d,\"epochs_closed\":%d,\"max_lag\":%.12g,\"msgs\":%d,\"bytes\":%d,\"probes\":%d,\"acks\":%d,\"gossip\":%d,\"update_entries\":%d,\"full_syncs\":%d,\"bootstraps\":%d,\"dropped_loss\":%d,\"dropped_dead\":%d,\"probe_reqs\":%d,\"probe_acks\":%d,\"suspicion_msgs\":%d,\"false_suspicions\":%d,\"false_retirements\":%d,\"retransmits\":%d,\"snapshots_peak\":%d,\"lag_table_peak\":%d}"
     s.ticks_run s.cap s.founders s.final_live s.joins s.leaves s.crashes s.suspicions
     s.retirements s.epochs s.epochs_closed s.max_lag s.msgs s.bytes s.probes s.acks s.gossip
-    s.update_entries s.full_syncs s.bootstraps s.dropped_loss s.dropped_dead
+    s.update_entries s.full_syncs s.bootstraps s.dropped_loss s.dropped_dead s.probe_reqs
+    s.probe_acks s.suspicion_msgs s.false_suspicions s.false_retirements s.retransmits
+    s.snapshots_peak s.lag_table_peak

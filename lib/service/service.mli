@@ -4,23 +4,39 @@
 
     One-shot discovery answers "who is here?" once; the service keeps
     the answer current. The runtime multiplexes every member of an id
-    universe [0 .. cap-1] into one process (mux-style), delivers their
-    messages through the real {!Repro_discovery.Wire} codec (every
-    payload is encoded and decoded, so the wire discipline is exercised
-    on every hop), applies scheduled ({!Repro_engine.Fault}) and
-    seeded-random churn — joins, graceful leaves, crashes and restarts
-    — and checks the {b convergence-lag invariant} online: after every
-    membership change, every live member's view must match the true
-    membership again within a bounded number of ticks
-    ({!Repro_engine.Trace.Lag}).
+    universe [0 .. cap-1] into one process, applies scheduled
+    ({!Repro_engine.Fault}) and seeded-random churn — joins, graceful
+    leaves, crashes and restarts — and checks the {b convergence-lag
+    invariant} online: after every membership change, every live
+    member's view must match the true membership again within a bounded
+    number of ticks ({!Repro_engine.Trace.Lag}).
+
+    {b Backends.} [backend = None] or [Some Loopback] runs the
+    certification path: members exchange {!Repro_discovery.Wire}-encoded
+    payloads directly (every payload is encoded and decoded, so the
+    codec is exercised on every hop) and the runtime itself applies the
+    fault plan's loss coin and partition cuts. [Some Mux] hosts every
+    member inside a real {!Repro_net.Node_core}: messages additionally
+    ride the envelope framing + CRC, the per-link go-back-N reliability
+    layer (lost frames are retransmitted — [dropped_loss] stays 0
+    because the fault shim drops silently), and the seeded
+    {!Repro_net.Faultnet} shim for loss/delay/partitions. Rebirth of a
+    retired id is announced to the fleet with hello frames (re-sent
+    until every peer demonstrably revived its link), voiding stale
+    go-back-N sequence state. [Some (Process _)] is rejected: the
+    service multiplexes thousands of members into one process.
 
     The observer is omniscient but O(1) per view change: it keeps a
     Zobrist hash of each member's live-view and of every epoch's true
     membership, and emits a [Converge] event when a member's view hash
     matches the snapshot of any epoch it has not yet been credited with
     — convergence to a {e consistent cut}, matching the checker's
-    contract even when later changes are still in flight. Everything is
-    a pure function of the configuration: same config, same stats, byte
+    contract even when later changes are still in flight. Snapshots
+    older than twice the lag bound are expired (an epoch still open that
+    far back has already raised), so observer memory is O(bound ·
+    churn rate), not O(changes) — {!stats.snapshots_peak} and
+    {!stats.lag_table_peak} pin the high-water marks. Everything is a
+    pure function of the configuration: same config, same stats, byte
     for byte. *)
 
 open Repro_engine
@@ -51,6 +67,15 @@ type config = {
           scheduled joins/leaves/crashes), since a joiner's bootstrap
           snapshot can race an in-flight update whose piggyback budgets
           then expire *)
+  backend : Repro_net.Backend.t option;
+      (** [None]/[Some Loopback]: direct payload delivery (the
+          certification oracle); [Some Mux]: members hosted inside real
+          node cores, full wire stack per hop. [Some (Process _)] is
+          rejected. *)
+  indirect_k : int;
+      (** intermediaries per indirect-probe round; [0] disables the
+          round (a direct-probe timeout suspects immediately) *)
+  lifeguard : bool;  (** local-health timeout scaling (see {!Member}) *)
   trace : Trace.sink;  (** teed with the online lag checker *)
 }
 
@@ -67,16 +92,36 @@ type stats = {
   epochs : int;  (** membership changes after genesis *)
   epochs_closed : int;  (** epochs whose fleet-wide convergence was confirmed *)
   max_lag : float;  (** worst confirmed convergence lag, in ticks *)
-  msgs : int;  (** total messages sent (all kinds) *)
-  bytes : int;  (** total encoded bytes *)
+  msgs : int;  (** total member-level messages sent (all kinds) *)
+  bytes : int;  (** total encoded payload bytes *)
   probes : int;
   acks : int;  (** probe replies *)
   gossip : int;  (** incremental update pushes *)
   update_entries : int;  (** entries carried by incremental pushes *)
   full_syncs : int;  (** periodic full-state sync pushes *)
   bootstraps : int;  (** bootstrap requests + full-state replies *)
-  dropped_loss : int;  (** lost to the fault plan's coin / partitions *)
+  dropped_loss : int;
+      (** lost to the fault plan's coin / partitions; always 0 on the
+          mux backend, where the fault shim drops frames silently and
+          go-back-N retransmits them *)
   dropped_dead : int;  (** destination no longer live *)
+  probe_reqs : int;  (** indirect-probe requests to intermediaries *)
+  probe_acks : int;  (** nonce-correlated indirect-probe vouches *)
+  suspicion_msgs : int;  (** suspicion claims shared with peers *)
+  false_suspicions : int;
+      (** suspicions opened against a target that was in truth live —
+          the false-positive rate the indirect round and local-health
+          scaling exist to suppress *)
+  false_retirements : int;  (** down convictions of an in-truth-live target *)
+  retransmits : int;
+      (** go-back-N re-sends, summed over every hosted core's lifetime;
+          0 on the loopback path, which has no reliability layer *)
+  snapshots_peak : int;
+      (** high-water mark of the observer's epoch-snapshot table (see
+          the module docs: pruned to O(bound · churn rate)) *)
+  lag_table_peak : int;
+      (** high-water mark of the lag checker's open-epoch table
+          ({!Trace.Lag.table_peak}) *)
 }
 
 val default_lag_bound : cap:int -> float
@@ -85,7 +130,8 @@ val run : config -> stats
 (** Run the service for [config.ticks] virtual ticks.
     @raise Trace.Lag.Violation when a live member fails to re-converge
     within the lag bound.
-    @raise Invalid_argument on a malformed configuration. *)
+    @raise Invalid_argument on a malformed configuration (including
+    [backend = Some (Process _)]). *)
 
 val stats_to_json : stats -> string
 (** One-line JSON object, stable field order, ["%.12g"] floats —

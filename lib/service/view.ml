@@ -105,4 +105,54 @@ let random_live t rng =
     end
   end
 
+(* Up to [k] distinct live nodes, excluding the owner and [exclude] —
+   the intermediary sample of an indirect-probe round. Rejection
+   sampling first (the known set is mostly live in steady state), then
+   a linear enumeration fallback like [random_live]. *)
+let random_live_sample t rng ~k ~exclude =
+  if k <= 0 || t.live <= 1 then [||]
+  else begin
+    let self = owner t in
+    let picked = Array.make k (-1) in
+    let count = ref 0 in
+    let mem v =
+      let rec go i = i < !count && (picked.(i) = v || go (i + 1)) in
+      go 0
+    in
+    let attempts = ref 0 in
+    while !count < k && !attempts < 8 * k do
+      incr attempts;
+      match Knowledge.random_known t.knowledge rng with
+      | Some v when v <> self && v <> exclude && is_live t v && not (mem v) ->
+        picked.(!count) <- v;
+        incr count
+      | Some _ | None -> ()
+    done;
+    if !count < k then begin
+      (* sparse live set: enumerate the candidates and take a uniform
+         draw-without-replacement over what the sampler missed *)
+      let rest = ref [] in
+      let rest_n = ref 0 in
+      Knowledge.iter_known t.knowledge (fun v ->
+          if v <> self && v <> exclude && is_live t v && not (mem v) then begin
+            rest := v :: !rest;
+            incr rest_n
+          end);
+      let rest = Array.of_list !rest in
+      (* Fisher-Yates over the remainder, stopping once [picked] fills *)
+      let n = !rest_n in
+      let i = ref 0 in
+      while !count < k && !i < n do
+        let j = !i + Rng.int rng (n - !i) in
+        let v = rest.(j) in
+        rest.(j) <- rest.(!i);
+        rest.(!i) <- v;
+        incr i;
+        picked.(!count) <- v;
+        incr count
+      done
+    end;
+    Array.sub picked 0 !count
+  end
+
 let iter_known t f = Knowledge.iter_known t.knowledge f

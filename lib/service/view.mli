@@ -68,5 +68,11 @@ val random_live : t -> Rng.t -> int option
     draws over the known set, then a linear scan fallback when the view
     is dominated by retired nodes. *)
 
+val random_live_sample : t -> Rng.t -> k:int -> exclude:int -> int array
+(** Up to [k] {e distinct} live nodes, excluding the owner and
+    [exclude] — the intermediary sample of an indirect-probe round.
+    Shorter than [k] (possibly empty) when the view does not hold that
+    many other live nodes. *)
+
 val iter_known : t -> (int -> unit) -> unit
 (** Iterate every known id (including down nodes and the owner). *)

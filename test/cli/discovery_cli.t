@@ -313,10 +313,11 @@ The experiments runner lists its deliverables:
   T11  local termination detection
   T12  adversarial scenario matrix
   T13  continuous service steady state
+  T14  failure-detector precision under loss
   F2   knowledge-growth dynamics
   F4   per-round message budget
   F5   cluster-head population dynamics
 
   $ ../../bin/experiments.exe --only T99 2>&1
-  experiments: unknown experiment id(s): T99 (known: T1, T2, T3, F1, T4, F3, T5, T6, T7, T8, T9, T10, T11, T12, T13, F2, F4, F5)
+  experiments: unknown experiment id(s): T99 (known: T1, T2, T3, F1, T4, F3, T5, T6, T7, T8, T9, T10, T11, T12, T13, T14, F2, F4, F5)
   [124]

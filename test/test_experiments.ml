@@ -73,7 +73,7 @@ let test_report_capture_and_csv () =
 
 let test_suite_ids () =
   Alcotest.(check (list string)) "experiment ids"
-    [ "T1"; "T2"; "T3"; "F1"; "T4"; "F3"; "T5"; "T6"; "T7"; "T8"; "T9"; "T10"; "T11"; "T12"; "T13"; "F2"; "F4"; "F5" ]
+    [ "T1"; "T2"; "T3"; "F1"; "T4"; "F3"; "T5"; "T6"; "T7"; "T8"; "T9"; "T10"; "T11"; "T12"; "T13"; "T14"; "F2"; "F4"; "F5" ]
     (Suite.ids ())
 
 let test_suite_unknown_id () =

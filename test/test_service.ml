@@ -173,6 +173,74 @@ let test_wire_updates_size_exact () =
   Alcotest.(check int) "encoded_size agrees" (Bytes.length b)
     (Wire.encoded_size Wire.Adaptive ~universe:300 p)
 
+(* --- Wire: failure-detector payloads ----------------------------------- *)
+
+let test_wire_probe_payloads_roundtrip () =
+  List.iter
+    (fun p -> Alcotest.(check bool) "roundtrip preserves payload" true (roundtrip p = p))
+    [
+      Payload.Probe_req { target = 0; nonce = 0 };
+      Payload.Probe_req { target = 299; nonce = 0x3FFF_FFFF };
+      Payload.Probe_ack { target = 17; nonce = 1 };
+      Payload.Probe_ack { target = 299; nonce = 12345678 };
+      Payload.Suspicion { target = 42; version = 0 };
+      Payload.Suspicion { target = 0; version = 77 };
+    ];
+  (* the three kinds must stay distinct on the wire even with equal fields *)
+  let enc p = Bytes.to_string (Wire.encode Wire.Adaptive ~universe:300 p) in
+  Alcotest.(check bool) "req <> ack" true
+    (enc (Payload.Probe_req { target = 5; nonce = 9 }) <> enc (Payload.Probe_ack { target = 5; nonce = 9 }));
+  Alcotest.(check bool) "ack <> suspicion" true
+    (enc (Payload.Probe_ack { target = 5; nonce = 9 }) <> enc (Payload.Suspicion { target = 5; version = 9 }))
+
+let test_wire_probe_payloads_canonical_enforced () =
+  (* out-of-range targets and negative correlation values must be
+     refused at encode time, exactly like out-of-range update entries *)
+  List.iter
+    (fun (name, p) ->
+      Alcotest.(check bool) name true
+        (try
+           ignore (Wire.encode Wire.Adaptive ~universe:300 p);
+           false
+         with Invalid_argument _ -> true))
+    [
+      ("target beyond universe", Payload.Probe_req { target = 300; nonce = 1 });
+      ("negative target", Payload.Probe_ack { target = -1; nonce = 1 });
+      ("negative nonce", Payload.Probe_req { target = 3; nonce = -1 });
+      ("negative version", Payload.Suspicion { target = 3; version = -1 });
+    ]
+
+let test_wire_probe_payloads_bad_bytes_rejected () =
+  let good = Wire.encode Wire.Adaptive ~universe:300 (Payload.Probe_req { target = 5; nonce = 9 }) in
+  (* canonical form is exactly two varints: a trailing byte is noise *)
+  let padded = Bytes.extend good 0 1 in
+  Bytes.set padded (Bytes.length padded - 1) '\000';
+  (match Wire.decode Wire.Adaptive ~universe:300 padded with
+  | Ok _ -> Alcotest.fail "trailing byte accepted"
+  | Error _ -> ());
+  (* truncated body *)
+  (match Wire.decode Wire.Adaptive ~universe:300 (Bytes.sub good 0 1) with
+  | Ok _ -> Alcotest.fail "missing body accepted"
+  | Error _ -> ());
+  (* a decoded target is range-checked against the receiver's universe *)
+  let wide = Wire.encode Wire.Adaptive ~universe:1000 (Payload.Suspicion { target = 750; version = 2 }) in
+  match Wire.decode Wire.Adaptive ~universe:300 wide with
+  | Ok _ -> Alcotest.fail "out-of-universe target accepted"
+  | Error _ -> ()
+
+let test_wire_probe_payloads_size_exact () =
+  List.iter
+    (fun p ->
+      let b = Wire.encode Wire.Adaptive ~universe:300 p in
+      Alcotest.(check int) "encoded_size agrees" (Bytes.length b)
+        (Wire.encoded_size Wire.Adaptive ~universe:300 p))
+    [
+      Payload.Probe_req { target = 0; nonce = 0 };
+      Payload.Probe_req { target = 299; nonce = 1 lsl 29 };
+      Payload.Probe_ack { target = 128; nonce = 300 };
+      Payload.Suspicion { target = 200; version = 16384 };
+    ]
+
 (* --- Knowledge versions / Payload updates ----------------------------- *)
 
 let knowledge ~n ~owner = Knowledge.create ~n ~owner ~labels:(Array.init n Fun.id) ()
@@ -260,8 +328,8 @@ let test_view_suspicion_is_local () =
 
 (* --- Service: end-to-end soaks ---------------------------------------- *)
 
-let soak_config ?(n = 16) ?(cap = 24) ?(ticks = 600) ?(seed = 11) ?churn ?(fault = Fault.none) ()
-    =
+let soak_config ?(n = 16) ?(cap = 24) ?(ticks = 600) ?(seed = 11) ?churn ?(fault = Fault.none)
+    ?backend ?(indirect_k = 2) ?(lifeguard = true) () =
   {
     Service.n;
     cap;
@@ -271,6 +339,9 @@ let soak_config ?(n = 16) ?(cap = 24) ?(ticks = 600) ?(seed = 11) ?churn ?(fault
     fault;
     lag_bound = None;
     full_sync = None;
+    backend;
+    indirect_k;
+    lifeguard;
     trace = Trace.null;
   }
 
@@ -338,13 +409,101 @@ let test_service_traffic_scales_with_churn_not_n () =
      traffic; allow 2x slack for the log-factor and noise *)
   Alcotest.(check bool) "per-member traffic flat in n" true (big_churny < 2.0 *. small_churny)
 
+(* --- Service over a real backend -------------------------------------- *)
+
+let test_service_mux_soak_converges () =
+  (* members hosted inside node cores: envelope framing, go-back-N and
+     the in-core fault shim on every hop. The run must close every
+     churn epoch just like the virtual-network path does. *)
+  let churn = { Service.rate = 0.05; min_live = 12; until = 400 } in
+  let fault = Fault.with_loss Fault.none ~p:0.1 in
+  let stats =
+    Service.run (soak_config ~n:24 ~cap:32 ~ticks:600 ~churn ~fault ~seed:3 ~backend:Repro_net.Backend.Mux ())
+  in
+  Alcotest.(check bool) "churn happened" true (stats.Service.epochs > 0);
+  Alcotest.(check int) "every epoch closed" stats.Service.epochs stats.Service.epochs_closed;
+  (* loss lives in the core's fault shim on this path: the runtime must
+     not double-apply it, and go-back-N must be doing real work *)
+  Alcotest.(check int) "no service-level drops" 0 stats.Service.dropped_loss;
+  Alcotest.(check bool) "go-back-N retransmitted" true (stats.Service.retransmits > 0)
+
+let test_service_mux_deterministic () =
+  let churn = { Service.rate = 0.08; min_live = 8; until = 300 } in
+  let cfg = soak_config ~ticks:450 ~churn ~seed:9 ~backend:Repro_net.Backend.Mux in
+  Alcotest.(check string) "byte-identical reports"
+    (Service.stats_to_json (Service.run (cfg ())))
+    (Service.stats_to_json (Service.run (cfg ())))
+
+let test_service_process_backend_rejected () =
+  Alcotest.check_raises "one-process runtime"
+    (Invalid_argument
+       "Service.run: process backends fork one OS process per node; the multiplexed service \
+        runs on loopback or mux")
+    (fun () ->
+      ignore
+        (Service.run (soak_config ~backend:(Repro_net.Backend.Process Repro_net.Backend.Uds) ())))
+
+let test_service_mux_partition_heals () =
+  (* a clean two-way cut: cross-partition probes all fail, so both
+     sides wrongly convict the other (every conviction is false — no
+     one actually died). After the heal, a scheduled join opens an
+     epoch that every member must close; closing it requires having
+     refuted every partition-era conviction, since a view still holding
+     a live member down hashes to no true membership snapshot. *)
+  let n = 24 and cap = 32 in
+  let fault =
+    Fault.with_join
+      (Fault.with_partition Fault.none
+         ~groups:[ List.init 12 Fun.id; List.init 12 (fun i -> 12 + i) ]
+         ~start:100 ~heal:180)
+      ~node:24 ~round:300
+  in
+  let stats = Service.run (soak_config ~n ~cap ~ticks:500 ~fault ~backend:Repro_net.Backend.Mux ()) in
+  Alcotest.(check bool) "partition caused false convictions" true
+    (stats.Service.false_retirements > 0);
+  Alcotest.(check int) "join epoch" 1 stats.Service.epochs;
+  Alcotest.(check int) "closed after heal" 1 stats.Service.epochs_closed;
+  Alcotest.(check int) "everyone refuted and survived" 25 stats.Service.final_live
+
+let test_service_detector_precision () =
+  (* healthy fleet + heavy loss: every suspicion is false. The indirect
+     round, local health and confirmation-scaled windows must cut false
+     verdicts at least fivefold against the naive direct-probe detector
+     (ISSUE acceptance; in practice they reach zero here). *)
+  let fault = Fault.with_loss Fault.none ~p:0.2 in
+  let run ~indirect_k ~lifeguard =
+    Service.run (soak_config ~n:24 ~cap:32 ~ticks:800 ~fault ~seed:7 ~indirect_k ~lifeguard ())
+  in
+  let naive = run ~indirect_k:0 ~lifeguard:false in
+  let full = run ~indirect_k:2 ~lifeguard:true in
+  Alcotest.(check bool) "naive detector suspects the living" true
+    (naive.Service.false_suspicions > 0);
+  Alcotest.(check bool) "5x fewer false suspicions" true
+    (5 * full.Service.false_suspicions <= naive.Service.false_suspicions);
+  Alcotest.(check bool) "no more convictions than the naive detector" true
+    (full.Service.false_retirements <= naive.Service.false_retirements)
+
+let test_service_observer_tables_bounded () =
+  (* satellite of the lag observer: its snapshot and epoch tables must
+     stay O(bound), not O(changes), over a long churny soak. The peaks
+     are deterministic for a fixed seed — pin them. *)
+  let churn = { Service.rate = 0.1; min_live = 8; until = 1900 } in
+  let stats = Service.run (soak_config ~ticks:2000 ~churn ~seed:4 ()) in
+  Alcotest.(check bool) "many changes happened" true (stats.Service.epochs > 50);
+  let bound = Service.default_lag_bound ~cap:24 in
+  Alcotest.(check bool) "snapshot table bounded by expiry window" true
+    (float_of_int stats.Service.snapshots_peak <= (2.0 *. bound) +. 1.0);
+  Alcotest.(check bool) "epoch table bounded by open epochs" true
+    (stats.Service.lag_table_peak < stats.Service.epochs);
+  Alcotest.(check int) "snapshot high-water pinned" 25 stats.Service.snapshots_peak;
+  Alcotest.(check int) "epoch-table high-water pinned" 10 stats.Service.lag_table_peak
+
 (* --- chaos matrix: the known-failing cell stays pinned ---------------- *)
 
 let test_chaos_known_failing_cell_pinned () =
-  (* hm on a tree under the partition family: trial 2's cut isolates a
-     subtree past hm's retry budget, a real robustness gap tracked by
-     ci/chaos-matrix-baseline.json. Pin the exact pass count so a fix
-     (or a regression) surfaces here first. *)
+  (* hm on a tree under the partition family: a real robustness gap
+     tracked by ci/chaos-matrix-baseline.json. Pin the exact pass count
+     so a fix (or a regression) surfaces here first. *)
   let open Repro_net in
   let cells =
     Chaos.matrix ~algos:[ Hm_gossip.algorithm ] ~families:[ Repro_graph.Generate.Binary_tree ]
@@ -357,6 +516,34 @@ let test_chaos_known_failing_cell_pinned () =
       "{\"algo\":\"hm\",\"topology\":\"tree\",\"plan_family\":\"partition\",\"n\":8,\"trials\":3,\"passed\":2,\"failed\":1}"
       (Chaos.cell_to_json cell)
   | _ -> Alcotest.fail "expected exactly one cell"
+
+let test_chaos_failing_cell_diagnosed () =
+  (* Trace-level replay of the cell's failing trial (trial 0): the cut
+     0-2|3-7 lands while hm is mid-halt. Nodes 1 and 3 reach local
+     termination inside their side of the partition and go silent
+     before the heal, so the identifiers only they would have relayed
+     never cross the healed cut and six nodes starve. The passing
+     trials also have pre-heal-quiet nodes, but every one of those
+     completes — quiet *and completed* before the heal is the fatal
+     combination. *)
+  let open Repro_net in
+  let diagnose trial =
+    Chaos.diagnose ~algo:Hm_gossip.algorithm ~family:Repro_graph.Generate.Binary_tree
+      ~plan_family:"partition" ~n:8 ~trial ~seed:0 ~backend:Backend.Mux ~timeout:10.0
+      ~loss_max:0.2 ()
+  in
+  let d = diagnose 0 in
+  Alcotest.(check string) "failing trial diagnosis"
+    "{\"seed\":0,\"plan\":\"part=0-2|3-7@2..9\",\"heal_time\":9,\"quiet_pre_heal\":[1,3,4,7],\"never_completed\":[0,2,4,5,6,7],\"converged\":false}"
+    (Chaos.diagnosis_to_json d);
+  let halted_pre_heal =
+    List.filter (fun id -> not (List.mem id d.Chaos.diag_never_completed)) d.Chaos.diag_quiet_pre_heal
+  in
+  Alcotest.(check (list int)) "nodes that halted inside the partition" [ 1; 3 ] halted_pre_heal;
+  (* the same replay of a passing trial shows no such node *)
+  let ok = diagnose 1 in
+  Alcotest.(check bool) "trial 1 converged" true ok.Chaos.diag_converged;
+  Alcotest.(check (list int)) "nobody starved" [] ok.Chaos.diag_never_completed
 
 let () =
   Alcotest.run "service"
@@ -376,6 +563,12 @@ let () =
           Alcotest.test_case "canonical form enforced" `Quick test_wire_updates_canonical_enforced;
           Alcotest.test_case "bad bytes rejected" `Quick test_wire_updates_bad_bytes_rejected;
           Alcotest.test_case "size exact" `Quick test_wire_updates_size_exact;
+          Alcotest.test_case "probe payloads roundtrip" `Quick test_wire_probe_payloads_roundtrip;
+          Alcotest.test_case "probe payloads canonical" `Quick
+            test_wire_probe_payloads_canonical_enforced;
+          Alcotest.test_case "probe payloads bad bytes" `Quick
+            test_wire_probe_payloads_bad_bytes_rejected;
+          Alcotest.test_case "probe payloads size exact" `Quick test_wire_probe_payloads_size_exact;
         ] );
       ( "versions",
         [
@@ -401,9 +594,20 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_service_deterministic;
           Alcotest.test_case "traffic scales with churn" `Slow
             test_service_traffic_scales_with_churn_not_n;
+          Alcotest.test_case "observer tables bounded" `Slow test_service_observer_tables_bounded;
+        ] );
+      ( "detector",
+        [ Alcotest.test_case "precision under loss" `Slow test_service_detector_precision ] );
+      ( "backend",
+        [
+          Alcotest.test_case "mux soak converges" `Slow test_service_mux_soak_converges;
+          Alcotest.test_case "mux deterministic" `Slow test_service_mux_deterministic;
+          Alcotest.test_case "mux partition heals" `Slow test_service_mux_partition_heals;
+          Alcotest.test_case "process rejected" `Quick test_service_process_backend_rejected;
         ] );
       ( "chaos",
         [
           Alcotest.test_case "known-failing cell pinned" `Slow test_chaos_known_failing_cell_pinned;
+          Alcotest.test_case "failing cell diagnosed" `Slow test_chaos_failing_cell_diagnosed;
         ] );
     ]

@@ -83,7 +83,9 @@ let test_form_preserved () =
       match d with
       | Payload.Bits _ -> true
       | Payload.Ids _ | Payload.Delta _ | Payload.Updates _ -> false)
-    | Payload.Probe | Payload.Halt -> false
+    | Payload.Probe | Payload.Halt | Payload.Probe_req _ | Payload.Probe_ack _
+    | Payload.Suspicion _ ->
+      false
   in
   List.iter
     (fun e ->
@@ -165,7 +167,7 @@ let test_decode_validation () =
   bad
     [
       ("empty", Bytes.create 0);
-      ("unknown kind", Bytes.of_string "\007\001\000");
+      ("unknown kind", Bytes.of_string "\008\001\000");
       ("unknown codec", Bytes.of_string "\000\009\000");
       ("oversized probe", Bytes.of_string "\003\000");
       ("truncated varint", Bytes.of_string "\000\001\255");
@@ -253,6 +255,31 @@ let prop_roundtrip =
         Wire.ids_of_payload back = List.sort_uniq compare ids
         && Bytes.length encoded = Wire.encoded_size enc ~universe p)
 
+let prop_detector_roundtrip =
+  QCheck2.Test.make ~name:"detector payloads roundtrip at every codec" ~count:400
+    QCheck2.Gen.(
+      let* universe = int_range 1 600 in
+      let* target = int_range 0 (universe - 1) in
+      let* aux = int_range 0 (1 lsl 30) in
+      let* enc = oneofl Wire.all_encodings in
+      let* kind = int_range 0 2 in
+      return (universe, target, aux, enc, kind))
+    (fun (universe, target, aux, enc, kind) ->
+      let p =
+        match kind with
+        | 0 -> Payload.Probe_req { target; nonce = aux }
+        | 1 -> Payload.Probe_ack { target; nonce = aux }
+        | _ -> Payload.Suspicion { target; version = aux }
+      in
+      let encoded = Wire.encode enc ~universe p in
+      (* the detector payloads are codec-independent: two varints *)
+      match Wire.decode enc ~universe encoded with
+      | Error _ -> false
+      | Ok back ->
+        back = p
+        && Bytes.length encoded = Wire.encoded_size enc ~universe p
+        && Wire.ids_of_payload back = [])
+
 let prop_adaptive_never_worse =
   QCheck2.Test.make ~name:"adaptive is min(varint, bitmap)" ~count:300
     QCheck2.Gen.(
@@ -290,5 +317,6 @@ let () =
           Alcotest.test_case "decode mutation fuzz" `Quick test_decode_fuzz;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_adaptive_never_worse ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_detector_roundtrip; prop_adaptive_never_worse ] );
     ]
